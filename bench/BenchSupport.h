@@ -1,0 +1,77 @@
+//===--- BenchSupport.h - Shared benchmark plumbing -------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common setup for the benchmark binaries that regenerate the paper's
+/// tables and figures: suite generation, compile helpers, and small
+/// statistics utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_BENCH_BENCHSUPPORT_H
+#define M2C_BENCH_BENCHSUPPORT_H
+
+#include "driver/ConcurrentCompiler.h"
+#include "driver/SequentialCompiler.h"
+#include "workload/WorkloadGenerator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace m2c::bench {
+
+/// The generated test suite plus per-program metadata.
+struct SuiteFixture {
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  std::vector<workload::ModuleSpec> Specs;
+  std::vector<workload::GeneratedModule> Info;
+
+  SuiteFixture() {
+    workload::WorkloadGenerator Gen(Files);
+    Specs = workload::WorkloadGenerator::paperSuite();
+    for (const auto &Spec : Specs)
+      Info.push_back(Gen.generate(Spec));
+  }
+
+  driver::CompileResult compileSeq(const std::string &Name) {
+    driver::SequentialCompiler C(Files, Interner);
+    return C.compile(Name);
+  }
+
+  driver::CompileResult compileConc(const std::string &Name,
+                                    driver::CompilerOptions Options) {
+    driver::ConcurrentCompiler C(Files, Interner, Options);
+    return C.compile(Name);
+  }
+};
+
+/// min / median-ish / mean / max of a vector.
+struct Summary {
+  double Min = 0, Median = 0, Mean = 0, Max = 0;
+};
+
+inline Summary summarize(std::vector<double> Values) {
+  Summary S;
+  if (Values.empty())
+    return S;
+  std::sort(Values.begin(), Values.end());
+  S.Min = Values.front();
+  S.Max = Values.back();
+  S.Median = Values[Values.size() / 2];
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Values.size());
+  return S;
+}
+
+} // namespace m2c::bench
+
+#endif // M2C_BENCH_BENCHSUPPORT_H

@@ -1,0 +1,76 @@
+//===--- bench_dky_ablation.cpp - Section 2.2 DKY-strategy ablation --------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Reproduces the DKY-strategy comparison: "the choice of a method for
+// dealing with the DKY problem caused a variation of about 10% in overall
+// compiler performance", with Skeptical recommended as the best
+// compromise and Optimistic's per-symbol events costing more than they
+// gain (sections 2.2 and 2.3.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace m2c;
+using namespace m2c::bench;
+using namespace m2c::symtab;
+
+int main() {
+  SuiteFixture Suite;
+
+  constexpr DkyStrategy Strategies[] = {
+      DkyStrategy::Avoidance, DkyStrategy::Pessimistic,
+      DkyStrategy::Skeptical, DkyStrategy::Optimistic};
+
+  std::printf("DKY strategy ablation: whole suite, 8 simulated CPUs\n\n");
+  std::printf("%-13s %12s %10s %12s %12s\n", "Strategy", "Total (s)",
+              "vs best", "DKY waits", "events");
+
+  double Best = 0;
+  struct Row {
+    const char *Name;
+    double Total;
+    uint64_t Waits;
+    uint64_t Events;
+  };
+  std::vector<Row> Rows;
+  for (DkyStrategy Strategy : Strategies) {
+    double Total = 0;
+    uint64_t Waits = 0, Events = 0;
+    for (const auto &Spec : Suite.Specs) {
+      driver::CompilerOptions O;
+      O.Processors = 8;
+      O.Strategy = Strategy;
+      driver::CompileResult R = Suite.compileConc(Spec.Name, O);
+      if (!R.Success) {
+        std::fprintf(stderr, "%s failed under %s\n", Spec.Name.c_str(),
+                     dkyStrategyName(Strategy));
+        return 1;
+      }
+      Total += R.SimSeconds;
+      auto W = R.SchedStats.find("sched.waits.handled");
+      if (W != R.SchedStats.end())
+        Waits += W->second;
+      auto E = R.SchedStats.find("sched.events.signaled");
+      if (E != R.SchedStats.end())
+        Events += E->second;
+    }
+    Rows.push_back(Row{dkyStrategyName(Strategy), Total, Waits, Events});
+    if (Best == 0 || Total < Best)
+      Best = Total;
+  }
+
+  for (const Row &R : Rows)
+    std::printf("%-13s %12.2f %+9.1f%% %12llu %12llu\n", R.Name, R.Total,
+                100.0 * (R.Total - Best) / Best,
+                static_cast<unsigned long long>(R.Waits),
+                static_cast<unsigned long long>(R.Events));
+
+  std::printf("\nPaper: strategy choice varies overall performance ~10%%; "
+              "Skeptical is the\nrecommended compromise; Optimistic has the "
+              "best self-relative speedup but\nits per-symbol event "
+              "overhead outweighs the advantage.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===--- bench_host_throughput.cpp - Real-machine microbenchmarks ----------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Google-benchmark measurements of the compiler's *host* performance (as
+// opposed to the simulated Firefly used for the paper's figures): wall
+// time of sequential vs concurrent compilation on real threads, lexing
+// throughput, and the simulation's own overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "lex/Lexer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace m2c;
+using namespace m2c::bench;
+
+namespace {
+
+/// One medium suite program shared across iterations.
+SuiteFixture &fixture() {
+  static SuiteFixture Suite;
+  return Suite;
+}
+
+void BM_LexerThroughput(benchmark::State &State) {
+  SuiteFixture &Suite = fixture();
+  const SourceBuffer *Buf = Suite.Files.lookup("Suite18.mod");
+  DiagnosticsEngine Diags;
+  size_t Tokens = 0;
+  for (auto _ : State) {
+    Lexer Lex(*Buf, Suite.Interner, Diags);
+    Tokens = 0;
+    while (!Lex.lex().isEof())
+      ++Tokens;
+    benchmark::DoNotOptimize(Tokens);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Buf->Text.size()));
+  State.counters["tokens"] = static_cast<double>(Tokens);
+}
+BENCHMARK(BM_LexerThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialCompile(benchmark::State &State) {
+  SuiteFixture &Suite = fixture();
+  std::string Name = "Suite" + std::to_string(State.range(0));
+  for (auto _ : State) {
+    driver::CompileResult R = Suite.compileSeq(Name);
+    benchmark::DoNotOptimize(R.Image.Units.size());
+  }
+}
+BENCHMARK(BM_SequentialCompile)
+    ->Arg(0)
+    ->Arg(18)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConcurrentCompileThreaded(benchmark::State &State) {
+  SuiteFixture &Suite = fixture();
+  std::string Name = "Suite" + std::to_string(State.range(0));
+  for (auto _ : State) {
+    driver::CompilerOptions O;
+    O.Executor = driver::ExecutorKind::Threaded;
+    O.Processors = static_cast<unsigned>(State.range(1));
+    driver::CompileResult R = Suite.compileConc(Name, O);
+    benchmark::DoNotOptimize(R.Image.Units.size());
+  }
+}
+BENCHMARK(BM_ConcurrentCompileThreaded)
+    ->Args({18, 1})
+    ->Args({18, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedCompile(benchmark::State &State) {
+  SuiteFixture &Suite = fixture();
+  std::string Name = "Suite" + std::to_string(State.range(0));
+  double SimSeconds = 0;
+  for (auto _ : State) {
+    driver::CompilerOptions O;
+    O.Executor = driver::ExecutorKind::Simulated;
+    O.Processors = static_cast<unsigned>(State.range(1));
+    driver::CompileResult R = Suite.compileConc(Name, O);
+    SimSeconds = R.SimSeconds;
+    benchmark::DoNotOptimize(R.ElapsedUnits);
+  }
+  State.counters["sim_seconds"] = SimSeconds;
+}
+BENCHMARK(BM_SimulatedCompile)
+    ->Args({18, 1})
+    ->Args({18, 8})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+//===--- bench_sched_ablation.cpp - Section 2.3.4 scheduling choices -------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Examines the rationale for long-before-short code generation: "Code is
+// generated for long procedures before short ones to avoid a long
+// sequential tail at the end of the compilation, as one worker struggles
+// to generate code for one long procedure after finishing a number of
+// short ones and all the other workers are finished."
+//
+// Part 1 isolates the claim at the scheduler level: a ready pool of one
+// long task among many short ones, drained by 8 workers, with and
+// without the long-first policy.
+//
+// Part 2 measures the policy inside full compilations of an adversarial
+// module.  In this reproduction the effect is negligible there, and the
+// output explains why (an honest negative result): procedure headings
+// are processed sequentially by the main module's parser task, so
+// code-generation tasks become ready gradually in source order and the
+// ready pool never holds enough simultaneous work for the drain order to
+// matter.  The paper's compiler processed headings the same way but
+// spent proportionally less of the compilation doing so.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "sched/SimulatedExecutor.h"
+
+#include <sstream>
+
+using namespace m2c;
+using namespace m2c::bench;
+using namespace m2c::sched;
+
+namespace {
+
+/// Part 1: drain one long + N short ready tasks on 8 simulated CPUs.
+uint64_t drainPool(bool LongFirst, unsigned Shorts, uint64_t ShortUnits,
+                   uint64_t LongUnits) {
+  SimulatedExecutor Exec(8);
+  // Spawn order: shorts first, the long one buried at the end — the worst
+  // case for a FIFO policy.
+  for (unsigned I = 0; I < Shorts; ++I)
+    Exec.spawn(makeTask("short" + std::to_string(I),
+                        TaskClass::ShortStmtCodeGen, [ShortUnits] {
+                          ctx().charge(CostKind::StmtNode, ShortUnits);
+                        }));
+  auto Long = makeTask("long",
+                       LongFirst ? TaskClass::LongStmtCodeGen
+                                 : TaskClass::ShortStmtCodeGen,
+                       [LongUnits] {
+                         ctx().charge(CostKind::StmtNode, LongUnits);
+                       });
+  Long->setWeight(static_cast<int64_t>(LongUnits));
+  Exec.spawn(std::move(Long));
+  Exec.run();
+  return Exec.elapsedUnits();
+}
+
+/// Part 2: an adversarial module (one huge procedure among many shorts).
+std::string adversarialModule(unsigned ShortProcs, unsigned LongStmts) {
+  std::ostringstream OS;
+  OS << "MODULE Tail;\nVAR g: INTEGER;\n";
+  auto EmitShort = [&](unsigned P) {
+    OS << "PROCEDURE S" << P << "(a, b: INTEGER): INTEGER;\n"
+       << "VAR i, t: INTEGER;\nBEGIN\n  t := a * " << P + 2 << " + b;\n"
+       << "  FOR i := 0 TO 9 DO t := t + i END;\n"
+       << "  RETURN t\nEND S" << P << ";\n";
+  };
+  unsigned Lead = ShortProcs / 5;
+  for (unsigned P = 0; P < Lead; ++P)
+    EmitShort(P);
+  OS << "PROCEDURE Huge(a, b: INTEGER): INTEGER;\n"
+     << "VAR i, t, acc: INTEGER;\nBEGIN\n  acc := 0; t := b;\n";
+  for (unsigned S = 0; S < LongStmts; ++S)
+    OS << "  FOR i := 0 TO " << 3 + S % 13
+       << " DO acc := acc + i * t + " << S % 7 << " END;\n";
+  OS << "  RETURN acc\nEND Huge;\n";
+  for (unsigned P = Lead; P < ShortProcs; ++P)
+    EmitShort(P);
+  OS << "BEGIN g := Huge(1, 2) + S0(3, 4); WriteInt(g, 0) END Tail.\n";
+  return OS.str();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Part 1: scheduler-level tail effect "
+              "(1 long + 96 short ready tasks, 8 CPUs)\n");
+  // The long task is ~10x the aggregate short work of one worker.
+  uint64_t WithPolicy = drainPool(true, 96, 2000, 30000);
+  uint64_t Fifo = drainPool(false, 96, 2000, 30000);
+  std::printf("  long-first: %8llu units\n",
+              static_cast<unsigned long long>(WithPolicy));
+  std::printf("  FIFO:       %8llu units  (+%.1f%% sequential tail)\n\n",
+              static_cast<unsigned long long>(Fifo),
+              100.0 * (static_cast<double>(Fifo) -
+                       static_cast<double>(WithPolicy)) /
+                  static_cast<double>(WithPolicy));
+
+  std::printf("Part 2: the same policy inside full compilations\n");
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  Files.addFile("Tail.mod", adversarialModule(120, 400));
+  auto Measure = [&](int64_t LongThreshold) {
+    driver::CompilerOptions O;
+    O.Processors = 8;
+    O.LongProcTokens = LongThreshold;
+    driver::ConcurrentCompiler C(Files, Interner, O);
+    driver::CompileResult R = C.compile("Tail");
+    if (!R.Success) {
+      std::fprintf(stderr, "compile failed:\n%s",
+                   R.DiagnosticText.substr(0, 600).c_str());
+      std::exit(1);
+    }
+    return R.SimSeconds;
+  };
+  double LongFirst = Measure(350);
+  double CompilerFifo = Measure(int64_t{1} << 40);
+  std::printf("  long-first: %6.2f simulated s\n", LongFirst);
+  std::printf("  FIFO:       %6.2f simulated s  (%+.2f%%)\n", CompilerFifo,
+              100.0 * (CompilerFifo - LongFirst) / LongFirst);
+  std::printf(
+      "\nObservation: inside whole compilations the policy is nearly\n"
+      "neutral here, because code-generation tasks become ready one at a\n"
+      "time, in source order, as the main parser processes each heading —\n"
+      "the ready pool rarely holds a long and many shorts at once.  The\n"
+      "scheduler-level experiment above shows the tail the paper's policy\n"
+      "exists to prevent.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+//===--- bench_speedup.cpp - Figures 1-3 and Table 3 -----------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Regenerates the paper's speedup evaluation:
+//   Figure 1 - self-relative speedup of the whole test suite, 1..8 CPUs
+//   Figure 2 - best case: Synth.mod and the best suite program vs linear
+//   Figure 3 - speedup by 1-processor compile-time quartiles
+//   Table 3  - the numeric summary behind all three figures
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include <array>
+#include <cmath>
+
+using namespace m2c;
+using namespace m2c::bench;
+
+namespace {
+
+constexpr unsigned MaxProcs = 8;
+
+struct Series {
+  std::string Name;
+  std::array<double, MaxProcs + 1> Speedup{}; // [1..8]
+};
+
+void printChart(const char *Title, const std::vector<Series> &AllSeries) {
+  std::printf("\n%s\n", Title);
+  std::printf("%-10s", "N");
+  for (const Series &S : AllSeries)
+    std::printf("%12s", S.Name.c_str());
+  std::printf("\n");
+  for (unsigned N = 1; N <= MaxProcs; ++N) {
+    std::printf("%-10u", N);
+    for (const Series &S : AllSeries)
+      std::printf("%12.2f", S.Speedup[N]);
+    std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main() {
+  SuiteFixture Suite;
+
+  // Compile every program on 1..8 simulated processors.
+  const size_t NumPrograms = Suite.Specs.size();
+  std::vector<std::array<double, MaxProcs + 1>> Times(NumPrograms);
+  for (size_t I = 0; I < NumPrograms; ++I) {
+    for (unsigned P = 1; P <= MaxProcs; ++P) {
+      driver::CompilerOptions O;
+      O.Processors = P;
+      driver::CompileResult R = Suite.compileConc(Suite.Specs[I].Name, O);
+      if (!R.Success) {
+        std::fprintf(stderr, "%s failed to compile\n",
+                     Suite.Specs[I].Name.c_str());
+        return 1;
+      }
+      Times[I][P] = R.SimSeconds;
+    }
+    std::fprintf(stderr, "compiled %s (t1=%.2fs, t8=%.2fs)\n",
+                 Suite.Specs[I].Name.c_str(), Times[I][1], Times[I][8]);
+  }
+
+  // Synth.mod, the mechanically generated best-possible-speedup module.
+  VirtualFileSystem SynthFiles;
+  StringInterner SynthNames;
+  workload::WorkloadGenerator(SynthFiles)
+      .generate(workload::WorkloadGenerator::synthSpec());
+  std::array<double, MaxProcs + 1> SynthTimes{};
+  for (unsigned P = 1; P <= MaxProcs; ++P) {
+    driver::CompilerOptions O;
+    O.Processors = P;
+    driver::ConcurrentCompiler C(SynthFiles, SynthNames, O);
+    driver::CompileResult R = C.compile("Synth");
+    if (!R.Success) {
+      std::fprintf(stderr, "Synth failed:\n%s\n",
+                   R.DiagnosticText.substr(0, 500).c_str());
+      return 1;
+    }
+    SynthTimes[P] = R.SimSeconds;
+  }
+
+  // Quartiles by 1-processor compile time, using the paper's boundaries:
+  // 0..5s, 5..10s, 10..30s, 30s+.
+  auto QuartileOf = [](double T1) {
+    if (T1 < 5)
+      return 0;
+    if (T1 < 10)
+      return 1;
+    if (T1 < 30)
+      return 2;
+    return 3;
+  };
+  std::array<unsigned, 4> QuartileCount{};
+  for (size_t I = 0; I < NumPrograms; ++I)
+    ++QuartileCount[static_cast<size_t>(QuartileOf(Times[I][1]))];
+
+  // The "VM" column: the human-authored (here: generated suite) module
+  // with the best overall speedup.
+  size_t BestProgram = 0;
+  for (size_t I = 1; I < NumPrograms; ++I)
+    if (Times[I][1] / Times[I][MaxProcs] >
+        Times[BestProgram][1] / Times[BestProgram][MaxProcs])
+      BestProgram = I;
+
+  // Aggregate series.
+  Series Min{"Min", {}}, Mean{"Mean", {}}, Max{"Max", {}};
+  Series Synth{"Synth", {}}, Best{"BestProg", {}}, Linear{"Linear", {}};
+  std::array<Series, 4> Quartiles{Series{"Q1", {}}, Series{"Q2", {}},
+                                  Series{"Q3", {}}, Series{"Q4", {}}};
+  for (unsigned N = 1; N <= MaxProcs; ++N) {
+    std::vector<double> All;
+    std::array<std::vector<double>, 4> PerQ;
+    for (size_t I = 0; I < NumPrograms; ++I) {
+      double S = Times[I][1] / Times[I][N];
+      All.push_back(S);
+      PerQ[static_cast<size_t>(QuartileOf(Times[I][1]))].push_back(S);
+    }
+    Summary Sum = summarize(All);
+    Min.Speedup[N] = Sum.Min;
+    Mean.Speedup[N] = Sum.Mean;
+    Max.Speedup[N] = Sum.Max;
+    Synth.Speedup[N] = SynthTimes[1] / SynthTimes[N];
+    Best.Speedup[N] = Times[BestProgram][1] / Times[BestProgram][N];
+    Linear.Speedup[N] = N;
+    for (unsigned Q = 0; Q < 4; ++Q)
+      Quartiles[Q].Speedup[N] = summarize(PerQ[Q]).Mean;
+  }
+
+  std::printf("Speedup evaluation over %zu generated programs "
+              "(quartile sizes: %u/%u/%u/%u; paper: 10/8/10/9)\n",
+              NumPrograms, QuartileCount[0], QuartileCount[1],
+              QuartileCount[2], QuartileCount[3]);
+  std::printf("Concurrent compiler, Skeptical handling, simulated "
+              "1..8-processor Firefly.\n");
+
+  printChart("Figure 1: Test suite self-relative speedup",
+             {Min, Mean, Max});
+  printChart("Figure 2: Best case self-relative speedup",
+             {Synth, Best, Linear});
+  printChart("Figure 3: Speedup by quartiles",
+             {Quartiles[0], Quartiles[1], Quartiles[2], Quartiles[3]});
+
+  std::printf("\nTable 3: Summary of Speedup Data\n");
+  std::printf("%3s %6s %6s %6s | %6s %6s | %5s %5s %5s %5s\n", "N", "Min",
+              "Mean", "Max", "Synth", "VM", "Q1", "Q2", "Q3", "Q4");
+  for (unsigned N = 2; N <= MaxProcs; ++N)
+    std::printf("%3u %6.2f %6.2f %6.2f | %6.2f %6.2f | %5.2f %5.2f %5.2f "
+                "%5.2f\n",
+                N, Min.Speedup[N], Mean.Speedup[N], Max.Speedup[N],
+                Synth.Speedup[N], Best.Speedup[N], Quartiles[0].Speedup[N],
+                Quartiles[1].Speedup[N], Quartiles[2].Speedup[N],
+                Quartiles[3].Speedup[N]);
+  std::printf("\nPaper (N=8): Min 1.95, Mean 4.34, Max 5.47, Synth 6.67, "
+              "VM 5.32, Q 2.43/2.89/4.19/5.02\n");
+  return 0;
+}

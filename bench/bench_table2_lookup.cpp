@@ -1,0 +1,56 @@
+//===--- bench_table2_lookup.cpp - Paper Table 2 ---------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Regenerates Table 2, "Identifier Lookup Statistics": the outcome of
+// every symbol-table lookup (found on first try / during the outward
+// search / after a DKY blockage / never) by scope class and table
+// completeness, for one Skeptical-handling compilation of the whole test
+// suite on eight simulated processors (section 4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "symtab/LookupStats.h"
+
+using namespace m2c;
+using namespace m2c::bench;
+using namespace m2c::symtab;
+
+int main() {
+  SuiteFixture Suite;
+  LookupStats Combined;
+
+  for (const auto &Spec : Suite.Specs) {
+    driver::CompilerOptions O;
+    O.Processors = 8;
+    O.Strategy = DkyStrategy::Skeptical;
+    driver::CompileResult R = Suite.compileConc(Spec.Name, O);
+    if (!R.Success) {
+      std::fprintf(stderr, "%s failed to compile\n", Spec.Name.c_str());
+      return 1;
+    }
+    Combined.merge(R.Compilation->Stats);
+  }
+
+  std::printf("Table 2: Identifier Lookup Statistics\n");
+  std::printf("(Skeptical handling, 8 simulated processors, one compilation "
+              "of the 37-program suite)\n\n");
+  std::printf("%s\n", Combined.renderTable().c_str());
+  std::printf("DKY blockages: %llu of %llu lookups (%.3f%%)\n",
+              static_cast<unsigned long long>(Combined.dkyBlockages()),
+              static_cast<unsigned long long>(
+                  Combined.total(LookupForm::Simple) +
+                  Combined.total(LookupForm::Qualified)),
+              100.0 * static_cast<double>(Combined.dkyBlockages()) /
+                  static_cast<double>(Combined.total(LookupForm::Simple) +
+                                      Combined.total(LookupForm::Qualified)));
+  std::printf("\nPaper highlights: simple identifiers 57.9%% first-try self, "
+              "15.1%% builtin,\n14.2%% outer-complete, 3.6%% outer-"
+              "incomplete, 0.08%% after DKY;\nqualified 93.3%% complete, "
+              "4.0%% incomplete, 2.7%% after DKY.\n"
+              "\"Blockage due to the DKY condition is relatively rare.\"\n");
+  return 0;
+}

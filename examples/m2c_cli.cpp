@@ -1,0 +1,191 @@
+//===--- m2c_cli.cpp - Command-line compiler driver -------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// A small command-line front end over the library: compiles Modula-2+
+// modules from the host file system and optionally links and runs them.
+//
+//   m2c_cli [options] Module [Module...]
+//     -j N           processors (default 4)
+//     -seq           use the sequential baseline compiler
+//     -sim           use the simulated executor (default: real threads)
+//     -dky S         avoidance | pessimistic | skeptical | optimistic
+//     -trace         print a WatchTool activity view per compilation
+//     -run           link all modules and run the last one
+//     -dump          print the MCode listing of each compiled unit
+//     -c             write each compiled module to Module.mco
+//
+// Module files are looked up as Module.mod / Module.def in the current
+// directory.  A positional argument ending in ".mco" is loaded as a
+// precompiled object instead of being compiled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ObjectFile.h"
+#include "driver/ConcurrentCompiler.h"
+#include "driver/SequentialCompiler.h"
+#include "trace/ActivityRecorder.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace m2c;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: m2c_cli [-j N] [-seq] [-sim] [-dky STRATEGY] "
+               "[-trace] [-run] [-dump] Module...\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  driver::CompilerOptions Options;
+  Options.Executor = driver::ExecutorKind::Threaded;
+  Options.Processors = 4;
+  bool Sequential = false, Trace = false, Run = false, Dump = false;
+  bool EmitObjects = false;
+  std::vector<std::string> Modules;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-j" && I + 1 < Argc) {
+      Options.Processors = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (Options.Processors == 0)
+        return usage();
+    } else if (Arg == "-seq") {
+      Sequential = true;
+    } else if (Arg == "-sim") {
+      Options.Executor = driver::ExecutorKind::Simulated;
+    } else if (Arg == "-dky" && I + 1 < Argc) {
+      std::string S = Argv[++I];
+      if (S == "avoidance")
+        Options.Strategy = symtab::DkyStrategy::Avoidance;
+      else if (S == "pessimistic")
+        Options.Strategy = symtab::DkyStrategy::Pessimistic;
+      else if (S == "skeptical")
+        Options.Strategy = symtab::DkyStrategy::Skeptical;
+      else if (S == "optimistic")
+        Options.Strategy = symtab::DkyStrategy::Optimistic;
+      else
+        return usage();
+    } else if (Arg == "-trace") {
+      Trace = true;
+    } else if (Arg == "-run") {
+      Run = true;
+    } else if (Arg == "-dump") {
+      Dump = true;
+    } else if (Arg == "-c") {
+      EmitObjects = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Modules.push_back(Arg);
+    }
+  }
+  if (Modules.empty())
+    return usage();
+
+  // Preload every .def/.mod in the working directory so imports resolve.
+  VirtualFileSystem Files;
+  StringInterner Names;
+  for (const auto &Entry : std::filesystem::directory_iterator(".")) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string Ext = Entry.path().extension().string();
+    if (Ext == ".def" || Ext == ".mod")
+      Files.addFromDisk(Entry.path().filename().string());
+  }
+
+  vm::Program Program(Names);
+  std::string RunModule;
+  for (const std::string &Module : Modules) {
+    if (Module.size() > 4 &&
+        Module.compare(Module.size() - 4, 4, ".mco") == 0) {
+      // Precompiled object: load and link.
+      auto Buf = Files.addFromDisk(Module);
+      std::string Text;
+      if (Buf) {
+        Text = Files.buffer(*Buf).Text;
+      } else {
+        std::ifstream In(Module, std::ios::binary);
+        if (!In) {
+          std::fprintf(stderr, "cannot read '%s'\n", Module.c_str());
+          return 1;
+        }
+        std::ostringstream SS;
+        SS << In.rdbuf();
+        Text = SS.str();
+      }
+      std::string Error;
+      auto Image = codegen::readObjectFile(Text, Names, Error);
+      if (!Image) {
+        std::fprintf(stderr, "%s: %s\n", Module.c_str(), Error.c_str());
+        return 1;
+      }
+      RunModule = std::string(Names.spelling(Image->ModuleName));
+      std::printf("%s: loaded %zu units\n", Module.c_str(),
+                  Image->Units.size());
+      Program.addImage(std::move(*Image));
+      continue;
+    }
+    RunModule = Module;
+    trace::ActivityRecorder Rec;
+    Options.Trace = Trace ? &Rec : nullptr;
+    driver::CompileResult R;
+    if (Sequential) {
+      driver::SequentialCompiler C(Files, Names, Options);
+      R = C.compile(Module);
+    } else {
+      driver::ConcurrentCompiler C(Files, Names, Options);
+      R = C.compile(Module);
+    }
+    std::fputs(R.DiagnosticText.c_str(), stderr);
+    if (!R.Success)
+      return 1;
+    if (Options.Executor == driver::ExecutorKind::Simulated)
+      std::printf("%s: %zu streams, %zu units, %.2f simulated s\n",
+                  Module.c_str(), R.StreamCount, R.Image.Units.size(),
+                  R.SimSeconds);
+    else
+      std::printf("%s: %zu streams, %zu units, %.1f ms\n", Module.c_str(),
+                  R.StreamCount, R.Image.Units.size(),
+                  static_cast<double>(R.ElapsedUnits) / 1e6);
+    if (Trace)
+      std::printf("%s%s\n", Rec.renderAscii(100).c_str(),
+                  trace::ActivityRecorder::legend().c_str());
+    if (Dump)
+      for (const codegen::CodeUnit &U : R.Image.Units)
+        std::printf("%s\n", U.dump(Names).c_str());
+    if (EmitObjects) {
+      std::ofstream Out(Module + ".mco", std::ios::binary);
+      Out << codegen::writeObjectFile(R.Image, Names);
+      std::printf("wrote %s.mco\n", Module.c_str());
+    }
+    Program.addImage(std::move(R.Image));
+  }
+
+  if (!Run)
+    return 0;
+  if (!Program.link()) {
+    for (const std::string &E : Program.errors())
+      std::fprintf(stderr, "link error: %s\n", E.c_str());
+    return 1;
+  }
+  vm::VM Machine(Program);
+  vm::VM::RunResult Result = Machine.run(Names.intern(RunModule));
+  std::fputs(Result.Output.c_str(), stdout);
+  if (Result.Trapped) {
+    std::fprintf(stderr, "runtime trap: %s\n", Result.TrapMessage.c_str());
+    return 1;
+  }
+  return static_cast<int>(Result.ExitCode);
+}

@@ -1,0 +1,48 @@
+//===--- AST.cpp - AST helpers --------------------------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Decl.h"
+
+using namespace m2c::ast;
+
+Node::~Node() = default;
+
+const char *m2c::ast::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::RealDiv:
+    return "/";
+  case BinaryOp::IntDiv:
+    return "DIV";
+  case BinaryOp::Mod:
+    return "MOD";
+  case BinaryOp::And:
+    return "AND";
+  case BinaryOp::Or:
+    return "OR";
+  case BinaryOp::Equal:
+    return "=";
+  case BinaryOp::NotEqual:
+    return "<>";
+  case BinaryOp::Less:
+    return "<";
+  case BinaryOp::LessEq:
+    return "<=";
+  case BinaryOp::Greater:
+    return ">";
+  case BinaryOp::GreaterEq:
+    return ">=";
+  case BinaryOp::In:
+    return "IN";
+  }
+  return "?";
+}

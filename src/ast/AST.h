@@ -1,0 +1,64 @@
+//===--- AST.h - AST arena and common node base -----------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every compilation stream (definition module, main module body,
+/// procedure) builds its own AST into its own arena, so streams never
+/// contend on node allocation and node lifetime is tied to the stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_AST_AST_H
+#define M2C_AST_AST_H
+
+#include "support/SourceLocation.h"
+#include "support/StringInterner.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace m2c::ast {
+
+/// Root of all AST node classes.  Nodes are identified by per-hierarchy
+/// Kind tags (no RTTI); the virtual destructor exists only so the arena
+/// can own heterogeneous nodes.
+class Node {
+public:
+  virtual ~Node();
+  explicit Node(SourceLocation Loc) : Loc(Loc) {}
+
+  SourceLocation location() const { return Loc; }
+
+private:
+  SourceLocation Loc;
+};
+
+/// Bump-style owner of one stream's AST nodes.
+class ASTArena {
+public:
+  ASTArena() = default;
+  ASTArena(const ASTArena &) = delete;
+  ASTArena &operator=(const ASTArena &) = delete;
+
+  /// Allocates a node owned by this arena.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  std::vector<std::unique_ptr<Node>> Nodes;
+};
+
+} // namespace m2c::ast
+
+#endif // M2C_AST_AST_H

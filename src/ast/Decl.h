@@ -1,0 +1,160 @@
+//===--- Decl.h - Modula-2+ declaration AST ---------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_AST_DECL_H
+#define M2C_AST_DECL_H
+
+#include "ast/Stmt.h"
+#include "ast/TypeExpr.h"
+
+namespace m2c::ast {
+
+/// Declaration node kinds.
+enum class DeclKind : uint8_t {
+  Const,
+  Type,
+  Var,
+  ProcHeading, ///< Heading only: definition modules, and split streams.
+  Proc,        ///< Heading plus body (sequential compilation path).
+};
+
+/// Base of all declarations.
+class Decl : public Node {
+public:
+  DeclKind kind() const { return Kind; }
+
+protected:
+  Decl(DeclKind Kind, SourceLocation Loc) : Node(Loc), Kind(Kind) {}
+
+private:
+  DeclKind Kind;
+};
+
+/// CONST Name = Value;
+class ConstDecl final : public Decl {
+public:
+  ConstDecl(SourceLocation Loc, Symbol Name, Expr *Value)
+      : Decl(DeclKind::Const, Loc), Name(Name), Value(Value) {}
+
+  Symbol name() const { return Name; }
+  Expr *value() const { return Value; }
+
+private:
+  Symbol Name;
+  Expr *Value;
+};
+
+/// TYPE Name = TypeExpr;  (TypeExpr null for opaque types in definition
+/// modules: "TYPE T;")
+class TypeDecl final : public Decl {
+public:
+  TypeDecl(SourceLocation Loc, Symbol Name, TypeExpr *Type)
+      : Decl(DeclKind::Type, Loc), Name(Name), Type(Type) {}
+
+  Symbol name() const { return Name; }
+  TypeExpr *type() const { return Type; }
+
+private:
+  Symbol Name;
+  TypeExpr *Type;
+};
+
+/// VAR a, b: T;
+class VarDecl final : public Decl {
+public:
+  VarDecl(SourceLocation Loc, std::vector<Symbol> Names, TypeExpr *Type)
+      : Decl(DeclKind::Var, Loc), Names(std::move(Names)), Type(Type) {}
+
+  const std::vector<Symbol> &names() const { return Names; }
+  TypeExpr *type() const { return Type; }
+
+private:
+  std::vector<Symbol> Names;
+  TypeExpr *Type;
+};
+
+/// One formal-parameter group: "VAR x, y: REAL".
+struct FormalParam {
+  SourceLocation Loc;
+  bool IsVar = false;
+  bool IsOpenArray = false;
+  std::vector<Symbol> Names;
+  TypeExpr *Type = nullptr;
+};
+
+/// A procedure heading: name, formals, optional result type.
+struct ProcHeading {
+  SourceLocation Loc;
+  Symbol Name;
+  std::vector<FormalParam> Params;
+  TypeExpr *Result = nullptr;
+};
+
+/// Heading-only procedure declaration: what a definition module declares,
+/// and what the parent stream of a split-off procedure sees (paper
+/// section 2.4, alternative 1: the heading is processed in the parent
+/// scope).
+class ProcHeadingDecl final : public Decl {
+public:
+  ProcHeadingDecl(SourceLocation Loc, ProcHeading Heading)
+      : Decl(DeclKind::ProcHeading, Loc), Heading(std::move(Heading)) {}
+
+  const ProcHeading &heading() const { return Heading; }
+
+private:
+  ProcHeading Heading;
+};
+
+/// A full procedure with declarations and body (used when compiling
+/// sequentially, where no splitting occurs).
+class ProcDecl final : public Decl {
+public:
+  ProcDecl(SourceLocation Loc, ProcHeading Heading, std::vector<Decl *> Decls,
+           StmtList Body)
+      : Decl(DeclKind::Proc, Loc), Heading(std::move(Heading)),
+        Decls(std::move(Decls)), Body(std::move(Body)) {}
+
+  const ProcHeading &heading() const { return Heading; }
+  const std::vector<Decl *> &decls() const { return Decls; }
+  const StmtList &body() const { return Body; }
+
+private:
+  ProcHeading Heading;
+  std::vector<Decl *> Decls;
+  StmtList Body;
+};
+
+/// One import request: "FROM M IMPORT a, b;" or "IMPORT M, N;".
+struct ImportClause {
+  SourceLocation Loc;
+  Symbol FromModule;          ///< Non-empty for FROM imports.
+  std::vector<Symbol> Names;  ///< Modules, or names within FromModule.
+};
+
+/// A parsed definition module.
+struct DefinitionModule {
+  SourceLocation Loc;
+  Symbol Name;
+  std::vector<ImportClause> Imports;
+  std::vector<Symbol> Exports; ///< EXPORT QUALIFIED list (M2 2nd edition
+                               ///< makes it optional; we accept both).
+  std::vector<Decl *> Decls;
+};
+
+/// A parsed implementation (or program) module.
+struct ImplementationModule {
+  SourceLocation Loc;
+  Symbol Name;
+  bool IsImplementation = true;
+  std::vector<ImportClause> Imports;
+  std::vector<Decl *> Decls;
+  StmtList Body;
+};
+
+} // namespace m2c::ast
+
+#endif // M2C_AST_DECL_H

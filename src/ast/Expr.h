@@ -1,0 +1,206 @@
+//===--- Expr.h - Modula-2+ expression AST ----------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_AST_EXPR_H
+#define M2C_AST_EXPR_H
+
+#include "ast/AST.h"
+#include "lex/Token.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace m2c::ast {
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  IntLit,
+  RealLit,
+  CharLit,
+  StringLit,
+  Designator,
+  Call,
+  Unary,
+  Binary,
+  SetConstructor,
+};
+
+/// Base of all expressions.
+class Expr : public Node {
+public:
+  ExprKind kind() const { return Kind; }
+
+protected:
+  Expr(ExprKind Kind, SourceLocation Loc) : Node(Loc), Kind(Kind) {}
+
+private:
+  ExprKind Kind;
+};
+
+/// Integer literal (also covers octal/hex forms).
+class IntLitExpr final : public Expr {
+public:
+  IntLitExpr(SourceLocation Loc, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  int64_t value() const { return Value; }
+
+private:
+  int64_t Value;
+};
+
+/// Real literal.
+class RealLitExpr final : public Expr {
+public:
+  RealLitExpr(SourceLocation Loc, double Value)
+      : Expr(ExprKind::RealLit, Loc), Value(Value) {}
+  double value() const { return Value; }
+
+private:
+  double Value;
+};
+
+/// Character literal ('x' or 15C).
+class CharLitExpr final : public Expr {
+public:
+  CharLitExpr(SourceLocation Loc, char Value)
+      : Expr(ExprKind::CharLit, Loc), Value(Value) {}
+  char value() const { return Value; }
+
+private:
+  char Value;
+};
+
+/// String literal; spelling is interned.
+class StringLitExpr final : public Expr {
+public:
+  StringLitExpr(SourceLocation Loc, Symbol Value)
+      : Expr(ExprKind::StringLit, Loc), Value(Value) {}
+  Symbol value() const { return Value; }
+
+private:
+  Symbol Value;
+};
+
+/// One selector step applied to a designator.
+struct Selector {
+  enum class Kind : uint8_t { Field, Index, Deref } SelKind;
+  SourceLocation Loc;
+  Symbol Field;                 ///< For Field selectors.
+  std::vector<Expr *> Indexes;  ///< For Index selectors (a[i, j]).
+};
+
+/// A (possibly qualified) name with selectors: Mod.Var^.field[i].
+class DesignatorExpr final : public Expr {
+public:
+  DesignatorExpr(SourceLocation Loc, Symbol First)
+      : Expr(ExprKind::Designator, Loc), First(First) {}
+
+  /// The leading identifier.  Qualification (module prefix) is resolved
+  /// during semantic analysis: a leading "Mod." where Mod names an
+  /// imported module makes this a qualified reference.
+  Symbol first() const { return First; }
+
+  std::vector<Selector> &selectors() { return Selectors; }
+  const std::vector<Selector> &selectors() const { return Selectors; }
+
+private:
+  Symbol First;
+  std::vector<Selector> Selectors;
+};
+
+/// Procedure/function call (also covers type-conversion call syntax).
+class CallExpr final : public Expr {
+public:
+  CallExpr(SourceLocation Loc, Expr *Callee, std::vector<Expr *> Args)
+      : Expr(ExprKind::Call, Loc), Callee(Callee), Args(std::move(Args)) {}
+
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+};
+
+/// Unary operator kinds.
+enum class UnaryOp : uint8_t { Plus, Minus, Not };
+
+class UnaryExpr final : public Expr {
+public:
+  UnaryExpr(SourceLocation Loc, UnaryOp Op, Expr *Operand)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(Operand) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand; }
+
+private:
+  UnaryOp Op;
+  Expr *Operand;
+};
+
+/// Binary operator kinds.
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  RealDiv, ///< "/" (also set symmetric difference)
+  IntDiv,  ///< DIV
+  Mod,     ///< MOD
+  And,
+  Or,
+  Equal,
+  NotEqual,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  In,
+};
+
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr final : public Expr {
+public:
+  BinaryExpr(SourceLocation Loc, BinaryOp Op, Expr *Lhs, Expr *Rhs)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+
+private:
+  BinaryOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+/// One element of a set constructor: a value or a range.
+struct SetElement {
+  Expr *Lo = nullptr;
+  Expr *Hi = nullptr; ///< Null for single values.
+};
+
+/// Set constructor "{1, 3..5}" or "BITSET{1}".
+class SetConstructorExpr final : public Expr {
+public:
+  SetConstructorExpr(SourceLocation Loc, Symbol TypeName,
+                     std::vector<SetElement> Elements)
+      : Expr(ExprKind::SetConstructor, Loc), TypeName(TypeName),
+        Elements(std::move(Elements)) {}
+
+  /// Optional set-type name prefix (empty for plain "{...}", = BITSET).
+  Symbol typeName() const { return TypeName; }
+  const std::vector<SetElement> &elements() const { return Elements; }
+
+private:
+  Symbol TypeName;
+  std::vector<SetElement> Elements;
+};
+
+} // namespace m2c::ast
+
+#endif // M2C_AST_EXPR_H

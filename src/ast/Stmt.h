@@ -1,0 +1,257 @@
+//===--- Stmt.h - Modula-2+ statement AST -----------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement parse trees are built by the Parser/Declarations-Analyzer
+/// task but semantically analyzed later by the Statement-Analyzer/Code-
+/// Generator task (paper section 3): fast processing of declarations
+/// completes symbol tables early and resolves DKY blockages sooner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_AST_STMT_H
+#define M2C_AST_STMT_H
+
+#include "ast/Expr.h"
+
+namespace m2c::ast {
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Assign,
+  ProcCall,
+  If,
+  While,
+  Repeat,
+  For,
+  Loop,
+  Exit,
+  Return,
+  Case,
+  With,
+  TryExcept,
+  Lock,
+};
+
+/// Base of all statements.
+class Stmt : public Node {
+public:
+  StmtKind kind() const { return Kind; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLocation Loc) : Node(Loc), Kind(Kind) {}
+
+private:
+  StmtKind Kind;
+};
+
+using StmtList = std::vector<Stmt *>;
+
+/// designator := expr.
+class AssignStmt final : public Stmt {
+public:
+  AssignStmt(SourceLocation Loc, Expr *Target, Expr *Value)
+      : Stmt(StmtKind::Assign, Loc), Target(Target), Value(Value) {}
+
+  Expr *target() const { return Target; }
+  Expr *value() const { return Value; }
+
+private:
+  Expr *Target;
+  Expr *Value;
+};
+
+/// A call used as a statement; Call is a CallExpr or a bare designator
+/// (parameterless call).
+class ProcCallStmt final : public Stmt {
+public:
+  ProcCallStmt(SourceLocation Loc, Expr *Call)
+      : Stmt(StmtKind::ProcCall, Loc), Call(Call) {}
+
+  Expr *call() const { return Call; }
+
+private:
+  Expr *Call;
+};
+
+/// One IF/ELSIF arm.
+struct IfArm {
+  Expr *Cond = nullptr;
+  StmtList Body;
+};
+
+class IfStmt final : public Stmt {
+public:
+  IfStmt(SourceLocation Loc, std::vector<IfArm> Arms, StmtList ElseBody)
+      : Stmt(StmtKind::If, Loc), Arms(std::move(Arms)),
+        ElseBody(std::move(ElseBody)) {}
+
+  const std::vector<IfArm> &arms() const { return Arms; }
+  const StmtList &elseBody() const { return ElseBody; }
+
+private:
+  std::vector<IfArm> Arms;
+  StmtList ElseBody;
+};
+
+class WhileStmt final : public Stmt {
+public:
+  WhileStmt(SourceLocation Loc, Expr *Cond, StmtList Body)
+      : Stmt(StmtKind::While, Loc), Cond(Cond), Body(std::move(Body)) {}
+
+  Expr *cond() const { return Cond; }
+  const StmtList &body() const { return Body; }
+
+private:
+  Expr *Cond;
+  StmtList Body;
+};
+
+class RepeatStmt final : public Stmt {
+public:
+  RepeatStmt(SourceLocation Loc, StmtList Body, Expr *Cond)
+      : Stmt(StmtKind::Repeat, Loc), Body(std::move(Body)), Cond(Cond) {}
+
+  const StmtList &body() const { return Body; }
+  Expr *cond() const { return Cond; }
+
+private:
+  StmtList Body;
+  Expr *Cond;
+};
+
+class ForStmt final : public Stmt {
+public:
+  ForStmt(SourceLocation Loc, Symbol Var, Expr *From, Expr *To, Expr *By,
+          StmtList Body)
+      : Stmt(StmtKind::For, Loc), Var(Var), From(From), To(To), By(By),
+        Body(std::move(Body)) {}
+
+  Symbol var() const { return Var; }
+  Expr *from() const { return From; }
+  Expr *to() const { return To; }
+  Expr *by() const { return By; } ///< Null means BY 1.
+  const StmtList &body() const { return Body; }
+
+private:
+  Symbol Var;
+  Expr *From;
+  Expr *To;
+  Expr *By;
+  StmtList Body;
+};
+
+class LoopStmt final : public Stmt {
+public:
+  LoopStmt(SourceLocation Loc, StmtList Body)
+      : Stmt(StmtKind::Loop, Loc), Body(std::move(Body)) {}
+
+  const StmtList &body() const { return Body; }
+
+private:
+  StmtList Body;
+};
+
+class ExitStmt final : public Stmt {
+public:
+  explicit ExitStmt(SourceLocation Loc) : Stmt(StmtKind::Exit, Loc) {}
+};
+
+class ReturnStmt final : public Stmt {
+public:
+  ReturnStmt(SourceLocation Loc, Expr *Value)
+      : Stmt(StmtKind::Return, Loc), Value(Value) {}
+
+  Expr *value() const { return Value; } ///< Null for plain RETURN.
+
+private:
+  Expr *Value;
+};
+
+/// One CASE label: a constant or a constant range.
+struct CaseLabel {
+  Expr *Lo = nullptr;
+  Expr *Hi = nullptr; ///< Null for single values.
+};
+
+/// One CASE arm: labels and body.
+struct CaseArm {
+  std::vector<CaseLabel> Labels;
+  StmtList Body;
+};
+
+class CaseStmt final : public Stmt {
+public:
+  CaseStmt(SourceLocation Loc, Expr *Subject, std::vector<CaseArm> Arms,
+           StmtList ElseBody, bool HasElse)
+      : Stmt(StmtKind::Case, Loc), Subject(Subject), Arms(std::move(Arms)),
+        ElseBody(std::move(ElseBody)), HasElse(HasElse) {}
+
+  Expr *subject() const { return Subject; }
+  const std::vector<CaseArm> &arms() const { return Arms; }
+  const StmtList &elseBody() const { return ElseBody; }
+  bool hasElse() const { return HasElse; }
+
+private:
+  Expr *Subject;
+  std::vector<CaseArm> Arms;
+  StmtList ElseBody;
+  bool HasElse;
+};
+
+/// WITH designator DO ... END: the record's fields become directly
+/// visible, the "WITH" scope of the paper's Table 2.
+class WithStmt final : public Stmt {
+public:
+  WithStmt(SourceLocation Loc, Expr *Record, StmtList Body)
+      : Stmt(StmtKind::With, Loc), Record(Record), Body(std::move(Body)) {}
+
+  Expr *record() const { return Record; }
+  const StmtList &body() const { return Body; }
+
+private:
+  Expr *Record;
+  StmtList Body;
+};
+
+/// Modula-2+ TRY ... EXCEPT ... END / TRY ... FINALLY ... END.  Compiled
+/// structurally (the body runs; the handler is analyzed and compiled but
+/// our MCode machine raises no exceptions).
+class TryExceptStmt final : public Stmt {
+public:
+  TryExceptStmt(SourceLocation Loc, StmtList Body, StmtList Handler,
+                bool IsFinally)
+      : Stmt(StmtKind::TryExcept, Loc), Body(std::move(Body)),
+        Handler(std::move(Handler)), IsFinally(IsFinally) {}
+
+  const StmtList &body() const { return Body; }
+  const StmtList &handler() const { return Handler; }
+  bool isFinally() const { return IsFinally; }
+
+private:
+  StmtList Body;
+  StmtList Handler;
+  bool IsFinally;
+};
+
+/// Modula-2+ LOCK mutex DO ... END.  Compiled structurally.
+class LockStmt final : public Stmt {
+public:
+  LockStmt(SourceLocation Loc, Expr *Mutex, StmtList Body)
+      : Stmt(StmtKind::Lock, Loc), Mutex(Mutex), Body(std::move(Body)) {}
+
+  Expr *mutex() const { return Mutex; }
+  const StmtList &body() const { return Body; }
+
+private:
+  Expr *Mutex;
+  StmtList Body;
+};
+
+} // namespace m2c::ast
+
+#endif // M2C_AST_STMT_H

@@ -1,0 +1,167 @@
+//===--- TypeExpr.h - Syntactic type expressions ----------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_AST_TYPEEXPR_H
+#define M2C_AST_TYPEEXPR_H
+
+#include "ast/Expr.h"
+
+namespace m2c::ast {
+
+/// Type-expression node kinds.
+enum class TypeExprKind : uint8_t {
+  Named,
+  Array,
+  Record,
+  Pointer,
+  Enumeration,
+  Subrange,
+  Set,
+  Proc,
+};
+
+/// Base of all syntactic type denotations.
+class TypeExpr : public Node {
+public:
+  TypeExprKind kind() const { return Kind; }
+
+protected:
+  TypeExpr(TypeExprKind Kind, SourceLocation Loc) : Node(Loc), Kind(Kind) {}
+
+private:
+  TypeExprKind Kind;
+};
+
+/// A type named by a (possibly qualified) identifier: "INTEGER",
+/// "Lists.List".
+class NamedTypeExpr final : public TypeExpr {
+public:
+  NamedTypeExpr(SourceLocation Loc, Symbol Qualifier, Symbol Name)
+      : TypeExpr(TypeExprKind::Named, Loc), Qualifier(Qualifier), Name(Name) {}
+
+  /// Module qualifier, or the empty symbol.
+  Symbol qualifier() const { return Qualifier; }
+  Symbol name() const { return Name; }
+
+private:
+  Symbol Qualifier;
+  Symbol Name;
+};
+
+/// ARRAY IndexType OF ElementType.
+class ArrayTypeExpr final : public TypeExpr {
+public:
+  ArrayTypeExpr(SourceLocation Loc, TypeExpr *Index, TypeExpr *Element)
+      : TypeExpr(TypeExprKind::Array, Loc), Index(Index), Element(Element) {}
+
+  TypeExpr *index() const { return Index; }
+  TypeExpr *element() const { return Element; }
+
+private:
+  TypeExpr *Index;
+  TypeExpr *Element;
+};
+
+/// One field group of a record: "x, y: REAL".
+struct FieldGroup {
+  SourceLocation Loc;
+  std::vector<Symbol> Names;
+  TypeExpr *Type = nullptr;
+};
+
+/// RECORD ... END.
+class RecordTypeExpr final : public TypeExpr {
+public:
+  RecordTypeExpr(SourceLocation Loc, std::vector<FieldGroup> Fields)
+      : TypeExpr(TypeExprKind::Record, Loc), Fields(std::move(Fields)) {}
+
+  const std::vector<FieldGroup> &fields() const { return Fields; }
+
+private:
+  std::vector<FieldGroup> Fields;
+};
+
+/// POINTER TO Pointee.
+class PointerTypeExpr final : public TypeExpr {
+public:
+  PointerTypeExpr(SourceLocation Loc, TypeExpr *Pointee)
+      : TypeExpr(TypeExprKind::Pointer, Loc), Pointee(Pointee) {}
+
+  TypeExpr *pointee() const { return Pointee; }
+
+private:
+  TypeExpr *Pointee;
+};
+
+/// Enumeration "(red, green, blue)".
+class EnumTypeExpr final : public TypeExpr {
+public:
+  EnumTypeExpr(SourceLocation Loc, std::vector<Symbol> Literals)
+      : TypeExpr(TypeExprKind::Enumeration, Loc),
+        Literals(std::move(Literals)) {}
+
+  const std::vector<Symbol> &literals() const { return Literals; }
+
+private:
+  std::vector<Symbol> Literals;
+};
+
+/// Subrange "[lo .. hi]" with optional base type name.
+class SubrangeTypeExpr final : public TypeExpr {
+public:
+  SubrangeTypeExpr(SourceLocation Loc, Symbol BaseName, Expr *Lo, Expr *Hi)
+      : TypeExpr(TypeExprKind::Subrange, Loc), BaseName(BaseName), Lo(Lo),
+        Hi(Hi) {}
+
+  Symbol baseName() const { return BaseName; }
+  Expr *low() const { return Lo; }
+  Expr *high() const { return Hi; }
+
+private:
+  Symbol BaseName;
+  Expr *Lo;
+  Expr *Hi;
+};
+
+/// SET OF ElementType.
+class SetTypeExpr final : public TypeExpr {
+public:
+  SetTypeExpr(SourceLocation Loc, TypeExpr *Element)
+      : TypeExpr(TypeExprKind::Set, Loc), Element(Element) {}
+
+  TypeExpr *element() const { return Element; }
+
+private:
+  TypeExpr *Element;
+};
+
+/// One formal-type slot of a procedure type.
+struct FormalType {
+  bool IsVar = false;
+  bool IsOpenArray = false;
+  TypeExpr *Type = nullptr;
+};
+
+/// PROCEDURE (formal types) [: ResultType].
+class ProcTypeExpr final : public TypeExpr {
+public:
+  ProcTypeExpr(SourceLocation Loc, std::vector<FormalType> Formals,
+               TypeExpr *Result)
+      : TypeExpr(TypeExprKind::Proc, Loc), Formals(std::move(Formals)),
+        Result(Result) {}
+
+  const std::vector<FormalType> &formals() const { return Formals; }
+  TypeExpr *result() const { return Result; }
+
+private:
+  std::vector<FormalType> Formals;
+  TypeExpr *Result;
+};
+
+} // namespace m2c::ast
+
+#endif // M2C_AST_TYPEEXPR_H

@@ -1,0 +1,1636 @@
+//===--- CodeGenerator.cpp - Statement analysis and code emission ---------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+
+#include "codegen/Peephole.h"
+#include "codegen/TypeDescBuilder.h"
+
+#include "sched/ExecContext.h"
+#include "symtab/Scope.h"
+
+#include <cassert>
+#include <cfloat>
+
+using namespace m2c;
+using namespace m2c::ast;
+using namespace m2c::codegen;
+using namespace m2c::sema;
+using namespace m2c::symtab;
+
+uint32_t m2c::codegen::procedureLevel(const Scope &S) {
+  uint32_t Level = 0;
+  for (const Scope *Cur = &S; Cur; Cur = Cur->parent())
+    if (Cur->kind() == ScopeKind::Procedure)
+      ++Level;
+  return Level;
+}
+
+std::string m2c::codegen::moduleRelativeName(const SymbolEntry &Entry,
+                                              const StringInterner &Names) {
+  std::string Result(Names.spelling(Entry.Name));
+  for (const Scope *S = Entry.OwnerScope; S; S = S->parent())
+    if (S->kind() == ScopeKind::Procedure)
+      Result = S->name() + "." + Result;
+  return Result;
+}
+
+CodeGenerator::CodeGenerator(Compilation &Comp, Scope &Self, Symbol Module)
+    : Comp(Comp), Self(Self), Module(Module), ConstEval(Comp, Self) {
+  UnitLevel = procedureLevel(Self);
+}
+
+//===----------------------------------------------------------------------===//
+// Emission helpers
+//===----------------------------------------------------------------------===//
+
+size_t CodeGenerator::emit(Opcode Op, int64_t A, int64_t B, double F) {
+  sched::ctx().charge(sched::CostKind::EmitInstr);
+  Unit.Code.push_back(Instr{Op, A, B, F});
+  return Unit.Code.size() - 1;
+}
+
+void CodeGenerator::patchTarget(size_t InstrIndex) {
+  Unit.Code[InstrIndex].A = static_cast<int64_t>(Unit.Code.size());
+}
+
+int32_t CodeGenerator::internCallee(Symbol CalleeModule, Symbol Name) {
+  for (size_t I = 0; I < Unit.Callees.size(); ++I)
+    if (Unit.Callees[I].Module == CalleeModule && Unit.Callees[I].Name == Name)
+      return static_cast<int32_t>(I);
+  Unit.Callees.push_back(CalleeRef{CalleeModule, Name});
+  return static_cast<int32_t>(Unit.Callees.size() - 1);
+}
+
+int32_t CodeGenerator::internGlobal(Symbol GlobalModule, int32_t Slot) {
+  for (size_t I = 0; I < Unit.Globals.size(); ++I)
+    if (Unit.Globals[I].Module == GlobalModule && Unit.Globals[I].Slot == Slot)
+      return static_cast<int32_t>(I);
+  Unit.Globals.push_back(GlobalRef{GlobalModule, Slot});
+  return static_cast<int32_t>(Unit.Globals.size() - 1);
+}
+
+int32_t CodeGenerator::internString(Symbol S) {
+  for (size_t I = 0; I < Unit.Strings.size(); ++I)
+    if (Unit.Strings[I] == S)
+      return static_cast<int32_t>(I);
+  Unit.Strings.push_back(S);
+  return static_cast<int32_t>(Unit.Strings.size() - 1);
+}
+
+int32_t CodeGenerator::descFor(const Type *Ty) {
+  return internTypeDesc(Ty, Unit.Descs, DescCache);
+}
+
+int32_t CodeGenerator::allocTemp() {
+  int32_t Slot = NextTemp++;
+  if (static_cast<uint32_t>(NextTemp) > Unit.FrameSize)
+    Unit.FrameSize = static_cast<uint32_t>(NextTemp);
+  return Slot;
+}
+
+//===----------------------------------------------------------------------===//
+// Unit scaffolding
+//===----------------------------------------------------------------------===//
+
+void CodeGenerator::beginUnit() {
+  Unit = CodeUnit();
+  DescCache.clear();
+  WithStack.clear();
+  LoopStack.clear();
+  Unit.Module = Module;
+  int32_t MaxSlot = -1;
+  for (const SymbolEntry *E : Self.entries())
+    if ((E->Kind == EntryKind::Var || E->Kind == EntryKind::Param) &&
+        !E->IsGlobal && E->Slot > MaxSlot)
+      MaxSlot = E->Slot;
+  NextTemp = MaxSlot + 1;
+  Unit.FrameSize = static_cast<uint32_t>(NextTemp);
+}
+
+void CodeGenerator::initAggregateLocals() {
+  for (const SymbolEntry *E : Self.entries()) {
+    if (E->Kind != EntryKind::Var || E->IsGlobal || !E->Ty)
+      continue;
+    const Type *Ty = E->Ty->stripSubrange();
+    if (Ty->is(TypeKind::Array) || Ty->is(TypeKind::Record)) {
+      emit(Opcode::PushAggregate, descFor(Ty));
+      emit(Opcode::StoreLocal, E->Slot);
+    }
+  }
+}
+
+CodeUnit CodeGenerator::takeUnit() {
+  if (Comp.Options.Optimize)
+    optimizeUnit(Unit);
+  return std::move(Unit);
+}
+
+CodeUnit CodeGenerator::generateProcedure(const SymbolEntry &Entry,
+                                          const StmtList &Body,
+                                          std::string QualifiedName,
+                                          uint32_t NestLevel, int64_t Weight) {
+  assert(Entry.Ty && Entry.Ty->is(TypeKind::Procedure) &&
+         "procedure entry without signature");
+  beginUnit();
+  Unit.Name = Entry.Name;
+  Unit.QualifiedName = std::move(QualifiedName);
+  Unit.ProcId = Entry.ProcId;
+  Unit.NestLevel = NestLevel;
+  Unit.Weight = Weight;
+  ResultType = Entry.Ty->result();
+  SawReturnValue = false;
+  for (const Type::Param &P : Entry.Ty->params()) {
+    const Type *Ty = P.Ty ? P.Ty->stripSubrange() : nullptr;
+    bool Agg = Ty && (Ty->is(TypeKind::Array) || Ty->is(TypeKind::OpenArray) ||
+                      Ty->is(TypeKind::Record));
+    Unit.Params.push_back(ParamDesc{P.IsVar, Agg});
+  }
+  initAggregateLocals();
+  genStmts(Body);
+  if (ResultType)
+    emit(Opcode::Trap, /*function fell off the end*/ 2);
+  else
+    emit(Opcode::Return);
+  return takeUnit();
+}
+
+CodeUnit CodeGenerator::generateModuleBody(const StmtList &Body,
+                                           int64_t Weight) {
+  beginUnit();
+  Unit.QualifiedName = spell(Module);
+  Unit.IsModuleBody = true;
+  Unit.NestLevel = 0;
+  Unit.Weight = Weight;
+  ResultType = nullptr;
+  genStmts(Body);
+  emit(Opcode::Return);
+  return takeUnit();
+}
+
+//===----------------------------------------------------------------------===//
+// Designators
+//===----------------------------------------------------------------------===//
+
+CodeGenerator::BaseRef CodeGenerator::resolveBase(const DesignatorExpr *D) {
+  BaseRef Ref;
+  // WITH scopes first: innermost wins (Table 2's "WITH" rows).
+  for (auto It = WithStack.rbegin(); It != WithStack.rend(); ++It) {
+    if (const Type::Field *F = It->RecordTy->findField(D->first())) {
+      Comp.Resolver.recordWithHit();
+      Ref.WithField = F;
+      Ref.WithTemp = It->AddrTemp;
+      return Ref;
+    }
+  }
+  Ref.Entry = Comp.Resolver.lookupSimple(Self, D->first());
+  if (!Ref.Entry) {
+    error(D->location(),
+          "undeclared identifier '" + spell(D->first()) + "'");
+    return Ref;
+  }
+  // Module qualification consumes the leading field selector.
+  if (Ref.Entry->Kind == EntryKind::Module && Ref.Entry->ModuleScope) {
+    if (D->selectors().empty() ||
+        D->selectors()[0].SelKind != Selector::Kind::Field) {
+      error(D->location(), "module name '" + spell(D->first()) +
+                               "' cannot be used as a value");
+      Ref.Entry = nullptr;
+      return Ref;
+    }
+    Symbol Member = D->selectors()[0].Field;
+    Ref.Entry =
+        Comp.Resolver.lookupQualified(*Ref.Entry->ModuleScope, Member);
+    Ref.SelectorsUsed = 1;
+    if (!Ref.Entry)
+      error(D->location(), "module '" + spell(D->first()) +
+                               "' does not export '" + spell(Member) + "'");
+  }
+  return Ref;
+}
+
+const Type *CodeGenerator::genEntryAddr(SymbolEntry &Entry,
+                                        SourceLocation Loc) {
+  if (Entry.Kind != EntryKind::Var && Entry.Kind != EntryKind::Param) {
+    error(Loc, "'" + spell(Entry.Name) + "' is not a variable");
+    return Comp.Types.errorType();
+  }
+  if (Entry.IsGlobal) {
+    emit(Opcode::LoadGlobalRef, internGlobal(Entry.OwningModule, Entry.Slot));
+    return Entry.Ty ? Entry.Ty : Comp.Types.errorType();
+  }
+  uint32_t OwnerLevel =
+      Entry.OwnerScope ? procedureLevel(*Entry.OwnerScope) : UnitLevel;
+  assert(OwnerLevel <= UnitLevel && "entry deeper than its user");
+  uint32_t Hops = UnitLevel - OwnerLevel;
+  if (Entry.IsVarParam) {
+    // The slot already holds an Address.
+    if (Hops == 0)
+      emit(Opcode::LoadLocal, Entry.Slot);
+    else
+      emit(Opcode::LoadEnclosing, Entry.Slot, Hops);
+  } else if (Hops == 0) {
+    emit(Opcode::LoadLocalRef, Entry.Slot);
+  } else {
+    emit(Opcode::LoadEnclosingRef, Entry.Slot, Hops);
+  }
+  return Entry.Ty ? Entry.Ty : Comp.Types.errorType();
+}
+
+const Type *CodeGenerator::pointeeOf(const Type *Ptr) {
+  const Type *Pointee = Ptr->element();
+  if (!Pointee && Ptr->readyEvent()) {
+    sched::ctx().charge(sched::CostKind::LookupBlocked);
+    sched::ctx().wait(*Ptr->readyEvent());
+    Pointee = Ptr->element();
+  }
+  return Pointee ? Pointee : Comp.Types.errorType();
+}
+
+const Type *CodeGenerator::genSelectors(const DesignatorExpr *D,
+                                        size_t FirstSelector,
+                                        const Type *BaseTy) {
+  const Type *Ty = BaseTy;
+  for (size_t I = FirstSelector; I < D->selectors().size(); ++I) {
+    const Selector &S = D->selectors()[I];
+    Ty = Ty->stripSubrange();
+    switch (S.SelKind) {
+    case Selector::Kind::Field: {
+      if (Ty->isError())
+        continue;
+      if (!Ty->is(TypeKind::Record)) {
+        error(S.Loc, "'.' selector applied to non-record type " +
+                         Ty->describe());
+        return Comp.Types.errorType();
+      }
+      // Field tables are explicitly designated search scopes — the
+      // "other" rows of Table 2.
+      SymbolEntry *Field =
+          Comp.Resolver.lookupDesignated(*Ty->fieldScope(), S.Field);
+      if (!Field) {
+        error(S.Loc, "record has no field named '" + spell(S.Field) + "'");
+        return Comp.Types.errorType();
+      }
+      emit(Opcode::FieldAddr, Field->Slot);
+      Ty = Field->Ty ? Field->Ty : Comp.Types.errorType();
+      break;
+    }
+    case Selector::Kind::Index: {
+      for (Expr *Index : S.Indexes) {
+        Ty = Ty->stripSubrange();
+        if (Ty->isError())
+          continue;
+        if (!Ty->is(TypeKind::Array) && !Ty->is(TypeKind::OpenArray)) {
+          error(S.Loc, "indexing applied to non-array type " +
+                           Ty->describe());
+          return Comp.Types.errorType();
+        }
+        const Type *IndexTy = genExpr(Index);
+        if (!IndexTy->isError() && !IndexTy->isOrdinal())
+          error(Index->location(), "array index must be ordinal, got " +
+                                       IndexTy->describe());
+        if (Ty->is(TypeKind::Array))
+          emit(Opcode::IndexAddr, Ty->low(), Ty->length());
+        else
+          emit(Opcode::IndexAddr, 0, -1);
+        Ty = Ty->element() ? Ty->element() : Comp.Types.errorType();
+      }
+      break;
+    }
+    case Selector::Kind::Deref: {
+      if (Ty->isError())
+        continue;
+      if (Ty->is(TypeKind::Opaque)) {
+        error(S.Loc, "cannot dereference a value of opaque type " +
+                         Ty->describe());
+        return Comp.Types.errorType();
+      }
+      if (!Ty->is(TypeKind::Pointer)) {
+        error(S.Loc, "'^' applied to non-pointer type " + Ty->describe());
+        return Comp.Types.errorType();
+      }
+      emit(Opcode::LoadIndirect); // pointer value
+      emit(Opcode::DerefAddr);
+      Ty = pointeeOf(Ty);
+      break;
+    }
+    }
+  }
+  return Ty;
+}
+
+const Type *CodeGenerator::genAddr(const DesignatorExpr *D) {
+  BaseRef Ref = resolveBase(D);
+  if (Ref.WithField) {
+    emit(Opcode::LoadLocal, Ref.WithTemp); // the saved record address
+    emit(Opcode::FieldAddr, Ref.WithField->Index);
+    return genSelectors(D, 0, Ref.WithField->Ty);
+  }
+  if (!Ref.Entry)
+    return Comp.Types.errorType();
+  const Type *BaseTy = genEntryAddr(*Ref.Entry, D->location());
+  return genSelectors(D, Ref.SelectorsUsed, BaseTy);
+}
+
+const Type *CodeGenerator::genDesignatorValue(const DesignatorExpr *D) {
+  BaseRef Ref = resolveBase(D);
+  if (Ref.WithField) {
+    emit(Opcode::LoadLocal, Ref.WithTemp);
+    emit(Opcode::FieldAddr, Ref.WithField->Index);
+    const Type *Ty = genSelectors(D, 0, Ref.WithField->Ty);
+    emit(Opcode::LoadIndirect);
+    return Ty;
+  }
+  if (!Ref.Entry)
+    return Comp.Types.errorType();
+  SymbolEntry &Entry = *Ref.Entry;
+
+  switch (Entry.Kind) {
+  case EntryKind::Const:
+  case EntryKind::EnumLiteral:
+    if (Ref.SelectorsUsed != D->selectors().size()) {
+      error(D->location(), "selectors applied to a constant");
+      return Comp.Types.errorType();
+    }
+    pushConst(Entry.Value);
+    return Entry.Ty ? Entry.Ty : Comp.Types.errorType();
+
+  case EntryKind::Proc: {
+    if (Entry.isBuiltin()) {
+      error(D->location(), "builtin procedure '" + spell(Entry.Name) +
+                               "' cannot be used as a value");
+      return Comp.Types.errorType();
+    }
+    if (Ref.SelectorsUsed != D->selectors().size()) {
+      error(D->location(), "selectors applied to a procedure");
+      return Comp.Types.errorType();
+    }
+    uint32_t OwnerLevel =
+        Entry.OwnerScope ? procedureLevel(*Entry.OwnerScope) : 0;
+    if (OwnerLevel != 0) {
+      error(D->location(),
+            "nested procedures cannot be used as procedure values");
+      return Comp.Types.errorType();
+    }
+    Symbol Name = Comp.Interner.intern(
+        moduleRelativeName(Entry, Comp.Interner));
+    emit(Opcode::PushProc, internCallee(Entry.OwningModule, Name));
+    return Entry.Ty;
+  }
+
+  case EntryKind::Var:
+  case EntryKind::Param: {
+    // Fast path: unselected plain local.
+    if (Ref.SelectorsUsed == D->selectors().size() && !Entry.IsGlobal &&
+        !Entry.IsVarParam && Entry.OwnerScope &&
+        procedureLevel(*Entry.OwnerScope) == UnitLevel) {
+      emit(Opcode::LoadLocal, Entry.Slot);
+      return Entry.Ty ? Entry.Ty : Comp.Types.errorType();
+    }
+    if (Ref.SelectorsUsed == D->selectors().size() && Entry.IsGlobal &&
+        !Entry.IsVarParam) {
+      emit(Opcode::LoadGlobal,
+           internGlobal(Entry.OwningModule, Entry.Slot));
+      return Entry.Ty ? Entry.Ty : Comp.Types.errorType();
+    }
+    const Type *BaseTy = genEntryAddr(Entry, D->location());
+    const Type *Ty = genSelectors(D, Ref.SelectorsUsed, BaseTy);
+    emit(Opcode::LoadIndirect);
+    return Ty;
+  }
+
+  case EntryKind::Type:
+    error(D->location(),
+          "type name '" + spell(Entry.Name) + "' cannot be used as a value");
+    return Comp.Types.errorType();
+  case EntryKind::Module:
+  case EntryKind::Field:
+    error(D->location(), "invalid use of '" + spell(Entry.Name) + "'");
+    return Comp.Types.errorType();
+  }
+  return Comp.Types.errorType();
+}
+
+void CodeGenerator::pushConst(const ConstValue &V) {
+  switch (V.ValueKind) {
+  case ConstValue::Kind::Int:
+  case ConstValue::Kind::Bool:
+  case ConstValue::Kind::Char:
+    emit(Opcode::PushInt, V.Int);
+    return;
+  case ConstValue::Kind::Real:
+    emit(Opcode::PushReal, 0, 0, V.Real);
+    return;
+  case ConstValue::Kind::String:
+    emit(Opcode::PushStr, internString(V.Str));
+    return;
+  case ConstValue::Kind::Set:
+    emit(Opcode::PushSet, static_cast<int64_t>(V.SetBits));
+    return;
+  case ConstValue::Kind::Nil:
+    emit(Opcode::PushNil);
+    return;
+  case ConstValue::Kind::None:
+    emit(Opcode::PushInt, 0); // after an error; keep the stack balanced
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Type *CodeGenerator::genExpr(const Expr *E) {
+  sched::ctx().charge(sched::CostKind::StmtNode);
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    emit(Opcode::PushInt, static_cast<const IntLitExpr *>(E)->value());
+    return Comp.Types.integerType();
+  case ExprKind::RealLit:
+    emit(Opcode::PushReal, 0, 0, static_cast<const RealLitExpr *>(E)->value());
+    return Comp.Types.realType();
+  case ExprKind::CharLit:
+    emit(Opcode::PushInt,
+         static_cast<unsigned char>(
+             static_cast<const CharLitExpr *>(E)->value()));
+    return Comp.Types.charType();
+  case ExprKind::StringLit: {
+    Symbol S = static_cast<const StringLitExpr *>(E)->value();
+    emit(Opcode::PushStr, internString(S));
+    return Comp.Types.getString(
+        static_cast<int64_t>(Comp.Interner.spelling(S).size()));
+  }
+  case ExprKind::Designator:
+    return genDesignatorValue(static_cast<const DesignatorExpr *>(E));
+  case ExprKind::Call:
+    return genCall(static_cast<const CallExpr *>(E), /*AsStatement=*/false);
+  case ExprKind::Unary:
+    return genUnary(static_cast<const UnaryExpr *>(E));
+  case ExprKind::Binary:
+    return genBinary(static_cast<const BinaryExpr *>(E));
+  case ExprKind::SetConstructor:
+    return genSetConstructor(static_cast<const SetConstructorExpr *>(E));
+  }
+  return Comp.Types.errorType();
+}
+
+const Type *CodeGenerator::genUnary(const UnaryExpr *U) {
+  const Type *Ty = genExpr(U->operand());
+  const Type *Base = Ty->stripSubrange();
+  switch (U->op()) {
+  case UnaryOp::Plus:
+    if (!Base->isError() && !Base->isNumeric())
+      error(U->location(), "unary '+' requires a numeric operand");
+    return Ty;
+  case UnaryOp::Minus:
+    if (Base->is(TypeKind::Real)) {
+      emit(Opcode::NegReal);
+      return Base;
+    }
+    if (Base->is(TypeKind::Integer) || Base->is(TypeKind::Cardinal)) {
+      emit(Opcode::NegInt);
+      return Comp.Types.integerType();
+    }
+    if (!Base->isError())
+      error(U->location(), "unary '-' requires a numeric operand, got " +
+                               Ty->describe());
+    return Comp.Types.errorType();
+  case UnaryOp::Not:
+    if (!Base->isError() && !Base->is(TypeKind::Boolean))
+      error(U->location(), "NOT requires a BOOLEAN operand, got " +
+                               Ty->describe());
+    emit(Opcode::NotBool);
+    return Comp.Types.booleanType();
+  }
+  return Comp.Types.errorType();
+}
+
+const Type *CodeGenerator::genBinary(const BinaryExpr *B) {
+  // Short-circuit boolean connectives first.
+  if (B->op() == BinaryOp::And || B->op() == BinaryOp::Or) {
+    bool IsAnd = B->op() == BinaryOp::And;
+    const Type *L = genExpr(B->lhs());
+    if (!L->isError() && !L->stripSubrange()->is(TypeKind::Boolean))
+      error(B->lhs()->location(),
+            std::string(IsAnd ? "AND" : "OR") + " requires BOOLEAN operands");
+    size_t Shortcut =
+        emit(IsAnd ? Opcode::JumpIfFalse : Opcode::JumpIfTrue);
+    const Type *R = genExpr(B->rhs());
+    if (!R->isError() && !R->stripSubrange()->is(TypeKind::Boolean))
+      error(B->rhs()->location(),
+            std::string(IsAnd ? "AND" : "OR") + " requires BOOLEAN operands");
+    size_t Skip = emit(Opcode::Jump);
+    patchTarget(Shortcut);
+    emit(Opcode::PushInt, IsAnd ? 0 : 1);
+    patchTarget(Skip);
+    return Comp.Types.booleanType();
+  }
+
+  if (B->op() == BinaryOp::In) {
+    const Type *Elem = genExpr(B->lhs());
+    const Type *SetTy = genExpr(B->rhs());
+    const Type *SetBase = SetTy->stripSubrange();
+    if (!SetBase->isError() && !SetBase->is(TypeKind::Set) &&
+        !SetBase->is(TypeKind::BitSet))
+      error(B->location(), "IN requires a set right operand, got " +
+                               SetTy->describe());
+    if (!Elem->isError() && !Elem->isOrdinal())
+      error(B->lhs()->location(), "IN requires an ordinal left operand");
+    emit(Opcode::SetIn);
+    return Comp.Types.booleanType();
+  }
+
+  const Type *L = genExpr(B->lhs());
+  const Type *R = genExpr(B->rhs());
+  const Type *LB = L->stripSubrange();
+  const Type *RB = R->stripSubrange();
+  if (LB->isError() || RB->isError())
+    return Comp.Types.errorType();
+
+  if (!TypeContext::compatible(L, R)) {
+    error(B->location(), "operands of '" +
+                             std::string(binaryOpSpelling(B->op())) +
+                             "' have incompatible types " + L->describe() +
+                             " and " + R->describe());
+    return Comp.Types.errorType();
+  }
+
+  bool Sets = LB->is(TypeKind::Set) || LB->is(TypeKind::BitSet);
+  bool Reals = LB->is(TypeKind::Real);
+  bool Ints = LB->is(TypeKind::Integer) || LB->is(TypeKind::Cardinal);
+  bool Ordinals = LB->isOrdinal();
+  bool Pointers = LB->is(TypeKind::Pointer) || LB->is(TypeKind::Nil) ||
+                  LB->is(TypeKind::Opaque) || LB->is(TypeKind::Procedure) ||
+                  RB->is(TypeKind::Nil);
+
+  switch (B->op()) {
+  case BinaryOp::Add:
+    if (Sets) {
+      emit(Opcode::SetUnion);
+      return LB;
+    }
+    if (Reals) {
+      emit(Opcode::AddReal);
+      return LB;
+    }
+    if (Ints) {
+      emit(Opcode::AddInt);
+      return Comp.Types.integerType();
+    }
+    break;
+  case BinaryOp::Sub:
+    if (Sets) {
+      emit(Opcode::SetDiff);
+      return LB;
+    }
+    if (Reals) {
+      emit(Opcode::SubReal);
+      return LB;
+    }
+    if (Ints) {
+      emit(Opcode::SubInt);
+      return Comp.Types.integerType();
+    }
+    break;
+  case BinaryOp::Mul:
+    if (Sets) {
+      emit(Opcode::SetIntersect);
+      return LB;
+    }
+    if (Reals) {
+      emit(Opcode::MulReal);
+      return LB;
+    }
+    if (Ints) {
+      emit(Opcode::MulInt);
+      return Comp.Types.integerType();
+    }
+    break;
+  case BinaryOp::RealDiv:
+    if (Sets) {
+      emit(Opcode::SetSymDiff);
+      return LB;
+    }
+    if (Reals) {
+      emit(Opcode::DivReal);
+      return LB;
+    }
+    if (Ints) {
+      error(B->location(), "'/' requires REAL operands; use DIV for "
+                           "integers");
+      return Comp.Types.errorType();
+    }
+    break;
+  case BinaryOp::IntDiv:
+    if (Ints) {
+      emit(Opcode::DivInt);
+      return Comp.Types.integerType();
+    }
+    break;
+  case BinaryOp::Mod:
+    if (Ints) {
+      emit(Opcode::ModInt);
+      return Comp.Types.integerType();
+    }
+    break;
+  case BinaryOp::Equal:
+  case BinaryOp::NotEqual: {
+    bool Eq = B->op() == BinaryOp::Equal;
+    if (Pointers) {
+      emit(Eq ? Opcode::CmpEqPtr : Opcode::CmpNePtr);
+      return Comp.Types.booleanType();
+    }
+    if (Reals) {
+      emit(Eq ? Opcode::CmpEqReal : Opcode::CmpNeReal);
+      return Comp.Types.booleanType();
+    }
+    if (Ordinals || Sets) {
+      emit(Eq ? Opcode::CmpEqInt : Opcode::CmpNeInt);
+      return Comp.Types.booleanType();
+    }
+    break;
+  }
+  case BinaryOp::Less:
+  case BinaryOp::LessEq:
+  case BinaryOp::Greater:
+  case BinaryOp::GreaterEq: {
+    // Set inclusion: A <= B iff A - B = {}.
+    if (Sets && (B->op() == BinaryOp::LessEq ||
+                 B->op() == BinaryOp::GreaterEq)) {
+      if (B->op() == BinaryOp::GreaterEq) {
+        // A >= B iff B - A = {}.  The operands sit on the stack as A B;
+        // swap them through temporaries before the difference.
+        int32_t TmpB = allocTemp();
+        emit(Opcode::StoreLocal, TmpB); // B
+        int32_t TmpA = allocTemp();
+        emit(Opcode::StoreLocal, TmpA); // A
+        emit(Opcode::LoadLocal, TmpB);
+        emit(Opcode::LoadLocal, TmpA);
+        emit(Opcode::SetDiff); // B - A
+        emit(Opcode::PushSet, 0);
+        emit(Opcode::CmpEqInt);
+        return Comp.Types.booleanType();
+      }
+      emit(Opcode::SetDiff); // A - B
+      emit(Opcode::PushSet, 0);
+      emit(Opcode::CmpEqInt);
+      return Comp.Types.booleanType();
+    }
+    Opcode IntOp, RealOp;
+    switch (B->op()) {
+    case BinaryOp::Less:
+      IntOp = Opcode::CmpLtInt;
+      RealOp = Opcode::CmpLtReal;
+      break;
+    case BinaryOp::LessEq:
+      IntOp = Opcode::CmpLeInt;
+      RealOp = Opcode::CmpLeReal;
+      break;
+    case BinaryOp::Greater:
+      IntOp = Opcode::CmpGtInt;
+      RealOp = Opcode::CmpGtReal;
+      break;
+    default:
+      IntOp = Opcode::CmpGeInt;
+      RealOp = Opcode::CmpGeReal;
+      break;
+    }
+    if (Reals) {
+      emit(RealOp);
+      return Comp.Types.booleanType();
+    }
+    if (Ordinals) {
+      emit(IntOp);
+      return Comp.Types.booleanType();
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  error(B->location(), "operator '" +
+                           std::string(binaryOpSpelling(B->op())) +
+                           "' is not defined for operands of type " +
+                           L->describe());
+  return Comp.Types.errorType();
+}
+
+const Type *CodeGenerator::genSetConstructor(const SetConstructorExpr *S) {
+  const Type *Ty = Comp.Types.bitsetType();
+  if (!S->typeName().isEmpty()) {
+    SymbolEntry *Entry = Comp.Resolver.lookupSimple(Self, S->typeName());
+    if (Entry && Entry->Kind == EntryKind::Type && Entry->Ty &&
+        (Entry->Ty->is(TypeKind::Set) || Entry->Ty->is(TypeKind::BitSet))) {
+      Ty = Entry->Ty;
+    } else {
+      error(S->location(),
+            "'" + spell(S->typeName()) + "' is not a set type");
+    }
+  }
+  emit(Opcode::PushSet, 0);
+  for (const SetElement &El : S->elements()) {
+    const Type *LoTy = genExpr(El.Lo);
+    if (!LoTy->isError() && !LoTy->isOrdinal())
+      error(El.Lo->location(), "set element must be ordinal");
+    if (El.Hi) {
+      const Type *HiTy = genExpr(El.Hi);
+      if (!HiTy->isError() && !HiTy->isOrdinal())
+        error(El.Hi->location(), "set element must be ordinal");
+      emit(Opcode::SetAddRange);
+    } else {
+      emit(Opcode::SetAddBit);
+    }
+  }
+  return Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+const Type *CodeGenerator::genCall(const CallExpr *C, bool AsStatement) {
+  if (C->callee()->kind() != ExprKind::Designator) {
+    error(C->location(), "called expression is not a procedure");
+    return Comp.Types.errorType();
+  }
+  const auto *D = static_cast<const DesignatorExpr *>(C->callee());
+  BaseRef Ref = resolveBase(D);
+
+  // Indirect call through a procedure-typed variable or field.
+  auto IndirectCall = [&](const Type *ProcTy) -> const Type * {
+    if (!ProcTy->is(TypeKind::Procedure)) {
+      error(C->location(), "called object has non-procedure type " +
+                               ProcTy->describe());
+      return Comp.Types.errorType();
+    }
+    if (C->args().size() != ProcTy->params().size()) {
+      error(C->location(),
+            "call supplies " + std::to_string(C->args().size()) +
+                " argument(s); procedure type takes " +
+                std::to_string(ProcTy->params().size()));
+      return Comp.Types.errorType();
+    }
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      const Type::Param &P = ProcTy->params()[I];
+      if (P.IsVar) {
+        if (C->args()[I]->kind() != ExprKind::Designator) {
+          error(C->args()[I]->location(),
+                "VAR argument must be a designator");
+          emit(Opcode::PushInt, 0);
+          continue;
+        }
+        genAddr(static_cast<const DesignatorExpr *>(C->args()[I]));
+      } else {
+        const Type *ArgTy = genExpr(C->args()[I]);
+        if (!TypeContext::assignable(P.Ty, ArgTy))
+          error(C->args()[I]->location(),
+                "argument type " + ArgTy->describe() +
+                    " does not match parameter type " +
+                    (P.Ty ? P.Ty->describe() : "?"));
+      }
+    }
+    emit(Opcode::CallIndirect, 0, static_cast<int64_t>(C->args().size()));
+    const Type *Result = ProcTy->result();
+    if (AsStatement && Result)
+      error(C->location(), "function result is discarded");
+    if (!AsStatement && !Result) {
+      error(C->location(), "proper procedure used in an expression");
+      return Comp.Types.errorType();
+    }
+    return Result ? Result : Comp.Types.errorType();
+  };
+
+  if (Ref.WithField) {
+    emit(Opcode::LoadLocal, Ref.WithTemp);
+    emit(Opcode::FieldAddr, Ref.WithField->Index);
+    const Type *Ty = genSelectors(D, 0, Ref.WithField->Ty);
+    emit(Opcode::LoadIndirect);
+    return IndirectCall(Ty->stripSubrange());
+  }
+  if (!Ref.Entry)
+    return Comp.Types.errorType();
+  SymbolEntry &Entry = *Ref.Entry;
+
+  if (Entry.Kind == EntryKind::Proc && Entry.isBuiltin())
+    return genBuiltinCall(static_cast<BuiltinProc>(Entry.BuiltinId), C,
+                          AsStatement);
+
+  // Type conversion T(x).
+  if (Entry.Kind == EntryKind::Type) {
+    if (Ref.SelectorsUsed != D->selectors().size() || C->args().size() != 1) {
+      error(C->location(), "type conversion takes exactly one argument");
+      return Comp.Types.errorType();
+    }
+    const Type *Target = Entry.Ty;
+    const Type *ArgTy = genExpr(C->args()[0]);
+    const Type *TB = Target->stripSubrange();
+    const Type *AB = ArgTy->stripSubrange();
+    if (AB->isError() || TB->isError())
+      return Comp.Types.errorType();
+    if (TB->isOrdinal() && AB->isOrdinal()) {
+      if (Target->is(TypeKind::Subrange))
+        emit(Opcode::CheckRange, Target->low(), Target->high());
+      return Target;
+    }
+    error(C->location(), "unsupported type conversion from " +
+                             ArgTy->describe() + " to " +
+                             Target->describe() +
+                             " (use FLOAT/TRUNC for REAL conversions)");
+    return Comp.Types.errorType();
+  }
+
+  if (Entry.Kind == EntryKind::Proc) {
+    if (Ref.SelectorsUsed != D->selectors().size()) {
+      error(C->location(), "selectors applied to a procedure call");
+      return Comp.Types.errorType();
+    }
+    const Type *Sig = Entry.Ty;
+    assert(Sig && Sig->is(TypeKind::Procedure) && "proc entry w/o signature");
+    if (C->args().size() != Sig->params().size()) {
+      error(C->location(),
+            "procedure '" + spell(Entry.Name) + "' takes " +
+                std::to_string(Sig->params().size()) + " argument(s), " +
+                std::to_string(C->args().size()) + " given");
+      return Comp.Types.errorType();
+    }
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      const Type::Param &P = Sig->params()[I];
+      if (P.IsVar) {
+        if (C->args()[I]->kind() != ExprKind::Designator) {
+          error(C->args()[I]->location(),
+                "VAR argument must be a designator");
+          emit(Opcode::PushInt, 0);
+          continue;
+        }
+        const Type *ArgTy =
+            genAddr(static_cast<const DesignatorExpr *>(C->args()[I]));
+        const Type *Want = P.IsOpenArray && P.Ty ? P.Ty->element() : nullptr;
+        if (P.IsOpenArray) {
+          const Type *Elem = ArgTy->stripSubrange()->element();
+          if (!ArgTy->stripSubrange()->is(TypeKind::Array) ||
+              !TypeContext::same(Elem, Want))
+            if (!ArgTy->isError())
+              error(C->args()[I]->location(),
+                    "VAR open-array argument must be an array of the "
+                    "element type");
+        } else if (!ArgTy->isError() && !TypeContext::same(ArgTy, P.Ty) &&
+                   !TypeContext::assignable(P.Ty, ArgTy)) {
+          error(C->args()[I]->location(),
+                "VAR argument type " + ArgTy->describe() +
+                    " does not match parameter type " +
+                    (P.Ty ? P.Ty->describe() : "?"));
+        }
+      } else {
+        const Type *ArgTy = genExpr(C->args()[I]);
+        const Type *Want = P.Ty;
+        bool Ok;
+        if (P.IsOpenArray) {
+          const Type *AB = ArgTy->stripSubrange();
+          Ok = (AB->is(TypeKind::Array) || AB->is(TypeKind::OpenArray) ||
+                AB->is(TypeKind::String)) &&
+               (AB->is(TypeKind::String)
+                    ? Want->element()->stripSubrange()->is(TypeKind::Char)
+                    : TypeContext::same(AB->element(), Want->element()));
+        } else {
+          Ok = TypeContext::assignable(Want, ArgTy);
+        }
+        if (!Ok && !ArgTy->isError())
+          error(C->args()[I]->location(),
+                "argument type " + ArgTy->describe() +
+                    " does not match parameter type " +
+                    (Want ? Want->describe() : "?"));
+      }
+    }
+    uint32_t OwnerLevel =
+        Entry.OwnerScope ? procedureLevel(*Entry.OwnerScope) : 0;
+    int64_t Hops = OwnerLevel == 0
+                       ? -1
+                       : static_cast<int64_t>(UnitLevel) - OwnerLevel;
+    Symbol Name =
+        Comp.Interner.intern(moduleRelativeName(Entry, Comp.Interner));
+    emit(Opcode::Call, internCallee(Entry.OwningModule, Name), Hops);
+    const Type *Result = Sig->result();
+    if (AsStatement && Result)
+      error(C->location(), "function result is discarded");
+    if (!AsStatement && !Result) {
+      error(C->location(), "proper procedure '" + spell(Entry.Name) +
+                               "' used in an expression");
+      return Comp.Types.errorType();
+    }
+    return Result ? Result : Comp.Types.errorType();
+  }
+
+  // Procedure-typed variable/parameter.
+  if (Entry.Kind == EntryKind::Var || Entry.Kind == EntryKind::Param) {
+    const Type *Ty = genDesignatorValue(D);
+    return IndirectCall(Ty->stripSubrange());
+  }
+
+  error(C->location(), "'" + spell(D->first()) + "' is not callable");
+  return Comp.Types.errorType();
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin procedures
+//===----------------------------------------------------------------------===//
+
+const Type *CodeGenerator::genBuiltinCall(BuiltinProc Builtin,
+                                          const CallExpr *C,
+                                          bool AsStatement) {
+  const auto &Args = C->args();
+  auto ArgCountIs = [&](size_t Min, size_t Max) {
+    if (Args.size() >= Min && Args.size() <= Max)
+      return true;
+    error(C->location(), std::string("wrong number of arguments to ") +
+                             builtinProcName(Builtin));
+    return false;
+  };
+  auto Err = [&]() { return Comp.Types.errorType(); };
+  auto StatementOnly = [&]() {
+    if (!AsStatement)
+      error(C->location(), std::string(builtinProcName(Builtin)) +
+                               " does not return a value");
+  };
+  auto FunctionOnly = [&]() {
+    if (AsStatement)
+      error(C->location(), std::string("function ") +
+                               builtinProcName(Builtin) +
+                               "'s result is discarded");
+  };
+  auto GenOrdinalArg = [&](size_t I) {
+    const Type *Ty = genExpr(Args[I]);
+    if (!Ty->isError() && !Ty->isOrdinal())
+      error(Args[I]->location(), "ordinal argument expected");
+    return Ty;
+  };
+  auto GenAddrArg = [&](size_t I) -> const Type * {
+    if (Args[I]->kind() != ExprKind::Designator) {
+      error(Args[I]->location(), "variable argument expected");
+      emit(Opcode::PushInt, 0);
+      return Err();
+    }
+    return genAddr(static_cast<const DesignatorExpr *>(Args[I]));
+  };
+  /// Resolves an argument that must be a type name (MIN/MAX/VAL/SIZE).
+  auto TypeArg = [&](size_t I) -> const Type * {
+    if (Args[I]->kind() == ExprKind::Designator) {
+      const auto *D = static_cast<const DesignatorExpr *>(Args[I]);
+      BaseRef Ref = resolveBase(D);
+      if (Ref.Entry && Ref.Entry->Kind == EntryKind::Type &&
+          Ref.SelectorsUsed == D->selectors().size())
+        return Ref.Entry->Ty;
+    }
+    return nullptr;
+  };
+
+  switch (Builtin) {
+  case BuiltinProc::Abs: {
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = genExpr(Args[0]);
+    const Type *Base = Ty->stripSubrange();
+    if (Base->is(TypeKind::Real)) {
+      emit(Opcode::AbsReal);
+      return Base;
+    }
+    if (Base->is(TypeKind::Integer) || Base->is(TypeKind::Cardinal)) {
+      emit(Opcode::AbsInt);
+      return Comp.Types.integerType();
+    }
+    if (!Base->isError())
+      error(Args[0]->location(), "ABS requires a numeric argument");
+    return Err();
+  }
+  case BuiltinProc::Cap:
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    genExpr(Args[0]);
+    emit(Opcode::Cap);
+    return Comp.Types.charType();
+  case BuiltinProc::Chr:
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    GenOrdinalArg(0);
+    emit(Opcode::CheckRange, 0, 255);
+    return Comp.Types.charType();
+  case BuiltinProc::Ord:
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    GenOrdinalArg(0);
+    return Comp.Types.cardinalType();
+  case BuiltinProc::Float:
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    GenOrdinalArg(0);
+    emit(Opcode::IntToReal);
+    return Comp.Types.realType();
+  case BuiltinProc::Trunc: {
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = genExpr(Args[0]);
+    if (!Ty->isError() && !Ty->stripSubrange()->is(TypeKind::Real))
+      error(Args[0]->location(), "TRUNC requires a REAL argument");
+    emit(Opcode::RealToInt);
+    return Comp.Types.cardinalType();
+  }
+  case BuiltinProc::Odd:
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    GenOrdinalArg(0);
+    emit(Opcode::Odd);
+    return Comp.Types.booleanType();
+  case BuiltinProc::High: {
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    if (Args[0]->kind() != ExprKind::Designator) {
+      error(Args[0]->location(), "HIGH requires an array variable");
+      return Err();
+    }
+    const Type *Ty = genExpr(Args[0]);
+    const Type *Base = Ty->stripSubrange();
+    if (Base->is(TypeKind::Array)) {
+      emit(Opcode::Pop);
+      emit(Opcode::PushInt, Base->high());
+      return Comp.Types.cardinalType();
+    }
+    if (Base->is(TypeKind::OpenArray)) {
+      emit(Opcode::ArrayHigh);
+      return Comp.Types.cardinalType();
+    }
+    if (!Base->isError())
+      error(Args[0]->location(), "HIGH requires an array, got " +
+                                     Ty->describe());
+    return Err();
+  }
+  case BuiltinProc::Min:
+  case BuiltinProc::Max: {
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = TypeArg(0);
+    if (!Ty) {
+      error(Args[0]->location(), "MIN/MAX require a type name argument");
+      return Err();
+    }
+    bool IsMax = Builtin == BuiltinProc::Max;
+    if (Ty->is(TypeKind::Subrange)) {
+      emit(Opcode::PushInt, IsMax ? Ty->high() : Ty->low());
+      return Ty;
+    }
+    const Type *Base = Ty->stripSubrange();
+    switch (Base->kind()) {
+    case TypeKind::Integer:
+      emit(Opcode::PushInt, IsMax ? 2147483647LL : -2147483648LL);
+      return Ty;
+    case TypeKind::Cardinal:
+      emit(Opcode::PushInt, IsMax ? 4294967295LL : 0);
+      return Ty;
+    case TypeKind::Char:
+      emit(Opcode::PushInt, IsMax ? 255 : 0);
+      return Ty;
+    case TypeKind::Boolean:
+      emit(Opcode::PushInt, IsMax ? 1 : 0);
+      return Ty;
+    case TypeKind::Enum:
+      emit(Opcode::PushInt, IsMax ? Base->high() : 0);
+      return Ty;
+    case TypeKind::Real:
+      emit(Opcode::PushReal, 0, 0, IsMax ? DBL_MAX : -DBL_MAX);
+      return Ty;
+    default:
+      if (Ty->is(TypeKind::Subrange)) {
+        emit(Opcode::PushInt, IsMax ? Ty->high() : Ty->low());
+        return Ty;
+      }
+      error(Args[0]->location(), "MIN/MAX require a scalar type");
+      return Err();
+    }
+  }
+  case BuiltinProc::Size: {
+    FunctionOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = TypeArg(0);
+    if (!Ty && Args[0]->kind() == ExprKind::Designator) {
+      // SIZE(variable): compute statically without emitting loads.
+      const auto *D = static_cast<const DesignatorExpr *>(Args[0]);
+      BaseRef Ref = resolveBase(D);
+      if (Ref.Entry && Ref.Entry->Ty &&
+          Ref.SelectorsUsed == D->selectors().size())
+        Ty = Ref.Entry->Ty;
+    }
+    if (!Ty) {
+      error(Args[0]->location(), "SIZE requires a type or variable");
+      return Err();
+    }
+    // Storage units = flattened scalar slot count.
+    std::function<int64_t(const Type *)> SlotCount =
+        [&](const Type *T) -> int64_t {
+      T = T->stripSubrange();
+      if (T->is(TypeKind::Array))
+        return T->length() * SlotCount(T->element());
+      if (T->is(TypeKind::Record)) {
+        int64_t Sum = 0;
+        for (const Type::Field &F : T->fields())
+          Sum += SlotCount(F.Ty);
+        return Sum;
+      }
+      return 1;
+    };
+    emit(Opcode::PushInt, SlotCount(Ty));
+    return Comp.Types.cardinalType();
+  }
+  case BuiltinProc::Val: {
+    FunctionOnly();
+    if (!ArgCountIs(2, 2))
+      return Err();
+    const Type *Target = TypeArg(0);
+    if (!Target || !Target->isOrdinal()) {
+      error(Args[0]->location(), "VAL requires an ordinal type name");
+      Target = Comp.Types.errorType();
+    }
+    GenOrdinalArg(1);
+    if (Target->is(TypeKind::Subrange) || Target->is(TypeKind::Enum))
+      emit(Opcode::CheckRange, Target->low(), Target->high());
+    return Target;
+  }
+  case BuiltinProc::Inc:
+  case BuiltinProc::Dec: {
+    StatementOnly();
+    if (!ArgCountIs(1, 2))
+      return Err();
+    const Type *Ty = GenAddrArg(0);
+    if (!Ty->isError() && !Ty->isOrdinal())
+      error(Args[0]->location(), "INC/DEC require an ordinal variable");
+    if (Args.size() == 2)
+      GenOrdinalArg(1);
+    else
+      emit(Opcode::PushInt, 1);
+    if (Builtin == BuiltinProc::Dec)
+      emit(Opcode::NegInt);
+    emit(Opcode::IncAddr);
+    return nullptr;
+  }
+  case BuiltinProc::Incl:
+  case BuiltinProc::Excl: {
+    StatementOnly();
+    if (!ArgCountIs(2, 2))
+      return Err();
+    const Type *Ty = GenAddrArg(0);
+    const Type *Base = Ty->stripSubrange();
+    if (!Base->isError() && !Base->is(TypeKind::Set) &&
+        !Base->is(TypeKind::BitSet))
+      error(Args[0]->location(), "INCL/EXCL require a set variable");
+    GenOrdinalArg(1);
+    emit(Builtin == BuiltinProc::Incl ? Opcode::SetIncl : Opcode::SetExcl);
+    return nullptr;
+  }
+  case BuiltinProc::New: {
+    StatementOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = GenAddrArg(0);
+    const Type *Base = Ty->stripSubrange();
+    if (!Base->is(TypeKind::Pointer)) {
+      if (!Base->isError())
+        error(Args[0]->location(), "NEW requires a pointer variable");
+      emit(Opcode::Pop);
+      return nullptr;
+    }
+    emit(Opcode::NewCell, descFor(pointeeOf(Base)));
+    emit(Opcode::StoreIndirect);
+    return nullptr;
+  }
+  case BuiltinProc::Dispose: {
+    StatementOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = GenAddrArg(0);
+    if (!Ty->isError() && !Ty->stripSubrange()->is(TypeKind::Pointer))
+      error(Args[0]->location(), "DISPOSE requires a pointer variable");
+    emit(Opcode::DisposeCell);
+    return nullptr;
+  }
+  case BuiltinProc::Halt: {
+    StatementOnly();
+    if (!ArgCountIs(0, 1))
+      return Err();
+    int64_t Code = 1;
+    if (Args.size() == 1) {
+      ConstResult R = ConstEval.eval(Args[0]);
+      if (R.Value.ValueKind == ConstValue::Kind::Int)
+        Code = R.Value.Int;
+    }
+    emit(Opcode::Halt, Code);
+    return nullptr;
+  }
+  case BuiltinProc::WriteInt:
+  case BuiltinProc::WriteCard: {
+    StatementOnly();
+    if (!ArgCountIs(1, 2))
+      return Err();
+    GenOrdinalArg(0);
+    if (Args.size() == 2)
+      GenOrdinalArg(1);
+    else
+      emit(Opcode::PushInt, 0);
+    emit(Opcode::CallBuiltin, static_cast<int64_t>(Builtin), 2);
+    return nullptr;
+  }
+  case BuiltinProc::WriteReal: {
+    StatementOnly();
+    if (!ArgCountIs(1, 2))
+      return Err();
+    const Type *Ty = genExpr(Args[0]);
+    if (!Ty->isError() && !Ty->stripSubrange()->is(TypeKind::Real))
+      error(Args[0]->location(), "WriteReal requires a REAL argument");
+    if (Args.size() == 2)
+      GenOrdinalArg(1);
+    else
+      emit(Opcode::PushInt, 0);
+    emit(Opcode::CallBuiltin, static_cast<int64_t>(Builtin), 2);
+    return nullptr;
+  }
+  case BuiltinProc::WriteChar: {
+    StatementOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = genExpr(Args[0]);
+    if (!Ty->isError() && !Ty->stripSubrange()->is(TypeKind::Char))
+      error(Args[0]->location(), "WriteChar requires a CHAR argument");
+    emit(Opcode::CallBuiltin, static_cast<int64_t>(Builtin), 1);
+    return nullptr;
+  }
+  case BuiltinProc::WriteString: {
+    StatementOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = genExpr(Args[0]);
+    const Type *Base = Ty->stripSubrange();
+    bool Ok = Base->is(TypeKind::String) || Base->is(TypeKind::Char) ||
+              ((Base->is(TypeKind::Array) || Base->is(TypeKind::OpenArray)) &&
+               Base->element() &&
+               Base->element()->stripSubrange()->is(TypeKind::Char));
+    if (!Ok && !Base->isError())
+      error(Args[0]->location(),
+            "WriteString requires a string or character array");
+    emit(Opcode::CallBuiltin, static_cast<int64_t>(Builtin), 1);
+    return nullptr;
+  }
+  case BuiltinProc::WriteLn:
+    StatementOnly();
+    if (!ArgCountIs(0, 0))
+      return Err();
+    emit(Opcode::CallBuiltin, static_cast<int64_t>(Builtin), 0);
+    return nullptr;
+  case BuiltinProc::ReadInt: {
+    StatementOnly();
+    if (!ArgCountIs(1, 1))
+      return Err();
+    const Type *Ty = GenAddrArg(0);
+    if (!Ty->isError() && !Ty->isOrdinal())
+      error(Args[0]->location(), "ReadInt requires an ordinal variable");
+    emit(Opcode::CallBuiltin, static_cast<int64_t>(Builtin), 1);
+    return nullptr;
+  }
+  }
+  return Err();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void CodeGenerator::genStmts(const StmtList &Stmts) {
+  for (const Stmt *S : Stmts)
+    genStmt(S);
+}
+
+void CodeGenerator::genStmt(const Stmt *S) {
+  sched::ctx().charge(sched::CostKind::StmtNode);
+  switch (S->kind()) {
+  case StmtKind::Assign:
+    genAssign(static_cast<const AssignStmt *>(S));
+    return;
+  case StmtKind::ProcCall: {
+    const auto *PC = static_cast<const ProcCallStmt *>(S);
+    if (PC->call()->kind() == ExprKind::Call) {
+      genCall(static_cast<const CallExpr *>(PC->call()),
+              /*AsStatement=*/true);
+      return;
+    }
+    // A bare designator: a parameterless call.
+    if (PC->call()->kind() == ExprKind::Designator) {
+      CallExpr Synthetic(PC->location(), PC->call(), {});
+      genCall(&Synthetic, /*AsStatement=*/true);
+      return;
+    }
+    error(S->location(), "expression is not a statement");
+    return;
+  }
+  case StmtKind::If:
+    genIf(static_cast<const IfStmt *>(S));
+    return;
+  case StmtKind::While:
+    genWhile(static_cast<const WhileStmt *>(S));
+    return;
+  case StmtKind::Repeat:
+    genRepeat(static_cast<const RepeatStmt *>(S));
+    return;
+  case StmtKind::For:
+    genFor(static_cast<const ForStmt *>(S));
+    return;
+  case StmtKind::Loop:
+    genLoop(static_cast<const LoopStmt *>(S));
+    return;
+  case StmtKind::Exit: {
+    if (LoopStack.empty()) {
+      error(S->location(), "EXIT outside of a LOOP statement");
+      return;
+    }
+    LoopStack.back().push_back(emit(Opcode::Jump));
+    return;
+  }
+  case StmtKind::Return:
+    genReturn(static_cast<const ReturnStmt *>(S));
+    return;
+  case StmtKind::Case:
+    genCase(static_cast<const CaseStmt *>(S));
+    return;
+  case StmtKind::With:
+    genWith(static_cast<const WithStmt *>(S));
+    return;
+  case StmtKind::TryExcept: {
+    // Structural compilation: the body runs; EXCEPT handlers are analyzed
+    // and compiled but unreachable (our machine raises no exceptions);
+    // FINALLY handlers always run.
+    const auto *T = static_cast<const TryExceptStmt *>(S);
+    genStmts(T->body());
+    if (T->isFinally()) {
+      genStmts(T->handler());
+      return;
+    }
+    size_t Skip = emit(Opcode::Jump);
+    genStmts(T->handler());
+    patchTarget(Skip);
+    return;
+  }
+  case StmtKind::Lock: {
+    const auto *L = static_cast<const LockStmt *>(S);
+    genExpr(L->mutex());
+    emit(Opcode::Pop);
+    genStmts(L->body());
+    return;
+  }
+  }
+}
+
+void CodeGenerator::genCondition(const Expr *E) {
+  const Type *Ty = genExpr(E);
+  if (!Ty->isError() && !Ty->stripSubrange()->is(TypeKind::Boolean))
+    error(E->location(),
+          "condition must be BOOLEAN, got " + Ty->describe());
+}
+
+void CodeGenerator::genAssign(const AssignStmt *S) {
+  if (S->target()->kind() != ExprKind::Designator) {
+    error(S->location(), "assignment target is not a designator");
+    return;
+  }
+  const auto *D = static_cast<const DesignatorExpr *>(S->target());
+
+  // Fast path: plain local/global scalar target.
+  BaseRef Probe = resolveBase(D);
+  if (Probe.Entry &&
+      (Probe.Entry->Kind == EntryKind::Var ||
+       Probe.Entry->Kind == EntryKind::Param) &&
+      Probe.SelectorsUsed == D->selectors().size() &&
+      !Probe.Entry->IsVarParam) {
+    SymbolEntry &Entry = *Probe.Entry;
+    const Type *TargetTy = Entry.Ty ? Entry.Ty : Comp.Types.errorType();
+    const Type *ValueTy = genExpr(S->value());
+    if (!TypeContext::assignable(TargetTy, ValueTy))
+      error(S->location(), "cannot assign " + ValueTy->describe() + " to " +
+                               TargetTy->describe());
+    if (TargetTy->is(TypeKind::Subrange))
+      emit(Opcode::CheckRange, TargetTy->low(), TargetTy->high());
+    if (Entry.IsGlobal) {
+      emit(Opcode::StoreGlobal, internGlobal(Entry.OwningModule, Entry.Slot));
+      return;
+    }
+    uint32_t OwnerLevel =
+        Entry.OwnerScope ? procedureLevel(*Entry.OwnerScope) : UnitLevel;
+    if (OwnerLevel == UnitLevel)
+      emit(Opcode::StoreLocal, Entry.Slot);
+    else
+      emit(Opcode::StoreEnclosing, Entry.Slot, UnitLevel - OwnerLevel);
+    return;
+  }
+
+  // General path: address, value, indirect store.  resolveBase was
+  // side-effect-free (no code emitted), so re-resolving inside genAddr is
+  // safe; the duplicate lookup mirrors real symbol-table traffic.
+  const Type *TargetTy = genAddr(D);
+  const Type *ValueTy = genExpr(S->value());
+  if (!TypeContext::assignable(TargetTy, ValueTy))
+    error(S->location(), "cannot assign " + ValueTy->describe() + " to " +
+                             TargetTy->describe());
+  if (TargetTy->is(TypeKind::Subrange))
+    emit(Opcode::CheckRange, TargetTy->low(), TargetTy->high());
+  emit(Opcode::StoreIndirect);
+}
+
+void CodeGenerator::genIf(const IfStmt *S) {
+  std::vector<size_t> EndJumps;
+  for (const IfArm &Arm : S->arms()) {
+    genCondition(Arm.Cond);
+    size_t Next = emit(Opcode::JumpIfFalse);
+    genStmts(Arm.Body);
+    EndJumps.push_back(emit(Opcode::Jump));
+    patchTarget(Next);
+  }
+  genStmts(S->elseBody());
+  for (size_t J : EndJumps)
+    patchTarget(J);
+}
+
+void CodeGenerator::genWhile(const WhileStmt *S) {
+  size_t Head = Unit.Code.size();
+  genCondition(S->cond());
+  size_t ExitJump = emit(Opcode::JumpIfFalse);
+  genStmts(S->body());
+  emit(Opcode::Jump, static_cast<int64_t>(Head));
+  patchTarget(ExitJump);
+}
+
+void CodeGenerator::genRepeat(const RepeatStmt *S) {
+  size_t Head = Unit.Code.size();
+  genStmts(S->body());
+  genCondition(S->cond());
+  emit(Opcode::JumpIfFalse, static_cast<int64_t>(Head));
+}
+
+void CodeGenerator::genFor(const ForStmt *S) {
+  SymbolEntry *Var = Comp.Resolver.lookupSimple(Self, S->var());
+  if (!Var || (Var->Kind != EntryKind::Var && Var->Kind != EntryKind::Param)) {
+    error(S->location(), "FOR control variable '" + spell(S->var()) +
+                             "' is not a variable");
+    return;
+  }
+  const Type *VarTy = Var->Ty ? Var->Ty : Comp.Types.errorType();
+  if (!VarTy->isError() && !VarTy->isOrdinal())
+    error(S->location(), "FOR control variable must be ordinal");
+
+  int64_t Step = 1;
+  if (S->by()) {
+    ConstResult R = ConstEval.eval(S->by());
+    if (R.Value.ValueKind == ConstValue::Kind::Int && R.Value.Int != 0)
+      Step = R.Value.Int;
+    else
+      error(S->by()->location(), "BY requires a nonzero constant");
+  }
+
+  // var := from
+  DesignatorExpr VarRef(S->location(), S->var());
+  genAddr(&VarRef);
+  const Type *FromTy = genExpr(S->from());
+  if (!TypeContext::assignable(VarTy, FromTy))
+    error(S->from()->location(), "FOR bounds do not match the control "
+                                 "variable's type");
+  emit(Opcode::StoreIndirect);
+
+  // limit temp
+  const Type *ToTy = genExpr(S->to());
+  if (!TypeContext::compatible(VarTy, ToTy))
+    error(S->to()->location(), "FOR limit does not match the control "
+                               "variable's type");
+  int32_t Limit = allocTemp();
+  emit(Opcode::StoreLocal, Limit);
+
+  size_t Head = Unit.Code.size();
+  genDesignatorValue(&VarRef);
+  emit(Opcode::LoadLocal, Limit);
+  emit(Step > 0 ? Opcode::CmpLeInt : Opcode::CmpGeInt);
+  size_t ExitJump = emit(Opcode::JumpIfFalse);
+  genStmts(S->body());
+  genAddr(&VarRef);
+  emit(Opcode::PushInt, Step);
+  emit(Opcode::IncAddr);
+  emit(Opcode::Jump, static_cast<int64_t>(Head));
+  patchTarget(ExitJump);
+}
+
+void CodeGenerator::genLoop(const LoopStmt *S) {
+  LoopStack.emplace_back();
+  size_t Head = Unit.Code.size();
+  genStmts(S->body());
+  emit(Opcode::Jump, static_cast<int64_t>(Head));
+  for (size_t J : LoopStack.back())
+    patchTarget(J);
+  LoopStack.pop_back();
+}
+
+void CodeGenerator::genCase(const CaseStmt *S) {
+  const Type *SubjectTy = genExpr(S->subject());
+  if (!SubjectTy->isError() && !SubjectTy->isOrdinal())
+    error(S->subject()->location(), "CASE subject must be ordinal");
+  int32_t Subject = allocTemp();
+  emit(Opcode::StoreLocal, Subject);
+
+  std::vector<size_t> EndJumps;
+  for (const CaseArm &Arm : S->arms()) {
+    std::vector<size_t> BodyJumps;
+    for (const CaseLabel &Label : Arm.Labels) {
+      auto Lo = ConstEval.evalOrdinal(Label.Lo);
+      auto Hi = Label.Hi ? ConstEval.evalOrdinal(Label.Hi) : Lo;
+      if (!Lo || !Hi)
+        continue;
+      if (*Lo == *Hi) {
+        emit(Opcode::LoadLocal, Subject);
+        emit(Opcode::PushInt, *Lo);
+        emit(Opcode::CmpEqInt);
+        BodyJumps.push_back(emit(Opcode::JumpIfTrue));
+      } else {
+        emit(Opcode::LoadLocal, Subject);
+        emit(Opcode::PushInt, *Lo);
+        emit(Opcode::CmpGeInt);
+        size_t Low = emit(Opcode::JumpIfFalse);
+        emit(Opcode::LoadLocal, Subject);
+        emit(Opcode::PushInt, *Hi);
+        emit(Opcode::CmpLeInt);
+        BodyJumps.push_back(emit(Opcode::JumpIfTrue));
+        patchTarget(Low);
+      }
+    }
+    size_t NextArm = emit(Opcode::Jump);
+    for (size_t J : BodyJumps)
+      patchTarget(J);
+    genStmts(Arm.Body);
+    EndJumps.push_back(emit(Opcode::Jump));
+    patchTarget(NextArm);
+  }
+  if (S->hasElse())
+    genStmts(S->elseBody());
+  else
+    emit(Opcode::Trap, /*case trap*/ 1);
+  for (size_t J : EndJumps)
+    patchTarget(J);
+}
+
+void CodeGenerator::genWith(const WithStmt *S) {
+  if (S->record()->kind() != ExprKind::Designator) {
+    error(S->location(), "WITH requires a record designator");
+    genStmts(S->body());
+    return;
+  }
+  const Type *Ty =
+      genAddr(static_cast<const DesignatorExpr *>(S->record()));
+  const Type *Base = Ty->stripSubrange();
+  if (!Base->is(TypeKind::Record)) {
+    if (!Base->isError())
+      error(S->location(), "WITH requires a record, got " + Ty->describe());
+    emit(Opcode::Pop);
+    genStmts(S->body());
+    return;
+  }
+  int32_t Temp = allocTemp();
+  emit(Opcode::StoreLocal, Temp);
+  WithStack.push_back(WithBinding{Base, Temp});
+  genStmts(S->body());
+  WithStack.pop_back();
+}
+
+void CodeGenerator::genReturn(const ReturnStmt *S) {
+  if (!S->value()) {
+    if (ResultType)
+      error(S->location(), "function must return a value");
+    emit(Opcode::Return);
+    return;
+  }
+  if (!ResultType) {
+    error(S->location(), "RETURN with a value in a proper procedure");
+    genExpr(S->value());
+    emit(Opcode::Pop);
+    emit(Opcode::Return);
+    return;
+  }
+  const Type *Ty = genExpr(S->value());
+  if (!TypeContext::assignable(ResultType, Ty))
+    error(S->location(), "return value type " + Ty->describe() +
+                             " does not match result type " +
+                             ResultType->describe());
+  SawReturnValue = true;
+  emit(Opcode::ReturnValue);
+}

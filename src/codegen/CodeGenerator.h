@@ -1,0 +1,160 @@
+//===--- CodeGenerator.h - Statement analysis and code emission -*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Statement-Analyzer/Code-Generator task: semantic analysis of
+/// statements is deferred out of the Parser/Declarations-Analyzer task
+/// and combined with code generation here, in one pass per stream (paper
+/// section 3) — by the time these tasks run there are "almost always
+/// enough of these tasks to ensure that all processors are fully
+/// utilized", so no further partitioning is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CODEGEN_CODEGENERATOR_H
+#define M2C_CODEGEN_CODEGENERATOR_H
+
+#include "ast/Decl.h"
+#include "codegen/MCode.h"
+#include "sema/Compilation.h"
+#include "sema/ConstEval.h"
+
+#include <unordered_map>
+
+namespace m2c::codegen {
+
+/// Generates the CodeUnit for one stream (a procedure or the module
+/// body), performing statement/expression semantic analysis as it goes.
+class CodeGenerator {
+public:
+  /// \p Self is the unit's scope (procedure scope with parameters and
+  /// locals declared, or the module scope for the body unit).
+  CodeGenerator(sema::Compilation &Comp, symtab::Scope &Self, Symbol Module);
+
+  /// Generates code for procedure \p Entry with body statements \p Body.
+  /// \p QualifiedName is "Mod.Outer.Inner"; \p NestLevel is 1 for
+  /// module-level procedures.
+  CodeUnit generateProcedure(const symtab::SymbolEntry &Entry,
+                             const ast::StmtList &Body,
+                             std::string QualifiedName, uint32_t NestLevel,
+                             int64_t Weight);
+
+  /// Generates the module body (initialization/main) unit.
+  CodeUnit generateModuleBody(const ast::StmtList &Body, int64_t Weight);
+
+private:
+  //===--- Emission helpers -----------------------------------------------===//
+  size_t emit(Opcode Op, int64_t A = 0, int64_t B = 0, double F = 0.0);
+  void patchTarget(size_t InstrIndex);
+  int32_t internCallee(Symbol Module, Symbol Name);
+  int32_t internGlobal(Symbol Module, int32_t Slot);
+  int32_t internString(Symbol S);
+  int32_t descFor(const sema::Type *Ty);
+  int32_t allocTemp();
+
+  //===--- Unit scaffolding -----------------------------------------------===//
+  void beginUnit();
+  void initAggregateLocals();
+  CodeUnit takeUnit();
+
+  //===--- Expressions ----------------------------------------------------===//
+  const sema::Type *genExpr(const ast::Expr *E);
+  const sema::Type *genDesignatorValue(const ast::DesignatorExpr *D);
+  const sema::Type *genCall(const ast::CallExpr *C, bool AsStatement);
+  const sema::Type *genBinary(const ast::BinaryExpr *B);
+  const sema::Type *genUnary(const ast::UnaryExpr *U);
+  const sema::Type *genSetConstructor(const ast::SetConstructorExpr *S);
+  void pushConst(const symtab::ConstValue &V);
+
+  /// Emits code leaving the address of \p D on the stack; null if \p D
+  /// does not denote an assignable location (an error is reported).
+  const sema::Type *genAddr(const ast::DesignatorExpr *D);
+
+  /// Applies designator selectors to an address of type \p BaseTy.
+  const sema::Type *genSelectors(const ast::DesignatorExpr *D,
+                                 size_t FirstSelector,
+                                 const sema::Type *BaseTy);
+
+  /// Resolution of a designator's leading name.
+  struct BaseRef {
+    symtab::SymbolEntry *Entry = nullptr; ///< Null for WITH fields.
+    const sema::Type::Field *WithField = nullptr;
+    int32_t WithTemp = -1;   ///< Temp slot holding the WITH record address.
+    size_t SelectorsUsed = 0; ///< Leading selectors consumed (qualification).
+  };
+  BaseRef resolveBase(const ast::DesignatorExpr *D);
+
+  /// Emits the address of a Var/Param entry (no selectors).
+  const sema::Type *genEntryAddr(symtab::SymbolEntry &Entry,
+                                 SourceLocation Loc);
+
+  /// The pointee of pointer type \p Ptr.  A forward-declared target that
+  /// another stream has not patched yet is a DKY: wait on the owning
+  /// scope's completion and re-read.
+  const sema::Type *pointeeOf(const sema::Type *Ptr);
+
+  const sema::Type *genBuiltinCall(sema::BuiltinProc Builtin,
+                                   const ast::CallExpr *C, bool AsStatement);
+
+  //===--- Statements -----------------------------------------------------===//
+  void genStmts(const ast::StmtList &Stmts);
+  void genStmt(const ast::Stmt *S);
+  void genAssign(const ast::AssignStmt *S);
+  void genIf(const ast::IfStmt *S);
+  void genWhile(const ast::WhileStmt *S);
+  void genRepeat(const ast::RepeatStmt *S);
+  void genFor(const ast::ForStmt *S);
+  void genLoop(const ast::LoopStmt *S);
+  void genCase(const ast::CaseStmt *S);
+  void genWith(const ast::WithStmt *S);
+  void genReturn(const ast::ReturnStmt *S);
+
+  /// Emits a boolean-typed expression with a type check.
+  void genCondition(const ast::Expr *E);
+
+  void error(SourceLocation Loc, const std::string &Message) {
+    Comp.Diags.error(Loc, Message);
+  }
+  std::string spell(Symbol S) {
+    return std::string(Comp.Interner.spelling(S));
+  }
+
+  sema::Compilation &Comp;
+  symtab::Scope &Self;
+  Symbol Module;
+  sema::ConstEvaluator ConstEval;
+
+  CodeUnit Unit;
+  uint32_t UnitLevel = 0; ///< procedureLevel of Self.
+  const sema::Type *ResultType = nullptr;
+  bool SawReturnValue = false;
+
+  int32_t NextTemp = 0;
+  std::unordered_map<const sema::Type *, int32_t> DescCache;
+  std::vector<size_t> ExitPatches; ///< LOOP/EXIT back-patch stack frame.
+  std::vector<std::vector<size_t>> LoopStack;
+
+  struct WithBinding {
+    const sema::Type *RecordTy;
+    int32_t AddrTemp;
+  };
+  std::vector<WithBinding> WithStack;
+};
+
+/// Number of Procedure-kind scopes enclosing (and including) \p S; the
+/// module scope is level 0 and module-level procedure scopes are level 1.
+uint32_t procedureLevel(const symtab::Scope &S);
+
+/// The module-relative qualified name of a procedure entry
+/// ("Outer.Inner" for nested procedures), matching the CodeUnit names
+/// the linker resolves against.
+std::string moduleRelativeName(const symtab::SymbolEntry &Entry,
+                               const StringInterner &Names);
+
+} // namespace m2c::codegen
+
+#endif // M2C_CODEGEN_CODEGENERATOR_H

@@ -1,0 +1,407 @@
+//===--- ObjectFile.cpp - Textual MCode object files -----------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ObjectFile.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+using namespace m2c;
+using namespace m2c::codegen;
+
+namespace {
+
+constexpr const char *Magic = "MCOBJ 1";
+
+/// Strings are written with minimal escaping (\\, \n, \" and \xNN for
+/// other control characters).
+std::string escape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 2);
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    default:
+      if (C < 0x20 || C == 0x7f) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\x%02x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  return Out;
+}
+
+bool unescape(std::string_view Text, std::string &Out) {
+  Out.clear();
+  for (size_t I = 0; I < Text.size(); ++I) {
+    if (Text[I] != '\\') {
+      Out.push_back(Text[I]);
+      continue;
+    }
+    if (++I >= Text.size())
+      return false;
+    switch (Text[I]) {
+    case '\\':
+      Out.push_back('\\');
+      break;
+    case 'n':
+      Out.push_back('\n');
+      break;
+    case '"':
+      Out.push_back('"');
+      break;
+    case 'x': {
+      if (I + 2 >= Text.size())
+        return false;
+      unsigned Value = 0;
+      if (std::sscanf(std::string(Text.substr(I + 1, 2)).c_str(), "%x",
+                      &Value) != 1)
+        return false;
+      Out.push_back(static_cast<char>(Value));
+      I += 2;
+      break;
+    }
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::unordered_map<std::string_view, Opcode> &opcodeByName() {
+  static const std::unordered_map<std::string_view, Opcode> Table = [] {
+    std::unordered_map<std::string_view, Opcode> T;
+#define OPCODE(Name) T.emplace(#Name, Opcode::Name);
+#include "codegen/Opcode.def"
+    return T;
+  }();
+  return Table;
+}
+
+/// Line-by-line cursor over the object text.
+class LineReader {
+public:
+  explicit LineReader(std::string_view Text) : Text(Text) {}
+
+  /// Next line (without the newline); empty optional at end of input.
+  std::optional<std::string_view> next() {
+    if (Pos >= Text.size())
+      return std::nullopt;
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    return Line;
+  }
+
+  unsigned line() const { return LineNo; }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned LineNo = 0;
+};
+
+} // namespace
+
+std::string codegen::writeObjectFile(const ModuleImage &Image,
+                                     const StringInterner &Names) {
+  std::ostringstream OS;
+  auto Spell = [&](Symbol S) { return escape(Names.spelling(S)); };
+
+  OS << Magic << "\n";
+  OS << "MODULE \"" << Spell(Image.ModuleName) << "\"\n";
+  OS << "GLOBALS " << Image.GlobalCount << "\n";
+  OS << "IMPORTS " << Image.Imports.size();
+  for (Symbol S : Image.Imports)
+    OS << " \"" << Spell(S) << "\"";
+  OS << "\n";
+  OS << "GDESCS " << Image.GlobalDescs.size();
+  for (int32_t D : Image.GlobalDescs)
+    OS << " " << D;
+  OS << "\n";
+  OS << "DESCS " << Image.Descs.size() << "\n";
+  for (const TypeDesc &D : Image.Descs) {
+    OS << "DESC " << static_cast<int>(D.DescKind) << " " << D.Count << " "
+       << D.Element;
+    OS << " " << D.Fields.size();
+    for (int32_t F : D.Fields)
+      OS << " " << F;
+    OS << "\n";
+  }
+
+  OS << "UNITS " << Image.Units.size() << "\n";
+  for (const CodeUnit &U : Image.Units) {
+    OS << "UNIT \"" << escape(U.QualifiedName) << "\" \"" << Spell(U.Module)
+       << "\" \"" << Spell(U.Name) << "\" " << U.ProcId << " "
+       << (U.IsModuleBody ? 1 : 0) << " " << U.NestLevel << " "
+       << U.FrameSize << " " << U.Weight << "\n";
+    OS << "PARAMS " << U.Params.size();
+    for (const ParamDesc &P : U.Params)
+      OS << " " << (P.IsVar ? (P.IsAggregate ? "va" : "v")
+                            : (P.IsAggregate ? "a" : "."));
+    OS << "\n";
+    OS << "CALLEES " << U.Callees.size() << "\n";
+    for (const CalleeRef &C : U.Callees)
+      OS << "CALLEE \"" << Spell(C.Module) << "\" \"" << Spell(C.Name)
+         << "\"\n";
+    OS << "GLOBALREFS " << U.Globals.size() << "\n";
+    for (const GlobalRef &G : U.Globals)
+      OS << "GLOBALREF \"" << Spell(G.Module) << "\" " << G.Slot << "\n";
+    OS << "UDESCS " << U.Descs.size() << "\n";
+    for (const TypeDesc &D : U.Descs) {
+      OS << "DESC " << static_cast<int>(D.DescKind) << " " << D.Count << " "
+         << D.Element << " " << D.Fields.size();
+      for (int32_t F : D.Fields)
+        OS << " " << F;
+      OS << "\n";
+    }
+    OS << "STRINGS " << U.Strings.size() << "\n";
+    for (Symbol S : U.Strings)
+      OS << "STRING \"" << Spell(S) << "\"\n";
+    OS << "CODE " << U.Code.size() << "\n";
+    for (const Instr &I : U.Code) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%a", I.F);
+      OS << opcodeName(I.Op) << " " << I.A << " " << I.B << " " << Buf
+         << "\n";
+    }
+  }
+  OS << "END\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Splits one line into whitespace-separated fields, where quoted fields
+/// may contain spaces.  Returns false on unterminated quotes.
+bool splitFields(std::string_view Line, std::vector<std::string> &Out) {
+  Out.clear();
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && Line[I] == ' ')
+      ++I;
+    if (I >= Line.size())
+      break;
+    if (Line[I] == '"') {
+      size_t End = I + 1;
+      // A backslash escapes the next character; skipping escape pairs
+      // keeps an escaped quote (or a trailing escaped backslash) from
+      // being mistaken for the terminator.
+      while (End < Line.size() && Line[End] != '"') {
+        if (Line[End] == '\\')
+          ++End;
+        ++End;
+      }
+      if (End >= Line.size())
+        return false;
+      std::string Raw;
+      if (!unescape(Line.substr(I + 1, End - I - 1), Raw))
+        return false;
+      Out.push_back(std::move(Raw));
+      I = End + 1;
+    } else {
+      size_t End = Line.find(' ', I);
+      if (End == std::string_view::npos)
+        End = Line.size();
+      Out.emplace_back(Line.substr(I, End - I));
+      I = End;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<ModuleImage>
+codegen::readObjectFile(std::string_view Text, StringInterner &Names,
+                        std::string &Error) {
+  LineReader Reader(Text);
+  std::vector<std::string> F;
+  auto Fail = [&](const std::string &Message) {
+    Error = "line " + std::to_string(Reader.line()) + ": " + Message;
+    return std::nullopt;
+  };
+  auto Need = [&](const char *Tag, size_t MinFields) -> bool {
+    auto Line = Reader.next();
+    if (!Line || !splitFields(*Line, F) || F.empty() || F[0] != Tag ||
+        F.size() < MinFields)
+      return false;
+    return true;
+  };
+  auto ReadDesc = [&](TypeDesc &D) -> bool {
+    if (!Need("DESC", 5))
+      return false;
+    D.DescKind = static_cast<TypeDesc::Kind>(std::atoi(F[1].c_str()));
+    D.Count = std::atoll(F[2].c_str());
+    D.Element = static_cast<int32_t>(std::atoi(F[3].c_str()));
+    size_t NumFields = static_cast<size_t>(std::atoll(F[4].c_str()));
+    if (F.size() != 5 + NumFields)
+      return false;
+    for (size_t J = 0; J < NumFields; ++J)
+      D.Fields.push_back(static_cast<int32_t>(std::atoi(F[5 + J].c_str())));
+    return true;
+  };
+
+  {
+    auto Line = Reader.next();
+    if (!Line || *Line != Magic)
+      return Fail("not an MCOBJ file");
+  }
+
+  ModuleImage Image;
+  if (!Need("MODULE", 2))
+    return Fail("bad MODULE line");
+  Image.ModuleName = Names.intern(F[1]);
+
+  if (!Need("GLOBALS", 2))
+    return Fail("bad GLOBALS line");
+  Image.GlobalCount = static_cast<uint32_t>(std::atoll(F[1].c_str()));
+
+  if (!Need("IMPORTS", 2))
+    return Fail("bad IMPORTS line");
+  {
+    size_t N = static_cast<size_t>(std::atoll(F[1].c_str()));
+    if (F.size() != 2 + N)
+      return Fail("bad IMPORTS count");
+    for (size_t J = 0; J < N; ++J)
+      Image.Imports.push_back(Names.intern(F[2 + J]));
+  }
+
+  if (!Need("GDESCS", 2))
+    return Fail("bad GDESCS line");
+  {
+    size_t N = static_cast<size_t>(std::atoll(F[1].c_str()));
+    if (F.size() != 2 + N)
+      return Fail("bad GDESCS count");
+    for (size_t J = 0; J < N; ++J)
+      Image.GlobalDescs.push_back(
+          static_cast<int32_t>(std::atoi(F[2 + J].c_str())));
+  }
+
+  if (!Need("DESCS", 2))
+    return Fail("bad DESCS line");
+  for (size_t N = static_cast<size_t>(std::atoll(F[1].c_str())), J = 0;
+       J < N; ++J) {
+    TypeDesc D;
+    if (!ReadDesc(D))
+      return Fail("bad DESC line");
+    Image.Descs.push_back(std::move(D));
+  }
+
+  if (!Need("UNITS", 2))
+    return Fail("bad UNITS line");
+  size_t NumUnits = static_cast<size_t>(std::atoll(F[1].c_str()));
+  for (size_t UI = 0; UI < NumUnits; ++UI) {
+    if (!Need("UNIT", 9))
+      return Fail("bad UNIT line");
+    CodeUnit U;
+    U.QualifiedName = F[1];
+    U.Module = Names.intern(F[2]);
+    U.Name = Names.intern(F[3]);
+    U.ProcId = static_cast<int32_t>(std::atoi(F[4].c_str()));
+    U.IsModuleBody = F[5] == "1";
+    U.NestLevel = static_cast<uint32_t>(std::atoll(F[6].c_str()));
+    U.FrameSize = static_cast<uint32_t>(std::atoll(F[7].c_str()));
+    U.Weight = std::atoll(F[8].c_str());
+
+    if (!Need("PARAMS", 2))
+      return Fail("bad PARAMS line");
+    {
+      size_t N = static_cast<size_t>(std::atoll(F[1].c_str()));
+      if (F.size() != 2 + N)
+        return Fail("bad PARAMS count");
+      for (size_t J = 0; J < N; ++J) {
+        ParamDesc P;
+        P.IsVar = F[2 + J].find('v') != std::string::npos;
+        P.IsAggregate = F[2 + J].find('a') != std::string::npos;
+        U.Params.push_back(P);
+      }
+    }
+
+    if (!Need("CALLEES", 2))
+      return Fail("bad CALLEES line");
+    for (size_t N = static_cast<size_t>(std::atoll(F[1].c_str())), J = 0;
+         J < N; ++J) {
+      if (!Need("CALLEE", 3))
+        return Fail("bad CALLEE line");
+      U.Callees.push_back(
+          CalleeRef{Names.intern(F[1]), Names.intern(F[2])});
+    }
+
+    if (!Need("GLOBALREFS", 2))
+      return Fail("bad GLOBALREFS line");
+    for (size_t N = static_cast<size_t>(std::atoll(F[1].c_str())), J = 0;
+         J < N; ++J) {
+      if (!Need("GLOBALREF", 3))
+        return Fail("bad GLOBALREF line");
+      U.Globals.push_back(GlobalRef{
+          Names.intern(F[1]), static_cast<int32_t>(std::atoi(F[2].c_str()))});
+    }
+
+    if (!Need("UDESCS", 2))
+      return Fail("bad UDESCS line");
+    for (size_t N = static_cast<size_t>(std::atoll(F[1].c_str())), J = 0;
+         J < N; ++J) {
+      TypeDesc D;
+      if (!ReadDesc(D))
+        return Fail("bad unit DESC line");
+      U.Descs.push_back(std::move(D));
+    }
+
+    if (!Need("STRINGS", 2))
+      return Fail("bad STRINGS line");
+    for (size_t N = static_cast<size_t>(std::atoll(F[1].c_str())), J = 0;
+         J < N; ++J) {
+      if (!Need("STRING", 2))
+        return Fail("bad STRING line");
+      U.Strings.push_back(Names.intern(F[1]));
+    }
+
+    if (!Need("CODE", 2))
+      return Fail("bad CODE line");
+    for (size_t N = static_cast<size_t>(std::atoll(F[1].c_str())), J = 0;
+         J < N; ++J) {
+      auto Line = Reader.next();
+      if (!Line || !splitFields(*Line, F) || F.size() != 4)
+        return Fail("bad instruction line");
+      auto It = opcodeByName().find(F[0]);
+      if (It == opcodeByName().end())
+        return Fail("unknown opcode '" + F[0] + "'");
+      Instr I;
+      I.Op = It->second;
+      I.A = std::atoll(F[1].c_str());
+      I.B = std::atoll(F[2].c_str());
+      I.F = std::strtod(F[3].c_str(), nullptr); // %a hex-float round-trip
+      U.Code.push_back(I);
+    }
+    Image.Units.push_back(std::move(U));
+  }
+
+  {
+    auto Line = Reader.next();
+    if (!Line || *Line != "END")
+      return Fail("missing END");
+  }
+  return Image;
+}

@@ -1,0 +1,40 @@
+//===--- ObjectFile.h - Textual MCode object files --------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of ModuleImages to a line-oriented text object format
+/// (".mco"), so modules can be compiled separately, shipped as files and
+/// linked later — the separate-compilation workflow the paper's module
+/// system exists for.  The format round-trips exactly (reals are written
+/// as hex floats).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CODEGEN_OBJECTFILE_H
+#define M2C_CODEGEN_OBJECTFILE_H
+
+#include "codegen/MCode.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace m2c::codegen {
+
+/// Renders \p Image as a .mco text object.
+std::string writeObjectFile(const ModuleImage &Image,
+                            const StringInterner &Names);
+
+/// Parses a .mco text object.  Symbols are re-interned into \p Names.
+/// Returns std::nullopt and sets \p Error on malformed input.
+std::optional<ModuleImage> readObjectFile(std::string_view Text,
+                                          StringInterner &Names,
+                                          std::string &Error);
+
+} // namespace m2c::codegen
+
+#endif // M2C_CODEGEN_OBJECTFILE_H

@@ -1,0 +1,261 @@
+//===--- Peephole.cpp - MCode peephole optimization ------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Peephole.h"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+using namespace m2c;
+using namespace m2c::codegen;
+
+namespace {
+
+bool isJump(Opcode Op) {
+  return Op == Opcode::Jump || Op == Opcode::JumpIfFalse ||
+         Op == Opcode::JumpIfTrue;
+}
+
+/// Folds a binary integer/boolean operation; null if not foldable (or if
+/// folding would hide a runtime trap).
+std::optional<int64_t> foldBinary(Opcode Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opcode::AddInt:
+    return A + B;
+  case Opcode::SubInt:
+    return A - B;
+  case Opcode::MulInt:
+    return A * B;
+  case Opcode::CmpEqInt:
+    return A == B;
+  case Opcode::CmpNeInt:
+    return A != B;
+  case Opcode::CmpLtInt:
+    return A < B;
+  case Opcode::CmpLeInt:
+    return A <= B;
+  case Opcode::CmpGtInt:
+    return A > B;
+  case Opcode::CmpGeInt:
+    return A >= B;
+  case Opcode::DivInt:
+  case Opcode::ModInt:
+    // Folding 1 DIV 0 would delete a mandatory runtime trap.
+    if (B == 0)
+      return std::nullopt;
+    return Op == Opcode::DivInt ? A / B : A % B;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// The comparison with the inverse sense, or the same opcode if none.
+Opcode invertedCompare(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEqInt:
+    return Opcode::CmpNeInt;
+  case Opcode::CmpNeInt:
+    return Opcode::CmpEqInt;
+  case Opcode::CmpLtInt:
+    return Opcode::CmpGeInt;
+  case Opcode::CmpLeInt:
+    return Opcode::CmpGtInt;
+  case Opcode::CmpGtInt:
+    return Opcode::CmpLeInt;
+  case Opcode::CmpGeInt:
+    return Opcode::CmpLtInt;
+  case Opcode::CmpEqReal:
+    return Opcode::CmpNeReal;
+  case Opcode::CmpNeReal:
+    return Opcode::CmpEqReal;
+  case Opcode::CmpLtReal:
+    return Opcode::CmpGeReal;
+  case Opcode::CmpLeReal:
+    return Opcode::CmpGtReal;
+  case Opcode::CmpGtReal:
+    return Opcode::CmpLeReal;
+  case Opcode::CmpGeReal:
+    return Opcode::CmpLtReal;
+  case Opcode::CmpEqPtr:
+    return Opcode::CmpNePtr;
+  case Opcode::CmpNePtr:
+    return Opcode::CmpEqPtr;
+  default:
+    return Op;
+  }
+}
+
+/// One local rewrite sweep.  Deleted instructions become Pops of nothing:
+/// we mark them and compact afterwards so jump targets stay correct.
+struct Rewriter {
+  std::vector<Instr> &Code;
+  std::vector<bool> Dead;
+  std::vector<bool> Target; ///< Instruction is a jump target.
+  PeepholeStats &Stats;
+
+  Rewriter(std::vector<Instr> &Code, PeepholeStats &Stats)
+      : Code(Code), Dead(Code.size(), false), Target(Code.size(), false),
+        Stats(Stats) {
+    for (const Instr &I : Code)
+      if (isJump(I.Op) && static_cast<size_t>(I.A) < Code.size())
+        Target[static_cast<size_t>(I.A)] = true;
+  }
+
+  /// A window position is usable if alive and not a jump target (a jump
+  /// landing between fused instructions would see half a pattern).
+  bool usable(size_t I, bool AllowTarget = false) const {
+    return I < Code.size() && !Dead[I] && (AllowTarget || !Target[I]);
+  }
+
+  bool sweep() {
+    bool Changed = false;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      if (Dead[I])
+        continue;
+
+      // PushInt a; PushInt b; binop  ->  PushInt (a op b)
+      size_t J = next(I);
+      size_t K = J == Code.size() ? J : next(J);
+      if (Code[I].Op == Opcode::PushInt && usable(J) &&
+          Code[J].Op == Opcode::PushInt && usable(K)) {
+        if (auto Folded = foldBinary(Code[K].Op, Code[I].A, Code[J].A)) {
+          Code[K] = Instr{Opcode::PushInt, *Folded, 0, 0.0};
+          Dead[I] = Dead[J] = true;
+          Stats.Folded += 1;
+          Stats.Removed += 2;
+          Changed = true;
+          continue;
+        }
+      }
+
+      // PushInt c; NegInt -> PushInt -c ; PushInt c; NotBool -> PushInt !c
+      if (Code[I].Op == Opcode::PushInt && usable(J)) {
+        if (Code[J].Op == Opcode::NegInt || Code[J].Op == Opcode::NotBool ||
+            Code[J].Op == Opcode::AbsInt) {
+          int64_t V = Code[I].A;
+          int64_t R = Code[J].Op == Opcode::NegInt ? -V
+                      : Code[J].Op == Opcode::NotBool
+                          ? (V == 0 ? 1 : 0)
+                          : (V < 0 ? -V : V);
+          Code[J] = Instr{Opcode::PushInt, R, 0, 0.0};
+          Dead[I] = true;
+          Stats.Folded += 1;
+          Stats.Removed += 1;
+          Changed = true;
+          continue;
+        }
+        // x + 0 / x * 1 on the right operand: PushInt 0; AddInt -> drop.
+        if ((Code[I].A == 0 && (Code[J].Op == Opcode::AddInt ||
+                                Code[J].Op == Opcode::SubInt)) ||
+            (Code[I].A == 1 && Code[J].Op == Opcode::MulInt)) {
+          Dead[I] = Dead[J] = true;
+          Stats.Fused += 1;
+          Stats.Removed += 2;
+          Changed = true;
+          continue;
+        }
+      }
+
+      // compare; NotBool -> inverted compare
+      if (invertedCompare(Code[I].Op) != Code[I].Op && usable(J) &&
+          Code[J].Op == Opcode::NotBool) {
+        Code[I].Op = invertedCompare(Code[I].Op);
+        Dead[J] = true;
+        Stats.Fused += 1;
+        Stats.Removed += 1;
+        Changed = true;
+        continue;
+      }
+
+      // PushInt c; JumpIfFalse/True -> Jump or nothing.
+      if (Code[I].Op == Opcode::PushInt && usable(J) &&
+          (Code[J].Op == Opcode::JumpIfFalse ||
+           Code[J].Op == Opcode::JumpIfTrue)) {
+        bool Taken = (Code[J].Op == Opcode::JumpIfTrue) == (Code[I].A != 0);
+        if (Taken) {
+          Code[J].Op = Opcode::Jump;
+          Dead[I] = true;
+          Stats.Removed += 1;
+        } else {
+          Dead[I] = Dead[J] = true;
+          Stats.Removed += 2;
+        }
+        Stats.Folded += 1;
+        Changed = true;
+        continue;
+      }
+
+      // Jump threading: a jump whose target is an unconditional Jump.
+      if (isJump(Code[I].Op)) {
+        size_t Hops = 0;
+        int64_t T = Code[I].A;
+        while (static_cast<size_t>(T) < Code.size() &&
+               !Dead[static_cast<size_t>(T)] &&
+               Code[static_cast<size_t>(T)].Op == Opcode::Jump &&
+               T != Code[static_cast<size_t>(T)].A && Hops < 64) {
+          T = Code[static_cast<size_t>(T)].A;
+          ++Hops;
+        }
+        if (T != Code[I].A) {
+          Code[I].A = T;
+          Stats.Threaded += 1;
+          Changed = true;
+        }
+      }
+    }
+    return Changed;
+  }
+
+  /// Index of the next live instruction after \p I (Code.size() if none).
+  size_t next(size_t I) const {
+    for (size_t J = I + 1; J < Code.size(); ++J)
+      if (!Dead[J])
+        return J;
+    return Code.size();
+  }
+
+  /// Compacts the code, remapping jump targets.
+  void compact() {
+    std::vector<int64_t> NewIndex(Code.size() + 1, 0);
+    int64_t Next = 0;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      NewIndex[I] = Next;
+      if (!Dead[I])
+        ++Next;
+    }
+    NewIndex[Code.size()] = Next;
+
+    std::vector<Instr> Out;
+    Out.reserve(static_cast<size_t>(Next));
+    for (size_t I = 0; I < Code.size(); ++I) {
+      if (Dead[I])
+        continue;
+      Instr In = Code[I];
+      if (isJump(In.Op))
+        In.A = NewIndex[static_cast<size_t>(In.A)];
+      Out.push_back(In);
+    }
+    Code = std::move(Out);
+  }
+};
+
+} // namespace
+
+PeepholeStats codegen::optimizeUnit(CodeUnit &Unit) {
+  PeepholeStats Stats;
+  // Iterate local sweeps to a fixed point (folding exposes new folds),
+  // then compact once.
+  for (int Round = 0; Round < 8; ++Round) {
+    Rewriter R(Unit.Code, Stats);
+    bool Changed = R.sweep();
+    R.compact();
+    if (!Changed)
+      break;
+  }
+  return Stats;
+}

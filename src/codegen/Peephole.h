@@ -1,0 +1,40 @@
+//===--- Peephole.h - MCode peephole optimization ---------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small per-unit peephole pass: constant folding of integer and
+/// boolean operations, algebraic identities, comparison/NOT fusion, jump
+/// threading and dead-jump elimination.  Because the unit is the whole
+/// optimization scope, the pass composes with concurrent compilation for
+/// free: each Statement-Analyzer/Code-Generator task optimizes its own
+/// stream independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CODEGEN_PEEPHOLE_H
+#define M2C_CODEGEN_PEEPHOLE_H
+
+#include "codegen/MCode.h"
+
+namespace m2c::codegen {
+
+/// Statistics of one optimization run.
+struct PeepholeStats {
+  unsigned Folded = 0;    ///< Constant operations evaluated at compile time.
+  unsigned Fused = 0;     ///< Compare/NOT and identity rewrites.
+  unsigned Threaded = 0;  ///< Jump-to-jump chains shortened.
+  unsigned Removed = 0;   ///< Instructions deleted.
+};
+
+/// Optimizes \p Unit in place.  Idempotent; preserves semantics exactly
+/// (operations that could trap at run time — division, range checks —
+/// are never folded away).
+PeepholeStats optimizeUnit(CodeUnit &Unit);
+
+} // namespace m2c::codegen
+
+#endif // M2C_CODEGEN_PEEPHOLE_H

@@ -1,0 +1,59 @@
+//===--- TypeDescBuilder.cpp - Aggregate shape descriptors ----------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/TypeDescBuilder.h"
+
+using namespace m2c;
+using namespace m2c::codegen;
+using namespace m2c::sema;
+
+int32_t m2c::codegen::internTypeDesc(const Type *Ty,
+                                     std::vector<TypeDesc> &Table,
+                                     TypeDescCache &Cache) {
+  Ty = Ty ? Ty->stripSubrange() : nullptr;
+  auto It = Cache.find(Ty);
+  if (It != Cache.end())
+    return It->second;
+  TypeDesc D;
+  if (Ty) {
+    switch (Ty->kind()) {
+    case TypeKind::Real:
+      D.DescKind = TypeDesc::Kind::Real;
+      break;
+    case TypeKind::BitSet:
+    case TypeKind::Set:
+      D.DescKind = TypeDesc::Kind::Set;
+      break;
+    case TypeKind::Pointer:
+    case TypeKind::Nil:
+    case TypeKind::Opaque:
+      D.DescKind = TypeDesc::Kind::Pointer;
+      break;
+    case TypeKind::Procedure:
+      D.DescKind = TypeDesc::Kind::ProcVal;
+      break;
+    case TypeKind::Array:
+    case TypeKind::OpenArray:
+      D.DescKind = TypeDesc::Kind::Array;
+      D.Count = Ty->is(TypeKind::Array) ? Ty->length() : 0;
+      D.Element = internTypeDesc(Ty->element(), Table, Cache);
+      break;
+    case TypeKind::Record:
+      D.DescKind = TypeDesc::Kind::Record;
+      for (const Type::Field &F : Ty->fields())
+        D.Fields.push_back(internTypeDesc(F.Ty, Table, Cache));
+      break;
+    default:
+      D.DescKind = TypeDesc::Kind::Int;
+      break;
+    }
+  }
+  Table.push_back(std::move(D));
+  int32_t Index = static_cast<int32_t>(Table.size() - 1);
+  Cache.emplace(Ty, Index);
+  return Index;
+}

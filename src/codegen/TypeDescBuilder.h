@@ -1,0 +1,30 @@
+//===--- TypeDescBuilder.h - Aggregate shape descriptors --------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CODEGEN_TYPEDESCBUILDER_H
+#define M2C_CODEGEN_TYPEDESCBUILDER_H
+
+#include "codegen/MCode.h"
+#include "sema/Type.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace m2c::codegen {
+
+/// Cache for interning TypeDescs into one descriptor table.
+using TypeDescCache = std::unordered_map<const sema::Type *, int32_t>;
+
+/// Interns the runtime shape descriptor for \p Ty into \p Table,
+/// returning its index.  Pointers break recursion (a pointer slot is a
+/// scalar regardless of pointee shape).
+int32_t internTypeDesc(const sema::Type *Ty, std::vector<TypeDesc> &Table,
+                       TypeDescCache &Cache);
+
+} // namespace m2c::codegen
+
+#endif // M2C_CODEGEN_TYPEDESCBUILDER_H

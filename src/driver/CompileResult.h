@@ -1,0 +1,50 @@
+//===--- CompileResult.h - Output of one compiler run -----------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_DRIVER_COMPILERESULT_H
+#define M2C_DRIVER_COMPILERESULT_H
+
+#include "codegen/MCode.h"
+#include "sema/Compilation.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace m2c::driver {
+
+/// Everything a compiler run produces: the merged object image, the
+/// diagnostics, timing, and the per-compilation statistics the paper's
+/// evaluation reports.
+struct CompileResult {
+  bool Success = false;
+  codegen::ModuleImage Image;
+
+  /// Rendered diagnostics in stable source order.
+  std::string DiagnosticText;
+
+  /// Elapsed time: virtual units under the simulated executor and the
+  /// sequential baseline; wall nanoseconds under the threaded executor.
+  uint64_t ElapsedUnits = 0;
+
+  /// ElapsedUnits converted to simulated seconds (0 for threaded runs).
+  double SimSeconds = 0.0;
+
+  /// Scheduler counters (task counts, waits, boosts...).
+  std::map<std::string, uint64_t> SchedStats;
+
+  /// Number of streams compiled (1 + procedures + definition modules).
+  size_t StreamCount = 0;
+
+  /// Keeps lookup statistics, scopes and types alive for inspection
+  /// (Table 2 comes from Compilation->Stats).
+  std::shared_ptr<sema::Compilation> Compilation;
+};
+
+} // namespace m2c::driver
+
+#endif // M2C_DRIVER_COMPILERESULT_H

@@ -1,0 +1,462 @@
+//===--- ConcurrentCompiler.cpp - The concurrent compiler ------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ConcurrentCompiler.h"
+
+#include "codegen/CodeGenerator.h"
+#include "codegen/Merger.h"
+#include "lex/Lexer.h"
+#include "parse/Parser.h"
+#include "sched/SimulatedExecutor.h"
+#include "sched/ThreadedExecutor.h"
+#include "sema/DeclAnalyzer.h"
+#include "split/Importer.h"
+#include "split/Splitter.h"
+
+#include <atomic>
+#include <mutex>
+
+using namespace m2c;
+using namespace m2c::ast;
+using namespace m2c::driver;
+using namespace m2c::sched;
+using namespace m2c::sema;
+using namespace m2c::symtab;
+
+namespace {
+
+/// All the shared state of one concurrent compilation.  Stream objects
+/// are owned here and live until the run is over.
+class ConcurrentRun {
+public:
+  /// One split-off procedure stream.
+  struct ProcStream {
+    Symbol Name;
+    std::string QualifiedName;
+    std::unique_ptr<Scope> ProcScope;
+    TokenBlockQueue Queue;
+    EventPtr HeadingDone; ///< Avoided event: heading processed in parent.
+    std::atomic<const SymbolEntry *> Entry{nullptr};
+    ASTArena Arena;
+    std::atomic<int64_t> Weight{0};
+    ProcStream *Parent = nullptr; ///< Null for main-module children.
+    Scope *ParentScope = nullptr;
+    TaskPtr ParserTask;
+
+    std::mutex ChildrenMutex;
+    std::vector<ProcStream *> Children; ///< Splitter discovery order.
+
+    ProcStream(Symbol Name, std::string Qual)
+        : Name(Name), QualifiedName(std::move(Qual)),
+          Queue("proc." + QualifiedName),
+          HeadingDone(makeEvent("heading." + QualifiedName,
+                                EventKind::Avoided)) {}
+  };
+
+  /// One definition-module stream.
+  struct DefStream {
+    Symbol Name;
+    Scope *ModScope = nullptr;
+    TokenBlockQueue Queue;
+    ASTArena Arena;
+    TaskPtr ParserTask;
+
+    explicit DefStream(std::string QueueName)
+        : Queue(std::move(QueueName)) {}
+  };
+
+  ConcurrentRun(VirtualFileSystem &Files, StringInterner &Interner,
+                const CompilerOptions &Options, std::string_view ModuleName,
+                std::shared_ptr<Compilation> CompPtr, Executor &Exec)
+      : Options(Options), CompPtr(std::move(CompPtr)), Comp(*this->CompPtr),
+        Exec(Exec), ModName(Interner.intern(ModuleName)),
+        Merge(ModName),
+        RawQueue(std::string(ModuleName) + ".raw"),
+        MainQueue(std::string(ModuleName) + ".main") {
+    (void)Files;
+  }
+
+  bool avoidance() const {
+    return Options.Strategy == DkyStrategy::Avoidance;
+  }
+
+  /// Routes task submission correctly both before run() (executor) and
+  /// from inside running tasks (current execution context).
+  void spawnTask(TaskPtr T) {
+    if (InsideRun.load(std::memory_order_acquire))
+      ctx().spawn(std::move(T));
+    else
+      Exec.spawn(std::move(T));
+  }
+
+  //===--- Stream creation -------------------------------------------------===//
+
+  ProcStream *createProcStream(ProcStream *Parent, Symbol Name) {
+    std::string ParentQual = Parent
+                                 ? Parent->QualifiedName
+                                 : std::string(Comp.Interner.spelling(ModName));
+    auto Owned = std::make_unique<ProcStream>(
+        Name, ParentQual + "." + std::string(Comp.Interner.spelling(Name)));
+    ProcStream *S = Owned.get();
+    S->Parent = Parent;
+    S->ParentScope =
+        Parent ? Parent->ProcScope.get() : ModuleScopePtr.get();
+    S->ProcScope = std::make_unique<Scope>(
+        std::string(Comp.Interner.spelling(Name)), ScopeKind::Procedure,
+        S->ParentScope, &Comp.Builtins);
+    {
+      std::lock_guard<std::mutex> Lock(StreamsMutex);
+      ProcStreams.push_back(std::move(Owned));
+    }
+    // Register with the parent in splitter-discovery order, which matches
+    // the order the parent's declaration analyzer sees the headings.
+    if (Parent) {
+      std::lock_guard<std::mutex> Lock(Parent->ChildrenMutex);
+      Parent->Children.push_back(S);
+    } else {
+      std::lock_guard<std::mutex> Lock(MainChildrenMutex);
+      MainChildren.push_back(S);
+    }
+
+    // The resolver of the heading event is the parent's parser task.
+    Task *ParentParser =
+        Parent ? Parent->ParserTask.get() : MainParserTask.get();
+    S->HeadingDone->setResolver(ParentParser);
+
+    S->ParserTask = makeTask(
+        "parse." + S->QualifiedName, TaskClass::ProcParserDecl,
+        [this, S] { procParserTask(*S); });
+    S->ParserTask->addPrerequisite(S->HeadingDone);
+    if (avoidance())
+      S->ParserTask->addPrerequisite(S->ParentScope->completionEvent());
+    S->ProcScope->completionEvent()->setResolver(S->ParserTask.get());
+    spawnTask(S->ParserTask);
+    return S;
+  }
+
+  /// The module registry's once-only stream starter.
+  void startDefStream(Symbol Name, Scope &ModScope) {
+    auto Owned = std::make_unique<DefStream>(
+        "def." + std::string(Comp.Interner.spelling(Name)));
+    DefStream *S = Owned.get();
+    S->Name = Name;
+    S->ModScope = &ModScope;
+    {
+      std::lock_guard<std::mutex> Lock(StreamsMutex);
+      DefStreams.push_back(std::move(Owned));
+    }
+
+    std::string FileName =
+        VirtualFileSystem::defFileName(Comp.Interner.spelling(Name));
+    const SourceBuffer *Buf = Comp.Files.lookup(FileName);
+    if (!Buf) {
+      Comp.Diags.error(SourceLocation(),
+                       "cannot find interface file '" + FileName + "'");
+      ModScope.markComplete();
+      return;
+    }
+
+    S->ParserTask = makeTask("parse." + FileName, TaskClass::DefModParserDecl,
+                             [this, S] { defParserTask(*S); });
+    ModScope.completionEvent()->setResolver(S->ParserTask.get());
+
+    spawnTask(makeTask("lex." + FileName, TaskClass::Lexor, [this, S, Buf] {
+      Lexer Lex(*Buf, Comp.Interner, Comp.Diags);
+      Lex.lexAll(S->Queue);
+    }));
+    spawnTask(makeTask("import." + FileName, TaskClass::Importer,
+                       [this, S] {
+                         Importer Imp(TokenBlockQueue::Reader(S->Queue),
+                                      Comp.Modules, Comp.Interner);
+                         Imp.run();
+                       }));
+    spawnTask(S->ParserTask);
+  }
+
+  //===--- Task bodies -----------------------------------------------------===//
+
+  void defParserTask(DefStream &S) {
+    Parser P(TokenBlockQueue::Reader(S.Queue), S.Arena, Comp.Diags,
+             ParserMode::Sequential);
+    Parser::ModuleIntro Intro = P.parseModuleIntro();
+    if (!Intro.IsDefinition)
+      Comp.Diags.error(Intro.Loc, "expected a DEFINITION MODULE");
+    DeclAnalyzer DA(Comp, *S.ModScope, S.Name);
+    DA.analyzeImports(Intro.Imports);
+    // Declarations analyzed as they parse, so Skeptical searchers probing
+    // this (incomplete) interface can succeed before it completes.
+    P.setDeclSink([&DA](Decl *D) { DA.analyzeDecl(D); });
+    P.parseTopDecls(/*HeadingsOnly=*/true);
+    P.parseDefModuleEnd();
+    DA.finish();
+  }
+
+  /// Installs the parent-side heading hooks for a declaration analyzer
+  /// whose children were registered in \p Children order.
+  void installHeadingHooks(DeclAnalyzer &DA, ProcStream *Stream) {
+    ProcStreamHooks Hooks;
+    Hooks.childScope = [this, Stream](size_t Index, Symbol) -> Scope * {
+      ProcStream *Child = childAt(Stream, Index);
+      return Child ? Child->ProcScope.get() : nullptr;
+    };
+    Hooks.headingDone = [this, Stream](size_t Index, Symbol,
+                                       const SymbolEntry &Entry) {
+      ProcStream *Child = childAt(Stream, Index);
+      if (!Child)
+        return;
+      Child->Entry.store(&Entry, std::memory_order_release);
+      ctx().signal(*Child->HeadingDone);
+    };
+    DA.setProcStreamHooks(std::move(Hooks));
+  }
+
+  /// On malformed input the parent's error recovery can skip a heading
+  /// the splitter already created a stream for; its avoided event would
+  /// then never fire and the child task would be held forever.  Parser
+  /// tasks call this on exit: by then the splitter has finished this
+  /// stream, so the child list is final and any unsignaled heading event
+  /// is an orphan (its Entry stays null; code generation skips it).
+  void releaseOrphanHeadings(ProcStream *Stream) {
+    std::vector<ProcStream *> Children;
+    if (Stream) {
+      std::lock_guard<std::mutex> Lock(Stream->ChildrenMutex);
+      Children = Stream->Children;
+    } else {
+      std::lock_guard<std::mutex> Lock(MainChildrenMutex);
+      Children = MainChildren;
+    }
+    for (ProcStream *Child : Children)
+      if (!Child->HeadingDone->isSignaled())
+        ctx().signal(*Child->HeadingDone);
+  }
+
+  ProcStream *childAt(ProcStream *Stream, size_t Index) {
+    if (Stream) {
+      std::lock_guard<std::mutex> Lock(Stream->ChildrenMutex);
+      return Index < Stream->Children.size() ? Stream->Children[Index]
+                                             : nullptr;
+    }
+    std::lock_guard<std::mutex> Lock(MainChildrenMutex);
+    return Index < MainChildren.size() ? MainChildren[Index] : nullptr;
+  }
+
+  void mainParserTask() {
+    Parser P(TokenBlockQueue::Reader(MainQueue), MainArena, Comp.Diags,
+             ParserMode::SplitStream);
+    Parser::ModuleIntro Intro = P.parseModuleIntro();
+    if (Intro.Name != ModName && !Intro.Name.isEmpty())
+      Comp.Diags.warning(Intro.Loc,
+                         "module name does not match its file name");
+    DeclAnalyzer DA(Comp, *ModuleScopePtr, ModName);
+    DA.setOwnInterface(OwnDefScope);
+    installHeadingHooks(DA, nullptr);
+    DA.analyzeImports(Intro.Imports);
+    // Interleave: procedure headings are processed — and their streams
+    // released — as soon as each declaration's text has been parsed.
+    P.setDeclSink([&DA](Decl *D) { DA.analyzeDecl(D); });
+    P.parseTopDecls(/*HeadingsOnly=*/false);
+    DA.finish(); // Module symbol table complete before the body parse.
+    if (OwnDefScope && !OwnDefScope->isComplete())
+      ctx().wait(*OwnDefScope->completionEvent());
+    Merge.setGlobalsFrom(*ModuleScopePtr, OwnDefScope);
+
+    StmtList Body = P.parseImplModuleBody();
+    // Drain to end of stream first: only once the Splitter has finished
+    // this stream is the child list final (malformed input can end the
+    // module's syntax before the raw token stream ends).
+    P.drainToEof();
+    releaseOrphanHeadings(nullptr);
+    int64_t Weight = static_cast<int64_t>(P.tokensConsumed());
+    spawnCodeGen(/*Stream=*/nullptr, std::move(Body), Weight);
+  }
+
+  void procParserTask(ProcStream &S) {
+    Parser P(TokenBlockQueue::Reader(S.Queue), S.Arena, Comp.Diags,
+             ParserMode::SplitStream);
+    // The heading tokens are re-read syntactically; under CopyEntries the
+    // parameter entries were already copied in by the parent (section 2.4
+    // alternative 1), under Reprocess the child re-analyzes them here
+    // (alternative 3) — in either case the parameters must be in the
+    // scope before any local declaration is analyzed, so slot numbering
+    // matches the sequential compiler exactly.
+    ast::ProcHeading Heading = P.parseProcStreamHeading();
+    DeclAnalyzer DA(Comp, *S.ProcScope, ModName);
+    if (Comp.Options.Sharing == HeadingSharing::Reprocess)
+      DA.analyzeHeadingInChild(Heading);
+    installHeadingHooks(DA, &S);
+    P.setDeclSink([&DA](Decl *D) { DA.analyzeDecl(D); });
+    P.parseTopDecls(/*HeadingsOnly=*/false);
+    DA.finish(); // Procedure symbol table complete before the body parse.
+
+    StmtList Body = P.parseProcBody();
+    P.drainToEof();
+    releaseOrphanHeadings(&S);
+    spawnCodeGen(&S, std::move(Body), S.Weight.load());
+  }
+
+  void spawnCodeGen(ProcStream *Stream, StmtList Body, int64_t Weight) {
+    bool Long = Weight > Options.LongProcTokens;
+    std::string Name =
+        "codegen." + (Stream ? Stream->QualifiedName
+                             : std::string(Comp.Interner.spelling(ModName)));
+    // Task bodies must be copyable (std::function); share the parse tree.
+    auto BodyPtr = std::make_shared<StmtList>(std::move(Body));
+    auto Task = makeTask(
+        std::move(Name),
+        Long ? TaskClass::LongStmtCodeGen : TaskClass::ShortStmtCodeGen,
+        [this, Stream, BodyPtr, Weight] {
+          const StmtList &Body = *BodyPtr;
+          if (!Stream) {
+            codegen::CodeGenerator CG(Comp, *ModuleScopePtr, ModName);
+            Merge.addUnit(CG.generateModuleBody(Body, Weight));
+            return;
+          }
+          const SymbolEntry *Entry =
+              Stream->Entry.load(std::memory_order_acquire);
+          if (!Entry)
+            return; // Heading failed (redeclaration); error reported.
+          codegen::CodeGenerator CG(Comp, *Stream->ProcScope, ModName);
+          Merge.addUnit(CG.generateProcedure(
+              *Entry, Body,
+              std::string(Comp.Interner.spelling(ModName)) + "." +
+                  codegen::moduleRelativeName(*Entry, Comp.Interner),
+              codegen::procedureLevel(*Stream->ProcScope), Weight));
+        });
+    Task->setWeight(Weight);
+    spawnTask(std::move(Task));
+  }
+
+  //===--- Initial task wiring ---------------------------------------------===//
+
+  bool setup(const SourceBuffer *ModBuf) {
+    Comp.Modules.setStarter([this](Symbol Name, Scope &ModScope) {
+      startDefStream(Name, ModScope);
+    });
+
+    // "The compiler optimistically anticipates the existence of a file
+    // M.def and tries to start processing this file as soon as possible"
+    // (paper section 3).  Its declarations are visible throughout M.mod:
+    // the module scope's parent is the interface scope.
+    Scope *OwnDef = nullptr;
+    if (Comp.Files.exists(VirtualFileSystem::defFileName(
+            Comp.Interner.spelling(ModName))))
+      OwnDef = &Comp.Modules.getOrCreate(ModName,
+                                         Comp.Interner.spelling(ModName));
+    ModuleScopePtr = std::make_unique<Scope>(
+        std::string(Comp.Interner.spelling(ModName)), ScopeKind::Module,
+        OwnDef, &Comp.Builtins);
+    OwnDefScope = OwnDef;
+
+    MainParserTask = makeTask("parse.main", TaskClass::ModuleParserDecl,
+                              [this] { mainParserTask(); });
+    ModuleScopePtr->completionEvent()->setResolver(MainParserTask.get());
+    if (avoidance() && OwnDef)
+      MainParserTask->addPrerequisite(OwnDef->completionEvent());
+
+    Exec.spawn(makeTask("lex.main", TaskClass::Lexor, [this, ModBuf] {
+      Lexer Lex(*ModBuf, Comp.Interner, Comp.Diags);
+      Lex.lexAll(RawQueue);
+    }));
+
+    Exec.spawn(makeTask("split.main", TaskClass::Splitter, [this] {
+      SplitterHooks Hooks;
+      Hooks.beginProc = [this](StreamHandle Parent, Symbol Name) {
+        return static_cast<StreamHandle>(createProcStream(
+            static_cast<ProcStream *>(Parent), Name));
+      };
+      Hooks.queueOf = [this](StreamHandle Stream) -> TokenBlockQueue & {
+        return Stream ? static_cast<ProcStream *>(Stream)->Queue : MainQueue;
+      };
+      Hooks.endProc = [](StreamHandle Stream, int64_t Tokens) {
+        static_cast<ProcStream *>(Stream)->Weight.store(Tokens);
+      };
+      Splitter Split(TokenBlockQueue::Reader(RawQueue), std::move(Hooks));
+      Split.run();
+    }));
+
+    Exec.spawn(makeTask("import.main", TaskClass::Importer, [this] {
+      Importer Imp(TokenBlockQueue::Reader(RawQueue), Comp.Modules,
+                   Comp.Interner);
+      Merge.setImports(Imp.run());
+    }));
+    Exec.spawn(MainParserTask);
+    return true;
+  }
+
+  size_t streamCount() {
+    std::lock_guard<std::mutex> Lock(StreamsMutex);
+    return 1 + ProcStreams.size() + DefStreams.size();
+  }
+
+  const CompilerOptions &Options;
+  std::shared_ptr<Compilation> CompPtr;
+  Compilation &Comp;
+  Executor &Exec;
+  Symbol ModName;
+  codegen::Merger Merge;
+
+  TokenBlockQueue RawQueue;
+  TokenBlockQueue MainQueue;
+  std::unique_ptr<Scope> ModuleScopePtr;
+  Scope *OwnDefScope = nullptr;
+  std::atomic<bool> InsideRun{false};
+  ASTArena MainArena;
+  TaskPtr MainParserTask;
+
+  std::mutex StreamsMutex;
+  std::vector<std::unique_ptr<ProcStream>> ProcStreams;
+  std::vector<std::unique_ptr<DefStream>> DefStreams;
+  std::mutex MainChildrenMutex;
+  std::vector<ProcStream *> MainChildren;
+};
+
+} // namespace
+
+CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
+  CompileResult Result;
+  auto Comp = std::make_shared<Compilation>(
+      Files, Interner,
+      CompilationOptions{Options.Strategy, Options.Sharing,
+                         Options.Optimize});
+  Result.Compilation = Comp;
+
+  std::string ModFile = VirtualFileSystem::modFileName(ModuleName);
+  const SourceBuffer *ModBuf = Files.lookup(ModFile);
+  if (!ModBuf) {
+    Comp->Diags.error(SourceLocation(),
+                      "cannot find module file '" + ModFile + "'");
+    Result.DiagnosticText = Comp->Diags.render(&Files);
+    return Result;
+  }
+
+  std::unique_ptr<sched::Executor> Exec;
+  if (Options.Executor == ExecutorKind::Threaded)
+    Exec = std::make_unique<ThreadedExecutor>(Options.Processors,
+                                              Options.Cost);
+  else
+    Exec = std::make_unique<SimulatedExecutor>(Options.Processors,
+                                               Options.Cost);
+  Exec->setActivitySink(Options.Trace);
+
+  ConcurrentRun Run(Files, Interner, Options, ModuleName, Comp, *Exec);
+  Run.setup(ModBuf);
+  Run.InsideRun.store(true, std::memory_order_release);
+  Exec->run();
+
+  // The merge task's incremental concatenation has already collected
+  // every unit; finalize orders them deterministically.
+  Result.Image = Run.Merge.finalize();
+  Result.Success = !Comp->Diags.hasErrors();
+  Result.DiagnosticText = Comp->Diags.render(&Files);
+  Result.ElapsedUnits = Exec->elapsedUnits();
+  if (Options.Executor == ExecutorKind::Simulated)
+    Result.SimSeconds = static_cast<double>(Result.ElapsedUnits) /
+                        static_cast<double>(Options.Cost.UnitsPerSecond);
+  Result.SchedStats = Exec->stats().snapshot();
+  Result.StreamCount = Run.streamCount();
+  return Result;
+}

@@ -1,0 +1,357 @@
+//===--- Lexer.cpp - Modula-2+ lexical analyzer ---------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Lexer.h"
+
+#include "sched/ExecContext.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+using namespace m2c;
+
+const char *m2c::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+#define TOK(Name)                                                              \
+  case TokenKind::Name:                                                        \
+    return #Name;
+#include "lex/TokenKinds.def"
+  }
+  return "Invalid";
+}
+
+std::string_view m2c::tokenKindSpelling(TokenKind Kind) {
+  switch (Kind) {
+#define KEYWORD(Name, Spelling)                                                \
+  case TokenKind::Name:                                                        \
+    return Spelling;
+#define PUNCT(Name, Spelling)                                                  \
+  case TokenKind::Name:                                                        \
+    return Spelling;
+#include "lex/TokenKinds.def"
+  default:
+    return "";
+  }
+}
+
+bool m2c::isKeyword(TokenKind Kind) {
+  switch (Kind) {
+#define KEYWORD(Name, Spelling) case TokenKind::Name:
+#include "lex/TokenKinds.def"
+    return true;
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Reserved-word table; built on first use.
+const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+#define KEYWORD(Name, Spelling) {Spelling, TokenKind::Name},
+#include "lex/TokenKinds.def"
+  };
+  return Table;
+}
+
+bool isIdentStart(char C) { return std::isalpha(static_cast<unsigned char>(C)); }
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isDigit(char C) { return C >= '0' && C <= '9'; }
+bool isHexDigit(char C) { return isDigit(C) || (C >= 'A' && C <= 'F'); }
+
+} // namespace
+
+Lexer::Lexer(const SourceBuffer &Buf, StringInterner &Interner,
+             DiagnosticsEngine &Diags)
+    : Text(Buf.Text), File(Buf.Id), Interner(Interner), Diags(Diags) {}
+
+char Lexer::peekChar(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  return Index < Text.size() ? Text[Index] : '\0';
+}
+
+char Lexer::bump() {
+  assert(!atEnd() && "bump past end of input");
+  char C = Text[Pos++];
+  ++CharsSinceCharge;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  unsigned CommentDepth = 0;
+  SourceLocation CommentStart;
+  while (!atEnd()) {
+    char C = peekChar();
+    if (CommentDepth > 0) {
+      if (C == '*' && peekChar(1) == ')') {
+        bump();
+        bump();
+        --CommentDepth;
+        continue;
+      }
+      if (C == '(' && peekChar(1) == '*') {
+        bump();
+        bump();
+        ++CommentDepth; // Modula-2 comments nest.
+        continue;
+      }
+      bump();
+      continue;
+    }
+    if (C == '(' && peekChar(1) == '*') {
+      CommentStart = location();
+      bump();
+      bump();
+      ++CommentDepth;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n' || C == '\f' ||
+        C == '\v') {
+      bump();
+      continue;
+    }
+    return;
+  }
+  if (CommentDepth > 0)
+    Diags.error(CommentStart, "unterminated comment");
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lex() {
+  skipWhitespaceAndComments();
+  SourceLocation Loc = location();
+  if (atEnd()) {
+    sched::ctx().charge(sched::CostKind::LexChar, CharsSinceCharge);
+    CharsSinceCharge = 0;
+    return makeToken(TokenKind::Eof, Loc);
+  }
+
+  char C = peekChar();
+  Token Result;
+  if (isIdentStart(C))
+    Result = lexIdentifierOrKeyword(Loc);
+  else if (isDigit(C))
+    Result = lexNumber(Loc);
+  else if (C == '\'' || C == '"') {
+    bump();
+    Result = lexString(Loc, C);
+  } else {
+    Result = lexPunctuation(Loc);
+  }
+
+  sched::ctx().charge(sched::CostKind::LexChar, CharsSinceCharge);
+  sched::ctx().charge(sched::CostKind::LexToken);
+  CharsSinceCharge = 0;
+  return Result;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLocation Loc) {
+  size_t Start = Pos;
+  while (!atEnd() && isIdentCont(peekChar()))
+    bump();
+  std::string_view Spelling = Text.substr(Start, Pos - Start);
+  auto It = keywordTable().find(Spelling);
+  if (It != keywordTable().end())
+    return makeToken(It->second, Loc);
+  Token T = makeToken(TokenKind::Identifier, Loc);
+  T.Ident = Interner.intern(Spelling);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  size_t Start = Pos;
+  // Scan the longest run of hex digits; its interpretation depends on the
+  // trailing marker (H = hex, B = octal, C = char code, none = decimal).
+  while (!atEnd() && isHexDigit(peekChar()))
+    bump();
+
+  char Marker = atEnd() ? '\0' : peekChar();
+  std::string_view Digits = Text.substr(Start, Pos - Start);
+
+  if (Marker == 'H') {
+    bump();
+    Token T = makeToken(TokenKind::IntLiteral, Loc);
+    T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 16);
+    return T;
+  }
+
+  auto AllOctalDigits = [](std::string_view S) {
+    for (char D : S)
+      if (D < '0' || D > '7')
+        return false;
+    return !S.empty();
+  };
+
+  // The octal markers 'B' (integer) and 'C' (character code) are
+  // themselves hexadecimal digits, so they end up *inside* the scanned
+  // run: "777B" scans as the four "hex digits" 7,7,7,B.  Peel a trailing
+  // B/C off when everything before it is octal.
+  if (Digits.size() >= 2 &&
+      (Digits.back() == 'B' || Digits.back() == 'C') &&
+      AllOctalDigits(Digits.substr(0, Digits.size() - 1))) {
+    char Suffix = Digits.back();
+    Digits.remove_suffix(1);
+    Token T = makeToken(Suffix == 'C' ? TokenKind::CharLiteral
+                                      : TokenKind::IntLiteral,
+                        Loc);
+    T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 8);
+    return T;
+  }
+
+  bool AllDecimal = true;
+  for (char D : Digits)
+    if (!isDigit(D))
+      AllDecimal = false;
+
+  if (!AllDecimal) {
+    Diags.error(Loc, "hexadecimal constant requires a trailing 'H'");
+    Token T = makeToken(TokenKind::IntLiteral, Loc);
+    T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 16);
+    return T;
+  }
+
+  // A '.' begins a real literal unless it is the '..' range operator.
+  if (Marker == '.' && peekChar(1) != '.') {
+    bump(); // '.'
+    size_t FracStart = Pos;
+    while (!atEnd() && isDigit(peekChar()))
+      bump();
+    if (!atEnd() && peekChar() == 'E') {
+      bump();
+      if (!atEnd() && (peekChar() == '+' || peekChar() == '-'))
+        bump();
+      if (atEnd() || !isDigit(peekChar()))
+        Diags.error(location(), "missing exponent digits in real constant");
+      while (!atEnd() && isDigit(peekChar()))
+        bump();
+    }
+    (void)FracStart;
+    Token T = makeToken(TokenKind::RealLiteral, Loc);
+    T.RealValue =
+        std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                    nullptr);
+    return T;
+  }
+
+  Token T = makeToken(TokenKind::IntLiteral, Loc);
+  T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexString(SourceLocation Loc, char Quote) {
+  size_t Start = Pos;
+  while (!atEnd() && peekChar() != Quote && peekChar() != '\n')
+    bump();
+  std::string_view Body = Text.substr(Start, Pos - Start);
+  if (atEnd() || peekChar() != Quote)
+    Diags.error(Loc, "unterminated string constant");
+  else
+    bump(); // closing quote
+  // A single-character string is a character literal in Modula-2.
+  if (Body.size() == 1) {
+    Token T = makeToken(TokenKind::CharLiteral, Loc);
+    T.IntValue = static_cast<unsigned char>(Body[0]);
+    T.Ident = Interner.intern(Body);
+    return T;
+  }
+  Token T = makeToken(TokenKind::StringLiteral, Loc);
+  T.Ident = Interner.intern(Body);
+  return T;
+}
+
+Token Lexer::lexPunctuation(SourceLocation Loc) {
+  char C = bump();
+  auto TwoChar = [&](char Second, TokenKind Two, TokenKind One) {
+    if (!atEnd() && peekChar() == Second) {
+      bump();
+      return makeToken(Two, Loc);
+    }
+    return makeToken(One, Loc);
+  };
+  switch (C) {
+  case '+':
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    return makeToken(TokenKind::Slash, Loc);
+  case ':':
+    return TwoChar('=', TokenKind::Assign, TokenKind::Colon);
+  case '&':
+    return makeToken(TokenKind::Ampersand, Loc);
+  case '.':
+    return TwoChar('.', TokenKind::DotDot, TokenKind::Dot);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Loc);
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '^':
+    return makeToken(TokenKind::Caret, Loc);
+  case '=':
+    return makeToken(TokenKind::Equal, Loc);
+  case '#':
+    return makeToken(TokenKind::Hash, Loc);
+  case '<':
+    if (!atEnd() && peekChar() == '=') {
+      bump();
+      return makeToken(TokenKind::LessEq, Loc);
+    }
+    return TwoChar('>', TokenKind::NotEqual, TokenKind::Less);
+  case '>':
+    return TwoChar('=', TokenKind::GreaterEq, TokenKind::Greater);
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc);
+  case '|':
+    return makeToken(TokenKind::Bar, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Unknown, Loc);
+  }
+}
+
+void Lexer::lexAll(TokenBlockQueue &Queue) {
+  while (true) {
+    Token T = lex();
+    if (T.isEof()) {
+      Queue.finish(T.Loc);
+      return;
+    }
+    Queue.append(T);
+  }
+}

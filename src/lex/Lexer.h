@@ -1,0 +1,71 @@
+//===--- Lexer.h - Modula-2+ lexical analyzer -------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lexor task: scans one source file into tokens.  Lexor tasks never
+/// block (paper section 2.3.3), which is what makes barrier-event
+/// consumption of token queues deadlock-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_LEX_LEXER_H
+#define M2C_LEX_LEXER_H
+
+#include "lex/Token.h"
+#include "lex/TokenBlockQueue.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+#include "support/VirtualFileSystem.h"
+
+#include <string_view>
+
+namespace m2c {
+
+/// Scans Modula-2+ source text into tokens.
+class Lexer {
+public:
+  Lexer(const SourceBuffer &Buf, StringInterner &Interner,
+        DiagnosticsEngine &Diags);
+
+  /// Scans and returns the next token; returns Eof at end of input
+  /// (repeatedly, if called again).
+  Token lex();
+
+  /// Lexor-task main loop: scans the whole file into \p Queue and
+  /// finishes it.  Charges lexing costs to the current ExecContext.
+  void lexAll(TokenBlockQueue &Queue);
+
+  /// Current location (start of the next unscanned token).
+  SourceLocation location() const {
+    return SourceLocation(File, Line, Column);
+  }
+
+private:
+  char peekChar(unsigned Ahead = 0) const;
+  char bump();
+  bool atEnd() const { return Pos >= Text.size(); }
+  void skipWhitespaceAndComments();
+
+  Token makeToken(TokenKind Kind, SourceLocation Loc) const;
+  Token lexIdentifierOrKeyword(SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+  Token lexString(SourceLocation Loc, char Quote);
+  Token lexPunctuation(SourceLocation Loc);
+
+  std::string_view Text;
+  FileId File;
+  StringInterner &Interner;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  uint64_t CharsSinceCharge = 0;
+};
+
+} // namespace m2c
+
+#endif // M2C_LEX_LEXER_H

@@ -1,0 +1,91 @@
+//===--- TokenBlockQueue.cpp - Producer/consumer token stream ------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/TokenBlockQueue.h"
+
+#include "sched/ExecContext.h"
+
+#include <cassert>
+
+using namespace m2c;
+
+TokenBlockQueue::Block &TokenBlockQueue::blockAt(size_t BlockIdx) {
+  while (Blocks.size() <= BlockIdx) {
+    Block B;
+    B.Ready = sched::makeEvent(Name + ".block" + std::to_string(Blocks.size()),
+                               sched::EventKind::Barrier);
+    Blocks.push_back(std::move(B));
+  }
+  return Blocks[BlockIdx];
+}
+
+void TokenBlockQueue::append(const Token &T) {
+  assert(!Finished && "append after finish");
+  size_t BlockIdx = ProducerNext / BlockCap;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Block &B = blockAt(BlockIdx);
+    assert(!B.Ready->isSignaled() && "append into published block");
+    B.Tokens.push_back(T);
+  }
+  ++ProducerNext;
+  if (!T.isEof())
+    ++Produced;
+  if (ProducerNext % BlockCap == 0)
+    publishCurrent();
+}
+
+void TokenBlockQueue::publishCurrent() {
+  // Publish the most recently filled block: it is the one ending at
+  // ProducerNext - 1 (or the partial block containing ProducerNext).
+  size_t BlockIdx = (ProducerNext - 1) / BlockCap;
+  sched::EventPtr Ready;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Ready = blockAt(BlockIdx).Ready;
+  }
+  if (Ready->isSignaled())
+    return;
+  sched::ctx().charge(sched::CostKind::QueueBlock);
+  sched::ctx().signal(*Ready);
+}
+
+void TokenBlockQueue::finish(SourceLocation EofLoc) {
+  assert(!Finished && "finish called twice");
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Loc = EofLoc;
+  for (unsigned I = 0; I < EofPad; ++I)
+    append(Eof);
+  if (ProducerNext % BlockCap != 0)
+    publishCurrent();
+  Finished = true;
+}
+
+const Token &
+TokenBlockQueue::tokenAt(size_t Index,
+                         std::vector<const std::vector<Token> *> &Seen) {
+  size_t BlockIdx = Index / BlockCap;
+  size_t Offset = Index % BlockCap;
+  if (BlockIdx >= Seen.size() || !Seen[BlockIdx]) {
+    sched::EventPtr Ready;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Ready = blockAt(BlockIdx).Ready;
+    }
+    if (!Ready->isSignaled())
+      sched::ctx().wait(*Ready);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Seen.size() <= BlockIdx)
+      Seen.resize(BlockIdx + 1, nullptr);
+    Seen[BlockIdx] = &Blocks[BlockIdx].Tokens;
+  }
+  const std::vector<Token> &Tokens = *Seen[BlockIdx];
+  assert(Offset < Tokens.size() &&
+         "read past end of stream: lookahead exceeded the Eof pad");
+  return Tokens[Offset];
+}

@@ -1,0 +1,127 @@
+//===--- TokenBlockQueue.h - Producer/consumer token stream ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The Splitter task and the Lexor task of a main module stream
+/// communicate via a lexical token queue.  The elements in this queue are
+/// blocks of tokens.  Each block is associated with one event.  When the
+/// Lexor fills a token block, the block's event is signaled, indicating
+/// to the Splitter that it now may begin to read the tokens of that
+/// block." (paper section 2.3.1)
+///
+/// Consumers wait on block events with *barrier* semantics (section
+/// 2.3.3): the worker is not rescheduled, because producers (Lexor and
+/// Splitter tasks) never block and are started before their consumers.
+/// A queue supports multiple independent readers — the main module's
+/// token stream is consumed by both the Splitter and the Importer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_LEX_TOKENBLOCKQUEUE_H
+#define M2C_LEX_TOKENBLOCKQUEUE_H
+
+#include "lex/Token.h"
+#include "sched/Event.h"
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace m2c {
+
+/// Multi-reader token stream delivered in event-guarded blocks.
+class TokenBlockQueue {
+public:
+  /// Tokens per block.
+  static constexpr size_t BlockCap = 64;
+
+  /// Number of Eof tokens appended by finish().  Bounds the lookahead a
+  /// reader may use: peek(Ahead) requires Ahead < EofPad.
+  static constexpr unsigned EofPad = 8;
+
+  explicit TokenBlockQueue(std::string Name) : Name(std::move(Name)) {}
+  TokenBlockQueue(const TokenBlockQueue &) = delete;
+  TokenBlockQueue &operator=(const TokenBlockQueue &) = delete;
+
+  //===--- Producer side (single producer) -------------------------------===//
+
+  /// Appends \p T, publishing the current block (signaling its event) when
+  /// it fills.
+  void append(const Token &T);
+
+  /// Appends EofPad Eof tokens (so reader lookahead never runs off the
+  /// end) and publishes the final block.  Must be called exactly once.
+  void finish(SourceLocation EofLoc);
+
+  //===--- Consumer side (any number of independent readers) -------------===//
+
+  /// An independent read position over the queue.  Crossing into a block
+  /// the producer hasn't published yet waits (barrier) on that block's
+  /// event.
+  class Reader {
+  public:
+    explicit Reader(TokenBlockQueue &Q) : Q(&Q) {}
+
+    /// The token \p Ahead positions past the cursor, without advancing.
+    /// peek(0) is the next token; \p Ahead must be < EofPad.
+    const Token &peek(unsigned Ahead = 0) {
+      return Q->tokenAt(Next + Ahead, SeenBlocks);
+    }
+
+    /// Consumes and returns the next token.  At end-of-stream returns Eof
+    /// without advancing further.
+    const Token &next() {
+      const Token &T = Q->tokenAt(Next, SeenBlocks);
+      if (!T.isEof())
+        ++Next;
+      return T;
+    }
+
+    /// Index of the next unread token.
+    size_t position() const { return Next; }
+
+  private:
+    TokenBlockQueue *Q;
+    size_t Next = 0;
+    // Blocks this reader has already synchronized with; reads through
+    // these pointers need no locking (published blocks are immutable).
+    std::vector<const std::vector<Token> *> SeenBlocks;
+  };
+
+  const std::string &name() const { return Name; }
+
+  /// Total tokens appended so far, excluding the Eof pad.  Producer-side
+  /// count; meaningful to other tasks only after the producer finished.
+  size_t producedTokens() const { return Produced; }
+
+private:
+  struct Block {
+    std::vector<Token> Tokens;
+    sched::EventPtr Ready;
+  };
+
+  const Token &tokenAt(size_t Index,
+                       std::vector<const std::vector<Token> *> &Seen);
+
+  /// Returns the block at \p BlockIdx, creating it (and its event) if
+  /// neither side has touched it yet.  Caller holds Mutex.
+  Block &blockAt(size_t BlockIdx);
+
+  void publishCurrent();
+
+  const std::string Name;
+  std::mutex Mutex;
+  std::deque<Block> Blocks; // stable addresses under push_back
+  size_t Produced = 0;      // producer-local; no lock needed
+  size_t ProducerNext = 0;  // index of next token to append
+  bool Finished = false;
+};
+
+} // namespace m2c
+
+#endif // M2C_LEX_TOKENBLOCKQUEUE_H

@@ -1,0 +1,42 @@
+//===--- ActivitySink.h - Executor-side tracing interface ------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executors report per-processor task execution intervals through this
+/// interface.  The trace library's ActivityRecorder implements it to
+/// produce the paper's WatchTool-style activity views (Figures 4 and 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SCHED_ACTIVITYSINK_H
+#define M2C_SCHED_ACTIVITYSINK_H
+
+#include "sched/Task.h"
+
+#include <cstdint>
+
+namespace m2c::sched {
+
+/// Receives execution-interval notifications from an executor.
+///
+/// Implementations must be thread-safe: the threaded executor reports from
+/// multiple workers concurrently.
+class ActivitySink {
+public:
+  virtual ~ActivitySink();
+
+  /// Reports that processor \p Proc executed \p T from \p StartUnits to
+  /// \p EndUnits (virtual-time units for the simulated executor,
+  /// nanoseconds for the threaded executor).  A task blocked and resumed
+  /// mid-execution reports one interval per unblocked stretch.
+  virtual void record(unsigned Proc, const Task &T, uint64_t StartUnits,
+                      uint64_t EndUnits) = 0;
+};
+
+} // namespace m2c::sched
+
+#endif // M2C_SCHED_ACTIVITYSINK_H

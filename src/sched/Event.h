@@ -1,0 +1,113 @@
+//===--- Event.h - Concurrency events (paper section 2.3.3) ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Events are the concurrency mechanism of the compiler: "an event is
+/// simply something that either has or has not occurred.  A task waits on
+/// an event if and only if it hasn't occurred" (paper section 2.3.1).
+///
+/// Events come in three categories (section 2.3.3):
+///
+///  * Avoided events gate task start: a task listing an avoided event as a
+///    prerequisite is not handed to a worker until the event has occurred.
+///  * Handled events may be waited on mid-task; the worker whose task
+///    blocks is released to perform other tasks, preferring the task that
+///    will signal the awaited event.
+///  * Barrier events are waited on without releasing the worker; they are
+///    used only in the token streams, where the producer (a Lexor task)
+///    never blocks, so deadlock is impossible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SCHED_EVENT_H
+#define M2C_SCHED_EVENT_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace m2c::sched {
+
+class Task;
+
+/// The three event categories of paper section 2.3.3.
+enum class EventKind : uint8_t {
+  Avoided,
+  Handled,
+  Barrier,
+};
+
+/// A one-shot occurrence flag tasks can wait on.
+///
+/// The flag only ever transitions unsignaled -> signaled.  Waiting and
+/// signaling are routed through the active ExecContext so that each
+/// executor (threaded, simulated, sequential) can apply its own scheduling
+/// policy; the Event itself carries the shared state every executor needs.
+class Event {
+public:
+  Event(std::string Name, EventKind Kind)
+      : Name(std::move(Name)), Kind(Kind) {}
+  Event(const Event &) = delete;
+  Event &operator=(const Event &) = delete;
+
+  const std::string &name() const { return Name; }
+  EventKind kind() const { return Kind; }
+
+  bool isSignaled() const { return Signaled.load(std::memory_order_acquire); }
+
+  /// The task whose completion is expected to signal this event.  Used by
+  /// the supervisor to preferentially schedule the resolver of a DKY
+  /// blockage (section 2.3.4).  May be null.
+  Task *resolver() const { return Resolver.load(std::memory_order_acquire); }
+  void setResolver(Task *T) { Resolver.store(T, std::memory_order_release); }
+
+  /// Virtual time at which the event was signaled (simulated executor
+  /// only; zero elsewhere).
+  uint64_t signalTime() const {
+    return SignalTimeUnits.load(std::memory_order_acquire);
+  }
+
+private:
+  friend class ThreadedExecutor;
+  friend class SimulatedExecutor;
+  friend class SequentialContext;
+
+  /// Marks the event signaled.  Returns true if this call performed the
+  /// transition (i.e. the event was previously unsignaled).
+  bool markSignaled(uint64_t TimeUnits) {
+    bool Expected = false;
+    if (!Signaled.compare_exchange_strong(Expected, true,
+                                          std::memory_order_acq_rel))
+      return false;
+    SignalTimeUnits.store(TimeUnits, std::memory_order_release);
+    return true;
+  }
+
+  const std::string Name;
+  const EventKind Kind;
+  std::atomic<bool> Signaled{false};
+  std::atomic<Task *> Resolver{nullptr};
+  std::atomic<uint64_t> SignalTimeUnits{0};
+
+  // Used by the threaded executor to park OS threads on this event.
+  std::mutex WaitMutex;
+  std::condition_variable WaitCv;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+/// Convenience factory.
+inline EventPtr makeEvent(std::string Name, EventKind Kind) {
+  return std::make_shared<Event>(std::move(Name), Kind);
+}
+
+} // namespace m2c::sched
+
+#endif // M2C_SCHED_EVENT_H

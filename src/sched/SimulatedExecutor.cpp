@@ -1,0 +1,317 @@
+//===--- SimulatedExecutor.cpp - Discrete-event multiprocessor -----------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/SimulatedExecutor.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace m2c::sched;
+
+SimulatedExecutor::SimulatedExecutor(unsigned Processors, CostModel Model)
+    : Processors(Processors), Model(Model) {
+  assert(Processors > 0 && "need at least one processor");
+}
+
+SimulatedExecutor::~SimulatedExecutor() {
+  // run() joins every host thread; reaching here with live threads means
+  // run() was never called for some spawned tasks, which never started, so
+  // no threads exist either way.
+  for ([[maybe_unused]] auto &ST : AllTasks)
+    assert(!ST->Host.joinable() && "simulated task thread leaked");
+}
+
+void SimulatedExecutor::spawn(TaskPtr T) {
+  assert(T && "null task");
+  std::lock_guard<std::mutex> Lock(SpawnM);
+  assert(!Running && "external spawn during run(); use ctx().spawn from "
+                     "task code instead");
+  PreRunSpawns.push_back(std::move(T));
+}
+
+//===----------------------------------------------------------------------===//
+// Baton handshake
+//===----------------------------------------------------------------------===//
+
+void SimulatedExecutor::park(SimTask &ST) {
+  std::unique_lock<std::mutex> Lock(ST.BatonM);
+  ST.Parked = true;
+  ST.BatonCv.notify_all();
+  ST.BatonCv.wait(Lock, [&] { return ST.Go; });
+  ST.Go = false;
+}
+
+void SimulatedExecutor::stepTask(SimTask &ST) {
+  {
+    std::unique_lock<std::mutex> Lock(ST.BatonM);
+    if (!ST.Host.joinable()) {
+      // First step: create the host thread, which runs the task body until
+      // its first scheduling operation.
+      Lock.unlock();
+      SimTask *Raw = &ST;
+      ST.Host = std::thread([this, Raw] {
+        SimContext Ctx(*this, *Raw);
+        ScopedContext Installed(Ctx);
+        Raw->T->invoke();
+        std::lock_guard<std::mutex> BodyDone(Raw->BatonM);
+        Raw->Op = OpKind::Finish;
+        Raw->Finished = true;
+        Raw->BatonCv.notify_all();
+      });
+      Lock.lock();
+    } else {
+      ST.Parked = false;
+      ST.Go = true;
+      ST.BatonCv.notify_all();
+    }
+    ST.BatonCv.wait(Lock, [&] { return ST.Parked || ST.Finished; });
+  }
+  flushCharges(ST);
+  Heap.push(PendingOp{ST.LocalTime, NextSeq++, &ST});
+}
+
+void SimulatedExecutor::flushCharges(SimTask &ST) {
+  if (ST.PendingUnits == 0)
+    return;
+  double Scale = 1.0;
+  if (Model.BusBeta > 0.0 && ST.BusyAtResume > 1)
+    Scale += Model.BusBeta * static_cast<double>(ST.BusyAtResume - 1);
+  ST.LocalTime += static_cast<uint64_t>(
+      std::llround(static_cast<double>(ST.PendingUnits) * Scale));
+  ST.PendingUnits = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Task-side context
+//===----------------------------------------------------------------------===//
+
+void SimulatedExecutor::SimContext::wait(Event &E) {
+  ST.Op = OpKind::Wait;
+  ST.OpEvent = &E;
+  Exec.park(ST);
+}
+
+void SimulatedExecutor::SimContext::signal(Event &E) {
+  ST.Op = OpKind::Signal;
+  ST.OpEvent = &E;
+  Exec.park(ST);
+}
+
+void SimulatedExecutor::SimContext::spawn(TaskPtr T) {
+  assert(T && "null task");
+  ST.Op = OpKind::Spawn;
+  ST.OpSpawn = std::move(T);
+  Exec.park(ST);
+}
+
+//===----------------------------------------------------------------------===//
+// Simulation loop
+//===----------------------------------------------------------------------===//
+
+void SimulatedExecutor::run() {
+  {
+    std::lock_guard<std::mutex> Lock(SpawnM);
+    Running = true;
+    for (TaskPtr &T : PreRunSpawns)
+      Sup.add(std::move(T));
+    PreRunSpawns.clear();
+  }
+  for (unsigned I = 0; I < Processors; ++I)
+    FreeProcs.push_back(Processors - 1 - I);
+
+  CurTime = 0;
+  Makespan = 0;
+  matchAssignments(0);
+
+  while (!Heap.empty()) {
+    PendingOp Op = Heap.top();
+    Heap.pop();
+    assert(Op.Time >= CurTime && "simulation time went backwards");
+    CurTime = Op.Time;
+    if (CurTime > Makespan)
+      Makespan = CurTime;
+    applyOp(*Op.ST);
+  }
+
+  size_t Stuck = ResumeQueue.size();
+  for (const auto &[E, Waiters] : HandledWaiters)
+    Stuck += Waiters.size();
+  for (const auto &[E, Waiters] : BarrierWaiters)
+    Stuck += Waiters.size();
+  if (Stuck != 0 || Sup.hasReady() || Sup.heldCount() != 0) {
+    std::fprintf(stderr,
+                 "m2c: simulated deadlock: %zu blocked tasks, %zu ready, "
+                 "%zu held on avoided events\n",
+                 Stuck, Sup.readyCount(), Sup.heldCount());
+    for (const auto &[E, Waiters] : HandledWaiters)
+      for (SimTask *W : Waiters)
+        std::fprintf(stderr, "  '%s' waits (handled) on '%s'\n",
+                     W->T->name().c_str(), E->name().c_str());
+    for (const auto &[E, Waiters] : BarrierWaiters)
+      for (SimTask *W : Waiters)
+        std::fprintf(stderr, "  '%s' waits (barrier) on '%s'\n",
+                     W->T->name().c_str(), E->name().c_str());
+    for (const std::string &Held : Sup.heldTaskReport())
+      std::fprintf(stderr, "  %s\n", Held.c_str());
+    std::abort();
+  }
+
+  Stats.add("sched.tasks.total", Sup.spawnedCount());
+  std::lock_guard<std::mutex> Lock(SpawnM);
+  Running = false;
+}
+
+void SimulatedExecutor::applyOp(SimTask &ST) {
+  switch (ST.Op) {
+  case OpKind::Wait:
+    applyWait(ST, *ST.OpEvent);
+    return;
+  case OpKind::Signal:
+    applySignal(ST, *ST.OpEvent);
+    return;
+  case OpKind::Spawn: {
+    TaskPtr NewT = std::move(ST.OpSpawn);
+    Sup.add(std::move(NewT));
+    matchAssignments(CurTime);
+    stepTask(ST);
+    return;
+  }
+  case OpKind::Finish:
+    applyFinish(ST);
+    return;
+  }
+}
+
+void SimulatedExecutor::applyWait(SimTask &ST, Event &E) {
+  if (E.isSignaled()) {
+    ST.LocalTime += Model.EventWaitOverhead;
+    stepTask(ST);
+    return;
+  }
+
+  if (E.kind() == EventKind::Barrier) {
+    // Processor is held but stalled while the task waits (section 2.3.3).
+    Stats.add("sched.waits.barrier");
+    recordInterval(ST, ST.LocalTime);
+    ST.Blocked = true;
+    assert(BusyCount > 0 && "busy-count underflow");
+    --BusyCount;
+    BarrierWaiters[&E].push_back(&ST);
+    return;
+  }
+
+  assert(E.kind() == EventKind::Handled &&
+         "avoided events gate task start and are never waited on mid-task");
+  Stats.add("sched.waits.handled");
+  if (Sup.boostResolver(E))
+    Stats.add("sched.boosts");
+  recordInterval(ST, ST.LocalTime);
+  ST.Blocked = true;
+  assert(BusyCount > 0 && "busy-count underflow");
+  --BusyCount;
+  FreeProcs.push_back(ST.Proc);
+  HandledWaiters[&E].push_back(&ST);
+  matchAssignments(CurTime);
+}
+
+void SimulatedExecutor::applySignal(SimTask &ST, Event &E) {
+  ST.LocalTime += Model.EventSignalOverhead;
+  if (E.markSignaled(CurTime)) {
+    Stats.add("sched.events.signaled");
+    unsigned Released = Sup.noteSignaled(E);
+    if (Released)
+      Stats.add("sched.tasks.released_by_event", Released);
+    wakeWaiters(E, CurTime);
+    matchAssignments(CurTime);
+  }
+  stepTask(ST);
+}
+
+void SimulatedExecutor::wakeWaiters(Event &E, uint64_t Now) {
+  if (auto It = BarrierWaiters.find(&E); It != BarrierWaiters.end()) {
+    std::vector<SimTask *> Waiters = std::move(It->second);
+    BarrierWaiters.erase(It);
+    for (SimTask *W : Waiters) {
+      // The processor was held throughout; resume in place.
+      Stats.add("sched.waits.barrier_units", Now - W->LocalTime);
+      W->Blocked = false;
+      ++BusyCount;
+      W->BusyAtResume = BusyCount;
+      W->LocalTime = Now + Model.EventWaitOverhead;
+      W->IntervalStart = Now;
+      stepTask(*W);
+    }
+  }
+  if (auto It = HandledWaiters.find(&E); It != HandledWaiters.end()) {
+    std::vector<SimTask *> Waiters = std::move(It->second);
+    HandledWaiters.erase(It);
+    for (SimTask *W : Waiters)
+      ResumeQueue.push_back(W);
+  }
+}
+
+void SimulatedExecutor::applyFinish(SimTask &ST) {
+  recordInterval(ST, ST.LocalTime);
+  assert(BusyCount > 0 && "busy-count underflow");
+  --BusyCount;
+  FreeProcs.push_back(ST.Proc);
+  assert(LiveTasks > 0 && "live-task underflow");
+  --LiveTasks;
+  ST.T->markDone();
+  if (ST.Host.joinable())
+    ST.Host.join();
+  matchAssignments(CurTime);
+}
+
+void SimulatedExecutor::matchAssignments(uint64_t Now) {
+  while (!FreeProcs.empty()) {
+    if (!ResumeQueue.empty()) {
+      // Resuming blocked tasks takes precedence over starting fresh ones:
+      // they hold partial results and other tasks may depend on them.
+      SimTask *W = ResumeQueue.front();
+      ResumeQueue.pop_front();
+      W->Proc = FreeProcs.back();
+      FreeProcs.pop_back();
+      W->Blocked = false;
+      ++BusyCount;
+      W->BusyAtResume = BusyCount;
+      W->LocalTime = Now + Model.EventWaitOverhead;
+      W->IntervalStart = Now;
+      stepTask(*W);
+      continue;
+    }
+    TaskPtr T = Sup.popBest();
+    if (!T)
+      return;
+    auto Owned = std::make_unique<SimTask>();
+    SimTask *ST = Owned.get();
+    ST->T = std::move(T);
+    ST->Proc = FreeProcs.back();
+    FreeProcs.pop_back();
+    ++BusyCount;
+    ST->BusyAtResume = BusyCount;
+    ST->LocalTime = Now + Model.TaskDispatch;
+    ST->IntervalStart = Now;
+    ++LiveTasks;
+    bool First = ST->T->markStarted();
+    assert(First && "task started twice");
+    (void)First;
+    Stats.add("sched.tasks.started");
+    AllTasks.push_back(std::move(Owned));
+    stepTask(*ST);
+  }
+}
+
+void SimulatedExecutor::recordInterval(SimTask &ST, uint64_t End) {
+  if (!Sink)
+    return;
+  if (End > ST.IntervalStart)
+    Sink->record(ST.Proc, *ST.T, ST.IntervalStart, End);
+  ST.IntervalStart = End;
+}

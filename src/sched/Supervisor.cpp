@@ -1,0 +1,93 @@
+//===--- Supervisor.cpp - Task admission policy ---------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Supervisor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace m2c::sched;
+
+void Supervisor::add(TaskPtr T) {
+  assert(T && "null task");
+  ++Spawned;
+  unsigned Outstanding = 0;
+  for (const EventPtr &E : T->prerequisites()) {
+    if (E->isSignaled())
+      continue;
+    Waiting[E.get()].push_back(T);
+    ++Outstanding;
+  }
+  if (Outstanding == 0) {
+    Ready.push_back(ReadyEntry{std::move(T), NextSeq++});
+    return;
+  }
+  OutstandingPrereqs[T.get()] = Outstanding;
+  ++Held;
+}
+
+unsigned Supervisor::noteSignaled(const Event &E) {
+  auto It = Waiting.find(&E);
+  if (It == Waiting.end())
+    return 0;
+  unsigned Released = 0;
+  for (TaskPtr &T : It->second) {
+    auto CountIt = OutstandingPrereqs.find(T.get());
+    assert(CountIt != OutstandingPrereqs.end() && "held task without count");
+    if (--CountIt->second != 0)
+      continue;
+    OutstandingPrereqs.erase(CountIt);
+    assert(Held > 0 && "held-count underflow");
+    --Held;
+    Ready.push_back(ReadyEntry{std::move(T), NextSeq++});
+    ++Released;
+  }
+  Waiting.erase(It);
+  return Released;
+}
+
+bool Supervisor::betterThan(const ReadyEntry &A, const ReadyEntry &B) {
+  bool ABoost = A.T->isBoosted(), BBoost = B.T->isBoosted();
+  if (ABoost != BBoost)
+    return ABoost;
+  if (A.T->taskClass() != B.T->taskClass())
+    return A.T->taskClass() < B.T->taskClass();
+  if (A.T->taskClass() == TaskClass::LongStmtCodeGen &&
+      A.T->weight() != B.T->weight())
+    return A.T->weight() > B.T->weight();
+  return A.Seq < B.Seq;
+}
+
+TaskPtr Supervisor::popBest() {
+  if (Ready.empty())
+    return nullptr;
+  auto Best = Ready.begin();
+  for (auto It = std::next(Ready.begin()), End = Ready.end(); It != End; ++It)
+    if (betterThan(*It, *Best))
+      Best = It;
+  TaskPtr T = std::move(Best->T);
+  Ready.erase(Best);
+  return T;
+}
+
+std::vector<std::string> Supervisor::heldTaskReport() const {
+  std::vector<std::string> Report;
+  for (const auto &[Event, Tasks] : Waiting)
+    for (const TaskPtr &T : Tasks)
+      if (T)
+        Report.push_back("'" + T->name() + "' held on '" + Event->name() +
+                         "'");
+  return Report;
+}
+
+bool Supervisor::boostResolver(const Event &E) {
+  Task *Resolver = E.resolver();
+  if (!Resolver || Resolver->isStarted() || Resolver->isBoosted())
+    return false;
+  Resolver->boost();
+  return true;
+}

@@ -1,0 +1,92 @@
+//===--- Supervisor.h - Task admission policy (section 2.3) ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Supervisor implements the paper's "Supervisors" extension of
+/// WorkCrews: it tracks spawned tasks, holds back tasks whose avoided
+/// events have not yet occurred, and hands out ready tasks in priority
+/// order (Lexor first ... short statement/code-generation tasks last),
+/// ordering long code-generation tasks before short ones and boosting the
+/// resolver of a DKY blockage to the front.
+///
+/// The Supervisor is a pure policy object shared by both executors; it is
+/// not itself thread-safe — callers serialize access with their own lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SCHED_SUPERVISOR_H
+#define M2C_SCHED_SUPERVISOR_H
+
+#include "sched/Task.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace m2c::sched {
+
+/// Priority-ordered pool of spawned-but-unstarted tasks.
+class Supervisor {
+public:
+  Supervisor() = default;
+  Supervisor(const Supervisor &) = delete;
+  Supervisor &operator=(const Supervisor &) = delete;
+
+  /// Registers a newly spawned task.  If every prerequisite has already
+  /// been signaled the task is immediately ready; otherwise it is held
+  /// until noteSignaled() releases it.
+  void add(TaskPtr T);
+
+  /// Records that \p E occurred, releasing any held tasks whose last
+  /// outstanding prerequisite it was.  Returns the number of tasks that
+  /// became ready.
+  unsigned noteSignaled(const Event &E);
+
+  /// Removes and returns the best ready task, or null if none is ready.
+  /// Order: boosted tasks first, then ascending TaskClass, then (within
+  /// LongStmtCodeGen) descending weight, then spawn order.
+  TaskPtr popBest();
+
+  /// Marks the resolver task of \p E (if any, and if not yet started) as
+  /// boosted so popBest() prefers it.  Returns true if a boost was
+  /// applied.
+  bool boostResolver(const Event &E);
+
+  bool hasReady() const { return !Ready.empty(); }
+  size_t readyCount() const { return Ready.size(); }
+
+  /// Number of tasks held back by unsignaled avoided events.
+  size_t heldCount() const { return Held; }
+
+  /// Names of held tasks with the events they wait for (deadlock
+  /// reports).
+  std::vector<std::string> heldTaskReport() const;
+
+  /// Total tasks ever registered.
+  uint64_t spawnedCount() const { return Spawned; }
+
+private:
+  struct ReadyEntry {
+    TaskPtr T;
+    uint64_t Seq;
+  };
+
+  /// True if \p A should run before \p B.
+  static bool betterThan(const ReadyEntry &A, const ReadyEntry &B);
+
+  std::vector<ReadyEntry> Ready;
+  // Event -> tasks held on it; a task appears once per unsignaled prereq.
+  std::unordered_map<const Event *, std::vector<TaskPtr>> Waiting;
+  std::unordered_map<const Task *, unsigned> OutstandingPrereqs;
+  size_t Held = 0;
+  uint64_t Spawned = 0;
+  uint64_t NextSeq = 0;
+};
+
+} // namespace m2c::sched
+
+#endif // M2C_SCHED_SUPERVISOR_H

@@ -1,0 +1,121 @@
+//===--- Task.h - Units of compiler parallelism (section 2.3) --*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The task is the atomic unit of parallelism in our compilers."  Each
+/// stream is partitioned into tasks corresponding to the traditional
+/// compilation phases; the supervisor assigns tasks to workers in priority
+/// order (section 2.3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SCHED_TASK_H
+#define M2C_SCHED_TASK_H
+
+#include "sched/Event.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace m2c::sched {
+
+/// Supervisor priority classes, highest priority first.  This is exactly
+/// the queue-search order of the Skeptical Handling compiler in section
+/// 2.3.4, with Merge appended (the paper notes merge tasks are tiny and
+/// can run at any time; we run them last).
+enum class TaskClass : uint8_t {
+  Lexor = 0,
+  Splitter,
+  Importer,
+  DefModParserDecl,
+  ModuleParserDecl,
+  ProcParserDecl,
+  LongStmtCodeGen,
+  ShortStmtCodeGen,
+  Merge,
+};
+
+/// Number of distinct TaskClass values.
+constexpr unsigned NumTaskClasses = static_cast<unsigned>(TaskClass::Merge) + 1;
+
+/// Returns a human-readable name for \p Class.
+const char *taskClassName(TaskClass Class);
+
+/// A schedulable unit of compiler work.
+///
+/// A task owns a body closure, a priority class, an optional weight (used
+/// to order long statement/code-generation tasks before short ones) and a
+/// list of avoided-event prerequisites that must all be signaled before
+/// the supervisor will consider the task ready.
+class Task {
+public:
+  using BodyFn = std::function<void()>;
+
+  Task(std::string Name, TaskClass Class, BodyFn Body)
+      : Name(std::move(Name)), Class(Class), Body(std::move(Body)) {}
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+
+  const std::string &name() const { return Name; }
+  TaskClass taskClass() const { return Class; }
+
+  /// Estimated size of the task's work, used only to order tasks within
+  /// the LongStmtCodeGen class ("code is generated for long procedures
+  /// before short ones to avoid a long sequential tail").  Larger runs
+  /// first.
+  int64_t weight() const { return Weight; }
+  void setWeight(int64_t W) { Weight = W; }
+
+  /// Registers an avoided-event prerequisite.  Must be called before the
+  /// task is spawned.
+  void addPrerequisite(EventPtr E) { Prereqs.push_back(std::move(E)); }
+  const std::vector<EventPtr> &prerequisites() const { return Prereqs; }
+
+  /// Priority boost applied when some blocked task is waiting for this
+  /// task to signal an event (resolver preference, section 2.3.4).
+  bool isBoosted() const { return Boosted.load(std::memory_order_relaxed); }
+  void boost() { Boosted.store(true, std::memory_order_relaxed); }
+
+  /// Runs the task body.  Called exactly once, by an executor.
+  void invoke() { Body(); }
+
+  /// True once the body has run to completion.
+  bool isDone() const { return Done.load(std::memory_order_acquire); }
+  void markDone() { Done.store(true, std::memory_order_release); }
+
+  /// True once an executor has begun executing the body.
+  bool isStarted() const { return Started.load(std::memory_order_acquire); }
+  bool markStarted() {
+    bool Expected = false;
+    return Started.compare_exchange_strong(Expected, true,
+                                           std::memory_order_acq_rel);
+  }
+
+private:
+  const std::string Name;
+  const TaskClass Class;
+  BodyFn Body;
+  int64_t Weight = 0;
+  std::vector<EventPtr> Prereqs;
+  std::atomic<bool> Boosted{false};
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Done{false};
+};
+
+using TaskPtr = std::shared_ptr<Task>;
+
+/// Convenience factory.
+inline TaskPtr makeTask(std::string Name, TaskClass Class, Task::BodyFn Body) {
+  return std::make_shared<Task>(std::move(Name), Class, std::move(Body));
+}
+
+} // namespace m2c::sched
+
+#endif // M2C_SCHED_TASK_H

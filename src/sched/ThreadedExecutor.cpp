@@ -1,0 +1,221 @@
+//===--- ThreadedExecutor.cpp - Real-thread Supervisors executor ---------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ThreadedExecutor.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace m2c::sched;
+
+Executor::~Executor() = default;
+ActivitySink::~ActivitySink() = default;
+
+ThreadedExecutor::ThreadedExecutor(unsigned Processors, CostModel Model)
+    : Processors(Processors), Model(Model) {
+  assert(Processors > 0 && "need at least one processor");
+}
+
+ThreadedExecutor::~ThreadedExecutor() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+}
+
+uint64_t ThreadedExecutor::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - RunStart)
+          .count());
+}
+
+void ThreadedExecutor::spawn(TaskPtr T) {
+  assert(T && "null task");
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Incomplete;
+    Sup.add(std::move(T));
+    if (Started)
+      ensureWorkerForReadyWork();
+  }
+  WorkCv.notify_all();
+}
+
+void ThreadedExecutor::ensureWorkerForReadyWork() {
+  // Caller holds M.  A new OS thread is needed when admission is possible
+  // (ready task, free token) but no parked worker exists to take it; this
+  // happens when workers' tasks blocked on handled events.
+  if (!Sup.hasReady() || Active >= Processors || IdleWorkers > 0)
+    return;
+  unsigned Id = static_cast<unsigned>(Workers.size());
+  Workers.emplace_back([this, Id] { workerMain(Id); });
+  Stats.add("sched.workers.spawned");
+}
+
+void ThreadedExecutor::run() {
+  RunStart = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Started = true;
+    for (unsigned I = 0; I < Processors; ++I) {
+      unsigned Id = static_cast<unsigned>(Workers.size());
+      Workers.emplace_back([this, Id] { workerMain(Id); });
+    }
+  }
+  WorkCv.notify_all();
+
+  std::unique_lock<std::mutex> Lock(M);
+  while (Incomplete != 0) {
+    DoneCv.wait_for(Lock, std::chrono::milliseconds(100));
+    // Deadlock check: every incomplete task is blocked on a handled event
+    // nobody can signal.
+    if (Incomplete != 0 && Active == 0 && !Sup.hasReady()) {
+      // Re-verify after a grace period to avoid racing task handoffs.
+      DoneCv.wait_for(Lock, std::chrono::milliseconds(200));
+      if (Incomplete != 0 && Active == 0 && !Sup.hasReady()) {
+        std::fprintf(stderr,
+                     "m2c: deadlock: %llu tasks incomplete, none runnable "
+                     "(%zu held on avoided events)\n",
+                     static_cast<unsigned long long>(Incomplete),
+                     Sup.heldCount());
+        for (const std::string &Held : Sup.heldTaskReport())
+          std::fprintf(stderr, "  %s\n", Held.c_str());
+        std::abort();
+      }
+    }
+  }
+  ShuttingDown = true;
+  Lock.unlock();
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Lock.lock();
+  Workers.clear();
+  ShuttingDown = false;
+  Started = false;
+  ElapsedNs = nowNs();
+  Stats.add("sched.tasks.total", Sup.spawnedCount());
+}
+
+void ThreadedExecutor::workerMain(unsigned WorkerId) {
+  std::unique_lock<std::mutex> Lock(M);
+  while (true) {
+    while (!ShuttingDown && !(Sup.hasReady() && Active < Processors)) {
+      ++IdleWorkers;
+      WorkCv.wait(Lock);
+      --IdleWorkers;
+    }
+    if (ShuttingDown)
+      return;
+    TaskPtr T = Sup.popBest();
+    assert(T && "ready task disappeared");
+    ++Active;
+    Lock.unlock();
+    runTask(std::move(T), WorkerId);
+    Lock.lock();
+    --Active;
+    --Incomplete;
+    if (Incomplete == 0)
+      DoneCv.notify_all();
+    // A token was freed; admit a parked worker or a resuming task.
+    WorkCv.notify_all();
+  }
+}
+
+void ThreadedExecutor::runTask(TaskPtr T, unsigned WorkerId) {
+  bool First = T->markStarted();
+  assert(First && "task started twice");
+  (void)First;
+  Stats.add("sched.tasks.started");
+  WorkerContext Ctx(*this, *T, WorkerId);
+  Ctx.IntervalStartNs = nowNs();
+  {
+    ScopedContext Installed(Ctx);
+    T->invoke();
+  }
+  flushInterval(Ctx);
+  T->markDone();
+}
+
+void ThreadedExecutor::flushInterval(WorkerContext &Ctx) {
+  if (!Sink)
+    return;
+  uint64_t End = nowNs();
+  if (End > Ctx.IntervalStartNs)
+    Sink->record(Ctx.WorkerId, Ctx.T, Ctx.IntervalStartNs, End);
+  Ctx.IntervalStartNs = End;
+}
+
+void ThreadedExecutor::WorkerContext::charge(CostKind Kind, uint64_t Count) {
+  ChargedUnits += Exec.Model.unitsFor(Kind, Count);
+}
+
+void ThreadedExecutor::WorkerContext::signal(Event &E) {
+  std::lock_guard<std::mutex> Lock(Exec.M);
+  if (!E.markSignaled(Exec.nowNs()))
+    return;
+  Exec.Stats.add("sched.events.signaled");
+  unsigned Released = Exec.Sup.noteSignaled(E);
+  if (Released)
+    Exec.Stats.add("sched.tasks.released_by_event", Released);
+  Exec.ensureWorkerForReadyWork();
+  E.WaitCv.notify_all();
+  Exec.WorkCv.notify_all();
+}
+
+void ThreadedExecutor::WorkerContext::wait(Event &E) {
+  if (E.isSignaled())
+    return;
+  std::unique_lock<std::mutex> Lock(Exec.M);
+  if (E.isSignaled())
+    return;
+
+  if (E.kind() == EventKind::Barrier) {
+    // Barrier waits hold the processor: "the worker simply waits for the
+    // event to occur" (section 2.3.3).  Safe because token producers
+    // (Lexor tasks) never block and are already running.
+    Exec.Stats.add("sched.waits.barrier");
+    Lock.unlock();
+    Exec.flushInterval(*this);
+    Lock.lock();
+    uint64_t WaitStart = Exec.nowNs();
+    while (!E.isSignaled())
+      E.WaitCv.wait(Lock);
+    Exec.Stats.add("sched.waits.barrier_ns", Exec.nowNs() - WaitStart);
+    IntervalStartNs = Exec.nowNs();
+    return;
+  }
+
+  assert(E.kind() == EventKind::Handled &&
+         "avoided events gate task start and are never waited on mid-task");
+  Exec.Stats.add("sched.waits.handled");
+  if (Exec.Sup.boostResolver(E))
+    Exec.Stats.add("sched.boosts");
+
+  // Release our concurrency token so another task can use the processor.
+  --Exec.Active;
+  Exec.ensureWorkerForReadyWork();
+  Lock.unlock();
+  Exec.flushInterval(*this);
+  Exec.WorkCv.notify_all();
+  Lock.lock();
+
+  while (!E.isSignaled())
+    E.WaitCv.wait(Lock);
+  // Reacquire a token before resuming.
+  while (Exec.Active >= Exec.Processors)
+    Exec.WorkCv.wait(Lock);
+  ++Exec.Active;
+  IntervalStartNs = Exec.nowNs();
+}

@@ -1,0 +1,147 @@
+//===--- Builtins.cpp - Names predefined by the compiler ------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Builtins.h"
+
+#include <cassert>
+
+using namespace m2c;
+using namespace m2c::sema;
+using namespace m2c::symtab;
+
+const char *m2c::sema::builtinProcName(BuiltinProc P) {
+  switch (P) {
+  case BuiltinProc::Abs:
+    return "ABS";
+  case BuiltinProc::Cap:
+    return "CAP";
+  case BuiltinProc::Chr:
+    return "CHR";
+  case BuiltinProc::Dec:
+    return "DEC";
+  case BuiltinProc::Dispose:
+    return "DISPOSE";
+  case BuiltinProc::Excl:
+    return "EXCL";
+  case BuiltinProc::Float:
+    return "FLOAT";
+  case BuiltinProc::Halt:
+    return "HALT";
+  case BuiltinProc::High:
+    return "HIGH";
+  case BuiltinProc::Inc:
+    return "INC";
+  case BuiltinProc::Incl:
+    return "INCL";
+  case BuiltinProc::Max:
+    return "MAX";
+  case BuiltinProc::Min:
+    return "MIN";
+  case BuiltinProc::New:
+    return "NEW";
+  case BuiltinProc::Odd:
+    return "ODD";
+  case BuiltinProc::Ord:
+    return "ORD";
+  case BuiltinProc::Size:
+    return "SIZE";
+  case BuiltinProc::Trunc:
+    return "TRUNC";
+  case BuiltinProc::Val:
+    return "VAL";
+  case BuiltinProc::WriteInt:
+    return "WriteInt";
+  case BuiltinProc::WriteCard:
+    return "WriteCard";
+  case BuiltinProc::WriteLn:
+    return "WriteLn";
+  case BuiltinProc::WriteString:
+    return "WriteString";
+  case BuiltinProc::WriteChar:
+    return "WriteChar";
+  case BuiltinProc::WriteReal:
+    return "WriteReal";
+  case BuiltinProc::ReadInt:
+    return "ReadInt";
+  }
+  return "?";
+}
+
+void m2c::sema::populateBuiltinScope(Scope &Builtins, TypeContext &Types,
+                                     StringInterner &Interner) {
+  assert(Builtins.kind() == ScopeKind::Builtin && "wrong scope kind");
+
+  auto AddType = [&](const char *Name, const Type *Ty) {
+    auto E = std::make_unique<SymbolEntry>();
+    E->Name = Interner.intern(Name);
+    E->Kind = EntryKind::Type;
+    E->Ty = Ty;
+    const_cast<Type *>(Ty)->setName(E->Name);
+    [[maybe_unused]] SymbolEntry *Dup = Builtins.insert(std::move(E));
+    assert(!Dup && "duplicate builtin");
+  };
+  auto AddConst = [&](const char *Name, const Type *Ty, ConstValue Value) {
+    auto E = std::make_unique<SymbolEntry>();
+    E->Name = Interner.intern(Name);
+    E->Kind = EntryKind::Const;
+    E->Ty = Ty;
+    E->Value = Value;
+    [[maybe_unused]] SymbolEntry *Dup = Builtins.insert(std::move(E));
+    assert(!Dup && "duplicate builtin");
+  };
+  auto AddProc = [&](BuiltinProc P) {
+    auto E = std::make_unique<SymbolEntry>();
+    E->Name = Interner.intern(builtinProcName(P));
+    E->Kind = EntryKind::Proc;
+    E->BuiltinId = static_cast<int16_t>(P);
+    [[maybe_unused]] SymbolEntry *Dup = Builtins.insert(std::move(E));
+    assert(!Dup && "duplicate builtin");
+  };
+
+  AddType("INTEGER", Types.integerType());
+  AddType("CARDINAL", Types.cardinalType());
+  AddType("BOOLEAN", Types.booleanType());
+  AddType("CHAR", Types.charType());
+  AddType("REAL", Types.realType());
+  AddType("LONGINT", Types.integerType());
+  AddType("LONGREAL", Types.realType());
+  AddType("BITSET", Types.bitsetType());
+  AddType("PROC", Types.makeProcedure({}, nullptr));
+
+  AddConst("TRUE", Types.booleanType(), ConstValue::makeBool(true));
+  AddConst("FALSE", Types.booleanType(), ConstValue::makeBool(false));
+  AddConst("NIL", Types.nilType(), ConstValue::makeNil());
+
+  AddProc(BuiltinProc::Abs);
+  AddProc(BuiltinProc::Cap);
+  AddProc(BuiltinProc::Chr);
+  AddProc(BuiltinProc::Dec);
+  AddProc(BuiltinProc::Dispose);
+  AddProc(BuiltinProc::Excl);
+  AddProc(BuiltinProc::Float);
+  AddProc(BuiltinProc::Halt);
+  AddProc(BuiltinProc::High);
+  AddProc(BuiltinProc::Inc);
+  AddProc(BuiltinProc::Incl);
+  AddProc(BuiltinProc::Max);
+  AddProc(BuiltinProc::Min);
+  AddProc(BuiltinProc::New);
+  AddProc(BuiltinProc::Odd);
+  AddProc(BuiltinProc::Ord);
+  AddProc(BuiltinProc::Size);
+  AddProc(BuiltinProc::Trunc);
+  AddProc(BuiltinProc::Val);
+  AddProc(BuiltinProc::WriteInt);
+  AddProc(BuiltinProc::WriteCard);
+  AddProc(BuiltinProc::WriteLn);
+  AddProc(BuiltinProc::WriteString);
+  AddProc(BuiltinProc::WriteChar);
+  AddProc(BuiltinProc::WriteReal);
+  AddProc(BuiltinProc::ReadInt);
+
+  Builtins.markComplete();
+}

@@ -1,0 +1,69 @@
+//===--- Builtins.h - Names predefined by the compiler ----------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builtin (predefined) names.  Instead of a global parent scope — which
+/// would make the first reference to a builtin incur DKY waits on every
+/// scope out to the global one — builtins live in a dedicated, always-
+/// complete table that the search mechanism consults as if its entries
+/// were local to every scope (paper section 2.2).  Builtins cannot be
+/// redeclared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SEMA_BUILTINS_H
+#define M2C_SEMA_BUILTINS_H
+
+#include "sema/Type.h"
+#include "symtab/Scope.h"
+
+namespace m2c::sema {
+
+/// Identities of builtin procedures and functions.  Standard-procedure
+/// calls are checked and lowered by BuiltinId, since several of them are
+/// generic over their argument type.
+enum class BuiltinProc : int16_t {
+  Abs,
+  Cap,
+  Chr,
+  Dec,
+  Dispose,
+  Excl,
+  Float,
+  Halt,
+  High,
+  Inc,
+  Incl,
+  Max,
+  Min,
+  New,
+  Odd,
+  Ord,
+  Size,
+  Trunc,
+  Val,
+  // Builtin I/O (the DEC SRC environment routes these through interfaces;
+  // we predefine them so every generated program can produce output).
+  WriteInt,
+  WriteCard,
+  WriteLn,
+  WriteString,
+  WriteChar,
+  WriteReal,
+  ReadInt,
+};
+
+const char *builtinProcName(BuiltinProc P);
+
+/// Populates \p Builtins with every predefined type, constant and
+/// procedure, then marks it complete.
+void populateBuiltinScope(symtab::Scope &Builtins, TypeContext &Types,
+                          StringInterner &Interner);
+
+} // namespace m2c::sema
+
+#endif // M2C_SEMA_BUILTINS_H

@@ -1,0 +1,52 @@
+//===--- Compilation.cpp - Shared per-compilation state -------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Compilation.h"
+
+using namespace m2c;
+using namespace m2c::sema;
+
+symtab::Scope &ModuleRegistry::getOrCreate(Symbol Name,
+                                           std::string_view Spelling) {
+  symtab::Scope *Created = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Modules.find(Name);
+    if (It != Modules.end())
+      return *It->second;
+    auto Owned = std::make_unique<symtab::Scope>(
+        std::string(Spelling), symtab::ScopeKind::DefModule, nullptr,
+        &Builtins);
+    Created = Owned.get();
+    Modules.emplace(Name, std::move(Owned));
+  }
+  // Fire the starter outside the lock: it spawns tasks (and in the
+  // sequential compiler compiles the module inline).
+  if (Starter)
+    Starter(Name, *Created);
+  return *Created;
+}
+
+symtab::Scope *ModuleRegistry::lookup(Symbol Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Modules.find(Name);
+  return It == Modules.end() ? nullptr : It->second.get();
+}
+
+size_t ModuleRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Modules.size();
+}
+
+Compilation::Compilation(VirtualFileSystem &Files, StringInterner &Interner,
+                         CompilationOptions Options)
+    : Files(Files), Interner(Interner), Options(Options),
+      Types(Interner), Resolver(Options.Strategy, Stats),
+      Builtins("builtins", symtab::ScopeKind::Builtin, nullptr, nullptr),
+      Modules(Builtins) {
+  populateBuiltinScope(Builtins, Types, Interner);
+}

@@ -1,0 +1,116 @@
+//===--- Compilation.h - Shared per-compilation state -----------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State shared by every task of one compilation: diagnostics, types,
+/// the builtin scope, the DKY name resolver, the once-only module
+/// registry, and identifier/procedure counters.  Everything here is
+/// thread-safe; one Compilation is used by one compiler run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SEMA_COMPILATION_H
+#define M2C_SEMA_COMPILATION_H
+
+#include "sema/Builtins.h"
+#include "sema/Type.h"
+#include "support/Diagnostics.h"
+#include "support/VirtualFileSystem.h"
+#include "symtab/NameResolver.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+namespace m2c::sema {
+
+/// How procedure-heading information is shared between parent and child
+/// scopes (paper section 2.4).
+enum class HeadingSharing : uint8_t {
+  CopyEntries, ///< Alternative 1: parent processes the heading and copies
+               ///< the parameter entries into the child scope.
+  Reprocess,   ///< Alternative 3: parent and child each process the
+               ///< heading (~3% slower from the duplicated work).
+};
+
+/// Per-compilation knobs.
+struct CompilationOptions {
+  symtab::DkyStrategy Strategy = symtab::DkyStrategy::Skeptical;
+  HeadingSharing Sharing = HeadingSharing::CopyEntries;
+  /// Run the peephole pass over every generated code unit.
+  bool Optimize = false;
+};
+
+/// The "once-only table" of paper section 3: guarantees each definition
+/// module referenced in a compilation is processed exactly once.  Both
+/// Importer tasks and declaration analyzers may discover a module first;
+/// whoever wins creates the scope and fires the stream starter.
+class ModuleRegistry {
+public:
+  using StreamStarter = std::function<void(Symbol, symtab::Scope &)>;
+
+  explicit ModuleRegistry(symtab::Scope &Builtins) : Builtins(Builtins) {}
+
+  /// Installs the callback that starts a definition-module stream the
+  /// first time a module is discovered.
+  void setStarter(StreamStarter S) { Starter = std::move(S); }
+
+  /// Returns module \p Name's interface scope, creating it — and firing
+  /// the starter — on first discovery.
+  symtab::Scope &getOrCreate(Symbol Name, std::string_view Spelling);
+
+  /// Returns the scope if the module was already discovered, else null.
+  symtab::Scope *lookup(Symbol Name) const;
+
+  /// Number of distinct definition modules discovered.
+  size_t size() const;
+
+private:
+  symtab::Scope &Builtins;
+  StreamStarter Starter;
+  mutable std::mutex Mutex;
+  std::unordered_map<Symbol, std::unique_ptr<symtab::Scope>, SymbolHash>
+      Modules;
+};
+
+/// Shared state of one compiler run.
+class Compilation {
+public:
+  Compilation(VirtualFileSystem &Files, StringInterner &Interner,
+              CompilationOptions Options = CompilationOptions());
+  Compilation(const Compilation &) = delete;
+  Compilation &operator=(const Compilation &) = delete;
+
+  VirtualFileSystem &Files;
+  StringInterner &Interner;
+  CompilationOptions Options;
+  DiagnosticsEngine Diags;
+  TypeContext Types;
+  symtab::LookupStats Stats;
+  symtab::NameResolver Resolver;
+  symtab::Scope Builtins;
+  ModuleRegistry Modules;
+
+  /// Allocates a program-unique procedure id (used by code generation and
+  /// the merge task).
+  int32_t allocProcId() {
+    return NextProcId.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Highest procedure id allocated so far plus one.
+  int32_t procCount() const {
+    return NextProcId.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<int32_t> NextProcId{0};
+};
+
+} // namespace m2c::sema
+
+#endif // M2C_SEMA_COMPILATION_H

@@ -1,0 +1,347 @@
+//===--- ConstEval.cpp - Compile-time expression evaluation ---------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/ConstEval.h"
+
+using namespace m2c;
+using namespace m2c::ast;
+using namespace m2c::sema;
+using namespace m2c::symtab;
+
+ConstResult ConstEvaluator::error(SourceLocation Loc,
+                                  const std::string &Message) {
+  Comp.Diags.error(Loc, Message);
+  ConstResult R;
+  R.Ty = Comp.Types.errorType();
+  return R;
+}
+
+ConstResult ConstEvaluator::fromEntry(const SymbolEntry &Entry,
+                                      SourceLocation Loc) {
+  if (Entry.Kind != EntryKind::Const && Entry.Kind != EntryKind::EnumLiteral)
+    return error(Loc, "'" +
+                          std::string(Comp.Interner.spelling(Entry.Name)) +
+                          "' is not a constant");
+  ConstResult R;
+  R.Value = Entry.Value;
+  R.Ty = Entry.Ty ? Entry.Ty : Comp.Types.errorType();
+  return R;
+}
+
+ConstResult ConstEvaluator::eval(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit: {
+    ConstResult R;
+    R.Value = ConstValue::makeInt(static_cast<const IntLitExpr *>(E)->value());
+    R.Ty = Comp.Types.integerType();
+    return R;
+  }
+  case ExprKind::RealLit: {
+    ConstResult R;
+    R.Value =
+        ConstValue::makeReal(static_cast<const RealLitExpr *>(E)->value());
+    R.Ty = Comp.Types.realType();
+    return R;
+  }
+  case ExprKind::CharLit: {
+    ConstResult R;
+    R.Value =
+        ConstValue::makeChar(static_cast<const CharLitExpr *>(E)->value());
+    R.Ty = Comp.Types.charType();
+    return R;
+  }
+  case ExprKind::StringLit: {
+    ConstResult R;
+    Symbol S = static_cast<const StringLitExpr *>(E)->value();
+    R.Value = ConstValue::makeString(S);
+    R.Ty = Comp.Types.getString(
+        static_cast<int64_t>(Comp.Interner.spelling(S).size()));
+    return R;
+  }
+  case ExprKind::Designator:
+    return evalDesignator(static_cast<const DesignatorExpr *>(E));
+  case ExprKind::Unary:
+    return evalUnary(static_cast<const UnaryExpr *>(E));
+  case ExprKind::Binary:
+    return evalBinary(static_cast<const BinaryExpr *>(E));
+  case ExprKind::SetConstructor:
+    return evalSet(static_cast<const SetConstructorExpr *>(E));
+  case ExprKind::Call:
+    // MAX(INTEGER), ORD('x') and the like in constant position are rare in
+    // our subset; reject for now.
+    return error(E->location(), "calls are not allowed in this constant "
+                                "expression");
+  }
+  return error(E->location(), "expression is not constant");
+}
+
+ConstResult ConstEvaluator::evalDesignator(const DesignatorExpr *D) {
+  if (D->selectors().empty()) {
+    SymbolEntry *Entry = Comp.Resolver.lookupSimple(Self, D->first());
+    if (!Entry)
+      return error(D->location(),
+                   "undeclared identifier '" +
+                       std::string(Comp.Interner.spelling(D->first())) + "'");
+    return fromEntry(*Entry, D->location());
+  }
+  // The only selector form allowed in constants is module qualification.
+  if (D->selectors().size() == 1 &&
+      D->selectors()[0].SelKind == Selector::Kind::Field) {
+    SymbolEntry *ModEntry = Comp.Resolver.lookupSimple(Self, D->first());
+    if (!ModEntry)
+      return error(D->location(),
+                   "undeclared identifier '" +
+                       std::string(Comp.Interner.spelling(D->first())) + "'");
+    if (ModEntry->Kind == EntryKind::Module && ModEntry->ModuleScope) {
+      SymbolEntry *Entry = Comp.Resolver.lookupQualified(
+          *ModEntry->ModuleScope, D->selectors()[0].Field);
+      if (!Entry)
+        return error(
+            D->location(),
+            "module '" + std::string(Comp.Interner.spelling(D->first())) +
+                "' does not export '" +
+                std::string(Comp.Interner.spelling(D->selectors()[0].Field)) +
+                "'");
+      return fromEntry(*Entry, D->location());
+    }
+  }
+  return error(D->location(), "expression is not constant");
+}
+
+ConstResult ConstEvaluator::evalUnary(const UnaryExpr *U) {
+  ConstResult Operand = eval(U->operand());
+  if (Operand.isError())
+    return Operand;
+  switch (U->op()) {
+  case UnaryOp::Plus:
+    return Operand;
+  case UnaryOp::Minus:
+    if (Operand.Value.ValueKind == ConstValue::Kind::Int) {
+      Operand.Value.Int = -Operand.Value.Int;
+      return Operand;
+    }
+    if (Operand.Value.ValueKind == ConstValue::Kind::Real) {
+      Operand.Value.Real = -Operand.Value.Real;
+      return Operand;
+    }
+    return error(U->location(), "unary '-' requires a numeric constant");
+  case UnaryOp::Not:
+    if (Operand.Value.ValueKind == ConstValue::Kind::Bool) {
+      Operand.Value.Int = !Operand.Value.Int;
+      return Operand;
+    }
+    return error(U->location(), "NOT requires a BOOLEAN constant");
+  }
+  return error(U->location(), "bad unary constant expression");
+}
+
+ConstResult ConstEvaluator::evalBinary(const BinaryExpr *B) {
+  ConstResult L = eval(B->lhs());
+  ConstResult R = eval(B->rhs());
+  if (L.isError() || R.isError()) {
+    ConstResult Err;
+    Err.Ty = Comp.Types.errorType();
+    return Err;
+  }
+  using VK = ConstValue::Kind;
+  auto MakeBool = [&](bool V) {
+    ConstResult Res;
+    Res.Value = ConstValue::makeBool(V);
+    Res.Ty = Comp.Types.booleanType();
+    return Res;
+  };
+  auto MakeInt = [&](int64_t V) {
+    ConstResult Res;
+    Res.Value = ConstValue::makeInt(V);
+    Res.Ty = Comp.Types.integerType();
+    return Res;
+  };
+  auto MakeReal = [&](double V) {
+    ConstResult Res;
+    Res.Value = ConstValue::makeReal(V);
+    Res.Ty = Comp.Types.realType();
+    return Res;
+  };
+  auto MakeSet = [&](uint64_t V) {
+    ConstResult Res;
+    Res.Value = ConstValue::makeSet(V);
+    Res.Ty = L.Value.ValueKind == VK::Set ? L.Ty : R.Ty;
+    return Res;
+  };
+
+  // Set operations.
+  if (L.Value.ValueKind == VK::Set && R.Value.ValueKind == VK::Set) {
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return MakeSet(L.Value.SetBits | R.Value.SetBits);
+    case BinaryOp::Sub:
+      return MakeSet(L.Value.SetBits & ~R.Value.SetBits);
+    case BinaryOp::Mul:
+      return MakeSet(L.Value.SetBits & R.Value.SetBits);
+    case BinaryOp::RealDiv:
+      return MakeSet(L.Value.SetBits ^ R.Value.SetBits);
+    case BinaryOp::Equal:
+      return MakeBool(L.Value.SetBits == R.Value.SetBits);
+    case BinaryOp::NotEqual:
+      return MakeBool(L.Value.SetBits != R.Value.SetBits);
+    default:
+      return error(B->location(), "bad constant set operation");
+    }
+  }
+  if (B->op() == BinaryOp::In && R.Value.ValueKind == VK::Set) {
+    int64_t Bit = L.Value.Int;
+    if (Bit < 0 || Bit > 63)
+      return error(B->location(), "set member out of range 0..63");
+    return MakeBool((R.Value.SetBits >> Bit) & 1);
+  }
+
+  // Boolean logic.
+  if (L.Value.ValueKind == VK::Bool && R.Value.ValueKind == VK::Bool) {
+    switch (B->op()) {
+    case BinaryOp::And:
+      return MakeBool(L.Value.Int && R.Value.Int);
+    case BinaryOp::Or:
+      return MakeBool(L.Value.Int || R.Value.Int);
+    case BinaryOp::Equal:
+      return MakeBool(L.Value.Int == R.Value.Int);
+    case BinaryOp::NotEqual:
+      return MakeBool(L.Value.Int != R.Value.Int);
+    default:
+      return error(B->location(), "bad constant BOOLEAN operation");
+    }
+  }
+
+  // Real arithmetic (either side real promotes... only both-real allowed).
+  if (L.Value.ValueKind == VK::Real || R.Value.ValueKind == VK::Real) {
+    if (L.Value.ValueKind != VK::Real || R.Value.ValueKind != VK::Real)
+      return error(B->location(),
+                   "cannot mix REAL and INTEGER constants without FLOAT");
+    double X = L.Value.Real, Y = R.Value.Real;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return MakeReal(X + Y);
+    case BinaryOp::Sub:
+      return MakeReal(X - Y);
+    case BinaryOp::Mul:
+      return MakeReal(X * Y);
+    case BinaryOp::RealDiv:
+      if (Y == 0.0)
+        return error(B->location(), "division by zero in constant");
+      return MakeReal(X / Y);
+    case BinaryOp::Equal:
+      return MakeBool(X == Y);
+    case BinaryOp::NotEqual:
+      return MakeBool(X != Y);
+    case BinaryOp::Less:
+      return MakeBool(X < Y);
+    case BinaryOp::LessEq:
+      return MakeBool(X <= Y);
+    case BinaryOp::Greater:
+      return MakeBool(X > Y);
+    case BinaryOp::GreaterEq:
+      return MakeBool(X >= Y);
+    default:
+      return error(B->location(), "bad constant REAL operation");
+    }
+  }
+
+  // Ordinal arithmetic/comparison (Int, Char, enum ordinals).
+  auto OrdinalOf = [](const ConstResult &C, int64_t &Out) {
+    switch (C.Value.ValueKind) {
+    case VK::Int:
+    case VK::Char:
+    case VK::Bool:
+      Out = C.Value.Int;
+      return true;
+    default:
+      return false;
+    }
+  };
+  int64_t X, Y;
+  if (OrdinalOf(L, X) && OrdinalOf(R, Y)) {
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return MakeInt(X + Y);
+    case BinaryOp::Sub:
+      return MakeInt(X - Y);
+    case BinaryOp::Mul:
+      return MakeInt(X * Y);
+    case BinaryOp::IntDiv:
+      if (Y == 0)
+        return error(B->location(), "division by zero in constant");
+      return MakeInt(X / Y);
+    case BinaryOp::Mod:
+      if (Y == 0)
+        return error(B->location(), "division by zero in constant");
+      return MakeInt(X % Y);
+    case BinaryOp::Equal:
+      return MakeBool(X == Y);
+    case BinaryOp::NotEqual:
+      return MakeBool(X != Y);
+    case BinaryOp::Less:
+      return MakeBool(X < Y);
+    case BinaryOp::LessEq:
+      return MakeBool(X <= Y);
+    case BinaryOp::Greater:
+      return MakeBool(X > Y);
+    case BinaryOp::GreaterEq:
+      return MakeBool(X >= Y);
+    case BinaryOp::RealDiv:
+      return error(B->location(), "'/' requires REAL constants (use DIV)");
+    default:
+      break;
+    }
+  }
+  return error(B->location(), "bad constant expression");
+}
+
+ConstResult ConstEvaluator::evalSet(const SetConstructorExpr *S) {
+  uint64_t Bits = 0;
+  for (const SetElement &El : S->elements()) {
+    auto Lo = evalOrdinal(El.Lo);
+    auto Hi = El.Hi ? evalOrdinal(El.Hi) : Lo;
+    if (!Lo || !Hi)
+      return error(S->location(), "set element is not a constant ordinal");
+    if (*Lo < 0 || *Hi > 63 || *Lo > *Hi)
+      return error(S->location(), "set element out of range 0..63");
+    for (int64_t I = *Lo; I <= *Hi; ++I)
+      Bits |= uint64_t(1) << I;
+  }
+  ConstResult R;
+  R.Value = ConstValue::makeSet(Bits);
+  R.Ty = Comp.Types.bitsetType();
+  if (!S->typeName().isEmpty()) {
+    SymbolEntry *Entry = Comp.Resolver.lookupSimple(Self, S->typeName());
+    if (Entry && Entry->Kind == EntryKind::Type && Entry->Ty &&
+        (Entry->Ty->is(TypeKind::Set) || Entry->Ty->is(TypeKind::BitSet)))
+      R.Ty = Entry->Ty;
+    else
+      return error(S->location(), "'" +
+                                      std::string(Comp.Interner.spelling(
+                                          S->typeName())) +
+                                      "' is not a set type");
+  }
+  return R;
+}
+
+std::optional<int64_t> ConstEvaluator::evalOrdinal(const Expr *E,
+                                                   const Type **TyOut) {
+  ConstResult R = eval(E);
+  if (TyOut)
+    *TyOut = R.Ty;
+  if (R.isError())
+    return std::nullopt;
+  switch (R.Value.ValueKind) {
+  case ConstValue::Kind::Int:
+  case ConstValue::Kind::Char:
+  case ConstValue::Kind::Bool:
+    return R.Value.Int;
+  default:
+    Comp.Diags.error(E->location(), "ordinal constant expected");
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,56 @@
+//===--- ConstEval.h - Compile-time expression evaluation -------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SEMA_CONSTEVAL_H
+#define M2C_SEMA_CONSTEVAL_H
+
+#include "ast/Expr.h"
+#include "sema/Compilation.h"
+
+namespace m2c::sema {
+
+/// Result of evaluating a constant expression.
+struct ConstResult {
+  symtab::ConstValue Value;
+  const Type *Ty = nullptr;
+
+  bool isError() const { return Ty == nullptr || Ty->isError(); }
+};
+
+/// Evaluates constant expressions at compile time.  Name references go
+/// through the compilation's DKY-aware resolver, so constant evaluation
+/// in one stream may block on declarations another stream is still
+/// producing.
+class ConstEvaluator {
+public:
+  ConstEvaluator(Compilation &Comp, symtab::Scope &Self)
+      : Comp(Comp), Self(Self) {}
+
+  /// Evaluates \p E.  Reports a diagnostic and returns an error result if
+  /// the expression is not constant or is ill-typed.
+  ConstResult eval(const ast::Expr *E);
+
+  /// Evaluates \p E and coerces it to an ordinal value (for subrange
+  /// bounds, case labels and set elements).
+  std::optional<int64_t> evalOrdinal(const ast::Expr *E,
+                                     const Type **TyOut = nullptr);
+
+private:
+  ConstResult error(SourceLocation Loc, const std::string &Message);
+  ConstResult evalDesignator(const ast::DesignatorExpr *D);
+  ConstResult evalUnary(const ast::UnaryExpr *U);
+  ConstResult evalBinary(const ast::BinaryExpr *B);
+  ConstResult evalSet(const ast::SetConstructorExpr *S);
+  ConstResult fromEntry(const symtab::SymbolEntry &Entry, SourceLocation Loc);
+
+  Compilation &Comp;
+  symtab::Scope &Self;
+};
+
+} // namespace m2c::sema
+
+#endif // M2C_SEMA_CONSTEVAL_H

@@ -1,0 +1,497 @@
+//===--- DeclAnalyzer.cpp - Declaration semantic analysis -----------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/DeclAnalyzer.h"
+
+#include "sched/ExecContext.h"
+
+#include <cassert>
+
+using namespace m2c;
+using namespace m2c::ast;
+using namespace m2c::sema;
+using namespace m2c::symtab;
+
+DeclAnalyzer::DeclAnalyzer(Compilation &Comp, Scope &Self,
+                           Symbol OwningModule)
+    : Comp(Comp), Self(Self), OwningModule(OwningModule),
+      ConstEval(Comp, Self) {
+  // Child procedure scopes already hold copied parameter entries; local
+  // variable slots continue after them.
+  NextSlot = static_cast<int32_t>(Self.size());
+}
+
+SymbolEntry *DeclAnalyzer::insert(std::unique_ptr<SymbolEntry> Entry,
+                                  SourceLocation Loc) {
+  assert(Entry && "null entry");
+  Symbol Name = Entry->Name;
+  if (Comp.Builtins.find(Name)) {
+    Comp.Diags.error(Loc, "cannot redeclare builtin name '" +
+                              std::string(Comp.Interner.spelling(Name)) +
+                              "'");
+    return nullptr;
+  }
+  SymbolEntry *Raw = Entry.get();
+  EntryKind Kind = Entry->Kind;
+  if (SymbolEntry *Existing = Self.insert(std::move(Entry))) {
+    Comp.Diags.error(Loc, "redeclaration of '" +
+                              std::string(Comp.Interner.spelling(Name)) +
+                              "' (previously declared as " +
+                              entryKindName(Existing->Kind) + ")");
+    return nullptr;
+  }
+  // Variable-ish entries are much cheaper to analyze than type, constant
+  // or procedure declarations.
+  bool Cheap = Kind == EntryKind::Var || Kind == EntryKind::Param ||
+               Kind == EntryKind::Field || Kind == EntryKind::EnumLiteral;
+  sched::ctx().charge(Cheap ? sched::CostKind::VarAnalyzed
+                            : sched::CostKind::DeclAnalyzed);
+  // Optimistic handling maintains one DKY event per symbol; creating it
+  // at entry-insertion time is the bookkeeping the paper found to
+  // outweigh the strategy's gains (section 2.3.3).
+  if (Comp.Options.Strategy == DkyStrategy::Optimistic)
+    sched::ctx().charge(sched::CostKind::EventCreate);
+  return Raw;
+}
+
+void DeclAnalyzer::analyzeImports(const std::vector<ImportClause> &Imports) {
+  for (const ImportClause &Clause : Imports) {
+    if (!Clause.FromModule.isEmpty()) {
+      // FROM M IMPORT a, b: resolve each name in M's interface (possibly
+      // blocking per the DKY strategy) and alias it locally.
+      Scope &ModScope = Comp.Modules.getOrCreate(
+          Clause.FromModule, Comp.Interner.spelling(Clause.FromModule));
+      for (Symbol Name : Clause.Names) {
+        SymbolEntry *Imported =
+            Comp.Resolver.lookupQualified(ModScope, Name);
+        if (!Imported) {
+          Comp.Diags.error(
+              Clause.Loc,
+              "module '" +
+                  std::string(Comp.Interner.spelling(Clause.FromModule)) +
+                  "' does not export '" +
+                  std::string(Comp.Interner.spelling(Name)) + "'");
+          continue;
+        }
+        auto Alias = std::make_unique<SymbolEntry>(*Imported);
+        insert(std::move(Alias), Clause.Loc);
+      }
+      continue;
+    }
+    // IMPORT M, N: each module becomes a qualifying entry.
+    for (Symbol Name : Clause.Names) {
+      Scope &ModScope =
+          Comp.Modules.getOrCreate(Name, Comp.Interner.spelling(Name));
+      auto Entry = std::make_unique<SymbolEntry>();
+      Entry->Name = Name;
+      Entry->Kind = EntryKind::Module;
+      Entry->Loc = Clause.Loc;
+      Entry->ModuleScope = &ModScope;
+      insert(std::move(Entry), Clause.Loc);
+    }
+  }
+}
+
+void DeclAnalyzer::analyzeDecls(const std::vector<Decl *> &Decls) {
+  for (const Decl *D : Decls)
+    analyzeDecl(D);
+}
+
+void DeclAnalyzer::analyzeDecl(const Decl *D) {
+  switch (D->kind()) {
+  case DeclKind::Const:
+    analyzeConst(static_cast<const ConstDecl *>(D));
+    return;
+  case DeclKind::Type:
+    analyzeTypeDecl(static_cast<const TypeDecl *>(D));
+    return;
+  case DeclKind::Var:
+    analyzeVar(static_cast<const VarDecl *>(D));
+    return;
+  case DeclKind::ProcHeading:
+    analyzeProcHeadingDecl(
+        static_cast<const ProcHeadingDecl *>(D)->heading(), D->location());
+    return;
+  case DeclKind::Proc:
+    // Sequential compilation path: the heading is processed here in the
+    // parent scope; the driver recurses into the body's declarations
+    // with a child DeclAnalyzer.
+    analyzeProcHeadingDecl(static_cast<const ProcDecl *>(D)->heading(),
+                           D->location());
+    return;
+  }
+}
+
+void DeclAnalyzer::analyzeConst(const ConstDecl *D) {
+  ConstResult R = ConstEval.eval(D->value());
+  auto Entry = std::make_unique<SymbolEntry>();
+  Entry->Name = D->name();
+  Entry->Kind = EntryKind::Const;
+  Entry->Loc = D->location();
+  Entry->Ty = R.Ty;
+  Entry->Value = R.Value;
+  insert(std::move(Entry), D->location());
+}
+
+void DeclAnalyzer::patchPendingPointersTo(Symbol Name, const Type *Target) {
+  for (const PendingPointer &P : PendingPointers)
+    if (P.TargetName == Name)
+      P.Pointer->patchPointee(Target);
+}
+
+void DeclAnalyzer::analyzeTypeDecl(const TypeDecl *D) {
+  const Type *Ty = nullptr;
+  if (!D->type()) {
+    // Opaque type: legal in definition modules only.
+    if (Self.kind() != ScopeKind::DefModule)
+      Comp.Diags.error(D->location(),
+                       "opaque types are only allowed in definition "
+                       "modules");
+    Ty = Comp.Types.makeOpaque(D->name());
+  } else {
+    Ty = resolveType(D->type());
+  }
+  const_cast<Type *>(Ty)->setName(D->name());
+  auto Entry = std::make_unique<SymbolEntry>();
+  Entry->Name = D->name();
+  Entry->Kind = EntryKind::Type;
+  Entry->Loc = D->location();
+  Entry->Ty = Ty;
+  if (insert(std::move(Entry), D->location())) {
+    // Forward pointers to this type become usable immediately, not just
+    // at scope completion (narrows the cross-stream DKY window).
+    patchPendingPointersTo(D->name(), Ty);
+  }
+}
+
+/// Number of module-frame slots the scope's variables occupy.
+static int32_t globalVarCount(const Scope &S) {
+  int32_t Count = 0;
+  for (const SymbolEntry *E : S.entries())
+    if (E->Kind == EntryKind::Var && E->IsGlobal && E->OwnerScope == &S)
+      ++Count;
+  return Count;
+}
+
+void DeclAnalyzer::analyzeVar(const VarDecl *D) {
+  if (!SlotBaseResolved && OwnInterface &&
+      Self.kind() == ScopeKind::Module) {
+    // The interface's globals own the front of the module frame; wait for
+    // its declaration analysis if it is still running.
+    if (!OwnInterface->isComplete()) {
+      sched::ctx().charge(sched::CostKind::LookupBlocked);
+      sched::ctx().wait(*OwnInterface->completionEvent());
+    }
+    NextSlot += globalVarCount(*OwnInterface);
+  }
+  SlotBaseResolved = true;
+  const Type *Ty = resolveType(D->type());
+  for (Symbol Name : D->names()) {
+    auto Entry = std::make_unique<SymbolEntry>();
+    Entry->Name = Name;
+    Entry->Kind = EntryKind::Var;
+    Entry->Loc = D->location();
+    Entry->Ty = Ty;
+    Entry->Slot = NextSlot;
+    Entry->IsGlobal = Self.kind() == ScopeKind::Module ||
+                      Self.kind() == ScopeKind::DefModule;
+    Entry->OwningModule = OwningModule;
+    if (insert(std::move(Entry), D->location()))
+      ++NextSlot;
+  }
+}
+
+const Type *DeclAnalyzer::buildSignature(const ProcHeading &Heading) {
+  std::vector<Type::Param> Params;
+  for (const FormalParam &P : Heading.Params) {
+    const Type *Ty = resolveType(P.Type);
+    if (P.IsOpenArray)
+      Ty = Comp.Types.makeOpenArray(Ty);
+    for (size_t I = 0; I < P.Names.size(); ++I)
+      Params.push_back(Type::Param{Ty, P.IsVar, P.IsOpenArray});
+  }
+  const Type *Result =
+      Heading.Result ? resolveType(Heading.Result) : nullptr;
+  return Comp.Types.makeProcedure(std::move(Params), Result);
+}
+
+void DeclAnalyzer::copyParamsToChild(const ProcHeading &Heading,
+                                     const Type &Sig, Scope &Child) {
+  // Alternative 1 of section 2.4: the parent's processing of the heading
+  // is copied into the child scope, so the child starts with its
+  // parameters already declared.
+  int32_t Slot = 0;
+  size_t ParamIndex = 0;
+  for (const FormalParam &P : Heading.Params) {
+    for (Symbol Name : P.Names) {
+      assert(ParamIndex < Sig.params().size() && "signature out of sync");
+      auto Entry = std::make_unique<SymbolEntry>();
+      Entry->Name = Name;
+      Entry->Kind = EntryKind::Param;
+      Entry->Loc = P.Loc;
+      Entry->Ty = Sig.params()[ParamIndex].Ty;
+      Entry->Slot = Slot++;
+      Entry->IsVarParam = P.IsVar;
+      if (SymbolEntry *Existing = Child.insert(std::move(Entry))) {
+        (void)Existing;
+        Comp.Diags.error(P.Loc,
+                         "duplicate parameter name '" +
+                             std::string(Comp.Interner.spelling(Name)) + "'");
+      }
+      ++ParamIndex;
+    }
+  }
+}
+
+void DeclAnalyzer::analyzeHeadingInChild(const ProcHeading &Heading) {
+  // Alternative 3 of section 2.4: the child re-processes the heading,
+  // producing entries identical to the parent's analysis.  The duplicate
+  // resolution work is the measured ~3% cost of this alternative.
+  sched::ctx().charge(sched::CostKind::DeclAnalyzed);
+  sched::ctx().charge(sched::CostKind::VarAnalyzed,
+                      3 + Heading.Params.size());
+  const Type *Sig = buildSignature(Heading);
+  copyParamsToChild(Heading, *Sig, Self);
+  NextSlot = static_cast<int32_t>(Self.size());
+}
+
+void DeclAnalyzer::analyzeProcHeadingDecl(const ProcHeading &Heading,
+                                          SourceLocation Loc) {
+  const Type *Sig = buildSignature(Heading);
+  auto Entry = std::make_unique<SymbolEntry>();
+  Entry->Name = Heading.Name;
+  Entry->Kind = EntryKind::Proc;
+  Entry->Loc = Loc;
+  Entry->Ty = Sig;
+  Entry->ProcId = Comp.allocProcId();
+  Entry->OwningModule = OwningModule;
+  SymbolEntry *Inserted = insert(std::move(Entry), Loc);
+  size_t Index = HeadingIndex++;
+  // The child-scope hook fires for *every* heading — successful or not —
+  // so the driver's per-index child bookkeeping stays aligned with the
+  // heading order even when a redeclaration fails to insert.
+  Scope *Child =
+      Hooks.childScope ? Hooks.childScope(Index, Heading.Name) : nullptr;
+  if (!Inserted)
+    return; // Redeclared: the child stream stays orphaned (no code).
+  if (Child && Comp.Options.Sharing == HeadingSharing::CopyEntries)
+    copyParamsToChild(Heading, *Sig, *Child);
+  if (Hooks.headingDone)
+    Hooks.headingDone(Index, Heading.Name, *Inserted);
+}
+
+const Type *DeclAnalyzer::resolveNamed(const NamedTypeExpr *TE,
+                                       bool AllowForwardPointer) {
+  if (TE->name().isEmpty())
+    return Comp.Types.errorType(); // Parser already diagnosed.
+
+  SymbolEntry *Entry = nullptr;
+  if (!TE->qualifier().isEmpty()) {
+    SymbolEntry *ModEntry =
+        Comp.Resolver.lookupSimple(Self, TE->qualifier());
+    if (!ModEntry || ModEntry->Kind != EntryKind::Module ||
+        !ModEntry->ModuleScope) {
+      Comp.Diags.error(TE->location(),
+                       "'" +
+                           std::string(
+                               Comp.Interner.spelling(TE->qualifier())) +
+                           "' is not an imported module");
+      return Comp.Types.errorType();
+    }
+    Entry = Comp.Resolver.lookupQualified(*ModEntry->ModuleScope, TE->name());
+  } else {
+    if (AllowForwardPointer) {
+      // Forward pointer targets resolve against this scope later; a plain
+      // probe avoids a self-deadlocking wait on our own table.
+      Entry = Self.find(TE->name());
+      if (!Entry)
+        return nullptr; // Defer to finish().
+    } else {
+      Entry = Comp.Resolver.lookupSimple(Self, TE->name());
+    }
+  }
+  if (!Entry) {
+    Comp.Diags.error(TE->location(),
+                     "undeclared type '" +
+                         std::string(Comp.Interner.spelling(TE->name())) +
+                         "'");
+    return Comp.Types.errorType();
+  }
+  if (Entry->Kind != EntryKind::Type || !Entry->Ty) {
+    Comp.Diags.error(TE->location(),
+                     "'" + std::string(Comp.Interner.spelling(TE->name())) +
+                         "' is not a type");
+    return Comp.Types.errorType();
+  }
+  return Entry->Ty;
+}
+
+const Type *DeclAnalyzer::resolveSubrange(const SubrangeTypeExpr *TE) {
+  const Type *LoTy = nullptr;
+  auto Lo = ConstEval.evalOrdinal(TE->low(), &LoTy);
+  auto Hi = ConstEval.evalOrdinal(TE->high());
+  if (!Lo || !Hi)
+    return Comp.Types.errorType();
+  if (*Lo > *Hi) {
+    Comp.Diags.error(TE->location(), "empty subrange: low bound " +
+                                         std::to_string(*Lo) +
+                                         " exceeds high bound " +
+                                         std::to_string(*Hi));
+    return Comp.Types.errorType();
+  }
+  const Type *Base = LoTy ? LoTy->stripSubrange() : Comp.Types.integerType();
+  if (!TE->baseName().isEmpty()) {
+    NamedTypeExpr Named(TE->location(), Symbol(), TE->baseName());
+    Base = resolveNamed(&Named, /*AllowForwardPointer=*/false);
+  }
+  return Comp.Types.makeSubrange(Base, *Lo, *Hi);
+}
+
+const Type *DeclAnalyzer::resolveType(const TypeExpr *TE) {
+  if (!TE)
+    return Comp.Types.errorType();
+  switch (TE->kind()) {
+  case TypeExprKind::Named:
+    return resolveNamed(static_cast<const NamedTypeExpr *>(TE),
+                        /*AllowForwardPointer=*/false);
+
+  case TypeExprKind::Subrange:
+    return resolveSubrange(static_cast<const SubrangeTypeExpr *>(TE));
+
+  case TypeExprKind::Enumeration: {
+    auto *Enum = static_cast<const EnumTypeExpr *>(TE);
+    const Type *Ty = Comp.Types.makeEnum(Enum->literals());
+    int64_t Ordinal = 0;
+    for (Symbol Lit : Enum->literals()) {
+      auto Entry = std::make_unique<SymbolEntry>();
+      Entry->Name = Lit;
+      Entry->Kind = EntryKind::EnumLiteral;
+      Entry->Loc = TE->location();
+      Entry->Ty = Ty;
+      Entry->Value = ConstValue::makeInt(Ordinal++);
+      insert(std::move(Entry), TE->location());
+    }
+    return Ty;
+  }
+
+  case TypeExprKind::Array: {
+    auto *Arr = static_cast<const ArrayTypeExpr *>(TE);
+    const Type *Index = resolveType(Arr->index());
+    const Type *Element = resolveType(Arr->element());
+    if (!Index->isError() && !Index->isOrdinal()) {
+      Comp.Diags.error(Arr->location(), "array index type must be ordinal");
+      Index = Comp.Types.errorType();
+    }
+    return Comp.Types.makeArray(Index, Element);
+  }
+
+  case TypeExprKind::Record: {
+    auto *Rec = static_cast<const RecordTypeExpr *>(TE);
+    std::vector<Type::Field> Fields;
+    uint32_t Index = 0;
+    for (const FieldGroup &G : Rec->fields()) {
+      const Type *FieldTy = resolveType(G.Type);
+      for (Symbol Name : G.Names)
+        Fields.push_back(Type::Field{Name, FieldTy, Index++});
+    }
+    Type *Ty = Comp.Types.makeRecord(
+        std::move(Fields), Self.name() + ".record" +
+                               std::to_string(reinterpret_cast<uintptr_t>(TE) &
+                                              0xffff));
+    // Populate the field table (an "other" search scope for Table 2) and
+    // complete it immediately: record types publish atomically.
+    for (const Type::Field &F : Ty->fields()) {
+      auto Entry = std::make_unique<SymbolEntry>();
+      Entry->Name = F.Name;
+      Entry->Kind = EntryKind::Field;
+      Entry->Loc = TE->location();
+      Entry->Ty = F.Ty;
+      Entry->Slot = static_cast<int32_t>(F.Index);
+      if (Ty->fieldScope()->insert(std::move(Entry)))
+        Comp.Diags.error(TE->location(),
+                         "duplicate field name '" +
+                             std::string(Comp.Interner.spelling(F.Name)) +
+                             "'");
+    }
+    Ty->fieldScope()->markComplete();
+    return Ty;
+  }
+
+  case TypeExprKind::Pointer: {
+    auto *Ptr = static_cast<const PointerTypeExpr *>(TE);
+    // "POINTER TO T" may reference a type declared later in this scope.
+    if (Ptr->pointee() &&
+        Ptr->pointee()->kind() == TypeExprKind::Named) {
+      auto *Named = static_cast<const NamedTypeExpr *>(Ptr->pointee());
+      if (Named->qualifier().isEmpty()) {
+        const Type *Known = resolveNamed(Named, /*AllowForwardPointer=*/true);
+        if (Known)
+          return Comp.Types.makePointer(Known);
+        Type *Fwd = Comp.Types.makePointer(nullptr);
+        // Other streams may probe this type out of the incomplete table;
+        // a consumer needing the pointee before it is patched waits on
+        // the scope's completion.
+        Fwd->setReadyEvent(Self.completionEvent());
+        PendingPointers.push_back(
+            PendingPointer{Fwd, Named->name(), Named->location()});
+        return Fwd;
+      }
+    }
+    return Comp.Types.makePointer(resolveType(Ptr->pointee()));
+  }
+
+  case TypeExprKind::Set: {
+    auto *Set = static_cast<const SetTypeExpr *>(TE);
+    const Type *Element = resolveType(Set->element());
+    if (!Element->isError()) {
+      if (!Element->isOrdinal()) {
+        Comp.Diags.error(Set->location(), "set element type must be ordinal");
+        Element = Comp.Types.errorType();
+      } else if (Element->low() < 0 || Element->high() > 63) {
+        Comp.Diags.error(Set->location(),
+                         "set element range must lie within 0..63");
+        Element = Comp.Types.errorType();
+      }
+    }
+    return Comp.Types.makeSet(Element);
+  }
+
+  case TypeExprKind::Proc: {
+    auto *Proc = static_cast<const ProcTypeExpr *>(TE);
+    std::vector<Type::Param> Params;
+    for (const FormalType &F : Proc->formals()) {
+      const Type *Ty = resolveType(F.Type);
+      if (F.IsOpenArray)
+        Ty = Comp.Types.makeOpenArray(Ty);
+      Params.push_back(Type::Param{Ty, F.IsVar, F.IsOpenArray});
+    }
+    const Type *Result =
+        Proc->result() ? resolveType(Proc->result()) : nullptr;
+    return Comp.Types.makeProcedure(std::move(Params), Result);
+  }
+  }
+  return Comp.Types.errorType();
+}
+
+void DeclAnalyzer::finish() {
+  for (const PendingPointer &P : PendingPointers) {
+    if (P.Pointer->element())
+      continue; // Already patched when the target was declared.
+    SymbolEntry *Entry = Comp.Resolver.lookupSimple(Self, P.TargetName);
+    if (!Entry || Entry->Kind != EntryKind::Type || !Entry->Ty) {
+      Comp.Diags.error(P.Loc,
+                       "undeclared pointer target type '" +
+                           std::string(Comp.Interner.spelling(P.TargetName)) +
+                           "'");
+      P.Pointer->patchPointee(Comp.Types.errorType());
+      continue;
+    }
+    P.Pointer->patchPointee(Entry->Ty);
+  }
+  PendingPointers.clear();
+  Self.markComplete();
+}

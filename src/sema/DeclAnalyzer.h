@@ -1,0 +1,134 @@
+//===--- DeclAnalyzer.h - Declaration semantic analysis ---------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds one stream's symbol table from its declaration AST.  Runs as
+/// the back half of the Parser/Declarations-Analyzer task: "fast
+/// processing of the declaration parts of streams will assist in
+/// resolving DKY blockages by causing symbol tables to be completed
+/// earlier in the compilation" (paper section 3).
+///
+/// Procedure headings are processed in the *parent* scope and the
+/// resulting parameter entries copied into the child scope (section 2.4,
+/// alternative 1); under HeadingSharing::Reprocess the child re-analyzes
+/// the heading instead (alternative 3, the ~3% ablation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SEMA_DECLANALYZER_H
+#define M2C_SEMA_DECLANALYZER_H
+
+#include "ast/Decl.h"
+#include "sema/Compilation.h"
+#include "sema/ConstEval.h"
+
+namespace m2c::sema {
+
+/// Driver-installed hooks connecting procedure headings to the split-off
+/// procedure streams created by the Splitter.
+struct ProcStreamHooks {
+  /// Returns the scope of the Index-th procedure heading's stream (order
+  /// of appearance in this stream), or null when the procedure was not
+  /// split off (definition modules, sequential compilation).
+  std::function<symtab::Scope *(size_t Index, Symbol Name)> childScope;
+
+  /// Called once the heading's information is available to the child
+  /// (entries copied, or signature recorded under Reprocess); the driver
+  /// signals the child stream's heading-processed avoided event here.
+  std::function<void(size_t Index, Symbol Name,
+                     const symtab::SymbolEntry &ProcEntry)>
+      headingDone;
+};
+
+/// Analyzes the declarations of one scope.
+class DeclAnalyzer {
+public:
+  DeclAnalyzer(Compilation &Comp, symtab::Scope &Self, Symbol OwningModule);
+
+  /// For the implementation module's scope: its global variables share
+  /// the module frame with the ones declared in M.def, so their slots
+  /// start after the interface's.  Waits for the interface scope to
+  /// complete on first use (the compilation of M.mod "optimistically"
+  /// overlaps the processing of M.def, paper section 3).
+  void setOwnInterface(symtab::Scope *OwnDef) { OwnInterface = OwnDef; }
+
+  void setProcStreamHooks(ProcStreamHooks H) { Hooks = std::move(H); }
+
+  /// Resolves the stream's import clauses into Module and alias entries.
+  /// FROM-imports resolve through the DKY machinery and may block.
+  void analyzeImports(const std::vector<ast::ImportClause> &Imports);
+
+  /// Analyzes a declaration block in order.
+  void analyzeDecls(const std::vector<ast::Decl *> &Decls);
+
+  /// Analyzes one declaration (the concurrent parser task feeds these
+  /// incrementally as it parses, so entries appear — and procedure-stream
+  /// heading events fire — while the rest of the stream is still being
+  /// read).
+  void analyzeDecl(const ast::Decl *D);
+
+  /// Re-analyzes a heading in the *child* scope (Reprocess sharing, and
+  /// slot accounting for the child's declaration analyzer).
+  void analyzeHeadingInChild(const ast::ProcHeading &Heading);
+
+  /// Patches pending forward pointer targets and marks the scope
+  /// complete.  Call exactly once, after all declarations.
+  void finish();
+
+  /// Resolves a syntactic type expression in this scope.
+  const Type *resolveType(const ast::TypeExpr *TE);
+
+  /// The scope under construction.
+  symtab::Scope &scope() { return Self; }
+
+private:
+  /// Inserts \p Entry, reporting redeclaration/builtin-clash errors.
+  /// Returns the inserted entry or null on clash.
+  symtab::SymbolEntry *insert(std::unique_ptr<symtab::SymbolEntry> Entry,
+                              SourceLocation Loc);
+
+  void analyzeConst(const ast::ConstDecl *D);
+  void analyzeTypeDecl(const ast::TypeDecl *D);
+  void analyzeVar(const ast::VarDecl *D);
+  void analyzeProcHeadingDecl(const ast::ProcHeading &Heading,
+                              SourceLocation Loc);
+
+  /// Builds the procedure signature type from a heading (resolving the
+  /// formal types in this scope).
+  const Type *buildSignature(const ast::ProcHeading &Heading);
+
+  /// Copies parameter entries into \p Child (alternative 1).
+  void copyParamsToChild(const ast::ProcHeading &Heading, const Type &Sig,
+                         symtab::Scope &Child);
+
+  const Type *resolveNamed(const ast::NamedTypeExpr *TE,
+                           bool AllowForwardPointer);
+  /// Patches any pending forward pointers whose target is \p Name.
+  void patchPendingPointersTo(Symbol Name, const Type *Target);
+  const Type *resolveSubrange(const ast::SubrangeTypeExpr *TE);
+
+  Compilation &Comp;
+  symtab::Scope &Self;
+  Symbol OwningModule;
+  ConstEvaluator ConstEval;
+  ProcStreamHooks Hooks;
+  symtab::Scope *OwnInterface = nullptr;
+  bool SlotBaseResolved = false;
+  int32_t NextSlot = 0;
+  size_t HeadingIndex = 0;
+
+  struct PendingPointer {
+    Type *Pointer;
+    Symbol TargetName;
+    SourceLocation Loc;
+  };
+  std::vector<PendingPointer> PendingPointers;
+};
+
+} // namespace m2c::sema
+
+#endif // M2C_SEMA_DECLANALYZER_H

@@ -1,0 +1,291 @@
+//===--- Type.cpp - Semantic type representation ---------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Type.h"
+
+#include "symtab/Scope.h"
+
+#include <cassert>
+
+using namespace m2c;
+using namespace m2c::sema;
+
+bool Type::isOrdinal() const {
+  switch (Kind) {
+  case TypeKind::Integer:
+  case TypeKind::Cardinal:
+  case TypeKind::Boolean:
+  case TypeKind::Char:
+  case TypeKind::Enum:
+  case TypeKind::Subrange:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const Type::Field *Type::findField(Symbol FieldName) const {
+  for (const Field &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+std::string Type::describe() const {
+  if (!Name.isEmpty() && Names)
+    return std::string(Names->spelling(Name));
+  switch (Kind) {
+  case TypeKind::Error:
+    return "<error>";
+  case TypeKind::Integer:
+    return "INTEGER";
+  case TypeKind::Cardinal:
+    return "CARDINAL";
+  case TypeKind::Boolean:
+    return "BOOLEAN";
+  case TypeKind::Char:
+    return "CHAR";
+  case TypeKind::Real:
+    return "REAL";
+  case TypeKind::BitSet:
+    return "BITSET";
+  case TypeKind::String:
+    return "string constant";
+  case TypeKind::Nil:
+    return "NIL";
+  case TypeKind::Enum:
+    return "enumeration";
+  case TypeKind::Subrange:
+    return "[" + std::to_string(Low) + ".." + std::to_string(High) + "]";
+  case TypeKind::Array:
+    return "ARRAY [" + std::to_string(Low) + ".." + std::to_string(High) +
+           "] OF " + (Element ? Element->describe() : "?");
+  case TypeKind::OpenArray:
+    return "ARRAY OF " + (Element ? Element->describe() : "?");
+  case TypeKind::Record:
+    return "RECORD";
+  case TypeKind::Pointer:
+    return "POINTER TO " + (element() ? element()->describe() : "?");
+  case TypeKind::Set:
+    return "SET OF " + (Element ? Element->describe() : "?");
+  case TypeKind::Procedure:
+    return "PROCEDURE";
+  case TypeKind::Opaque:
+    return "opaque type";
+  }
+  return "?";
+}
+
+TypeContext::TypeContext(StringInterner &Interner) : Interner(Interner) {
+  auto MakeBuiltin = [this](TypeKind Kind) {
+    BuiltinStorage.push_back(std::unique_ptr<Type>(new Type(Kind)));
+    BuiltinStorage.back()->Names = &this->Interner;
+    return BuiltinStorage.back().get();
+  };
+  ErrorTy = MakeBuiltin(TypeKind::Error);
+  IntegerTy = MakeBuiltin(TypeKind::Integer);
+  CardinalTy = MakeBuiltin(TypeKind::Cardinal);
+  BooleanTy = MakeBuiltin(TypeKind::Boolean);
+  CharTy = MakeBuiltin(TypeKind::Char);
+  RealTy = MakeBuiltin(TypeKind::Real);
+  BitsetTy = MakeBuiltin(TypeKind::BitSet);
+  BitsetTy->Low = 0;
+  BitsetTy->High = 63;
+  BitsetTy->Element = CardinalTy;
+  NilTy = MakeBuiltin(TypeKind::Nil);
+}
+
+TypeContext::~TypeContext() = default;
+
+Type *TypeContext::create(TypeKind Kind) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Storage.push_back(std::unique_ptr<Type>(new Type(Kind)));
+  Storage.back()->Names = &Interner;
+  return Storage.back().get();
+}
+
+const Type *TypeContext::getString(int64_t Length) {
+  Type *T = create(TypeKind::String);
+  T->Low = 0;
+  T->High = Length - 1;
+  T->Element = CharTy;
+  return T;
+}
+
+const Type *TypeContext::makeEnum(std::vector<Symbol> Literals) {
+  Type *T = create(TypeKind::Enum);
+  T->Low = 0;
+  T->High = static_cast<int64_t>(Literals.size()) - 1;
+  T->EnumLits = std::move(Literals);
+  return T;
+}
+
+const Type *TypeContext::makeSubrange(const Type *Base, int64_t Low,
+                                      int64_t High) {
+  assert(Base && "subrange of null base");
+  Type *T = create(TypeKind::Subrange);
+  T->Element = Base->stripSubrange();
+  T->Low = Low;
+  T->High = High;
+  return T;
+}
+
+const Type *TypeContext::makeArray(const Type *IndexTy,
+                                   const Type *ElementTy) {
+  Type *T = create(TypeKind::Array);
+  T->Index = IndexTy;
+  T->Element = ElementTy;
+  if (IndexTy && IndexTy->isOrdinal()) {
+    if (IndexTy->is(TypeKind::Subrange) || IndexTy->is(TypeKind::Enum) ||
+        IndexTy->is(TypeKind::Boolean) || IndexTy->is(TypeKind::Char)) {
+      T->Low = IndexTy->is(TypeKind::Char) ? 0 : IndexTy->low();
+      T->High = IndexTy->is(TypeKind::Char)
+                    ? 255
+                    : (IndexTy->is(TypeKind::Boolean) ? 1 : IndexTy->high());
+    }
+  }
+  return T;
+}
+
+const Type *TypeContext::makeOpenArray(const Type *ElementTy) {
+  Type *T = create(TypeKind::OpenArray);
+  T->Element = ElementTy;
+  return T;
+}
+
+Type *TypeContext::makeRecord(std::vector<Type::Field> Fields,
+                              std::string ScopeName) {
+  Type *T = create(TypeKind::Record);
+  T->Fields = std::move(Fields);
+  auto Scope = std::make_unique<symtab::Scope>(
+      std::move(ScopeName), symtab::ScopeKind::Record, nullptr, nullptr);
+  T->FieldScope = Scope.get();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    FieldScopes.push_back(std::move(Scope));
+  }
+  return T;
+}
+
+Type *TypeContext::makePointer(const Type *Pointee) {
+  Type *T = create(TypeKind::Pointer);
+  T->Element = Pointee;
+  return T;
+}
+
+const Type *TypeContext::makeSet(const Type *ElementTy) {
+  Type *T = create(TypeKind::Set);
+  T->Element = ElementTy;
+  if (ElementTy && ElementTy->isOrdinal()) {
+    T->Low = ElementTy->low();
+    T->High = ElementTy->high();
+  }
+  return T;
+}
+
+const Type *TypeContext::makeProcedure(std::vector<Type::Param> Params,
+                                       const Type *Result) {
+  Type *T = create(TypeKind::Procedure);
+  T->Params = std::move(Params);
+  T->Result = Result;
+  return T;
+}
+
+const Type *TypeContext::makeOpaque(Symbol Name) {
+  Type *T = create(TypeKind::Opaque);
+  T->Name = Name;
+  return T;
+}
+
+bool TypeContext::same(const Type *A, const Type *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->isError() || B->isError())
+    return true; // Suppress cascades.
+  // Structural equivalence for procedure signatures.
+  if (A->is(TypeKind::Procedure) && B->is(TypeKind::Procedure)) {
+    if (A->params().size() != B->params().size())
+      return false;
+    if ((A->result() == nullptr) != (B->result() == nullptr))
+      return false;
+    if (A->result() && !same(A->result(), B->result()))
+      return false;
+    for (size_t I = 0; I < A->params().size(); ++I) {
+      const Type::Param &PA = A->params()[I];
+      const Type::Param &PB = B->params()[I];
+      if (PA.IsVar != PB.IsVar || PA.IsOpenArray != PB.IsOpenArray ||
+          !same(PA.Ty, PB.Ty))
+        return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool TypeContext::assignable(const Type *Dst, const Type *Src) {
+  if (!Dst || !Src)
+    return false;
+  if (Dst->isError() || Src->isError())
+    return true;
+  const Type *D = Dst->stripSubrange();
+  const Type *S = Src->stripSubrange();
+  if (D == S)
+    return true;
+  // INTEGER and CARDINAL values intermix (checked at runtime on a real
+  // machine; our MCode machine uses 64-bit integers throughout).
+  if ((D->is(TypeKind::Integer) || D->is(TypeKind::Cardinal)) &&
+      (S->is(TypeKind::Integer) || S->is(TypeKind::Cardinal)))
+    return true;
+  // NIL assigns to any pointer or procedure value.
+  if (S->is(TypeKind::Nil) &&
+      (D->is(TypeKind::Pointer) || D->is(TypeKind::Procedure) ||
+       D->is(TypeKind::Opaque)))
+    return true;
+  // Character literals are CHAR; length-1 strings already lex as CHAR.
+  if (D->is(TypeKind::Char) && S->is(TypeKind::Char))
+    return true;
+  // String constants assign to arrays of CHAR that can hold them.
+  if (D->is(TypeKind::Array) && D->element() &&
+      D->element()->stripSubrange()->is(TypeKind::Char) &&
+      S->is(TypeKind::String))
+    return D->length() >= S->length();
+  // BITSET and SET types of the same element range interchange only when
+  // identical (name equivalence), except the literal {..} constructor
+  // which is typed by context; the analyzer handles that case.
+  if (same(D, S))
+    return true;
+  return false;
+}
+
+bool TypeContext::compatible(const Type *A, const Type *B) {
+  if (!A || !B)
+    return false;
+  if (A->isError() || B->isError())
+    return true;
+  const Type *X = A->stripSubrange();
+  const Type *Y = B->stripSubrange();
+  if (X == Y)
+    return true;
+  if ((X->is(TypeKind::Integer) || X->is(TypeKind::Cardinal)) &&
+      (Y->is(TypeKind::Integer) || Y->is(TypeKind::Cardinal)))
+    return true;
+  if (X->is(TypeKind::Nil) &&
+      (Y->is(TypeKind::Pointer) || Y->is(TypeKind::Opaque)))
+    return true;
+  if (Y->is(TypeKind::Nil) &&
+      (X->is(TypeKind::Pointer) || X->is(TypeKind::Opaque)))
+    return true;
+  if (X->is(TypeKind::String) && Y->is(TypeKind::Array) && Y->element() &&
+      Y->element()->stripSubrange()->is(TypeKind::Char))
+    return true;
+  if (Y->is(TypeKind::String) && X->is(TypeKind::Array) && X->element() &&
+      X->element()->stripSubrange()->is(TypeKind::Char))
+    return true;
+  return same(X, Y);
+}

@@ -1,0 +1,238 @@
+//===--- Type.h - Semantic type representation ------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical semantic types.  Types are created by concurrently running
+/// declaration analyzers, so the TypeContext is thread-safe; Type objects
+/// themselves are immutable once published (with the single exception of
+/// forward-declared pointer targets, which are patched before the owning
+/// scope is marked complete).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SEMA_TYPE_H
+#define M2C_SEMA_TYPE_H
+
+#include "sched/Event.h"
+#include "support/StringInterner.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace m2c {
+
+namespace symtab {
+class Scope;
+} // namespace symtab
+
+namespace sema {
+
+/// Semantic type kinds.
+enum class TypeKind : uint8_t {
+  Error,     ///< Produced after a reported error; silences cascades.
+  Integer,
+  Cardinal,
+  Boolean,
+  Char,
+  Real,
+  BitSet,
+  String,    ///< String literals (length in Length).
+  Nil,       ///< The type of NIL.
+  Enum,
+  Subrange,
+  Array,
+  OpenArray, ///< ARRAY OF T formal parameters.
+  Record,
+  Pointer,
+  Set,
+  Procedure,
+  Opaque,    ///< Opaque type from a definition module ("TYPE T;").
+};
+
+/// A canonical semantic type.
+class Type {
+public:
+  /// One record field; Index is the field's slot in the record value.
+  struct Field {
+    Symbol Name;
+    const Type *Ty = nullptr;
+    uint32_t Index = 0;
+  };
+
+  /// One procedure-signature parameter.
+  struct Param {
+    const Type *Ty = nullptr;
+    bool IsVar = false;
+    bool IsOpenArray = false;
+  };
+
+  TypeKind kind() const { return Kind; }
+
+  /// Diagnostic name ("INTEGER", "Lists.List", "ARRAY [0..9] OF REAL").
+  std::string describe() const;
+
+  bool is(TypeKind K) const { return Kind == K; }
+  bool isError() const { return Kind == TypeKind::Error; }
+  bool isOrdinal() const;
+  bool isNumeric() const {
+    return Kind == TypeKind::Integer || Kind == TypeKind::Cardinal ||
+           Kind == TypeKind::Real;
+  }
+
+  /// Strips subranges to their base type.
+  const Type *stripSubrange() const {
+    return Kind == TypeKind::Subrange ? Element : this;
+  }
+
+  //===--- Kind-specific accessors ----------------------------------------===//
+
+  /// Array element / set element / pointer pointee / subrange base.
+  /// Forward-declared pointer targets are patched through an atomic side
+  /// slot, so a concurrent reader either sees null (target not yet
+  /// declared; see readyEvent()) or the final pointee — never a torn
+  /// value, and the published Element field itself is immutable.
+  const Type *element() const {
+    if (Element)
+      return Element;
+    return ForwardPointee.load(std::memory_order_acquire);
+  }
+  /// Array index type.
+  const Type *index() const { return Index; }
+  /// Subrange, enum, or array-index bounds.  For arrays, the element
+  /// count is length(); for enums, High is the literal count - 1 (Low 0).
+  int64_t low() const { return Low; }
+  int64_t high() const { return High; }
+  /// Number of elements of an array or string; subrange cardinality.
+  int64_t length() const { return High - Low + 1; }
+
+  const std::vector<Field> &fields() const { return Fields; }
+  const Field *findField(Symbol Name) const;
+  /// The record's field table, used as an "other" search scope.
+  symtab::Scope *fieldScope() const { return FieldScope; }
+
+  const std::vector<Symbol> &enumLiterals() const { return EnumLits; }
+
+  const std::vector<Param> &params() const { return Params; }
+  const Type *result() const { return Result; }
+
+  /// The name this type was first declared under (for diagnostics).
+  Symbol name() const { return Name; }
+  void setName(Symbol N) {
+    if (N.isEmpty() || !Name.isEmpty())
+      return;
+    Name = N;
+  }
+
+  /// Pointer forward-reference patching: "POINTER TO T" may be created
+  /// before T is declared; the declaration analyzer patches the pointee
+  /// (atomically: other streams may already hold this type through a
+  /// Skeptical probe of the still-incomplete table) no later than scope
+  /// completion.
+  void patchPointee(const Type *Pointee) {
+    ForwardPointee.store(Pointee, std::memory_order_release);
+  }
+
+  /// For forward pointers: the owning scope's completion event.  A
+  /// consumer that needs the pointee while element() is still null waits
+  /// on this (DKY-style) and re-reads.
+  const sched::EventPtr &readyEvent() const { return Ready; }
+  void setReadyEvent(sched::EventPtr E) { Ready = std::move(E); }
+
+private:
+  friend class TypeContext;
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  TypeKind Kind;
+  Symbol Name;
+  const Type *Element = nullptr;
+  std::atomic<const Type *> ForwardPointee{nullptr};
+  sched::EventPtr Ready;
+  const Type *Index = nullptr;
+  int64_t Low = 0;
+  int64_t High = -1;
+  std::vector<Field> Fields;
+  symtab::Scope *FieldScope = nullptr;
+  std::vector<Symbol> EnumLits;
+  std::vector<Param> Params;
+  const Type *Result = nullptr;
+  const StringInterner *Names = nullptr; ///< For describe().
+};
+
+/// Thread-safe factory and owner of all types of one compilation.
+class TypeContext {
+public:
+  explicit TypeContext(StringInterner &Interner);
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+  ~TypeContext();
+
+  //===--- Canonical builtins ---------------------------------------------===//
+  const Type *errorType() const { return ErrorTy; }
+  const Type *integerType() const { return IntegerTy; }
+  const Type *cardinalType() const { return CardinalTy; }
+  const Type *booleanType() const { return BooleanTy; }
+  const Type *charType() const { return CharTy; }
+  const Type *realType() const { return RealTy; }
+  const Type *bitsetType() const { return BitsetTy; }
+  const Type *nilType() const { return NilTy; }
+
+  //===--- Constructors ---------------------------------------------------===//
+  const Type *getString(int64_t Length);
+  const Type *makeEnum(std::vector<Symbol> Literals);
+  const Type *makeSubrange(const Type *Base, int64_t Low, int64_t High);
+  const Type *makeArray(const Type *IndexTy, const Type *ElementTy);
+  const Type *makeOpenArray(const Type *ElementTy);
+  /// The record's field scope is created here (and returned via the
+  /// type); the caller populates and completes it.
+  Type *makeRecord(std::vector<Type::Field> Fields, std::string ScopeName);
+  Type *makePointer(const Type *Pointee); ///< Mutable for forward patch.
+  const Type *makeSet(const Type *ElementTy);
+  const Type *makeProcedure(std::vector<Type::Param> Params,
+                            const Type *Result);
+  const Type *makeOpaque(Symbol Name);
+
+  //===--- Relations -------------------------------------------------------===//
+
+  /// True if the two types are the same type under Modula-2 name
+  /// equivalence (aliases share the Type object).
+  static bool same(const Type *A, const Type *B);
+
+  /// True if a value of \p Src may be assigned to a location of \p Dst.
+  static bool assignable(const Type *Dst, const Type *Src);
+
+  /// True if binary operands of these types are compatible.
+  static bool compatible(const Type *A, const Type *B);
+
+private:
+  Type *create(TypeKind Kind);
+
+  StringInterner &Interner;
+  std::mutex Mutex;
+  // unique_ptr storage: Type holds an atomic member and is immovable.
+  std::deque<std::unique_ptr<Type>> Storage;
+  std::vector<std::unique_ptr<symtab::Scope>> FieldScopes;
+  std::deque<std::unique_ptr<Type>> BuiltinStorage;
+
+  Type *ErrorTy;
+  Type *IntegerTy;
+  Type *CardinalTy;
+  Type *BooleanTy;
+  Type *CharTy;
+  Type *RealTy;
+  Type *BitsetTy;
+  Type *NilTy;
+};
+
+} // namespace sema
+} // namespace m2c
+
+#endif // M2C_SEMA_TYPE_H

@@ -1,0 +1,54 @@
+//===--- Importer.cpp - Import discovery over token streams ---------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "split/Importer.h"
+
+#include "sched/ExecContext.h"
+
+#include <algorithm>
+
+using namespace m2c;
+
+std::vector<Symbol> Importer::run() {
+  std::vector<Symbol> Direct;
+  auto Discover = [&](Symbol Name) {
+    if (std::find(Direct.begin(), Direct.end(), Name) == Direct.end())
+      Direct.push_back(Name);
+    Registry.getOrCreate(Name, Interner.spelling(Name));
+  };
+
+  while (true) {
+    const Token &T = In.next();
+    if (T.isEof())
+      return Direct;
+    sched::ctx().charge(sched::CostKind::ImportToken);
+
+    if (T.is(TokenKind::KwFrom)) {
+      // FROM M IMPORT ...; -> M is the imported module; the listed names
+      // are not modules.
+      if (In.peek().is(TokenKind::Identifier))
+        Discover(In.peek().Ident);
+      while (!In.peek().isEof() && !In.peek().is(TokenKind::Semi)) {
+        In.next();
+        sched::ctx().charge(sched::CostKind::ImportToken);
+      }
+      continue;
+    }
+    if (T.is(TokenKind::KwImport)) {
+      // IMPORT A, B, C;
+      while (In.peek().is(TokenKind::Identifier)) {
+        Discover(In.next().Ident);
+        sched::ctx().charge(sched::CostKind::ImportToken);
+        if (!In.peek().is(TokenKind::Comma))
+          break;
+        In.next();
+        sched::ctx().charge(sched::CostKind::ImportToken);
+      }
+      continue;
+    }
+  }
+}

@@ -1,0 +1,45 @@
+//===--- Importer.h - Import discovery over token streams -------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The import task searches the token stream for IMPORT declarations
+/// and starts a new stream for each imported definition module that it
+/// discovers." (paper section 3)  Discovery goes through the module
+/// registry's once-only table, so each interface is processed exactly
+/// once no matter how many streams import it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SPLIT_IMPORTER_H
+#define M2C_SPLIT_IMPORTER_H
+
+#include "lex/TokenBlockQueue.h"
+#include "sema/Compilation.h"
+
+namespace m2c {
+
+/// The Importer task: scans one stream's raw tokens for imports.
+class Importer {
+public:
+  Importer(TokenBlockQueue::Reader In, sema::ModuleRegistry &Registry,
+           StringInterner &Interner)
+      : In(In), Registry(Registry), Interner(Interner) {}
+
+  /// Scans to end of stream.  Every discovered module is registered
+  /// (which fires the registry's stream starter the first time).  Returns
+  /// the directly imported module names in order of first appearance.
+  std::vector<Symbol> run();
+
+private:
+  TokenBlockQueue::Reader In;
+  sema::ModuleRegistry &Registry;
+  StringInterner &Interner;
+};
+
+} // namespace m2c
+
+#endif // M2C_SPLIT_IMPORTER_H

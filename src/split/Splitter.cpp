@@ -1,0 +1,139 @@
+//===--- Splitter.cpp - Source splitting into streams ----------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "split/Splitter.h"
+
+#include "sched/ExecContext.h"
+
+#include <vector>
+
+using namespace m2c;
+
+bool Splitter::opensEnd(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::KwIf:
+  case TokenKind::KwCase:
+  case TokenKind::KwWhile:
+  case TokenKind::KwFor:
+  case TokenKind::KwWith:
+  case TokenKind::KwLoop:
+  case TokenKind::KwRecord:
+  case TokenKind::KwTry:
+  case TokenKind::KwLock:
+  case TokenKind::KwModule:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Splitter::run() {
+  struct ActiveProc {
+    StreamHandle Stream;
+    int Depth = 0;      ///< Open END-terminated constructs in this stream.
+    int64_t Tokens = 0; ///< Diverted token count (scheduling weight).
+  };
+  std::vector<ActiveProc> Stack;
+
+  auto CurrentHandle = [&]() -> StreamHandle {
+    return Stack.empty() ? nullptr : Stack.back().Stream;
+  };
+  auto EmitCurrent = [&](const Token &T) {
+    Hooks.queueOf(CurrentHandle()).append(T);
+    if (!Stack.empty())
+      ++Stack.back().Tokens;
+  };
+
+  // Copies a heading (PROCEDURE ... ';' at paren depth 0) to both the
+  // parent stream and the child stream.
+  auto CopyHeading = [&](const Token &First, TokenBlockQueue &Parent,
+                         TokenBlockQueue &Child) {
+    Parent.append(First);
+    Child.append(First);
+    if (!Stack.empty())
+      ++Stack.back().Tokens;
+    int Parens = 0;
+    while (true) {
+      const Token &T = In.next();
+      if (T.isEof())
+        return; // Malformed input; parsers will diagnose.
+      ++TokensSeen;
+      sched::ctx().charge(sched::CostKind::SplitToken);
+      Parent.append(T);
+      Child.append(T);
+      if (!Stack.empty())
+        ++Stack.back().Tokens;
+      if (T.is(TokenKind::LParen))
+        ++Parens;
+      else if (T.is(TokenKind::RParen))
+        --Parens;
+      else if (T.is(TokenKind::Semi) && Parens == 0)
+        return;
+    }
+  };
+
+  while (true) {
+    const Token &T = In.next();
+    if (T.isEof()) {
+      // Malformed input can leave procedure streams open; close them so
+      // their parser tasks terminate (they will report the syntax error).
+      while (!Stack.empty()) {
+        Hooks.queueOf(Stack.back().Stream).finish(T.Loc);
+        Hooks.endProc(Stack.back().Stream, Stack.back().Tokens);
+        Stack.pop_back();
+      }
+      Hooks.queueOf(nullptr).finish(T.Loc);
+      return;
+    }
+    ++TokensSeen;
+    sched::ctx().charge(sched::CostKind::SplitToken);
+
+    // A procedure *declaration* is PROCEDURE followed by an identifier;
+    // PROCEDURE followed by anything else is a procedure type.
+    if (T.is(TokenKind::KwProcedure) &&
+        In.peek().is(TokenKind::Identifier)) {
+      StreamHandle Parent = CurrentHandle();
+      StreamHandle Child = Hooks.beginProc(Parent, In.peek().Ident);
+      CopyHeading(T, Hooks.queueOf(Parent), Hooks.queueOf(Child));
+      Stack.push_back(ActiveProc{Child, 0, 0});
+      continue;
+    }
+
+    if (Stack.empty()) {
+      EmitCurrent(T);
+      continue;
+    }
+
+    // Inside a procedure stream: divert and track END nesting.
+    EmitCurrent(T);
+    if (opensEnd(T.Kind)) {
+      ++Stack.back().Depth;
+      continue;
+    }
+    if (!T.is(TokenKind::KwEnd))
+      continue;
+    if (Stack.back().Depth > 0) {
+      --Stack.back().Depth;
+      continue;
+    }
+    // This END closes the procedure: copy "END name ;" and finish.
+    if (In.peek().is(TokenKind::Identifier)) {
+      EmitCurrent(In.next());
+      ++TokensSeen;
+      sched::ctx().charge(sched::CostKind::SplitToken);
+    }
+    if (In.peek().is(TokenKind::Semi)) {
+      EmitCurrent(In.next());
+      ++TokensSeen;
+      sched::ctx().charge(sched::CostKind::SplitToken);
+    }
+    ActiveProc Done = Stack.back();
+    Stack.pop_back();
+    Hooks.queueOf(Done.Stream).finish(T.Loc);
+    Hooks.endProc(Done.Stream, Done.Tokens);
+  }
+}

@@ -1,0 +1,84 @@
+//===--- Splitter.h - Source splitting into streams -------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The splitter task searches for the reserved word PROCEDURE in the
+/// token stream of M.mod.  It creates a new stream for each procedure it
+/// detects and diverts the lexical tokens for the procedure to that
+/// stream." (paper section 3)
+///
+/// Because Modula-2+ reserves its keywords, stream boundaries are
+/// recognizable by "a simple finite state recognizer" over the token
+/// stream, with one token of lookahead to tell a procedure declaration
+/// (PROCEDURE Identifier) from a procedure type (PROCEDURE followed by
+/// '(' / ';' / ...), exactly the lookahead the paper mentions for
+/// PROCEDURE in Modula-2 (section 2.1).
+///
+/// Procedure headings are copied to *both* the parent stream (which
+/// processes them in the parent scope, section 2.4 alternative 1) and
+/// the new procedure stream; the body is diverted to the procedure
+/// stream only.  Nested procedures recurse: each procedure stream
+/// contains its own declarations and body with grand-children's bodies
+/// split away in turn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SPLIT_SPLITTER_H
+#define M2C_SPLIT_SPLITTER_H
+
+#include "lex/TokenBlockQueue.h"
+
+#include <functional>
+
+namespace m2c {
+
+/// Opaque per-stream handle owned by the driver; null identifies the
+/// main module stream.
+using StreamHandle = void *;
+
+/// Driver callbacks wiring the splitter to stream bookkeeping.
+struct SplitterHooks {
+  /// A procedure named \p Name was discovered inside \p Parent.  The
+  /// driver creates the stream (scope, queue, events, tasks) and returns
+  /// its handle.  Called *before* any of the procedure's tokens are
+  /// appended to either queue.
+  std::function<StreamHandle(StreamHandle Parent, Symbol Name)> beginProc;
+
+  /// The token queue a stream's tokens are appended to.
+  std::function<TokenBlockQueue &(StreamHandle Stream)> queueOf;
+
+  /// The stream's final END was seen; its queue has been finished.
+  /// \p TokenCount is the stream's total diverted token count (the
+  /// long-before-short scheduling weight).
+  std::function<void(StreamHandle Stream, int64_t TokenCount)> endProc;
+};
+
+/// The Splitter task: one pass over the main module's raw token stream.
+class Splitter {
+public:
+  Splitter(TokenBlockQueue::Reader In, SplitterHooks Hooks)
+      : In(In), Hooks(std::move(Hooks)) {}
+
+  /// Runs to end of input, finishing the main stream's queue and any
+  /// procedure queues left open by malformed input.
+  void run();
+
+  /// Total tokens examined.
+  int64_t tokensSeen() const { return TokensSeen; }
+
+private:
+  /// True if \p Kind opens a construct terminated by END.
+  static bool opensEnd(TokenKind Kind);
+
+  TokenBlockQueue::Reader In;
+  SplitterHooks Hooks;
+  int64_t TokensSeen = 0;
+};
+
+} // namespace m2c
+
+#endif // M2C_SPLIT_SPLITTER_H

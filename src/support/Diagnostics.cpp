@@ -1,0 +1,88 @@
+//===--- Diagnostics.cpp - Thread-safe diagnostic collection -------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/VirtualFileSystem.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace m2c;
+
+std::string m2c::toString(const SourceLocation &Loc) {
+  if (!Loc.isValid())
+    return "<unknown>";
+  return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column);
+}
+
+void DiagnosticsEngine::report(DiagSeverity Severity, SourceLocation Loc,
+                               std::string Message) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+bool DiagnosticsEngine::hasErrors() const { return errorCount() != 0; }
+
+size_t DiagnosticsEngine::errorCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Error)
+      ++N;
+  return N;
+}
+
+size_t DiagnosticsEngine::count() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Diags.size();
+}
+
+std::vector<Diagnostic> DiagnosticsEngine::sorted() const {
+  std::vector<Diagnostic> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Copy = Diags;
+  }
+  std::stable_sort(Copy.begin(), Copy.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Loc.File.index() != B.Loc.File.index())
+                       return A.Loc.File.index() < B.Loc.File.index();
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     if (A.Loc.Column != B.Loc.Column)
+                       return A.Loc.Column < B.Loc.Column;
+                     return A.Message < B.Message;
+                   });
+  return Copy;
+}
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticsEngine::render(const VirtualFileSystem *Files) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : sorted()) {
+    if (D.Loc.File.isValid() && Files)
+      OS << Files->buffer(D.Loc.File).Name;
+    else if (D.Loc.File.isValid())
+      OS << "file" << D.Loc.File.index();
+    else
+      OS << "<builtin>";
+    OS << ":" << toString(D.Loc) << ": " << severityName(D.Severity) << ": "
+       << D.Message << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,73 @@
+//===--- SourceLocation.h - Positions within compiler input ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types naming a position (file, line, column) in the
+/// source text being compiled.  Locations are carried on tokens, AST nodes
+/// and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SUPPORT_SOURCELOCATION_H
+#define M2C_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace m2c {
+
+/// Identifies one source file registered with a VirtualFileSystem.
+///
+/// FileIds are dense small integers; invalid() is reserved for synthesized
+/// entities that have no source position (builtin declarations, merged
+/// output).
+class FileId {
+public:
+  FileId() : Index(Invalid) {}
+  explicit FileId(uint32_t Index) : Index(Index) {}
+
+  static FileId invalid() { return FileId(); }
+
+  bool isValid() const { return Index != Invalid; }
+  uint32_t index() const { return Index; }
+
+  friend bool operator==(FileId A, FileId B) { return A.Index == B.Index; }
+  friend bool operator!=(FileId A, FileId B) { return !(A == B); }
+
+private:
+  static constexpr uint32_t Invalid = ~0u;
+  uint32_t Index;
+};
+
+/// A (file, line, column) source position.  Lines and columns are 1-based;
+/// a default-constructed location is "unknown".
+struct SourceLocation {
+  FileId File;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLocation() = default;
+  SourceLocation(FileId File, uint32_t Line, uint32_t Column)
+      : File(File), Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.File == B.File && A.Line == B.Line && A.Column == B.Column;
+  }
+  friend bool operator!=(const SourceLocation &A, const SourceLocation &B) {
+    return !(A == B);
+  }
+};
+
+/// Renders \p Loc as "line:column" (without the file name, which requires
+/// a VirtualFileSystem to resolve).
+std::string toString(const SourceLocation &Loc);
+
+} // namespace m2c
+
+#endif // M2C_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,31 @@
+//===--- Statistic.cpp - Lightweight concurrent counters -----------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+using namespace m2c;
+
+std::atomic<uint64_t> &StatisticSet::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters[Name];
+}
+
+uint64_t StatisticSet::get(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  return It == Counters.end()
+             ? 0
+             : It->second.load(std::memory_order_relaxed);
+}
+
+std::map<std::string, uint64_t> StatisticSet::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, uint64_t> Result;
+  for (const auto &[Name, Value] : Counters)
+    Result.emplace(Name, Value.load(std::memory_order_relaxed));
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===--- Statistic.h - Lightweight concurrent counters ---------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named atomic counters used to gather the per-compilation statistics the
+/// paper reports (lookup outcomes, event waits, task counts).  A
+/// StatisticSet is owned by one compilation, so numbers from concurrent
+/// compilations never mix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SUPPORT_STATISTIC_H
+#define M2C_SUPPORT_STATISTIC_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace m2c {
+
+/// A collection of named, thread-safe counters.
+class StatisticSet {
+public:
+  StatisticSet() = default;
+  StatisticSet(const StatisticSet &) = delete;
+  StatisticSet &operator=(const StatisticSet &) = delete;
+
+  /// Adds \p Delta to the counter named \p Name (creating it at zero).
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    counter(Name).fetch_add(Delta, std::memory_order_relaxed);
+  }
+
+  /// Current value of the counter named \p Name (zero if never touched).
+  uint64_t get(const std::string &Name) const;
+
+  /// Snapshot of every counter, sorted by name.
+  std::map<std::string, uint64_t> snapshot() const;
+
+private:
+  std::atomic<uint64_t> &counter(const std::string &Name);
+
+  mutable std::mutex Mutex;
+  // std::map keeps node addresses stable so returned references survive
+  // later insertions.
+  std::map<std::string, std::atomic<uint64_t>> Counters;
+};
+
+} // namespace m2c
+
+#endif // M2C_SUPPORT_STATISTIC_H

@@ -1,0 +1,41 @@
+//===--- StringInterner.cpp - Thread-safe identifier interning -----------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace m2c;
+
+StringInterner::StringInterner() {
+  // Reserve id 0 for the empty symbol.
+  Spellings.emplace_back("");
+  Table.emplace(std::string_view(Spellings.back()), 0);
+}
+
+Symbol StringInterner::intern(std::string_view Text) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Table.find(Text);
+  if (It != Table.end())
+    return Symbol(It->second);
+
+  uint32_t Id = static_cast<uint32_t>(Spellings.size());
+  Spellings.emplace_back(Text);
+  Table.emplace(std::string_view(Spellings.back()), Id);
+  return Symbol(Id);
+}
+
+std::string_view StringInterner::spelling(Symbol Sym) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(Sym.id() < Spellings.size() && "symbol from a different interner");
+  return Spellings[Sym.id()];
+}
+
+size_t StringInterner::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Spellings.size();
+}

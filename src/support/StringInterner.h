@@ -1,0 +1,85 @@
+//===--- StringInterner.h - Thread-safe identifier interning ---*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier spellings into dense integer Symbol handles so that
+/// symbol-table keys can be compared and hashed in O(1).  The interner is
+/// shared by every concurrently running lexer task, so all operations are
+/// thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SUPPORT_STRINGINTERNER_H
+#define M2C_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace m2c {
+
+/// A handle for an interned identifier spelling.
+///
+/// Symbols from the same StringInterner compare equal iff their spellings
+/// are identical.  The default-constructed Symbol is the distinguished
+/// "empty" symbol.
+class Symbol {
+public:
+  Symbol() : Id(0) {}
+
+  bool isEmpty() const { return Id == 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  friend class StringInterner;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  uint32_t Id;
+};
+
+/// Thread-safe string-to-Symbol interning table.
+///
+/// Lookup of a previously interned string and resolution of a Symbol back
+/// to its spelling are both safe to call concurrently with interning.
+class StringInterner {
+public:
+  StringInterner();
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p Text, returning the unique Symbol for this spelling.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the spelling of \p Sym.  The returned view remains valid for
+  /// the lifetime of the interner.
+  std::string_view spelling(Symbol Sym) const;
+
+  /// Number of distinct spellings interned so far (including the empty
+  /// symbol).
+  size_t size() const;
+
+private:
+  mutable std::mutex Mutex;
+  // Deque keeps spellings at stable addresses as the table grows.
+  std::deque<std::string> Spellings;
+  std::unordered_map<std::string_view, uint32_t> Table;
+};
+
+/// Hash support so Symbol can key unordered containers.
+struct SymbolHash {
+  size_t operator()(Symbol Sym) const { return Sym.id(); }
+};
+
+} // namespace m2c
+
+#endif // M2C_SUPPORT_STRINGINTERNER_H

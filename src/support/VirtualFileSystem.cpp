@@ -1,0 +1,60 @@
+//===--- VirtualFileSystem.cpp - In-memory compiler input ----------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VirtualFileSystem.h"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+using namespace m2c;
+
+FileId VirtualFileSystem::addFile(std::string Name, std::string Text) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto Buf = std::make_unique<SourceBuffer>();
+  Buf->Id = FileId(static_cast<uint32_t>(Buffers.size()));
+  Buf->Name = std::move(Name);
+  Buf->Text = std::move(Text);
+  SourceBuffer *Raw = Buf.get();
+  Buffers.push_back(std::move(Buf));
+  ByName[std::string_view(Raw->Name)] = Raw;
+  return Raw->Id;
+}
+
+const SourceBuffer *VirtualFileSystem::lookup(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? nullptr : It->second;
+}
+
+const SourceBuffer &VirtualFileSystem::buffer(FileId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(Id.isValid() && Id.index() < Buffers.size() && "bad FileId");
+  return *Buffers[Id.index()];
+}
+
+std::optional<FileId> VirtualFileSystem::addFromDisk(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  return addFile(Path, Contents.str());
+}
+
+size_t VirtualFileSystem::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Buffers.size();
+}
+
+std::string VirtualFileSystem::defFileName(std::string_view ModuleName) {
+  return std::string(ModuleName) + ".def";
+}
+
+std::string VirtualFileSystem::modFileName(std::string_view ModuleName) {
+  return std::string(ModuleName) + ".mod";
+}

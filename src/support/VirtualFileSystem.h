@@ -1,0 +1,81 @@
+//===--- VirtualFileSystem.h - In-memory compiler input --------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler reads a module M from two files, M.def and M.mod (paper
+/// section 3).  The VirtualFileSystem maps those file names to in-memory
+/// source text so that test suites and synthetic workloads need not touch
+/// the disk.  Real files can be preloaded into it by the driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SUPPORT_VIRTUALFILESYSTEM_H
+#define M2C_SUPPORT_VIRTUALFILESYSTEM_H
+
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace m2c {
+
+/// One registered source file: a name (e.g. "Lists.def") plus its text.
+struct SourceBuffer {
+  FileId Id;
+  std::string Name;
+  std::string Text;
+};
+
+/// Thread-safe in-memory file system for compiler input.
+///
+/// Lexer tasks for different streams read buffers concurrently; buffers are
+/// immutable once added, so readers need no locking after lookup.
+class VirtualFileSystem {
+public:
+  VirtualFileSystem() = default;
+  VirtualFileSystem(const VirtualFileSystem &) = delete;
+  VirtualFileSystem &operator=(const VirtualFileSystem &) = delete;
+
+  /// Registers file \p Name with contents \p Text, replacing any previous
+  /// file of the same name.  Returns its FileId.
+  FileId addFile(std::string Name, std::string Text);
+
+  /// Looks up a file by name.  Returns nullptr if absent.  The returned
+  /// buffer lives as long as the file system and is never mutated.
+  const SourceBuffer *lookup(std::string_view Name) const;
+
+  /// Looks up a file by id; asserts the id is valid.
+  const SourceBuffer &buffer(FileId Id) const;
+
+  /// True if a file named \p Name has been registered.
+  bool exists(std::string_view Name) const { return lookup(Name) != nullptr; }
+
+  /// Loads a file from the host file system into the VFS under the same
+  /// name.  Returns the FileId, or std::nullopt if the file can't be read.
+  std::optional<FileId> addFromDisk(const std::string &Path);
+
+  /// Number of registered files.
+  size_t size() const;
+
+  /// Names of the conventional pair of files for module \p ModuleName.
+  static std::string defFileName(std::string_view ModuleName);
+  static std::string modFileName(std::string_view ModuleName);
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<SourceBuffer>> Buffers;
+  std::unordered_map<std::string_view, SourceBuffer *> ByName;
+};
+
+} // namespace m2c
+
+#endif // M2C_SUPPORT_VIRTUALFILESYSTEM_H

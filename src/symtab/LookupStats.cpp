@@ -1,0 +1,113 @@
+//===--- LookupStats.cpp - Identifier-lookup statistics -------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symtab/LookupStats.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace m2c::symtab;
+
+const char *m2c::symtab::foundWhenName(FoundWhen W) {
+  switch (W) {
+  case FoundWhen::FirstTry:
+    return "First try";
+  case FoundWhen::Search:
+    return "Search";
+  case FoundWhen::AfterDky:
+    return "After DKY";
+  case FoundWhen::Never:
+    return "Never";
+  }
+  return "?";
+}
+
+const char *m2c::symtab::foundScopeName(FoundScope S) {
+  switch (S) {
+  case FoundScope::Self:
+    return "self";
+  case FoundScope::Other:
+    return "other";
+  case FoundScope::Outer:
+    return "outer";
+  case FoundScope::With:
+    return "WITH";
+  case FoundScope::Builtin:
+    return "Builtin";
+  case FoundScope::None:
+    return "-";
+  }
+  return "?";
+}
+
+const char *m2c::symtab::completenessName(Completeness C) {
+  return C == Completeness::Complete ? "complete" : "incomplete";
+}
+
+uint64_t LookupStats::total(LookupForm Form) const {
+  uint64_t Sum = 0;
+  for (unsigned W = 0; W < NumWhens; ++W)
+    for (unsigned S = 0; S < NumScopes; ++S)
+      for (unsigned C = 0; C < NumCompleteness; ++C)
+        Sum += get(Form, static_cast<FoundWhen>(W), static_cast<FoundScope>(S),
+                   static_cast<Completeness>(C));
+  return Sum;
+}
+
+uint64_t LookupStats::dkyBlockages() const {
+  uint64_t Sum = 0;
+  for (unsigned F = 0; F < NumForms; ++F)
+    for (unsigned S = 0; S < NumScopes; ++S)
+      for (unsigned C = 0; C < NumCompleteness; ++C)
+        Sum += get(static_cast<LookupForm>(F), FoundWhen::AfterDky,
+                   static_cast<FoundScope>(S), static_cast<Completeness>(C));
+  return Sum;
+}
+
+void LookupStats::merge(const LookupStats &Other) {
+  for (unsigned I = 0; I < Counts.size(); ++I)
+    Counts[I].fetch_add(Other.Counts[I].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+}
+
+std::string LookupStats::renderTable() const {
+  std::ostringstream OS;
+  auto RenderHalf = [&](LookupForm Form, const char *Title, bool ShowScope) {
+    uint64_t Total = total(Form);
+    OS << Title << " (total " << Total << ")\n";
+    char Line[160];
+    std::snprintf(Line, sizeof(Line), "  %-10s %-8s %-11s %10s %7s\n",
+                  "Found when", ShowScope ? "scope" : "", "completeness",
+                  "number", "%");
+    OS << Line;
+    for (unsigned W = 0; W < NumWhens; ++W)
+      for (unsigned S = 0; S < NumScopes; ++S)
+        for (unsigned C = 0; C < NumCompleteness; ++C) {
+          uint64_t N = get(Form, static_cast<FoundWhen>(W),
+                           static_cast<FoundScope>(S),
+                           static_cast<Completeness>(C));
+          if (N == 0)
+            continue;
+          double Pct = Total ? 100.0 * static_cast<double>(N) /
+                                   static_cast<double>(Total)
+                             : 0.0;
+          std::snprintf(
+              Line, sizeof(Line), "  %-10s %-8s %-11s %10llu %6.2f\n",
+              foundWhenName(static_cast<FoundWhen>(W)),
+              ShowScope ? foundScopeName(static_cast<FoundScope>(S)) : "",
+              static_cast<FoundWhen>(W) == FoundWhen::Never
+                  ? "-"
+                  : completenessName(static_cast<Completeness>(C)),
+              static_cast<unsigned long long>(N), Pct);
+          OS << Line;
+        }
+  };
+  RenderHalf(LookupForm::Simple, "Simple Identifier", true);
+  OS << "\n";
+  RenderHalf(LookupForm::Qualified, "Qualified Identifier", false);
+  return OS.str();
+}

@@ -1,0 +1,101 @@
+//===--- LookupStats.h - Identifier-lookup statistics -----------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumentation for the paper's Table 2 ("Identifier Lookup
+/// Statistics"): every lookup is classified by identifier form (simple or
+/// qualified), by when it was found (first try / outward search / after a
+/// DKY blockage / never), by the scope it was found in (self / other /
+/// outer / WITH / builtin), and by the completeness of that scope when
+/// the search started.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SYMTAB_LOOKUPSTATS_H
+#define M2C_SYMTAB_LOOKUPSTATS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace m2c::symtab {
+
+/// Identifier form ("Simple Identifier" vs "Qualified Identifier").
+enum class LookupForm : uint8_t { Simple, Qualified };
+
+/// When the identifier was found ("Found when" column).
+enum class FoundWhen : uint8_t { FirstTry, Search, AfterDky, Never };
+
+/// The scope the identifier was found in ("scope" column).
+enum class FoundScope : uint8_t { Self, Other, Outer, With, Builtin, None };
+
+/// Completeness of the scope at the start of the search.
+enum class Completeness : uint8_t { Complete, Incomplete };
+
+const char *foundWhenName(FoundWhen W);
+const char *foundScopeName(FoundScope S);
+const char *completenessName(Completeness C);
+
+/// Thread-safe lookup-outcome counters.
+class LookupStats {
+public:
+  LookupStats() = default;
+  LookupStats(const LookupStats &) = delete;
+  LookupStats &operator=(const LookupStats &) = delete;
+
+  void record(LookupForm Form, FoundWhen When, FoundScope Scope,
+              Completeness Completeness) {
+    slot(Form, When, Scope, Completeness)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t get(LookupForm Form, FoundWhen When, FoundScope Scope,
+               Completeness Completeness) const {
+    return const_cast<LookupStats *>(this)
+        ->slot(Form, When, Scope, Completeness)
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Total lookups recorded for \p Form.
+  uint64_t total(LookupForm Form) const;
+
+  /// Count of lookups that incurred a DKY blockage.
+  uint64_t dkyBlockages() const;
+
+  /// Renders Table 2 (both halves) with counts and percentages, skipping
+  /// all-zero rows.
+  std::string renderTable() const;
+
+  /// Merges counts from \p Other into this.
+  void merge(const LookupStats &Other);
+
+private:
+  static constexpr unsigned NumForms = 2;
+  static constexpr unsigned NumWhens = 4;
+  static constexpr unsigned NumScopes = 6;
+  static constexpr unsigned NumCompleteness = 2;
+
+  std::atomic<uint64_t> &slot(LookupForm Form, FoundWhen When,
+                              FoundScope Scope, Completeness Completeness) {
+    unsigned Index =
+        ((static_cast<unsigned>(Form) * NumWhens + static_cast<unsigned>(When)) *
+             NumScopes +
+         static_cast<unsigned>(Scope)) *
+            NumCompleteness +
+        static_cast<unsigned>(Completeness);
+    return Counts[Index];
+  }
+
+  std::array<std::atomic<uint64_t>,
+             NumForms * NumWhens * NumScopes * NumCompleteness>
+      Counts{};
+};
+
+} // namespace m2c::symtab
+
+#endif // M2C_SYMTAB_LOOKUPSTATS_H

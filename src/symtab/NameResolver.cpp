@@ -1,0 +1,175 @@
+//===--- NameResolver.cpp - DKY-strategy symbol lookup --------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symtab/NameResolver.h"
+
+#include "sched/ExecContext.h"
+
+#include <cassert>
+
+using namespace m2c;
+using namespace m2c::symtab;
+
+const char *m2c::symtab::dkyStrategyName(DkyStrategy Strategy) {
+  switch (Strategy) {
+  case DkyStrategy::Avoidance:
+    return "Avoidance";
+  case DkyStrategy::Pessimistic:
+    return "Pessimistic";
+  case DkyStrategy::Skeptical:
+    return "Skeptical";
+  case DkyStrategy::Optimistic:
+    return "Optimistic";
+  }
+  return "Unknown";
+}
+
+NameResolver::ScopeSearchResult NameResolver::searchScope(Scope &S,
+                                                          Symbol Name) {
+  ScopeSearchResult Result;
+  Result.WasIncomplete = !S.isComplete();
+
+  switch (Strategy) {
+  case DkyStrategy::Avoidance:
+    // Avoidance delays the start of a scope's semantic analysis until its
+    // *parent* scope's declaration analysis is complete (section 2.2), so
+    // ancestry searches never meet an incomplete table.  Imported
+    // interfaces are not parents; searches into them wait for completion
+    // pessimistically.
+    assert((Result.WasIncomplete ? S.kind() == ScopeKind::DefModule : true) &&
+           "Avoidance met an incomplete table outside the import graph");
+    [[fallthrough]];
+
+  case DkyStrategy::Pessimistic:
+    // "Symbol table search blocks and waits for table completion when it
+    // encounters an incomplete symbol table."
+    if (Result.WasIncomplete) {
+      sched::ctx().charge(sched::CostKind::LookupBlocked);
+      sched::ctx().wait(*S.completionEvent());
+      Result.Blocked = true;
+    }
+    Result.Entry = S.find(Name);
+    return Result;
+
+  case DkyStrategy::Skeptical:
+    // Figure 6: record the completion state, search, and block only when
+    // the identifier was missing from an initially incomplete table; then
+    // search the now-complete table again.
+    Result.Entry = S.find(Name);
+    if (Result.Entry || !Result.WasIncomplete)
+      return Result;
+    sched::ctx().charge(sched::CostKind::LookupBlocked);
+    sched::ctx().wait(*S.completionEvent());
+    Result.Blocked = true;
+    Result.Entry = S.find(Name);
+    return Result;
+
+  case DkyStrategy::Optimistic:
+    // One DKY event per symbol: wait until either the entry appears or
+    // the table completes, then re-check.
+    Result.Entry = S.find(Name);
+    if (Result.Entry || !Result.WasIncomplete)
+      return Result;
+    while (true) {
+      auto [Entry, Pending] = S.probeOrPending(Name);
+      if (Entry) {
+        Result.Entry = Entry;
+        return Result;
+      }
+      if (!Pending) // Table completed concurrently; re-probe once.
+        break;
+      sched::ctx().charge(sched::CostKind::LookupBlocked);
+      sched::ctx().wait(*Pending);
+      Result.Blocked = true;
+      // Either the symbol arrived or the table completed; both exits
+      // require a re-check.
+      Entry = S.find(Name);
+      if (Entry) {
+        Result.Entry = Entry;
+        return Result;
+      }
+      if (S.isComplete())
+        return Result;
+    }
+    Result.Entry = S.find(Name);
+    return Result;
+  }
+  return Result;
+}
+
+SymbolEntry *NameResolver::lookupSimple(Scope &Self, Symbol Name) {
+  // Self scope: a plain probe.  The searching task is the one building
+  // this table (declaration analysis) or it runs after the table was
+  // completed (statement analysis), so waiting on it could only deadlock.
+  Completeness SelfState =
+      Self.isComplete() ? Completeness::Complete : Completeness::Incomplete;
+  if (SymbolEntry *Entry = Self.find(Name)) {
+    Stats.record(LookupForm::Simple, FoundWhen::FirstTry, FoundScope::Self,
+                 SelfState);
+    return Entry;
+  }
+
+  // Builtin names are treated as if declared local to every scope so a
+  // builtin reference never incurs DKY waits on outer scopes (section
+  // 2.2).  Builtins cannot be redeclared, which makes this ordering safe.
+  if (Scope *Builtins = Self.builtins()) {
+    if (SymbolEntry *Entry = Builtins->find(Name)) {
+      Stats.record(LookupForm::Simple, FoundWhen::FirstTry,
+                   FoundScope::Builtin, Completeness::Complete);
+      return Entry;
+    }
+  }
+
+  for (Scope *S = Self.parent(); S; S = S->parent()) {
+    ScopeSearchResult R = searchScope(*S, Name);
+    if (R.Entry) {
+      Stats.record(LookupForm::Simple,
+                   R.Blocked ? FoundWhen::AfterDky : FoundWhen::Search,
+                   FoundScope::Outer,
+                   R.Blocked ? Completeness::Complete
+                             : (R.WasIncomplete ? Completeness::Incomplete
+                                                : Completeness::Complete));
+      return R.Entry;
+    }
+  }
+
+  Stats.record(LookupForm::Simple, FoundWhen::Never, FoundScope::None,
+               Completeness::Complete);
+  return nullptr;
+}
+
+SymbolEntry *NameResolver::lookupQualified(Scope &ModuleScope, Symbol Name) {
+  ScopeSearchResult R = searchScope(ModuleScope, Name);
+  if (R.Entry) {
+    Stats.record(LookupForm::Qualified,
+                 R.Blocked ? FoundWhen::AfterDky : FoundWhen::FirstTry,
+                 FoundScope::Other,
+                 R.Blocked ? Completeness::Complete
+                           : (R.WasIncomplete ? Completeness::Incomplete
+                                              : Completeness::Complete));
+    return R.Entry;
+  }
+  Stats.record(LookupForm::Qualified, FoundWhen::Never, FoundScope::None,
+               Completeness::Complete);
+  return nullptr;
+}
+
+SymbolEntry *NameResolver::lookupDesignated(Scope &Designated, Symbol Name) {
+  ScopeSearchResult R = searchScope(Designated, Name);
+  if (R.Entry) {
+    Stats.record(LookupForm::Simple,
+                 R.Blocked ? FoundWhen::AfterDky : FoundWhen::FirstTry,
+                 FoundScope::Other,
+                 R.Blocked ? Completeness::Complete
+                           : (R.WasIncomplete ? Completeness::Incomplete
+                                              : Completeness::Complete));
+    return R.Entry;
+  }
+  Stats.record(LookupForm::Simple, FoundWhen::Never, FoundScope::None,
+               Completeness::Complete);
+  return nullptr;
+}

@@ -1,0 +1,92 @@
+//===--- NameResolver.h - DKY-strategy symbol lookup ------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Doesn't-Know-Yet (DKY) problem: a concurrent compiler's symbol
+/// table search has a third outcome besides found/not-found — the table
+/// being searched may still be under construction by another task.  The
+/// four strategies of paper section 2.2 are implemented here:
+///
+///  * Avoidance — tasks are not started until the tables they search are
+///    complete, so search never meets an incomplete table.
+///  * Pessimistic — block on any incomplete table before searching it.
+///  * Skeptical (Figure 6) — search the incomplete table first; block
+///    only on a miss, then search again after completion.
+///  * Optimistic — per-symbol events: block on the searched name's event;
+///    table completion signals all pending events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SYMTAB_NAMERESOLVER_H
+#define M2C_SYMTAB_NAMERESOLVER_H
+
+#include "symtab/LookupStats.h"
+#include "symtab/Scope.h"
+
+namespace m2c::symtab {
+
+/// The DKY strategy in force for a compilation (section 2.2).
+enum class DkyStrategy : uint8_t {
+  Avoidance,
+  Pessimistic,
+  Skeptical,
+  Optimistic,
+};
+
+const char *dkyStrategyName(DkyStrategy Strategy);
+
+/// Strategy-parameterized symbol lookup over linked scopes.
+///
+/// One NameResolver is shared by all tasks of a compilation; it is
+/// stateless apart from the statistics sink, so concurrent use is safe.
+class NameResolver {
+public:
+  NameResolver(DkyStrategy Strategy, LookupStats &Stats)
+      : Strategy(Strategy), Stats(Stats) {}
+
+  DkyStrategy strategy() const { return Strategy; }
+  LookupStats &stats() { return Stats; }
+
+  /// Resolves a simple identifier: probes \p Self, then the builtin
+  /// scope, then chains outward through the scope ancestry applying the
+  /// DKY strategy.  Returns null if the name is nowhere declared.
+  SymbolEntry *lookupSimple(Scope &Self, Symbol Name);
+
+  /// Resolves a qualified identifier M.x against module scope
+  /// \p ModuleScope, applying the DKY strategy to that single scope.
+  SymbolEntry *lookupQualified(Scope &ModuleScope, Symbol Name);
+
+  /// Resolves a name against one explicitly designated scope (record
+  /// field tables and the like — the "other" scope class of Table 2),
+  /// applying the DKY strategy to that single scope.
+  SymbolEntry *lookupDesignated(Scope &Designated, Symbol Name);
+
+  /// Records a WITH-scope hit (field made visible by a WITH statement);
+  /// the binding itself is task-local in the statement analyzer.
+  void recordWithHit() {
+    Stats.record(LookupForm::Simple, FoundWhen::FirstTry, FoundScope::With,
+                 Completeness::Complete);
+  }
+
+private:
+  struct ScopeSearchResult {
+    SymbolEntry *Entry = nullptr;
+    bool WasIncomplete = false;
+    bool Blocked = false;
+  };
+
+  /// Searches one scope under the configured strategy, waiting per the
+  /// strategy's rules.
+  ScopeSearchResult searchScope(Scope &S, Symbol Name);
+
+  DkyStrategy Strategy;
+  LookupStats &Stats;
+};
+
+} // namespace m2c::symtab
+
+#endif // M2C_SYMTAB_NAMERESOLVER_H

@@ -1,0 +1,146 @@
+//===--- Scope.cpp - Per-scope concurrent symbol tables -------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symtab/Scope.h"
+
+#include "sched/ExecContext.h"
+
+#include <cassert>
+
+using namespace m2c;
+using namespace m2c::symtab;
+
+const char *m2c::symtab::entryKindName(EntryKind Kind) {
+  switch (Kind) {
+  case EntryKind::Const:
+    return "constant";
+  case EntryKind::Type:
+    return "type";
+  case EntryKind::Var:
+    return "variable";
+  case EntryKind::Proc:
+    return "procedure";
+  case EntryKind::Module:
+    return "module";
+  case EntryKind::EnumLiteral:
+    return "enumeration literal";
+  case EntryKind::Param:
+    return "parameter";
+  case EntryKind::Field:
+    return "field";
+  }
+  return "symbol";
+}
+
+const char *m2c::symtab::scopeKindName(ScopeKind Kind) {
+  switch (Kind) {
+  case ScopeKind::Builtin:
+    return "builtin";
+  case ScopeKind::DefModule:
+    return "definition module";
+  case ScopeKind::Module:
+    return "module";
+  case ScopeKind::Procedure:
+    return "procedure";
+  case ScopeKind::Record:
+    return "record";
+  }
+  return "scope";
+}
+
+Scope::Scope(std::string Name, ScopeKind Kind, Scope *Parent, Scope *Builtins)
+    : Name(std::move(Name)), Kind(Kind), Parent(Parent), Builtins(Builtins),
+      Completed(sched::makeEvent("symtab." + this->Name + ".complete",
+                                 sched::EventKind::Handled)) {}
+
+SymbolEntry *Scope::insert(std::unique_ptr<SymbolEntry> Entry) {
+  assert(Entry && "null entry");
+  assert(!isComplete() && "insert into completed symbol table");
+  sched::EventPtr Pending;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto [It, Inserted] = Table.emplace(Entry->Name, Entry.get());
+    if (!Inserted)
+      return It->second;
+    Entry->OwnerScope = this;
+    Owned.push_back(std::move(Entry));
+    auto PendingIt = PendingSymbols.find(Owned.back()->Name);
+    if (PendingIt != PendingSymbols.end()) {
+      Pending = PendingIt->second;
+      PendingSymbols.erase(PendingIt);
+    }
+  }
+  if (Pending && !Pending->isSignaled())
+    sched::ctx().signal(*Pending);
+  return nullptr;
+}
+
+SymbolEntry *Scope::find(Symbol Name) {
+  sched::ctx().charge(sched::CostKind::LookupProbe);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Table.find(Name);
+  return It == Table.end() ? nullptr : It->second;
+}
+
+void Scope::markComplete() {
+  std::vector<sched::EventPtr> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CompleteFlag = true;
+    for (auto &[Name, Event] : PendingSymbols)
+      Pending.push_back(Event);
+    PendingSymbols.clear();
+  }
+  sched::ctx().signal(*Completed);
+  // "When the table is completed, it is traversed and all unsignaled
+  // events ... are signaled, allowing blocked tasks to continue
+  // searching." (section 2.3.3, Optimistic Handling)
+  for (const sched::EventPtr &E : Pending)
+    if (!E->isSignaled())
+      sched::ctx().signal(*E);
+}
+
+std::pair<SymbolEntry *, sched::EventPtr> Scope::probeOrPending(Symbol Name) {
+  bool Created = false;
+  std::pair<SymbolEntry *, sched::EventPtr> Result{nullptr, nullptr};
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Table.find(Name);
+    if (It != Table.end()) {
+      Result.first = It->second;
+      return Result;
+    }
+    // The table may have completed between the caller's completeness check
+    // and this probe; a pending event created now would never be signaled.
+    if (CompleteFlag)
+      return Result;
+    auto [PendIt, Inserted] = PendingSymbols.emplace(Name, nullptr);
+    if (Inserted) {
+      PendIt->second = sched::makeEvent("symtab." + this->Name + ".pending",
+                                        sched::EventKind::Handled);
+      Created = true;
+    }
+    Result.second = PendIt->second;
+  }
+  if (Created)
+    sched::ctx().charge(sched::CostKind::EventCreate);
+  return Result;
+}
+
+size_t Scope::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Owned.size();
+}
+
+std::vector<const SymbolEntry *> Scope::entries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<const SymbolEntry *> Result;
+  Result.reserve(Owned.size());
+  for (const auto &E : Owned)
+    Result.push_back(E.get());
+  return Result;
+}

@@ -1,0 +1,144 @@
+//===--- SymbolEntry.h - Compiler symbol-table entries ----------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SYMTAB_SYMBOLENTRY_H
+#define M2C_SYMTAB_SYMBOLENTRY_H
+
+#include "support/SourceLocation.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+
+namespace m2c {
+
+namespace sema {
+class Type;
+} // namespace sema
+
+namespace symtab {
+
+class Scope;
+
+/// What a name denotes.
+enum class EntryKind : uint8_t {
+  Const,
+  Type,
+  Var,
+  Proc,
+  Module,      ///< An imported module name (qualifies lookups).
+  EnumLiteral,
+  Param,
+  Field,       ///< Record fields (live in per-record field tables).
+};
+
+/// Returns a printable name for \p Kind.
+const char *entryKindName(EntryKind Kind);
+
+/// A compile-time constant value.
+struct ConstValue {
+  enum class Kind : uint8_t {
+    None,
+    Int,     ///< Also CARDINAL and subranges.
+    Real,
+    Bool,
+    Char,
+    String,  ///< Interned spelling.
+    Set,     ///< Bit mask.
+    Nil,
+  };
+
+  Kind ValueKind = Kind::None;
+  int64_t Int = 0;
+  double Real = 0.0;
+  Symbol Str;
+  uint64_t SetBits = 0;
+
+  static ConstValue makeInt(int64_t V) {
+    ConstValue C;
+    C.ValueKind = Kind::Int;
+    C.Int = V;
+    return C;
+  }
+  static ConstValue makeReal(double V) {
+    ConstValue C;
+    C.ValueKind = Kind::Real;
+    C.Real = V;
+    return C;
+  }
+  static ConstValue makeBool(bool V) {
+    ConstValue C;
+    C.ValueKind = Kind::Bool;
+    C.Int = V ? 1 : 0;
+    return C;
+  }
+  static ConstValue makeChar(char V) {
+    ConstValue C;
+    C.ValueKind = Kind::Char;
+    C.Int = static_cast<unsigned char>(V);
+    return C;
+  }
+  static ConstValue makeString(Symbol S) {
+    ConstValue C;
+    C.ValueKind = Kind::String;
+    C.Str = S;
+    return C;
+  }
+  static ConstValue makeSet(uint64_t Bits) {
+    ConstValue C;
+    C.ValueKind = Kind::Set;
+    C.SetBits = Bits;
+    return C;
+  }
+  static ConstValue makeNil() {
+    ConstValue C;
+    C.ValueKind = Kind::Nil;
+    return C;
+  }
+
+  bool isNone() const { return ValueKind == Kind::None; }
+};
+
+/// One symbol-table entry.  Entries are created atomically with respect
+/// to symbol-table search (paper footnote 1): a Scope publishes an entry
+/// only once it is fully initialized.
+struct SymbolEntry {
+  Symbol Name;
+  EntryKind Kind = EntryKind::Var;
+  SourceLocation Loc;
+
+  /// The entry's type: the denoted type for Type entries, the value type
+  /// for everything else (procedure signature type for Proc entries).
+  const sema::Type *Ty = nullptr;
+
+  /// Const and EnumLiteral values (EnumLiteral ordinal in Int).
+  ConstValue Value;
+
+  /// Module entries: the imported definition module's scope.
+  Scope *ModuleScope = nullptr;
+
+  /// Var/Param storage: frame slot index.
+  int32_t Slot = -1;
+  bool IsVarParam = false;
+  bool IsGlobal = false;          ///< Module-level storage.
+  Symbol OwningModule;            ///< Module whose frame holds the slot.
+
+  /// Proc entries: dense per-program procedure id and defining module.
+  int32_t ProcId = -1;
+
+  /// Builtin procedures/types: interpreted by the semantic analyzer.
+  int16_t BuiltinId = -1;
+  bool isBuiltin() const { return BuiltinId >= 0; }
+
+  /// The scope this entry was inserted into (set by Scope::insert); code
+  /// generation uses it for local/global/up-level addressing decisions.
+  Scope *OwnerScope = nullptr;
+};
+
+} // namespace symtab
+} // namespace m2c
+
+#endif // M2C_SYMTAB_SYMBOLENTRY_H

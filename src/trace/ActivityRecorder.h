@@ -1,0 +1,74 @@
+//===--- ActivityRecorder.h - WatchTool-style activity traces ---*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's WatchTool views (Figures 4 and 7): processor
+/// activity as a function of time, with bars keyed by the kind of
+/// compiler task executing.  Executors feed intervals through the
+/// sched::ActivitySink interface; renderAscii() draws the terminal
+/// equivalent of the figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_TRACE_ACTIVITYRECORDER_H
+#define M2C_TRACE_ACTIVITYRECORDER_H
+
+#include "sched/ActivitySink.h"
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace m2c::trace {
+
+/// One recorded execution interval.
+struct ActivityInterval {
+  unsigned Proc = 0;
+  sched::TaskClass Class = sched::TaskClass::Lexor;
+  uint64_t Start = 0;
+  uint64_t End = 0;
+};
+
+/// Thread-safe interval collector + ASCII renderer.
+class ActivityRecorder final : public sched::ActivitySink {
+public:
+  void record(unsigned Proc, const sched::Task &T, uint64_t StartUnits,
+              uint64_t EndUnits) override;
+
+  /// All intervals recorded so far (snapshot).
+  std::vector<ActivityInterval> intervals() const;
+
+  void clear();
+
+  /// Renders one row per processor, \p Width columns spanning the whole
+  /// recorded time range; each cell shows the dominant task class in its
+  /// time bucket ('.' = idle).  Matches the reading of Figure 7: lexing
+  /// on the left, parser/declaration analysis in the middle, statement
+  /// analysis/code generation on the right.
+  std::string renderAscii(unsigned Width = 100) const;
+
+  /// The one-letter display code for a task class.
+  static char classGlyph(sched::TaskClass Class);
+
+  /// Legend line explaining the glyphs.
+  static std::string legend();
+
+  /// Fraction of processor-time busy over [0, makespan] for \p Procs
+  /// processors.
+  double utilization(unsigned Procs) const;
+
+  /// Latest interval end time.
+  uint64_t makespan() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<ActivityInterval> Intervals;
+};
+
+} // namespace m2c::trace
+
+#endif // M2C_TRACE_ACTIVITYRECORDER_H

@@ -1,0 +1,951 @@
+//===--- VM.cpp - MCode linker and interpreter -----------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "sema/Builtins.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <functional>
+
+using namespace m2c;
+using namespace m2c::codegen;
+using namespace m2c::vm;
+
+//===----------------------------------------------------------------------===//
+// Linking
+//===----------------------------------------------------------------------===//
+
+void Program::addImage(ModuleImage Image) {
+  assert(!Linked && "addImage after link");
+  Images.push_back(std::move(Image));
+}
+
+int32_t Program::findUnit(Symbol Module, const std::string &Name) const {
+  auto It = UnitByName.find(std::string(Names.spelling(Module)) + "." + Name);
+  return It == UnitByName.end() ? -1 : It->second;
+}
+
+bool Program::link() {
+  assert(!Linked && "link called twice");
+  Linked = true;
+
+  for (size_t M = 0; M < Images.size(); ++M) {
+    if (!ModuleBySymbol.emplace(Images[M].ModuleName.id(),
+                                static_cast<int32_t>(M))
+             .second) {
+      Errors.push_back("duplicate module '" +
+                       std::string(Names.spelling(Images[M].ModuleName)) +
+                       "'");
+      continue;
+    }
+    for (const CodeUnit &U : Images[M].Units) {
+      // Procedure qualified names already carry the module prefix; body
+      // units get a reserved suffix so they never clash with procedures.
+      std::string Key =
+          U.IsModuleBody ? U.QualifiedName + ".<body>" : U.QualifiedName;
+      LinkedUnit LU;
+      LU.Unit = &U;
+      LU.ModuleIndex = static_cast<int32_t>(M);
+      Units.push_back(std::move(LU));
+      if (!UnitByName.emplace(Key, static_cast<int32_t>(Units.size() - 1))
+               .second)
+        Errors.push_back("duplicate code unit '" + Key + "'");
+    }
+  }
+
+  // Validate units before resolving: images may come from .mco files on
+  // disk, so every operand that indexes a per-unit table or the frame
+  // must be checked once here instead of trusted at execution time.
+  for (const LinkedUnit &LU : Units) {
+    const CodeUnit &U = *LU.Unit;
+    if (U.Params.size() > U.FrameSize)
+      Errors.push_back("unit '" + U.QualifiedName +
+                       "' declares more parameters than frame slots");
+    auto Bad = [&](size_t Pc, const char *What) {
+      Errors.push_back("unit '" + U.QualifiedName + "' +" +
+                       std::to_string(Pc) + ": " + What);
+    };
+    for (size_t Pc = 0; Pc < U.Code.size(); ++Pc) {
+      const Instr &In = U.Code[Pc];
+      switch (In.Op) {
+      case Opcode::LoadLocal:
+      case Opcode::StoreLocal:
+      case Opcode::LoadLocalRef:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.FrameSize))
+          Bad(Pc, "frame slot out of range");
+        break;
+      // LoadEnclosing/StoreEnclosing/LoadEnclosingRef index the enclosing
+      // procedure's frame, whose size is not knowable per-unit here; the
+      // interpreter bounds-checks them at execution time.
+      case Opcode::LoadGlobal:
+      case Opcode::StoreGlobal:
+      case Opcode::LoadGlobalRef:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Globals.size()))
+          Bad(Pc, "global-reference index out of range");
+        break;
+      case Opcode::PushStr:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Strings.size()))
+          Bad(Pc, "string index out of range");
+        break;
+      case Opcode::Call:
+      case Opcode::PushProc:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Callees.size()))
+          Bad(Pc, "callee index out of range");
+        break;
+      case Opcode::PushAggregate:
+      case Opcode::NewCell:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Descs.size()))
+          Bad(Pc, "type-descriptor index out of range");
+        break;
+      case Opcode::Jump:
+      case Opcode::JumpIfFalse:
+      case Opcode::JumpIfTrue:
+        if (In.A < 0 || In.A > static_cast<int64_t>(U.Code.size()))
+          Bad(Pc, "jump target out of range");
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  // Resolve callees and globals.
+  for (LinkedUnit &LU : Units) {
+    for (const CalleeRef &Ref : LU.Unit->Callees) {
+      std::string Key = std::string(Names.spelling(Ref.Module)) + "." +
+                        std::string(Names.spelling(Ref.Name));
+      auto It = UnitByName.find(Key);
+      if (It == UnitByName.end()) {
+        Errors.push_back("unresolved procedure '" + Key + "' referenced by " +
+                         LU.Unit->QualifiedName);
+        LU.Callees.push_back(-1);
+      } else {
+        LU.Callees.push_back(It->second);
+      }
+    }
+    for (const GlobalRef &Ref : LU.Unit->Globals) {
+      auto It = ModuleBySymbol.find(Ref.Module.id());
+      if (It == ModuleBySymbol.end()) {
+        Errors.push_back("unresolved module '" +
+                         std::string(Names.spelling(Ref.Module)) +
+                         "' referenced by " + LU.Unit->QualifiedName);
+        LU.Globals.push_back(LinkedUnit::GlobalSlot{-1, 0});
+      } else {
+        LU.Globals.push_back(LinkedUnit::GlobalSlot{It->second, Ref.Slot});
+      }
+    }
+  }
+
+  // Initialization order: imports before importers (DFS; import cycles
+  // are broken arbitrarily, matching separate compilation practice).
+  std::vector<int8_t> State(Images.size(), 0);
+  std::function<void(int32_t)> Visit = [&](int32_t M) {
+    if (State[static_cast<size_t>(M)] != 0)
+      return;
+    State[static_cast<size_t>(M)] = 1;
+    for (Symbol Import : Images[static_cast<size_t>(M)].Imports) {
+      auto It = ModuleBySymbol.find(Import.id());
+      if (It != ModuleBySymbol.end())
+        Visit(It->second);
+    }
+    State[static_cast<size_t>(M)] = 2;
+    InitOrder.push_back(M);
+  };
+  for (size_t M = 0; M < Images.size(); ++M)
+    Visit(static_cast<int32_t>(M));
+
+  return Errors.empty();
+}
+
+//===----------------------------------------------------------------------===//
+// VM
+//===----------------------------------------------------------------------===//
+
+VM::VM(const Program &Prog) : Prog(Prog) {
+  for (const ModuleImage &Image : Prog.images()) {
+    auto Frame = std::make_unique<std::vector<Value>>();
+    Frame->resize(Image.GlobalCount);
+    for (size_t I = 0; I < Image.GlobalDescs.size(); ++I)
+      (*Frame)[I] = defaultValue(Image.Descs, Image.GlobalDescs[I]);
+    Globals.push_back(std::move(Frame));
+  }
+}
+
+void VM::setInput(std::vector<int64_t> In) {
+  Input = std::move(In);
+  InputPos = 0;
+}
+
+Value VM::defaultValue(const std::vector<TypeDesc> &Descs,
+                       int32_t Index) const {
+  if (Index < 0 || static_cast<size_t>(Index) >= Descs.size())
+    return Value(int64_t{0});
+  const TypeDesc &D = Descs[static_cast<size_t>(Index)];
+  switch (D.DescKind) {
+  case TypeDesc::Kind::Int:
+    return Value(int64_t{0});
+  case TypeDesc::Kind::Real:
+    return Value(0.0);
+  case TypeDesc::Kind::Set:
+    return Value(SetVal{0});
+  case TypeDesc::Kind::Pointer:
+    return Value(PtrRef{nullptr});
+  case TypeDesc::Kind::ProcVal:
+    return Value(ProcVal{-1});
+  case TypeDesc::Kind::Array: {
+    auto Obj = std::make_shared<Object>();
+    Obj->Slots.reserve(static_cast<size_t>(D.Count));
+    for (int64_t I = 0; I < D.Count; ++I)
+      Obj->Slots.push_back(defaultValue(Descs, D.Element));
+    return Value(AggRef{std::move(Obj)});
+  }
+  case TypeDesc::Kind::Record: {
+    auto Obj = std::make_shared<Object>();
+    Obj->Slots.reserve(D.Fields.size());
+    for (int32_t F : D.Fields)
+      Obj->Slots.push_back(defaultValue(Descs, F));
+    return Value(AggRef{std::move(Obj)});
+  }
+  }
+  return Value(int64_t{0});
+}
+
+Value VM::deepCopy(const Value &V) const {
+  if (const auto *Agg = std::get_if<AggRef>(&V)) {
+    auto Obj = std::make_shared<Object>();
+    Obj->Slots.reserve(Agg->Obj->Slots.size());
+    for (const Value &Slot : Agg->Obj->Slots)
+      Obj->Slots.push_back(deepCopy(Slot));
+    return Value(AggRef{std::move(Obj)});
+  }
+  return V;
+}
+
+Value VM::stringToArray(Symbol S, int64_t Length) const {
+  std::string_view Text = Prog.names().spelling(S);
+  if (Length < 0)
+    Length = static_cast<int64_t>(Text.size());
+  auto Obj = std::make_shared<Object>();
+  Obj->Slots.reserve(static_cast<size_t>(Length));
+  for (int64_t I = 0; I < Length; ++I)
+    Obj->Slots.push_back(Value(
+        int64_t{I < static_cast<int64_t>(Text.size())
+                    ? static_cast<unsigned char>(Text[static_cast<size_t>(I)])
+                    : 0}));
+  return Value(AggRef{std::move(Obj)});
+}
+
+void VM::assignInto(Value &SlotRef, Value V) {
+  if (const auto *Str = std::get_if<StrRef>(&V)) {
+    // String constant into a character array: copy, zero-padded.
+    if (const auto *Agg = std::get_if<AggRef>(&SlotRef)) {
+      SlotRef = stringToArray(Str->Str,
+                              static_cast<int64_t>(Agg->Obj->Slots.size()));
+      return;
+    }
+    SlotRef = V; // e.g. a string-typed temp
+    return;
+  }
+  if (std::holds_alternative<AggRef>(V)) {
+    SlotRef = deepCopy(V);
+    return;
+  }
+  SlotRef = std::move(V);
+}
+
+void VM::trap(RunResult &Result, const std::string &Message) {
+  Result.Trapped = true;
+  Result.TrapMessage = Message;
+  Result.ExitCode = 255;
+}
+
+VM::RunResult VM::run(Symbol MainModule, uint64_t MaxSteps) {
+  RunResult Result;
+  uint64_t Steps = 0;
+  // Initialize imported modules first, then the main module's body last.
+  int32_t MainIndex = -1;
+  for (int32_t M : Prog.initOrder())
+    if (Prog.images()[static_cast<size_t>(M)].ModuleName == MainModule)
+      MainIndex = M;
+  if (MainIndex < 0) {
+    trap(Result, "main module not linked");
+    return Result;
+  }
+  auto BodyUnitOf = [&](int32_t M) {
+    for (size_t U = 0; U < Prog.units().size(); ++U)
+      if (Prog.units()[U].ModuleIndex == M &&
+          Prog.units()[U].Unit->IsModuleBody)
+        return static_cast<int32_t>(U);
+    return -1;
+  };
+  for (int32_t M : Prog.initOrder()) {
+    if (M == MainIndex)
+      continue; // Main body runs last.
+    int32_t UnitIndex = BodyUnitOf(M);
+    if (UnitIndex < 0)
+      continue;
+    if (!executeUnit(UnitIndex, Result, Steps, MaxSteps))
+      return Result;
+  }
+  int32_t MainBody = BodyUnitOf(MainIndex);
+  if (MainBody < 0) {
+    trap(Result, "main module has no body unit");
+    return Result;
+  }
+  executeUnit(MainBody, Result, Steps, MaxSteps);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Ordinal-ish view of a value (ints, bools, chars, enum ordinals, sets
+/// compare as their bit patterns; uninitialized slots read as zero).
+int64_t asOrdinal(const Value &V) {
+  if (const auto *I = std::get_if<int64_t>(&V))
+    return *I;
+  if (const auto *S = std::get_if<SetVal>(&V))
+    return static_cast<int64_t>(S->Bits);
+  return 0;
+}
+
+double asReal(const Value &V) {
+  if (const auto *R = std::get_if<double>(&V))
+    return *R;
+  return static_cast<double>(asOrdinal(V));
+}
+
+uint64_t asSet(const Value &V) {
+  if (const auto *S = std::get_if<SetVal>(&V))
+    return S->Bits;
+  return static_cast<uint64_t>(asOrdinal(V));
+}
+
+void appendPadded(std::string &Out, const std::string &Text, int64_t Width) {
+  for (int64_t I = static_cast<int64_t>(Text.size()); I < Width; ++I)
+    Out.push_back(' ');
+  Out += Text;
+}
+
+} // namespace
+
+bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
+                     uint64_t MaxSteps) {
+  std::vector<Value> Stack;
+  std::deque<Frame> Frames;
+
+  auto PushFrame = [&](int32_t UnitIndex, Frame *StaticLink, size_t ReturnPc,
+                       int32_t ReturnUnit) -> Frame & {
+    const Program::LinkedUnit &LU =
+        Prog.units()[static_cast<size_t>(UnitIndex)];
+    Frames.emplace_back();
+    Frame &F = Frames.back();
+    F.Unit = &LU;
+    F.Slots.resize(LU.Unit->FrameSize);
+    F.StaticLink = StaticLink;
+    F.ReturnPc = ReturnPc;
+    F.ReturnUnit = ReturnUnit;
+    F.StackBase = Stack.size();
+    return F;
+  };
+
+  int32_t CurUnit = EntryUnit;
+  size_t Pc = 0;
+  PushFrame(EntryUnit, nullptr, 0, -1);
+
+  auto Fail = [&](const std::string &Message) {
+    trap(Result, Frames.back().Unit->Unit->QualifiedName + " +" +
+                     std::to_string(Pc) + ": " + Message);
+    return false;
+  };
+  auto Pop = [&]() {
+    Value V = std::move(Stack.back());
+    Stack.pop_back();
+    return V;
+  };
+
+  /// Binds arguments into a fresh callee frame; ArgBase is the stack
+  /// offset of the first argument.
+  auto BindArgs = [&](Frame &Callee, size_t ArgBase) {
+    const CodeUnit &U = *Callee.Unit->Unit;
+    for (size_t I = 0; I < U.Params.size(); ++I) {
+      Value &Arg = Stack[ArgBase + I];
+      const ParamDesc &P = U.Params[I];
+      if (P.IsVar) {
+        Callee.Slots[I] = std::move(Arg); // an Address
+      } else if (P.IsAggregate) {
+        if (const auto *Str = std::get_if<StrRef>(&Arg))
+          Callee.Slots[I] = stringToArray(Str->Str, -1);
+        else
+          Callee.Slots[I] = deepCopy(Arg);
+      } else {
+        Callee.Slots[I] = std::move(Arg);
+      }
+    }
+    Stack.resize(ArgBase);
+    Callee.StackBase = Stack.size();
+  };
+
+  while (true) {
+    if (++Steps > MaxSteps)
+      return Fail("step limit exceeded (runaway program?)");
+    const CodeUnit &U = *Frames.back().Unit->Unit;
+    if (Pc >= U.Code.size())
+      return Fail("fell off the end of the code unit");
+    const Instr &In = U.Code[Pc];
+    Frame &F = Frames.back();
+    ++Pc;
+
+    switch (In.Op) {
+    case Opcode::PushInt:
+      Stack.push_back(Value(In.A));
+      break;
+    case Opcode::PushReal:
+      Stack.push_back(Value(In.F));
+      break;
+    case Opcode::PushSet:
+      Stack.push_back(Value(SetVal{static_cast<uint64_t>(In.A)}));
+      break;
+    case Opcode::PushNil:
+      Stack.push_back(Value(PtrRef{nullptr}));
+      break;
+    case Opcode::PushStr:
+      Stack.push_back(Value(StrRef{U.Strings[static_cast<size_t>(In.A)]}));
+      break;
+    case Opcode::PushProc: {
+      int32_t Target =
+          F.Unit->Callees[static_cast<size_t>(In.A)];
+      if (Target < 0)
+        return Fail("procedure value refers to an unlinked procedure");
+      Stack.push_back(Value(ProcVal{Target}));
+      break;
+    }
+
+    case Opcode::LoadLocal:
+      Stack.push_back(F.Slots[static_cast<size_t>(In.A)]);
+      break;
+    case Opcode::StoreLocal: {
+      Value V = Pop();
+      assignInto(F.Slots[static_cast<size_t>(In.A)], std::move(V));
+      break;
+    }
+    case Opcode::LoadLocalRef:
+      Stack.push_back(Value(Address{&F.Slots[static_cast<size_t>(In.A)],
+                                    nullptr, 0}));
+      break;
+
+    case Opcode::LoadEnclosing:
+    case Opcode::StoreEnclosing:
+    case Opcode::LoadEnclosingRef: {
+      Frame *Target = &F;
+      for (int64_t Hop = 0; Hop < In.B; ++Hop) {
+        Target = Target->StaticLink;
+        if (!Target)
+          return Fail("broken static link chain");
+      }
+      if (In.A < 0 ||
+          static_cast<size_t>(In.A) >= Target->Slots.size())
+        return Fail("enclosing frame slot out of range");
+      Value &Slot = Target->Slots[static_cast<size_t>(In.A)];
+      if (In.Op == Opcode::LoadEnclosing) {
+        Stack.push_back(Slot);
+      } else if (In.Op == Opcode::StoreEnclosing) {
+        Value V = Pop();
+        assignInto(Slot, std::move(V));
+      } else {
+        Stack.push_back(Value(Address{&Slot, nullptr, 0}));
+      }
+      break;
+    }
+
+    case Opcode::LoadGlobal:
+    case Opcode::StoreGlobal:
+    case Opcode::LoadGlobalRef: {
+      const auto &Ref = F.Unit->Globals[static_cast<size_t>(In.A)];
+      if (Ref.ModuleIndex < 0)
+        return Fail("unresolved global reference");
+      auto &ModGlobals = *Globals[static_cast<size_t>(Ref.ModuleIndex)];
+      if (static_cast<size_t>(Ref.Slot) >= ModGlobals.size())
+        return Fail("global slot out of range");
+      Value &Slot = ModGlobals[static_cast<size_t>(Ref.Slot)];
+      if (In.Op == Opcode::LoadGlobal) {
+        Stack.push_back(Slot);
+      } else if (In.Op == Opcode::StoreGlobal) {
+        Value V = Pop();
+        assignInto(Slot, std::move(V));
+      } else {
+        Stack.push_back(Value(Address{&Slot, nullptr, 0}));
+      }
+      break;
+    }
+
+    case Opcode::LoadIndirect: {
+      Value V = Pop();
+      const auto *Addr = std::get_if<Address>(&V);
+      if (!Addr)
+        return Fail("LoadIndirect on a non-address");
+      Stack.push_back(Addr->slot());
+      break;
+    }
+    case Opcode::StoreIndirect: {
+      Value V = Pop();
+      Value AddrV = Pop();
+      const auto *Addr = std::get_if<Address>(&AddrV);
+      if (!Addr)
+        return Fail("StoreIndirect on a non-address");
+      assignInto(Addr->slot(), std::move(V));
+      break;
+    }
+    case Opcode::FieldAddr: {
+      Value AddrV = Pop();
+      const auto *Addr = std::get_if<Address>(&AddrV);
+      if (!Addr)
+        return Fail("FieldAddr on a non-address");
+      const auto *Agg = std::get_if<AggRef>(&Addr->slot());
+      if (!Agg || !Agg->Obj)
+        return Fail("field access on a non-record value");
+      if (static_cast<size_t>(In.A) >= Agg->Obj->Slots.size())
+        return Fail("field index out of range");
+      Stack.push_back(Value(Address{nullptr, Agg->Obj,
+                                    static_cast<size_t>(In.A)}));
+      break;
+    }
+    case Opcode::IndexAddr: {
+      int64_t Index = asOrdinal(Pop());
+      Value AddrV = Pop();
+      const auto *Addr = std::get_if<Address>(&AddrV);
+      if (!Addr)
+        return Fail("IndexAddr on a non-address");
+      const auto *Agg = std::get_if<AggRef>(&Addr->slot());
+      if (!Agg || !Agg->Obj)
+        return Fail("indexing a non-array value");
+      int64_t Low = In.A;
+      int64_t Count = In.B >= 0
+                          ? In.B
+                          : static_cast<int64_t>(Agg->Obj->Slots.size());
+      if (Index < Low || Index >= Low + Count)
+        return Fail("array index " + std::to_string(Index) +
+                    " out of bounds [" + std::to_string(Low) + ".." +
+                    std::to_string(Low + Count - 1) + "]");
+      Stack.push_back(Value(
+          Address{nullptr, Agg->Obj, static_cast<size_t>(Index - Low)}));
+      break;
+    }
+    case Opcode::DerefAddr: {
+      Value V = Pop();
+      const auto *Ptr = std::get_if<PtrRef>(&V);
+      if (!Ptr)
+        return Fail("dereference of a non-pointer value");
+      if (!Ptr->Cell)
+        return Fail("dereference of NIL");
+      Stack.push_back(Value(Address{nullptr, Ptr->Cell, 0}));
+      break;
+    }
+
+    case Opcode::PushAggregate:
+      Stack.push_back(defaultValue(U.Descs, static_cast<int32_t>(In.A)));
+      break;
+    case Opcode::NewCell: {
+      auto Cell = std::make_shared<Object>();
+      Cell->Slots.push_back(defaultValue(U.Descs,
+                                         static_cast<int32_t>(In.A)));
+      Stack.push_back(Value(PtrRef{std::move(Cell)}));
+      break;
+    }
+    case Opcode::DisposeCell: {
+      Value AddrV = Pop();
+      const auto *Addr = std::get_if<Address>(&AddrV);
+      if (!Addr)
+        return Fail("DISPOSE of a non-address");
+      Addr->slot() = Value(PtrRef{nullptr});
+      break;
+    }
+
+    case Opcode::AddInt: {
+      int64_t B = asOrdinal(Pop()), A = asOrdinal(Pop());
+      Stack.push_back(Value(A + B));
+      break;
+    }
+    case Opcode::SubInt: {
+      int64_t B = asOrdinal(Pop()), A = asOrdinal(Pop());
+      Stack.push_back(Value(A - B));
+      break;
+    }
+    case Opcode::MulInt: {
+      int64_t B = asOrdinal(Pop()), A = asOrdinal(Pop());
+      Stack.push_back(Value(A * B));
+      break;
+    }
+    case Opcode::DivInt: {
+      int64_t B = asOrdinal(Pop()), A = asOrdinal(Pop());
+      if (B == 0)
+        return Fail("integer division by zero");
+      Stack.push_back(Value(A / B));
+      break;
+    }
+    case Opcode::ModInt: {
+      int64_t B = asOrdinal(Pop()), A = asOrdinal(Pop());
+      if (B == 0)
+        return Fail("MOD by zero");
+      Stack.push_back(Value(A % B));
+      break;
+    }
+    case Opcode::NegInt:
+      Stack.back() = Value(-asOrdinal(Stack.back()));
+      break;
+    case Opcode::AbsInt: {
+      int64_t A = asOrdinal(Stack.back());
+      Stack.back() = Value(A < 0 ? -A : A);
+      break;
+    }
+    case Opcode::IncAddr: {
+      int64_t Delta = asOrdinal(Pop());
+      Value AddrV = Pop();
+      const auto *Addr = std::get_if<Address>(&AddrV);
+      if (!Addr)
+        return Fail("INC/DEC of a non-address");
+      Addr->slot() = Value(asOrdinal(Addr->slot()) + Delta);
+      break;
+    }
+    case Opcode::Odd:
+      Stack.back() = Value(int64_t{(asOrdinal(Stack.back()) & 1) != 0});
+      break;
+    case Opcode::Cap: {
+      int64_t C = asOrdinal(Stack.back());
+      if (C >= 'a' && C <= 'z')
+        C = C - 'a' + 'A';
+      Stack.back() = Value(C);
+      break;
+    }
+
+    case Opcode::AddReal: {
+      double B = asReal(Pop()), A = asReal(Pop());
+      Stack.push_back(Value(A + B));
+      break;
+    }
+    case Opcode::SubReal: {
+      double B = asReal(Pop()), A = asReal(Pop());
+      Stack.push_back(Value(A - B));
+      break;
+    }
+    case Opcode::MulReal: {
+      double B = asReal(Pop()), A = asReal(Pop());
+      Stack.push_back(Value(A * B));
+      break;
+    }
+    case Opcode::DivReal: {
+      double B = asReal(Pop()), A = asReal(Pop());
+      if (B == 0.0)
+        return Fail("real division by zero");
+      Stack.push_back(Value(A / B));
+      break;
+    }
+    case Opcode::NegReal:
+      Stack.back() = Value(-asReal(Stack.back()));
+      break;
+    case Opcode::AbsReal: {
+      double A = asReal(Stack.back());
+      Stack.back() = Value(A < 0 ? -A : A);
+      break;
+    }
+    case Opcode::IntToReal:
+      Stack.back() = Value(static_cast<double>(asOrdinal(Stack.back())));
+      break;
+    case Opcode::RealToInt:
+      Stack.back() = Value(static_cast<int64_t>(asReal(Stack.back())));
+      break;
+
+    case Opcode::SetUnion: {
+      uint64_t B = asSet(Pop()), A = asSet(Pop());
+      Stack.push_back(Value(SetVal{A | B}));
+      break;
+    }
+    case Opcode::SetDiff: {
+      uint64_t B = asSet(Pop()), A = asSet(Pop());
+      Stack.push_back(Value(SetVal{A & ~B}));
+      break;
+    }
+    case Opcode::SetIntersect: {
+      uint64_t B = asSet(Pop()), A = asSet(Pop());
+      Stack.push_back(Value(SetVal{A & B}));
+      break;
+    }
+    case Opcode::SetSymDiff: {
+      uint64_t B = asSet(Pop()), A = asSet(Pop());
+      Stack.push_back(Value(SetVal{A ^ B}));
+      break;
+    }
+    case Opcode::SetIn: {
+      uint64_t Set = asSet(Pop());
+      int64_t Elem = asOrdinal(Pop());
+      Stack.push_back(Value(
+          int64_t{Elem >= 0 && Elem < 64 && ((Set >> Elem) & 1) != 0}));
+      break;
+    }
+    case Opcode::SetAddBit: {
+      int64_t Elem = asOrdinal(Pop());
+      uint64_t Set = asSet(Pop());
+      if (Elem < 0 || Elem > 63)
+        return Fail("set element " + std::to_string(Elem) +
+                    " out of range 0..63");
+      Stack.push_back(Value(SetVal{Set | (uint64_t{1} << Elem)}));
+      break;
+    }
+    case Opcode::SetAddRange: {
+      int64_t Hi = asOrdinal(Pop());
+      int64_t Lo = asOrdinal(Pop());
+      uint64_t Set = asSet(Pop());
+      if (Lo < 0 || Hi > 63)
+        return Fail("set range out of range 0..63");
+      for (int64_t I = Lo; I <= Hi; ++I)
+        Set |= uint64_t{1} << I;
+      Stack.push_back(Value(SetVal{Set}));
+      break;
+    }
+    case Opcode::SetIncl:
+    case Opcode::SetExcl: {
+      int64_t Elem = asOrdinal(Pop());
+      Value AddrV = Pop();
+      const auto *Addr = std::get_if<Address>(&AddrV);
+      if (!Addr)
+        return Fail("INCL/EXCL of a non-address");
+      if (Elem < 0 || Elem > 63)
+        return Fail("set element out of range 0..63");
+      uint64_t Set = asSet(Addr->slot());
+      if (In.Op == Opcode::SetIncl)
+        Set |= uint64_t{1} << Elem;
+      else
+        Set &= ~(uint64_t{1} << Elem);
+      Addr->slot() = Value(SetVal{Set});
+      break;
+    }
+
+#define INT_CMP(OP, EXPR)                                                      \
+  case Opcode::OP: {                                                           \
+    int64_t B = asOrdinal(Pop()), A = asOrdinal(Pop());                        \
+    Stack.push_back(Value(int64_t{(EXPR) ? 1 : 0}));                           \
+    break;                                                                     \
+  }
+      INT_CMP(CmpEqInt, A == B)
+      INT_CMP(CmpNeInt, A != B)
+      INT_CMP(CmpLtInt, A < B)
+      INT_CMP(CmpLeInt, A <= B)
+      INT_CMP(CmpGtInt, A > B)
+      INT_CMP(CmpGeInt, A >= B)
+#undef INT_CMP
+#define REAL_CMP(OP, EXPR)                                                     \
+  case Opcode::OP: {                                                           \
+    double B = asReal(Pop()), A = asReal(Pop());                               \
+    Stack.push_back(Value(int64_t{(EXPR) ? 1 : 0}));                           \
+    break;                                                                     \
+  }
+      REAL_CMP(CmpEqReal, A == B)
+      REAL_CMP(CmpNeReal, A != B)
+      REAL_CMP(CmpLtReal, A < B)
+      REAL_CMP(CmpLeReal, A <= B)
+      REAL_CMP(CmpGtReal, A > B)
+      REAL_CMP(CmpGeReal, A >= B)
+#undef REAL_CMP
+
+    case Opcode::CmpEqPtr:
+    case Opcode::CmpNePtr: {
+      Value B = Pop(), A = Pop();
+      auto CellOf = [](const Value &V) -> const void * {
+        if (const auto *P = std::get_if<PtrRef>(&V))
+          return P->Cell.get();
+        if (const auto *P = std::get_if<ProcVal>(&V))
+          return reinterpret_cast<const void *>(
+              static_cast<uintptr_t>(P->UnitIndex + 1));
+        return nullptr;
+      };
+      bool Eq = CellOf(A) == CellOf(B);
+      Stack.push_back(
+          Value(int64_t{(In.Op == Opcode::CmpEqPtr) == Eq ? 1 : 0}));
+      break;
+    }
+    case Opcode::NotBool:
+      Stack.back() = Value(int64_t{asOrdinal(Stack.back()) == 0 ? 1 : 0});
+      break;
+
+    case Opcode::Jump:
+      Pc = static_cast<size_t>(In.A);
+      break;
+    case Opcode::JumpIfFalse:
+      if (asOrdinal(Pop()) == 0)
+        Pc = static_cast<size_t>(In.A);
+      break;
+    case Opcode::JumpIfTrue:
+      if (asOrdinal(Pop()) != 0)
+        Pc = static_cast<size_t>(In.A);
+      break;
+
+    case Opcode::Call: {
+      int32_t Target = F.Unit->Callees[static_cast<size_t>(In.A)];
+      if (Target < 0)
+        return Fail("call to unlinked procedure");
+      Frame *StaticLink = nullptr;
+      if (In.B >= 0) {
+        StaticLink = &F;
+        for (int64_t Hop = 0; Hop < In.B; ++Hop) {
+          StaticLink = StaticLink->StaticLink;
+          if (!StaticLink)
+            return Fail("broken static link chain in call");
+        }
+      }
+      const CodeUnit &Callee =
+          *Prog.units()[static_cast<size_t>(Target)].Unit;
+      if (Stack.size() < F.StackBase + Callee.Params.size())
+        return Fail("call to '" + Callee.QualifiedName +
+                    "' with too few arguments on the stack");
+      size_t ArgBase = Stack.size() - Callee.Params.size();
+      Frame &NF = PushFrame(Target, StaticLink, Pc, CurUnit);
+      BindArgs(NF, ArgBase);
+      CurUnit = Target;
+      Pc = 0;
+      break;
+    }
+    case Opcode::CallIndirect: {
+      size_t Argc = static_cast<size_t>(In.B);
+      if (Stack.size() < F.StackBase + Argc + 1)
+        return Fail("indirect call with too few stack values");
+      size_t ProcPos = Stack.size() - Argc - 1;
+      const auto *P = std::get_if<ProcVal>(&Stack[ProcPos]);
+      if (!P || P->UnitIndex < 0)
+        return Fail("indirect call through an invalid procedure value");
+      int32_t Target = P->UnitIndex;
+      // Remove the procedure value from under the arguments.
+      Stack.erase(Stack.begin() + static_cast<ptrdiff_t>(ProcPos));
+      size_t ArgBase = Stack.size() - Argc;
+      Frame &NF = PushFrame(Target, nullptr, Pc, CurUnit);
+      BindArgs(NF, ArgBase);
+      CurUnit = Target;
+      Pc = 0;
+      break;
+    }
+
+    case Opcode::Return:
+    case Opcode::ReturnValue: {
+      Value Ret;
+      if (In.Op == Opcode::ReturnValue)
+        Ret = Pop();
+      Stack.resize(F.StackBase);
+      size_t ReturnPc = F.ReturnPc;
+      int32_t ReturnUnit = F.ReturnUnit;
+      Frames.pop_back();
+      if (Frames.empty())
+        return true; // Entry unit finished.
+      if (In.Op == Opcode::ReturnValue)
+        Stack.push_back(std::move(Ret));
+      CurUnit = ReturnUnit;
+      Pc = ReturnPc;
+      break;
+    }
+
+    case Opcode::CallBuiltin: {
+      auto Builtin = static_cast<sema::BuiltinProc>(In.A);
+      switch (Builtin) {
+      case sema::BuiltinProc::WriteInt:
+      case sema::BuiltinProc::WriteCard: {
+        int64_t Width = asOrdinal(Pop());
+        int64_t V = asOrdinal(Pop());
+        appendPadded(Result.Output, std::to_string(V), Width);
+        break;
+      }
+      case sema::BuiltinProc::WriteReal: {
+        int64_t Width = asOrdinal(Pop());
+        double V = asReal(Pop());
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "%g", V);
+        appendPadded(Result.Output, Buf, Width);
+        break;
+      }
+      case sema::BuiltinProc::WriteChar:
+        Result.Output.push_back(static_cast<char>(asOrdinal(Pop())));
+        break;
+      case sema::BuiltinProc::WriteLn:
+        Result.Output.push_back('\n');
+        break;
+      case sema::BuiltinProc::WriteString: {
+        Value V = Pop();
+        if (const auto *Str = std::get_if<StrRef>(&V)) {
+          Result.Output += Prog.names().spelling(Str->Str);
+        } else if (const auto *Agg = std::get_if<AggRef>(&V)) {
+          for (const Value &Ch : Agg->Obj->Slots) {
+            int64_t C = asOrdinal(Ch);
+            if (C == 0)
+              break;
+            Result.Output.push_back(static_cast<char>(C));
+          }
+        } else {
+          Result.Output.push_back(static_cast<char>(asOrdinal(V)));
+        }
+        break;
+      }
+      case sema::BuiltinProc::ReadInt: {
+        Value AddrV = Pop();
+        const auto *Addr = std::get_if<Address>(&AddrV);
+        if (!Addr)
+          return Fail("ReadInt of a non-address");
+        int64_t V = InputPos < Input.size() ? Input[InputPos++] : 0;
+        Addr->slot() = Value(V);
+        break;
+      }
+      default:
+        return Fail("unexpected builtin call");
+      }
+      break;
+    }
+
+    case Opcode::CheckRange: {
+      int64_t V = asOrdinal(Stack.back());
+      if (V < In.A || V > In.B)
+        return Fail("value " + std::to_string(V) + " outside range " +
+                    std::to_string(In.A) + ".." + std::to_string(In.B));
+      break;
+    }
+    case Opcode::ArrayHigh: {
+      Value V = Pop();
+      if (const auto *Agg = std::get_if<AggRef>(&V)) {
+        Stack.push_back(
+            Value(static_cast<int64_t>(Agg->Obj->Slots.size()) - 1));
+      } else if (const auto *Str = std::get_if<StrRef>(&V)) {
+        Stack.push_back(Value(
+            static_cast<int64_t>(Prog.names().spelling(Str->Str).size()) -
+            1));
+      } else {
+        return Fail("HIGH of a non-array value");
+      }
+      break;
+    }
+    case Opcode::Dup:
+      Stack.push_back(Stack.back());
+      break;
+    case Opcode::Pop:
+      Pop();
+      break;
+    case Opcode::Halt:
+      Result.ExitCode = In.A;
+      return true;
+    case Opcode::Trap:
+      switch (In.A) {
+      case 1:
+        return Fail("no CASE branch matches the selector");
+      case 2:
+        return Fail("function procedure did not return a value");
+      default:
+        return Fail("trap " + std::to_string(In.A));
+      }
+    }
+  }
+}

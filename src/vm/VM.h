@@ -1,0 +1,124 @@
+//===--- VM.h - MCode linker and interpreter --------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Links ModuleImages produced by separate compilations into one runnable
+/// program and interprets it.  The paper's compiler emitted VAX code for
+/// Topaz; our object format is MCode, and this interpreter is the
+/// execution substrate that lets examples and tests run compiled
+/// Modula-2+ end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_VM_VM_H
+#define M2C_VM_VM_H
+
+#include "codegen/MCode.h"
+#include "vm/Value.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace m2c::vm {
+
+/// A set of module images linked into a runnable program.
+class Program {
+public:
+  explicit Program(const StringInterner &Names) : Names(Names) {}
+
+  /// Adds one compiled module.  Call before link().
+  void addImage(codegen::ModuleImage Image);
+
+  /// Resolves cross-module references and computes initialization order.
+  /// Returns true on success; on failure errors() describes the problems.
+  bool link();
+
+  const std::vector<std::string> &errors() const { return Errors; }
+
+  //===--- Linked layout (used by the VM) ---------------------------------===//
+  struct LinkedUnit {
+    const codegen::CodeUnit *Unit = nullptr;
+    int32_t ModuleIndex = -1;
+    std::vector<int32_t> Callees; ///< Linked unit index per CalleeRef.
+    struct GlobalSlot {
+      int32_t ModuleIndex;
+      int32_t Slot;
+    };
+    std::vector<GlobalSlot> Globals;
+  };
+
+  const std::vector<codegen::ModuleImage> &images() const { return Images; }
+  const std::vector<LinkedUnit> &units() const { return Units; }
+  const std::vector<int32_t> &initOrder() const { return InitOrder; }
+  int32_t findUnit(Symbol Module, const std::string &Name) const;
+  const StringInterner &names() const { return Names; }
+
+private:
+  const StringInterner &Names;
+  std::vector<codegen::ModuleImage> Images;
+  std::vector<LinkedUnit> Units;
+  std::unordered_map<std::string, int32_t> UnitByName;
+  std::unordered_map<uint32_t, int32_t> ModuleBySymbol;
+  std::vector<int32_t> InitOrder; ///< Module indexes, imports first.
+  std::vector<std::string> Errors;
+  bool Linked = false;
+};
+
+/// Interprets a linked Program.
+class VM {
+public:
+  explicit VM(const Program &Prog);
+
+  struct RunResult {
+    std::string Output;
+    int64_t ExitCode = 0;
+    bool Trapped = false;
+    std::string TrapMessage;
+  };
+
+  /// Supplies values for ReadInt calls (consumed in order; exhausted
+  /// reads yield 0).
+  void setInput(std::vector<int64_t> Input);
+
+  /// Initializes every module (imports first) and runs \p MainModule's
+  /// body.  \p MaxSteps bounds execution for tests.
+  RunResult run(Symbol MainModule, uint64_t MaxSteps = 100'000'000);
+
+private:
+  struct Frame {
+    std::vector<Value> Slots;
+    Frame *StaticLink = nullptr;
+    const Program::LinkedUnit *Unit = nullptr;
+    size_t ReturnPc = 0;
+    int32_t ReturnUnit = -1;
+    size_t StackBase = 0;
+  };
+
+  Value defaultValue(const std::vector<codegen::TypeDesc> &Descs,
+                     int32_t Index) const;
+  Value deepCopy(const Value &V) const;
+  /// Assigns \p V into \p SlotRef with Modula-2 value semantics.
+  void assignInto(Value &SlotRef, Value V);
+  /// Materializes a string constant as a CHAR-array aggregate of length
+  /// \p Length (padded with 0C); Length < 0 uses the string length.
+  Value stringToArray(Symbol S, int64_t Length) const;
+
+  bool executeUnit(int32_t UnitIndex, RunResult &Result, uint64_t &Steps,
+                   uint64_t MaxSteps);
+  void trap(RunResult &Result, const std::string &Message);
+
+  const Program &Prog;
+  std::vector<std::unique_ptr<std::vector<Value>>> Globals; ///< Per module.
+  std::vector<int64_t> Input;
+  size_t InputPos = 0;
+};
+
+} // namespace m2c::vm
+
+#endif // M2C_VM_VM_H

@@ -1,0 +1,77 @@
+//===--- Value.h - Runtime values of the MCode machine ----------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_VM_VALUE_H
+#define M2C_VM_VALUE_H
+
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+namespace m2c::vm {
+
+class Object;
+
+/// A set value (BITSET or SET OF ...): up to 64 members.
+struct SetVal {
+  uint64_t Bits = 0;
+};
+
+/// A pointer value; Cell is null for NIL.
+struct PtrRef {
+  std::shared_ptr<Object> Cell;
+};
+
+/// An aggregate (array/record) value.  Loads share the object; stores
+/// deep-copy it (Modula-2 value semantics).
+struct AggRef {
+  std::shared_ptr<Object> Obj;
+};
+
+/// A procedure value: index into the linked program's unit table.
+struct ProcVal {
+  int32_t UnitIndex = -1;
+};
+
+/// A string constant value.
+struct StrRef {
+  Symbol Str;
+};
+
+struct Address;
+
+/// Any value the machine can hold in a slot or on the operand stack.
+using Value = std::variant<std::monostate, int64_t, double, SetVal, PtrRef,
+                           AggRef, ProcVal, StrRef, Address>;
+
+/// The location of one slot: either a raw frame/global slot (stable for
+/// the lifetime of the activation) or a slot within a heap object (kept
+/// alive by the shared_ptr).
+struct Address {
+  Value *Raw = nullptr;
+  std::shared_ptr<Object> Obj;
+  size_t Index = 0;
+
+  Value &slot() const;
+};
+
+/// A heap aggregate or NEW cell: a vector of slots.
+class Object {
+public:
+  std::vector<Value> Slots;
+};
+
+inline Value &Address::slot() const {
+  return Raw ? *Raw : Obj->Slots[Index];
+}
+
+} // namespace m2c::vm
+
+#endif // M2C_VM_VALUE_H

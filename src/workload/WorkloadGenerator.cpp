@@ -1,0 +1,369 @@
+//===--- WorkloadGenerator.cpp - Synthetic Modula-2+ programs -------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/WorkloadGenerator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <sstream>
+
+using namespace m2c;
+using namespace m2c::workload;
+
+namespace {
+
+/// Deterministic helper bundling the RNG with common draws.
+struct Rng {
+  std::mt19937 Gen;
+  explicit Rng(uint32_t Seed) : Gen(Seed) {}
+  unsigned range(unsigned Lo, unsigned Hi) { // inclusive
+    return Lo + Gen() % (Hi - Lo + 1);
+  }
+  bool chance(unsigned Percent) { return Gen() % 100 < Percent; }
+};
+
+/// Interface layering: distributes \p Total interfaces over \p Depth
+/// levels (level 0 is imported directly by the main module).
+std::vector<unsigned> layerSizes(unsigned Total, unsigned Depth) {
+  Depth = std::max(1u, std::min(Depth, Total == 0 ? 1u : Total));
+  std::vector<unsigned> Sizes(Depth, Total / Depth);
+  for (unsigned I = 0; I < Total % Depth; ++I)
+    ++Sizes[I];
+  return Sizes;
+}
+
+} // namespace
+
+GeneratedModule WorkloadGenerator::generate(const ModuleSpec &Spec) {
+  Rng R(Spec.Seed);
+  GeneratedModule Info;
+  Info.Name = Spec.Name;
+  Info.ProcedureCount = Spec.NumProcedures;
+
+  //===--- Interfaces -------------------------------------------------------===//
+  unsigned NumIfaces = Spec.BestCase ? 0 : Spec.ImportedInterfaces;
+  std::vector<unsigned> Layers = layerSizes(NumIfaces, Spec.ImportDepth);
+  // Interface k lives at level LevelOf[k]; names are <Name>I<k>.
+  std::vector<unsigned> LevelOf;
+  std::vector<std::vector<unsigned>> AtLevel(Layers.size());
+  {
+    unsigned K = 0;
+    for (unsigned L = 0; L < Layers.size(); ++L)
+      for (unsigned I = 0; I < Layers[L]; ++I) {
+        LevelOf.push_back(L);
+        AtLevel[L].push_back(K++);
+      }
+  }
+  auto IfaceName = [&](unsigned K) {
+    return Spec.Name + "I" + std::to_string(K);
+  };
+
+  for (unsigned K = 0; K < NumIfaces; ++K) {
+    std::ostringstream OS;
+    OS << "DEFINITION MODULE " << IfaceName(K) << ";\n";
+    unsigned Level = LevelOf[K];
+    int Deeper = -1;
+    if (Level + 1 < AtLevel.size() && !AtLevel[Level + 1].empty()) {
+      // Import one or two deeper interfaces to build the nesting chain.
+      Deeper = static_cast<int>(AtLevel[Level + 1][R.range(
+          0, static_cast<unsigned>(AtLevel[Level + 1].size()) - 1)]);
+      OS << "IMPORT " << IfaceName(static_cast<unsigned>(Deeper));
+      if (AtLevel[Level + 1].size() > 1 && R.chance(50)) {
+        unsigned Second = AtLevel[Level + 1][R.range(
+            0, static_cast<unsigned>(AtLevel[Level + 1].size()) - 1)];
+        if (static_cast<int>(Second) != Deeper)
+          OS << ", " << IfaceName(Second);
+      }
+      OS << ";\n";
+    }
+    // T0 and C0 come first so that dependents probing this table early
+    // usually find them in the still-incomplete table (the Skeptical
+    // strategy's "Search / incomplete" wins in Table 2).
+    OS << "TYPE T0 = INTEGER;\n";
+    unsigned Decls = std::max(2u, Spec.InterfaceDecls);
+    OS << "CONST\n";
+    for (unsigned D = 0; D < (Decls + 1) / 2; ++D)
+      OS << "  C" << D << " = " << R.range(1, 97) << ";\n";
+    for (unsigned D = 0; D < Decls / 2; ++D)
+      OS << "PROCEDURE P" << D << "(x: INTEGER): INTEGER;\n";
+    // Cross-references into the imported (deeper) interface sit *late*,
+    // as in real interfaces where imported types appear in signatures
+    // after the local groundwork: the inter-scope information flows of
+    // paper section 2.4.  They reference early symbols of the deeper
+    // interface, so a probe of its incomplete table usually succeeds and
+    // DKY blockage stays rare (Table 2).
+    if (Deeper >= 0) {
+      OS << "CONST CX = " << IfaceName(static_cast<unsigned>(Deeper))
+         << ".C0 + " << R.range(1, 9) << ";\n";
+      OS << "TYPE T1 = " << IfaceName(static_cast<unsigned>(Deeper))
+         << ".T0;\n";
+    }
+    OS << "VAR v0: INTEGER;\n";
+    if (Deeper >= 0)
+      OS << "VAR v1: " << IfaceName(static_cast<unsigned>(Deeper))
+         << ".T0;\n";
+    OS << "END " << IfaceName(K) << ".\n";
+    Files.addFile(IfaceName(K) + ".def", OS.str());
+
+    if (Spec.WithImplementations) {
+      std::ostringstream Impl;
+      Impl << "IMPLEMENTATION MODULE " << IfaceName(K) << ";\n";
+      for (unsigned D = 0; D < Decls / 2; ++D)
+        Impl << "PROCEDURE P" << D << "(x: INTEGER): INTEGER;\n"
+             << "BEGIN RETURN x * " << D + 2 << " + C0 END P" << D
+             << ";\n";
+      Impl << "BEGIN v0 := C0 END " << IfaceName(K) << ".\n";
+      Files.addFile(IfaceName(K) + ".mod", Impl.str());
+    }
+  }
+  Info.InterfaceCount = NumIfaces;
+  Info.ImportDepth = NumIfaces ? static_cast<unsigned>(Layers.size()) : 0;
+
+  //===--- Main module ------------------------------------------------------===//
+  std::ostringstream OS;
+  OS << "MODULE " << Spec.Name << ";\n";
+  if (!AtLevel.empty() && !AtLevel[0].empty()) {
+    OS << "IMPORT ";
+    for (size_t I = 0; I < AtLevel[0].size(); ++I)
+      OS << (I ? ", " : "") << IfaceName(AtLevel[0][I]);
+    OS << ";\n";
+    // FROM-import a constant from the first direct interface.
+    OS << "FROM " << IfaceName(AtLevel[0][0]) << " IMPORT C0;\n";
+  }
+
+  OS << "CONST\n";
+  for (unsigned C = 0; C < Spec.NumGlobalConsts; ++C)
+    OS << "  K" << C << " = " << R.range(1, 999) << ";\n";
+  OS << "TYPE\n"
+     << "  Rec = RECORD x, y: INTEGER END;\n"
+     << "  Vec = ARRAY [0..15] OF INTEGER;\n";
+  for (unsigned T = 2; T < std::max(2u, Spec.NumTypes); ++T)
+    OS << "  T" << T << " = [0.." << R.range(7, 63) << "];\n";
+  OS << "VAR\n";
+  for (unsigned V = 0; V < Spec.NumGlobalVars; ++V)
+    OS << "  g" << V << ": INTEGER;\n";
+  OS << "  grec: Rec;\n  gvec: Vec;\n";
+
+  // Per-procedure statement budgets: most around the mean, a long tail of
+  // much longer procedures ("long procedures before short ones").
+  std::vector<unsigned> Budgets;
+  for (unsigned P = 0; P < Spec.NumProcedures; ++P) {
+    if (Spec.BestCase) {
+      Budgets.push_back(Spec.MeanProcStmts);
+      continue;
+    }
+    unsigned B = std::max<unsigned>(
+        2, static_cast<unsigned>(Spec.MeanProcStmts * 0.4) +
+               R.range(0, Spec.MeanProcStmts));
+    if (R.chance(8))
+      B *= R.range(3, 5); // the long tail
+    if (P == 0 && Spec.DominantProcFactor > 1)
+      B *= Spec.DominantProcFactor;
+    Budgets.push_back(B);
+  }
+
+  auto EmitStmt = [&](std::ostringstream &Body, unsigned ProcIndex,
+                      const char *Indent) {
+    unsigned MaxKind = Spec.BestCase ? 6 : 9;
+    switch (R.range(0, MaxKind)) {
+    case 0:
+      Body << Indent << "t := (a * " << R.range(2, 9) << " + b) MOD "
+           << R.range(5, 17) << ";\n";
+      break;
+    case 1:
+      Body << Indent << "FOR i := 0 TO " << R.range(3, 15)
+           << " DO acc := acc + i * t END;\n";
+      break;
+    case 2:
+      Body << Indent << "IF acc > " << R.range(10, 99) << " THEN acc := acc - "
+           << R.range(1, 9) << " ELSE acc := acc + 1 END;\n";
+      break;
+    case 3:
+      Body << Indent << "WHILE t > 0 DO t := t DIV 2; INC(acc) END;\n";
+      break;
+    case 4:
+      Body << Indent << "v[" << R.range(0, 15) << "] := acc; t := t + v["
+           << R.range(0, 15) << "];\n";
+      break;
+    case 5:
+      Body << Indent << "WITH r DO x := acc; y := t END; acc := acc + r.x;\n";
+      break;
+    case 6:
+      Body << Indent << "CASE t MOD 4 OF 0: acc := acc + 1 | 1, 2: acc := "
+                        "acc + 2 ELSE acc := acc - 1 END;\n";
+      break;
+    case 7: // outer-scope references (module globals and constants)
+      if (R.chance(12)) {
+        // A global declared *after* the procedures (see below): probing
+        // the incomplete module scope misses, so the lookup blocks and
+        // succeeds only once the table completes.
+        Body << Indent << "acc := acc + late"
+             << (R.chance(50) ? "A" : "B") << ";\n";
+      } else {
+        Body << Indent << "acc := acc + g"
+             << R.range(0, Spec.NumGlobalVars - 1) << " + K"
+             << R.range(0, Spec.NumGlobalConsts - 1) << ";\n";
+      }
+      break;
+    case 8: // qualified reference into a *directly* imported interface
+      if (!AtLevel.empty() && !AtLevel[0].empty()) {
+        unsigned K = AtLevel[0][R.range(
+            0, static_cast<unsigned>(AtLevel[0].size()) - 1)];
+        Body << Indent << "acc := acc + " << IfaceName(K) << ".C"
+             << R.range(0, (std::max(2u, Spec.InterfaceDecls) + 1) / 2 - 1)
+             << ";\n";
+      } else {
+        Body << Indent << "acc := acc + 1;\n";
+      }
+      break;
+    case 9: // call an earlier procedure of this module
+      if (ProcIndex > 0)
+        Body << Indent << "acc := acc + P" << R.range(0, ProcIndex - 1)
+             << "(t, acc);\n";
+      else
+        Body << Indent << "acc := acc * 2;\n";
+      break;
+    }
+  };
+
+  for (unsigned P = 0; P < Spec.NumProcedures; ++P) {
+    OS << "PROCEDURE P" << P << "(a, b: INTEGER): INTEGER;\n"
+       << "VAR i, t, acc: INTEGER; v: Vec; r: Rec;\n";
+    if (!AtLevel.empty() && !AtLevel[0].empty() && R.chance(60)) {
+      // A qualified *type* reference exercises qualified lookup during
+      // declaration analysis, when interfaces are most likely incomplete.
+      unsigned K = AtLevel[0][R.range(
+          0, static_cast<unsigned>(AtLevel[0].size()) - 1)];
+      OS << "  q: " << IfaceName(K) << ".T0;\n";
+    }
+    bool Nested = !Spec.BestCase && Spec.NestedProcEvery != 0 &&
+                  P % Spec.NestedProcEvery == Spec.NestedProcEvery - 1;
+    if (Nested) {
+      OS << "  PROCEDURE Inner(k: INTEGER): INTEGER;\n"
+         << "  BEGIN RETURN k * 2 + a END Inner;\n";
+    }
+    OS << "BEGIN\n  acc := 0; t := b;\n";
+    // A qualified *type* use exercises qualified lookups during
+    // declaration analysis, where interfaces are most likely incomplete.
+    for (unsigned S = 0; S < Budgets[P]; ++S)
+      EmitStmt(OS, P, "  ");
+    if (Nested)
+      OS << "  acc := acc + Inner(t);\n";
+    OS << "  RETURN acc + t\nEND P" << P << ";\n";
+  }
+
+  // Declaration sections may repeat in any order; globals declared
+  // *after* the procedures are what statement analyzers can only find
+  // after a DKY blockage on the (still incomplete) module scope — the
+  // "After DKY" rows of the paper's Table 2.
+  if (!Spec.BestCase)
+    OS << "VAR lateA, lateB: INTEGER;\n";
+
+  OS << "BEGIN\n";
+  unsigned Calls = std::min(Spec.NumProcedures, 8u);
+  for (unsigned C = 0; C < Calls; ++C)
+    OS << "  g" << C % std::max(1u, Spec.NumGlobalVars) << " := P"
+       << (Spec.NumProcedures - 1 - C) << "(" << C + 1 << ", " << C + 2
+       << ");\n";
+  OS << "  WriteInt(g0, 0); WriteLn\nEND " << Spec.Name << ".\n";
+
+  std::string Text = OS.str();
+  Info.ModuleBytes = Text.size();
+  Files.addFile(Spec.Name + ".mod", std::move(Text));
+  return Info;
+}
+
+std::vector<ModuleSpec> WorkloadGenerator::paperSuite() {
+  // Table 1 anchors: min / median / max of each attribute over the 37
+  // programs.  Values between anchors interpolate geometrically, with
+  // mild deterministic jitter so the suite isn't artificially smooth.
+  constexpr unsigned N = 37;
+  constexpr double BytesAnchor[3] = {2371, 13180, 336312};
+  constexpr double ProcsAnchor[3] = {2, 16, 221};
+  constexpr double IfacesAnchor[3] = {4, 17, 133};
+  constexpr double DepthAnchor[3] = {1, 5, 12};
+
+  auto Interp = [&](const double A[3], unsigned I) {
+    double Mid = (N - 1) / 2.0;
+    double T;
+    double Lo, Hi;
+    if (I <= Mid) {
+      T = I / Mid;
+      Lo = A[0];
+      Hi = A[1];
+    } else {
+      T = (I - Mid) / Mid;
+      Lo = A[1];
+      Hi = A[2];
+    }
+    return Lo * std::pow(Hi / Lo, T);
+  };
+
+  std::vector<ModuleSpec> Suite;
+  for (unsigned I = 0; I < N; ++I) {
+    Rng R(1000 + I);
+    double Jitter = (I == 0 || I == N / 2 || I == N - 1)
+                        ? 1.0
+                        : 0.9 + (R.Gen() % 21) / 100.0;
+    ModuleSpec Spec;
+    Spec.Name = "Suite" + std::to_string(I);
+    Spec.Seed = 7 * I + 13;
+    double TargetBytes = Interp(BytesAnchor, I) * Jitter;
+    Spec.NumProcedures = std::max(
+        2u, static_cast<unsigned>(std::lround(Interp(ProcsAnchor, I))));
+    Spec.ImportedInterfaces = std::max(
+        4u, static_cast<unsigned>(std::lround(Interp(IfacesAnchor, I))));
+    Spec.ImportDepth = std::max(
+        1u, static_cast<unsigned>(std::lround(Interp(DepthAnchor, I))));
+    // Solve the per-procedure statement budget for the byte target:
+    // bytes ~ base + procs * (heading ~95B + stmts * ~42B).
+    double Base = 420 + 14.0 * Spec.NumGlobalVars;
+    double PerProc = 95.0;
+    double Budget =
+        (TargetBytes - Base - PerProc * Spec.NumProcedures) /
+        (48.0 * Spec.NumProcedures);
+    Spec.MeanProcStmts =
+        std::max(2u, static_cast<unsigned>(std::lround(Budget)));
+    // The smallest programs get one dominant procedure (and the byte
+    // budget is rebalanced so Table 1's sizes still hold).
+    if (Spec.NumProcedures <= 5) {
+      Spec.DominantProcFactor = 5;
+      double Share =
+          (Spec.NumProcedures + 4.0) / Spec.NumProcedures; // budget scale
+      Spec.MeanProcStmts = std::max(
+          2u, static_cast<unsigned>(std::lround(Budget / Share)));
+    }
+    Spec.NumGlobalVars = 4 + Spec.NumProcedures / 8;
+    Spec.NumGlobalConsts = 4 + Spec.NumProcedures / 16;
+    Suite.push_back(std::move(Spec));
+  }
+  // One mid-size program is a classic single-procedure utility: almost
+  // all of its work is one long sequential stream, which caps its
+  // speedup near 2 however many processors are available — the paper's
+  // minimum-speedup program (Table 3 Min row).
+  Suite[4].NumProcedures = 2;
+  Suite[4].DominantProcFactor = 16;
+  Suite[4].MeanProcStmts = 24;
+  Suite[4].NestedProcEvery = 0;
+  return Suite;
+}
+
+ModuleSpec WorkloadGenerator::synthSpec() {
+  ModuleSpec Spec;
+  Spec.Name = "Synth";
+  Spec.BestCase = true;
+  Spec.NumProcedures = 64;
+  Spec.MeanProcStmts = 60;
+  Spec.NumGlobalVars = 8;
+  Spec.NumGlobalConsts = 4;
+  Spec.ImportedInterfaces = 0;
+  Spec.NestedProcEvery = 0;
+  Spec.Seed = 424242;
+  return Spec;
+}

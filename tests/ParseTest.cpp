@@ -1,0 +1,322 @@
+//===--- ParseTest.cpp - Parser unit tests ---------------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Lexer.h"
+#include "parse/Parser.h"
+#include "support/VirtualFileSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace m2c;
+using namespace m2c::ast;
+
+namespace {
+
+/// Lexes a whole source string into a finished queue and parses it.
+struct ParseFixture {
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  DiagnosticsEngine Diags;
+  ASTArena Arena;
+  std::vector<std::unique_ptr<TokenBlockQueue>> Queues;
+
+  TokenBlockQueue &lexInto(const std::string &Source) {
+    FileId Id = Files.addFile("t" + std::to_string(Queues.size()), Source);
+    Queues.push_back(std::make_unique<TokenBlockQueue>("t"));
+    Lexer Lex(Files.buffer(Id), Interner, Diags);
+    Lex.lexAll(*Queues.back());
+    return *Queues.back();
+  }
+
+  Parser parser(const std::string &Source,
+                ParserMode Mode = ParserMode::Sequential) {
+    return Parser(TokenBlockQueue::Reader(lexInto(Source)), Arena, Diags,
+                  Mode);
+  }
+
+  Symbol sym(std::string_view S) { return Interner.intern(S); }
+};
+
+TEST(Parser, EmptyProgramModule) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE Empty; END Empty.").parseImplementationModule();
+  EXPECT_EQ(Mod.Name, F.sym("Empty"));
+  EXPECT_FALSE(Mod.IsImplementation);
+  EXPECT_TRUE(Mod.Decls.empty());
+  EXPECT_TRUE(Mod.Body.empty());
+  EXPECT_FALSE(F.Diags.hasErrors());
+}
+
+TEST(Parser, DefinitionModuleWithImportsAndDecls) {
+  ParseFixture F;
+  auto Mod = F.parser("DEFINITION MODULE Lists;\n"
+                      "FROM Storage IMPORT ALLOCATE;\n"
+                      "IMPORT Texts, IO;\n"
+                      "EXPORT QUALIFIED List, Append;\n"
+                      "TYPE List; (* opaque *)\n"
+                      "CONST MaxLen = 100;\n"
+                      "VAR count: INTEGER;\n"
+                      "PROCEDURE Append(VAR l: List; x: INTEGER);\n"
+                      "END Lists.")
+                 .parseDefinitionModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  EXPECT_EQ(Mod.Name, F.sym("Lists"));
+  ASSERT_EQ(Mod.Imports.size(), 2u);
+  EXPECT_EQ(Mod.Imports[0].FromModule, F.sym("Storage"));
+  ASSERT_EQ(Mod.Imports[0].Names.size(), 1u);
+  EXPECT_EQ(Mod.Imports[1].Names.size(), 2u);
+  EXPECT_EQ(Mod.Exports.size(), 2u);
+  ASSERT_EQ(Mod.Decls.size(), 4u);
+  EXPECT_EQ(Mod.Decls[0]->kind(), DeclKind::Type);
+  EXPECT_EQ(static_cast<TypeDecl *>(Mod.Decls[0])->type(), nullptr);
+  EXPECT_EQ(Mod.Decls[1]->kind(), DeclKind::Const);
+  EXPECT_EQ(Mod.Decls[2]->kind(), DeclKind::Var);
+  ASSERT_EQ(Mod.Decls[3]->kind(), DeclKind::ProcHeading);
+  const auto &H = static_cast<ProcHeadingDecl *>(Mod.Decls[3])->heading();
+  EXPECT_EQ(H.Name, F.sym("Append"));
+  ASSERT_EQ(H.Params.size(), 2u);
+  EXPECT_TRUE(H.Params[0].IsVar);
+  EXPECT_FALSE(H.Params[1].IsVar);
+}
+
+TEST(Parser, TypeDeclarations) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE T;\n"
+                      "TYPE Color = (red, green, blue);\n"
+                      "     Range = [1..10];\n"
+                      "     Vec = ARRAY [0..9] OF REAL;\n"
+                      "     Mat = ARRAY [0..2] OF ARRAY [0..2] OF REAL;\n"
+                      "     P = POINTER TO Node;\n"
+                      "     Node = RECORD key: INTEGER; next: P END;\n"
+                      "     CharSet = SET OF CHAR;\n"
+                      "     Fn = PROCEDURE (INTEGER, VAR REAL): BOOLEAN;\n"
+                      "END T.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Decls.size(), 8u);
+  auto TypeOf = [&](unsigned I) {
+    return static_cast<TypeDecl *>(Mod.Decls[I])->type()->kind();
+  };
+  EXPECT_EQ(TypeOf(0), TypeExprKind::Enumeration);
+  EXPECT_EQ(TypeOf(1), TypeExprKind::Subrange);
+  EXPECT_EQ(TypeOf(2), TypeExprKind::Array);
+  EXPECT_EQ(TypeOf(3), TypeExprKind::Array);
+  EXPECT_EQ(TypeOf(4), TypeExprKind::Pointer);
+  EXPECT_EQ(TypeOf(5), TypeExprKind::Record);
+  EXPECT_EQ(TypeOf(6), TypeExprKind::Set);
+  EXPECT_EQ(TypeOf(7), TypeExprKind::Proc);
+  auto *Rec = static_cast<RecordTypeExpr *>(
+      static_cast<TypeDecl *>(Mod.Decls[5])->type());
+  ASSERT_EQ(Rec->fields().size(), 2u);
+}
+
+TEST(Parser, StatementsAllForms) {
+  ParseFixture F;
+  auto Mod = F.parser(
+                 "MODULE S;\n"
+                 "VAR i, j: INTEGER; done: BOOLEAN;\n"
+                 "BEGIN\n"
+                 "  i := 0;\n"
+                 "  IF i = 0 THEN j := 1 ELSIF i < 0 THEN j := 2 ELSE j := 3 "
+                 "END;\n"
+                 "  WHILE i < 10 DO INC(i) END;\n"
+                 "  REPEAT DEC(i) UNTIL i = 0;\n"
+                 "  FOR i := 1 TO 10 BY 2 DO j := j + i END;\n"
+                 "  LOOP IF done THEN EXIT END END;\n"
+                 "  CASE i OF 1: j := 1 | 2, 3: j := 2 | 4..6: j := 3 ELSE j "
+                 ":= 0 END;\n"
+                 "  RETURN\n"
+                 "END S.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Body.size(), 8u);
+  EXPECT_EQ(Mod.Body[0]->kind(), StmtKind::Assign);
+  EXPECT_EQ(Mod.Body[1]->kind(), StmtKind::If);
+  EXPECT_EQ(Mod.Body[2]->kind(), StmtKind::While);
+  EXPECT_EQ(Mod.Body[3]->kind(), StmtKind::Repeat);
+  EXPECT_EQ(Mod.Body[4]->kind(), StmtKind::For);
+  EXPECT_EQ(Mod.Body[5]->kind(), StmtKind::Loop);
+  EXPECT_EQ(Mod.Body[6]->kind(), StmtKind::Case);
+  EXPECT_EQ(Mod.Body[7]->kind(), StmtKind::Return);
+  auto *Case = static_cast<CaseStmt *>(Mod.Body[6]);
+  ASSERT_EQ(Case->arms().size(), 3u);
+  EXPECT_EQ(Case->arms()[1].Labels.size(), 2u);
+  EXPECT_TRUE(Case->hasElse());
+}
+
+TEST(Parser, ExpressionsPrecedence) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE E; VAR x: INTEGER;\n"
+                      "BEGIN x := 1 + 2 * 3 END E.")
+                 .parseImplementationModule();
+  ASSERT_EQ(Mod.Body.size(), 1u);
+  auto *Assign = static_cast<AssignStmt *>(Mod.Body[0]);
+  ASSERT_EQ(Assign->value()->kind(), ExprKind::Binary);
+  auto *Add = static_cast<BinaryExpr *>(Assign->value());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  EXPECT_EQ(Add->lhs()->kind(), ExprKind::IntLit);
+  ASSERT_EQ(Add->rhs()->kind(), ExprKind::Binary);
+  EXPECT_EQ(static_cast<BinaryExpr *>(Add->rhs())->op(), BinaryOp::Mul);
+}
+
+TEST(Parser, DesignatorsAndCalls) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE D; VAR r: INTEGER;\n"
+                      "BEGIN\n"
+                      "  a.b[i, j]^.c := f(x, y + 1);\n"
+                      "  g;\n"
+                      "  M.h(1)\n"
+                      "END D.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Body.size(), 3u);
+  auto *Assign = static_cast<AssignStmt *>(Mod.Body[0]);
+  ASSERT_EQ(Assign->target()->kind(), ExprKind::Designator);
+  auto *D = static_cast<DesignatorExpr *>(Assign->target());
+  ASSERT_EQ(D->selectors().size(), 4u);
+  EXPECT_EQ(D->selectors()[0].SelKind, Selector::Kind::Field);
+  EXPECT_EQ(D->selectors()[1].SelKind, Selector::Kind::Index);
+  EXPECT_EQ(D->selectors()[1].Indexes.size(), 2u);
+  EXPECT_EQ(D->selectors()[2].SelKind, Selector::Kind::Deref);
+  EXPECT_EQ(Assign->value()->kind(), ExprKind::Call);
+  EXPECT_EQ(Mod.Body[1]->kind(), StmtKind::ProcCall);
+  EXPECT_EQ(static_cast<ProcCallStmt *>(Mod.Body[1])->call()->kind(),
+            ExprKind::Designator);
+  EXPECT_EQ(static_cast<ProcCallStmt *>(Mod.Body[2])->call()->kind(),
+            ExprKind::Call);
+}
+
+TEST(Parser, SetConstructors) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE SC; VAR s: BITSET;\n"
+                      "BEGIN s := {1, 3..5}; s := CharSet{0} END SC.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  auto *A0 = static_cast<AssignStmt *>(Mod.Body[0]);
+  ASSERT_EQ(A0->value()->kind(), ExprKind::SetConstructor);
+  auto *S0 = static_cast<SetConstructorExpr *>(A0->value());
+  EXPECT_TRUE(S0->typeName().isEmpty());
+  ASSERT_EQ(S0->elements().size(), 2u);
+  EXPECT_NE(S0->elements()[1].Hi, nullptr);
+  auto *A1 = static_cast<AssignStmt *>(Mod.Body[1]);
+  auto *S1 = static_cast<SetConstructorExpr *>(A1->value());
+  EXPECT_EQ(S1->typeName(), F.sym("CharSet"));
+}
+
+TEST(Parser, WithStatement) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE W; VAR p: INTEGER;\n"
+                      "BEGIN WITH node^ DO key := 1; next := NIL1 END END W.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Body.size(), 1u);
+  ASSERT_EQ(Mod.Body[0]->kind(), StmtKind::With);
+  EXPECT_EQ(static_cast<WithStmt *>(Mod.Body[0])->body().size(), 2u);
+}
+
+TEST(Parser, SequentialProcedureWithBody) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE P;\n"
+                      "PROCEDURE Fact(n: INTEGER): INTEGER;\n"
+                      "BEGIN\n"
+                      "  IF n <= 1 THEN RETURN 1 END;\n"
+                      "  RETURN n * Fact(n - 1)\n"
+                      "END Fact;\n"
+                      "BEGIN WriteInt(Fact(5)) END P.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Decls.size(), 1u);
+  ASSERT_EQ(Mod.Decls[0]->kind(), DeclKind::Proc);
+  auto *Proc = static_cast<ProcDecl *>(Mod.Decls[0]);
+  EXPECT_EQ(Proc->heading().Name, F.sym("Fact"));
+  ASSERT_NE(Proc->heading().Result, nullptr);
+  EXPECT_EQ(Proc->body().size(), 2u);
+}
+
+TEST(Parser, SplitModeTreatsHeadingAsCompleteDecl) {
+  ParseFixture F;
+  // What the main-module parser sees after the Splitter stripped the
+  // procedure body: heading only, then the module body.
+  auto Mod = F.parser("MODULE P;\n"
+                      "VAR x: INTEGER;\n"
+                      "PROCEDURE Fact(n: INTEGER): INTEGER;\n"
+                      "BEGIN x := Fact(5) END P.",
+                      ParserMode::SplitStream)
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Decls.size(), 2u);
+  EXPECT_EQ(Mod.Decls[0]->kind(), DeclKind::Var);
+  EXPECT_EQ(Mod.Decls[1]->kind(), DeclKind::ProcHeading);
+  EXPECT_EQ(Mod.Body.size(), 1u);
+}
+
+TEST(Parser, ProcedureStreamParsesFullProcedure) {
+  ParseFixture F;
+  auto *Proc = F.parser("PROCEDURE Sum(a, b: INTEGER): INTEGER;\n"
+                        "VAR t: INTEGER;\n"
+                        "BEGIN t := a + b; RETURN t END Sum;",
+                        ParserMode::SplitStream)
+                   .parseProcedureStream();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_NE(Proc, nullptr);
+  EXPECT_EQ(Proc->heading().Name, F.sym("Sum"));
+  ASSERT_EQ(Proc->heading().Params.size(), 1u);
+  EXPECT_EQ(Proc->heading().Params[0].Names.size(), 2u);
+  EXPECT_EQ(Proc->decls().size(), 1u);
+  EXPECT_EQ(Proc->body().size(), 2u);
+}
+
+TEST(Parser, NestedProceduresSequential) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE N;\n"
+                      "PROCEDURE Outer;\n"
+                      "  VAR x: INTEGER;\n"
+                      "  PROCEDURE Inner(): INTEGER;\n"
+                      "  BEGIN RETURN x END Inner;\n"
+                      "BEGIN x := Inner() END Outer;\n"
+                      "END N.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Decls.size(), 1u);
+  auto *Outer = static_cast<ProcDecl *>(Mod.Decls[0]);
+  ASSERT_EQ(Outer->decls().size(), 2u);
+  EXPECT_EQ(Outer->decls()[1]->kind(), DeclKind::Proc);
+}
+
+TEST(Parser, Modula2PlusStatements) {
+  ParseFixture F;
+  auto Mod = F.parser("SAFE MODULE MP;\n"
+                      "BEGIN\n"
+                      "  TRY x := 1 EXCEPT IO.Error: x := 2 END;\n"
+                      "  TRY y := 1 FINALLY y := 2 END;\n"
+                      "  LOCK mu DO z := 1 END\n"
+                      "END MP.")
+                 .parseImplementationModule();
+  EXPECT_FALSE(F.Diags.hasErrors()) << F.Diags.render(&F.Files);
+  ASSERT_EQ(Mod.Body.size(), 3u);
+  EXPECT_EQ(Mod.Body[0]->kind(), StmtKind::TryExcept);
+  EXPECT_FALSE(static_cast<TryExceptStmt *>(Mod.Body[0])->isFinally());
+  EXPECT_TRUE(static_cast<TryExceptStmt *>(Mod.Body[1])->isFinally());
+  EXPECT_EQ(Mod.Body[2]->kind(), StmtKind::Lock);
+}
+
+TEST(Parser, ErrorRecoveryContinuesParsing) {
+  ParseFixture F;
+  auto Mod = F.parser("MODULE Bad;\n"
+                      "VAR x: INTEGER;\n"
+                      "BEGIN\n"
+                      "  x := ;\n"
+                      "  x := 2\n"
+                      "END Bad.")
+                 .parseImplementationModule();
+  EXPECT_TRUE(F.Diags.hasErrors());
+  EXPECT_EQ(Mod.Name, F.sym("Bad"));
+  // The second assignment still parses.
+  EXPECT_GE(Mod.Body.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,374 @@
+//===--- SemaTest.cpp - Semantic analysis unit tests ------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ConcurrentCompiler.h"
+#include "driver/SequentialCompiler.h"
+#include "sema/DeclAnalyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace m2c;
+using namespace m2c::sema;
+using namespace m2c::symtab;
+
+namespace {
+
+/// Compiles a whole module sequentially and exposes the diagnostics.
+struct SemaFixture {
+  VirtualFileSystem Files;
+  StringInterner Interner;
+
+  driver::CompileResult compile(const std::string &Source,
+                                const std::string &Name = "T") {
+    Files.addFile(Name + ".mod", Source);
+    driver::SequentialCompiler C(Files, Interner);
+    return C.compile(Name);
+  }
+
+  /// Expects exactly the given diagnostic substrings (in source order).
+  void expectErrors(const std::string &Source,
+                    std::initializer_list<const char *> Subs) {
+    driver::CompileResult R = compile(Source);
+    EXPECT_FALSE(R.Success);
+    size_t Pos = 0;
+    for (const char *Sub : Subs) {
+      size_t Found = R.DiagnosticText.find(Sub, Pos);
+      EXPECT_NE(Found, std::string::npos)
+          << "missing diagnostic: " << Sub << "\nactual:\n"
+          << R.DiagnosticText;
+      if (Found != std::string::npos)
+        Pos = Found;
+    }
+  }
+};
+
+TEST(Sema, TypeAliasesShareIdentity) {
+  SemaFixture F;
+  auto R = F.compile("MODULE T;\n"
+                     "TYPE A = INTEGER; B = A;\n"
+                     "VAR x: A; y: B;\n"
+                     "BEGIN x := 1; y := x; x := y END T.");
+  EXPECT_TRUE(R.Success) << R.DiagnosticText;
+}
+
+TEST(Sema, DistinctRecordTypesDoNotMix) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\n"
+                 "TYPE R1 = RECORD a: INTEGER END;\n"
+                 "     R2 = RECORD a: INTEGER END;\n"
+                 "VAR x: R1; y: R2;\n"
+                 "BEGIN x := y END T.",
+                 {"cannot assign"});
+}
+
+TEST(Sema, ForwardPointerTargetResolves) {
+  SemaFixture F;
+  auto R = F.compile("MODULE T;\n"
+                     "TYPE P = POINTER TO Node;\n"
+                     "     Node = RECORD next: P END;\n"
+                     "VAR p: P;\n"
+                     "BEGIN NEW(p); p^.next := NIL END T.");
+  EXPECT_TRUE(R.Success) << R.DiagnosticText;
+}
+
+TEST(Sema, UnresolvedForwardPointerIsAnError) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\n"
+                 "TYPE P = POINTER TO Missing;\n"
+                 "END T.",
+                 {"undeclared pointer target type 'Missing'"});
+}
+
+TEST(Sema, EnumLiteralsAreScopedConstants) {
+  SemaFixture F;
+  auto R = F.compile("MODULE T;\n"
+                     "TYPE Color = (red, green, blue);\n"
+                     "VAR c: Color; n: INTEGER;\n"
+                     "BEGIN\n"
+                     "  c := green;\n"
+                     "  n := ORD(blue);\n"
+                     "  IF c = green THEN n := n + 1 END\n"
+                     "END T.");
+  EXPECT_TRUE(R.Success) << R.DiagnosticText;
+}
+
+TEST(Sema, SubrangeBoundsChecked) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nTYPE R = [10..2];\nEND T.", {"empty subrange"});
+}
+
+TEST(Sema, SetElementRangeLimited) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nTYPE S = SET OF [0..200];\nEND T.",
+                 {"set element range must lie within 0..63"});
+}
+
+TEST(Sema, OpaqueTypeOnlyInDefinitionModules) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nTYPE Hidden;\nEND T.",
+                 {"opaque types are only allowed in definition modules"});
+}
+
+TEST(Sema, RedeclarationReported) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\nCONST x = 3;\nEND T.",
+                 {"redeclaration of 'x'"});
+}
+
+TEST(Sema, BuiltinsCannotBeRedeclared) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR ABS: INTEGER;\nEND T.",
+                 {"cannot redeclare builtin name 'ABS'"});
+}
+
+TEST(Sema, FromImportOfMissingNameReported) {
+  SemaFixture F;
+  F.Files.addFile("Dep.def", "DEFINITION MODULE Dep;\n"
+                             "CONST Real = 1;\nEND Dep.");
+  F.expectErrors("MODULE T;\nFROM Dep IMPORT Ghost;\nEND T.",
+                 {"module 'Dep' does not export 'Ghost'"});
+}
+
+TEST(Sema, MissingInterfaceFileReported) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nIMPORT Nowhere;\nEND T.",
+                 {"cannot find interface file 'Nowhere.def'"});
+}
+
+TEST(Sema, QualifiedTypeUse) {
+  SemaFixture F;
+  F.Files.addFile("Shapes.def", "DEFINITION MODULE Shapes;\n"
+                                "TYPE Kind = INTEGER;\n"
+                                "CONST Circle = 1;\n"
+                                "END Shapes.");
+  auto R = F.compile("MODULE T;\nIMPORT Shapes;\n"
+                     "VAR k: Shapes.Kind;\n"
+                     "BEGIN k := Shapes.Circle END T.");
+  EXPECT_TRUE(R.Success) << R.DiagnosticText;
+}
+
+TEST(Sema, OwnDefinitionModuleVisibleInImplementation) {
+  SemaFixture F;
+  F.Files.addFile("Own.def", "DEFINITION MODULE Own;\n"
+                             "CONST Magic = 42;\n"
+                             "TYPE Handle = INTEGER;\n"
+                             "PROCEDURE Get(): INTEGER;\n"
+                             "END Own.");
+  F.Files.addFile("Own.mod", "IMPLEMENTATION MODULE Own;\n"
+                             "VAR h: Handle;\n"
+                             "PROCEDURE Get(): INTEGER;\n"
+                             "BEGIN RETURN Magic + h END Get;\n"
+                             "END Own.");
+  driver::SequentialCompiler C(F.Files, F.Interner);
+  auto R = C.compile("Own");
+  EXPECT_TRUE(R.Success) << R.DiagnosticText;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant evaluation
+//===----------------------------------------------------------------------===//
+
+/// Evaluating constants through whole-module compiles keeps the test on
+/// public API.  The value is observable through CASE-label legality and
+/// array bounds.
+TEST(ConstEval, FoldsThroughDeclarations) {
+  SemaFixture F;
+  auto R = F.compile("MODULE T;\n"
+                     "CONST A = 3 + 4 * 5;        (* 23 *)\n"
+                     "      B = A DIV 2;          (* 11 *)\n"
+                     "      C = A MOD B;          (* 1 *)\n"
+                     "      D = -C;\n"
+                     "      E = (A > B) AND TRUE;\n"
+                     "      S = {1, 3..5} + {0};\n"
+                     "      Ch = 'x';\n"
+                     "      St = 'hello';\n"
+                     "      R2 = 2.5 * 4.0;\n"
+                     "VAR v: ARRAY [D..B] OF INTEGER;\n"
+                     "BEGIN v[0] := A END T.");
+  EXPECT_TRUE(R.Success) << R.DiagnosticText;
+}
+
+TEST(ConstEval, DivisionByZeroReported) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nCONST Bad = 1 DIV 0;\nEND T.",
+                 {"division by zero"});
+}
+
+TEST(ConstEval, RealIntMixingRejected) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nCONST Bad = 1 + 2.5;\nEND T.",
+                 {"cannot mix REAL and INTEGER"});
+}
+
+TEST(ConstEval, SetElementOutOfRange) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nCONST Bad = {70};\nEND T.",
+                 {"set element out of range"});
+}
+
+TEST(ConstEval, QualifiedConstantsFold) {
+  SemaFixture F;
+  F.Files.addFile("K.def",
+                  "DEFINITION MODULE K;\nCONST N = 5;\nEND K.");
+  auto R = F.compile("MODULE T;\nIMPORT K;\n"
+                     "CONST M = K.N * 2;\n"
+                     "VAR v: ARRAY [0..M] OF INTEGER;\n"
+                     "BEGIN v[10] := 1 END T.");
+  EXPECT_TRUE(R.Success) << R.DiagnosticText;
+}
+
+TEST(ConstEval, NonConstantRejected) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\nCONST Bad = x + 1;\nEND T.",
+                 {"is not a constant"});
+}
+
+//===----------------------------------------------------------------------===//
+// Statement/expression checking (through full compiles)
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, ConditionMustBeBoolean) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\n"
+                 "BEGIN IF x THEN x := 1 END END T.",
+                 {"condition must be BOOLEAN"});
+}
+
+TEST(Sema, SlashRequiresReals) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\nBEGIN x := 7 / 2 END T.",
+                 {"'/' requires REAL operands"});
+}
+
+TEST(Sema, FunctionResultMustBeUsed) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\n"
+                 "PROCEDURE F(): INTEGER;\nBEGIN RETURN 1 END F;\n"
+                 "BEGIN F() END T.",
+                 {"function result is discarded"});
+}
+
+TEST(Sema, ProperProcedureNotAnExpression) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\n"
+                 "PROCEDURE P;\nBEGIN x := 0 END P;\n"
+                 "BEGIN x := P() END T.",
+                 {"proper procedure 'P' used in an expression"});
+}
+
+TEST(Sema, ArgumentCountChecked) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\n"
+                 "PROCEDURE F(a, b: INTEGER): INTEGER;\n"
+                 "BEGIN RETURN a + b END F;\n"
+                 "BEGIN x := F(1) END T.",
+                 {"takes 2 argument(s), 1 given"});
+}
+
+TEST(Sema, VarArgumentMustBeDesignator) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\n"
+                 "PROCEDURE P(VAR x: INTEGER);\nBEGIN x := 1 END P;\n"
+                 "BEGIN P(3 + 4) END T.",
+                 {"VAR argument must be a designator"});
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\n"
+                 "PROCEDURE F(): BOOLEAN;\nBEGIN RETURN 3 END F;\n"
+                 "VAR b: BOOLEAN;\nBEGIN b := F() END T.",
+                 {"return value type"});
+}
+
+TEST(Sema, ExitOutsideLoopReported) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nBEGIN EXIT END T.",
+                 {"EXIT outside of a LOOP"});
+}
+
+TEST(Sema, WithRequiresRecord) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\n"
+                 "BEGIN WITH x DO x := 1 END END T.",
+                 {"WITH requires a record"});
+}
+
+TEST(Sema, FieldAccessOnNonRecord) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\nVAR x: INTEGER;\nBEGIN x.y := 1 END T.",
+                 {"'.' selector applied to non-record"});
+}
+
+TEST(Sema, UnknownFieldReported) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\n"
+                 "TYPE R = RECORD a: INTEGER END;\nVAR r: R;\n"
+                 "BEGIN r.b := 1 END T.",
+                 {"record has no field named 'b'"});
+}
+
+TEST(Sema, NestedProcedureNotAProcedureValue) {
+  SemaFixture F;
+  F.expectErrors("MODULE T;\n"
+                 "TYPE F = PROCEDURE (): INTEGER;\n"
+                 "VAR f: F;\n"
+                 "PROCEDURE Outer;\n"
+                 "  PROCEDURE Inner(): INTEGER;\n"
+                 "  BEGIN RETURN 1 END Inner;\n"
+                 "BEGIN f := Inner END Outer;\n"
+                 "END T.",
+                 {"nested procedures cannot be used as procedure values"});
+}
+
+TEST(Sema, ModuleNameIsNotAValue) {
+  SemaFixture F;
+  F.Files.addFile("M.def", "DEFINITION MODULE M;\nCONST C = 1;\nEND M.");
+  F.expectErrors("MODULE T;\nIMPORT M;\nVAR x: INTEGER;\n"
+                 "BEGIN x := M END T.",
+                 {"module name 'M' cannot be used as a value"});
+}
+
+TEST(Sema, HeadingSharingAlternativesProduceSameImage) {
+  // Alternative 3 "guarantees that identical symbol table entries are
+  // produced in both scopes" — observable as identical generated code.
+  SemaFixture F;
+  std::string Source = "MODULE T;\n"
+                       "PROCEDURE Mix(a: INTEGER; VAR b: INTEGER; "
+                       "c: BOOLEAN): INTEGER;\n"
+                       "VAR t: INTEGER;\n"
+                       "BEGIN\n"
+                       "  IF c THEN t := a ELSE t := b END;\n"
+                       "  b := t * 2;\n"
+                       "  RETURN t\n"
+                       "END Mix;\n"
+                       "VAR x, y: INTEGER; r: INTEGER;\n"
+                       "BEGIN x := 3; r := Mix(x, y, TRUE) END T.";
+  F.Files.addFile("T.mod", Source);
+
+  driver::CompilerOptions Copy;
+  Copy.Sharing = HeadingSharing::CopyEntries;
+  driver::CompilerOptions Re;
+  Re.Sharing = HeadingSharing::Reprocess;
+  driver::ConcurrentCompiler C1(F.Files, F.Interner, Copy);
+  driver::ConcurrentCompiler C2(F.Files, F.Interner, Re);
+  auto R1 = C1.compile("T");
+  auto R2 = C2.compile("T");
+  ASSERT_TRUE(R1.Success) << R1.DiagnosticText;
+  ASSERT_TRUE(R2.Success) << R2.DiagnosticText;
+  ASSERT_EQ(R1.Image.Units.size(), R2.Image.Units.size());
+  for (size_t I = 0; I < R1.Image.Units.size(); ++I) {
+    const auto &A = R1.Image.Units[I], &B = R2.Image.Units[I];
+    ASSERT_EQ(A.Code.size(), B.Code.size()) << A.QualifiedName;
+    for (size_t J = 0; J < A.Code.size(); ++J) {
+      EXPECT_EQ(A.Code[J].Op, B.Code[J].Op);
+      EXPECT_EQ(A.Code[J].A, B.Code[J].A);
+    }
+  }
+}
+
+} // namespace

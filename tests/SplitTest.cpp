@@ -1,0 +1,271 @@
+//===--- SplitTest.cpp - Splitter and Importer unit tests -------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Lexer.h"
+#include "sema/Compilation.h"
+#include "split/Importer.h"
+#include "split/Splitter.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace m2c;
+
+namespace {
+
+/// Lexes a source string and runs the splitter with recording hooks.
+struct SplitFixture {
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  DiagnosticsEngine Diags;
+  TokenBlockQueue Raw{"raw"};
+  TokenBlockQueue Main{"main"};
+
+  struct Stream {
+    std::string Name;
+    std::string ParentName; ///< "" for main-module children.
+    std::unique_ptr<TokenBlockQueue> Queue;
+    int64_t Tokens = -1;
+  };
+  std::vector<std::unique_ptr<Stream>> Streams;
+
+  void split(const std::string &Source) {
+    FileId Id = Files.addFile("t.mod", Source);
+    Lexer Lex(Files.buffer(Id), Interner, Diags);
+    Lex.lexAll(Raw);
+
+    SplitterHooks Hooks;
+    Hooks.beginProc = [this](StreamHandle Parent, Symbol Name) {
+      auto S = std::make_unique<Stream>();
+      S->Name = std::string(Interner.spelling(Name));
+      S->ParentName =
+          Parent ? static_cast<Stream *>(Parent)->Name : std::string();
+      S->Queue = std::make_unique<TokenBlockQueue>("proc." + S->Name);
+      Streams.push_back(std::move(S));
+      return static_cast<StreamHandle>(Streams.back().get());
+    };
+    Hooks.queueOf = [this](StreamHandle H) -> TokenBlockQueue & {
+      return H ? *static_cast<Stream *>(H)->Queue : Main;
+    };
+    Hooks.endProc = [](StreamHandle H, int64_t Tokens) {
+      static_cast<Stream *>(H)->Tokens = Tokens;
+    };
+    Splitter Split(TokenBlockQueue::Reader(Raw), std::move(Hooks));
+    Split.run();
+  }
+
+  /// Token kinds remaining in a finished queue.
+  std::vector<TokenKind> drain(TokenBlockQueue &Q) {
+    TokenBlockQueue::Reader R(Q);
+    std::vector<TokenKind> Kinds;
+    while (true) {
+      const Token &T = R.next();
+      if (T.isEof())
+        return Kinds;
+      Kinds.push_back(T.Kind);
+    }
+  }
+
+  size_t count(TokenBlockQueue &Q, TokenKind K) {
+    size_t N = 0;
+    for (TokenKind Kind : drain(Q))
+      if (Kind == K)
+        ++N;
+    return N;
+  }
+
+  Stream *find(const std::string &Name) {
+    for (auto &S : Streams)
+      if (S->Name == Name)
+        return S.get();
+    return nullptr;
+  }
+};
+
+TEST(Splitter, ModuleWithoutProceduresPassesThrough) {
+  SplitFixture F;
+  F.split("MODULE M;\nVAR x: INTEGER;\nBEGIN x := 1 END M.\n");
+  EXPECT_TRUE(F.Streams.empty());
+  auto Kinds = F.drain(F.Main);
+  EXPECT_EQ(Kinds.front(), TokenKind::KwModule);
+  EXPECT_EQ(Kinds.back(), TokenKind::Dot);
+}
+
+TEST(Splitter, ProcedureBodyDiverted) {
+  SplitFixture F;
+  F.split("MODULE M;\n"
+          "PROCEDURE P(x: INTEGER): INTEGER;\n"
+          "BEGIN RETURN x * 2 END P;\n"
+          "BEGIN END M.\n");
+  ASSERT_EQ(F.Streams.size(), 1u);
+  EXPECT_EQ(F.Streams[0]->Name, "P");
+  EXPECT_EQ(F.Streams[0]->ParentName, "");
+  EXPECT_GT(F.Streams[0]->Tokens, 0);
+  // The body (RETURN) went to the procedure stream, not the main stream.
+  EXPECT_EQ(F.count(F.Main, TokenKind::KwReturn), 0u);
+  EXPECT_EQ(F.count(*F.Streams[0]->Queue, TokenKind::KwReturn), 1u);
+  // The heading is in BOTH streams (section 2.4 alternative 1 needs the
+  // parent to process it; the child re-reads it).
+  EXPECT_EQ(F.count(F.Main, TokenKind::KwProcedure), 1u);
+  EXPECT_EQ(F.count(*F.Streams[0]->Queue, TokenKind::KwProcedure), 1u);
+}
+
+TEST(Splitter, ProcedureTypesAreNotSplit) {
+  SplitFixture F;
+  F.split("MODULE M;\n"
+          "TYPE F = PROCEDURE (INTEGER): INTEGER;\n"
+          "VAR f: F;\n"
+          "BEGIN END M.\n");
+  EXPECT_TRUE(F.Streams.empty());
+  // Both PROCEDURE tokens (type position) stay in the main stream.
+  EXPECT_EQ(F.count(F.Main, TokenKind::KwProcedure), 1u);
+}
+
+TEST(Splitter, ProcTypeInsideHeadingDoesNotConfuse) {
+  SplitFixture F;
+  F.split("MODULE M;\n"
+          "PROCEDURE Apply(f: PROCEDURE (INTEGER): INTEGER; x: INTEGER): "
+          "INTEGER;\n"
+          "BEGIN RETURN f(x) END Apply;\n"
+          "BEGIN END M.\n");
+  ASSERT_EQ(F.Streams.size(), 1u);
+  EXPECT_EQ(F.Streams[0]->Name, "Apply");
+}
+
+TEST(Splitter, NestedProceduresBecomeNestedStreams) {
+  SplitFixture F;
+  F.split("MODULE M;\n"
+          "PROCEDURE Outer;\n"
+          "  VAR x: INTEGER;\n"
+          "  PROCEDURE Inner1;\n"
+          "  BEGIN x := 1 END Inner1;\n"
+          "  PROCEDURE Inner2;\n"
+          "    PROCEDURE Deep;\n"
+          "    BEGIN x := 3 END Deep;\n"
+          "  BEGIN Deep END Inner2;\n"
+          "BEGIN Inner1; Inner2 END Outer;\n"
+          "BEGIN END M.\n");
+  ASSERT_EQ(F.Streams.size(), 4u);
+  EXPECT_EQ(F.find("Outer")->ParentName, "");
+  EXPECT_EQ(F.find("Inner1")->ParentName, "Outer");
+  EXPECT_EQ(F.find("Inner2")->ParentName, "Outer");
+  EXPECT_EQ(F.find("Deep")->ParentName, "Inner2");
+  // Outer's stream holds the nested headings but not the nested bodies.
+  EXPECT_EQ(F.count(*F.find("Outer")->Queue, TokenKind::KwProcedure), 3u);
+  EXPECT_EQ(F.count(*F.find("Inner2")->Queue, TokenKind::KwProcedure), 2u);
+}
+
+TEST(Splitter, EndCountingCoversAllOpeners) {
+  SplitFixture F;
+  F.split("MODULE M;\n"
+          "PROCEDURE Busy(n: INTEGER): INTEGER;\n"
+          "TYPE R = RECORD a: INTEGER END;\n"
+          "VAR r: R; i: INTEGER;\n"
+          "BEGIN\n"
+          "  IF n > 0 THEN\n"
+          "    WHILE n > 0 DO DEC(n) END;\n"
+          "    FOR i := 0 TO 3 DO INC(n) END;\n"
+          "    LOOP EXIT END;\n"
+          "    CASE n OF 0: n := 1 ELSE n := 2 END;\n"
+          "    WITH r DO a := n END;\n"
+          "    TRY n := 1 EXCEPT n := 2 END;\n"
+          "    LOCK r DO n := 3 END\n"
+          "  END;\n"
+          "  RETURN n\n"
+          "END Busy;\n"
+          "PROCEDURE After(): INTEGER;\n"
+          "BEGIN RETURN 1 END After;\n"
+          "BEGIN END M.\n");
+  // If END counting were wrong, After would be swallowed into Busy.
+  ASSERT_EQ(F.Streams.size(), 2u);
+  EXPECT_EQ(F.Streams[0]->Name, "Busy");
+  EXPECT_EQ(F.Streams[1]->Name, "After");
+  EXPECT_EQ(F.Streams[1]->ParentName, "");
+}
+
+TEST(Splitter, WeightsReflectStreamSizes) {
+  SplitFixture F;
+  F.split("MODULE M;\n"
+          "PROCEDURE Small;\nBEGIN END Small;\n"
+          "PROCEDURE Large(x: INTEGER): INTEGER;\n"
+          "BEGIN\n"
+          "  x := x + 1; x := x + 2; x := x + 3; x := x + 4;\n"
+          "  RETURN x\nEND Large;\n"
+          "BEGIN END M.\n");
+  ASSERT_EQ(F.Streams.size(), 2u);
+  EXPECT_GT(F.find("Large")->Tokens, F.find("Small")->Tokens);
+}
+
+TEST(Splitter, MalformedEofClosesOpenStreams) {
+  SplitFixture F;
+  F.split("MODULE M;\nPROCEDURE Broken;\nBEGIN x := ");
+  ASSERT_EQ(F.Streams.size(), 1u);
+  EXPECT_GE(F.Streams[0]->Tokens, 0); // endProc fired despite truncation
+  // Queues are finished so downstream parsers terminate.
+  EXPECT_TRUE(F.drain(*F.Streams[0]->Queue).size() > 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Importer
+//===----------------------------------------------------------------------===//
+
+struct ImportFixture {
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  DiagnosticsEngine Diags;
+  sema::Compilation Comp{Files, Interner};
+
+  std::vector<std::string> scan(const std::string &Source) {
+    FileId Id = Files.addFile("t" + std::to_string(Files.size()), Source);
+    TokenBlockQueue Q("imp");
+    Lexer Lex(Files.buffer(Id), Interner, Diags);
+    Lex.lexAll(Q);
+    Importer Imp(TokenBlockQueue::Reader(Q), Comp.Modules, Interner);
+    std::vector<std::string> Names;
+    for (Symbol S : Imp.run())
+      Names.emplace_back(Interner.spelling(S));
+    return Names;
+  }
+};
+
+TEST(Importer, FindsImportLists) {
+  ImportFixture F;
+  auto Names = F.scan("MODULE M;\nIMPORT A, B, C;\nIMPORT D;\nEND M.");
+  EXPECT_EQ(Names, (std::vector<std::string>{"A", "B", "C", "D"}));
+}
+
+TEST(Importer, FromImportsOnlyTheModule) {
+  ImportFixture F;
+  auto Names = F.scan("MODULE M;\nFROM Storage IMPORT ALLOCATE, DEALLOCATE;\n"
+                      "END M.");
+  EXPECT_EQ(Names, (std::vector<std::string>{"Storage"}));
+}
+
+TEST(Importer, DuplicatesReportedOnce) {
+  ImportFixture F;
+  auto Names = F.scan("MODULE M;\nIMPORT A;\nFROM A IMPORT x;\nIMPORT A;\n"
+                      "END M.");
+  EXPECT_EQ(Names, (std::vector<std::string>{"A"}));
+}
+
+TEST(Importer, OnceOnlyTableFiresStarterOncePerModule) {
+  ImportFixture F;
+  std::map<std::string, int> Fired;
+  F.Comp.Modules.setStarter([&](Symbol Name, symtab::Scope &Scope) {
+    ++Fired[std::string(F.Interner.spelling(Name))];
+    Scope.markComplete();
+  });
+  F.scan("MODULE M;\nIMPORT A, B;\nEND M.");
+  F.scan("MODULE N;\nIMPORT B, C;\nFROM A IMPORT x;\nEND N.");
+  EXPECT_EQ(Fired["A"], 1);
+  EXPECT_EQ(Fired["B"], 1);
+  EXPECT_EQ(Fired["C"], 1);
+  EXPECT_EQ(F.Comp.Modules.size(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===--- SupportTest.cpp - Support-library unit tests ----------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Statistic.h"
+#include "support/StringInterner.h"
+#include "support/VirtualFileSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace m2c;
+
+namespace {
+
+TEST(StringInterner, SameSpellingSameSymbol) {
+  StringInterner Interner;
+  Symbol A = Interner.intern("WriteInt");
+  Symbol B = Interner.intern("WriteInt");
+  Symbol C = Interner.intern("WriteLn");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(Interner.spelling(A), "WriteInt");
+  EXPECT_EQ(Interner.spelling(C), "WriteLn");
+}
+
+TEST(StringInterner, EmptySymbolIsDistinguished) {
+  StringInterner Interner;
+  EXPECT_TRUE(Symbol().isEmpty());
+  EXPECT_EQ(Interner.intern(""), Symbol());
+  EXPECT_FALSE(Interner.intern("x").isEmpty());
+}
+
+TEST(StringInterner, ConcurrentInterningIsConsistent) {
+  StringInterner Interner;
+  constexpr int NumThreads = 8;
+  constexpr int NumNames = 200;
+  std::vector<std::vector<Symbol>> Results(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < NumNames; ++I)
+        Results[T].push_back(Interner.intern("name" + std::to_string(I)));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 1; T < NumThreads; ++T)
+    EXPECT_EQ(Results[T], Results[0]);
+  // NumNames distinct names plus the reserved empty symbol.
+  EXPECT_EQ(Interner.size(), static_cast<size_t>(NumNames) + 1);
+}
+
+TEST(VirtualFileSystem, AddAndLookup) {
+  VirtualFileSystem Files;
+  FileId Id = Files.addFile("Lists.def", "DEFINITION MODULE Lists; END Lists.");
+  const SourceBuffer *Buf = Files.lookup("Lists.def");
+  ASSERT_NE(Buf, nullptr);
+  EXPECT_EQ(Buf->Id, Id);
+  EXPECT_EQ(Buf->Name, "Lists.def");
+  EXPECT_TRUE(Files.exists("Lists.def"));
+  EXPECT_FALSE(Files.exists("Lists.mod"));
+  EXPECT_EQ(Files.lookup("Missing.def"), nullptr);
+}
+
+TEST(VirtualFileSystem, ModuleFileNames) {
+  EXPECT_EQ(VirtualFileSystem::defFileName("Lists"), "Lists.def");
+  EXPECT_EQ(VirtualFileSystem::modFileName("Lists"), "Lists.mod");
+}
+
+TEST(Diagnostics, SortedByLocation) {
+  DiagnosticsEngine Diags;
+  FileId F(0);
+  Diags.error(SourceLocation(F, 10, 2), "second");
+  Diags.error(SourceLocation(F, 3, 7), "first");
+  Diags.warning(SourceLocation(F, 10, 9), "third");
+  auto Sorted = Diags.sorted();
+  ASSERT_EQ(Sorted.size(), 3u);
+  EXPECT_EQ(Sorted[0].Message, "first");
+  EXPECT_EQ(Sorted[1].Message, "second");
+  EXPECT_EQ(Sorted[2].Message, "third");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 2u);
+}
+
+TEST(Diagnostics, RenderIncludesFileNames) {
+  VirtualFileSystem Files;
+  FileId F = Files.addFile("M.mod", "MODULE M; END M.");
+  DiagnosticsEngine Diags;
+  Diags.error(SourceLocation(F, 1, 8), "something went wrong");
+  std::string Out = Diags.render(&Files);
+  EXPECT_NE(Out.find("M.mod:1:8: error: something went wrong"),
+            std::string::npos);
+}
+
+TEST(Statistic, CountersAccumulate) {
+  StatisticSet Stats;
+  Stats.add("a");
+  Stats.add("a", 4);
+  Stats.add("b", 2);
+  EXPECT_EQ(Stats.get("a"), 5u);
+  EXPECT_EQ(Stats.get("b"), 2u);
+  EXPECT_EQ(Stats.get("missing"), 0u);
+  auto Snap = Stats.snapshot();
+  EXPECT_EQ(Snap.size(), 2u);
+}
+
+TEST(Statistic, ConcurrentAdds) {
+  StatisticSet Stats;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 1000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        Stats.add("shared");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Stats.get("shared"),
+            static_cast<uint64_t>(NumThreads) * PerThread);
+}
+
+} // namespace
