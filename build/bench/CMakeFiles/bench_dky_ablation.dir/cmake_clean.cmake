@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dky_ablation.dir/bench_dky_ablation.cpp.o"
+  "CMakeFiles/bench_dky_ablation.dir/bench_dky_ablation.cpp.o.d"
+  "bench_dky_ablation"
+  "bench_dky_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dky_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

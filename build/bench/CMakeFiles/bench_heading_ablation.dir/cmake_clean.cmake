@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heading_ablation.dir/bench_heading_ablation.cpp.o"
+  "CMakeFiles/bench_heading_ablation.dir/bench_heading_ablation.cpp.o.d"
+  "bench_heading_ablation"
+  "bench_heading_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heading_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

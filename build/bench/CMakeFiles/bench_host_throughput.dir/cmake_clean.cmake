@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_throughput.dir/bench_host_throughput.cpp.o"
+  "CMakeFiles/bench_host_throughput.dir/bench_host_throughput.cpp.o.d"
+  "bench_host_throughput"
+  "bench_host_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

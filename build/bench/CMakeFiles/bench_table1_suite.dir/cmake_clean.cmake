@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_suite.dir/bench_table1_suite.cpp.o"
+  "CMakeFiles/bench_table1_suite.dir/bench_table1_suite.cpp.o.d"
+  "bench_table1_suite"
+  "bench_table1_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

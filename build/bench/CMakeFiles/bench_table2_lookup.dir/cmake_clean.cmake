@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lookup.dir/bench_table2_lookup.cpp.o"
+  "CMakeFiles/bench_table2_lookup.dir/bench_table2_lookup.cpp.o.d"
+  "bench_table2_lookup"
+  "bench_table2_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_watchtool.cpp" "bench/CMakeFiles/bench_watchtool.dir/bench_watchtool.cpp.o" "gcc" "bench/CMakeFiles/bench_watchtool.dir/bench_watchtool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/m2c_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/m2c_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/m2c_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/m2c_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/m2c_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/m2c_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/m2c_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/m2c_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/m2c_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/m2c_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/m2c_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/m2c_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

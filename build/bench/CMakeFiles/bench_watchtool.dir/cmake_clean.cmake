@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watchtool.dir/bench_watchtool.cpp.o"
+  "CMakeFiles/bench_watchtool.dir/bench_watchtool.cpp.o.d"
+  "bench_watchtool"
+  "bench_watchtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watchtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

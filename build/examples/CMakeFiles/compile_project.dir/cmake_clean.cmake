@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_project.dir/compile_project.cpp.o"
+  "CMakeFiles/compile_project.dir/compile_project.cpp.o.d"
+  "compile_project"
+  "compile_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dky_explorer.dir/dky_explorer.cpp.o"
+  "CMakeFiles/dky_explorer.dir/dky_explorer.cpp.o.d"
+  "dky_explorer"
+  "dky_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dky_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

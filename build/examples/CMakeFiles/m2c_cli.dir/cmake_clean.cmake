@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_cli.dir/m2c_cli.cpp.o"
+  "CMakeFiles/m2c_cli.dir/m2c_cli.cpp.o.d"
+  "m2c_cli"
+  "m2c_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

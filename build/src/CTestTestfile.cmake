@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sched")
+subdirs("lex")
+subdirs("ast")
+subdirs("parse")
+subdirs("symtab")
+subdirs("sema")
+subdirs("codegen")
+subdirs("vm")
+subdirs("split")
+subdirs("driver")
+subdirs("workload")
+subdirs("trace")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_ast.dir/AST.cpp.o"
+  "CMakeFiles/m2c_ast.dir/AST.cpp.o.d"
+  "libm2c_ast.a"
+  "libm2c_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

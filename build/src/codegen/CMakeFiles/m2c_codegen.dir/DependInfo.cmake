@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/CodeGenerator.cpp" "src/codegen/CMakeFiles/m2c_codegen.dir/CodeGenerator.cpp.o" "gcc" "src/codegen/CMakeFiles/m2c_codegen.dir/CodeGenerator.cpp.o.d"
+  "/root/repo/src/codegen/MCode.cpp" "src/codegen/CMakeFiles/m2c_codegen.dir/MCode.cpp.o" "gcc" "src/codegen/CMakeFiles/m2c_codegen.dir/MCode.cpp.o.d"
+  "/root/repo/src/codegen/Merger.cpp" "src/codegen/CMakeFiles/m2c_codegen.dir/Merger.cpp.o" "gcc" "src/codegen/CMakeFiles/m2c_codegen.dir/Merger.cpp.o.d"
+  "/root/repo/src/codegen/ObjectFile.cpp" "src/codegen/CMakeFiles/m2c_codegen.dir/ObjectFile.cpp.o" "gcc" "src/codegen/CMakeFiles/m2c_codegen.dir/ObjectFile.cpp.o.d"
+  "/root/repo/src/codegen/Peephole.cpp" "src/codegen/CMakeFiles/m2c_codegen.dir/Peephole.cpp.o" "gcc" "src/codegen/CMakeFiles/m2c_codegen.dir/Peephole.cpp.o.d"
+  "/root/repo/src/codegen/TypeDescBuilder.cpp" "src/codegen/CMakeFiles/m2c_codegen.dir/TypeDescBuilder.cpp.o" "gcc" "src/codegen/CMakeFiles/m2c_codegen.dir/TypeDescBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sema/CMakeFiles/m2c_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/m2c_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/m2c_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/m2c_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/m2c_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

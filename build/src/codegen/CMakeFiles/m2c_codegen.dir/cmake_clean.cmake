@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_codegen.dir/CodeGenerator.cpp.o"
+  "CMakeFiles/m2c_codegen.dir/CodeGenerator.cpp.o.d"
+  "CMakeFiles/m2c_codegen.dir/MCode.cpp.o"
+  "CMakeFiles/m2c_codegen.dir/MCode.cpp.o.d"
+  "CMakeFiles/m2c_codegen.dir/Merger.cpp.o"
+  "CMakeFiles/m2c_codegen.dir/Merger.cpp.o.d"
+  "CMakeFiles/m2c_codegen.dir/ObjectFile.cpp.o"
+  "CMakeFiles/m2c_codegen.dir/ObjectFile.cpp.o.d"
+  "CMakeFiles/m2c_codegen.dir/Peephole.cpp.o"
+  "CMakeFiles/m2c_codegen.dir/Peephole.cpp.o.d"
+  "CMakeFiles/m2c_codegen.dir/TypeDescBuilder.cpp.o"
+  "CMakeFiles/m2c_codegen.dir/TypeDescBuilder.cpp.o.d"
+  "libm2c_codegen.a"
+  "libm2c_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

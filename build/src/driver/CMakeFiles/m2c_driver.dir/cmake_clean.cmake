@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_driver.dir/ConcurrentCompiler.cpp.o"
+  "CMakeFiles/m2c_driver.dir/ConcurrentCompiler.cpp.o.d"
+  "CMakeFiles/m2c_driver.dir/SequentialCompiler.cpp.o"
+  "CMakeFiles/m2c_driver.dir/SequentialCompiler.cpp.o.d"
+  "libm2c_driver.a"
+  "libm2c_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

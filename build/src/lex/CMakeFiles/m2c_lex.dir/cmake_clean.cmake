@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_lex.dir/Lexer.cpp.o"
+  "CMakeFiles/m2c_lex.dir/Lexer.cpp.o.d"
+  "CMakeFiles/m2c_lex.dir/TokenBlockQueue.cpp.o"
+  "CMakeFiles/m2c_lex.dir/TokenBlockQueue.cpp.o.d"
+  "libm2c_lex.a"
+  "libm2c_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for m2c_lex.
+# This may be replaced when dependencies are built.

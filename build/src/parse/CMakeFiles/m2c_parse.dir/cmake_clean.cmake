@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_parse.dir/Parser.cpp.o"
+  "CMakeFiles/m2c_parse.dir/Parser.cpp.o.d"
+  "libm2c_parse.a"
+  "libm2c_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

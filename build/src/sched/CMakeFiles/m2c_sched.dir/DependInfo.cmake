@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ExecContext.cpp" "src/sched/CMakeFiles/m2c_sched.dir/ExecContext.cpp.o" "gcc" "src/sched/CMakeFiles/m2c_sched.dir/ExecContext.cpp.o.d"
+  "/root/repo/src/sched/SimulatedExecutor.cpp" "src/sched/CMakeFiles/m2c_sched.dir/SimulatedExecutor.cpp.o" "gcc" "src/sched/CMakeFiles/m2c_sched.dir/SimulatedExecutor.cpp.o.d"
+  "/root/repo/src/sched/Supervisor.cpp" "src/sched/CMakeFiles/m2c_sched.dir/Supervisor.cpp.o" "gcc" "src/sched/CMakeFiles/m2c_sched.dir/Supervisor.cpp.o.d"
+  "/root/repo/src/sched/ThreadedExecutor.cpp" "src/sched/CMakeFiles/m2c_sched.dir/ThreadedExecutor.cpp.o" "gcc" "src/sched/CMakeFiles/m2c_sched.dir/ThreadedExecutor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/m2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_sched.dir/ExecContext.cpp.o"
+  "CMakeFiles/m2c_sched.dir/ExecContext.cpp.o.d"
+  "CMakeFiles/m2c_sched.dir/SimulatedExecutor.cpp.o"
+  "CMakeFiles/m2c_sched.dir/SimulatedExecutor.cpp.o.d"
+  "CMakeFiles/m2c_sched.dir/Supervisor.cpp.o"
+  "CMakeFiles/m2c_sched.dir/Supervisor.cpp.o.d"
+  "CMakeFiles/m2c_sched.dir/ThreadedExecutor.cpp.o"
+  "CMakeFiles/m2c_sched.dir/ThreadedExecutor.cpp.o.d"
+  "libm2c_sched.a"
+  "libm2c_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sema/Builtins.cpp" "src/sema/CMakeFiles/m2c_sema.dir/Builtins.cpp.o" "gcc" "src/sema/CMakeFiles/m2c_sema.dir/Builtins.cpp.o.d"
+  "/root/repo/src/sema/Compilation.cpp" "src/sema/CMakeFiles/m2c_sema.dir/Compilation.cpp.o" "gcc" "src/sema/CMakeFiles/m2c_sema.dir/Compilation.cpp.o.d"
+  "/root/repo/src/sema/ConstEval.cpp" "src/sema/CMakeFiles/m2c_sema.dir/ConstEval.cpp.o" "gcc" "src/sema/CMakeFiles/m2c_sema.dir/ConstEval.cpp.o.d"
+  "/root/repo/src/sema/DeclAnalyzer.cpp" "src/sema/CMakeFiles/m2c_sema.dir/DeclAnalyzer.cpp.o" "gcc" "src/sema/CMakeFiles/m2c_sema.dir/DeclAnalyzer.cpp.o.d"
+  "/root/repo/src/sema/Type.cpp" "src/sema/CMakeFiles/m2c_sema.dir/Type.cpp.o" "gcc" "src/sema/CMakeFiles/m2c_sema.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/m2c_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/m2c_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/m2c_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m2c_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/m2c_lex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

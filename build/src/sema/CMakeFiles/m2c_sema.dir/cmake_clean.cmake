@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_sema.dir/Builtins.cpp.o"
+  "CMakeFiles/m2c_sema.dir/Builtins.cpp.o.d"
+  "CMakeFiles/m2c_sema.dir/Compilation.cpp.o"
+  "CMakeFiles/m2c_sema.dir/Compilation.cpp.o.d"
+  "CMakeFiles/m2c_sema.dir/ConstEval.cpp.o"
+  "CMakeFiles/m2c_sema.dir/ConstEval.cpp.o.d"
+  "CMakeFiles/m2c_sema.dir/DeclAnalyzer.cpp.o"
+  "CMakeFiles/m2c_sema.dir/DeclAnalyzer.cpp.o.d"
+  "CMakeFiles/m2c_sema.dir/Type.cpp.o"
+  "CMakeFiles/m2c_sema.dir/Type.cpp.o.d"
+  "libm2c_sema.a"
+  "libm2c_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

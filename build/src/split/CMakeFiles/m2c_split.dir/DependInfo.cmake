@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/split/Importer.cpp" "src/split/CMakeFiles/m2c_split.dir/Importer.cpp.o" "gcc" "src/split/CMakeFiles/m2c_split.dir/Importer.cpp.o.d"
+  "/root/repo/src/split/Splitter.cpp" "src/split/CMakeFiles/m2c_split.dir/Splitter.cpp.o" "gcc" "src/split/CMakeFiles/m2c_split.dir/Splitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lex/CMakeFiles/m2c_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/m2c_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/m2c_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/m2c_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/symtab/CMakeFiles/m2c_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_split.dir/Importer.cpp.o"
+  "CMakeFiles/m2c_split.dir/Importer.cpp.o.d"
+  "CMakeFiles/m2c_split.dir/Splitter.cpp.o"
+  "CMakeFiles/m2c_split.dir/Splitter.cpp.o.d"
+  "libm2c_split.a"
+  "libm2c_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/m2c_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/m2c_support.dir/Statistic.cpp.o"
+  "CMakeFiles/m2c_support.dir/Statistic.cpp.o.d"
+  "CMakeFiles/m2c_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/m2c_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/m2c_support.dir/VirtualFileSystem.cpp.o"
+  "CMakeFiles/m2c_support.dir/VirtualFileSystem.cpp.o.d"
+  "libm2c_support.a"
+  "libm2c_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libm2c_support.a"
+)

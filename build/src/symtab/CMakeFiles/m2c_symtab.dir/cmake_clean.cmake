@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_symtab.dir/LookupStats.cpp.o"
+  "CMakeFiles/m2c_symtab.dir/LookupStats.cpp.o.d"
+  "CMakeFiles/m2c_symtab.dir/NameResolver.cpp.o"
+  "CMakeFiles/m2c_symtab.dir/NameResolver.cpp.o.d"
+  "CMakeFiles/m2c_symtab.dir/Scope.cpp.o"
+  "CMakeFiles/m2c_symtab.dir/Scope.cpp.o.d"
+  "libm2c_symtab.a"
+  "libm2c_symtab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_symtab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_trace.dir/ActivityRecorder.cpp.o"
+  "CMakeFiles/m2c_trace.dir/ActivityRecorder.cpp.o.d"
+  "libm2c_trace.a"
+  "libm2c_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

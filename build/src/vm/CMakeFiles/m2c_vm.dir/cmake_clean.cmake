@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_vm.dir/VM.cpp.o"
+  "CMakeFiles/m2c_vm.dir/VM.cpp.o.d"
+  "libm2c_vm.a"
+  "libm2c_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2c_workload.dir/WorkloadGenerator.cpp.o"
+  "CMakeFiles/m2c_workload.dir/WorkloadGenerator.cpp.o.d"
+  "libm2c_workload.a"
+  "libm2c_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2c_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/LexTest.cpp" "tests/CMakeFiles/LexTest.dir/LexTest.cpp.o" "gcc" "tests/CMakeFiles/LexTest.dir/LexTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lex/CMakeFiles/m2c_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/m2c_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/m2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

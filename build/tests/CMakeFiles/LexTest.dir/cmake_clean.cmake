@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LexTest.dir/LexTest.cpp.o"
+  "CMakeFiles/LexTest.dir/LexTest.cpp.o.d"
+  "LexTest"
+  "LexTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LexTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

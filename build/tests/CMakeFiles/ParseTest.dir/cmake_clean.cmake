@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ParseTest.dir/ParseTest.cpp.o"
+  "CMakeFiles/ParseTest.dir/ParseTest.cpp.o.d"
+  "ParseTest"
+  "ParseTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ParseTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

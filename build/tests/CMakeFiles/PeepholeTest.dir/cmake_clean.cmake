@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PeepholeTest.dir/PeepholeTest.cpp.o"
+  "CMakeFiles/PeepholeTest.dir/PeepholeTest.cpp.o.d"
+  "PeepholeTest"
+  "PeepholeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PeepholeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

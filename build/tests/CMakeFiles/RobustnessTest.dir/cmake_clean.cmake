@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RobustnessTest.dir/RobustnessTest.cpp.o"
+  "CMakeFiles/RobustnessTest.dir/RobustnessTest.cpp.o.d"
+  "RobustnessTest"
+  "RobustnessTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RobustnessTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SchedTest.dir/SchedTest.cpp.o"
+  "CMakeFiles/SchedTest.dir/SchedTest.cpp.o.d"
+  "SchedTest"
+  "SchedTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SchedTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

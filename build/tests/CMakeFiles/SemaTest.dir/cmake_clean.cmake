@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SemaTest.dir/SemaTest.cpp.o"
+  "CMakeFiles/SemaTest.dir/SemaTest.cpp.o.d"
+  "SemaTest"
+  "SemaTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SemaTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SplitTest.dir/SplitTest.cpp.o"
+  "CMakeFiles/SplitTest.dir/SplitTest.cpp.o.d"
+  "SplitTest"
+  "SplitTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SplitTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

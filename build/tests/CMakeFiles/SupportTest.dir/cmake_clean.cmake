@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SupportTest.dir/SupportTest.cpp.o"
+  "CMakeFiles/SupportTest.dir/SupportTest.cpp.o.d"
+  "SupportTest"
+  "SupportTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SupportTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SymtabTest.dir/SymtabTest.cpp.o"
+  "CMakeFiles/SymtabTest.dir/SymtabTest.cpp.o.d"
+  "SymtabTest"
+  "SymtabTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SymtabTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/VmTest.dir/VmTest.cpp.o"
+  "CMakeFiles/VmTest.dir/VmTest.cpp.o.d"
+  "VmTest"
+  "VmTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/VmTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

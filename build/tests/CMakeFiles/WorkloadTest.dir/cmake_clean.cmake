@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WorkloadTest.dir/WorkloadTest.cpp.o"
+  "CMakeFiles/WorkloadTest.dir/WorkloadTest.cpp.o.d"
+  "WorkloadTest"
+  "WorkloadTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WorkloadTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
