@@ -1,0 +1,195 @@
+//===--- bench_incremental.cpp - Warm vs cold recompilation ----------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Measures the stream compilation cache on the threaded executor (real
+// wall clock) over the WorkloadGenerator suite:
+//  * cold        — empty cache, every module compiles and is stored;
+//  * warm        — nothing changed, every module replays its cached image;
+//  * warm+edit   — one procedure body in one module edited: that module
+//                  recompiles its edited stream (all other streams replay),
+//                  every other module replays outright.
+//
+// Each warm+edit repetition applies a distinct edit (otherwise the second
+// repetition would hit the module entry stored by the first).  Before any
+// number is reported, cached images are checked byte-identical against
+// uncached compiles of the same source — cold, fully warm, and after an
+// edit.
+//
+//   bench_incremental [--quick]   (--quick: 1 repetition, fewer modules)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "cache/CompilationCache.h"
+#include "codegen/ObjectFile.h"
+
+#include <cstring>
+#include <string>
+
+using namespace m2c;
+using namespace m2c::bench;
+
+namespace {
+
+constexpr const char *EditAnchor = "acc := 0; t := b;";
+
+/// Rewrites the \p Index-th procedure body's first statement, giving each
+/// repetition a unique single-procedure edit.
+bool editOneProcedure(VirtualFileSystem &Files, const std::string &Name,
+                      size_t Index, int Tag) {
+  std::string Text = Files.lookup(Name + ".mod")->Text;
+  size_t At = std::string::npos;
+  for (size_t I = 0, From = 0; I <= Index; ++I, From = At + 1) {
+    At = Text.find(EditAnchor, From);
+    if (At == std::string::npos)
+      return false;
+  }
+  std::string Replacement =
+      "acc := " + std::to_string(Tag + 1) + "; t := b;";
+  Text.replace(At, std::strlen(EditAnchor), Replacement);
+  Files.addFile(Name + ".mod", std::move(Text));
+  return true;
+}
+
+double toMs(uint64_t WallNs) { return static_cast<double>(WallNs) / 1e6; }
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--quick";
+  const int Reps = Quick ? 1 : 5;
+
+  SuiteFixture Suite;
+  std::vector<std::string> Modules;
+  for (size_t I = 0; I < Suite.Specs.size(); ++I) {
+    if (Quick && I % 4 != 0)
+      continue; // Every 4th program keeps the size spread.
+    Modules.push_back(Suite.Specs[I].Name);
+  }
+  // The edited program: mid-sized, so the edit is representative.
+  const std::string Edited = Modules[Modules.size() / 2];
+
+  driver::CompilerOptions Options;
+  Options.Executor = driver::ExecutorKind::Threaded;
+  Options.Processors = 4;
+
+  std::printf("Incremental recompilation, threaded executor (%u CPUs)\n",
+              Options.Processors);
+  std::printf("suite: %zu programs, %d repetition(s), edited program: %s\n\n",
+              Modules.size(), Reps, Edited.c_str());
+
+  // Verification first: cached compiles must be byte-identical to
+  // uncached ones — cold, fully warm, and after a single-procedure edit.
+  {
+    VirtualFileSystem VFiles;
+    StringInterner VNames;
+    workload::WorkloadGenerator VGen(VFiles);
+    workload::ModuleSpec VSpec;
+    VSpec.Name = "Verify";
+    VSpec.NumProcedures = 24;
+    VGen.generate(VSpec);
+    cache::CompilationCache VCache(
+        std::make_unique<cache::MemoryCacheStore>());
+    driver::CompilerOptions Cached = Options;
+    Cached.Cache = &VCache;
+
+    auto Compile = [&](const driver::CompilerOptions &O) {
+      driver::ConcurrentCompiler C(VFiles, VNames, O);
+      driver::CompileResult R = C.compile(VSpec.Name);
+      if (!R.Success) {
+        std::fprintf(stderr, "compile failed:\n%s", R.DiagnosticText.c_str());
+        std::exit(1);
+      }
+      return codegen::writeObjectFile(R.Image, VNames);
+    };
+    std::string Reference = Compile(Options);
+    if (Compile(Cached) != Reference || Compile(Cached) != Reference) {
+      std::fprintf(stderr, "FAIL: cached image differs from uncached\n");
+      return 1;
+    }
+    if (!editOneProcedure(VFiles, VSpec.Name, VSpec.NumProcedures / 2, 777))
+      return 1;
+    std::string EditedRef = Compile(Options);
+    if (Compile(Cached) != EditedRef) {
+      std::fprintf(stderr,
+                   "FAIL: post-edit cached image differs from uncached\n");
+      return 1;
+    }
+    std::printf("byte-identity: cached == uncached (cold, warm, "
+                "after edit)  OK\n\n");
+  }
+
+  std::vector<double> ColdMs, WarmMs, EditMs;
+  uint64_t EditHits = 0, EditMisses = 0;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    // Cold: a fresh cache every repetition.
+    cache::CompilationCache Cache(
+        std::make_unique<cache::MemoryCacheStore>());
+    driver::CompilerOptions Cached = Options;
+    Cached.Cache = &Cache;
+
+    auto CompileSuite = [&]() -> double {
+      double TotalMs = 0;
+      for (const std::string &Name : Modules) {
+        driver::ConcurrentCompiler C(Suite.Files, Suite.Interner, Cached);
+        driver::CompileResult R = C.compile(Name);
+        if (!R.Success) {
+          std::fprintf(stderr, "%s:\n%s", Name.c_str(),
+                       R.DiagnosticText.c_str());
+          std::exit(1);
+        }
+        TotalMs += toMs(R.ElapsedUnits);
+      }
+      return TotalMs;
+    };
+
+    ColdMs.push_back(CompileSuite());
+    uint64_t ColdStreamMisses = Cache.stats().get("cache.stream.miss");
+
+    // Warm: identical input, every module replays its image.
+    uint64_t HitsBefore = Cache.stats().get("cache.module.hit");
+    WarmMs.push_back(CompileSuite());
+    if (Cache.stats().get("cache.module.hit") - HitsBefore !=
+        Modules.size()) {
+      std::fprintf(stderr, "FAIL: expected every module to replay\n");
+      return 1;
+    }
+
+    // Warm + edit: one procedure body changes in one module; that stream
+    // alone recompiles, everything else replays.
+    if (!editOneProcedure(Suite.Files, Edited, Rep % 2, Rep))
+      return 1;
+    EditMs.push_back(CompileSuite());
+    EditHits = Cache.stats().get("cache.stream.hit");
+    EditMisses = Cache.stats().get("cache.stream.miss") - ColdStreamMisses;
+  }
+
+  Summary Cold = summarize(ColdMs), Warm = summarize(WarmMs),
+          Edit = summarize(EditMs);
+  std::printf("%-12s %10s %10s %10s\n", "phase", "min ms", "median ms",
+              "max ms");
+  std::printf("%-12s %10.2f %10.2f %10.2f\n", "cold", Cold.Min, Cold.Median,
+              Cold.Max);
+  std::printf("%-12s %10.2f %10.2f %10.2f\n", "warm", Warm.Min, Warm.Median,
+              Warm.Max);
+  std::printf("%-12s %10.2f %10.2f %10.2f\n", "warm+edit", Edit.Min,
+              Edit.Median, Edit.Max);
+  std::printf("\nwarm+edit stream probes: %llu hits, %llu misses "
+              "(the edited stream)\n",
+              static_cast<unsigned long long>(EditHits),
+              static_cast<unsigned long long>(EditMisses));
+  std::printf("speedup, warm over cold (median):      %6.1fx\n",
+              Cold.Median / Warm.Median);
+  std::printf("speedup, warm+edit over cold (median): %6.1fx\n",
+              Cold.Median / Edit.Median);
+  if (!Quick && (Cold.Median / Warm.Median < 5.0 ||
+                 Cold.Median / Edit.Median < 5.0)) {
+    std::fprintf(stderr, "FAIL: warm recompile is less than 5x faster "
+                         "than cold\n");
+    return 1;
+  }
+  return 0;
+}

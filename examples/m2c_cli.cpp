@@ -15,6 +15,8 @@
 //     -run           link all modules and run the last one
 //     -dump          print the MCode listing of each compiled unit
 //     -c             write each compiled module to Module.mco
+//     -cache DIR     keep a persistent compilation cache in DIR
+//     -cache-stats   print cache hit/miss counters after each compile
 //
 // Module files are looked up as Module.mod / Module.def in the current
 // directory.  A positional argument ending in ".mco" is loaded as a
@@ -22,6 +24,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/CompilationCache.h"
 #include "codegen/ObjectFile.h"
 #include "driver/ConcurrentCompiler.h"
 #include "driver/SequentialCompiler.h"
@@ -41,7 +44,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: m2c_cli [-j N] [-seq] [-sim] [-dky STRATEGY] "
-               "[-trace] [-run] [-dump] Module...\n");
+               "[-trace] [-run] [-dump] [-c] [-cache DIR] [-cache-stats] "
+               "Module...\n");
   return 2;
 }
 
@@ -52,7 +56,8 @@ int main(int Argc, char **Argv) {
   Options.Executor = driver::ExecutorKind::Threaded;
   Options.Processors = 4;
   bool Sequential = false, Trace = false, Run = false, Dump = false;
-  bool EmitObjects = false;
+  bool EmitObjects = false, CacheStats = false;
+  std::string CacheDir;
   std::vector<std::string> Modules;
 
   for (int I = 1; I < Argc; ++I) {
@@ -85,6 +90,10 @@ int main(int Argc, char **Argv) {
       Dump = true;
     } else if (Arg == "-c") {
       EmitObjects = true;
+    } else if (Arg == "-cache" && I + 1 < Argc) {
+      CacheDir = Argv[++I];
+    } else if (Arg == "-cache-stats") {
+      CacheStats = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -103,6 +112,15 @@ int main(int Argc, char **Argv) {
     std::string Ext = Entry.path().extension().string();
     if (Ext == ".def" || Ext == ".mod")
       Files.addFromDisk(Entry.path().filename().string());
+  }
+
+  // A persistent on-disk cache: warm entries survive across m2c_cli
+  // processes, so rebuilding an unchanged project replays instantly.
+  std::unique_ptr<cache::CompilationCache> Cache;
+  if (!CacheDir.empty()) {
+    Cache = std::make_unique<cache::CompilationCache>(
+        std::make_unique<cache::DiskCacheStore>(CacheDir));
+    Options.Cache = Cache.get();
   }
 
   vm::Program Program(Names);
@@ -159,6 +177,10 @@ int main(int Argc, char **Argv) {
       std::printf("%s: %zu streams, %zu units, %.1f ms\n", Module.c_str(),
                   R.StreamCount, R.Image.Units.size(),
                   static_cast<double>(R.ElapsedUnits) / 1e6);
+    if (CacheStats)
+      for (const auto &[Counter, Value] : R.CacheStats)
+        std::printf("  %s = %llu\n", Counter.c_str(),
+                    static_cast<unsigned long long>(Value));
     if (Trace)
       std::printf("%s%s\n", Rec.renderAscii(100).c_str(),
                   trace::ActivityRecorder::legend().c_str());

@@ -1,0 +1,113 @@
+//===--- CacheKey.h - Content-addressed compilation keys --------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 128-bit content keys for the stream compilation cache.  A key is the
+/// hash of everything that can influence a stream's compiled output: its
+/// own token text, the declaration context of its enclosing streams, the
+/// interfaces visible to the compilation, and the compilation-relevant
+/// options.  Two FNV-1a streams with independent offset bases give a
+/// collision probability that is negligible at cache scale while keeping
+/// hashing cheap enough to charge per token in virtual time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CACHE_CACHEKEY_H
+#define M2C_CACHE_CACHEKEY_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace m2c::cache {
+
+/// A 128-bit content hash, rendered as 32 hex digits when used as a store
+/// key.
+struct CacheKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  friend bool operator==(const CacheKey &A, const CacheKey &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+  friend bool operator!=(const CacheKey &A, const CacheKey &B) {
+    return !(A == B);
+  }
+
+  /// 32 lowercase hex digits; stable across platforms.
+  std::string hex() const {
+    static const char Digits[] = "0123456789abcdef";
+    std::string Out(32, '0');
+    uint64_t Parts[2] = {Hi, Lo};
+    for (int P = 0; P < 2; ++P)
+      for (int I = 0; I < 16; ++I)
+        Out[static_cast<size_t>(P * 16 + I)] =
+            Digits[(Parts[P] >> (60 - 4 * I)) & 0xf];
+    return Out;
+  }
+};
+
+/// Incremental hasher producing a CacheKey.  Deterministic: depends only
+/// on the byte sequence fed in, never on pointer values or interning
+/// order.
+class KeyHasher {
+public:
+  KeyHasher() = default;
+
+  void combineByte(uint8_t B) {
+    Hi = (Hi ^ B) * Prime;
+    Lo = (Lo ^ (B ^ 0x5c)) * Prime;
+  }
+
+  void combineBytes(const void *Data, size_t Size) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I < Size; ++I)
+      combineByte(P[I]);
+  }
+
+  void combine(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      combineByte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  /// Length-prefixed so that adjacent strings can't alias ("ab","c" vs
+  /// "a","bc").
+  void combine(std::string_view S) {
+    combine(static_cast<uint64_t>(S.size()));
+    combineBytes(S.data(), S.size());
+  }
+
+  void combine(double V) {
+    uint64_t Bits = 0;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    combine(Bits);
+  }
+
+  void combine(const CacheKey &K) {
+    combine(K.Hi);
+    combine(K.Lo);
+  }
+
+  CacheKey finish() const { return CacheKey{Hi, Lo}; }
+
+private:
+  static constexpr uint64_t Prime = 0x100000001b3ull; // FNV-1a 64
+  uint64_t Hi = 0xcbf29ce484222325ull;                // FNV offset basis
+  uint64_t Lo = 0x84222325cbf29ce4ull;                // rotated basis
+};
+
+/// Hashes a whole buffer in one call.
+inline CacheKey hashBytes(std::string_view Text) {
+  KeyHasher H;
+  H.combine(Text);
+  return H.finish();
+}
+
+} // namespace m2c::cache
+
+#endif // M2C_CACHE_CACHEKEY_H

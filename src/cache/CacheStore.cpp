@@ -1,0 +1,97 @@
+//===--- CacheStore.cpp - Keyed entry storage backends ---------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheStore.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+using namespace m2c::cache;
+
+namespace fs = std::filesystem;
+
+CacheStore::~CacheStore() = default;
+
+//===----------------------------------------------------------------------===//
+// MemoryCacheStore
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string> MemoryCacheStore::load(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void MemoryCacheStore::save(const std::string &Key, const std::string &Text) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries[Key] = Text;
+}
+
+size_t MemoryCacheStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+//===----------------------------------------------------------------------===//
+// DiskCacheStore
+//===----------------------------------------------------------------------===//
+
+DiskCacheStore::DiskCacheStore(std::string Directory)
+    : Directory(std::move(Directory)) {
+  std::error_code EC;
+  fs::create_directories(this->Directory, EC);
+  // A failure here surfaces as load/save misses; the compiler still works,
+  // it just never gets warm.
+}
+
+std::string DiskCacheStore::pathFor(const std::string &Key) const {
+  return Directory + "/" + Key + ".mcc";
+}
+
+std::optional<std::string> DiskCacheStore::load(const std::string &Key) {
+  std::ifstream In(pathFor(Key), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void DiskCacheStore::save(const std::string &Key, const std::string &Text) {
+  unsigned Temp;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Temp = NextTemp++;
+  }
+  std::string TempPath =
+      Directory + "/.tmp" + std::to_string(Temp) + "." + Key;
+  {
+    std::ofstream Out(TempPath, std::ios::binary);
+    if (!Out)
+      return;
+    Out << Text;
+    if (!Out)
+      return;
+  }
+  std::error_code EC;
+  fs::rename(TempPath, pathFor(Key), EC);
+  if (EC)
+    fs::remove(TempPath, EC);
+}
+
+size_t DiskCacheStore::size() const {
+  std::error_code EC;
+  size_t Count = 0;
+  for (const auto &Entry : fs::directory_iterator(Directory, EC))
+    if (Entry.path().extension() == ".mcc")
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,80 @@
+//===--- CacheStore.h - Keyed entry storage backends ------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage backends for the compilation cache: a key/value store mapping
+/// 32-hex-digit content keys to serialized entry text.  The in-memory
+/// variant serves a single process (tests, repeated `compile()` calls);
+/// the on-disk variant persists entries as one `<key>.mcc` text file per
+/// entry so that warm builds survive process restarts, reusing the same
+/// human-readable serialization the `.mco` object format uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CACHE_CACHESTORE_H
+#define M2C_CACHE_CACHESTORE_H
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace m2c::cache {
+
+/// Abstract keyed blob store.  Implementations must be thread-safe: the
+/// concurrent driver probes and stores from multiple worker threads.
+class CacheStore {
+public:
+  virtual ~CacheStore();
+
+  /// Returns the entry text stored under \p Key, if any.
+  virtual std::optional<std::string> load(const std::string &Key) = 0;
+
+  /// Stores \p Text under \p Key, replacing any previous entry.
+  virtual void save(const std::string &Key, const std::string &Text) = 0;
+
+  /// Number of entries currently stored (best effort for disk stores).
+  virtual size_t size() const = 0;
+};
+
+/// Process-local store: a mutex-guarded hash map.
+class MemoryCacheStore final : public CacheStore {
+public:
+  std::optional<std::string> load(const std::string &Key) override;
+  void save(const std::string &Key, const std::string &Text) override;
+  size_t size() const override;
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, std::string> Entries;
+};
+
+/// Persistent store: one `<key>.mcc` file per entry under a cache
+/// directory (created on first use).  Writes go through a temporary file
+/// followed by an atomic rename, so concurrent compilations never observe
+/// a torn entry.
+class DiskCacheStore final : public CacheStore {
+public:
+  explicit DiskCacheStore(std::string Directory);
+
+  std::optional<std::string> load(const std::string &Key) override;
+  void save(const std::string &Key, const std::string &Text) override;
+  size_t size() const override;
+
+  const std::string &directory() const { return Directory; }
+
+private:
+  std::string pathFor(const std::string &Key) const;
+
+  const std::string Directory;
+  std::mutex Mutex; ///< Serializes temp-file naming.
+  unsigned NextTemp = 0;
+};
+
+} // namespace m2c::cache
+
+#endif // M2C_CACHE_CACHESTORE_H

@@ -1,0 +1,153 @@
+//===--- CompilationCache.cpp - Content-addressed result cache -------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompilationCache.h"
+
+#include "codegen/ObjectFile.h"
+#include "sched/ExecContext.h"
+
+#include <sstream>
+
+using namespace m2c;
+using namespace m2c::cache;
+
+namespace {
+
+// Entry headers.  The payload after the header line(s) is a standard
+// MCOBJ text object, so entries stay inspectable with the .mco tooling.
+constexpr const char *StreamMagic = "MCACHE-S 1";
+constexpr const char *ModuleMagic = "MCACHE-M 1";
+
+/// Consumes one line of \p Text (without the newline).
+std::string_view takeLine(std::string_view &Text) {
+  size_t End = Text.find('\n');
+  std::string_view Line = Text.substr(0, End);
+  Text.remove_prefix(End == std::string_view::npos ? Text.size() : End + 1);
+  return Line;
+}
+
+} // namespace
+
+CompilationCache::CompilationCache(std::unique_ptr<CacheStore> Store)
+    : Backend(std::move(Store)) {}
+
+std::optional<codegen::CodeUnit>
+CompilationCache::lookupStream(const CacheKey &Key, StringInterner &Names) {
+  sched::ctx().charge(sched::CostKind::CacheLookup);
+  std::optional<std::string> Text = Backend->load(Key.hex());
+  if (!Text) {
+    Stats.add("cache.stream.miss");
+    return std::nullopt;
+  }
+  std::string_view Rest = *Text;
+  if (takeLine(Rest) != StreamMagic) {
+    Stats.add("cache.stream.malformed");
+    return std::nullopt;
+  }
+  std::string Error;
+  auto Image = codegen::readObjectFile(Rest, Names, Error);
+  if (!Image || Image->Units.size() != 1) {
+    Stats.add("cache.stream.malformed");
+    return std::nullopt;
+  }
+  Stats.add("cache.stream.hit");
+  return std::move(Image->Units.front());
+}
+
+void CompilationCache::storeStream(const CacheKey &Key,
+                                   const codegen::CodeUnit &Unit,
+                                   const StringInterner &Names) {
+  sched::ctx().charge(sched::CostKind::CacheLookup);
+  // Wrap the unit in a minimal single-unit image so writeObjectFile can
+  // serialize it unchanged.
+  codegen::ModuleImage Wrapper;
+  Wrapper.ModuleName = Unit.Module;
+  Wrapper.Units.push_back(Unit);
+  std::string Text = StreamMagic;
+  Text += "\n";
+  Text += codegen::writeObjectFile(Wrapper, Names);
+  Backend->save(Key.hex(), Text);
+  Stats.add("cache.stream.store");
+}
+
+std::optional<ModuleEntry>
+CompilationCache::lookupModule(const CacheKey &Key, StringInterner &Names) {
+  sched::ctx().charge(sched::CostKind::CacheLookup);
+  std::optional<std::string> Text = Backend->load(Key.hex());
+  if (!Text)
+    return std::nullopt;
+  std::string_view Rest = *Text;
+  if (takeLine(Rest) != ModuleMagic) {
+    Stats.add("cache.module.malformed");
+    return std::nullopt;
+  }
+
+  ModuleEntry Entry;
+  {
+    std::istringstream Header{std::string(takeLine(Rest))};
+    std::string Tag;
+    if (!(Header >> Tag >> Entry.ModTextHash) || Tag != "MODHASH") {
+      Stats.add("cache.module.malformed");
+      return std::nullopt;
+    }
+  }
+  {
+    std::istringstream Header{std::string(takeLine(Rest))};
+    std::string Tag;
+    if (!(Header >> Tag >> Entry.StreamCount) || Tag != "STREAMS") {
+      Stats.add("cache.module.malformed");
+      return std::nullopt;
+    }
+  }
+  size_t NumDeps = 0;
+  {
+    std::istringstream Header{std::string(takeLine(Rest))};
+    std::string Tag;
+    if (!(Header >> Tag >> NumDeps) || Tag != "DEPS") {
+      Stats.add("cache.module.malformed");
+      return std::nullopt;
+    }
+  }
+  for (size_t I = 0; I < NumDeps; ++I) {
+    std::istringstream Line{std::string(takeLine(Rest))};
+    std::string Tag;
+    FileDep Dep;
+    if (!(Line >> Tag >> Dep.Hash >> Dep.Name) || Tag != "DEP") {
+      Stats.add("cache.module.malformed");
+      return std::nullopt;
+    }
+    Entry.Deps.push_back(std::move(Dep));
+  }
+
+  std::string Error;
+  auto Image = codegen::readObjectFile(Rest, Names, Error);
+  if (!Image) {
+    Stats.add("cache.module.malformed");
+    return std::nullopt;
+  }
+  Entry.Image = std::move(*Image);
+  return Entry;
+}
+
+void CompilationCache::storeModule(const CacheKey &Key,
+                                   const std::string &ModTextHash,
+                                   const std::vector<FileDep> &Deps,
+                                   const codegen::ModuleImage &Image,
+                                   uint64_t StreamCount,
+                                   const StringInterner &Names) {
+  sched::ctx().charge(sched::CostKind::CacheLookup);
+  std::ostringstream OS;
+  OS << ModuleMagic << "\n";
+  OS << "MODHASH " << ModTextHash << "\n";
+  OS << "STREAMS " << StreamCount << "\n";
+  OS << "DEPS " << Deps.size() << "\n";
+  for (const FileDep &Dep : Deps)
+    OS << "DEP " << Dep.Hash << " " << Dep.Name << "\n";
+  OS << codegen::writeObjectFile(Image, Names);
+  Backend->save(Key.hex(), OS.str());
+  Stats.add("cache.module.store");
+}

@@ -1,0 +1,107 @@
+//===--- CompilationCache.h - Content-addressed result cache ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stream compilation cache.  The paper's streams — main module body,
+/// each procedure, each imported definition module — are separately
+/// compilable units, which also makes them natural units of memoization:
+/// a stream whose content key is unchanged since a previous compilation
+/// can skip parse/sema/codegen and hand its cached `CodeUnit` straight to
+/// the Merger.  Entries are keyed by 128-bit content hashes
+/// (`CacheKey`) and serialized through the textual `.mco` object format,
+/// so a cache entry is readable with the same tools as compiler output.
+///
+/// Two entry kinds:
+///  * stream entries — one `CodeUnit`, keyed by the stream's token text,
+///    its ancestors' declaration context, the interface closure, and the
+///    compilation-relevant options;
+///  * module entries — a whole finalized `ModuleImage`, keyed by module
+///    name + options and validated against the raw source hashes, serving
+///    the all-hit fast path (nothing changed at all).
+///
+/// Entries are only written by compilations that produced zero
+/// diagnostics, so replaying an entry never needs to replay diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CACHE_COMPILATIONCACHE_H
+#define M2C_CACHE_COMPILATIONCACHE_H
+
+#include "cache/CacheKey.h"
+#include "cache/CacheStore.h"
+#include "codegen/MCode.h"
+#include "support/Statistic.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace m2c::cache {
+
+/// One source file a module entry depends on: the file's name and the
+/// hex hash of its raw text ("missing" if the file did not exist).
+struct FileDep {
+  std::string Name;
+  std::string Hash;
+
+  friend bool operator==(const FileDep &A, const FileDep &B) {
+    return A.Name == B.Name && A.Hash == B.Hash;
+  }
+};
+
+/// A cached whole-module compilation.
+struct ModuleEntry {
+  std::string ModTextHash;   ///< Hex hash of the raw .mod text.
+  std::vector<FileDep> Deps; ///< Interface closure (sorted by name).
+  codegen::ModuleImage Image;
+  uint64_t StreamCount = 0; ///< CompileResult::StreamCount to replay.
+};
+
+/// Thread-safe content-addressed cache over a CacheStore backend.
+///
+/// Lookup/store cost is charged to the active ExecContext as CacheLookup,
+/// so probes appear in virtual time under the simulated executor exactly
+/// like any other compiler work.
+class CompilationCache {
+public:
+  explicit CompilationCache(std::unique_ptr<CacheStore> Store);
+  CompilationCache(const CompilationCache &) = delete;
+  CompilationCache &operator=(const CompilationCache &) = delete;
+
+  /// Looks up a stream entry; symbols are re-interned into \p Names.
+  std::optional<codegen::CodeUnit> lookupStream(const CacheKey &Key,
+                                                StringInterner &Names);
+
+  /// Stores one stream's compiled unit under \p Key.
+  void storeStream(const CacheKey &Key, const codegen::CodeUnit &Unit,
+                   const StringInterner &Names);
+
+  /// Looks up a module entry (no validation — the planner compares the
+  /// recorded hashes against the current sources).
+  std::optional<ModuleEntry> lookupModule(const CacheKey &Key,
+                                          StringInterner &Names);
+
+  /// Stores a whole-module entry.
+  void storeModule(const CacheKey &Key, const std::string &ModTextHash,
+                   const std::vector<FileDep> &Deps,
+                   const codegen::ModuleImage &Image, uint64_t StreamCount,
+                   const StringInterner &Names);
+
+  /// Hit/miss/invalidation counters ("cache.stream.hit", ...).
+  StatisticSet &stats() { return Stats; }
+  const StatisticSet &stats() const { return Stats; }
+
+  CacheStore &store() { return *Backend; }
+
+private:
+  std::unique_ptr<CacheStore> Backend;
+  StatisticSet Stats;
+};
+
+} // namespace m2c::cache
+
+#endif // M2C_CACHE_COMPILATIONCACHE_H

@@ -60,6 +60,15 @@ ModuleImage Merger::finalize() {
                 return A.IsModuleBody;
               return A.QualifiedName < B.QualifiedName;
             });
+  // Procedure ids are allocated in task-completion order, which varies
+  // between schedules (and between fresh and cache-replayed units).
+  // Renumber in sorted order so the image — and its .mco rendering — is a
+  // pure function of the source.  Callees are resolved by qualified name
+  // at link time, so the ids are only a stable labeling.
+  int32_t NextId = 0;
+  for (CodeUnit &U : Image.Units)
+    if (!U.IsModuleBody)
+      U.ProcId = NextId++;
   return std::move(Image);
 }
 

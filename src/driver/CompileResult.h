@@ -40,6 +40,10 @@ struct CompileResult {
   /// Number of streams compiled (1 + procedures + definition modules).
   size_t StreamCount = 0;
 
+  /// Compilation-cache counters (hits, misses, invalidations) snapshotted
+  /// after the run; empty when no cache was configured.
+  std::map<std::string, uint64_t> CacheStats;
+
   /// Keeps lookup statistics, scopes and types alive for inspection
   /// (Table 2 comes from Compilation->Stats).
   std::shared_ptr<sema::Compilation> Compilation;

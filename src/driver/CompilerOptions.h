@@ -12,6 +12,10 @@
 #include "sched/CostModel.h"
 #include "sema/Compilation.h"
 
+namespace m2c::cache {
+class CompilationCache;
+}
+
 namespace m2c::driver {
 
 /// Which executor carries the concurrent compilation.
@@ -38,6 +42,10 @@ struct CompilerOptions {
 
   /// Optional processor-activity trace sink (WatchTool reproduction).
   sched::ActivitySink *Trace = nullptr;
+
+  /// Optional stream compilation cache shared across compile() calls (and,
+  /// with a disk-backed store, across processes).  Null disables caching.
+  cache::CompilationCache *Cache = nullptr;
 };
 
 } // namespace m2c::driver

@@ -7,6 +7,8 @@
 
 #include "driver/ConcurrentCompiler.h"
 
+#include "cache/CachePlanner.h"
+#include "cache/CompilationCache.h"
 #include "codegen/CodeGenerator.h"
 #include "codegen/Merger.h"
 #include "lex/Lexer.h"
@@ -18,7 +20,10 @@
 #include "split/Splitter.h"
 
 #include <atomic>
+#include <cassert>
+#include <chrono>
 #include <mutex>
+#include <unordered_map>
 
 using namespace m2c;
 using namespace m2c::ast;
@@ -45,7 +50,8 @@ public:
     std::atomic<int64_t> Weight{0};
     ProcStream *Parent = nullptr; ///< Null for main-module children.
     Scope *ParentScope = nullptr;
-    TaskPtr ParserTask;
+    TaskPtr ParserTask; ///< Null when the cache plan skips the front end.
+    bool SkipCodegen = false; ///< Cached unit replayed; don't regenerate.
 
     std::mutex ChildrenMutex;
     std::vector<ProcStream *> Children; ///< Splitter discovery order.
@@ -122,10 +128,36 @@ public:
       MainChildren.push_back(S);
     }
 
+    // Align with the cache plan: probe streams were discovered by the
+    // same Splitter over the same tokens, so creation order and names
+    // must match; a plan entry marks this stream's cached state.
+    const cache::StreamPlan *PlanEntry = nullptr;
+    if (Plan) {
+      size_t Idx = NextPlanIndex.fetch_add(1, std::memory_order_relaxed);
+      assert(Idx < Plan->Streams.size() &&
+             Plan->Streams[Idx].QualifiedName == S->QualifiedName &&
+             "cache probe stream tree diverged from the compilation");
+      if (Idx < Plan->Streams.size() &&
+          Plan->Streams[Idx].QualifiedName == S->QualifiedName)
+        PlanEntry = &Plan->Streams[Idx];
+    }
+    S->SkipCodegen = PlanEntry && PlanEntry->Hit;
+
     // The resolver of the heading event is the parent's parser task.
     Task *ParentParser =
         Parent ? Parent->ParserTask.get() : MainParserTask.get();
-    S->HeadingDone->setResolver(ParentParser);
+    if (ParentParser)
+      S->HeadingDone->setResolver(ParentParser);
+
+    if (PlanEntry && !PlanEntry->RunFrontEnd) {
+      // The whole subtree is cached: its unit (and every descendant's)
+      // was injected into the Merger, and no deeper stream re-analyzes,
+      // so this scope never needs populating.  The splitter still diverts
+      // tokens to S->Queue; they are simply never consumed.
+      return S;
+    }
+    assert(ParentParser && "parent skipped its front end but a descendant "
+                           "needs it");
 
     S->ParserTask = makeTask(
         "parse." + S->QualifiedName, TaskClass::ProcParserDecl,
@@ -270,6 +302,10 @@ public:
     // module's syntax before the raw token stream ends).
     P.drainToEof();
     releaseOrphanHeadings(nullptr);
+    bool SkipMainCodegen =
+        Plan && !Plan->Streams.empty() && Plan->Streams[0].Hit;
+    if (SkipMainCodegen)
+      return; // Cached module-body unit already handed to the Merger.
     int64_t Weight = static_cast<int64_t>(P.tokensConsumed());
     spawnCodeGen(/*Stream=*/nullptr, std::move(Body), Weight);
   }
@@ -295,6 +331,8 @@ public:
     StmtList Body = P.parseProcBody();
     P.drainToEof();
     releaseOrphanHeadings(&S);
+    if (S.SkipCodegen)
+      return; // Cached unit already handed to the Merger.
     spawnCodeGen(&S, std::move(Body), S.Weight.load());
   }
 
@@ -399,6 +437,12 @@ public:
   Symbol ModName;
   codegen::Merger Merge;
 
+  /// Cache plan for this run (null: no cache or probe not applicable).
+  /// Index 0 is the main stream; procedure streams claim successive
+  /// indices in splitter discovery order.
+  const cache::CachePlan *Plan = nullptr;
+  std::atomic<size_t> NextPlanIndex{1};
+
   TokenBlockQueue RawQueue;
   TokenBlockQueue MainQueue;
   std::unique_ptr<Scope> ModuleScopePtr;
@@ -433,6 +477,47 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
     return Result;
   }
 
+  // Cache prepass.  Probe cost is accounted in the run's own time scale:
+  // virtual units under the simulated executor, wall nanoseconds under
+  // the threaded one — speedup and warm/cold comparisons stay honest.
+  cache::CachePlan Plan;
+  uint64_t CacheUnits = 0;  // virtual units spent probing/injecting/storing
+  uint64_t CacheWallNs = 0; // same work in wall time (threaded runs)
+  using Clock = std::chrono::steady_clock;
+  auto WallSince = [](Clock::time_point From) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             From)
+            .count());
+  };
+  if (Options.Cache) {
+    auto Start = Clock::now();
+    cache::CachePlanner Planner(
+        Files, Interner, *Options.Cache,
+        cache::CacheFingerprint{Options.Strategy, Options.Sharing,
+                                Options.Optimize, "conc"},
+        Options.Cost);
+    Plan = Planner.plan(ModuleName);
+    CacheUnits += Plan.ProbeUnits;
+    CacheWallNs += WallSince(Start);
+
+    if (Plan.ModuleHit) {
+      // Whole-module fast path: no source changed since a cached
+      // zero-diagnostic compile; replay the image without an executor.
+      Result.Image = std::move(Plan.Module->Image);
+      Result.Success = true;
+      Result.StreamCount = static_cast<size_t>(Plan.Module->StreamCount);
+      Result.ElapsedUnits =
+          Options.Executor == ExecutorKind::Threaded ? CacheWallNs
+                                                     : CacheUnits;
+      if (Options.Executor == ExecutorKind::Simulated)
+        Result.SimSeconds = static_cast<double>(Result.ElapsedUnits) /
+                            static_cast<double>(Options.Cost.UnitsPerSecond);
+      Result.CacheStats = Options.Cache->stats().snapshot();
+      return Result;
+    }
+  }
+
   std::unique_ptr<sched::Executor> Exec;
   if (Options.Executor == ExecutorKind::Threaded)
     Exec = std::make_unique<ThreadedExecutor>(Options.Processors,
@@ -443,6 +528,23 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
   Exec->setActivitySink(Options.Trace);
 
   ConcurrentRun Run(Files, Interner, Options, ModuleName, Comp, *Exec);
+  if (Plan.Valid)
+    Run.Plan = &Plan;
+
+  // Hand every hit stream's cached unit to the Merger up front; the run
+  // then skips those streams' code generation (and, where a whole subtree
+  // hit, their parse/sema too).
+  if (Run.Plan) {
+    SequentialContext Ctx(Options.Cost);
+    ScopedContext Installed(Ctx);
+    auto Start = Clock::now();
+    for (const cache::StreamPlan &S : Plan.Streams)
+      if (S.Hit)
+        Run.Merge.addUnit(*S.Cached);
+    CacheUnits += Ctx.elapsedUnits();
+    CacheWallNs += WallSince(Start);
+  }
+
   Run.setup(ModBuf);
   Run.InsideRun.store(true, std::memory_order_release);
   Exec->run();
@@ -452,11 +554,44 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
   Result.Image = Run.Merge.finalize();
   Result.Success = !Comp->Diags.hasErrors();
   Result.DiagnosticText = Comp->Diags.render(&Files);
+  Result.StreamCount = Run.streamCount();
+
+  // Store phase: only fully clean compiles become cache entries, so a
+  // replayed entry never owes anyone a diagnostic (count() includes
+  // warnings).
+  if (Run.Plan && Comp->Diags.count() == 0) {
+    SequentialContext Ctx(Options.Cost);
+    ScopedContext Installed(Ctx);
+    auto Start = Clock::now();
+    std::unordered_map<std::string_view, const codegen::CodeUnit *> ByName;
+    for (const codegen::CodeUnit &U : Result.Image.Units)
+      ByName.emplace(U.QualifiedName, &U);
+    for (const cache::StreamPlan &S : Plan.Streams) {
+      if (S.Hit)
+        continue;
+      auto It = ByName.find(S.QualifiedName);
+      // Absent unit: the heading was parsed but analysis dropped it (can
+      // only happen with diagnostics, which the gate excludes) — skipped
+      // defensively anyway.
+      if (It != ByName.end())
+        Options.Cache->storeStream(S.Key, *It->second, Interner);
+    }
+    Options.Cache->storeModule(Plan.ModuleKey, Plan.ModTextHash, Plan.Deps,
+                               Result.Image,
+                               static_cast<uint64_t>(Result.StreamCount),
+                               Interner);
+    CacheUnits += Ctx.elapsedUnits();
+    CacheWallNs += WallSince(Start);
+  }
+
   Result.ElapsedUnits = Exec->elapsedUnits();
+  Result.ElapsedUnits +=
+      Options.Executor == ExecutorKind::Threaded ? CacheWallNs : CacheUnits;
   if (Options.Executor == ExecutorKind::Simulated)
     Result.SimSeconds = static_cast<double>(Result.ElapsedUnits) /
                         static_cast<double>(Options.Cost.UnitsPerSecond);
   Result.SchedStats = Exec->stats().snapshot();
-  Result.StreamCount = Run.streamCount();
+  if (Options.Cache)
+    Result.CacheStats = Options.Cache->stats().snapshot();
   return Result;
 }

@@ -7,6 +7,8 @@
 
 #include "driver/SequentialCompiler.h"
 
+#include "cache/CachePlanner.h"
+#include "cache/CompilationCache.h"
 #include "codegen/CodeGenerator.h"
 #include "codegen/Merger.h"
 #include "lex/Lexer.h"
@@ -135,6 +137,29 @@ CompileResult SequentialCompiler::compile(std::string_view ModuleName) {
                          Options.Optimize});
   Result.Compilation = Comp;
 
+  // Cache prepass (module granularity: the one-pass compiler has no
+  // streams to skip individually, but an unchanged module still replays
+  // its whole image without compiling).
+  cache::CachePlan Plan;
+  if (Options.Cache) {
+    cache::CachePlanner Planner(
+        Files, Interner, *Options.Cache,
+        cache::CacheFingerprint{Options.Strategy, Options.Sharing,
+                                Options.Optimize, "seq"},
+        Options.Cost);
+    Plan = Planner.probeModule(ModuleName);
+    if (Plan.ModuleHit) {
+      Result.Image = std::move(Plan.Module->Image);
+      Result.Success = true;
+      Result.StreamCount = static_cast<size_t>(Plan.Module->StreamCount);
+      Result.ElapsedUnits = Plan.ProbeUnits;
+      Result.SimSeconds = static_cast<double>(Result.ElapsedUnits) /
+                          static_cast<double>(Options.Cost.UnitsPerSecond);
+      Result.CacheStats = Options.Cache->stats().snapshot();
+      return Result;
+    }
+  }
+
   sched::SequentialContext Ctx(Options.Cost);
   sched::ScopedContext Installed(Ctx);
 
@@ -190,9 +215,22 @@ CompileResult SequentialCompiler::compile(std::string_view ModuleName) {
   Result.Image = Merger.finalize();
   Result.Success = !Comp->Diags.hasErrors();
   Result.DiagnosticText = Comp->Diags.render(&Files);
-  Result.ElapsedUnits = Ctx.elapsedUnits();
+  Result.StreamCount = 1 + Comp->Modules.size();
+
+  // Only fully clean compiles become cache entries (count() includes
+  // warnings), so a replayed entry never owes anyone a diagnostic.  The
+  // store charges into the same context as the compile, so its cost is
+  // part of ElapsedUnits.
+  if (Options.Cache && Plan.Valid && Comp->Diags.count() == 0)
+    Options.Cache->storeModule(Plan.ModuleKey, Plan.ModTextHash, Plan.Deps,
+                               Result.Image,
+                               static_cast<uint64_t>(Result.StreamCount),
+                               Interner);
+
+  Result.ElapsedUnits = Ctx.elapsedUnits() + Plan.ProbeUnits;
   Result.SimSeconds = static_cast<double>(Result.ElapsedUnits) /
                       static_cast<double>(Options.Cost.UnitsPerSecond);
-  Result.StreamCount = 1 + Comp->Modules.size();
+  if (Options.Cache)
+    Result.CacheStats = Options.Cache->stats().snapshot();
   return Result;
 }

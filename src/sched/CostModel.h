@@ -41,11 +41,13 @@ enum class CostKind : uint8_t {
   QueueBlock,     ///< One token block published/consumed.
   EventCreate,    ///< One event allocated (visible Optimistic overhead).
   MergeUnit,      ///< One code unit concatenated by the Merge task.
+  CacheProbe,     ///< One token hashed by the compilation-cache prepass.
+  CacheLookup,    ///< One compilation-cache store lookup or store.
 };
 
 /// Number of distinct CostKind values.
 constexpr unsigned NumCostKinds =
-    static_cast<unsigned>(CostKind::MergeUnit) + 1;
+    static_cast<unsigned>(CostKind::CacheLookup) + 1;
 
 /// Returns a human-readable name for \p Kind.
 const char *costKindName(CostKind Kind);
@@ -71,6 +73,8 @@ struct CostModel {
       /*QueueBlock=*/250,
       /*EventCreate=*/3500,
       /*MergeUnit=*/900,
+      /*CacheProbe=*/2,
+      /*CacheLookup=*/1500,
   };
 
   /// Fixed cost of one scheduling action (assigning a task to a worker).

@@ -45,6 +45,10 @@ const char *m2c::sched::costKindName(CostKind Kind) {
     return "EventCreate";
   case CostKind::MergeUnit:
     return "MergeUnit";
+  case CostKind::CacheProbe:
+    return "CacheProbe";
+  case CostKind::CacheLookup:
+    return "CacheLookup";
   }
   return "Unknown";
 }

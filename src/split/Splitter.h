@@ -70,10 +70,12 @@ public:
   /// Total tokens examined.
   int64_t tokensSeen() const { return TokensSeen; }
 
-private:
-  /// True if \p Kind opens a construct terminated by END.
+  /// True if \p Kind opens a construct terminated by END.  Public so the
+  /// cache planner can replay the recognizer's nesting rule when it
+  /// derives per-stream declaration hashes.
   static bool opensEnd(TokenKind Kind);
 
+private:
   TokenBlockQueue::Reader In;
   SplitterHooks Hooks;
   int64_t TokensSeen = 0;

@@ -1,0 +1,365 @@
+//===--- CacheTest.cpp - Stream compilation cache tests --------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CachePlanner.h"
+#include "cache/CompilationCache.h"
+#include "codegen/ObjectFile.h"
+#include "driver/ConcurrentCompiler.h"
+#include "driver/SequentialCompiler.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace m2c;
+using namespace m2c::driver;
+
+namespace {
+
+/// Fixture: in-memory files, an interner, and a fresh memory-backed cache.
+struct CacheFixture {
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  cache::CompilationCache Cache{std::make_unique<cache::MemoryCacheStore>()};
+
+  CompilerOptions options() {
+    CompilerOptions Options;
+    Options.Executor = ExecutorKind::Simulated;
+    Options.Processors = 4;
+    Options.Cache = &Cache;
+    return Options;
+  }
+
+  CompileResult compile(CompilerOptions Options) {
+    ConcurrentCompiler C(Files, Interner, Options);
+    return C.compile("Calc");
+  }
+
+  CompileResult compileCached() { return compile(options()); }
+
+  CompileResult compileUncached() {
+    CompilerOptions Options = options();
+    Options.Cache = nullptr;
+    return compile(Options);
+  }
+
+  uint64_t stat(const CompileResult &R, const std::string &Name) {
+    auto It = R.CacheStats.find(Name);
+    return It == R.CacheStats.end() ? 0 : It->second;
+  }
+
+  std::string render(const CompileResult &R) {
+    return codegen::writeObjectFile(R.Image, Interner);
+  }
+
+  /// A module with three procedures: four plan streams (main + 3).
+  void addCalc(const std::string &SumBody = "RETURN Double(a) + Triple(b)") {
+    Files.addFile("Calc.mod", "MODULE Calc;\n"
+                              "VAR total: INTEGER;\n"
+                              "PROCEDURE Double(x: INTEGER): INTEGER;\n"
+                              "BEGIN RETURN x * 2 END Double;\n"
+                              "PROCEDURE Triple(x: INTEGER): INTEGER;\n"
+                              "BEGIN RETURN x * 3 END Triple;\n"
+                              "PROCEDURE Sum(a, b: INTEGER): INTEGER;\n"
+                              "BEGIN " +
+                                  SumBody +
+                                  " END Sum;\n"
+                                  "BEGIN\n"
+                                  "  total := Sum(2, 3);\n"
+                                  "  WriteInt(total, 0); WriteLn\n"
+                                  "END Calc.\n");
+  }
+};
+
+TEST(CacheTest, HitOnIdenticalRecompile) {
+  CacheFixture T;
+  T.addCalc();
+
+  CompileResult Cold = T.compileCached();
+  ASSERT_TRUE(Cold.Success) << Cold.DiagnosticText;
+  EXPECT_EQ(T.stat(Cold, "cache.module.miss"), 1u);
+  EXPECT_EQ(T.stat(Cold, "cache.stream.miss"), 4u);  // main + 3 procedures
+  EXPECT_EQ(T.stat(Cold, "cache.stream.store"), 4u);
+  EXPECT_EQ(T.stat(Cold, "cache.module.store"), 1u);
+
+  CompileResult Warm = T.compileCached();
+  ASSERT_TRUE(Warm.Success) << Warm.DiagnosticText;
+  EXPECT_EQ(T.stat(Warm, "cache.module.hit"), 1u);
+  EXPECT_EQ(Warm.StreamCount, Cold.StreamCount);
+  EXPECT_EQ(T.render(Warm), T.render(Cold));
+  // The whole-module replay is far cheaper than compiling.
+  EXPECT_LT(Warm.ElapsedUnits, Cold.ElapsedUnits / 2);
+}
+
+TEST(CacheTest, OnlyEditedStreamMissesAfterBodyEdit) {
+  CacheFixture T;
+  T.addCalc();
+  CompileResult Cold = T.compileCached();
+  ASSERT_TRUE(Cold.Success) << Cold.DiagnosticText;
+
+  // Edit one procedure body; the other streams' keys are untouched.
+  T.addCalc("RETURN Double(a) + Triple(b) + 1");
+  CompileResult Warm = T.compileCached();
+  ASSERT_TRUE(Warm.Success) << Warm.DiagnosticText;
+  EXPECT_EQ(T.stat(Warm, "cache.module.invalidated"), 1u);
+  EXPECT_EQ(T.stat(Warm, "cache.stream.hit"), 3u);   // main, Double, Triple
+  EXPECT_EQ(T.stat(Warm, "cache.stream.miss"), 5u);  // cold 4 + edited Sum
+  EXPECT_EQ(T.stat(Warm, "cache.stream.store"), 5u);
+
+  // The warm image equals a from-scratch compile of the edited source.
+  CompileResult Fresh = T.compileUncached();
+  ASSERT_TRUE(Fresh.Success) << Fresh.DiagnosticText;
+  EXPECT_EQ(T.render(Warm), T.render(Fresh));
+}
+
+TEST(CacheTest, HeadingEditInvalidatesOnlyStreamsThatSeeIt) {
+  CacheFixture T;
+  auto AddNested = [&T](const std::string &InnerParam) {
+    T.Files.addFile("Calc.mod",
+                    "MODULE Calc;\n"
+                    "PROCEDURE Double(x: INTEGER): INTEGER;\n"
+                    "BEGIN RETURN x * 2 END Double;\n"
+                    "PROCEDURE Triple(x: INTEGER): INTEGER;\n"
+                    "BEGIN RETURN x * 3 END Triple;\n"
+                    "PROCEDURE Sum(a, b: INTEGER): INTEGER;\n"
+                    "  PROCEDURE Inner(" +
+                        InnerParam +
+                        ": INTEGER): INTEGER;\n"
+                        "  BEGIN RETURN " +
+                        InnerParam +
+                        " + 1 END Inner;\n"
+                        "BEGIN RETURN Inner(Double(a) + Triple(b)) END Sum;\n"
+                        "BEGIN\n"
+                        "  WriteInt(Sum(2, 3), 0); WriteLn\n"
+                        "END Calc.\n");
+  };
+  AddNested("x");
+  CompileResult Cold = T.compileCached();
+  ASSERT_TRUE(Cold.Success) << Cold.DiagnosticText;
+  EXPECT_EQ(T.stat(Cold, "cache.stream.store"), 5u);  // main + 4 procedures
+
+  // A heading edit is a declaration change visible to exactly the streams
+  // whose scope chain contains it.  Renaming Inner's parameter changes
+  // Sum's declarations (and Inner itself), but Inner's heading never
+  // appears in the main stream — so main, Double and Triple all keep
+  // their keys and hit.
+  AddNested("y");
+  CompileResult Warm = T.compileCached();
+  ASSERT_TRUE(Warm.Success) << Warm.DiagnosticText;
+  EXPECT_EQ(T.stat(Warm, "cache.stream.hit"), 3u);  // main, Double, Triple
+  EXPECT_EQ(T.stat(Warm, "cache.stream.miss"),
+            T.stat(Cold, "cache.stream.miss") + 2u);  // Sum and Inner
+
+  CompileResult Fresh = T.compileUncached();
+  ASSERT_TRUE(Fresh.Success) << Fresh.DiagnosticText;
+  EXPECT_EQ(T.render(Warm), T.render(Fresh));
+}
+
+TEST(CacheTest, TopLevelHeadingEditInvalidatesSiblings) {
+  CacheFixture T;
+  T.addCalc();
+  CompileResult Cold = T.compileCached();
+  ASSERT_TRUE(Cold.Success) << Cold.DiagnosticText;
+
+  // A *top-level* heading lives in the main stream's declarations, which
+  // every procedure's key folds in (any sibling may call Sum), so
+  // changing it conservatively invalidates the whole module scope.
+  std::string Mod = T.Files.lookup("Calc.mod")->Text;
+  size_t At = Mod.find("PROCEDURE Sum(a, b: INTEGER): INTEGER;");
+  ASSERT_NE(At, std::string::npos);
+  Mod.replace(At, std::string("PROCEDURE Sum(a, b: INTEGER): INTEGER;").size(),
+              "PROCEDURE Sum(b, a: INTEGER): INTEGER;");
+  T.Files.addFile("Calc.mod", Mod);
+
+  CompileResult Warm = T.compileCached();
+  ASSERT_TRUE(Warm.Success) << Warm.DiagnosticText;
+  EXPECT_EQ(T.stat(Warm, "cache.stream.hit"), 0u);
+  EXPECT_EQ(T.stat(Warm, "cache.stream.miss"),
+            T.stat(Cold, "cache.stream.miss") + 4u);
+}
+
+TEST(CacheTest, EditingImportedInterfaceInvalidatesEveryStream) {
+  CacheFixture T;
+  T.Files.addFile("Scale.def", "DEFINITION MODULE Scale;\n"
+                               "CONST Factor = 10;\n"
+                               "END Scale.\n");
+  T.Files.addFile("Calc.mod", "MODULE Calc;\n"
+                              "FROM Scale IMPORT Factor;\n"
+                              "PROCEDURE Apply(x: INTEGER): INTEGER;\n"
+                              "BEGIN RETURN x * Factor END Apply;\n"
+                              "BEGIN\n"
+                              "  WriteInt(Apply(4), 0); WriteLn\n"
+                              "END Calc.\n");
+  CompileResult Cold = T.compileCached();
+  ASSERT_TRUE(Cold.Success) << Cold.DiagnosticText;
+  EXPECT_EQ(T.stat(Cold, "cache.stream.store"), 2u);  // main + Apply
+
+  // Every stream's key folds in the interface-closure hash, so a .def
+  // edit invalidates all of them even though no .mod text changed.
+  T.Files.addFile("Scale.def", "DEFINITION MODULE Scale;\n"
+                               "CONST Factor = 12;\n"
+                               "END Scale.\n");
+  CompileResult Warm = T.compileCached();
+  ASSERT_TRUE(Warm.Success) << Warm.DiagnosticText;
+  EXPECT_EQ(T.stat(Warm, "cache.module.invalidated"), 1u);
+  EXPECT_EQ(T.stat(Warm, "cache.stream.hit"), 0u);
+  EXPECT_EQ(T.stat(Warm, "cache.stream.miss"), 4u);  // 2 cold + 2 warm
+
+  CompileResult Fresh = T.compileUncached();
+  ASSERT_TRUE(Fresh.Success) << Fresh.DiagnosticText;
+  EXPECT_EQ(T.render(Warm), T.render(Fresh));
+}
+
+TEST(CacheTest, SeparateEntriesPerStrategyAndOptimize) {
+  CacheFixture T;
+  T.addCalc();
+
+  CompilerOptions Skeptical = T.options();
+  CompilerOptions Optimistic = T.options();
+  Optimistic.Strategy = symtab::DkyStrategy::Optimistic;
+  CompilerOptions Optimized = T.options();
+  Optimized.Optimize = true;
+
+  ASSERT_TRUE(T.compile(Skeptical).Success);
+  ASSERT_TRUE(T.compile(Optimistic).Success);
+  CompileResult R = T.compile(Optimized);
+  ASSERT_TRUE(R.Success);
+  // Three configurations, three disjoint key spaces: no hits yet, one
+  // stored module (and stream set) per configuration.
+  EXPECT_EQ(T.stat(R, "cache.module.hit"), 0u);
+  EXPECT_EQ(T.stat(R, "cache.module.miss"), 3u);
+  EXPECT_EQ(T.stat(R, "cache.module.store"), 3u);
+  EXPECT_EQ(T.stat(R, "cache.stream.store"), 12u);
+
+  // Each configuration hits its own entry on recompile.
+  EXPECT_EQ(T.stat(T.compile(Skeptical), "cache.module.hit"), 1u);
+  EXPECT_EQ(T.stat(T.compile(Optimistic), "cache.module.hit"), 2u);
+  EXPECT_EQ(T.stat(T.compile(Optimized), "cache.module.hit"), 3u);
+}
+
+TEST(CacheTest, ByteIdenticalOutputCacheOnVsOffAllStrategies) {
+  for (symtab::DkyStrategy Strategy :
+       {symtab::DkyStrategy::Avoidance, symtab::DkyStrategy::Pessimistic,
+        symtab::DkyStrategy::Skeptical, symtab::DkyStrategy::Optimistic}) {
+    CacheFixture T;
+    T.addCalc();
+    CompilerOptions Options = T.options();
+    Options.Strategy = Strategy;
+
+    CompilerOptions NoCache = Options;
+    NoCache.Cache = nullptr;
+    std::string Reference = T.render(T.compile(NoCache));
+
+    EXPECT_EQ(T.render(T.compile(Options)), Reference)
+        << "cold cached compile diverged, strategy "
+        << static_cast<int>(Strategy);
+    EXPECT_EQ(T.render(T.compile(Options)), Reference)
+        << "warm cached compile diverged, strategy "
+        << static_cast<int>(Strategy);
+
+    // Partially warm: edit a body, recompile, un-edit, recompile.
+    T.addCalc("RETURN Triple(b) + Double(a)");
+    ASSERT_TRUE(T.compile(Options).Success);
+    T.addCalc();
+    EXPECT_EQ(T.render(T.compile(Options)), Reference)
+        << "mixed hit/miss compile diverged, strategy "
+        << static_cast<int>(Strategy);
+  }
+}
+
+TEST(CacheTest, CompilesWithDiagnosticsAreNotCached) {
+  CacheFixture T;
+  // Compiles but warns: the module name differs from the file name.
+  T.Files.addFile("Calc.mod", "MODULE Calx;\n"
+                              "BEGIN WriteLn\n"
+                              "END Calx.\n");
+  CompileResult First = T.compileCached();
+  ASSERT_TRUE(First.Success);
+  EXPECT_NE(First.DiagnosticText, "");
+  EXPECT_EQ(T.stat(First, "cache.module.store"), 0u);
+  EXPECT_EQ(T.stat(First, "cache.stream.store"), 0u);
+
+  // Replaying the entry would lose the warning; it must recompile.
+  CompileResult Second = T.compileCached();
+  ASSERT_TRUE(Second.Success);
+  EXPECT_NE(Second.DiagnosticText, "");
+  EXPECT_EQ(T.stat(Second, "cache.module.hit"), 0u);
+  EXPECT_EQ(T.stat(Second, "cache.stream.hit"), 0u);
+}
+
+TEST(CacheTest, SequentialDriverUsesModuleEntries) {
+  CacheFixture T;
+  T.addCalc();
+  CompilerOptions Options = T.options();
+
+  SequentialCompiler Cold(T.Files, T.Interner, Options);
+  CompileResult R1 = Cold.compile("Calc");
+  ASSERT_TRUE(R1.Success) << R1.DiagnosticText;
+  EXPECT_EQ(T.stat(R1, "cache.module.miss"), 1u);
+  EXPECT_EQ(T.stat(R1, "cache.module.store"), 1u);
+
+  SequentialCompiler Warm(T.Files, T.Interner, Options);
+  CompileResult R2 = Warm.compile("Calc");
+  ASSERT_TRUE(R2.Success) << R2.DiagnosticText;
+  EXPECT_EQ(T.stat(R2, "cache.module.hit"), 1u);
+  EXPECT_EQ(T.render(R2), T.render(R1));
+  EXPECT_LT(R2.ElapsedUnits, R1.ElapsedUnits / 2);
+
+  // The sequential and concurrent drivers keep disjoint entries (their
+  // images differ in scheduling metadata): no cross-driver hit.
+  CompileResult R3 = T.compileCached();
+  ASSERT_TRUE(R3.Success) << R3.DiagnosticText;
+  EXPECT_EQ(T.stat(R3, "cache.module.hit"), 1u);
+  EXPECT_EQ(T.stat(R3, "cache.module.miss"), 2u);
+}
+
+TEST(CacheTest, DiskStorePersistsAcrossCacheInstances) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-test";
+  std::filesystem::remove_all(Dir);
+
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  auto Mod = [&Files]() {
+    Files.addFile("Calc.mod", "MODULE Calc;\n"
+                              "PROCEDURE Id(x: INTEGER): INTEGER;\n"
+                              "BEGIN RETURN x END Id;\n"
+                              "BEGIN WriteInt(Id(7), 0); WriteLn\n"
+                              "END Calc.\n");
+  };
+  Mod();
+
+  std::string ColdText;
+  {
+    cache::CompilationCache Cache(
+        std::make_unique<cache::DiskCacheStore>(Dir.string()));
+    CompilerOptions Options;
+    Options.Cache = &Cache;
+    ConcurrentCompiler C(Files, Interner, Options);
+    CompileResult R = C.compile("Calc");
+    ASSERT_TRUE(R.Success) << R.DiagnosticText;
+    ColdText = codegen::writeObjectFile(R.Image, Interner);
+    EXPECT_GT(Cache.store().size(), 0u);
+  }
+  {
+    // A new cache over the same directory — a fresh process, in effect.
+    cache::CompilationCache Cache(
+        std::make_unique<cache::DiskCacheStore>(Dir.string()));
+    CompilerOptions Options;
+    Options.Cache = &Cache;
+    ConcurrentCompiler C(Files, Interner, Options);
+    CompileResult R = C.compile("Calc");
+    ASSERT_TRUE(R.Success) << R.DiagnosticText;
+    auto It = R.CacheStats.find("cache.module.hit");
+    ASSERT_NE(It, R.CacheStats.end());
+    EXPECT_EQ(It->second, 1u);
+    EXPECT_EQ(codegen::writeObjectFile(R.Image, Interner), ColdText);
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace
