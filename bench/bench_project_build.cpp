@@ -1,0 +1,233 @@
+//===--- bench_project_build.cpp - Build sessions vs per-module loop -------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Measures what a project-level build session buys over compiling the
+// same modules one at a time.  A per-module loop re-lexes and re-parses
+// every interface in each importing module's closure; a session parses
+// each interface once and keeps all processors busy across module
+// boundaries.  Both effects are reported:
+//
+//  * interface parses — closure-sum for the loop vs distinct .def count
+//    for the session (counted by the session's own statistics);
+//  * simulated virtual units — deterministic total work + critical path
+//    on the simulated multiprocessor;
+//  * threaded wall time — real clock, real threads, min over repetitions.
+//
+// Before any number is reported the two modes are checked equivalent:
+// byte-identical per-module images, and identical program output when
+// linked and run.
+//
+//   bench_project_build [--quick]   (--quick: 1 repetition, small project)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "build/BuildSession.h"
+#include "codegen/Linker.h"
+#include "codegen/ObjectFile.h"
+#include "vm/VM.h"
+
+#include <map>
+#include <string>
+
+using namespace m2c;
+using namespace m2c::bench;
+
+namespace {
+
+double toMs(uint64_t WallNs) { return static_cast<double>(WallNs) / 1e6; }
+
+driver::CompilerOptions options(driver::ExecutorKind Kind) {
+  driver::CompilerOptions Options;
+  Options.Executor = Kind;
+  Options.Processors = 4;
+  return Options;
+}
+
+uint64_t stat(const std::map<std::string, uint64_t> &Stats,
+              const std::string &Name) {
+  auto It = Stats.find(Name);
+  return It == Stats.end() ? 0 : It->second;
+}
+
+/// One mode's outcome over a whole project.
+struct ModeResult {
+  uint64_t Units = 0;           ///< Virtual units / wall ns, per executor.
+  uint64_t InterfaceParses = 0; ///< Definition modules lexed + parsed.
+  std::map<std::string, std::string> Images; ///< Module -> rendered .mco.
+  std::string Output;                        ///< Linked program output.
+};
+
+std::string linkAndRun(std::vector<codegen::ModuleImage> Images,
+                       StringInterner &Interner, const std::string &Main) {
+  codegen::Linker Link(Interner);
+  for (codegen::ModuleImage &I : Images)
+    Link.addImage(std::move(I));
+  codegen::LinkedProgram Program = Link.link();
+  if (!Program.ok()) {
+    std::fprintf(stderr, "FATAL: project failed to link\n");
+    for (const std::string &E : Program.errors())
+      std::fprintf(stderr, "  %s\n", E.c_str());
+    std::exit(1);
+  }
+  vm::VM Machine(Program, Interner);
+  vm::VM::RunResult Run = Machine.run(Interner.intern(Main));
+  if (Run.Trapped) {
+    std::fprintf(stderr, "FATAL: %s\n", Run.TrapMessage.c_str());
+    std::exit(1);
+  }
+  return Run.Output;
+}
+
+/// The baseline: each module through its own ConcurrentCompiler, its own
+/// executor, its own interface set.
+ModeResult perModuleLoop(VirtualFileSystem &Files,
+                         const workload::GeneratedProject &P,
+                         driver::ExecutorKind Kind) {
+  ModeResult R;
+  StringInterner Interner;
+  std::vector<codegen::ModuleImage> Images;
+  uint64_t StreamSum = 0, ProcStreams = 0;
+  for (const std::string &Name : P.Modules) {
+    driver::ConcurrentCompiler C(Files, Interner, options(Kind));
+    driver::CompileResult CR = C.compile(Name);
+    if (!CR.Success) {
+      std::fprintf(stderr, "FATAL: %s failed to compile:\n%s", Name.c_str(),
+                   CR.DiagnosticText.c_str());
+      std::exit(1);
+    }
+    R.Units += CR.ElapsedUnits;
+    StreamSum += CR.StreamCount;
+    for (const codegen::CodeUnit &U : CR.Image.Units)
+      ProcStreams += U.QualifiedName.find('.') != std::string::npos;
+    R.Images[Name] = codegen::writeObjectFile(CR.Image, Interner);
+    Images.push_back(std::move(CR.Image));
+  }
+  // StreamCount = 1 (main) + procedure streams + interface closure, so
+  // the loop's interface parses are the closure sizes summed.
+  R.InterfaceParses = StreamSum - P.Modules.size() - ProcStreams;
+  R.Output = linkAndRun(std::move(Images), Interner, P.Root);
+  return R;
+}
+
+/// One build session over the whole import graph.
+ModeResult buildSession(VirtualFileSystem &Files,
+                        const workload::GeneratedProject &P,
+                        driver::ExecutorKind Kind) {
+  ModeResult R;
+  StringInterner Interner;
+  build::BuildSession Session(Files, Interner, options(Kind));
+  build::BuildResult BR = Session.build({P.Root});
+  if (!BR.Success) {
+    std::fprintf(stderr, "FATAL: session failed:\n%s",
+                 BR.DiagnosticText.c_str());
+    std::exit(1);
+  }
+  R.Units = BR.ElapsedUnits;
+  R.InterfaceParses = stat(BR.BuildStats, "build.interface.parses");
+  std::vector<codegen::ModuleImage> Images;
+  for (build::ModuleBuild &M : BR.Modules) {
+    R.Images[M.Name] = codegen::writeObjectFile(M.Image, Interner);
+    Images.push_back(std::move(M.Image));
+  }
+  R.Output = linkAndRun(std::move(Images), Interner, P.Root);
+  return R;
+}
+
+void checkEquivalent(const ModeResult &Loop, const ModeResult &Session) {
+  if (Loop.Images != Session.Images) {
+    std::fprintf(stderr,
+                 "FATAL: session images differ from per-module images\n");
+    std::exit(1);
+  }
+  if (Loop.Output != Session.Output) {
+    std::fprintf(stderr, "FATAL: linked program output differs\n");
+    std::exit(1);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--quick";
+  const int Reps = Quick ? 1 : 5;
+
+  std::vector<workload::ProjectSpec> Specs;
+  {
+    workload::ProjectSpec Small;
+    Small.Name = "Small";
+    Small.NumModules = 4;
+    Small.SharedInterfaces = 2;
+    Specs.push_back(Small);
+    if (!Quick) {
+      workload::ProjectSpec Large;
+      Large.Name = "Large";
+      Large.NumModules = 12;
+      Large.SharedInterfaces = 6;
+      Large.ProcsPerModule = 10;
+      Large.Seed = 23;
+      Specs.push_back(Large);
+    }
+  }
+
+  std::printf("Project build sessions vs per-module compile loop "
+              "(4 CPUs, %d rep%s)\n",
+              Reps, Reps == 1 ? "" : "s");
+
+  for (const workload::ProjectSpec &Spec : Specs) {
+    VirtualFileSystem Files;
+    workload::WorkloadGenerator Gen(Files);
+    workload::GeneratedProject P = Gen.generateProject(Spec);
+
+    std::printf("\n%s: %zu modules (%u library + %u shared + root), "
+                "%zu interfaces\n",
+                Spec.Name.c_str(), P.Modules.size(), Spec.NumModules,
+                Spec.SharedInterfaces, P.InterfaceCount);
+
+    // Deterministic comparison on the simulated multiprocessor, plus the
+    // equivalence check both wall-clock modes then rely on.
+    ModeResult Loop = perModuleLoop(Files, P, driver::ExecutorKind::Simulated);
+    ModeResult Session = buildSession(Files, P, driver::ExecutorKind::Simulated);
+    checkEquivalent(Loop, Session);
+
+    std::printf("  %-18s %14s %18s\n", "simulated", "virtual units",
+                "interface parses");
+    std::printf("  %-18s %14llu %18llu\n", "per-module loop",
+                static_cast<unsigned long long>(Loop.Units),
+                static_cast<unsigned long long>(Loop.InterfaceParses));
+    std::printf("  %-18s %14llu %18llu\n", "build session",
+                static_cast<unsigned long long>(Session.Units),
+                static_cast<unsigned long long>(Session.InterfaceParses));
+    std::printf("  session/loop       %13.2fx\n",
+                static_cast<double>(Session.Units) /
+                    static_cast<double>(Loop.Units));
+
+    // Real threads, real clock; min over repetitions.
+    std::vector<double> LoopMs, SessionMs;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      ModeResult L = perModuleLoop(Files, P, driver::ExecutorKind::Threaded);
+      ModeResult S = buildSession(Files, P, driver::ExecutorKind::Threaded);
+      checkEquivalent(L, S);
+      LoopMs.push_back(toMs(L.Units));
+      SessionMs.push_back(toMs(S.Units));
+    }
+    Summary L = summarize(LoopMs), S = summarize(SessionMs);
+    std::printf("  %-18s %11.1f ms min %8.1f ms median\n", "threaded loop",
+                L.Min, L.Median);
+    std::printf("  %-18s %11.1f ms min %8.1f ms median\n", "threaded session",
+                S.Min, S.Median);
+    std::printf("  session/loop       %13.2fx (min)\n", S.Min / L.Min);
+
+    if (Session.Units >= Loop.Units || S.Min >= L.Min) {
+      std::fprintf(stderr, "FATAL: session did not beat the per-module "
+                           "loop\n");
+      return 1;
+    }
+  }
+  std::printf("\nequivalence: per-module and session images byte-identical; "
+              "linked outputs identical\n");
+  return 0;
+}

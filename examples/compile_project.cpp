@@ -1,18 +1,19 @@
-//===--- compile_project.cpp - Separate compilation and linking ------------===//
+//===--- compile_project.cpp - Whole-project build sessions ----------------===//
 //
 // Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
 // "A Concurrent Compiler for Modula-2+" (PLDI 1992).
 //
-// A multi-module project in the paper's compilation model: each module M
-// is compiled separately from M.mod against the .def interfaces of its
-// imports (never their implementations); the per-module images are then
-// linked by qualified procedure name and executed.  Interfaces imported
-// directly or indirectly become definition-module streams of each
-// compilation — the left column of the paper's Figure 5.
+// A multi-module project compiled as ONE build session: the import graph
+// is discovered from the root module, and every reachable implementation
+// module's task pipeline (the paper's Figure 5) is scheduled under one
+// shared executor.  Imported .def interfaces are parsed exactly once per
+// session no matter how many modules import them; the per-module images
+// are then linked by qualified procedure name and executed.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/ConcurrentCompiler.h"
+#include "build/BuildSession.h"
+#include "codegen/Linker.h"
 #include "vm/VM.h"
 
 #include <cstdio>
@@ -103,26 +104,33 @@ int main() {
   Options.Executor = driver::ExecutorKind::Threaded;
   Options.Processors = 4;
 
-  vm::Program Program(Names);
-  for (const char *Module : {"Stacks", "Stats", "Report"}) {
-    driver::ConcurrentCompiler Compiler(Files, Names, Options);
-    driver::CompileResult R = Compiler.compile(Module);
-    if (!R.Success) {
-      std::fprintf(stderr, "%s failed to compile:\n%s", Module,
-                   R.DiagnosticText.c_str());
-      return 1;
-    }
-    std::printf("%-8s: %2zu streams, %2zu code units\n", Module,
-                R.StreamCount, R.Image.Units.size());
-    Program.addImage(std::move(R.Image));
+  // One session: Stacks and Stats are discovered from Report's imports,
+  // all three pipelines share one executor and one interface set.
+  build::BuildSession Session(Files, Names, Options);
+  build::BuildResult R = Session.build({"Report"});
+  if (!R.Success) {
+    std::fprintf(stderr, "build failed:\n%s", R.DiagnosticText.c_str());
+    return 1;
   }
+  for (const build::ModuleBuild &M : R.Modules)
+    std::printf("%-8s: %2zu streams, %2zu code units\n", M.Name.c_str(),
+                M.StreamCount, M.Image.Units.size());
+  std::printf("session : %llu interface parses for %llu importing streams\n",
+              static_cast<unsigned long long>(
+                  R.BuildStats.at("build.interface.parses")),
+              static_cast<unsigned long long>(
+                  R.BuildStats.at("build.modules.total")));
 
-  if (!Program.link()) {
+  codegen::Linker Link(Names);
+  for (build::ModuleBuild &M : R.Modules)
+    Link.addImage(std::move(M.Image));
+  codegen::LinkedProgram Program = Link.link();
+  if (!Program.ok()) {
     for (const std::string &E : Program.errors())
       std::fprintf(stderr, "link error: %s\n", E.c_str());
     return 1;
   }
-  vm::VM Machine(Program);
+  vm::VM Machine(Program, Names);
   vm::VM::RunResult Run = Machine.run(Names.intern("Report"));
   if (Run.Trapped) {
     std::fprintf(stderr, "runtime trap: %s\n", Run.TrapMessage.c_str());

@@ -17,6 +17,12 @@
 //     -c             write each compiled module to Module.mco
 //     -cache DIR     keep a persistent compilation cache in DIR
 //     -cache-stats   print cache hit/miss counters after each compile
+//     -project       treat the positional modules as build-session roots:
+//                    discover their import graph and compile every
+//                    reachable module under ONE executor (interfaces
+//                    parsed once per session)
+//     -stats         print per-session scheduler/cache/build counters
+//                    (project mode)
 //
 // Module files are looked up as Module.mod / Module.def in the current
 // directory.  A positional argument ending in ".mco" is loaded as a
@@ -24,7 +30,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "build/BuildSession.h"
 #include "cache/CompilationCache.h"
+#include "codegen/Linker.h"
 #include "codegen/ObjectFile.h"
 #include "driver/ConcurrentCompiler.h"
 #include "driver/SequentialCompiler.h"
@@ -45,8 +53,79 @@ int usage() {
   std::fprintf(stderr,
                "usage: m2c_cli [-j N] [-seq] [-sim] [-dky STRATEGY] "
                "[-trace] [-run] [-dump] [-c] [-cache DIR] [-cache-stats] "
-               "Module...\n");
+               "[-project] [-stats] Module...\n");
   return 2;
+}
+
+void printCounters(const char *Heading,
+                   const std::map<std::string, uint64_t> &Stats) {
+  if (Stats.empty())
+    return;
+  std::printf("%s:\n", Heading);
+  for (const auto &[Counter, Value] : Stats)
+    std::printf("  %-28s = %llu\n", Counter.c_str(),
+                static_cast<unsigned long long>(Value));
+}
+
+/// -project: one build session over all roots, then link/run/dump from
+/// the session's images.
+int runProject(VirtualFileSystem &Files, StringInterner &Names,
+               driver::CompilerOptions Options,
+               const std::vector<std::string> &Roots, bool Run, bool Dump,
+               bool EmitObjects, bool Stats, bool CacheStats) {
+  build::BuildSession Session(Files, Names, std::move(Options));
+  build::BuildResult R = Session.build(Roots);
+  std::fputs(R.DiagnosticText.c_str(), stderr);
+  for (const build::ModuleBuild &M : R.Modules)
+    std::printf("%-12s: %2zu streams, %2zu units%s%s\n", M.Name.c_str(),
+                M.StreamCount, M.Image.Units.size(),
+                M.FromCache ? " (cached)" : "",
+                M.PlanDropped ? " (plan dropped)" : "");
+  if (R.SimSeconds > 0)
+    std::printf("session     : %zu modules, %.2f simulated s\n",
+                R.Modules.size(), R.SimSeconds);
+  else
+    std::printf("session     : %zu modules, %.1f ms\n", R.Modules.size(),
+                static_cast<double>(R.ElapsedUnits) / 1e6);
+  if (Stats) {
+    printCounters("build", R.BuildStats);
+    printCounters("scheduler", R.SchedStats);
+  }
+  if (Stats || CacheStats)
+    printCounters("cache", R.CacheStats);
+  if (!R.Success)
+    return 1;
+
+  if (Dump)
+    for (const build::ModuleBuild &M : R.Modules)
+      for (const codegen::CodeUnit &U : M.Image.Units)
+        std::printf("%s\n", U.dump(Names).c_str());
+  if (EmitObjects)
+    for (const build::ModuleBuild &M : R.Modules) {
+      std::ofstream Out(M.Name + ".mco", std::ios::binary);
+      Out << codegen::writeObjectFile(M.Image, Names);
+      std::printf("wrote %s.mco\n", M.Name.c_str());
+    }
+  if (!Run)
+    return 0;
+
+  codegen::Linker Link(Names);
+  for (build::ModuleBuild &M : R.Modules)
+    Link.addImage(std::move(M.Image));
+  codegen::LinkedProgram Program = Link.link();
+  if (!Program.ok()) {
+    for (const std::string &E : Program.errors())
+      std::fprintf(stderr, "link error: %s\n", E.c_str());
+    return 1;
+  }
+  vm::VM Machine(Program, Names);
+  vm::VM::RunResult Result = Machine.run(Names.intern(Roots.back()));
+  std::fputs(Result.Output.c_str(), stdout);
+  if (Result.Trapped) {
+    std::fprintf(stderr, "runtime trap: %s\n", Result.TrapMessage.c_str());
+    return 1;
+  }
+  return static_cast<int>(Result.ExitCode);
 }
 
 } // namespace
@@ -56,7 +135,8 @@ int main(int Argc, char **Argv) {
   Options.Executor = driver::ExecutorKind::Threaded;
   Options.Processors = 4;
   bool Sequential = false, Trace = false, Run = false, Dump = false;
-  bool EmitObjects = false, CacheStats = false;
+  bool EmitObjects = false, CacheStats = false, Project = false;
+  bool Stats = false;
   std::string CacheDir;
   std::vector<std::string> Modules;
 
@@ -94,6 +174,10 @@ int main(int Argc, char **Argv) {
       CacheDir = Argv[++I];
     } else if (Arg == "-cache-stats") {
       CacheStats = true;
+    } else if (Arg == "-project") {
+      Project = true;
+    } else if (Arg == "-stats") {
+      Stats = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -121,6 +205,16 @@ int main(int Argc, char **Argv) {
     Cache = std::make_unique<cache::CompilationCache>(
         std::make_unique<cache::DiskCacheStore>(CacheDir));
     Options.Cache = Cache.get();
+  }
+
+  if (Project) {
+    if (Sequential) {
+      std::fprintf(stderr, "-project uses the concurrent compiler; "
+                           "-seq is not supported\n");
+      return 2;
+    }
+    return runProject(Files, Names, std::move(Options), Modules, Run, Dump,
+                      EmitObjects, Stats, CacheStats);
   }
 
   vm::Program Program(Names);

@@ -1,0 +1,224 @@
+//===--- BuildSession.cpp - Whole-project concurrent builds ---------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "build/BuildSession.h"
+
+#include "build/BuildGraph.h"
+#include "build/InterfaceSet.h"
+#include "build/ModulePipeline.h"
+#include "build/TaskSpawner.h"
+#include "cache/CachePlanner.h"
+#include "cache/CompilationCache.h"
+#include "sched/SimulatedExecutor.h"
+#include "sched/ThreadedExecutor.h"
+#include "sema/Compilation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <unordered_map>
+
+using namespace m2c;
+using namespace m2c::build;
+using namespace m2c::driver;
+using namespace m2c::sched;
+using namespace m2c::sema;
+
+const ModuleBuild *BuildResult::module(std::string_view Name) const {
+  for (const ModuleBuild &M : Modules)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
+  BuildResult Result;
+  auto Comp = std::make_shared<Compilation>(
+      Files, Interner,
+      CompilationOptions{Options.Strategy, Options.Sharing,
+                         Options.Optimize});
+  Result.Compilation = Comp;
+
+  bool Threaded = Options.Executor == ExecutorKind::Threaded;
+  uint64_t SideUnits = 0;  // discovery + cache work, virtual units
+  uint64_t SideWallNs = 0; // the same work in wall time
+  using Clock = std::chrono::steady_clock;
+  auto WallSince = [](Clock::time_point From) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             From)
+            .count());
+  };
+
+  // Discovery: close over the import graph before anything is scheduled.
+  // Charged like any other sequential phase so session times stay honest.
+  BuildGraph Graph;
+  uint64_t DiscoveryUnits = 0;
+  {
+    SequentialContext Ctx(Options.Cost);
+    ScopedContext Installed(Ctx);
+    auto Start = Clock::now();
+    Graph = BuildGraph::discover(Files, Interner, Comp->Builtins, Roots);
+    DiscoveryUnits = Ctx.elapsedUnits();
+    SideUnits += DiscoveryUnits;
+    SideWallNs += WallSince(Start);
+  }
+  for (const std::string &Root : Roots) {
+    const BuildNode *N = Graph.node(Interner.intern(Root));
+    if (!N || !N->HasImpl)
+      Comp->Diags.error(SourceLocation(),
+                        "cannot find module file '" +
+                            VirtualFileSystem::modFileName(Root) + "'");
+  }
+
+  // Cache prepass, module by module.  Whole-module hits never get a
+  // pipeline; everything else carries its plan into the shared run.
+  struct PendingModule {
+    Symbol Name;
+    std::optional<cache::CachePlan> Plan;
+  };
+  std::vector<PendingModule> Pending;
+  for (Symbol Mod : Graph.compileOrder()) {
+    std::string_view Spelling = Interner.spelling(Mod);
+    if (!Options.Cache) {
+      Pending.push_back({Mod, std::nullopt});
+      continue;
+    }
+    auto Start = Clock::now();
+    cache::CachePlanner Planner(
+        Files, Interner, *Options.Cache,
+        cache::CacheFingerprint{Options.Strategy, Options.Sharing,
+                                Options.Optimize, "conc"},
+        Options.Cost);
+    cache::CachePlan Plan = Planner.plan(Spelling);
+    SideUnits += Plan.ProbeUnits;
+    SideWallNs += WallSince(Start);
+    if (Plan.ModuleHit) {
+      ModuleBuild MB;
+      MB.Name = std::string(Spelling);
+      MB.Image = std::move(Plan.Module->Image);
+      MB.FromCache = true;
+      MB.StreamCount = static_cast<size_t>(Plan.Module->StreamCount);
+      Result.Modules.push_back(std::move(MB));
+      continue;
+    }
+    Pending.push_back({Mod, std::move(Plan)});
+  }
+
+  // The shared run: every pending module's pipeline on ONE executor, all
+  // interfaces parsed once by one InterfaceSet.
+  uint64_t InterfaceStreams = 0;
+  uint64_t InterfaceParses = 0;
+  uint64_t ProcStreams = 0;
+  if (!Pending.empty()) {
+    std::unique_ptr<Executor> Exec;
+    if (Threaded)
+      Exec = std::make_unique<ThreadedExecutor>(Options.Processors,
+                                                Options.Cost);
+    else
+      Exec = std::make_unique<SimulatedExecutor>(Options.Processors,
+                                                 Options.Cost);
+    Exec->setActivitySink(Options.Trace);
+
+    TaskSpawner Spawner(*Exec);
+    InterfaceSet Defs(*Comp, Spawner);
+    std::vector<std::unique_ptr<ModulePipeline>> Pipelines;
+    {
+      // Setup replays cached main-stream units; charge that to the cache
+      // ledger, not the executor.  Pipelines are wired imports-first so
+      // interface streams start before their importers are scheduled.
+      SequentialContext Ctx(Options.Cost);
+      ScopedContext Installed(Ctx);
+      auto Start = Clock::now();
+      for (PendingModule &PM : Pending) {
+        auto Pipe = std::make_unique<ModulePipeline>(
+            Options, *Comp, Interner.spelling(PM.Name), Spawner);
+        if (PM.Plan && PM.Plan->Valid)
+          Pipe->setPlan(&*PM.Plan);
+        Pipe->setup();
+        Pipelines.push_back(std::move(Pipe));
+      }
+      SideUnits += Ctx.elapsedUnits();
+      SideWallNs += WallSince(Start);
+    }
+    Spawner.enterRun();
+    Exec->run();
+
+    for (size_t I = 0; I < Pipelines.size(); ++I) {
+      ModulePipeline &Pipe = *Pipelines[I];
+      ModuleBuild MB;
+      MB.Name = std::string(Interner.spelling(Pipe.moduleName()));
+      MB.Image = Pipe.finalizeImage();
+      MB.PlanDropped = Pipe.planDropped();
+      // Stream-count parity with a single-module compile of this module:
+      // 1 main stream + its procedure streams + its own interface
+      // closure (the session shares def streams, so the session total is
+      // smaller than the sum of these).
+      MB.StreamCount = 1 + Pipe.procStreamCount() +
+                       Graph.interfaceClosure(Pipe.moduleName());
+      ProcStreams += Pipe.procStreamCount();
+      Result.Modules.push_back(std::move(MB));
+    }
+
+    // Store phase: the gate is session-wide — only a completely clean
+    // session stores, so a replayed entry never owes a diagnostic from
+    // any module — plus per-module plan integrity.
+    if (Options.Cache && Comp->Diags.count() == 0) {
+      SequentialContext Ctx(Options.Cost);
+      ScopedContext Installed(Ctx);
+      auto Start = Clock::now();
+      for (size_t I = 0; I < Pipelines.size(); ++I) {
+        ModulePipeline &Pipe = *Pipelines[I];
+        if (!Pipe.plan() || Pipe.planDropped())
+          continue;
+        const ModuleBuild *MB =
+            Result.module(Interner.spelling(Pipe.moduleName()));
+        storeCacheEntries(*Options.Cache, *Pipe.plan(), MB->Image,
+                          static_cast<uint64_t>(MB->StreamCount), Interner);
+      }
+      SideUnits += Ctx.elapsedUnits();
+      SideWallNs += WallSince(Start);
+    }
+
+    InterfaceStreams = Defs.streamCount();
+    InterfaceParses = Defs.parseCount();
+    Result.ElapsedUnits = Exec->elapsedUnits();
+    Result.SchedStats = Exec->stats().snapshot();
+  }
+
+  // Cached modules were recorded during the prepass, compiled ones after
+  // the run; restore imports-first order for the caller.
+  {
+    std::unordered_map<std::string_view, size_t> OrderIndex;
+    for (size_t I = 0; I < Graph.compileOrder().size(); ++I)
+      OrderIndex.emplace(Interner.spelling(Graph.compileOrder()[I]), I);
+    std::stable_sort(Result.Modules.begin(), Result.Modules.end(),
+                     [&OrderIndex](const ModuleBuild &A,
+                                   const ModuleBuild &B) {
+                       return OrderIndex[A.Name] < OrderIndex[B.Name];
+                     });
+  }
+
+  Result.Success = !Comp->Diags.hasErrors();
+  Result.DiagnosticText = Comp->Diags.render(&Files);
+  Result.ElapsedUnits += Threaded ? SideWallNs : SideUnits;
+  if (!Threaded)
+    Result.SimSeconds = static_cast<double>(Result.ElapsedUnits) /
+                        static_cast<double>(Options.Cost.UnitsPerSecond);
+  if (Options.Cache)
+    Result.CacheStats = Options.Cache->stats().snapshot();
+
+  Result.BuildStats["build.modules.total"] = Graph.compileOrder().size();
+  Result.BuildStats["build.modules.compiled"] = Pending.size();
+  Result.BuildStats["build.modules.cached"] =
+      Graph.compileOrder().size() - Pending.size();
+  Result.BuildStats["build.interface.streams"] = InterfaceStreams;
+  Result.BuildStats["build.interface.parses"] = InterfaceParses;
+  Result.BuildStats["build.proc.streams"] = ProcStreams;
+  Result.BuildStats["build.discovery.units"] = DiscoveryUnits;
+  return Result;
+}

@@ -1,0 +1,84 @@
+//===--- InterfaceSet.cpp - Definition-module streams ----------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "build/InterfaceSet.h"
+
+#include "lex/Lexer.h"
+#include "parse/Parser.h"
+#include "sema/DeclAnalyzer.h"
+#include "split/Importer.h"
+
+using namespace m2c;
+using namespace m2c::build;
+using namespace m2c::sched;
+using namespace m2c::sema;
+
+InterfaceSet::InterfaceSet(Compilation &Comp, TaskSpawner &Spawner)
+    : Comp(Comp), Spawner(Spawner) {
+  Comp.Modules.setStarter([this](Symbol Name, symtab::Scope &ModScope) {
+    startDefStream(Name, ModScope);
+  });
+}
+
+size_t InterfaceSet::streamCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Streams.size();
+}
+
+void InterfaceSet::startDefStream(Symbol Name, symtab::Scope &ModScope) {
+  auto Owned = std::make_unique<DefStream>(
+      "def." + std::string(Comp.Interner.spelling(Name)));
+  DefStream *S = Owned.get();
+  S->Name = Name;
+  S->ModScope = &ModScope;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Streams.push_back(std::move(Owned));
+  }
+
+  std::string FileName =
+      VirtualFileSystem::defFileName(Comp.Interner.spelling(Name));
+  const SourceBuffer *Buf = Comp.Files.lookup(FileName);
+  if (!Buf) {
+    Comp.Diags.error(SourceLocation(),
+                     "cannot find interface file '" + FileName + "'");
+    ModScope.markComplete();
+    return;
+  }
+
+  S->ParserTask = makeTask("parse." + FileName, TaskClass::DefModParserDecl,
+                           [this, S] { defParserTask(*S); });
+  ModScope.completionEvent()->setResolver(S->ParserTask.get());
+
+  Spawner.spawn(makeTask("lex." + FileName, TaskClass::Lexor, [this, S, Buf] {
+    Lexer Lex(*Buf, Comp.Interner, Comp.Diags);
+    Lex.lexAll(S->Queue);
+  }));
+  Spawner.spawn(makeTask("import." + FileName, TaskClass::Importer, [this, S] {
+    Importer Imp(TokenBlockQueue::Reader(S->Queue), Comp.Modules,
+                 Comp.Interner);
+    Imp.run();
+  }));
+  Spawner.spawn(S->ParserTask);
+}
+
+void InterfaceSet::defParserTask(DefStream &S) {
+  Parses.fetch_add(1, std::memory_order_relaxed);
+  Parser P(TokenBlockQueue::Reader(S.Queue), S.Arena, Comp.Diags,
+           ParserMode::Sequential);
+  Parser::ModuleIntro Intro = P.parseModuleIntro();
+  if (!Intro.IsDefinition)
+    Comp.Diags.error(Intro.Loc, "expected a DEFINITION MODULE");
+  DeclAnalyzer DA(Comp, *S.ModScope, S.Name);
+  DA.analyzeImports(Intro.Imports);
+  // Declarations analyzed as they parse, so Skeptical searchers probing
+  // this (incomplete) interface can succeed before it completes.
+  P.setDeclSink([&DA](ast::Decl *D) { DA.analyzeDecl(D); });
+  P.parseTopDecls(/*HeadingsOnly=*/true);
+  P.parseDefModuleEnd();
+  DA.finish();
+}

@@ -1,0 +1,77 @@
+//===--- InterfaceSet.h - Definition-module streams -------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The left column of the paper's Figure 5: one Lexor -> Importer ->
+/// Parser/DeclAnalyzer pipeline per imported definition module.  Streams
+/// are started by the module registry's once-only table the first time
+/// any Importer or declaration analyzer discovers a module, so each
+/// interface is processed exactly once per compilation — and, when the
+/// InterfaceSet is shared by a whole BuildSession, exactly once per
+/// *session* no matter how many implementation modules import it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_BUILD_INTERFACESET_H
+#define M2C_BUILD_INTERFACESET_H
+
+#include "ast/AST.h"
+#include "build/TaskSpawner.h"
+#include "lex/TokenBlockQueue.h"
+#include "sema/Compilation.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace m2c::build {
+
+/// Owns every definition-module stream of one run (or one session) and
+/// installs itself as the module registry's stream starter.
+class InterfaceSet {
+public:
+  /// Installs the once-only stream starter on \p Comp's module registry.
+  /// The InterfaceSet must outlive the executor run.
+  InterfaceSet(sema::Compilation &Comp, TaskSpawner &Spawner);
+  InterfaceSet(const InterfaceSet &) = delete;
+  InterfaceSet &operator=(const InterfaceSet &) = delete;
+
+  /// Number of definition-module streams started.
+  size_t streamCount() const;
+
+  /// Number of definition-module parser tasks that actually ran — the
+  /// "each interface parsed once" counter build sessions assert on.
+  uint64_t parseCount() const {
+    return Parses.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One definition-module stream.
+  struct DefStream {
+    Symbol Name;
+    symtab::Scope *ModScope = nullptr;
+    TokenBlockQueue Queue;
+    ast::ASTArena Arena;
+    sched::TaskPtr ParserTask;
+
+    explicit DefStream(std::string QueueName) : Queue(std::move(QueueName)) {}
+  };
+
+  void startDefStream(Symbol Name, symtab::Scope &ModScope);
+  void defParserTask(DefStream &S);
+
+  sema::Compilation &Comp;
+  TaskSpawner &Spawner;
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<DefStream>> Streams;
+  std::atomic<uint64_t> Parses{0};
+};
+
+} // namespace m2c::build
+
+#endif // M2C_BUILD_INTERFACESET_H

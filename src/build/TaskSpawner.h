@@ -1,0 +1,58 @@
+//===--- TaskSpawner.h - Executor-or-context task submission ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tasks are created both while a run is being wired up (before
+/// Executor::run()) and from inside already-running tasks (the Splitter
+/// and Importer start new streams mid-run).  The first kind must go to
+/// the executor directly; the second must go through the current
+/// ExecContext so each executor can apply its own scheduling policy.
+/// TaskSpawner routes both correctly and is shared by every pipeline and
+/// interface stream of one run — a build session submits the task graphs
+/// of many modules through one spawner onto one executor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_BUILD_TASKSPAWNER_H
+#define M2C_BUILD_TASKSPAWNER_H
+
+#include "sched/ExecContext.h"
+#include "sched/Executor.h"
+
+#include <atomic>
+
+namespace m2c::build {
+
+/// Routes task submission correctly both before Executor::run() (to the
+/// executor) and from inside running tasks (to the current context).
+class TaskSpawner {
+public:
+  explicit TaskSpawner(sched::Executor &Exec) : Exec(Exec) {}
+  TaskSpawner(const TaskSpawner &) = delete;
+  TaskSpawner &operator=(const TaskSpawner &) = delete;
+
+  void spawn(sched::TaskPtr T) {
+    if (InsideRun.load(std::memory_order_acquire))
+      sched::ctx().spawn(std::move(T));
+    else
+      Exec.spawn(std::move(T));
+  }
+
+  /// Call immediately before Executor::run(): from here on, new tasks are
+  /// submitted through the spawning task's execution context.
+  void enterRun() { InsideRun.store(true, std::memory_order_release); }
+
+  sched::Executor &executor() { return Exec; }
+
+private:
+  sched::Executor &Exec;
+  std::atomic<bool> InsideRun{false};
+};
+
+} // namespace m2c::build
+
+#endif // M2C_BUILD_TASKSPAWNER_H

@@ -1,0 +1,154 @@
+//===--- Linker.cpp - Cross-module qualified-name linking -----------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Linker.h"
+
+#include <functional>
+
+using namespace m2c;
+using namespace m2c::codegen;
+
+int32_t LinkedProgram::findUnit(Symbol Module, const std::string &Name) const {
+  auto It =
+      UnitByName.find(std::string(Names->spelling(Module)) + "." + Name);
+  return It == UnitByName.end() ? -1 : It->second;
+}
+
+LinkedProgram Linker::link() {
+  LinkedProgram P;
+  P.Names = &Names;
+  P.Images = std::move(Images);
+  Images.clear();
+
+  for (size_t M = 0; M < P.Images.size(); ++M) {
+    if (!P.ModuleBySymbol
+             .emplace(P.Images[M].ModuleName.id(), static_cast<int32_t>(M))
+             .second) {
+      P.Errors.push_back("duplicate module '" +
+                         std::string(Names.spelling(P.Images[M].ModuleName)) +
+                         "'");
+      continue;
+    }
+    for (const CodeUnit &U : P.Images[M].Units) {
+      // Procedure qualified names already carry the module prefix; body
+      // units get a reserved suffix so they never clash with procedures.
+      std::string Key =
+          U.IsModuleBody ? U.QualifiedName + ".<body>" : U.QualifiedName;
+      LinkedUnit LU;
+      LU.Unit = &U;
+      LU.ModuleIndex = static_cast<int32_t>(M);
+      P.Units.push_back(std::move(LU));
+      if (!P.UnitByName
+               .emplace(Key, static_cast<int32_t>(P.Units.size() - 1))
+               .second)
+        P.Errors.push_back("duplicate code unit '" + Key + "'");
+    }
+  }
+
+  // Validate units before resolving: images may come from .mco files on
+  // disk, so every operand that indexes a per-unit table or the frame
+  // must be checked once here instead of trusted at execution time.
+  for (const LinkedUnit &LU : P.Units) {
+    const CodeUnit &U = *LU.Unit;
+    if (U.Params.size() > U.FrameSize)
+      P.Errors.push_back("unit '" + U.QualifiedName +
+                         "' declares more parameters than frame slots");
+    auto Bad = [&](size_t Pc, const char *What) {
+      P.Errors.push_back("unit '" + U.QualifiedName + "' +" +
+                         std::to_string(Pc) + ": " + What);
+    };
+    for (size_t Pc = 0; Pc < U.Code.size(); ++Pc) {
+      const Instr &In = U.Code[Pc];
+      switch (In.Op) {
+      case Opcode::LoadLocal:
+      case Opcode::StoreLocal:
+      case Opcode::LoadLocalRef:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.FrameSize))
+          Bad(Pc, "frame slot out of range");
+        break;
+      // LoadEnclosing/StoreEnclosing/LoadEnclosingRef index the enclosing
+      // procedure's frame, whose size is not knowable per-unit here; the
+      // interpreter bounds-checks them at execution time.
+      case Opcode::LoadGlobal:
+      case Opcode::StoreGlobal:
+      case Opcode::LoadGlobalRef:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Globals.size()))
+          Bad(Pc, "global-reference index out of range");
+        break;
+      case Opcode::PushStr:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Strings.size()))
+          Bad(Pc, "string index out of range");
+        break;
+      case Opcode::Call:
+      case Opcode::PushProc:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Callees.size()))
+          Bad(Pc, "callee index out of range");
+        break;
+      case Opcode::PushAggregate:
+      case Opcode::NewCell:
+        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Descs.size()))
+          Bad(Pc, "type-descriptor index out of range");
+        break;
+      case Opcode::Jump:
+      case Opcode::JumpIfFalse:
+      case Opcode::JumpIfTrue:
+        if (In.A < 0 || In.A > static_cast<int64_t>(U.Code.size()))
+          Bad(Pc, "jump target out of range");
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  // Resolve callees and globals.
+  for (LinkedUnit &LU : P.Units) {
+    for (const CalleeRef &Ref : LU.Unit->Callees) {
+      std::string Key = std::string(Names.spelling(Ref.Module)) + "." +
+                        std::string(Names.spelling(Ref.Name));
+      auto It = P.UnitByName.find(Key);
+      if (It == P.UnitByName.end()) {
+        P.Errors.push_back("unresolved procedure '" + Key +
+                           "' referenced by " + LU.Unit->QualifiedName);
+        LU.Callees.push_back(-1);
+      } else {
+        LU.Callees.push_back(It->second);
+      }
+    }
+    for (const GlobalRef &Ref : LU.Unit->Globals) {
+      auto It = P.ModuleBySymbol.find(Ref.Module.id());
+      if (It == P.ModuleBySymbol.end()) {
+        P.Errors.push_back("unresolved module '" +
+                           std::string(Names.spelling(Ref.Module)) +
+                           "' referenced by " + LU.Unit->QualifiedName);
+        LU.Globals.push_back(LinkedUnit::GlobalSlot{-1, 0});
+      } else {
+        LU.Globals.push_back(LinkedUnit::GlobalSlot{It->second, Ref.Slot});
+      }
+    }
+  }
+
+  // Initialization order: imports before importers (DFS; import cycles
+  // are broken arbitrarily, matching separate compilation practice).
+  std::vector<int8_t> State(P.Images.size(), 0);
+  std::function<void(int32_t)> Visit = [&](int32_t M) {
+    if (State[static_cast<size_t>(M)] != 0)
+      return;
+    State[static_cast<size_t>(M)] = 1;
+    for (Symbol Import : P.Images[static_cast<size_t>(M)].Imports) {
+      auto It = P.ModuleBySymbol.find(Import.id());
+      if (It != P.ModuleBySymbol.end())
+        Visit(It->second);
+    }
+    State[static_cast<size_t>(M)] = 2;
+    P.InitOrder.push_back(M);
+  };
+  for (size_t M = 0; M < P.Images.size(); ++M)
+    Visit(static_cast<int32_t>(M));
+
+  return P;
+}

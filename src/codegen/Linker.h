@@ -1,0 +1,95 @@
+//===--- Linker.h - Cross-module qualified-name linking ---------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Links separately produced ModuleImages into one program: code units
+/// are registered under their qualified names, every callee and global
+/// reference is resolved across module boundaries, operands that index
+/// per-unit tables are validated once, and a module initialization order
+/// (imports first) is derived.  Missing and duplicate symbols become
+/// link-time diagnostics rather than execution-time surprises.
+///
+/// The linker is execution-substrate agnostic: the VM interprets a
+/// LinkedProgram, and build sessions use the same linker to turn a
+/// session's per-module images into a runnable whole.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_CODEGEN_LINKER_H
+#define M2C_CODEGEN_LINKER_H
+
+#include "codegen/MCode.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace m2c::codegen {
+
+/// One code unit with its cross-module references resolved to indexes.
+struct LinkedUnit {
+  const CodeUnit *Unit = nullptr;
+  int32_t ModuleIndex = -1;
+  std::vector<int32_t> Callees; ///< Linked unit index per CalleeRef.
+  struct GlobalSlot {
+    int32_t ModuleIndex;
+    int32_t Slot;
+  };
+  std::vector<GlobalSlot> Globals;
+};
+
+/// The result of linking: the images (owned), the resolved units, the
+/// initialization order, and any link errors.  Movable; LinkedUnit::Unit
+/// pointers stay valid across moves (they point into heap storage).
+class LinkedProgram {
+public:
+  LinkedProgram() = default;
+
+  /// True when linking produced no errors.
+  bool ok() const { return Errors.empty(); }
+  const std::vector<std::string> &errors() const { return Errors; }
+
+  const std::vector<ModuleImage> &images() const { return Images; }
+  const std::vector<LinkedUnit> &units() const { return Units; }
+  /// Module indexes, imports before importers.
+  const std::vector<int32_t> &initOrder() const { return InitOrder; }
+
+  /// Index of unit \p Name in module \p Module, or -1.  Body units use
+  /// the reserved "<body>" name.
+  int32_t findUnit(Symbol Module, const std::string &Name) const;
+
+private:
+  friend class Linker;
+  const StringInterner *Names = nullptr;
+  std::vector<ModuleImage> Images;
+  std::vector<LinkedUnit> Units;
+  std::unordered_map<std::string, int32_t> UnitByName;
+  std::unordered_map<uint32_t, int32_t> ModuleBySymbol;
+  std::vector<int32_t> InitOrder;
+  std::vector<std::string> Errors;
+};
+
+/// Collects module images and links them.
+class Linker {
+public:
+  explicit Linker(const StringInterner &Names) : Names(Names) {}
+
+  /// Adds one compiled module.  Call before link().
+  void addImage(ModuleImage Image) { Images.push_back(std::move(Image)); }
+
+  /// Resolves cross-module references and computes initialization order.
+  /// Consumes the added images; call once.
+  LinkedProgram link();
+
+private:
+  const StringInterner &Names;
+  std::vector<ModuleImage> Images;
+};
+
+} // namespace m2c::codegen
+
+#endif // M2C_CODEGEN_LINKER_H

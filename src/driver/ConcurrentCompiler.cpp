@@ -7,458 +7,20 @@
 
 #include "driver/ConcurrentCompiler.h"
 
+#include "build/InterfaceSet.h"
+#include "build/ModulePipeline.h"
+#include "build/TaskSpawner.h"
 #include "cache/CachePlanner.h"
 #include "cache/CompilationCache.h"
-#include "codegen/CodeGenerator.h"
-#include "codegen/Merger.h"
-#include "lex/Lexer.h"
-#include "parse/Parser.h"
 #include "sched/SimulatedExecutor.h"
 #include "sched/ThreadedExecutor.h"
-#include "sema/DeclAnalyzer.h"
-#include "split/Importer.h"
-#include "split/Splitter.h"
 
-#include <atomic>
-#include <cassert>
 #include <chrono>
-#include <mutex>
-#include <unordered_map>
 
 using namespace m2c;
-using namespace m2c::ast;
 using namespace m2c::driver;
 using namespace m2c::sched;
 using namespace m2c::sema;
-using namespace m2c::symtab;
-
-namespace {
-
-/// All the shared state of one concurrent compilation.  Stream objects
-/// are owned here and live until the run is over.
-class ConcurrentRun {
-public:
-  /// One split-off procedure stream.
-  struct ProcStream {
-    Symbol Name;
-    std::string QualifiedName;
-    std::unique_ptr<Scope> ProcScope;
-    TokenBlockQueue Queue;
-    EventPtr HeadingDone; ///< Avoided event: heading processed in parent.
-    std::atomic<const SymbolEntry *> Entry{nullptr};
-    ASTArena Arena;
-    std::atomic<int64_t> Weight{0};
-    ProcStream *Parent = nullptr; ///< Null for main-module children.
-    Scope *ParentScope = nullptr;
-    TaskPtr ParserTask; ///< Null when the cache plan skips the front end.
-    bool SkipCodegen = false; ///< Cached unit replayed; don't regenerate.
-
-    std::mutex ChildrenMutex;
-    std::vector<ProcStream *> Children; ///< Splitter discovery order.
-
-    ProcStream(Symbol Name, std::string Qual)
-        : Name(Name), QualifiedName(std::move(Qual)),
-          Queue("proc." + QualifiedName),
-          HeadingDone(makeEvent("heading." + QualifiedName,
-                                EventKind::Avoided)) {}
-  };
-
-  /// One definition-module stream.
-  struct DefStream {
-    Symbol Name;
-    Scope *ModScope = nullptr;
-    TokenBlockQueue Queue;
-    ASTArena Arena;
-    TaskPtr ParserTask;
-
-    explicit DefStream(std::string QueueName)
-        : Queue(std::move(QueueName)) {}
-  };
-
-  ConcurrentRun(VirtualFileSystem &Files, StringInterner &Interner,
-                const CompilerOptions &Options, std::string_view ModuleName,
-                std::shared_ptr<Compilation> CompPtr, Executor &Exec)
-      : Options(Options), CompPtr(std::move(CompPtr)), Comp(*this->CompPtr),
-        Exec(Exec), ModName(Interner.intern(ModuleName)),
-        Merge(ModName),
-        RawQueue(std::string(ModuleName) + ".raw"),
-        MainQueue(std::string(ModuleName) + ".main") {
-    (void)Files;
-  }
-
-  bool avoidance() const {
-    return Options.Strategy == DkyStrategy::Avoidance;
-  }
-
-  /// Routes task submission correctly both before run() (executor) and
-  /// from inside running tasks (current execution context).
-  void spawnTask(TaskPtr T) {
-    if (InsideRun.load(std::memory_order_acquire))
-      ctx().spawn(std::move(T));
-    else
-      Exec.spawn(std::move(T));
-  }
-
-  //===--- Stream creation -------------------------------------------------===//
-
-  ProcStream *createProcStream(ProcStream *Parent, Symbol Name) {
-    std::string ParentQual = Parent
-                                 ? Parent->QualifiedName
-                                 : std::string(Comp.Interner.spelling(ModName));
-    auto Owned = std::make_unique<ProcStream>(
-        Name, ParentQual + "." + std::string(Comp.Interner.spelling(Name)));
-    ProcStream *S = Owned.get();
-    S->Parent = Parent;
-    S->ParentScope =
-        Parent ? Parent->ProcScope.get() : ModuleScopePtr.get();
-    S->ProcScope = std::make_unique<Scope>(
-        std::string(Comp.Interner.spelling(Name)), ScopeKind::Procedure,
-        S->ParentScope, &Comp.Builtins);
-    {
-      std::lock_guard<std::mutex> Lock(StreamsMutex);
-      ProcStreams.push_back(std::move(Owned));
-    }
-    // Register with the parent in splitter-discovery order, which matches
-    // the order the parent's declaration analyzer sees the headings.
-    if (Parent) {
-      std::lock_guard<std::mutex> Lock(Parent->ChildrenMutex);
-      Parent->Children.push_back(S);
-    } else {
-      std::lock_guard<std::mutex> Lock(MainChildrenMutex);
-      MainChildren.push_back(S);
-    }
-
-    // Align with the cache plan: probe streams were discovered by the
-    // same Splitter over the same tokens, so creation order and names
-    // must match; a plan entry marks this stream's cached state.
-    const cache::StreamPlan *PlanEntry = nullptr;
-    if (Plan) {
-      size_t Idx = NextPlanIndex.fetch_add(1, std::memory_order_relaxed);
-      assert(Idx < Plan->Streams.size() &&
-             Plan->Streams[Idx].QualifiedName == S->QualifiedName &&
-             "cache probe stream tree diverged from the compilation");
-      if (Idx < Plan->Streams.size() &&
-          Plan->Streams[Idx].QualifiedName == S->QualifiedName)
-        PlanEntry = &Plan->Streams[Idx];
-    }
-    S->SkipCodegen = PlanEntry && PlanEntry->Hit;
-
-    // The resolver of the heading event is the parent's parser task.
-    Task *ParentParser =
-        Parent ? Parent->ParserTask.get() : MainParserTask.get();
-    if (ParentParser)
-      S->HeadingDone->setResolver(ParentParser);
-
-    if (PlanEntry && !PlanEntry->RunFrontEnd) {
-      // The whole subtree is cached: its unit (and every descendant's)
-      // was injected into the Merger, and no deeper stream re-analyzes,
-      // so this scope never needs populating.  The splitter still diverts
-      // tokens to S->Queue; they are simply never consumed.
-      return S;
-    }
-    assert(ParentParser && "parent skipped its front end but a descendant "
-                           "needs it");
-
-    S->ParserTask = makeTask(
-        "parse." + S->QualifiedName, TaskClass::ProcParserDecl,
-        [this, S] { procParserTask(*S); });
-    S->ParserTask->addPrerequisite(S->HeadingDone);
-    if (avoidance())
-      S->ParserTask->addPrerequisite(S->ParentScope->completionEvent());
-    S->ProcScope->completionEvent()->setResolver(S->ParserTask.get());
-    spawnTask(S->ParserTask);
-    return S;
-  }
-
-  /// The module registry's once-only stream starter.
-  void startDefStream(Symbol Name, Scope &ModScope) {
-    auto Owned = std::make_unique<DefStream>(
-        "def." + std::string(Comp.Interner.spelling(Name)));
-    DefStream *S = Owned.get();
-    S->Name = Name;
-    S->ModScope = &ModScope;
-    {
-      std::lock_guard<std::mutex> Lock(StreamsMutex);
-      DefStreams.push_back(std::move(Owned));
-    }
-
-    std::string FileName =
-        VirtualFileSystem::defFileName(Comp.Interner.spelling(Name));
-    const SourceBuffer *Buf = Comp.Files.lookup(FileName);
-    if (!Buf) {
-      Comp.Diags.error(SourceLocation(),
-                       "cannot find interface file '" + FileName + "'");
-      ModScope.markComplete();
-      return;
-    }
-
-    S->ParserTask = makeTask("parse." + FileName, TaskClass::DefModParserDecl,
-                             [this, S] { defParserTask(*S); });
-    ModScope.completionEvent()->setResolver(S->ParserTask.get());
-
-    spawnTask(makeTask("lex." + FileName, TaskClass::Lexor, [this, S, Buf] {
-      Lexer Lex(*Buf, Comp.Interner, Comp.Diags);
-      Lex.lexAll(S->Queue);
-    }));
-    spawnTask(makeTask("import." + FileName, TaskClass::Importer,
-                       [this, S] {
-                         Importer Imp(TokenBlockQueue::Reader(S->Queue),
-                                      Comp.Modules, Comp.Interner);
-                         Imp.run();
-                       }));
-    spawnTask(S->ParserTask);
-  }
-
-  //===--- Task bodies -----------------------------------------------------===//
-
-  void defParserTask(DefStream &S) {
-    Parser P(TokenBlockQueue::Reader(S.Queue), S.Arena, Comp.Diags,
-             ParserMode::Sequential);
-    Parser::ModuleIntro Intro = P.parseModuleIntro();
-    if (!Intro.IsDefinition)
-      Comp.Diags.error(Intro.Loc, "expected a DEFINITION MODULE");
-    DeclAnalyzer DA(Comp, *S.ModScope, S.Name);
-    DA.analyzeImports(Intro.Imports);
-    // Declarations analyzed as they parse, so Skeptical searchers probing
-    // this (incomplete) interface can succeed before it completes.
-    P.setDeclSink([&DA](Decl *D) { DA.analyzeDecl(D); });
-    P.parseTopDecls(/*HeadingsOnly=*/true);
-    P.parseDefModuleEnd();
-    DA.finish();
-  }
-
-  /// Installs the parent-side heading hooks for a declaration analyzer
-  /// whose children were registered in \p Children order.
-  void installHeadingHooks(DeclAnalyzer &DA, ProcStream *Stream) {
-    ProcStreamHooks Hooks;
-    Hooks.childScope = [this, Stream](size_t Index, Symbol) -> Scope * {
-      ProcStream *Child = childAt(Stream, Index);
-      return Child ? Child->ProcScope.get() : nullptr;
-    };
-    Hooks.headingDone = [this, Stream](size_t Index, Symbol,
-                                       const SymbolEntry &Entry) {
-      ProcStream *Child = childAt(Stream, Index);
-      if (!Child)
-        return;
-      Child->Entry.store(&Entry, std::memory_order_release);
-      ctx().signal(*Child->HeadingDone);
-    };
-    DA.setProcStreamHooks(std::move(Hooks));
-  }
-
-  /// On malformed input the parent's error recovery can skip a heading
-  /// the splitter already created a stream for; its avoided event would
-  /// then never fire and the child task would be held forever.  Parser
-  /// tasks call this on exit: by then the splitter has finished this
-  /// stream, so the child list is final and any unsignaled heading event
-  /// is an orphan (its Entry stays null; code generation skips it).
-  void releaseOrphanHeadings(ProcStream *Stream) {
-    std::vector<ProcStream *> Children;
-    if (Stream) {
-      std::lock_guard<std::mutex> Lock(Stream->ChildrenMutex);
-      Children = Stream->Children;
-    } else {
-      std::lock_guard<std::mutex> Lock(MainChildrenMutex);
-      Children = MainChildren;
-    }
-    for (ProcStream *Child : Children)
-      if (!Child->HeadingDone->isSignaled())
-        ctx().signal(*Child->HeadingDone);
-  }
-
-  ProcStream *childAt(ProcStream *Stream, size_t Index) {
-    if (Stream) {
-      std::lock_guard<std::mutex> Lock(Stream->ChildrenMutex);
-      return Index < Stream->Children.size() ? Stream->Children[Index]
-                                             : nullptr;
-    }
-    std::lock_guard<std::mutex> Lock(MainChildrenMutex);
-    return Index < MainChildren.size() ? MainChildren[Index] : nullptr;
-  }
-
-  void mainParserTask() {
-    Parser P(TokenBlockQueue::Reader(MainQueue), MainArena, Comp.Diags,
-             ParserMode::SplitStream);
-    Parser::ModuleIntro Intro = P.parseModuleIntro();
-    if (Intro.Name != ModName && !Intro.Name.isEmpty())
-      Comp.Diags.warning(Intro.Loc,
-                         "module name does not match its file name");
-    DeclAnalyzer DA(Comp, *ModuleScopePtr, ModName);
-    DA.setOwnInterface(OwnDefScope);
-    installHeadingHooks(DA, nullptr);
-    DA.analyzeImports(Intro.Imports);
-    // Interleave: procedure headings are processed — and their streams
-    // released — as soon as each declaration's text has been parsed.
-    P.setDeclSink([&DA](Decl *D) { DA.analyzeDecl(D); });
-    P.parseTopDecls(/*HeadingsOnly=*/false);
-    DA.finish(); // Module symbol table complete before the body parse.
-    if (OwnDefScope && !OwnDefScope->isComplete())
-      ctx().wait(*OwnDefScope->completionEvent());
-    Merge.setGlobalsFrom(*ModuleScopePtr, OwnDefScope);
-
-    StmtList Body = P.parseImplModuleBody();
-    // Drain to end of stream first: only once the Splitter has finished
-    // this stream is the child list final (malformed input can end the
-    // module's syntax before the raw token stream ends).
-    P.drainToEof();
-    releaseOrphanHeadings(nullptr);
-    bool SkipMainCodegen =
-        Plan && !Plan->Streams.empty() && Plan->Streams[0].Hit;
-    if (SkipMainCodegen)
-      return; // Cached module-body unit already handed to the Merger.
-    int64_t Weight = static_cast<int64_t>(P.tokensConsumed());
-    spawnCodeGen(/*Stream=*/nullptr, std::move(Body), Weight);
-  }
-
-  void procParserTask(ProcStream &S) {
-    Parser P(TokenBlockQueue::Reader(S.Queue), S.Arena, Comp.Diags,
-             ParserMode::SplitStream);
-    // The heading tokens are re-read syntactically; under CopyEntries the
-    // parameter entries were already copied in by the parent (section 2.4
-    // alternative 1), under Reprocess the child re-analyzes them here
-    // (alternative 3) — in either case the parameters must be in the
-    // scope before any local declaration is analyzed, so slot numbering
-    // matches the sequential compiler exactly.
-    ast::ProcHeading Heading = P.parseProcStreamHeading();
-    DeclAnalyzer DA(Comp, *S.ProcScope, ModName);
-    if (Comp.Options.Sharing == HeadingSharing::Reprocess)
-      DA.analyzeHeadingInChild(Heading);
-    installHeadingHooks(DA, &S);
-    P.setDeclSink([&DA](Decl *D) { DA.analyzeDecl(D); });
-    P.parseTopDecls(/*HeadingsOnly=*/false);
-    DA.finish(); // Procedure symbol table complete before the body parse.
-
-    StmtList Body = P.parseProcBody();
-    P.drainToEof();
-    releaseOrphanHeadings(&S);
-    if (S.SkipCodegen)
-      return; // Cached unit already handed to the Merger.
-    spawnCodeGen(&S, std::move(Body), S.Weight.load());
-  }
-
-  void spawnCodeGen(ProcStream *Stream, StmtList Body, int64_t Weight) {
-    bool Long = Weight > Options.LongProcTokens;
-    std::string Name =
-        "codegen." + (Stream ? Stream->QualifiedName
-                             : std::string(Comp.Interner.spelling(ModName)));
-    // Task bodies must be copyable (std::function); share the parse tree.
-    auto BodyPtr = std::make_shared<StmtList>(std::move(Body));
-    auto Task = makeTask(
-        std::move(Name),
-        Long ? TaskClass::LongStmtCodeGen : TaskClass::ShortStmtCodeGen,
-        [this, Stream, BodyPtr, Weight] {
-          const StmtList &Body = *BodyPtr;
-          if (!Stream) {
-            codegen::CodeGenerator CG(Comp, *ModuleScopePtr, ModName);
-            Merge.addUnit(CG.generateModuleBody(Body, Weight));
-            return;
-          }
-          const SymbolEntry *Entry =
-              Stream->Entry.load(std::memory_order_acquire);
-          if (!Entry)
-            return; // Heading failed (redeclaration); error reported.
-          codegen::CodeGenerator CG(Comp, *Stream->ProcScope, ModName);
-          Merge.addUnit(CG.generateProcedure(
-              *Entry, Body,
-              std::string(Comp.Interner.spelling(ModName)) + "." +
-                  codegen::moduleRelativeName(*Entry, Comp.Interner),
-              codegen::procedureLevel(*Stream->ProcScope), Weight));
-        });
-    Task->setWeight(Weight);
-    spawnTask(std::move(Task));
-  }
-
-  //===--- Initial task wiring ---------------------------------------------===//
-
-  bool setup(const SourceBuffer *ModBuf) {
-    Comp.Modules.setStarter([this](Symbol Name, Scope &ModScope) {
-      startDefStream(Name, ModScope);
-    });
-
-    // "The compiler optimistically anticipates the existence of a file
-    // M.def and tries to start processing this file as soon as possible"
-    // (paper section 3).  Its declarations are visible throughout M.mod:
-    // the module scope's parent is the interface scope.
-    Scope *OwnDef = nullptr;
-    if (Comp.Files.exists(VirtualFileSystem::defFileName(
-            Comp.Interner.spelling(ModName))))
-      OwnDef = &Comp.Modules.getOrCreate(ModName,
-                                         Comp.Interner.spelling(ModName));
-    ModuleScopePtr = std::make_unique<Scope>(
-        std::string(Comp.Interner.spelling(ModName)), ScopeKind::Module,
-        OwnDef, &Comp.Builtins);
-    OwnDefScope = OwnDef;
-
-    MainParserTask = makeTask("parse.main", TaskClass::ModuleParserDecl,
-                              [this] { mainParserTask(); });
-    ModuleScopePtr->completionEvent()->setResolver(MainParserTask.get());
-    if (avoidance() && OwnDef)
-      MainParserTask->addPrerequisite(OwnDef->completionEvent());
-
-    Exec.spawn(makeTask("lex.main", TaskClass::Lexor, [this, ModBuf] {
-      Lexer Lex(*ModBuf, Comp.Interner, Comp.Diags);
-      Lex.lexAll(RawQueue);
-    }));
-
-    Exec.spawn(makeTask("split.main", TaskClass::Splitter, [this] {
-      SplitterHooks Hooks;
-      Hooks.beginProc = [this](StreamHandle Parent, Symbol Name) {
-        return static_cast<StreamHandle>(createProcStream(
-            static_cast<ProcStream *>(Parent), Name));
-      };
-      Hooks.queueOf = [this](StreamHandle Stream) -> TokenBlockQueue & {
-        return Stream ? static_cast<ProcStream *>(Stream)->Queue : MainQueue;
-      };
-      Hooks.endProc = [](StreamHandle Stream, int64_t Tokens) {
-        static_cast<ProcStream *>(Stream)->Weight.store(Tokens);
-      };
-      Splitter Split(TokenBlockQueue::Reader(RawQueue), std::move(Hooks));
-      Split.run();
-    }));
-
-    Exec.spawn(makeTask("import.main", TaskClass::Importer, [this] {
-      Importer Imp(TokenBlockQueue::Reader(RawQueue), Comp.Modules,
-                   Comp.Interner);
-      Merge.setImports(Imp.run());
-    }));
-    Exec.spawn(MainParserTask);
-    return true;
-  }
-
-  size_t streamCount() {
-    std::lock_guard<std::mutex> Lock(StreamsMutex);
-    return 1 + ProcStreams.size() + DefStreams.size();
-  }
-
-  const CompilerOptions &Options;
-  std::shared_ptr<Compilation> CompPtr;
-  Compilation &Comp;
-  Executor &Exec;
-  Symbol ModName;
-  codegen::Merger Merge;
-
-  /// Cache plan for this run (null: no cache or probe not applicable).
-  /// Index 0 is the main stream; procedure streams claim successive
-  /// indices in splitter discovery order.
-  const cache::CachePlan *Plan = nullptr;
-  std::atomic<size_t> NextPlanIndex{1};
-
-  TokenBlockQueue RawQueue;
-  TokenBlockQueue MainQueue;
-  std::unique_ptr<Scope> ModuleScopePtr;
-  Scope *OwnDefScope = nullptr;
-  std::atomic<bool> InsideRun{false};
-  ASTArena MainArena;
-  TaskPtr MainParserTask;
-
-  std::mutex StreamsMutex;
-  std::vector<std::unique_ptr<ProcStream>> ProcStreams;
-  std::vector<std::unique_ptr<DefStream>> DefStreams;
-  std::mutex MainChildrenMutex;
-  std::vector<ProcStream *> MainChildren;
-};
-
-} // namespace
 
 CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
   CompileResult Result;
@@ -469,8 +31,7 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
   Result.Compilation = Comp;
 
   std::string ModFile = VirtualFileSystem::modFileName(ModuleName);
-  const SourceBuffer *ModBuf = Files.lookup(ModFile);
-  if (!ModBuf) {
+  if (!Files.exists(ModFile)) {
     Comp->Diags.error(SourceLocation(),
                       "cannot find module file '" + ModFile + "'");
     Result.DiagnosticText = Comp->Diags.render(&Files);
@@ -527,59 +88,46 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
                                                Options.Cost);
   Exec->setActivitySink(Options.Trace);
 
-  ConcurrentRun Run(Files, Interner, Options, ModuleName, Comp, *Exec);
+  // One pipeline on one executor — a BuildSession runs many pipelines
+  // through one spawner/interface set; the single-module compile is the
+  // degenerate session.
+  build::TaskSpawner Spawner(*Exec);
+  build::InterfaceSet Defs(*Comp, Spawner);
+  build::ModulePipeline Pipe(Options, *Comp, ModuleName, Spawner);
   if (Plan.Valid)
-    Run.Plan = &Plan;
+    Pipe.setPlan(&Plan);
 
-  // Hand every hit stream's cached unit to the Merger up front; the run
-  // then skips those streams' code generation (and, where a whole subtree
-  // hit, their parse/sema too).
-  if (Run.Plan) {
+  {
+    // Setup replays the main stream's cached unit (when the plan hit);
+    // charge that injection work to the cache ledger, not the executor.
     SequentialContext Ctx(Options.Cost);
     ScopedContext Installed(Ctx);
     auto Start = Clock::now();
-    for (const cache::StreamPlan &S : Plan.Streams)
-      if (S.Hit)
-        Run.Merge.addUnit(*S.Cached);
+    Pipe.setup();
     CacheUnits += Ctx.elapsedUnits();
     CacheWallNs += WallSince(Start);
   }
-
-  Run.setup(ModBuf);
-  Run.InsideRun.store(true, std::memory_order_release);
+  Spawner.enterRun();
   Exec->run();
 
   // The merge task's incremental concatenation has already collected
   // every unit; finalize orders them deterministically.
-  Result.Image = Run.Merge.finalize();
+  Result.Image = Pipe.finalizeImage();
   Result.Success = !Comp->Diags.hasErrors();
   Result.DiagnosticText = Comp->Diags.render(&Files);
-  Result.StreamCount = Run.streamCount();
+  Result.StreamCount = 1 + Pipe.procStreamCount() + Defs.streamCount();
 
   // Store phase: only fully clean compiles become cache entries, so a
   // replayed entry never owes anyone a diagnostic (count() includes
-  // warnings).
-  if (Run.Plan && Comp->Diags.count() == 0) {
+  // warnings), and a dropped plan's keys no longer describe the units
+  // this run produced.
+  if (Pipe.plan() && !Pipe.planDropped() && Comp->Diags.count() == 0) {
     SequentialContext Ctx(Options.Cost);
     ScopedContext Installed(Ctx);
     auto Start = Clock::now();
-    std::unordered_map<std::string_view, const codegen::CodeUnit *> ByName;
-    for (const codegen::CodeUnit &U : Result.Image.Units)
-      ByName.emplace(U.QualifiedName, &U);
-    for (const cache::StreamPlan &S : Plan.Streams) {
-      if (S.Hit)
-        continue;
-      auto It = ByName.find(S.QualifiedName);
-      // Absent unit: the heading was parsed but analysis dropped it (can
-      // only happen with diagnostics, which the gate excludes) — skipped
-      // defensively anyway.
-      if (It != ByName.end())
-        Options.Cache->storeStream(S.Key, *It->second, Interner);
-    }
-    Options.Cache->storeModule(Plan.ModuleKey, Plan.ModTextHash, Plan.Deps,
-                               Result.Image,
-                               static_cast<uint64_t>(Result.StreamCount),
-                               Interner);
+    build::storeCacheEntries(*Options.Cache, Plan, Result.Image,
+                             static_cast<uint64_t>(Result.StreamCount),
+                             Interner);
     CacheUnits += Ctx.elapsedUnits();
     CacheWallNs += WallSince(Start);
   }

@@ -82,8 +82,8 @@ void Splitter::run() {
       // Malformed input can leave procedure streams open; close them so
       // their parser tasks terminate (they will report the syntax error).
       while (!Stack.empty()) {
-        Hooks.queueOf(Stack.back().Stream).finish(T.Loc);
         Hooks.endProc(Stack.back().Stream, Stack.back().Tokens);
+        Hooks.queueOf(Stack.back().Stream).finish(T.Loc);
         Stack.pop_back();
       }
       Hooks.queueOf(nullptr).finish(T.Loc);
@@ -133,7 +133,9 @@ void Splitter::run() {
     }
     ActiveProc Done = Stack.back();
     Stack.pop_back();
-    Hooks.queueOf(Done.Stream).finish(T.Loc);
+    // Publish the stream's weight before the queue's EOF releases its
+    // parser task: the weight must be visible when codegen is spawned.
     Hooks.endProc(Done.Stream, Done.Tokens);
+    Hooks.queueOf(Done.Stream).finish(T.Loc);
   }
 }

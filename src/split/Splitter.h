@@ -51,9 +51,10 @@ struct SplitterHooks {
   /// The token queue a stream's tokens are appended to.
   std::function<TokenBlockQueue &(StreamHandle Stream)> queueOf;
 
-  /// The stream's final END was seen; its queue has been finished.
-  /// \p TokenCount is the stream's total diverted token count (the
-  /// long-before-short scheduling weight).
+  /// The stream's final END was seen; called just before its queue is
+  /// finished, so the weight is visible once the stream's parser drains
+  /// to EOF.  \p TokenCount is the stream's total diverted token count
+  /// (the long-before-short scheduling weight).
   std::function<void(StreamHandle Stream, int64_t TokenCount)> endProc;
 };
 

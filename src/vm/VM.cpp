@@ -20,156 +20,11 @@ using namespace m2c::codegen;
 using namespace m2c::vm;
 
 //===----------------------------------------------------------------------===//
-// Linking
-//===----------------------------------------------------------------------===//
-
-void Program::addImage(ModuleImage Image) {
-  assert(!Linked && "addImage after link");
-  Images.push_back(std::move(Image));
-}
-
-int32_t Program::findUnit(Symbol Module, const std::string &Name) const {
-  auto It = UnitByName.find(std::string(Names.spelling(Module)) + "." + Name);
-  return It == UnitByName.end() ? -1 : It->second;
-}
-
-bool Program::link() {
-  assert(!Linked && "link called twice");
-  Linked = true;
-
-  for (size_t M = 0; M < Images.size(); ++M) {
-    if (!ModuleBySymbol.emplace(Images[M].ModuleName.id(),
-                                static_cast<int32_t>(M))
-             .second) {
-      Errors.push_back("duplicate module '" +
-                       std::string(Names.spelling(Images[M].ModuleName)) +
-                       "'");
-      continue;
-    }
-    for (const CodeUnit &U : Images[M].Units) {
-      // Procedure qualified names already carry the module prefix; body
-      // units get a reserved suffix so they never clash with procedures.
-      std::string Key =
-          U.IsModuleBody ? U.QualifiedName + ".<body>" : U.QualifiedName;
-      LinkedUnit LU;
-      LU.Unit = &U;
-      LU.ModuleIndex = static_cast<int32_t>(M);
-      Units.push_back(std::move(LU));
-      if (!UnitByName.emplace(Key, static_cast<int32_t>(Units.size() - 1))
-               .second)
-        Errors.push_back("duplicate code unit '" + Key + "'");
-    }
-  }
-
-  // Validate units before resolving: images may come from .mco files on
-  // disk, so every operand that indexes a per-unit table or the frame
-  // must be checked once here instead of trusted at execution time.
-  for (const LinkedUnit &LU : Units) {
-    const CodeUnit &U = *LU.Unit;
-    if (U.Params.size() > U.FrameSize)
-      Errors.push_back("unit '" + U.QualifiedName +
-                       "' declares more parameters than frame slots");
-    auto Bad = [&](size_t Pc, const char *What) {
-      Errors.push_back("unit '" + U.QualifiedName + "' +" +
-                       std::to_string(Pc) + ": " + What);
-    };
-    for (size_t Pc = 0; Pc < U.Code.size(); ++Pc) {
-      const Instr &In = U.Code[Pc];
-      switch (In.Op) {
-      case Opcode::LoadLocal:
-      case Opcode::StoreLocal:
-      case Opcode::LoadLocalRef:
-        if (In.A < 0 || In.A >= static_cast<int64_t>(U.FrameSize))
-          Bad(Pc, "frame slot out of range");
-        break;
-      // LoadEnclosing/StoreEnclosing/LoadEnclosingRef index the enclosing
-      // procedure's frame, whose size is not knowable per-unit here; the
-      // interpreter bounds-checks them at execution time.
-      case Opcode::LoadGlobal:
-      case Opcode::StoreGlobal:
-      case Opcode::LoadGlobalRef:
-        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Globals.size()))
-          Bad(Pc, "global-reference index out of range");
-        break;
-      case Opcode::PushStr:
-        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Strings.size()))
-          Bad(Pc, "string index out of range");
-        break;
-      case Opcode::Call:
-      case Opcode::PushProc:
-        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Callees.size()))
-          Bad(Pc, "callee index out of range");
-        break;
-      case Opcode::PushAggregate:
-      case Opcode::NewCell:
-        if (In.A < 0 || In.A >= static_cast<int64_t>(U.Descs.size()))
-          Bad(Pc, "type-descriptor index out of range");
-        break;
-      case Opcode::Jump:
-      case Opcode::JumpIfFalse:
-      case Opcode::JumpIfTrue:
-        if (In.A < 0 || In.A > static_cast<int64_t>(U.Code.size()))
-          Bad(Pc, "jump target out of range");
-        break;
-      default:
-        break;
-      }
-    }
-  }
-
-  // Resolve callees and globals.
-  for (LinkedUnit &LU : Units) {
-    for (const CalleeRef &Ref : LU.Unit->Callees) {
-      std::string Key = std::string(Names.spelling(Ref.Module)) + "." +
-                        std::string(Names.spelling(Ref.Name));
-      auto It = UnitByName.find(Key);
-      if (It == UnitByName.end()) {
-        Errors.push_back("unresolved procedure '" + Key + "' referenced by " +
-                         LU.Unit->QualifiedName);
-        LU.Callees.push_back(-1);
-      } else {
-        LU.Callees.push_back(It->second);
-      }
-    }
-    for (const GlobalRef &Ref : LU.Unit->Globals) {
-      auto It = ModuleBySymbol.find(Ref.Module.id());
-      if (It == ModuleBySymbol.end()) {
-        Errors.push_back("unresolved module '" +
-                         std::string(Names.spelling(Ref.Module)) +
-                         "' referenced by " + LU.Unit->QualifiedName);
-        LU.Globals.push_back(LinkedUnit::GlobalSlot{-1, 0});
-      } else {
-        LU.Globals.push_back(LinkedUnit::GlobalSlot{It->second, Ref.Slot});
-      }
-    }
-  }
-
-  // Initialization order: imports before importers (DFS; import cycles
-  // are broken arbitrarily, matching separate compilation practice).
-  std::vector<int8_t> State(Images.size(), 0);
-  std::function<void(int32_t)> Visit = [&](int32_t M) {
-    if (State[static_cast<size_t>(M)] != 0)
-      return;
-    State[static_cast<size_t>(M)] = 1;
-    for (Symbol Import : Images[static_cast<size_t>(M)].Imports) {
-      auto It = ModuleBySymbol.find(Import.id());
-      if (It != ModuleBySymbol.end())
-        Visit(It->second);
-    }
-    State[static_cast<size_t>(M)] = 2;
-    InitOrder.push_back(M);
-  };
-  for (size_t M = 0; M < Images.size(); ++M)
-    Visit(static_cast<int32_t>(M));
-
-  return Errors.empty();
-}
-
-//===----------------------------------------------------------------------===//
 // VM
 //===----------------------------------------------------------------------===//
 
-VM::VM(const Program &Prog) : Prog(Prog) {
+VM::VM(const codegen::LinkedProgram &Prog, const StringInterner &Names)
+    : Prog(Prog), Names(Names) {
   for (const ModuleImage &Image : Prog.images()) {
     auto Frame = std::make_unique<std::vector<Value>>();
     Frame->resize(Image.GlobalCount);
@@ -230,7 +85,7 @@ Value VM::deepCopy(const Value &V) const {
 }
 
 Value VM::stringToArray(Symbol S, int64_t Length) const {
-  std::string_view Text = Prog.names().spelling(S);
+  std::string_view Text = Names.spelling(S);
   if (Length < 0)
     Length = static_cast<int64_t>(Text.size());
   auto Obj = std::make_shared<Object>();
@@ -879,7 +734,7 @@ bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
       case sema::BuiltinProc::WriteString: {
         Value V = Pop();
         if (const auto *Str = std::get_if<StrRef>(&V)) {
-          Result.Output += Prog.names().spelling(Str->Str);
+          Result.Output += Names.spelling(Str->Str);
         } else if (const auto *Agg = std::get_if<AggRef>(&V)) {
           for (const Value &Ch : Agg->Obj->Slots) {
             int64_t C = asOrdinal(Ch);
@@ -921,7 +776,7 @@ bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
             Value(static_cast<int64_t>(Agg->Obj->Slots.size()) - 1));
       } else if (const auto *Str = std::get_if<StrRef>(&V)) {
         Stack.push_back(Value(
-            static_cast<int64_t>(Prog.names().spelling(Str->Str).size()) -
+            static_cast<int64_t>(Names.spelling(Str->Str).size()) -
             1));
       } else {
         return Fail("HIGH of a non-array value");

@@ -17,63 +17,69 @@
 #ifndef M2C_VM_VM_H
 #define M2C_VM_VM_H
 
+#include "codegen/Linker.h"
 #include "codegen/MCode.h"
 #include "vm/Value.h"
 
-#include <optional>
+#include <cassert>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace m2c::vm {
 
-/// A set of module images linked into a runnable program.
+/// A set of module images linked into a runnable program.  Thin wrapper
+/// over codegen::Linker kept for the add-then-link call style the
+/// examples and tests use; the VM can also interpret a LinkedProgram
+/// produced elsewhere (a build session) directly.
 class Program {
 public:
-  explicit Program(const StringInterner &Names) : Names(Names) {}
+  using LinkedUnit = codegen::LinkedUnit;
+
+  explicit Program(const StringInterner &Names) : Names(Names), Link(Names) {}
 
   /// Adds one compiled module.  Call before link().
-  void addImage(codegen::ModuleImage Image);
+  void addImage(codegen::ModuleImage Image) {
+    assert(!Linked && "addImage after link");
+    Link.addImage(std::move(Image));
+  }
 
   /// Resolves cross-module references and computes initialization order.
   /// Returns true on success; on failure errors() describes the problems.
-  bool link();
+  bool link() {
+    assert(!Linked && "link called twice");
+    Linked = true;
+    Prog = Link.link();
+    return Prog.ok();
+  }
 
-  const std::vector<std::string> &errors() const { return Errors; }
+  const std::vector<std::string> &errors() const { return Prog.errors(); }
 
-  //===--- Linked layout (used by the VM) ---------------------------------===//
-  struct LinkedUnit {
-    const codegen::CodeUnit *Unit = nullptr;
-    int32_t ModuleIndex = -1;
-    std::vector<int32_t> Callees; ///< Linked unit index per CalleeRef.
-    struct GlobalSlot {
-      int32_t ModuleIndex;
-      int32_t Slot;
-    };
-    std::vector<GlobalSlot> Globals;
-  };
-
-  const std::vector<codegen::ModuleImage> &images() const { return Images; }
-  const std::vector<LinkedUnit> &units() const { return Units; }
-  const std::vector<int32_t> &initOrder() const { return InitOrder; }
-  int32_t findUnit(Symbol Module, const std::string &Name) const;
+  const std::vector<codegen::ModuleImage> &images() const {
+    return Prog.images();
+  }
+  const std::vector<LinkedUnit> &units() const { return Prog.units(); }
+  const std::vector<int32_t> &initOrder() const { return Prog.initOrder(); }
+  int32_t findUnit(Symbol Module, const std::string &Name) const {
+    return Prog.findUnit(Module, Name);
+  }
   const StringInterner &names() const { return Names; }
+  const codegen::LinkedProgram &linked() const { return Prog; }
 
 private:
   const StringInterner &Names;
-  std::vector<codegen::ModuleImage> Images;
-  std::vector<LinkedUnit> Units;
-  std::unordered_map<std::string, int32_t> UnitByName;
-  std::unordered_map<uint32_t, int32_t> ModuleBySymbol;
-  std::vector<int32_t> InitOrder; ///< Module indexes, imports first.
-  std::vector<std::string> Errors;
+  codegen::Linker Link;
+  codegen::LinkedProgram Prog;
   bool Linked = false;
 };
 
 /// Interprets a linked Program.
 class VM {
 public:
-  explicit VM(const Program &Prog);
+  explicit VM(const Program &Prog) : VM(Prog.linked(), Prog.names()) {}
+
+  /// Interprets a LinkedProgram produced directly by codegen::Linker
+  /// (e.g. from a build session's images).
+  VM(const codegen::LinkedProgram &Prog, const StringInterner &Names);
 
   struct RunResult {
     std::string Output;
@@ -113,7 +119,8 @@ private:
                    uint64_t MaxSteps);
   void trap(RunResult &Result, const std::string &Message);
 
-  const Program &Prog;
+  const codegen::LinkedProgram &Prog;
+  const StringInterner &Names;
   std::vector<std::unique_ptr<std::vector<Value>>> Globals; ///< Per module.
   std::vector<int64_t> Input;
   size_t InputPos = 0;

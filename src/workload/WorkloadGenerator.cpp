@@ -279,6 +279,123 @@ GeneratedModule WorkloadGenerator::generate(const ModuleSpec &Spec) {
   return Info;
 }
 
+GeneratedProject WorkloadGenerator::generateProject(const ProjectSpec &Spec) {
+  Rng R(Spec.Seed);
+  GeneratedProject Info;
+  auto SharedName = [&](unsigned K) {
+    return Spec.Name + "Shared" + std::to_string(K);
+  };
+  auto ModName = [&](unsigned J) {
+    return Spec.Name + "M" + std::to_string(J);
+  };
+  unsigned Decls = std::max(2u, Spec.InterfaceDecls);
+  unsigned Procs = std::max(1u, Spec.ProcsPerModule);
+
+  //===--- Shared interfaces (imported by every library module) -----------===//
+  for (unsigned K = 0; K < Spec.SharedInterfaces; ++K) {
+    std::ostringstream Def;
+    Def << "DEFINITION MODULE " << SharedName(K) << ";\n";
+    Def << "CONST\n";
+    for (unsigned D = 0; D < (Decls + 1) / 2; ++D)
+      Def << "  C" << D << " = " << R.range(1, 97) << ";\n";
+    for (unsigned D = 0; D < Decls / 2; ++D)
+      Def << "PROCEDURE F" << D << "(x: INTEGER): INTEGER;\n";
+    Def << "VAR v0: INTEGER;\n";
+    Def << "END " << SharedName(K) << ".\n";
+    Files.addFile(SharedName(K) + ".def", Def.str());
+
+    std::ostringstream Impl;
+    Impl << "IMPLEMENTATION MODULE " << SharedName(K) << ";\n";
+    for (unsigned D = 0; D < Decls / 2; ++D)
+      Impl << "PROCEDURE F" << D << "(x: INTEGER): INTEGER;\n"
+           << "BEGIN RETURN x * " << D + 2 << " + C0 END F" << D << ";\n";
+    Impl << "BEGIN v0 := C0 END " << SharedName(K) << ".\n";
+    Files.addFile(SharedName(K) + ".mod", Impl.str());
+    Info.Modules.push_back(SharedName(K));
+  }
+
+  //===--- The module chain ------------------------------------------------===//
+  for (unsigned J = 0; J < Spec.NumModules; ++J) {
+    std::ostringstream Def;
+    Def << "DEFINITION MODULE " << ModName(J) << ";\n"
+        << "PROCEDURE Work(n: INTEGER): INTEGER;\n"
+        << "END " << ModName(J) << ".\n";
+    Files.addFile(ModName(J) + ".def", Def.str());
+
+    std::ostringstream Impl;
+    Impl << "IMPLEMENTATION MODULE " << ModName(J) << ";\n";
+    if (Spec.SharedInterfaces) {
+      Impl << "IMPORT ";
+      for (unsigned K = 0; K < Spec.SharedInterfaces; ++K)
+        Impl << (K ? ", " : "") << SharedName(K);
+      Impl << ";\n";
+    }
+    if (J > 0)
+      Impl << "IMPORT " << ModName(J - 1) << ";\n";
+    for (unsigned P = 0; P < Procs; ++P) {
+      Impl << "PROCEDURE H" << P << "(a, b: INTEGER): INTEGER;\n"
+           << "VAR i, t, acc: INTEGER;\nBEGIN\n  acc := 0; t := b;\n";
+      unsigned Stmts = std::max(
+          2u, static_cast<unsigned>(Spec.MeanProcStmts * 0.5) +
+                  R.range(0, Spec.MeanProcStmts));
+      for (unsigned S = 0; S < Stmts; ++S) {
+        switch (R.range(0, 3)) {
+        case 0:
+          Impl << "  t := (a * " << R.range(2, 9) << " + acc) MOD "
+               << R.range(5, 17) << ";\n";
+          break;
+        case 1:
+          Impl << "  FOR i := 0 TO " << R.range(3, 9)
+               << " DO acc := acc + i + t END;\n";
+          break;
+        case 2:
+          Impl << "  WHILE t > 0 DO t := t DIV 2; INC(acc) END;\n";
+          break;
+        case 3:
+          if (Spec.SharedInterfaces) {
+            unsigned K = R.range(0, Spec.SharedInterfaces - 1);
+            Impl << "  acc := acc + " << SharedName(K) << ".C"
+                 << R.range(0, (Decls + 1) / 2 - 1) << ";\n";
+          } else {
+            Impl << "  acc := acc + 1;\n";
+          }
+          break;
+        }
+      }
+      if (Spec.SharedInterfaces) {
+        unsigned K = R.range(0, Spec.SharedInterfaces - 1);
+        Impl << "  acc := acc + " << SharedName(K) << ".F0(a);\n";
+      }
+      Impl << "  RETURN acc + t\nEND H" << P << ";\n";
+    }
+    Impl << "PROCEDURE Work(n: INTEGER): INTEGER;\n"
+         << "VAR r, i: INTEGER;\nBEGIN\n  r := 0;\n"
+         << "  FOR i := 0 TO n DO r := r + H0(i, n) END;\n"
+         << "  r := r + H" << Procs - 1 << "(n, 2);\n";
+    if (J > 0)
+      Impl << "  r := r + " << ModName(J - 1) << ".Work(n);\n";
+    Impl << "  RETURN r\nEND Work;\n"
+         << "END " << ModName(J) << ".\n";
+    Files.addFile(ModName(J) + ".mod", Impl.str());
+    Info.Modules.push_back(ModName(J));
+  }
+
+  //===--- The root program ------------------------------------------------===//
+  Info.Root = Spec.Name + "Main";
+  std::ostringstream Main;
+  Main << "MODULE " << Info.Root << ";\n";
+  if (Spec.NumModules)
+    Main << "IMPORT " << ModName(Spec.NumModules - 1) << ";\n";
+  Main << "VAR r: INTEGER;\nBEGIN\n  r := 0;\n";
+  if (Spec.NumModules)
+    Main << "  r := " << ModName(Spec.NumModules - 1) << ".Work(4);\n";
+  Main << "  WriteInt(r, 0); WriteLn\nEND " << Info.Root << ".\n";
+  Files.addFile(Info.Root + ".mod", Main.str());
+  Info.Modules.push_back(Info.Root);
+  Info.InterfaceCount = Spec.SharedInterfaces + Spec.NumModules;
+  return Info;
+}
+
 std::vector<ModuleSpec> WorkloadGenerator::paperSuite() {
   // Table 1 anchors: min / median / max of each attribute over the 37
   // programs.  Values between anchors interpolate geometrically, with

@@ -70,6 +70,34 @@ struct GeneratedModule {
   unsigned ProcedureCount = 0;
 };
 
+/// Parameters of one generated multi-module project: a chain of library
+/// modules (each with its own interface) over a set of shared interfaces
+/// that *every* module imports, plus a root program module.  The shared
+/// interfaces are what make a build session pay off: a per-module
+/// compile loop re-parses each of them once per module, a session parses
+/// each exactly once.
+struct ProjectSpec {
+  std::string Name = "Proj";
+  /// Library modules (each a .def + .mod pair), chained: module j
+  /// imports module j-1's interface.
+  unsigned NumModules = 6;
+  /// Interfaces (with implementations) imported by every library module.
+  unsigned SharedInterfaces = 3;
+  unsigned ProcsPerModule = 8;
+  unsigned MeanProcStmts = 10;
+  unsigned InterfaceDecls = 16;
+  uint32_t Seed = 11;
+};
+
+/// What generateProject() produced.
+struct GeneratedProject {
+  std::string Root; ///< The program module; build sessions start here.
+  /// Every implementation module, imports first (shared libraries, the
+  /// module chain, then the root) — the per-module compile loop's order.
+  std::vector<std::string> Modules;
+  size_t InterfaceCount = 0; ///< Distinct .def files generated.
+};
+
 /// Generates synthetic compiler input into a VirtualFileSystem.
 class WorkloadGenerator {
 public:
@@ -78,6 +106,11 @@ public:
   /// Generates Spec.Name.mod plus its interface closure; returns the
   /// Table 1 attributes of what was generated.
   GeneratedModule generate(const ModuleSpec &Spec);
+
+  /// Generates a linkable, runnable multi-module project (see
+  /// ProjectSpec).  Deterministic in the seed; the root module writes a
+  /// single integer, so linked output is comparable across build modes.
+  GeneratedProject generateProject(const ProjectSpec &Spec);
 
   /// The canned 37-program suite whose attribute distributions match the
   /// paper's Table 1 (min / median / max anchors, geometric in between).
