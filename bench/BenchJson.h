@@ -1,0 +1,53 @@
+//===--- BenchJson.h - google-benchmark JSON sidecar main -------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared main() body for the google-benchmark binaries: runs the
+/// registered benchmarks with the usual console report, and additionally
+/// writes the results as machine-readable JSON (BENCH_<name>.json in the
+/// current directory) unless the caller passed --benchmark_out themselves.
+/// The JSON sidecars are committed per PR so the perf trajectory across
+/// the repo's history is diffable (see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_BENCH_BENCHJSON_H
+#define M2C_BENCH_BENCHJSON_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace m2c::bench {
+
+/// Runs all registered benchmarks, defaulting --benchmark_out to
+/// \p DefaultJsonPath (format json).  Returns the process exit code.
+inline int runBenchmarksWithJson(int argc, char **argv,
+                                 const char *DefaultJsonPath) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutArg = std::string("--benchmark_out=") + DefaultJsonPath;
+  std::string FmtArg = "--benchmark_out_format=json";
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--benchmark_out=",
+                     sizeof("--benchmark_out=") - 1) == 0)
+      HasOut = true;
+  if (!HasOut) {
+    Args.push_back(OutArg.data());
+    Args.push_back(FmtArg.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
+} // namespace m2c::bench
+
+#endif // M2C_BENCH_BENCHJSON_H

@@ -15,12 +15,14 @@
 #ifndef M2C_BENCH_BENCHSUPPORT_H
 #define M2C_BENCH_BENCHSUPPORT_H
 
+#include "codegen/ObjectFile.h"
 #include "driver/ConcurrentCompiler.h"
 #include "driver/SequentialCompiler.h"
 #include "workload/WorkloadGenerator.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,42 @@ struct SuiteFixture {
     return C.compile(Name);
   }
 };
+
+/// Compiles \p Name on the threaded executor at several processor counts
+/// (plus a repeat run) and exits with an error unless every `.mco` image
+/// is byte-identical — perf work must never make compiler output depend
+/// on scheduling, so the benchmarks refuse to report numbers for a
+/// compiler whose output varies across runs or processor counts.  (The
+/// sequential baseline is not compared: it legitimately differs from the
+/// concurrent pipeline in import bookkeeping and cost accounting.)
+inline void verifyMcoByteIdentity(SuiteFixture &Suite,
+                                  const std::string &Name) {
+  auto Mco = [&](unsigned Procs) {
+    driver::CompilerOptions O;
+    O.Executor = driver::ExecutorKind::Threaded;
+    O.Processors = Procs;
+    driver::CompileResult R = Suite.compileConc(Name, O);
+    if (!R.Success) {
+      std::fprintf(stderr, "byte-identity compile of %s failed:\n%s",
+                   Name.c_str(), R.DiagnosticText.c_str());
+      std::exit(1);
+    }
+    return codegen::writeObjectFile(R.Image, Suite.Interner);
+  };
+  std::string Reference = Mco(1);
+  for (unsigned Procs : {2u, 4u, 4u}) {
+    if (Mco(Procs) != Reference) {
+      std::fprintf(stderr,
+                   "FAIL: %s .mco from threaded(%u) differs from "
+                   "threaded(1) output\n",
+                   Name.c_str(), Procs);
+      std::exit(1);
+    }
+  }
+  std::printf("byte-identity: %s threaded(1) == threaded(2) == "
+              "threaded(4) x2  OK\n",
+              Name.c_str());
+}
 
 /// min / median-ish / mean / max of a vector.
 struct Summary {

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchSupport.h"
 
 #include "lex/Lexer.h"
@@ -96,4 +97,9 @@ BENCHMARK(BM_SimulatedCompile)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Gate the numbers on unchanged compiler output, then report with a
+  // machine-readable sidecar (BENCH_host_throughput.json).
+  verifyMcoByteIdentity(fixture(), "Suite18");
+  return runBenchmarksWithJson(argc, argv, "BENCH_host_throughput.json");
+}

@@ -15,10 +15,10 @@
 #ifndef M2C_AST_AST_H
 #define M2C_AST_AST_H
 
+#include "support/Arena.h"
 #include "support/SourceLocation.h"
 #include "support/StringInterner.h"
 
-#include <memory>
 #include <utility>
 #include <vector>
 
@@ -39,24 +39,37 @@ private:
 };
 
 /// Bump-style owner of one stream's AST nodes.
+///
+/// Node storage comes from a support::Arena (one pointer bump per node
+/// instead of one malloc); the arena cannot run destructors itself, so
+/// created nodes are remembered and destroyed — newest first — when the
+/// ASTArena dies.  Not thread-safe: each stream's parser owns its arena.
 class ASTArena {
 public:
   ASTArena() = default;
   ASTArena(const ASTArena &) = delete;
   ASTArena &operator=(const ASTArena &) = delete;
 
+  ~ASTArena() {
+    for (auto It = Nodes.rbegin(), End = Nodes.rend(); It != End; ++It)
+      (*It)->~Node();
+  }
+
   /// Allocates a node owned by this arena.
   template <typename T, typename... Args> T *create(Args &&...As) {
-    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
-    T *Raw = Owned.get();
-    Nodes.push_back(std::move(Owned));
+    T *Raw = Mem.create<T>(std::forward<Args>(As)...);
+    Nodes.push_back(Raw);
     return Raw;
   }
 
   size_t size() const { return Nodes.size(); }
 
+  /// Bytes of node storage handed out so far.
+  size_t bytesAllocated() const { return Mem.bytesAllocated(); }
+
 private:
-  std::vector<std::unique_ptr<Node>> Nodes;
+  support::Arena Mem;
+  std::vector<Node *> Nodes;
 };
 
 } // namespace m2c::ast

@@ -31,7 +31,7 @@ size_t InterfaceSet::streamCount() const {
 
 void InterfaceSet::startDefStream(Symbol Name, symtab::Scope &ModScope) {
   auto Owned = std::make_unique<DefStream>(
-      "def." + std::string(Comp.Interner.spelling(Name)));
+      "def." + std::string(Comp.Interner.spelling(Name)), Comp.TokenBlocks);
   DefStream *S = Owned.get();
   S->Name = Name;
   S->ModScope = &ModScope;

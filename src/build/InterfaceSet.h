@@ -59,7 +59,8 @@ private:
     ast::ASTArena Arena;
     sched::TaskPtr ParserTask;
 
-    explicit DefStream(std::string QueueName) : Queue(std::move(QueueName)) {}
+    DefStream(std::string QueueName, TokenBlockPool &Pool)
+        : Queue(std::move(QueueName), &Pool) {}
   };
 
   void startDefStream(Symbol Name, symtab::Scope &ModScope);

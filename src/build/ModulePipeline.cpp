@@ -25,9 +25,10 @@ using namespace m2c::sched;
 using namespace m2c::sema;
 using namespace m2c::symtab;
 
-ModulePipeline::ProcStream::ProcStream(Symbol Name, std::string Qual)
+ModulePipeline::ProcStream::ProcStream(Symbol Name, std::string Qual,
+                                       TokenBlockPool &Pool)
     : Name(Name), QualifiedName(std::move(Qual)),
-      Queue("proc." + QualifiedName),
+      Queue("proc." + QualifiedName, &Pool),
       HeadingDone(
           makeEvent("heading." + QualifiedName, EventKind::Avoided)) {}
 
@@ -36,8 +37,8 @@ ModulePipeline::ModulePipeline(const driver::CompilerOptions &Options,
                                TaskSpawner &Spawner)
     : Options(Options), Comp(Comp), Spawner(Spawner),
       ModName(Comp.Interner.intern(ModuleName)), Merge(ModName),
-      RawQueue(std::string(ModuleName) + ".raw"),
-      MainQueue(std::string(ModuleName) + ".main") {}
+      RawQueue(std::string(ModuleName) + ".raw", &Comp.TokenBlocks),
+      MainQueue(std::string(ModuleName) + ".main", &Comp.TokenBlocks) {}
 
 ModulePipeline::~ModulePipeline() = default;
 
@@ -63,7 +64,8 @@ ModulePipeline::ProcStream *ModulePipeline::createProcStream(ProcStream *Parent,
                                ? Parent->QualifiedName
                                : std::string(Comp.Interner.spelling(ModName));
   auto Owned = std::make_unique<ProcStream>(
-      Name, ParentQual + "." + std::string(Comp.Interner.spelling(Name)));
+      Name, ParentQual + "." + std::string(Comp.Interner.spelling(Name)),
+      Comp.TokenBlocks);
   ProcStream *S = Owned.get();
   S->Parent = Parent;
   S->ParentScope = Parent ? Parent->ProcScope.get() : ModuleScopePtr.get();

@@ -108,7 +108,7 @@ private:
     std::mutex ChildrenMutex;
     std::vector<ProcStream *> Children; ///< Splitter discovery order.
 
-    ProcStream(Symbol Name, std::string Qual);
+    ProcStream(Symbol Name, std::string Qual, TokenBlockPool &Pool);
   };
 
   bool avoidance() const {

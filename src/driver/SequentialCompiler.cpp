@@ -38,7 +38,8 @@ struct SeqState {
     const SourceBuffer *Buf = Comp.Files.lookup(FileName);
     if (!Buf)
       return nullptr;
-    Queues.push_back(std::make_unique<TokenBlockQueue>(FileName));
+    Queues.push_back(
+        std::make_unique<TokenBlockQueue>(FileName, &Comp.TokenBlocks));
     Lexer Lex(*Buf, Comp.Interner, Comp.Diags);
     Lex.lexAll(*Queues.back());
     return Queues.back().get();

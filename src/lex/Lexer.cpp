@@ -9,11 +9,11 @@
 
 #include "sched/ExecContext.h"
 
+#include <array>
 #include <cassert>
-#include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <string>
-#include <unordered_map>
 
 using namespace m2c;
 
@@ -53,21 +53,96 @@ bool m2c::isKeyword(TokenKind Kind) {
 
 namespace {
 
-/// Reserved-word table; built on first use.
-const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
-  static const std::unordered_map<std::string_view, TokenKind> Table = {
-#define KEYWORD(Name, Spelling) {Spelling, TokenKind::Name},
-#include "lex/TokenKinds.def"
+/// Reserved-word lookup, bucketed by (first letter, length).  Every
+/// bucket holds at most three keywords (RECORD/REPEAT/RETURN), so a
+/// probe is a couple of memcmps on short strings — much cheaper than
+/// hashing the spelling into an unordered_map, and this probe runs once
+/// per uppercase-looking identifier.
+struct KeywordBuckets {
+  struct Entry {
+    std::string_view Spelling;
+    TokenKind Kind = TokenKind::Identifier;
   };
+  struct Bucket {
+    std::array<Entry, 3> Entries;
+    unsigned Count = 0;
+  };
+  // Keywords are 2..14 chars (13 lengths) starting with A..Z.
+  std::array<Bucket, 26 * 13> Buckets;
+
+  static unsigned index(char First, size_t Len) {
+    return static_cast<unsigned>(First - 'A') * 13 +
+           static_cast<unsigned>(Len - 2);
+  }
+
+  KeywordBuckets() {
+#define KEYWORD(Name, Spelling) add(Spelling, TokenKind::Name);
+#include "lex/TokenKinds.def"
+  }
+
+  void add(std::string_view Spelling, TokenKind Kind) {
+    Bucket &B = Buckets[index(Spelling.front(), Spelling.size())];
+    assert(B.Count < B.Entries.size() && "keyword bucket overflow");
+    B.Entries[B.Count++] = {Spelling, Kind};
+  }
+};
+
+const KeywordBuckets &keywordBuckets() {
+  static const KeywordBuckets Table;
   return Table;
 }
 
-bool isIdentStart(char C) { return std::isalpha(static_cast<unsigned char>(C)); }
+/// Branch-free character classification.  The scan loops run once per
+/// source character; a table load beats the libc ctype machinery (which
+/// chases the locale pointer on every call).
+enum : uint8_t {
+  CCIdentStart = 1 << 0, // A-Z a-z
+  CCIdentCont = 1 << 1,  // A-Z a-z 0-9 _
+};
+
+constexpr std::array<uint8_t, 256> CharClass = [] {
+  std::array<uint8_t, 256> T{};
+  for (unsigned C = 'A'; C <= 'Z'; ++C)
+    T[C] = CCIdentStart | CCIdentCont;
+  for (unsigned C = 'a'; C <= 'z'; ++C)
+    T[C] = CCIdentStart | CCIdentCont;
+  for (unsigned C = '0'; C <= '9'; ++C)
+    T[C] = CCIdentCont;
+  T['_'] = CCIdentCont;
+  return T;
+}();
+
+bool isIdentStart(char C) {
+  return CharClass[static_cast<unsigned char>(C)] & CCIdentStart;
+}
 bool isIdentCont(char C) {
-  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  return CharClass[static_cast<unsigned char>(C)] & CCIdentCont;
 }
 bool isDigit(char C) { return C >= '0' && C <= '9'; }
 bool isHexDigit(char C) { return isDigit(C) || (C >= 'A' && C <= 'F'); }
+
+/// Parses a run of digits already validated for \p Base (hex digits use
+/// the uppercase Modula-2 alphabet).  Avoids the std::string temporary a
+/// strtoll call would need for NUL termination.
+int64_t parseIntRun(std::string_view Digits, unsigned Base) {
+  uint64_t Value = 0;
+  for (char D : Digits) {
+    unsigned Digit =
+        D <= '9' ? static_cast<unsigned>(D - '0')
+                 : static_cast<unsigned>(D - 'A') + 10;
+    Value = Value * Base + Digit;
+  }
+  return static_cast<int64_t>(Value);
+}
+
+/// Every reserved word is 2..14 uppercase letters, so most identifiers
+/// (anything lowercase-initial, single-letter, or long) can skip the
+/// keyword hash probe entirely.
+bool maybeKeyword(std::string_view Spelling) {
+  return Spelling.size() >= 2 && Spelling.size() <= 14 &&
+         Spelling.front() >= 'A' && Spelling.front() <= 'Z' &&
+         Spelling.back() >= 'A' && Spelling.back() <= 'Z';
+}
 
 } // namespace
 
@@ -161,31 +236,69 @@ Token Lexer::lex() {
     Result = lexPunctuation(Loc);
   }
 
-  sched::ctx().charge(sched::CostKind::LexChar, CharsSinceCharge);
-  sched::ctx().charge(sched::CostKind::LexToken);
+  // One thread-local context lookup per token, not one per charge.
+  sched::ExecContext &Ctx = sched::ctx();
+  Ctx.charge(sched::CostKind::LexChar, CharsSinceCharge);
+  Ctx.charge(sched::CostKind::LexToken);
   CharsSinceCharge = 0;
   return Result;
 }
 
+void Lexer::bumpRun(size_t NewPos) {
+  // The scanned run is known to contain no newlines, so line accounting
+  // reduces to one column adjustment.
+  Column += static_cast<uint32_t>(NewPos - Pos);
+  CharsSinceCharge += NewPos - Pos;
+  Pos = NewPos;
+}
+
 Token Lexer::lexIdentifierOrKeyword(SourceLocation Loc) {
   size_t Start = Pos;
-  while (!atEnd() && isIdentCont(peekChar()))
-    bump();
-  std::string_view Spelling = Text.substr(Start, Pos - Start);
-  auto It = keywordTable().find(Spelling);
-  if (It != keywordTable().end())
-    return makeToken(It->second, Loc);
+  size_t End = Pos;
+  while (End < Text.size() && isIdentCont(Text[End]))
+    ++End;
+  bumpRun(End);
+  std::string_view Spelling = Text.substr(Start, End - Start);
+  if (maybeKeyword(Spelling)) {
+    const KeywordBuckets::Bucket &B =
+        keywordBuckets()
+            .Buckets[KeywordBuckets::index(Spelling.front(), Spelling.size())];
+    for (unsigned I = 0; I < B.Count; ++I)
+      if (std::memcmp(B.Entries[I].Spelling.data(), Spelling.data(),
+                      Spelling.size()) == 0)
+        return makeToken(B.Entries[I].Kind, Loc);
+  }
   Token T = makeToken(TokenKind::Identifier, Loc);
-  T.Ident = Interner.intern(Spelling);
+  T.Ident = internIdent(Spelling);
   return T;
+}
+
+Symbol Lexer::internIdent(std::string_view Spelling) {
+  // FNV-1a; identifiers are short, so this costs a few cycles and lets
+  // repeat mentions bypass the interner's hash + shard lock entirely.
+  uint64_t Hash = 1469598103934665603ull;
+  for (char C : Spelling)
+    Hash = (Hash ^ static_cast<unsigned char>(C)) * 1099511628211ull;
+  CachedIdent &E = IdentCache[Hash & (IdentCacheSize - 1)];
+  if (E.Data && E.Len == Spelling.size() &&
+      (E.Data == Spelling.data() ||
+       std::memcmp(E.Data, Spelling.data(), E.Len) == 0))
+    return E.Sym;
+  Symbol Sym = Interner.intern(Spelling);
+  E.Data = Spelling.data();
+  E.Len = static_cast<uint32_t>(Spelling.size());
+  E.Sym = Sym;
+  return Sym;
 }
 
 Token Lexer::lexNumber(SourceLocation Loc) {
   size_t Start = Pos;
   // Scan the longest run of hex digits; its interpretation depends on the
   // trailing marker (H = hex, B = octal, C = char code, none = decimal).
-  while (!atEnd() && isHexDigit(peekChar()))
-    bump();
+  size_t End = Pos;
+  while (End < Text.size() && isHexDigit(Text[End]))
+    ++End;
+  bumpRun(End);
 
   char Marker = atEnd() ? '\0' : peekChar();
   std::string_view Digits = Text.substr(Start, Pos - Start);
@@ -193,7 +306,7 @@ Token Lexer::lexNumber(SourceLocation Loc) {
   if (Marker == 'H') {
     bump();
     Token T = makeToken(TokenKind::IntLiteral, Loc);
-    T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 16);
+    T.IntValue = parseIntRun(Digits, 16);
     return T;
   }
 
@@ -216,7 +329,7 @@ Token Lexer::lexNumber(SourceLocation Loc) {
     Token T = makeToken(Suffix == 'C' ? TokenKind::CharLiteral
                                       : TokenKind::IntLiteral,
                         Loc);
-    T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 8);
+    T.IntValue = parseIntRun(Digits, 8);
     return T;
   }
 
@@ -228,7 +341,7 @@ Token Lexer::lexNumber(SourceLocation Loc) {
   if (!AllDecimal) {
     Diags.error(Loc, "hexadecimal constant requires a trailing 'H'");
     Token T = makeToken(TokenKind::IntLiteral, Loc);
-    T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 16);
+    T.IntValue = parseIntRun(Digits, 16);
     return T;
   }
 
@@ -249,14 +362,23 @@ Token Lexer::lexNumber(SourceLocation Loc) {
     }
     (void)FracStart;
     Token T = makeToken(TokenKind::RealLiteral, Loc);
-    T.RealValue =
-        std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
-                    nullptr);
+    // strtod needs NUL termination and must not read past the literal
+    // (the next source char could extend its grammar, e.g. a lowercase
+    // 'e'); a stack buffer covers every realistic literal length.
+    std::string_view Literal = Text.substr(Start, Pos - Start);
+    char Buf[64];
+    if (Literal.size() < sizeof(Buf)) {
+      std::memcpy(Buf, Literal.data(), Literal.size());
+      Buf[Literal.size()] = '\0';
+      T.RealValue = std::strtod(Buf, nullptr);
+    } else {
+      T.RealValue = std::strtod(std::string(Literal).c_str(), nullptr);
+    }
     return T;
   }
 
   Token T = makeToken(TokenKind::IntLiteral, Loc);
-  T.IntValue = std::strtoll(std::string(Digits).c_str(), nullptr, 10);
+  T.IntValue = parseIntRun(Digits, 10);
   return T;
 }
 

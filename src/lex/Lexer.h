@@ -21,6 +21,8 @@
 #include "support/StringInterner.h"
 #include "support/VirtualFileSystem.h"
 
+#include <array>
+#include <cstdint>
 #include <string_view>
 
 namespace m2c {
@@ -47,6 +49,9 @@ public:
 private:
   char peekChar(unsigned Ahead = 0) const;
   char bump();
+  /// Advances to \p NewPos across a run known to contain no newlines
+  /// (identifier/number bodies), skipping per-char line accounting.
+  void bumpRun(size_t NewPos);
   bool atEnd() const { return Pos >= Text.size(); }
   void skipWhitespaceAndComments();
 
@@ -56,6 +61,19 @@ private:
   Token lexString(SourceLocation Loc, char Quote);
   Token lexPunctuation(SourceLocation Loc);
 
+  /// Interns an identifier spelling through a small direct-mapped cache,
+  /// skipping the interner's shard lock when the same spelling recurs
+  /// (source text re-mentions the same names constantly).  Cached keys
+  /// point into \p Text, which outlives the lexer.
+  Symbol internIdent(std::string_view Spelling);
+
+  struct CachedIdent {
+    const char *Data = nullptr;
+    uint32_t Len = 0;
+    Symbol Sym;
+  };
+  static constexpr size_t IdentCacheSize = 512; // power of two
+
   std::string_view Text;
   FileId File;
   StringInterner &Interner;
@@ -64,6 +82,7 @@ private:
   uint32_t Line = 1;
   uint32_t Column = 1;
   uint64_t CharsSinceCharge = 0;
+  std::array<CachedIdent, IdentCacheSize> IdentCache{};
 };
 
 } // namespace m2c

@@ -13,43 +13,78 @@
 
 using namespace m2c;
 
-TokenBlockQueue::Block &TokenBlockQueue::blockAt(size_t BlockIdx) {
+TokenBlock *TokenBlockPool::acquire() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!FreeList.empty()) {
+    TokenBlock *B = FreeList.back();
+    FreeList.pop_back();
+    return B;
+  }
+  Storage.push_back(std::make_unique<TokenBlock>());
+  return Storage.back().get();
+}
+
+void TokenBlockPool::release(TokenBlock *B) {
+  assert(B && "releasing null block");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  FreeList.push_back(B);
+}
+
+size_t TokenBlockPool::blocksAllocated() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Storage.size();
+}
+
+TokenBlockQueue::~TokenBlockQueue() {
+  // No readers may touch the queue once it is being destroyed, so every
+  // block can go back to the pool (or the heap).
+  for (BlockSlot &S : Blocks) {
+    if (!S.Data)
+      continue;
+    if (Pool)
+      Pool->release(S.Data);
+    else
+      delete S.Data;
+  }
+}
+
+TokenBlockQueue::BlockSlot &TokenBlockQueue::slotAt(size_t BlockIdx) {
   while (Blocks.size() <= BlockIdx) {
-    Block B;
-    B.Ready = sched::makeEvent(Name + ".block" + std::to_string(Blocks.size()),
+    BlockSlot S;
+    S.Ready = sched::makeEvent(Name + ".block" + std::to_string(Blocks.size()),
                                sched::EventKind::Barrier);
-    Blocks.push_back(std::move(B));
+    Blocks.push_back(std::move(S));
   }
   return Blocks[BlockIdx];
 }
 
-void TokenBlockQueue::append(const Token &T) {
-  assert(!Finished && "append after finish");
+void TokenBlockQueue::startBlock() {
+  TokenBlock *Fresh = Pool ? Pool->acquire() : new TokenBlock();
   size_t BlockIdx = ProducerNext / BlockCap;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Block &B = blockAt(BlockIdx);
-    assert(!B.Ready->isSignaled() && "append into published block");
-    B.Tokens.push_back(T);
+    BlockSlot &S = slotAt(BlockIdx);
+    assert(!S.Data && !S.Ready->isSignaled() && "restarting published block");
+    S.Data = Fresh;
   }
-  ++ProducerNext;
-  if (!T.isEof())
-    ++Produced;
-  if (ProducerNext % BlockCap == 0)
-    publishCurrent();
+  CurBlock = Fresh;
+  CurFill = 0;
 }
 
 void TokenBlockQueue::publishCurrent() {
-  // Publish the most recently filled block: it is the one ending at
-  // ProducerNext - 1 (or the partial block containing ProducerNext).
+  assert(CurBlock && CurFill > 0 && "publishing empty block");
   size_t BlockIdx = (ProducerNext - 1) / BlockCap;
   sched::EventPtr Ready;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Ready = blockAt(BlockIdx).Ready;
+    BlockSlot &S = slotAt(BlockIdx);
+    S.Count = CurFill;
+    Ready = S.Ready;
   }
-  if (Ready->isSignaled())
-    return;
+  CurBlock = nullptr;
+  CurFill = 0;
+  // The event signal is the publication point: readers observe Count and
+  // the block contents only after seeing Ready signaled.
   sched::ctx().charge(sched::CostKind::QueueBlock);
   sched::ctx().signal(*Ready);
 }
@@ -61,31 +96,31 @@ void TokenBlockQueue::finish(SourceLocation EofLoc) {
   Eof.Loc = EofLoc;
   for (unsigned I = 0; I < EofPad; ++I)
     append(Eof);
-  if (ProducerNext % BlockCap != 0)
+  if (CurBlock)
     publishCurrent();
   Finished = true;
 }
 
-const Token &
-TokenBlockQueue::tokenAt(size_t Index,
-                         std::vector<const std::vector<Token> *> &Seen) {
+const Token &TokenBlockQueue::tokenAt(size_t Index,
+                                      std::vector<Reader::SeenBlock> &Seen) {
   size_t BlockIdx = Index / BlockCap;
   size_t Offset = Index % BlockCap;
-  if (BlockIdx >= Seen.size() || !Seen[BlockIdx]) {
+  if (BlockIdx >= Seen.size() || !Seen[BlockIdx].Tokens) {
     sched::EventPtr Ready;
     {
       std::lock_guard<std::mutex> Lock(Mutex);
-      Ready = blockAt(BlockIdx).Ready;
+      Ready = slotAt(BlockIdx).Ready;
     }
     if (!Ready->isSignaled())
       sched::ctx().wait(*Ready);
     std::lock_guard<std::mutex> Lock(Mutex);
+    BlockSlot &S = Blocks[BlockIdx];
     if (Seen.size() <= BlockIdx)
-      Seen.resize(BlockIdx + 1, nullptr);
-    Seen[BlockIdx] = &Blocks[BlockIdx].Tokens;
+      Seen.resize(BlockIdx + 1);
+    Seen[BlockIdx] = {S.Data->Tokens, S.Count};
   }
-  const std::vector<Token> &Tokens = *Seen[BlockIdx];
-  assert(Offset < Tokens.size() &&
+  const Reader::SeenBlock &B = Seen[BlockIdx];
+  assert(Offset < B.Count &&
          "read past end of stream: lookahead exceeded the Eof pad");
-  return Tokens[Offset];
+  return B.Tokens[Offset];
 }

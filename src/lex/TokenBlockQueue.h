@@ -19,6 +19,12 @@
 /// A queue supports multiple independent readers — the main module's
 /// token stream is consumed by both the Splitter and the Importer.
 ///
+/// Block storage is a fixed Token[BlockCap] array drawn from an optional
+/// TokenBlockPool, so the producer's steady state is one array store per
+/// token: the queue lock is taken once per *block* (to publish it), not
+/// once per token, and finished queues recycle their block storage for
+/// the next stream of the same compilation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef M2C_LEX_TOKENBLOCKQUEUE_H
@@ -27,32 +33,96 @@
 #include "lex/Token.h"
 #include "sched/Event.h"
 
+#include <cassert>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 namespace m2c {
 
+/// Fixed-capacity token block storage.  Published blocks are immutable,
+/// so readers access Tokens without locking once the block's event has
+/// been observed signaled.
+struct TokenBlock {
+  /// Tokens per block.
+  static constexpr size_t Cap = 64;
+
+  Token Tokens[Cap];
+};
+
+/// Recycles TokenBlock storage across the token queues of one
+/// compilation.  Queues draw blocks from the pool as the producer fills
+/// them and return every block when the queue is destroyed, so a
+/// compilation's peak block count — not its total token count — bounds
+/// the allocations.  Thread-safe: concurrently running streams share one
+/// pool.
+class TokenBlockPool {
+public:
+  TokenBlockPool() = default;
+  TokenBlockPool(const TokenBlockPool &) = delete;
+  TokenBlockPool &operator=(const TokenBlockPool &) = delete;
+
+  /// Pops a free block, allocating a fresh one when the free list is
+  /// empty.  Contents are unspecified; the producer overwrites.
+  TokenBlock *acquire();
+
+  /// Returns \p B to the free list.  \p B must have come from acquire()
+  /// on this pool, and no reader may touch it afterwards.
+  void release(TokenBlock *B);
+
+  /// Total blocks ever allocated (recycled blocks count once).
+  size_t blocksAllocated() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<TokenBlock>> Storage; ///< Owns every block.
+  std::vector<TokenBlock *> FreeList;
+};
+
 /// Multi-reader token stream delivered in event-guarded blocks.
 class TokenBlockQueue {
 public:
   /// Tokens per block.
-  static constexpr size_t BlockCap = 64;
+  static constexpr size_t BlockCap = TokenBlock::Cap;
 
   /// Number of Eof tokens appended by finish().  Bounds the lookahead a
-  /// reader may use: peek(Ahead) requires Ahead < EofPad.
+  /// reader may use: peek(Ahead) requires Ahead < EofPad, so a reader
+  /// positioned on the final real token can still peek at EofPad - 1
+  /// in-bounds tokens.  The pad must fit inside one block so a reader's
+  /// maximum lookahead never reaches past the last published block.
   static constexpr unsigned EofPad = 8;
+  static_assert(EofPad < BlockCap,
+                "Eof pad must fit within a single token block; a larger "
+                "pad would let peek() cross past the final published "
+                "block and wait on an event no producer will signal");
 
-  explicit TokenBlockQueue(std::string Name) : Name(std::move(Name)) {}
+  /// \p Pool, when given, supplies (and on destruction receives back)
+  /// this queue's block storage; it must outlive the queue.  Without a
+  /// pool the queue heap-allocates blocks itself.
+  explicit TokenBlockQueue(std::string Name, TokenBlockPool *Pool = nullptr)
+      : Name(std::move(Name)), Pool(Pool) {}
   TokenBlockQueue(const TokenBlockQueue &) = delete;
   TokenBlockQueue &operator=(const TokenBlockQueue &) = delete;
+  ~TokenBlockQueue();
 
   //===--- Producer side (single producer) -------------------------------===//
 
   /// Appends \p T, publishing the current block (signaling its event) when
-  /// it fills.
-  void append(const Token &T);
+  /// it fills.  Steady state is lock-free: the producer owns the current
+  /// block exclusively until it publishes it.
+  void append(const Token &T) {
+    assert(!Finished && "append after finish");
+    if (!CurBlock)
+      startBlock();
+    CurBlock->Tokens[CurFill++] = T;
+    ++ProducerNext;
+    if (!T.isEof())
+      ++Produced;
+    if (CurFill == BlockCap)
+      publishCurrent();
+  }
 
   /// Appends EofPad Eof tokens (so reader lookahead never runs off the
   /// end) and publishes the final block.  Must be called exactly once.
@@ -86,11 +156,18 @@ public:
     size_t position() const { return Next; }
 
   private:
+    /// One synchronized-with block: reads through Tokens need no locking
+    /// (published blocks are immutable).
+    struct SeenBlock {
+      const Token *Tokens = nullptr;
+      size_t Count = 0;
+    };
+
     TokenBlockQueue *Q;
     size_t Next = 0;
-    // Blocks this reader has already synchronized with; reads through
-    // these pointers need no locking (published blocks are immutable).
-    std::vector<const std::vector<Token> *> SeenBlocks;
+    std::vector<SeenBlock> SeenBlocks;
+
+    friend class TokenBlockQueue;
   };
 
   const std::string &name() const { return Name; }
@@ -100,25 +177,35 @@ public:
   size_t producedTokens() const { return Produced; }
 
 private:
-  struct Block {
-    std::vector<Token> Tokens;
-    sched::EventPtr Ready;
+  /// Per-block bookkeeping shared between producer and readers; guarded
+  /// by Mutex except where noted.
+  struct BlockSlot {
+    TokenBlock *Data = nullptr; ///< Set by the producer on block start.
+    size_t Count = 0;           ///< Valid once Ready is signaled.
+    sched::EventPtr Ready;      ///< Created lazily by either side.
   };
 
-  const Token &tokenAt(size_t Index,
-                       std::vector<const std::vector<Token> *> &Seen);
+  const Token &tokenAt(size_t Index, std::vector<Reader::SeenBlock> &Seen);
 
-  /// Returns the block at \p BlockIdx, creating it (and its event) if
+  /// Returns the slot at \p BlockIdx, creating it (and its event) if
   /// neither side has touched it yet.  Caller holds Mutex.
-  Block &blockAt(size_t BlockIdx);
+  BlockSlot &slotAt(size_t BlockIdx);
 
+  /// Producer: acquires storage for the block containing ProducerNext.
+  void startBlock();
+
+  /// Producer: records the block's final Count and signals its event.
   void publishCurrent();
 
   const std::string Name;
+  TokenBlockPool *const Pool;
   std::mutex Mutex;
-  std::deque<Block> Blocks; // stable addresses under push_back
-  size_t Produced = 0;      // producer-local; no lock needed
-  size_t ProducerNext = 0;  // index of next token to append
+  std::deque<BlockSlot> Blocks;
+  // Producer-local state; no lock needed (single producer).
+  TokenBlock *CurBlock = nullptr;
+  size_t CurFill = 0;
+  size_t Produced = 0;
+  size_t ProducerNext = 0; ///< Index of next token to append.
   bool Finished = false;
 };
 

@@ -99,6 +99,13 @@ private:
   // Used by the threaded executor to park OS threads on this event.
   std::mutex WaitMutex;
   std::condition_variable WaitCv;
+
+  /// Threaded executor: set (under its gate lock) when some unstarted
+  /// task lists this event as an avoided-event prerequisite.  Lets the
+  /// signal fast path skip the gate lock for the overwhelming majority of
+  /// events that never gate a task; the seq_cst fence pairing on both
+  /// sides (Dekker) guarantees a signal cannot miss a concurrent gating.
+  std::atomic<bool> MayGate{false};
 };
 
 using EventPtr = std::shared_ptr<Event>;

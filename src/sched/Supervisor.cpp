@@ -86,8 +86,7 @@ std::vector<std::string> Supervisor::heldTaskReport() const {
 
 bool Supervisor::boostResolver(const Event &E) {
   Task *Resolver = E.resolver();
-  if (!Resolver || Resolver->isStarted() || Resolver->isBoosted())
+  if (!Resolver || Resolver->isStarted())
     return false;
-  Resolver->boost();
-  return true;
+  return Resolver->boost();
 }

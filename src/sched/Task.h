@@ -80,8 +80,14 @@ public:
 
   /// Priority boost applied when some blocked task is waiting for this
   /// task to signal an event (resolver preference, section 2.3.4).
+  /// boost() returns true only for the call that performed the
+  /// transition, so callers can keep exact boosted-task accounting.
   bool isBoosted() const { return Boosted.load(std::memory_order_relaxed); }
-  void boost() { Boosted.store(true, std::memory_order_relaxed); }
+  bool boost() {
+    bool Expected = false;
+    return Boosted.compare_exchange_strong(Expected, true,
+                                           std::memory_order_acq_rel);
+  }
 
   /// Runs the task body.  Called exactly once, by an executor.
   void invoke() { Body(); }

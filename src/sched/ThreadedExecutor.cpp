@@ -17,17 +17,27 @@ Executor::~Executor() = default;
 ActivitySink::~ActivitySink() = default;
 
 ThreadedExecutor::ThreadedExecutor(unsigned Processors, CostModel Model)
-    : Processors(Processors), Model(Model) {
+    : Processors(Processors), NumShards(Processors), Model(Model),
+      Shards(std::make_unique<Shard[]>(Processors)) {
   assert(Processors > 0 && "need at least one processor");
 }
 
 ThreadedExecutor::~ThreadedExecutor() {
+  ShuttingDown.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> Lock(M);
-    ShuttingDown = true;
+    std::lock_guard<std::mutex> Lock(IdleM);
+    IdleCv.notify_all();
   }
-  WorkCv.notify_all();
-  for (std::thread &W : Workers)
+  {
+    std::lock_guard<std::mutex> Lock(TokenM);
+    TokenCv.notify_all();
+  }
+  std::vector<std::thread> Done;
+  {
+    std::lock_guard<std::mutex> Lock(WorkersM);
+    Done.swap(Workers);
+  }
+  for (std::thread &W : Done)
     if (W.joinable())
       W.join();
 }
@@ -39,97 +49,336 @@ uint64_t ThreadedExecutor::nowNs() const {
           .count());
 }
 
+//===--- Spawning and queues ------------------------------------------------===//
+
 void ThreadedExecutor::spawn(TaskPtr T) {
+  spawnFrom(std::move(T),
+            RoundRobin.fetch_add(1, std::memory_order_relaxed) % NumShards);
+}
+
+void ThreadedExecutor::spawnFrom(TaskPtr T, unsigned HomeShard) {
   assert(T && "null task");
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    ++Incomplete;
+  TotalSpawned.fetch_add(1, std::memory_order_relaxed);
+  Incomplete.fetch_add(1, std::memory_order_acq_rel);
+  if (T->prerequisites().empty()) {
+    pushReady(std::move(T), HomeShard);
+  } else {
+    std::lock_guard<std::mutex> Lock(GateM);
+    // Publish the gating intent before the Supervisor re-checks each
+    // prerequisite's signaled flag: the seq_cst fence pairs with the one
+    // in signal() (Dekker), so either the Supervisor sees the signal or
+    // the signaler sees MayGate and takes GateM to release us.
+    for (const EventPtr &E : T->prerequisites())
+      if (!E->isSignaled())
+        E->MayGate.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     Sup.add(std::move(T));
-    if (Started)
-      ensureWorkerForReadyWork();
+    drainSupervisor(HomeShard);
   }
-  WorkCv.notify_all();
+  ensureWorkerForReadyWork();
+}
+
+void ThreadedExecutor::drainSupervisor(unsigned HomeShard) {
+  while (TaskPtr Ready = Sup.popBest())
+    pushReady(std::move(Ready), HomeShard);
+}
+
+void ThreadedExecutor::pushReady(TaskPtr T, unsigned HomeShard) {
+  // Producer-class tasks (Lexor/Splitter/Importer) go to the global queue
+  // every pop consults first.  This preserves the baseline's
+  // producers-before-consumers admission order: a consumer stuck in a
+  // barrier wait holds its token, so a ready Lexor buried in an
+  // unscanned shard could otherwise starve behind a full token pool.
+  Shard &S =
+      isProducerClass(T->taskClass()) ? ProducerQueue : Shards[HomeShard];
+  unsigned Class = static_cast<unsigned>(T->taskClass());
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.ByClass[Class].push_back(std::move(T));
+  }
+  S.Count.fetch_add(1, std::memory_order_release);
+  ReadyCount.fetch_add(1, std::memory_order_release);
+  if (IdleWorkers.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> Lock(IdleM);
+    IdleCv.notify_one();
+  }
+}
+
+TaskPtr ThreadedExecutor::popFromShard(Shard &S) {
+  std::lock_guard<std::mutex> Lock(S.M);
+  for (unsigned C = 0; C < NumTaskClasses; ++C) {
+    auto &Q = S.ByClass[C];
+    if (Q.empty())
+      continue;
+    auto Best = Q.begin();
+    // Within the long code-generation class, heavier tasks run first
+    // ("code is generated for long procedures before short ones").
+    if (C == static_cast<unsigned>(TaskClass::LongStmtCodeGen))
+      for (auto It = std::next(Q.begin()), End = Q.end(); It != End; ++It)
+        if ((*It)->weight() > (*Best)->weight())
+          Best = It;
+    TaskPtr T = std::move(*Best);
+    Q.erase(Best);
+    S.Count.fetch_sub(1, std::memory_order_release);
+    ReadyCount.fetch_sub(1, std::memory_order_release);
+    if (T->isBoosted()) {
+      unsigned H = BoostedHint.load(std::memory_order_relaxed);
+      while (H > 0 && !BoostedHint.compare_exchange_weak(
+                          H, H - 1, std::memory_order_relaxed)) {
+      }
+    }
+    return T;
+  }
+  return nullptr;
+}
+
+TaskPtr ThreadedExecutor::popBoosted() {
+  auto ScanShard = [this](Shard &S) -> TaskPtr {
+    if (S.Count.load(std::memory_order_acquire) == 0)
+      return nullptr;
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (unsigned C = 0; C < NumTaskClasses; ++C) {
+      auto &Q = S.ByClass[C];
+      for (auto It = Q.begin(), End = Q.end(); It != End; ++It) {
+        if (!(*It)->isBoosted())
+          continue;
+        TaskPtr T = std::move(*It);
+        Q.erase(It);
+        S.Count.fetch_sub(1, std::memory_order_release);
+        ReadyCount.fetch_sub(1, std::memory_order_release);
+        return T;
+      }
+    }
+    return nullptr;
+  };
+  TaskPtr T = ScanShard(ProducerQueue);
+  for (unsigned I = 0; !T && I < NumShards; ++I)
+    T = ScanShard(Shards[I]);
+  // Decrement the hint whether or not the scan found a task: a miss means
+  // the boosted task already left the queues (popped normally, started,
+  // or still gated), and a stale hint would make every pop re-scan.
+  unsigned H = BoostedHint.load(std::memory_order_relaxed);
+  while (H > 0 &&
+         !BoostedHint.compare_exchange_weak(H, H - 1,
+                                            std::memory_order_relaxed)) {
+  }
+  return T;
+}
+
+TaskPtr ThreadedExecutor::tryPop(unsigned HomeShard) {
+  if (BoostedHint.load(std::memory_order_acquire) > 0)
+    if (TaskPtr T = popBoosted())
+      return T;
+  if (ProducerQueue.Count.load(std::memory_order_acquire) > 0)
+    if (TaskPtr T = popFromShard(ProducerQueue))
+      return T;
+  if (Shards[HomeShard].Count.load(std::memory_order_acquire) > 0)
+    if (TaskPtr T = popFromShard(Shards[HomeShard]))
+      return T;
+  // Steal: scan victim shards starting after our own.
+  for (unsigned I = 1; I < NumShards; ++I) {
+    Shard &Victim = Shards[(HomeShard + I) % NumShards];
+    if (Victim.Count.load(std::memory_order_acquire) == 0)
+      continue;
+    if (TaskPtr T = popFromShard(Victim)) {
+      CtSteals.fetch_add(1, std::memory_order_relaxed);
+      return T;
+    }
+  }
+  return nullptr;
+}
+
+//===--- Tokens and worker lifecycle ----------------------------------------===//
+
+bool ThreadedExecutor::tryAcquireToken() {
+  unsigned A = Active.load(std::memory_order_relaxed);
+  while (A < Processors)
+    if (Active.compare_exchange_weak(A, A + 1, std::memory_order_acquire))
+      return true;
+  return false;
+}
+
+void ThreadedExecutor::releaseToken() {
+  Active.fetch_sub(1, std::memory_order_acq_rel);
+  // Prefer handing the token to a resumed task over waking a fresh
+  // worker; resumers block inside their task and cannot make progress any
+  // other way.
+  if (TokenWaiters.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> Lock(TokenM);
+    TokenCv.notify_one();
+    return;
+  }
+  if (ReadyCount.load(std::memory_order_acquire) > 0 &&
+      IdleWorkers.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> Lock(IdleM);
+    IdleCv.notify_one();
+  }
+}
+
+void ThreadedExecutor::acquireTokenBlocking() {
+  while (!tryAcquireToken()) {
+    std::unique_lock<std::mutex> Lock(TokenM);
+    TokenWaiters.fetch_add(1, std::memory_order_release);
+    // The timeout is a lost-wakeup backstop only; releaseToken() notifies
+    // under TokenM whenever waiters exist.
+    TokenCv.wait_for(Lock, std::chrono::milliseconds(10), [this] {
+      return Active.load(std::memory_order_acquire) < Processors ||
+             ShuttingDown.load(std::memory_order_acquire);
+    });
+    TokenWaiters.fetch_sub(1, std::memory_order_release);
+    if (ShuttingDown.load(std::memory_order_acquire))
+      return;
+  }
 }
 
 void ThreadedExecutor::ensureWorkerForReadyWork() {
-  // Caller holds M.  A new OS thread is needed when admission is possible
-  // (ready task, free token) but no parked worker exists to take it; this
-  // happens when workers' tasks blocked on handled events.
-  if (!Sup.hasReady() || Active >= Processors || IdleWorkers > 0)
+  if (!Started.load(std::memory_order_acquire) ||
+      ShuttingDown.load(std::memory_order_acquire))
+    return;
+  if (ReadyCount.load(std::memory_order_acquire) == 0 ||
+      Active.load(std::memory_order_acquire) >= Processors)
+    return;
+  if (IdleWorkers.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> Lock(IdleM);
+    IdleCv.notify_one();
+    return;
+  }
+  // Ready task, free token, nobody parked: every live worker is running
+  // or blocked in a wait, so a new OS thread is needed (the paper's
+  // run-another-task workaround realized by growing the thread pool).
+  std::lock_guard<std::mutex> Lock(WorkersM);
+  if (ShuttingDown.load(std::memory_order_acquire))
+    return;
+  if (Workers.size() >=
+      Processors + Blocked.load(std::memory_order_acquire))
     return;
   unsigned Id = static_cast<unsigned>(Workers.size());
   Workers.emplace_back([this, Id] { workerMain(Id); });
-  Stats.add("sched.workers.spawned");
+  CtWorkersSpawned.fetch_add(1, std::memory_order_relaxed);
 }
+
+//===--- Main loops ---------------------------------------------------------===//
 
 void ThreadedExecutor::run() {
   RunStart = std::chrono::steady_clock::now();
+  Started.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> Lock(M);
-    Started = true;
+    std::lock_guard<std::mutex> Lock(WorkersM);
     for (unsigned I = 0; I < Processors; ++I) {
       unsigned Id = static_cast<unsigned>(Workers.size());
       Workers.emplace_back([this, Id] { workerMain(Id); });
     }
   }
-  WorkCv.notify_all();
 
-  std::unique_lock<std::mutex> Lock(M);
-  while (Incomplete != 0) {
+  auto Quiescent = [this] {
+    return Incomplete.load(std::memory_order_acquire) != 0 &&
+           Active.load(std::memory_order_acquire) == 0 &&
+           ReadyCount.load(std::memory_order_acquire) == 0;
+  };
+  std::unique_lock<std::mutex> Lock(DoneM);
+  while (Incomplete.load(std::memory_order_acquire) != 0) {
     DoneCv.wait_for(Lock, std::chrono::milliseconds(100));
     // Deadlock check: every incomplete task is blocked on a handled event
     // nobody can signal.
-    if (Incomplete != 0 && Active == 0 && !Sup.hasReady()) {
+    if (Quiescent()) {
       // Re-verify after a grace period to avoid racing task handoffs.
       DoneCv.wait_for(Lock, std::chrono::milliseconds(200));
-      if (Incomplete != 0 && Active == 0 && !Sup.hasReady()) {
+      if (Quiescent()) {
+        size_t HeldCount;
+        std::vector<std::string> Report;
+        {
+          std::lock_guard<std::mutex> Gate(GateM);
+          HeldCount = Sup.heldCount();
+          Report = Sup.heldTaskReport();
+        }
         std::fprintf(stderr,
                      "m2c: deadlock: %llu tasks incomplete, none runnable "
                      "(%zu held on avoided events)\n",
-                     static_cast<unsigned long long>(Incomplete),
-                     Sup.heldCount());
-        for (const std::string &Held : Sup.heldTaskReport())
+                     static_cast<unsigned long long>(
+                         Incomplete.load(std::memory_order_acquire)),
+                     HeldCount);
+        for (const std::string &Held : Report)
           std::fprintf(stderr, "  %s\n", Held.c_str());
         std::abort();
       }
     }
   }
-  ShuttingDown = true;
   Lock.unlock();
-  WorkCv.notify_all();
-  for (std::thread &W : Workers)
+
+  ShuttingDown.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Idle(IdleM);
+    IdleCv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> Token(TokenM);
+    TokenCv.notify_all();
+  }
+  std::vector<std::thread> Done;
+  {
+    std::lock_guard<std::mutex> W(WorkersM);
+    Done.swap(Workers);
+  }
+  for (std::thread &W : Done)
     if (W.joinable())
       W.join();
-  Lock.lock();
-  Workers.clear();
-  ShuttingDown = false;
-  Started = false;
+  ShuttingDown.store(false, std::memory_order_release);
+  Started.store(false, std::memory_order_release);
   ElapsedNs = nowNs();
-  Stats.add("sched.tasks.total", Sup.spawnedCount());
+
+  // Flush the hot counters into the (mutex-guarded) StatisticSet once per
+  // run instead of locking it on every scheduling operation.
+  Stats.add("sched.tasks.total",
+            TotalSpawned.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.tasks.started",
+            CtStarted.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.events.signaled",
+            CtSignaled.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.tasks.released_by_event",
+            CtReleasedByEvent.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.waits.barrier",
+            CtBarrierWaits.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.waits.barrier_ns",
+            CtBarrierNs.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.waits.handled",
+            CtHandledWaits.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.boosts", CtBoosts.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.steals", CtSteals.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.workers.spawned",
+            CtWorkersSpawned.exchange(0, std::memory_order_acq_rel));
 }
 
 void ThreadedExecutor::workerMain(unsigned WorkerId) {
-  std::unique_lock<std::mutex> Lock(M);
-  while (true) {
-    while (!ShuttingDown && !(Sup.hasReady() && Active < Processors)) {
-      ++IdleWorkers;
-      WorkCv.wait(Lock);
-      --IdleWorkers;
+  unsigned Home = WorkerId % NumShards;
+  while (!ShuttingDown.load(std::memory_order_acquire)) {
+    TaskPtr T;
+    if (ReadyCount.load(std::memory_order_acquire) > 0 &&
+        tryAcquireToken()) {
+      T = tryPop(Home);
+      if (!T)
+        releaseToken(); // Raced with another popper; requeue ourselves.
     }
-    if (ShuttingDown)
-      return;
-    TaskPtr T = Sup.popBest();
-    assert(T && "ready task disappeared");
-    ++Active;
-    Lock.unlock();
-    runTask(std::move(T), WorkerId);
-    Lock.lock();
-    --Active;
-    --Incomplete;
-    if (Incomplete == 0)
-      DoneCv.notify_all();
-    // A token was freed; admit a parked worker or a resuming task.
-    WorkCv.notify_all();
+    if (T) {
+      runTask(std::move(T), WorkerId);
+      releaseToken();
+      if (Incomplete.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(DoneM);
+        DoneCv.notify_all();
+      }
+      continue;
+    }
+    // Nothing admissible: park.  Pushers notify under IdleM after the
+    // queue counters are visible, and the predicate re-checks them under
+    // the same lock, so wakeups cannot be lost; the timeout is a
+    // backstop.
+    std::unique_lock<std::mutex> Lock(IdleM);
+    IdleWorkers.fetch_add(1, std::memory_order_release);
+    IdleCv.wait_for(Lock, std::chrono::milliseconds(50), [this] {
+      return ShuttingDown.load(std::memory_order_acquire) ||
+             (ReadyCount.load(std::memory_order_acquire) > 0 &&
+              Active.load(std::memory_order_acquire) < Processors);
+    });
+    IdleWorkers.fetch_sub(1, std::memory_order_release);
   }
 }
 
@@ -137,7 +386,7 @@ void ThreadedExecutor::runTask(TaskPtr T, unsigned WorkerId) {
   bool First = T->markStarted();
   assert(First && "task started twice");
   (void)First;
-  Stats.add("sched.tasks.started");
+  CtStarted.fetch_add(1, std::memory_order_relaxed);
   WorkerContext Ctx(*this, *T, WorkerId);
   Ctx.IntervalStartNs = nowNs();
   {
@@ -157,27 +406,40 @@ void ThreadedExecutor::flushInterval(WorkerContext &Ctx) {
   Ctx.IntervalStartNs = End;
 }
 
+//===--- WorkerContext ------------------------------------------------------===//
+
 void ThreadedExecutor::WorkerContext::charge(CostKind Kind, uint64_t Count) {
   ChargedUnits += Exec.Model.unitsFor(Kind, Count);
 }
 
 void ThreadedExecutor::WorkerContext::signal(Event &E) {
-  std::lock_guard<std::mutex> Lock(Exec.M);
   if (!E.markSignaled(Exec.nowNs()))
     return;
-  Exec.Stats.add("sched.events.signaled");
-  unsigned Released = Exec.Sup.noteSignaled(E);
-  if (Released)
-    Exec.Stats.add("sched.tasks.released_by_event", Released);
-  Exec.ensureWorkerForReadyWork();
+  Exec.CtSignaled.fetch_add(1, std::memory_order_relaxed);
+  // Wake tasks parked on this event.  The empty critical section pairs
+  // with the waiters' signaled-recheck under WaitMutex: a waiter that
+  // missed the flag is either inside wait() (and gets the notify) or
+  // about to re-check (and sees the flag).
+  {
+    std::lock_guard<std::mutex> Lock(E.WaitMutex);
+  }
   E.WaitCv.notify_all();
-  Exec.WorkCv.notify_all();
+  // Dekker pairing with spawnFrom(): if a spawner is concurrently gating
+  // a task on this event, either we observe MayGate here or the spawner's
+  // re-check observes the signaled flag.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (E.MayGate.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> Lock(Exec.GateM);
+    unsigned Released = Exec.Sup.noteSignaled(E);
+    if (Released) {
+      Exec.CtReleasedByEvent.fetch_add(Released, std::memory_order_relaxed);
+      Exec.drainSupervisor(WorkerId % Exec.NumShards);
+    }
+  }
+  Exec.ensureWorkerForReadyWork();
 }
 
 void ThreadedExecutor::WorkerContext::wait(Event &E) {
-  if (E.isSignaled())
-    return;
-  std::unique_lock<std::mutex> Lock(Exec.M);
   if (E.isSignaled())
     return;
 
@@ -185,37 +447,43 @@ void ThreadedExecutor::WorkerContext::wait(Event &E) {
     // Barrier waits hold the processor: "the worker simply waits for the
     // event to occur" (section 2.3.3).  Safe because token producers
     // (Lexor tasks) never block and are already running.
-    Exec.Stats.add("sched.waits.barrier");
-    Lock.unlock();
+    Exec.CtBarrierWaits.fetch_add(1, std::memory_order_relaxed);
     Exec.flushInterval(*this);
-    Lock.lock();
+    Exec.Blocked.fetch_add(1, std::memory_order_acq_rel);
+    Exec.ensureWorkerForReadyWork();
     uint64_t WaitStart = Exec.nowNs();
-    while (!E.isSignaled())
-      E.WaitCv.wait(Lock);
-    Exec.Stats.add("sched.waits.barrier_ns", Exec.nowNs() - WaitStart);
+    {
+      std::unique_lock<std::mutex> Lock(E.WaitMutex);
+      while (!E.isSignaled())
+        E.WaitCv.wait(Lock);
+    }
+    Exec.Blocked.fetch_sub(1, std::memory_order_acq_rel);
+    Exec.CtBarrierNs.fetch_add(Exec.nowNs() - WaitStart,
+                               std::memory_order_relaxed);
     IntervalStartNs = Exec.nowNs();
     return;
   }
 
   assert(E.kind() == EventKind::Handled &&
          "avoided events gate task start and are never waited on mid-task");
-  Exec.Stats.add("sched.waits.handled");
-  if (Exec.Sup.boostResolver(E))
-    Exec.Stats.add("sched.boosts");
+  Exec.CtHandledWaits.fetch_add(1, std::memory_order_relaxed);
+  if (Exec.Sup.boostResolver(E)) {
+    Exec.CtBoosts.fetch_add(1, std::memory_order_relaxed);
+    Exec.BoostedHint.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   // Release our concurrency token so another task can use the processor.
-  --Exec.Active;
+  Exec.Blocked.fetch_add(1, std::memory_order_acq_rel);
+  Exec.releaseToken();
   Exec.ensureWorkerForReadyWork();
-  Lock.unlock();
   Exec.flushInterval(*this);
-  Exec.WorkCv.notify_all();
-  Lock.lock();
-
-  while (!E.isSignaled())
-    E.WaitCv.wait(Lock);
+  {
+    std::unique_lock<std::mutex> Lock(E.WaitMutex);
+    while (!E.isSignaled())
+      E.WaitCv.wait(Lock);
+  }
   // Reacquire a token before resuming.
-  while (Exec.Active >= Exec.Processors)
-    Exec.WorkCv.wait(Lock);
-  ++Exec.Active;
+  Exec.acquireTokenBlocking();
+  Exec.Blocked.fetch_sub(1, std::memory_order_acq_rel);
   IntervalStartNs = Exec.nowNs();
 }

@@ -14,6 +14,17 @@
 /// paper's run-another-task-nested workaround for Topaz threads); barrier
 /// waits hold the token, exactly as the paper's workers "simply wait".
 ///
+/// Scheduling state is sharded for scalability (see DESIGN.md section 9):
+/// ready tasks live in per-shard class-priority deques with work
+/// stealing; producer-class tasks (Lexor/Splitter/Importer — the tasks
+/// barrier waiters depend on) go to one global queue every pop consults
+/// first, preserving the producers-run-before-consumers invariant that
+/// makes barrier waits deadlock-free.  Avoided-event gating runs through
+/// the shared Supervisor under a dedicated gate lock that signals bypass
+/// (Dekker-paired Event::MayGate flag) unless the event actually gates a
+/// task.  Blocked tasks park on their event's own mutex/condvar, so
+/// signal/wait traffic on different events never contends.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef M2C_SCHED_THREADEDEXECUTOR_H
@@ -23,8 +34,11 @@
 #include "sched/ExecContext.h"
 #include "sched/Supervisor.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -46,6 +60,17 @@ public:
   const CostModel &costModel() const { return Model; }
 
 private:
+  /// One ready-task shard: class-priority FIFO deques under a private
+  /// lock.  Workers push spawned tasks to their home shard and steal from
+  /// victim shards when their own is empty.
+  struct Shard {
+    std::mutex M;
+    std::deque<TaskPtr> ByClass[NumTaskClasses];
+    /// Tasks queued in this shard; lets pops and steals skip empty shards
+    /// without touching their locks.
+    std::atomic<size_t> Count{0};
+  };
+
   /// ExecContext implementation installed while a worker runs a task.
   class WorkerContext final : public ExecContext {
   public:
@@ -55,7 +80,9 @@ private:
     void charge(CostKind Kind, uint64_t Count) override;
     void wait(Event &E) override;
     void signal(Event &E) override;
-    void spawn(TaskPtr NewTask) override { Exec.spawn(std::move(NewTask)); }
+    void spawn(TaskPtr NewTask) override {
+      Exec.spawnFrom(std::move(NewTask), WorkerId % Exec.NumShards);
+    }
     const CostModel &costModel() const override { return Exec.Model; }
 
   private:
@@ -69,25 +96,97 @@ private:
 
   void workerMain(unsigned WorkerId);
   void runTask(TaskPtr T, unsigned WorkerId);
-  /// Ensures a spare worker thread exists when ready work would otherwise
-  /// sit idle because every existing worker is occupied.  Caller holds M.
-  void ensureWorkerForReadyWork();
   uint64_t nowNs() const;
   void flushInterval(WorkerContext &Ctx);
 
+  //===--- Ready-task queues ---------------------------------------------===//
+
+  static bool isProducerClass(TaskClass C) {
+    return C <= TaskClass::Importer;
+  }
+
+  /// Spawn bookkeeping plus routing: gated tasks to the Supervisor,
+  /// producer classes to the global producer queue, the rest to
+  /// \p HomeShard (the spawning worker's shard; round-robin externally).
+  void spawnFrom(TaskPtr T, unsigned HomeShard);
+
+  /// Pushes an admission-ready task into its queue and wakes a worker.
+  void pushReady(TaskPtr T, unsigned HomeShard);
+
+  /// Pops the best task visible from \p HomeShard: boosted tasks first
+  /// (global scan, gated by the BoostedHint counter), then the producer
+  /// queue, then the home shard, then a stealing scan of victim shards.
+  TaskPtr tryPop(unsigned HomeShard);
+  TaskPtr popFromShard(Shard &S);
+  TaskPtr popBoosted();
+
+  /// Pops every admission-ready task out of the Supervisor into the
+  /// shards.  Caller holds GateM.
+  void drainSupervisor(unsigned HomeShard);
+
+  //===--- Tokens, parking, worker lifecycle -----------------------------===//
+
+  bool tryAcquireToken();
+  void releaseToken();
+  /// Blocks until a concurrency token is available (handled-wait resume).
+  void acquireTokenBlocking();
+
+  /// Wakes a parked worker, or spawns a new OS thread when ready work
+  /// exists, no worker is parked, and a token is free (all existing
+  /// workers' tasks are blocked in waits).
+  void ensureWorkerForReadyWork();
+
   const unsigned Processors;
+  const unsigned NumShards;
   const CostModel Model;
 
-  std::mutex M;
-  std::condition_variable WorkCv;
-  std::condition_variable DoneCv;
+  std::unique_ptr<Shard[]> Shards;
+  Shard ProducerQueue; ///< Lexor/Splitter/Importer tasks, popped first.
+
+  /// Gated-task machinery: the Supervisor tracks tasks held on avoided
+  /// events.  GateM serializes it; signals skip it via Event::MayGate.
+  std::mutex GateM;
   Supervisor Sup;
-  unsigned Active = 0;       // tasks currently executing, unblocked
-  unsigned IdleWorkers = 0;  // workers parked waiting for admission
-  uint64_t Incomplete = 0;   // spawned but not finished
-  bool ShuttingDown = false;
-  bool Started = false;
+
+  std::atomic<unsigned> Active{0};     ///< Concurrency tokens in use.
+  std::atomic<uint64_t> Incomplete{0}; ///< Spawned but not finished.
+  std::atomic<size_t> ReadyCount{0};   ///< Tasks queued across all shards.
+  std::atomic<unsigned> BoostedHint{0}; ///< Queued boosted tasks (approx).
+  std::atomic<unsigned> Blocked{0};    ///< Workers inside wait().
+  std::atomic<uint64_t> TotalSpawned{0};
+  std::atomic<unsigned> RoundRobin{0}; ///< Home shard for external spawns.
+  std::atomic<bool> ShuttingDown{false};
+  std::atomic<bool> Started{false};
+
+  /// Parking lot for workers with no admissible work.  The waiter counts
+  /// are atomic so pushers can skip the lock-and-notify when nobody is
+  /// parked (the common case on a busy pipeline).
+  std::mutex IdleM;
+  std::condition_variable IdleCv;
+  std::atomic<unsigned> IdleWorkers{0};
+
+  /// Parking lot for resumed tasks waiting to reacquire a token.
+  std::mutex TokenM;
+  std::condition_variable TokenCv;
+  std::atomic<unsigned> TokenWaiters{0};
+
+  /// run() completion wait.
+  std::mutex DoneM;
+  std::condition_variable DoneCv;
+
+  std::mutex WorkersM; ///< Guards Workers (dynamic thread spawning).
   std::vector<std::thread> Workers;
+
+  //===--- Hot statistic counters (flushed into Stats at run() end) ------===//
+  std::atomic<uint64_t> CtStarted{0};
+  std::atomic<uint64_t> CtSignaled{0};
+  std::atomic<uint64_t> CtReleasedByEvent{0};
+  std::atomic<uint64_t> CtBarrierWaits{0};
+  std::atomic<uint64_t> CtBarrierNs{0};
+  std::atomic<uint64_t> CtHandledWaits{0};
+  std::atomic<uint64_t> CtBoosts{0};
+  std::atomic<uint64_t> CtSteals{0};
+  std::atomic<uint64_t> CtWorkersSpawned{0};
 
   std::chrono::steady_clock::time_point RunStart;
   uint64_t ElapsedNs = 0;

@@ -76,30 +76,30 @@ void m2c::sema::populateBuiltinScope(Scope &Builtins, TypeContext &Types,
   assert(Builtins.kind() == ScopeKind::Builtin && "wrong scope kind");
 
   auto AddType = [&](const char *Name, const Type *Ty) {
-    auto E = std::make_unique<SymbolEntry>();
-    E->Name = Interner.intern(Name);
-    E->Kind = EntryKind::Type;
-    E->Ty = Ty;
-    const_cast<Type *>(Ty)->setName(E->Name);
-    [[maybe_unused]] SymbolEntry *Dup = Builtins.insert(std::move(E));
-    assert(!Dup && "duplicate builtin");
+    SymbolEntry E;
+    E.Name = Interner.intern(Name);
+    E.Kind = EntryKind::Type;
+    E.Ty = Ty;
+    const_cast<Type *>(Ty)->setName(E.Name);
+    [[maybe_unused]] bool Inserted = Builtins.insert(E).Inserted;
+    assert(Inserted && "duplicate builtin");
   };
   auto AddConst = [&](const char *Name, const Type *Ty, ConstValue Value) {
-    auto E = std::make_unique<SymbolEntry>();
-    E->Name = Interner.intern(Name);
-    E->Kind = EntryKind::Const;
-    E->Ty = Ty;
-    E->Value = Value;
-    [[maybe_unused]] SymbolEntry *Dup = Builtins.insert(std::move(E));
-    assert(!Dup && "duplicate builtin");
+    SymbolEntry E;
+    E.Name = Interner.intern(Name);
+    E.Kind = EntryKind::Const;
+    E.Ty = Ty;
+    E.Value = Value;
+    [[maybe_unused]] bool Inserted = Builtins.insert(E).Inserted;
+    assert(Inserted && "duplicate builtin");
   };
   auto AddProc = [&](BuiltinProc P) {
-    auto E = std::make_unique<SymbolEntry>();
-    E->Name = Interner.intern(builtinProcName(P));
-    E->Kind = EntryKind::Proc;
-    E->BuiltinId = static_cast<int16_t>(P);
-    [[maybe_unused]] SymbolEntry *Dup = Builtins.insert(std::move(E));
-    assert(!Dup && "duplicate builtin");
+    SymbolEntry E;
+    E.Name = Interner.intern(builtinProcName(P));
+    E.Kind = EntryKind::Proc;
+    E.BuiltinId = static_cast<int16_t>(P);
+    [[maybe_unused]] bool Inserted = Builtins.insert(E).Inserted;
+    assert(Inserted && "duplicate builtin");
   };
 
   AddType("INTEGER", Types.integerType());

@@ -16,6 +16,7 @@
 #ifndef M2C_SEMA_COMPILATION_H
 #define M2C_SEMA_COMPILATION_H
 
+#include "lex/TokenBlockQueue.h"
 #include "sema/Builtins.h"
 #include "sema/Type.h"
 #include "support/Diagnostics.h"
@@ -95,6 +96,8 @@ public:
   symtab::NameResolver Resolver;
   symtab::Scope Builtins;
   ModuleRegistry Modules;
+  /// Recycles token-block storage across every stream of this run.
+  TokenBlockPool TokenBlocks;
 
   /// Allocates a program-unique procedure id (used by code generation and
   /// the merge task).

@@ -25,23 +25,22 @@ DeclAnalyzer::DeclAnalyzer(Compilation &Comp, Scope &Self,
   NextSlot = static_cast<int32_t>(Self.size());
 }
 
-SymbolEntry *DeclAnalyzer::insert(std::unique_ptr<SymbolEntry> Entry,
+SymbolEntry *DeclAnalyzer::insert(const SymbolEntry &Proto,
                                   SourceLocation Loc) {
-  assert(Entry && "null entry");
-  Symbol Name = Entry->Name;
+  Symbol Name = Proto.Name;
   if (Comp.Builtins.find(Name)) {
     Comp.Diags.error(Loc, "cannot redeclare builtin name '" +
                               std::string(Comp.Interner.spelling(Name)) +
                               "'");
     return nullptr;
   }
-  SymbolEntry *Raw = Entry.get();
-  EntryKind Kind = Entry->Kind;
-  if (SymbolEntry *Existing = Self.insert(std::move(Entry))) {
+  EntryKind Kind = Proto.Kind;
+  auto [Raw, Inserted] = Self.insert(Proto);
+  if (!Inserted) {
     Comp.Diags.error(Loc, "redeclaration of '" +
                               std::string(Comp.Interner.spelling(Name)) +
                               "' (previously declared as " +
-                              entryKindName(Existing->Kind) + ")");
+                              entryKindName(Raw->Kind) + ")");
     return nullptr;
   }
   // Variable-ish entries are much cheaper to analyze than type, constant
@@ -77,8 +76,7 @@ void DeclAnalyzer::analyzeImports(const std::vector<ImportClause> &Imports) {
                   std::string(Comp.Interner.spelling(Name)) + "'");
           continue;
         }
-        auto Alias = std::make_unique<SymbolEntry>(*Imported);
-        insert(std::move(Alias), Clause.Loc);
+        insert(*Imported, Clause.Loc);
       }
       continue;
     }
@@ -86,12 +84,12 @@ void DeclAnalyzer::analyzeImports(const std::vector<ImportClause> &Imports) {
     for (Symbol Name : Clause.Names) {
       Scope &ModScope =
           Comp.Modules.getOrCreate(Name, Comp.Interner.spelling(Name));
-      auto Entry = std::make_unique<SymbolEntry>();
-      Entry->Name = Name;
-      Entry->Kind = EntryKind::Module;
-      Entry->Loc = Clause.Loc;
-      Entry->ModuleScope = &ModScope;
-      insert(std::move(Entry), Clause.Loc);
+      SymbolEntry Entry;
+      Entry.Name = Name;
+      Entry.Kind = EntryKind::Module;
+      Entry.Loc = Clause.Loc;
+      Entry.ModuleScope = &ModScope;
+      insert(Entry, Clause.Loc);
     }
   }
 }
@@ -128,13 +126,13 @@ void DeclAnalyzer::analyzeDecl(const Decl *D) {
 
 void DeclAnalyzer::analyzeConst(const ConstDecl *D) {
   ConstResult R = ConstEval.eval(D->value());
-  auto Entry = std::make_unique<SymbolEntry>();
-  Entry->Name = D->name();
-  Entry->Kind = EntryKind::Const;
-  Entry->Loc = D->location();
-  Entry->Ty = R.Ty;
-  Entry->Value = R.Value;
-  insert(std::move(Entry), D->location());
+  SymbolEntry Entry;
+  Entry.Name = D->name();
+  Entry.Kind = EntryKind::Const;
+  Entry.Loc = D->location();
+  Entry.Ty = R.Ty;
+  Entry.Value = R.Value;
+  insert(Entry, D->location());
 }
 
 void DeclAnalyzer::patchPendingPointersTo(Symbol Name, const Type *Target) {
@@ -156,12 +154,12 @@ void DeclAnalyzer::analyzeTypeDecl(const TypeDecl *D) {
     Ty = resolveType(D->type());
   }
   const_cast<Type *>(Ty)->setName(D->name());
-  auto Entry = std::make_unique<SymbolEntry>();
-  Entry->Name = D->name();
-  Entry->Kind = EntryKind::Type;
-  Entry->Loc = D->location();
-  Entry->Ty = Ty;
-  if (insert(std::move(Entry), D->location())) {
+  SymbolEntry Entry;
+  Entry.Name = D->name();
+  Entry.Kind = EntryKind::Type;
+  Entry.Loc = D->location();
+  Entry.Ty = Ty;
+  if (insert(Entry, D->location())) {
     // Forward pointers to this type become usable immediately, not just
     // at scope completion (narrows the cross-stream DKY window).
     patchPendingPointersTo(D->name(), Ty);
@@ -191,16 +189,16 @@ void DeclAnalyzer::analyzeVar(const VarDecl *D) {
   SlotBaseResolved = true;
   const Type *Ty = resolveType(D->type());
   for (Symbol Name : D->names()) {
-    auto Entry = std::make_unique<SymbolEntry>();
-    Entry->Name = Name;
-    Entry->Kind = EntryKind::Var;
-    Entry->Loc = D->location();
-    Entry->Ty = Ty;
-    Entry->Slot = NextSlot;
-    Entry->IsGlobal = Self.kind() == ScopeKind::Module ||
-                      Self.kind() == ScopeKind::DefModule;
-    Entry->OwningModule = OwningModule;
-    if (insert(std::move(Entry), D->location()))
+    SymbolEntry Entry;
+    Entry.Name = Name;
+    Entry.Kind = EntryKind::Var;
+    Entry.Loc = D->location();
+    Entry.Ty = Ty;
+    Entry.Slot = NextSlot;
+    Entry.IsGlobal = Self.kind() == ScopeKind::Module ||
+                     Self.kind() == ScopeKind::DefModule;
+    Entry.OwningModule = OwningModule;
+    if (insert(Entry, D->location()))
       ++NextSlot;
   }
 }
@@ -229,19 +227,17 @@ void DeclAnalyzer::copyParamsToChild(const ProcHeading &Heading,
   for (const FormalParam &P : Heading.Params) {
     for (Symbol Name : P.Names) {
       assert(ParamIndex < Sig.params().size() && "signature out of sync");
-      auto Entry = std::make_unique<SymbolEntry>();
-      Entry->Name = Name;
-      Entry->Kind = EntryKind::Param;
-      Entry->Loc = P.Loc;
-      Entry->Ty = Sig.params()[ParamIndex].Ty;
-      Entry->Slot = Slot++;
-      Entry->IsVarParam = P.IsVar;
-      if (SymbolEntry *Existing = Child.insert(std::move(Entry))) {
-        (void)Existing;
+      SymbolEntry Entry;
+      Entry.Name = Name;
+      Entry.Kind = EntryKind::Param;
+      Entry.Loc = P.Loc;
+      Entry.Ty = Sig.params()[ParamIndex].Ty;
+      Entry.Slot = Slot++;
+      Entry.IsVarParam = P.IsVar;
+      if (!Child.insert(Entry).Inserted)
         Comp.Diags.error(P.Loc,
                          "duplicate parameter name '" +
                              std::string(Comp.Interner.spelling(Name)) + "'");
-      }
       ++ParamIndex;
     }
   }
@@ -262,14 +258,14 @@ void DeclAnalyzer::analyzeHeadingInChild(const ProcHeading &Heading) {
 void DeclAnalyzer::analyzeProcHeadingDecl(const ProcHeading &Heading,
                                           SourceLocation Loc) {
   const Type *Sig = buildSignature(Heading);
-  auto Entry = std::make_unique<SymbolEntry>();
-  Entry->Name = Heading.Name;
-  Entry->Kind = EntryKind::Proc;
-  Entry->Loc = Loc;
-  Entry->Ty = Sig;
-  Entry->ProcId = Comp.allocProcId();
-  Entry->OwningModule = OwningModule;
-  SymbolEntry *Inserted = insert(std::move(Entry), Loc);
+  SymbolEntry Entry;
+  Entry.Name = Heading.Name;
+  Entry.Kind = EntryKind::Proc;
+  Entry.Loc = Loc;
+  Entry.Ty = Sig;
+  Entry.ProcId = Comp.allocProcId();
+  Entry.OwningModule = OwningModule;
+  SymbolEntry *Inserted = insert(Entry, Loc);
   size_t Index = HeadingIndex++;
   // The child-scope hook fires for *every* heading — successful or not —
   // so the driver's per-index child bookkeeping stays aligned with the
@@ -367,13 +363,13 @@ const Type *DeclAnalyzer::resolveType(const TypeExpr *TE) {
     const Type *Ty = Comp.Types.makeEnum(Enum->literals());
     int64_t Ordinal = 0;
     for (Symbol Lit : Enum->literals()) {
-      auto Entry = std::make_unique<SymbolEntry>();
-      Entry->Name = Lit;
-      Entry->Kind = EntryKind::EnumLiteral;
-      Entry->Loc = TE->location();
-      Entry->Ty = Ty;
-      Entry->Value = ConstValue::makeInt(Ordinal++);
-      insert(std::move(Entry), TE->location());
+      SymbolEntry Entry;
+      Entry.Name = Lit;
+      Entry.Kind = EntryKind::EnumLiteral;
+      Entry.Loc = TE->location();
+      Entry.Ty = Ty;
+      Entry.Value = ConstValue::makeInt(Ordinal++);
+      insert(Entry, TE->location());
     }
     return Ty;
   }
@@ -405,13 +401,13 @@ const Type *DeclAnalyzer::resolveType(const TypeExpr *TE) {
     // Populate the field table (an "other" search scope for Table 2) and
     // complete it immediately: record types publish atomically.
     for (const Type::Field &F : Ty->fields()) {
-      auto Entry = std::make_unique<SymbolEntry>();
-      Entry->Name = F.Name;
-      Entry->Kind = EntryKind::Field;
-      Entry->Loc = TE->location();
-      Entry->Ty = F.Ty;
-      Entry->Slot = static_cast<int32_t>(F.Index);
-      if (Ty->fieldScope()->insert(std::move(Entry)))
+      SymbolEntry Entry;
+      Entry.Name = F.Name;
+      Entry.Kind = EntryKind::Field;
+      Entry.Loc = TE->location();
+      Entry.Ty = F.Ty;
+      Entry.Slot = static_cast<int32_t>(F.Index);
+      if (!Ty->fieldScope()->insert(Entry).Inserted)
         Comp.Diags.error(TE->location(),
                          "duplicate field name '" +
                              std::string(Comp.Interner.spelling(F.Name)) +

@@ -86,9 +86,10 @@ public:
   symtab::Scope &scope() { return Self; }
 
 private:
-  /// Inserts \p Entry, reporting redeclaration/builtin-clash errors.
-  /// Returns the inserted entry or null on clash.
-  symtab::SymbolEntry *insert(std::unique_ptr<symtab::SymbolEntry> Entry,
+  /// Inserts a copy of \p Proto (arena-allocated by the scope), reporting
+  /// redeclaration/builtin-clash errors.  Returns the inserted entry or
+  /// null on clash.
+  symtab::SymbolEntry *insert(const symtab::SymbolEntry &Proto,
                               SourceLocation Loc);
 
   void analyzeConst(const ast::ConstDecl *D);

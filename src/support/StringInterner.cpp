@@ -8,34 +8,49 @@
 #include "support/StringInterner.h"
 
 #include <cassert>
+#include <functional>
 
 using namespace m2c;
 
 StringInterner::StringInterner() {
-  // Reserve id 0 for the empty symbol.
-  Spellings.emplace_back("");
-  Table.emplace(std::string_view(Spellings.back()), 0);
+  // Reserve id 0 (shard 0, index 0) for the empty symbol.
+  Shards[0].Spellings.emplace_back("");
+  Shards[0].Table.emplace(std::string_view(Shards[0].Spellings.back()), 0);
 }
 
 Symbol StringInterner::intern(std::string_view Text) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Table.find(Text);
-  if (It != Table.end())
+  if (Text.empty())
+    return Symbol();
+
+  uint32_t ShardIdx =
+      static_cast<uint32_t>(std::hash<std::string_view>{}(Text)) & ShardMask;
+  Shard &S = Shards[ShardIdx];
+
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Table.find(Text);
+  if (It != S.Table.end())
     return Symbol(It->second);
 
-  uint32_t Id = static_cast<uint32_t>(Spellings.size());
-  Spellings.emplace_back(Text);
-  Table.emplace(std::string_view(Spellings.back()), Id);
+  uint32_t Id = (static_cast<uint32_t>(S.Spellings.size()) << ShardBits) |
+                ShardIdx;
+  S.Spellings.emplace_back(Text);
+  S.Table.emplace(std::string_view(S.Spellings.back()), Id);
   return Symbol(Id);
 }
 
 std::string_view StringInterner::spelling(Symbol Sym) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  assert(Sym.id() < Spellings.size() && "symbol from a different interner");
-  return Spellings[Sym.id()];
+  const Shard &S = Shards[Sym.id() & ShardMask];
+  uint32_t Index = Sym.id() >> ShardBits;
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  assert(Index < S.Spellings.size() && "symbol from a different interner");
+  return S.Spellings[Index];
 }
 
 size_t StringInterner::size() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Spellings.size();
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Spellings.size();
+  }
+  return Total;
 }

@@ -6,10 +6,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Interns identifier spellings into dense integer Symbol handles so that
+/// Interns identifier spellings into integer Symbol handles so that
 /// symbol-table keys can be compared and hashed in O(1).  The interner is
 /// shared by every concurrently running lexer task, so all operations are
 /// thread-safe.
+///
+/// Internally the table is sharded 16 ways by spelling hash: each shard
+/// has its own mutex, so concurrent lexers interning different
+/// identifiers almost never serialize on one lock.  A Symbol id encodes
+/// its shard in the low bits and the per-shard index in the high bits;
+/// ids are unique but not dense, and id 0 remains the distinguished empty
+/// symbol.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,12 +54,16 @@ private:
   uint32_t Id;
 };
 
-/// Thread-safe string-to-Symbol interning table.
+/// Thread-safe string-to-Symbol interning table, sharded by hash.
 ///
 /// Lookup of a previously interned string and resolution of a Symbol back
 /// to its spelling are both safe to call concurrently with interning.
 class StringInterner {
 public:
+  /// Number of independently locked shards (power of two).
+  static constexpr unsigned ShardBits = 4;
+  static constexpr unsigned NumShards = 1u << ShardBits;
+
   StringInterner();
   StringInterner(const StringInterner &) = delete;
   StringInterner &operator=(const StringInterner &) = delete;
@@ -65,14 +76,20 @@ public:
   std::string_view spelling(Symbol Sym) const;
 
   /// Number of distinct spellings interned so far (including the empty
-  /// symbol).
+  /// symbol).  Takes every shard lock; not for hot paths.
   size_t size() const;
 
 private:
-  mutable std::mutex Mutex;
-  // Deque keeps spellings at stable addresses as the table grows.
-  std::deque<std::string> Spellings;
-  std::unordered_map<std::string_view, uint32_t> Table;
+  static constexpr uint32_t ShardMask = NumShards - 1;
+
+  struct Shard {
+    mutable std::mutex Mutex;
+    // Deque keeps spellings at stable addresses as the table grows.
+    std::deque<std::string> Spellings;
+    std::unordered_map<std::string_view, uint32_t> Table;
+  };
+
+  Shard Shards[NumShards];
 };
 
 /// Hash support so Symbol can key unordered containers.

@@ -10,6 +10,7 @@
 #include "sched/ExecContext.h"
 
 #include <cassert>
+#include <type_traits>
 
 using namespace m2c;
 using namespace m2c::symtab;
@@ -57,18 +58,25 @@ Scope::Scope(std::string Name, ScopeKind Kind, Scope *Parent, Scope *Builtins)
       Completed(sched::makeEvent("symtab." + this->Name + ".complete",
                                  sched::EventKind::Handled)) {}
 
-SymbolEntry *Scope::insert(std::unique_ptr<SymbolEntry> Entry) {
-  assert(Entry && "null entry");
+// Entries are bump-allocated and never individually freed, so the arena
+// may drop destructor bookkeeping entirely.
+static_assert(std::is_trivially_destructible_v<SymbolEntry>,
+              "SymbolEntry must stay trivially destructible for arena use");
+
+Scope::InsertResult Scope::insert(const SymbolEntry &Proto) {
   assert(!isComplete() && "insert into completed symbol table");
   sched::EventPtr Pending;
+  SymbolEntry *Entry;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    auto [It, Inserted] = Table.emplace(Entry->Name, Entry.get());
-    if (!Inserted)
-      return It->second;
+    auto It = Table.find(Proto.Name);
+    if (It != Table.end())
+      return {It->second, false};
+    Entry = EntryArena.create<SymbolEntry>(Proto);
     Entry->OwnerScope = this;
-    Owned.push_back(std::move(Entry));
-    auto PendingIt = PendingSymbols.find(Owned.back()->Name);
+    Table.emplace(Entry->Name, Entry);
+    Owned.push_back(Entry);
+    auto PendingIt = PendingSymbols.find(Entry->Name);
     if (PendingIt != PendingSymbols.end()) {
       Pending = PendingIt->second;
       PendingSymbols.erase(PendingIt);
@@ -76,7 +84,7 @@ SymbolEntry *Scope::insert(std::unique_ptr<SymbolEntry> Entry) {
   }
   if (Pending && !Pending->isSignaled())
     sched::ctx().signal(*Pending);
-  return nullptr;
+  return {Entry, true};
 }
 
 SymbolEntry *Scope::find(Symbol Name) {
@@ -138,9 +146,5 @@ size_t Scope::size() const {
 
 std::vector<const SymbolEntry *> Scope::entries() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  std::vector<const SymbolEntry *> Result;
-  Result.reserve(Owned.size());
-  for (const auto &E : Owned)
-    Result.push_back(E.get());
-  return Result;
+  return std::vector<const SymbolEntry *>(Owned.begin(), Owned.end());
 }

@@ -21,9 +21,9 @@
 #define M2C_SYMTAB_SCOPE_H
 
 #include "sched/Event.h"
+#include "support/Arena.h"
 #include "symtab/SymbolEntry.h"
 
-#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -54,10 +54,20 @@ public:
   Scope *parent() const { return Parent; }
   Scope *builtins() const { return Builtins; }
 
-  /// Inserts \p Entry.  On a name clash the table is left unchanged and
-  /// the existing entry is returned; otherwise returns null.  Signals any
-  /// Optimistic per-symbol event pending on this name.
-  SymbolEntry *insert(std::unique_ptr<SymbolEntry> Entry);
+  /// Result of insert(): the entry now registered under the name, plus
+  /// whether this call created it (false: pre-existing clash).
+  struct InsertResult {
+    SymbolEntry *Entry;
+    bool Inserted;
+  };
+
+  /// Inserts a copy of \p Proto, allocated in this scope's arena so entry
+  /// storage costs one pointer bump instead of one malloc.  On a name
+  /// clash the table is left unchanged and the existing entry is
+  /// returned with Inserted == false.  Signals any Optimistic per-symbol
+  /// event pending on this name.  The copy is published atomically with
+  /// respect to find() (paper footnote 1).
+  InsertResult insert(const SymbolEntry &Proto);
 
   /// Probes this table only (no waiting, no ancestry chaining).  Charges
   /// one LookupProbe.
@@ -96,7 +106,8 @@ private:
   Scope *const Builtins;
 
   mutable std::mutex Mutex;
-  std::vector<std::unique_ptr<SymbolEntry>> Owned;
+  support::Arena EntryArena; ///< Owns entry storage; guarded by Mutex.
+  std::vector<SymbolEntry *> Owned; ///< Insertion order, for entries().
   std::unordered_map<Symbol, SymbolEntry *, SymbolHash> Table;
   std::unordered_map<Symbol, sched::EventPtr, SymbolHash> PendingSymbols;
   bool CompleteFlag = false; ///< Guarded by Mutex; see probeOrPending().

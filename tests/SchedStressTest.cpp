@@ -1,0 +1,213 @@
+//===--- SchedStressTest.cpp - Work-stealing executor stress tests ---------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hammers the sharded work-stealing ThreadedExecutor with thousands of
+/// tiny tasks, randomized handled/barrier waits, cross-task signals and
+/// avoided-event gating.  Completion of run() is itself the lost-wakeup
+/// assertion: a dropped notify would leave a worker parked forever and
+/// trip the executor's deadlock detector (abort) or hang the test.
+/// Intended to run under ThreadSanitizer in CI as well as natively.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/ExecContext.h"
+#include "sched/SimulatedExecutor.h"
+#include "sched/ThreadedExecutor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace m2c;
+using namespace m2c::sched;
+
+namespace {
+
+// Non-producer classes a random tiny task may use.  Producer classes
+// (Lexor/Splitter/Importer) are reserved for tasks that never block, which
+// is the invariant that makes barrier waits deadlock-free.
+const TaskClass ConsumerClasses[] = {
+    TaskClass::DefModParserDecl, TaskClass::ModuleParserDecl,
+    TaskClass::ProcParserDecl,   TaskClass::LongStmtCodeGen,
+    TaskClass::ShortStmtCodeGen, TaskClass::Merge,
+};
+
+TEST(SchedStress, ThousandsOfTinyTasksWithRandomWaits) {
+  for (unsigned Processors : {1u, 2u, 4u}) {
+    ThreadedExecutor Exec(Processors);
+    std::mt19937 Rng(12345 + Processors);
+    std::atomic<uint64_t> Ran{0};
+    uint64_t Expected = 0;
+
+    auto RandomClass = [&] {
+      return ConsumerClasses[Rng() % std::size(ConsumerClasses)];
+    };
+
+    // Handled-wait pairs: a waiter blocks on an event a signaler task
+    // signals.  Handled waits release the waiter's concurrency token, so
+    // any interleaving is safe.  Each waiter then signals a downstream
+    // avoided event gating a third task (cross-task signal chain
+    // exercising the Supervisor and the MayGate fast path).
+    constexpr int HandledPairs = 600;
+    for (int I = 0; I < HandledPairs; ++I) {
+      EventPtr E =
+          makeEvent("h" + std::to_string(I), EventKind::Handled);
+      EventPtr Gate =
+          makeEvent("g" + std::to_string(I), EventKind::Avoided);
+      auto Gated = makeTask("gated" + std::to_string(I), RandomClass(),
+                            [&Ran] { ++Ran; });
+      Gated->addPrerequisite(Gate);
+      Exec.spawn(std::move(Gated));
+      Exec.spawn(makeTask("hwait" + std::to_string(I), RandomClass(),
+                          [&Ran, E, Gate] {
+                            ctx().wait(*E);
+                            ctx().signal(*Gate);
+                            ++Ran;
+                          }));
+      Exec.spawn(makeTask("hsig" + std::to_string(I), RandomClass(),
+                          [&Ran, E] {
+                            ctx().signal(*E);
+                            ++Ran;
+                          }));
+      Expected += 3;
+    }
+
+    // Barrier-wait pairs: barrier waiters hold their token, so the
+    // signaler must be a producer-class task (popped from the global
+    // producer queue ahead of everything) that never blocks — the token
+    // stream invariant from paper section 2.3.3.
+    constexpr int BarrierPairs = 200;
+    for (int I = 0; I < BarrierPairs; ++I) {
+      EventPtr E =
+          makeEvent("b" + std::to_string(I), EventKind::Barrier);
+      Exec.spawn(makeTask("bsig" + std::to_string(I), TaskClass::Lexor,
+                          [&Ran, E] {
+                            ctx().signal(*E);
+                            ++Ran;
+                          }));
+      Exec.spawn(makeTask("bwait" + std::to_string(I), RandomClass(),
+                          [&Ran, E] {
+                            ctx().wait(*E);
+                            ++Ran;
+                          }));
+      Expected += 2;
+    }
+
+    // Fan-out filler: tasks that spawn children from inside the executor
+    // (the WorkerContext::spawn home-shard path work stealing rebalances).
+    constexpr int Spawners = 150;
+    constexpr int ChildrenPerSpawner = 4;
+    for (int I = 0; I < Spawners; ++I) {
+      Exec.spawn(makeTask(
+          "spawner" + std::to_string(I), RandomClass(), [&Ran] {
+            ++Ran;
+            for (int C = 0; C < ChildrenPerSpawner; ++C)
+              ctx().spawn(makeTask("child", TaskClass::Merge,
+                                   [&Ran] { ++Ran; }));
+          }));
+      Expected += 1 + ChildrenPerSpawner;
+    }
+
+    Exec.run();
+    EXPECT_EQ(Ran.load(), Expected) << "Processors=" << Processors;
+    EXPECT_EQ(Exec.stats().get("sched.tasks.total"), Expected);
+    EXPECT_EQ(Exec.stats().get("sched.tasks.started"), Expected);
+    // Every gated task really went through the avoided-event machinery.
+    EXPECT_EQ(Exec.stats().get("sched.tasks.released_by_event"),
+              static_cast<uint64_t>(HandledPairs));
+  }
+}
+
+// Builds one fixed task graph: a three-stage chain gated by avoided
+// events plus two independent tasks, with known virtual-time charges.
+static void buildFixedGraph(Executor &Exec, std::atomic<int> &Done) {
+  EventPtr AB = makeEvent("ab", EventKind::Avoided);
+  EventPtr BC = makeEvent("bc", EventKind::Avoided);
+  Exec.spawn(makeTask("a", TaskClass::Lexor, [&Done, AB] {
+    ctx().charge(CostKind::LexToken, 10); // 10 * 5 = 50 units
+    ctx().signal(*AB);
+    ++Done;
+  }));
+  auto B = makeTask("b", TaskClass::ProcParserDecl, [&Done, BC] {
+    ctx().charge(CostKind::ParseToken, 2); // 2 * 45 = 90 units
+    ctx().signal(*BC);
+    ++Done;
+  });
+  B->addPrerequisite(AB);
+  Exec.spawn(std::move(B));
+  auto C = makeTask("c", TaskClass::ShortStmtCodeGen, [&Done] {
+    ctx().charge(CostKind::EmitInstr, 3); // 3 * 85 = 255 units
+    ++Done;
+  });
+  C->addPrerequisite(BC);
+  Exec.spawn(std::move(C));
+  for (int I = 0; I < 2; ++I)
+    Exec.spawn(makeTask("free" + std::to_string(I), TaskClass::Merge,
+                        [&Done] {
+                          ctx().charge(CostKind::MergeUnit, 1); // 900
+                          ++Done;
+                        }));
+}
+
+TEST(SchedStress, ElapsedUnitAccountingMatchesSimulator) {
+  // The executor rework must not change virtual-time accounting: on the
+  // fixed graph the simulator's makespan is exactly the hand-computed
+  // value, twice over (determinism), and the threaded executor runs the
+  // identical graph to completion with identical task accounting.
+  //
+  // On 2 virtual processors the chain a(50) -> b(90) -> c(255) occupies
+  // one processor for 395 units while the two 900-unit merge tasks share
+  // the machine; the second merge task starts when the chain's processor
+  // frees up.  Critical path: merge task started at t=50 on the chain
+  // processor... the exact makespan is scheduler-policy dependent, so
+  // compute it from one simulator run and require the second run and the
+  // 1-processor serial sum to match exactly.
+  // Serial makespan = work charges plus the model's per-task dispatch
+  // cost and per-signal overhead (5 tasks, 2 signals).
+  CostModel Model;
+  uint64_t SerialUnits = (50 + 90 + 255 + 900 + 900) +
+                         5 * Model.TaskDispatch +
+                         2 * Model.EventSignalOverhead;
+  uint64_t Mks[2];
+  for (int Round = 0; Round < 2; ++Round) {
+    SimulatedExecutor Sim(2);
+    std::atomic<int> Done{0};
+    buildFixedGraph(Sim, Done);
+    Sim.run();
+    EXPECT_EQ(Done.load(), 5);
+    Mks[Round] = Sim.elapsedUnits();
+  }
+  EXPECT_EQ(Mks[0], Mks[1]) << "simulator must be deterministic";
+  EXPECT_GT(Mks[0], 0u);
+  EXPECT_LE(Mks[0], SerialUnits);
+
+  {
+    SimulatedExecutor Sim1(1);
+    std::atomic<int> Done{0};
+    buildFixedGraph(Sim1, Done);
+    Sim1.run();
+    EXPECT_EQ(Done.load(), 5);
+    EXPECT_EQ(Sim1.elapsedUnits(), SerialUnits)
+        << "1-processor makespan must equal the serial charge sum";
+  }
+
+  ThreadedExecutor Thr(2);
+  std::atomic<int> Done{0};
+  buildFixedGraph(Thr, Done);
+  Thr.run();
+  EXPECT_EQ(Done.load(), 5);
+  EXPECT_EQ(Thr.stats().get("sched.tasks.total"), 5u);
+  EXPECT_EQ(Thr.stats().get("sched.tasks.started"), 5u);
+  // Both gated tasks were released by their prerequisite events.
+  EXPECT_EQ(Thr.stats().get("sched.tasks.released_by_event"), 2u);
+}
+
+} // namespace

@@ -56,6 +56,46 @@ TEST(StringInterner, ConcurrentInterningIsConsistent) {
   EXPECT_EQ(Interner.size(), static_cast<size_t>(NumNames) + 1);
 }
 
+TEST(StringInterner, ShardHammer) {
+  // Hammer the sharded table from many threads with a mix of hot strings
+  // (everyone races to intern the same spellings, hitting the same shard
+  // locks) and cold per-thread strings (spread across shards), with
+  // spelling() lookups interleaved against concurrent inserts.
+  StringInterner Interner;
+  constexpr int NumThreads = 8;
+  constexpr int Rounds = 400;
+  constexpr int NumHot = 32;
+  std::vector<std::vector<Symbol>> HotSyms(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      HotSyms[T].resize(NumHot);
+      for (int R = 0; R < Rounds; ++R) {
+        int H = R % NumHot;
+        Symbol Hot = Interner.intern("hot" + std::to_string(H));
+        if (R < NumHot)
+          HotSyms[T][H] = Hot;
+        else
+          ASSERT_EQ(Hot, HotSyms[T][H]);
+        std::string Cold =
+            "cold" + std::to_string(T) + "_" + std::to_string(R);
+        Symbol C = Interner.intern(Cold);
+        // Spellings must stay valid and correct while other threads grow
+        // the table.
+        ASSERT_EQ(Interner.spelling(C), Cold);
+        ASSERT_EQ(Interner.intern(Cold), C);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // All threads agree on the hot symbols.
+  for (int T = 1; T < NumThreads; ++T)
+    EXPECT_EQ(HotSyms[T], HotSyms[0]);
+  // Distinct spellings: hot + per-thread cold + the reserved empty symbol.
+  EXPECT_EQ(Interner.size(),
+            static_cast<size_t>(NumHot) + NumThreads * Rounds + 1);
+}
+
 TEST(VirtualFileSystem, AddAndLookup) {
   VirtualFileSystem Files;
   FileId Id = Files.addFile("Lists.def", "DEFINITION MODULE Lists; END Lists.");

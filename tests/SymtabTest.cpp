@@ -17,10 +17,10 @@ using namespace m2c::symtab;
 
 namespace {
 
-std::unique_ptr<SymbolEntry> makeVar(Symbol Name) {
-  auto E = std::make_unique<SymbolEntry>();
-  E->Name = Name;
-  E->Kind = EntryKind::Var;
+SymbolEntry makeVar(Symbol Name) {
+  SymbolEntry E;
+  E.Name = Name;
+  E.Kind = EntryKind::Var;
   return E;
 }
 
@@ -32,11 +32,12 @@ struct SymtabFixture {
 TEST(Scope, InsertAndFind) {
   SymtabFixture F;
   Scope S("test", ScopeKind::Module, nullptr, nullptr);
-  EXPECT_EQ(S.insert(makeVar(F.sym("x"))), nullptr);
-  EXPECT_EQ(S.insert(makeVar(F.sym("y"))), nullptr);
-  SymbolEntry *Dup = S.insert(makeVar(F.sym("x")));
-  ASSERT_NE(Dup, nullptr); // clash reports the existing entry
-  EXPECT_EQ(Dup->Name, F.sym("x"));
+  EXPECT_TRUE(S.insert(makeVar(F.sym("x"))).Inserted);
+  EXPECT_TRUE(S.insert(makeVar(F.sym("y"))).Inserted);
+  auto Dup = S.insert(makeVar(F.sym("x")));
+  EXPECT_FALSE(Dup.Inserted); // clash reports the existing entry
+  ASSERT_NE(Dup.Entry, nullptr);
+  EXPECT_EQ(Dup.Entry->Name, F.sym("x"));
   EXPECT_NE(S.find(F.sym("x")), nullptr);
   EXPECT_EQ(S.find(F.sym("z")), nullptr);
   EXPECT_EQ(S.size(), 2u);
