@@ -221,7 +221,11 @@ int main(int Argc, char **Argv) {
                 S.Min, S.Median);
     std::printf("  session/loop       %13.2fx (min)\n", S.Min / L.Min);
 
-    if (Session.Units >= Loop.Units || S.Min >= L.Min) {
+    // The simulated comparison is deterministic and always gates.  The
+    // wall-clock comparison only gates with full repetitions: a --quick
+    // single rep on a loaded single-core host is dominated by scheduling
+    // noise (the loop's N executor spin-ups vary by several ms).
+    if (Session.Units >= Loop.Units || (!Quick && S.Min >= L.Min)) {
       std::fprintf(stderr, "FATAL: session did not beat the per-module "
                            "loop\n");
       return 1;

@@ -1,0 +1,271 @@
+//===--- bench_service.cpp - Build service vs one-session-per-request ------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Measures what a persistent build service buys over the obvious
+// alternative: every request constructing its own BuildSession with its
+// own executor.  The workload is a deterministic request set (see
+// WorkloadGenerator::generateRequestSet): several projects overlapping on
+// a common interface pool, each requested several times, drained by
+// concurrent client threads — the compile-server scenario.  The service
+// pays once per interface (shared generation), once per artifact (memory
+// tier) and runs every request on ONE fair-share executor; the baseline
+// pays everything per request and oversubscribes the machine with one
+// executor per in-flight request.
+//
+// Before any number is reported, byte-identity is asserted: every request
+// image must equal a cold standalone BuildSession's, for worker counts
+// {1, 2, 4, 8} and for forward / reversed / concurrent arrival orders.
+//
+// Results go to stdout and to BENCH_service.json (committed per PR, see
+// EXPERIMENTS.md).
+//
+//   bench_service [--quick]   (--quick: smaller set, 1 repetition)
+//
+//===----------------------------------------------------------------------===//
+
+#include "build/BuildSession.h"
+#include "codegen/ObjectFile.h"
+#include "service/BuildService.h"
+#include "workload/WorkloadGenerator.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace m2c;
+using namespace m2c::service;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              Start)
+             .count() /
+         1e6;
+}
+
+uint64_t stat(const std::map<std::string, uint64_t> &Stats,
+              const std::string &Name) {
+  auto It = Stats.find(Name);
+  return It == Stats.end() ? 0 : It->second;
+}
+
+using ImageMap = std::map<std::string, std::string>;
+
+/// Cold standalone reference for one request: fresh session, fresh
+/// executor, no cache.
+ImageMap standaloneImages(VirtualFileSystem &Files, StringInterner &Interner,
+                          const std::vector<std::string> &Roots,
+                          unsigned Workers) {
+  driver::CompilerOptions Options;
+  Options.Executor = driver::ExecutorKind::Threaded;
+  Options.Processors = Workers;
+  build::BuildSession Session(Files, Interner, std::move(Options));
+  build::BuildResult R = Session.build(Roots);
+  if (!R.Success) {
+    std::fprintf(stderr, "FATAL: standalone build failed:\n%s",
+                 R.DiagnosticText.c_str());
+    std::exit(1);
+  }
+  ImageMap Images;
+  for (const build::ModuleBuild &M : R.Modules)
+    Images[M.Name] = codegen::writeObjectFile(M.Image, Interner);
+  return Images;
+}
+
+void checkIdentical(const build::BuildResult &R, const ImageMap &Reference,
+                    StringInterner &Interner, const char *What) {
+  if (!R.Success) {
+    std::fprintf(stderr, "FATAL: %s request failed:\n%s", What,
+                 R.DiagnosticText.c_str());
+    std::exit(1);
+  }
+  if (R.Modules.size() != Reference.size()) {
+    std::fprintf(stderr, "FATAL: %s: module count %zu != reference %zu\n",
+                 What, R.Modules.size(), Reference.size());
+    std::exit(1);
+  }
+  for (const build::ModuleBuild &M : R.Modules) {
+    auto It = Reference.find(M.Name);
+    if (It == Reference.end() ||
+        codegen::writeObjectFile(M.Image, Interner) != It->second) {
+      std::fprintf(stderr, "FATAL: %s: %s differs from cold standalone\n",
+                   What, M.Name.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// Drains \p Requests with \p Clients threads; Run is called per request
+/// and must be thread-safe.  Returns wall milliseconds for the drain.
+template <typename Fn>
+double drain(const std::vector<std::vector<std::string>> &Requests,
+             unsigned Clients, Fn Run) {
+  std::atomic<size_t> Next{0};
+  Clock::time_point Start = Clock::now();
+  auto Client = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1);
+      if (I >= Requests.size())
+        return;
+      Run(Requests[I]);
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back(Client);
+  for (std::thread &T : Threads)
+    T.join();
+  return msSince(Start);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--quick";
+  const int Reps = Quick ? 1 : 3;
+  const unsigned Clients = 4;
+  const unsigned Workers = 4;
+
+  workload::RequestSetSpec Spec;
+  Spec.NumProjects = Quick ? 2 : 4;
+  Spec.RequestsPerProject = Quick ? 2 : 4;
+  Spec.CommonInterfaces = 4;
+  Spec.ModulesPerProject = Quick ? 3 : 5;
+  Spec.ProjectInterfaces = 2;
+
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  workload::WorkloadGenerator Gen(Files);
+  workload::GeneratedRequestSet Set = Gen.generateRequestSet(Spec);
+
+  std::printf("Build service vs one-session-per-request "
+              "(%u projects x%u requests, %u clients, %u workers, %d rep%s)\n",
+              Spec.NumProjects, Spec.RequestsPerProject, Clients, Workers,
+              Reps, Reps == 1 ? "" : "s");
+
+  // Cold standalone references, one per project.
+  std::map<std::string, ImageMap> References;
+  for (const workload::GeneratedProject &P : Set.Projects)
+    References[P.Root] = standaloneImages(Files, Interner, {P.Root}, Workers);
+
+  //===--- Byte-identity gates ---------------------------------------------===//
+  // Across worker counts...
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    ServiceConfig Config;
+    Config.Workers = W;
+    BuildService Service(Files, Interner, Config);
+    for (const std::vector<std::string> &Roots : Set.Requests)
+      checkIdentical(Service.submit(Roots), References.at(Roots.front()),
+                     Interner, "worker-count");
+  }
+  // ...and across arrival orders, including a concurrent one.
+  {
+    ServiceConfig Config;
+    Config.Workers = Workers;
+    BuildService Service(Files, Interner, Config);
+    std::vector<std::vector<std::string>> Reversed(Set.Requests.rbegin(),
+                                                   Set.Requests.rend());
+    for (const std::vector<std::string> &Roots : Reversed)
+      checkIdentical(Service.submit(Roots), References.at(Roots.front()),
+                     Interner, "reversed-order");
+    drain(Set.Requests, Clients, [&](const std::vector<std::string> &Roots) {
+      checkIdentical(Service.submit(Roots), References.at(Roots.front()),
+                     Interner, "concurrent-order");
+    });
+  }
+  std::printf("identity: every request byte-identical to a cold standalone "
+              "session (workers 1/2/4/8, forward/reversed/concurrent)\n");
+
+  //===--- Throughput ------------------------------------------------------===//
+  double BaselineMin = 1e100, ServiceMin = 1e100;
+  uint64_t MemHits = 0, InterfaceParses = 0;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    // Baseline: every request constructs its own session + executor.
+    double BaselineMs = drain(
+        Set.Requests, Clients, [&](const std::vector<std::string> &Roots) {
+          driver::CompilerOptions Options;
+          Options.Executor = driver::ExecutorKind::Threaded;
+          Options.Processors = Workers;
+          build::BuildSession Session(Files, Interner, std::move(Options));
+          build::BuildResult R = Session.build(Roots);
+          if (!R.Success)
+            std::exit((std::fprintf(stderr, "FATAL: baseline failed:\n%s",
+                                    R.DiagnosticText.c_str()),
+                       1));
+        });
+    BaselineMin = std::min(BaselineMin, BaselineMs);
+
+    // Service: one executor, shared interface generation, tiered cache.
+    // Warm it with one pass over the distinct projects — the steady-state
+    // compile-server case the bench is about — then drain the full list.
+    ServiceConfig Config;
+    Config.Workers = Workers;
+    BuildService Service(Files, Interner, Config);
+    for (const workload::GeneratedProject &P : Set.Projects)
+      if (!Service.submit({P.Root}).Success)
+        std::exit((std::fprintf(stderr, "FATAL: warmup failed\n"), 1));
+    double ServiceMs = drain(
+        Set.Requests, Clients, [&](const std::vector<std::string> &Roots) {
+          build::BuildResult R = Service.submit(Roots);
+          if (!R.Success)
+            std::exit((std::fprintf(stderr, "FATAL: service failed:\n%s",
+                                    R.DiagnosticText.c_str()),
+                       1));
+        });
+    ServiceMin = std::min(ServiceMin, ServiceMs);
+    std::map<std::string, uint64_t> Stats = Service.statsSnapshot();
+    MemHits = stat(Stats, "cache.mem.hit");
+    InterfaceParses = stat(Stats, "service.interface.parses");
+  }
+
+  size_t N = Set.Requests.size();
+  double BaselineRps = N / (BaselineMin / 1e3);
+  double ServiceRps = N / (ServiceMin / 1e3);
+  double Speedup = BaselineMin / ServiceMin;
+  std::printf("\n  %-26s %10.1f ms  %8.1f req/s\n",
+              "one session per request", BaselineMin, BaselineRps);
+  std::printf("  %-26s %10.1f ms  %8.1f req/s\n", "build service (warm)",
+              ServiceMin, ServiceRps);
+  std::printf("  service speedup %17.2fx   (memory-tier hits %llu, "
+              "interface parses %llu)\n",
+              Speedup, static_cast<unsigned long long>(MemHits),
+              static_cast<unsigned long long>(InterfaceParses));
+
+  std::ofstream Json("BENCH_service.json");
+  Json << "{\n"
+       << "  \"name\": \"bench_service\",\n"
+       << "  \"quick\": " << (Quick ? "true" : "false") << ",\n"
+       << "  \"projects\": " << Spec.NumProjects << ",\n"
+       << "  \"requests\": " << N << ",\n"
+       << "  \"clients\": " << Clients << ",\n"
+       << "  \"workers\": " << Workers << ",\n"
+       << "  \"repetitions\": " << Reps << ",\n"
+       << "  \"byte_identity\": true,\n"
+       << "  \"baseline_ms\": " << BaselineMin << ",\n"
+       << "  \"service_ms\": " << ServiceMin << ",\n"
+       << "  \"baseline_requests_per_s\": " << BaselineRps << ",\n"
+       << "  \"service_requests_per_s\": " << ServiceRps << ",\n"
+       << "  \"speedup\": " << Speedup << ",\n"
+       << "  \"memory_tier_hits\": " << MemHits << ",\n"
+       << "  \"interface_parses\": " << InterfaceParses << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_service.json\n");
+
+  if (!Quick && Speedup < 3.0) {
+    std::fprintf(stderr, "FATAL: warm service speedup %.2fx below the 3x "
+                         "bar\n",
+                 Speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -21,8 +21,14 @@
 //                    discover their import graph and compile every
 //                    reachable module under ONE executor (interfaces
 //                    parsed once per session)
+//     -serve N       build-service mode: the positional argument is a
+//                    request manifest (one request per line, root modules
+//                    space-separated, '#' comments); N client threads
+//                    drain it through ONE BuildService sharing one
+//                    executor, one interface pool and tiered caches
 //     -stats         print per-session scheduler/cache/build counters
-//                    (project mode)
+//                    (project mode) or merged service counters (serve
+//                    mode)
 //
 // Module files are looked up as Module.mod / Module.def in the current
 // directory.  A positional argument ending in ".mco" is loaded as a
@@ -36,14 +42,18 @@
 #include "codegen/ObjectFile.h"
 #include "driver/ConcurrentCompiler.h"
 #include "driver/SequentialCompiler.h"
+#include "service/BuildService.h"
 #include "trace/ActivityRecorder.h"
 #include "vm/VM.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 using namespace m2c;
 
@@ -53,7 +63,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: m2c_cli [-j N] [-seq] [-sim] [-dky STRATEGY] "
                "[-trace] [-run] [-dump] [-c] [-cache DIR] [-cache-stats] "
-               "[-project] [-stats] Module...\n");
+               "[-project] [-serve N] [-stats] Module...\n");
   return 2;
 }
 
@@ -128,6 +138,78 @@ int runProject(VirtualFileSystem &Files, StringInterner &Names,
   return static_cast<int>(Result.ExitCode);
 }
 
+/// -serve: N client threads drain a request manifest through one
+/// BuildService.  Requests are claimed in manifest order; each client
+/// prints one summary line per request it served.
+int runServe(VirtualFileSystem &Files, StringInterner &Names,
+             const driver::CompilerOptions &Options,
+             const std::string &ManifestPath, unsigned Clients,
+             const std::string &CacheDir, bool Stats) {
+  std::ifstream In(ManifestPath);
+  if (!In) {
+    std::fprintf(stderr, "cannot read manifest '%s'\n", ManifestPath.c_str());
+    return 1;
+  }
+  std::vector<std::vector<std::string>> Requests;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::vector<std::string> Roots;
+    std::string Root;
+    while (LS >> Root)
+      Roots.push_back(Root);
+    if (!Roots.empty())
+      Requests.push_back(std::move(Roots));
+  }
+  if (Requests.empty()) {
+    std::fprintf(stderr, "manifest '%s' holds no requests\n",
+                 ManifestPath.c_str());
+    return 1;
+  }
+
+  service::ServiceConfig Config;
+  Config.Workers = Options.Processors;
+  Config.Strategy = Options.Strategy;
+  Config.Sharing = Options.Sharing;
+  Config.Optimize = Options.Optimize;
+  Config.CacheDir = CacheDir;
+  service::BuildService Service(Files, Names, Config);
+
+  std::atomic<size_t> Next{0};
+  std::atomic<int> Failures{0};
+  std::mutex OutM;
+  auto Client = [&](unsigned Id) {
+    for (;;) {
+      size_t I = Next.fetch_add(1);
+      if (I >= Requests.size())
+        return;
+      build::BuildResult R = Service.submit(Requests[I]);
+      std::lock_guard<std::mutex> Lock(OutM);
+      std::fputs(R.DiagnosticText.c_str(), stderr);
+      size_t Cached = 0;
+      for (const build::ModuleBuild &M : R.Modules)
+        Cached += M.FromCache;
+      std::printf("client %u req %zu [%s]: %zu modules (%zu cached), "
+                  "%.1f ms%s\n",
+                  Id, I, Requests[I].front().c_str(), R.Modules.size(),
+                  Cached, static_cast<double>(R.ElapsedUnits) / 1e6,
+                  R.Success ? "" : " FAILED");
+      if (!R.Success)
+        Failures.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < std::max(1u, Clients); ++C)
+    Threads.emplace_back(Client, C);
+  for (std::thread &T : Threads)
+    T.join();
+  if (Stats)
+    printCounters("service", Service.statsSnapshot());
+  return Failures.load() ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -137,6 +219,7 @@ int main(int Argc, char **Argv) {
   bool Sequential = false, Trace = false, Run = false, Dump = false;
   bool EmitObjects = false, CacheStats = false, Project = false;
   bool Stats = false;
+  unsigned ServeClients = 0;
   std::string CacheDir;
   std::vector<std::string> Modules;
 
@@ -176,6 +259,10 @@ int main(int Argc, char **Argv) {
       CacheStats = true;
     } else if (Arg == "-project") {
       Project = true;
+    } else if (Arg == "-serve" && I + 1 < Argc) {
+      ServeClients = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (ServeClients == 0)
+        return usage();
     } else if (Arg == "-stats") {
       Stats = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -196,6 +283,18 @@ int main(int Argc, char **Argv) {
     std::string Ext = Entry.path().extension().string();
     if (Ext == ".def" || Ext == ".mod")
       Files.addFromDisk(Entry.path().filename().string());
+  }
+
+  if (ServeClients) {
+    if (Sequential || Modules.size() != 1) {
+      std::fprintf(stderr, "-serve takes one manifest file and uses the "
+                           "concurrent compiler\n");
+      return 2;
+    }
+    // The service fronts its own disk tier with a memory tier; CacheDir
+    // goes to it rather than through Options.Cache.
+    return runServe(Files, Names, Options, Modules.front(), ServeClients,
+                    CacheDir, Stats);
   }
 
   // A persistent on-disk cache: warm entries survive across m2c_cli

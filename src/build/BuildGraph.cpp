@@ -146,6 +146,10 @@ size_t BuildGraph::interfaceClosure(Symbol Module) const {
 }
 
 size_t BuildGraph::sessionInterfaceCount() const {
+  return sessionInterfaces().size();
+}
+
+std::vector<Symbol> BuildGraph::sessionInterfaces() const {
   std::vector<Symbol> Seeds;
   for (Symbol M : Order) {
     const BuildNode &N = Nodes.at(M);
@@ -154,5 +158,5 @@ size_t BuildGraph::sessionInterfaceCount() const {
     for (Symbol I : N.ModImports)
       Seeds.push_back(I);
   }
-  return closureFrom(Seeds).size();
+  return closureFrom(Seeds);
 }

@@ -68,6 +68,12 @@ public:
   /// compiled module's closure, deduplicated.
   size_t sessionInterfaceCount() const;
 
+  /// The names behind sessionInterfaceCount(), in deterministic closure
+  /// order.  The service uses this to key its shared-interface generation
+  /// (content hashes of the .def files) and to scope per-request
+  /// diagnostics to the files the request actually depends on.
+  std::vector<Symbol> sessionInterfaces() const;
+
 private:
   std::vector<Symbol>
   closureFrom(const std::vector<Symbol> &Seeds) const;

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace m2c;
 using namespace m2c::build;
@@ -36,14 +37,30 @@ const ModuleBuild *BuildResult::module(std::string_view Name) const {
 }
 
 BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
+  return buildImpl(Roots, nullptr);
+}
+
+BuildResult BuildSession::build(const std::vector<std::string> &Roots,
+                                SessionExternals Ext) {
+  return buildImpl(Roots, &Ext);
+}
+
+BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
+                                    SessionExternals *Ext) {
   BuildResult Result;
-  auto Comp = std::make_shared<Compilation>(
-      Files, Interner,
-      CompilationOptions{Options.Strategy, Options.Sharing,
-                         Options.Optimize});
+  std::shared_ptr<Compilation> Comp;
+  if (Ext) {
+    Comp = Ext->Comp;
+    Result.KeepAlive = Ext->KeepAlive;
+  } else {
+    Comp = std::make_shared<Compilation>(
+        Files, Interner,
+        CompilationOptions{Options.Strategy, Options.Sharing,
+                           Options.Optimize});
+  }
   Result.Compilation = Comp;
 
-  bool Threaded = Options.Executor == ExecutorKind::Threaded;
+  bool Threaded = Ext || Options.Executor == ExecutorKind::Threaded;
   uint64_t SideUnits = 0;  // discovery + cache work, virtual units
   uint64_t SideWallNs = 0; // the same work in wall time
   using Clock = std::chrono::steady_clock;
@@ -54,11 +71,22 @@ BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
             .count());
   };
 
+  // Request-scoped diagnostics (service mode): location-less conditions
+  // go here instead of the shared engine, and at the end the request's
+  // slice of the shared engine is merged in, so each request renders
+  // exactly what a standalone session would.
+  DiagnosticsEngine LocalDiags;
+  auto SessionStart = Clock::now();
+
   // Discovery: close over the import graph before anything is scheduled.
   // Charged like any other sequential phase so session times stay honest.
+  // The service discovers before admission and hands the graph in.
   BuildGraph Graph;
   uint64_t DiscoveryUnits = 0;
-  {
+  if (Ext) {
+    Graph = std::move(Ext->Graph);
+    DiscoveryUnits = Ext->DiscoveryWallNs;
+  } else {
     SequentialContext Ctx(Options.Cost);
     ScopedContext Installed(Ctx);
     auto Start = Clock::now();
@@ -69,10 +97,36 @@ BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
   }
   for (const std::string &Root : Roots) {
     const BuildNode *N = Graph.node(Interner.intern(Root));
-    if (!N || !N->HasImpl)
-      Comp->Diags.error(SourceLocation(),
-                        "cannot find module file '" +
-                            VirtualFileSystem::modFileName(Root) + "'");
+    if (!N || !N->HasImpl) {
+      std::string Message = "cannot find module file '" +
+                            VirtualFileSystem::modFileName(Root) + "'";
+      if (Ext)
+        LocalDiags.error(SourceLocation(), std::move(Message));
+      else
+        Comp->Diags.error(SourceLocation(), std::move(Message));
+    }
+  }
+
+  // Service mode: the request's file set — its own .mod files plus its
+  // interface closure's .def files — scopes every later read of the
+  // shared diagnostics engine.  Missing interfaces are synthesized here
+  // from the graph: the shared InterfaceSet reports them location-less
+  // into the shared engine, where a per-file filter cannot see them.
+  std::unordered_set<uint32_t> RequestFiles;
+  if (Ext) {
+    for (Symbol Mod : Graph.compileOrder())
+      if (const SourceBuffer *Buf = Files.lookup(
+              VirtualFileSystem::modFileName(Interner.spelling(Mod))))
+        RequestFiles.insert(Buf->Id.index());
+    for (Symbol Def : Graph.sessionInterfaces()) {
+      std::string FileName =
+          VirtualFileSystem::defFileName(Interner.spelling(Def));
+      if (const SourceBuffer *Buf = Files.lookup(FileName))
+        RequestFiles.insert(Buf->Id.index());
+      else
+        LocalDiags.error(SourceLocation(),
+                         "cannot find interface file '" + FileName + "'");
+    }
   }
 
   // Cache prepass, module by module.  Whole-module hits never get a
@@ -115,17 +169,34 @@ BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
   uint64_t InterfaceParses = 0;
   uint64_t ProcStreams = 0;
   if (!Pending.empty()) {
-    std::unique_ptr<Executor> Exec;
-    if (Threaded)
-      Exec = std::make_unique<ThreadedExecutor>(Options.Processors,
-                                                Options.Cost);
-    else
-      Exec = std::make_unique<SimulatedExecutor>(Options.Processors,
-                                                 Options.Cost);
-    Exec->setActivitySink(Options.Trace);
+    std::unique_ptr<Executor> OwnedExec;
+    Executor *Exec = nullptr;
+    ThreadedExecutor *Service = Ext ? Ext->Exec : nullptr;
+    if (Service) {
+      Exec = Service;
+    } else {
+      if (Threaded)
+        OwnedExec = std::make_unique<ThreadedExecutor>(Options.Processors,
+                                                       Options.Cost);
+      else
+        OwnedExec = std::make_unique<SimulatedExecutor>(Options.Processors,
+                                                        Options.Cost);
+      OwnedExec->setActivitySink(Options.Trace);
+      Exec = OwnedExec.get();
+    }
 
     TaskSpawner Spawner(*Exec);
-    InterfaceSet Defs(*Comp, Spawner);
+    std::shared_ptr<void> Tag;
+    if (Service) {
+      Tag = Service->openRequest();
+      Spawner.setService(Tag);
+    }
+    std::unique_ptr<InterfaceSet> OwnedDefs;
+    InterfaceSet *Defs = Ext ? Ext->SharedDefs : nullptr;
+    if (!Defs) {
+      OwnedDefs = std::make_unique<InterfaceSet>(*Comp, Spawner);
+      Defs = OwnedDefs.get();
+    }
     std::vector<std::unique_ptr<ModulePipeline>> Pipelines;
     {
       // Setup replays cached main-stream units; charge that to the cache
@@ -145,8 +216,15 @@ BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
       SideUnits += Ctx.elapsedUnits();
       SideWallNs += WallSince(Start);
     }
-    Spawner.enterRun();
-    Exec->run();
+    if (Service) {
+      // Tasks have been arriving at the serving executor since setup;
+      // wait for this request's subgraph, then let the fair share rise.
+      Service->awaitRequest(Tag);
+      Service->closeRequest(Tag);
+    } else {
+      Spawner.enterRun();
+      Exec->run();
+    }
 
     for (size_t I = 0; I < Pipelines.size(); ++I) {
       ModulePipeline &Pipe = *Pipelines[I];
@@ -166,8 +244,13 @@ BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
 
     // Store phase: the gate is session-wide — only a completely clean
     // session stores, so a replayed entry never owes a diagnostic from
-    // any module — plus per-module plan integrity.
-    if (Options.Cache && Comp->Diags.count() == 0) {
+    // any module — plus per-module plan integrity.  A service request
+    // judges cleanliness over its own file slice of the shared engine (a
+    // peer request's broken module must not block this one's stores).
+    bool Clean = Ext ? (LocalDiags.count() == 0 &&
+                        Comp->Diags.countIn(RequestFiles) == 0)
+                     : Comp->Diags.count() == 0;
+    if (Options.Cache && Clean) {
       SequentialContext Ctx(Options.Cost);
       ScopedContext Installed(Ctx);
       auto Start = Clock::now();
@@ -184,10 +267,16 @@ BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
       SideWallNs += WallSince(Start);
     }
 
-    InterfaceStreams = Defs.streamCount();
-    InterfaceParses = Defs.parseCount();
-    Result.ElapsedUnits = Exec->elapsedUnits();
-    Result.SchedStats = Exec->stats().snapshot();
+    // Under a service these are the shared pool's service-lifetime
+    // counters (interfaces are parsed once per generation, not per
+    // request); scheduler stats likewise accumulate at service level and
+    // are left out of per-request results.
+    InterfaceStreams = Defs->streamCount();
+    InterfaceParses = Defs->parseCount();
+    if (!Service) {
+      Result.ElapsedUnits = Exec->elapsedUnits();
+      Result.SchedStats = Exec->stats().snapshot();
+    }
   }
 
   // Cached modules were recorded during the prepass, compiled ones after
@@ -203,9 +292,19 @@ BuildResult BuildSession::build(const std::vector<std::string> &Roots) {
                      });
   }
 
-  Result.Success = !Comp->Diags.hasErrors();
-  Result.DiagnosticText = Comp->Diags.render(&Files);
-  Result.ElapsedUnits += Threaded ? SideWallNs : SideUnits;
+  if (Ext) {
+    // Merge the request's slice of the shared engine into the local one
+    // (already deduplicated) and render everything in one stable order.
+    for (const Diagnostic &D : Comp->Diags.sortedIn(RequestFiles))
+      LocalDiags.report(D.Severity, D.Loc, D.Message);
+    Result.Success = !LocalDiags.hasErrors();
+    Result.DiagnosticText = LocalDiags.render(&Files);
+    Result.ElapsedUnits = WallSince(SessionStart) + DiscoveryUnits;
+  } else {
+    Result.Success = !Comp->Diags.hasErrors();
+    Result.DiagnosticText = Comp->Diags.render(&Files);
+    Result.ElapsedUnits += Threaded ? SideWallNs : SideUnits;
+  }
   if (!Threaded)
     Result.SimSeconds = static_cast<double>(Result.ElapsedUnits) /
                         static_cast<double>(Options.Cost.UnitsPerSecond);

@@ -28,6 +28,7 @@
 #ifndef M2C_BUILD_BUILDSESSION_H
 #define M2C_BUILD_BUILDSESSION_H
 
+#include "build/BuildGraph.h"
 #include "codegen/MCode.h"
 #include "driver/CompilerOptions.h"
 #include "support/VirtualFileSystem.h"
@@ -41,7 +42,13 @@ namespace m2c::sema {
 class Compilation;
 }
 
+namespace m2c::sched {
+class ThreadedExecutor;
+}
+
 namespace m2c::build {
+
+class InterfaceSet;
 
 /// One module's outcome within a session.
 struct ModuleBuild {
@@ -74,7 +81,29 @@ struct BuildResult {
 
   std::shared_ptr<sema::Compilation> Compilation;
 
+  /// Service mode: keeps the generation (shared Compilation + interface
+  /// arenas) alive as long as this result can reach it.
+  std::shared_ptr<void> KeepAlive;
+
   const ModuleBuild *module(std::string_view Name) const;
+};
+
+/// Shared state a BuildService hands to a session so it runs as one
+/// *request* on the service's persistent infrastructure instead of
+/// constructing its own: the tasks go to the service's executor (opened,
+/// awaited and closed as one fair-share request), the session joins the
+/// service's current Compilation generation — one interner, type context
+/// and once-only module registry shared with its concurrent peers — and
+/// interface streams come from the service-lifetime InterfaceSet, so a
+/// definition module imported by many requests is parsed once per
+/// generation, not once per session.
+struct SessionExternals {
+  sched::ThreadedExecutor *Exec = nullptr; ///< Must be serving().
+  std::shared_ptr<sema::Compilation> Comp; ///< The generation's compilation.
+  InterfaceSet *SharedDefs = nullptr;      ///< The generation's interfaces.
+  BuildGraph Graph;            ///< Pre-discovered by the service.
+  uint64_t DiscoveryWallNs = 0; ///< Wall time the discovery took.
+  std::shared_ptr<void> KeepAlive; ///< Generation handle (outlives result).
 };
 
 /// Runs whole-project builds.  One session object may run one build.
@@ -88,7 +117,18 @@ public:
   /// reachable implementation module under one executor.
   BuildResult build(const std::vector<std::string> &Roots);
 
+  /// Service-mode build: compiles \p Roots as one request on the shared
+  /// infrastructure in \p Ext.  Diagnostics are scoped to the request's
+  /// own files (its .mod files plus its interface closure's .def files),
+  /// so concurrent requests sharing one Compilation each report exactly
+  /// what a standalone session would.
+  BuildResult build(const std::vector<std::string> &Roots,
+                    SessionExternals Ext);
+
 private:
+  BuildResult buildImpl(const std::vector<std::string> &Roots,
+                        SessionExternals *Ext);
+
   VirtualFileSystem &Files;
   StringInterner &Interner;
   driver::CompilerOptions Options;

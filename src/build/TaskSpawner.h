@@ -36,6 +36,21 @@ public:
   TaskSpawner &operator=(const TaskSpawner &) = delete;
 
   void spawn(sched::TaskPtr T) {
+    if (RequestTag && !T->requestTag())
+      T->setRequestTag(RequestTag);
+    if (ServiceMode) {
+      // Under a persistent (serving) executor there is no before/after
+      // run() distinction; what matters is where the submission comes
+      // from.  Inside an executor task, go through the context (policy +
+      // request-tag inheritance).  On a request thread, go to the
+      // executor directly — the thread-local context there is a plain
+      // SequentialContext that would queue the task and never run it.
+      if (sched::ctx().isTaskContext())
+        sched::ctx().spawn(std::move(T));
+      else
+        Exec.spawn(std::move(T));
+      return;
+    }
     if (InsideRun.load(std::memory_order_acquire))
       sched::ctx().spawn(std::move(T));
     else
@@ -46,11 +61,22 @@ public:
   /// submitted through the spawning task's execution context.
   void enterRun() { InsideRun.store(true, std::memory_order_release); }
 
+  /// Switches the spawner to service routing and stamps \p Tag (the
+  /// executor request this spawner submits for; may be null for
+  /// service-lifetime work such as shared interface streams) on every
+  /// untagged task.  Call before the first spawn.
+  void setService(std::shared_ptr<void> Tag) {
+    ServiceMode = true;
+    RequestTag = std::move(Tag);
+  }
+
   sched::Executor &executor() { return Exec; }
 
 private:
   sched::Executor &Exec;
   std::atomic<bool> InsideRun{false};
+  bool ServiceMode = false;
+  std::shared_ptr<void> RequestTag;
 };
 
 } // namespace m2c::build

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <unistd.h>
 
 using namespace m2c::cache;
 
@@ -66,13 +67,15 @@ std::optional<std::string> DiskCacheStore::load(const std::string &Key) {
 }
 
 void DiskCacheStore::save(const std::string &Key, const std::string &Text) {
-  unsigned Temp;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Temp = NextTemp++;
-  }
-  std::string TempPath =
-      Directory + "/.tmp" + std::to_string(Temp) + "." + Key;
+  // Write-temp + atomic rename.  The temp name carries the process id and
+  // a per-process counter so concurrent writers — other threads of this
+  // process or entirely different processes sharing the directory — each
+  // write their own file; whichever rename lands last wins whole, and a
+  // reader can never observe a partially written entry.
+  unsigned Temp = NextTemp.fetch_add(1, std::memory_order_relaxed);
+  std::string TempPath = Directory + "/.tmp" +
+                         std::to_string(static_cast<unsigned long>(::getpid())) +
+                         "." + std::to_string(Temp) + "." + Key;
   {
     std::ofstream Out(TempPath, std::ios::binary);
     if (!Out)

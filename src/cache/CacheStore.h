@@ -18,6 +18,7 @@
 #ifndef M2C_CACHE_CACHESTORE_H
 #define M2C_CACHE_CACHESTORE_H
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -55,8 +56,11 @@ private:
 
 /// Persistent store: one `<key>.mcc` file per entry under a cache
 /// directory (created on first use).  Writes go through a temporary file
-/// followed by an atomic rename, so concurrent compilations never observe
-/// a torn entry.
+/// followed by an atomic rename — fsync-free, so a torn entry is possible
+/// only across a power failure, never across concurrent writers.  Temp
+/// names embed the process id and a per-process counter, so any number of
+/// sessions, service requests, or whole processes can share one cache
+/// directory without colliding mid-write.
 class DiskCacheStore final : public CacheStore {
 public:
   explicit DiskCacheStore(std::string Directory);
@@ -71,8 +75,7 @@ private:
   std::string pathFor(const std::string &Key) const;
 
   const std::string Directory;
-  std::mutex Mutex; ///< Serializes temp-file naming.
-  unsigned NextTemp = 0;
+  std::atomic<unsigned> NextTemp{0}; ///< Distinguishes in-flight writes.
 };
 
 } // namespace m2c::cache

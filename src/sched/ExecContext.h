@@ -48,6 +48,13 @@ public:
 
   /// The cost model in effect.
   virtual const CostModel &costModel() const = 0;
+
+  /// True when this context belongs to a task running on an executor (as
+  /// opposed to a plain SequentialContext on an ordinary thread).  Spawn
+  /// routing uses this: submissions from inside executor tasks go through
+  /// the context so the executor can apply its scheduling policy, while
+  /// submissions from service/request threads go to the executor directly.
+  virtual bool isTaskContext() const { return false; }
 };
 
 /// Returns the context installed on this thread.  Never null: when no

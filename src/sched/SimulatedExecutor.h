@@ -111,6 +111,7 @@ private:
     void signal(Event &E) override;
     void spawn(TaskPtr T) override;
     const CostModel &costModel() const override { return Exec.Model; }
+    bool isTaskContext() const override { return true; }
 
   private:
     SimulatedExecutor &Exec;

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -104,15 +105,40 @@ public:
                                            std::memory_order_acq_rel);
   }
 
+  /// Opaque handle of the build request this task belongs to (service
+  /// mode).  Null for tasks outside any request.  Set before the task is
+  /// spawned — either by the submitting TaskSpawner or inherited from the
+  /// spawning task by the executor.
+  const std::shared_ptr<void> &requestTag() const { return Request; }
+  void setRequestTag(std::shared_ptr<void> Tag) { Request = std::move(Tag); }
+
+  /// Fair-share bookkeeping (service mode): a task charged to its
+  /// request's concurrency-slot count at admission time holds the slot
+  /// until it first blocks or completes, whichever comes first.
+  /// markSlotHeld() records the charge (before the task can run, so it
+  /// never races the release); markSlotReleased() returns true only for
+  /// the call that performed the release, so the executor decrements each
+  /// request's slot count exactly once per counted task.
+  bool holdsSlot() const { return SlotHeld.load(std::memory_order_acquire); }
+  void markSlotHeld() { SlotHeld.store(true, std::memory_order_release); }
+  bool markSlotReleased() {
+    bool Expected = false;
+    return SlotReleased.compare_exchange_strong(Expected, true,
+                                                std::memory_order_acq_rel);
+  }
+
 private:
   const std::string Name;
   const TaskClass Class;
   BodyFn Body;
   int64_t Weight = 0;
   std::vector<EventPtr> Prereqs;
+  std::shared_ptr<void> Request;
   std::atomic<bool> Boosted{false};
   std::atomic<bool> Started{false};
   std::atomic<bool> Done{false};
+  std::atomic<bool> SlotHeld{false};
+  std::atomic<bool> SlotReleased{false};
 };
 
 using TaskPtr = std::shared_ptr<Task>;

@@ -7,6 +7,7 @@
 
 #include "sched/ThreadedExecutor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +61,11 @@ void ThreadedExecutor::spawnFrom(TaskPtr T, unsigned HomeShard) {
   assert(T && "null task");
   TotalSpawned.fetch_add(1, std::memory_order_relaxed);
   Incomplete.fetch_add(1, std::memory_order_acq_rel);
+  // Request attribution (service mode): count the task against its
+  // request before it can possibly run, so awaitRequest() never observes
+  // a transient zero while the graph is still growing.
+  if (RequestState *RS = requestOf(*T))
+    RS->Incomplete.fetch_add(1, std::memory_order_acq_rel);
   if (T->prerequisites().empty()) {
     pushReady(std::move(T), HomeShard);
   } else {
@@ -83,7 +89,42 @@ void ThreadedExecutor::drainSupervisor(unsigned HomeShard) {
     pushReady(std::move(Ready), HomeShard);
 }
 
-void ThreadedExecutor::pushReady(TaskPtr T, unsigned HomeShard) {
+void ThreadedExecutor::pushReady(TaskPtr T, unsigned HomeShard,
+                                 bool BypassFairShare) {
+  // Fair-share admission (service mode): while several requests are open,
+  // a request at its share parks further ready tasks in its own deferred
+  // queue.  Deferred tasks are invisible to ReadyCount — workers cannot
+  // pop them — and re-enter here (BypassFairShare) when the request
+  // releases a slot or the share rises.
+  if (!BypassFairShare && Serving.load(std::memory_order_acquire)) {
+    if (RequestState *RS = requestOf(*T)) {
+      if (!bypassesFairShare(*T)) {
+        unsigned Cap = FairShare.load(std::memory_order_acquire);
+        unsigned S = RS->Slots.load(std::memory_order_relaxed);
+        bool Charged = false;
+        while (S < Cap)
+          if (RS->Slots.compare_exchange_weak(S, S + 1,
+                                              std::memory_order_acq_rel)) {
+            Charged = true;
+            break;
+          }
+        if (!Charged) {
+          {
+            std::lock_guard<std::mutex> Lock(RS->DeferM);
+            RS->Deferred.push_back(std::move(T));
+            RS->DeferredShards.push_back(HomeShard);
+          }
+          RS->DeferredCount.fetch_add(1, std::memory_order_release);
+          CtDeferred.fetch_add(1, std::memory_order_relaxed);
+          // Close the check/park race: if every counted task released its
+          // slot while we were parking, nobody else will admit us.
+          admitDeferred(*RS);
+          return;
+        }
+        T->markSlotHeld();
+      }
+    }
+  }
   // Producer-class tasks (Lexor/Splitter/Importer) go to the global queue
   // every pop consults first.  This preserves the baseline's
   // producers-before-consumers admission order: a consumer stuck in a
@@ -186,6 +227,149 @@ TaskPtr ThreadedExecutor::tryPop(unsigned HomeShard) {
     }
   }
   return nullptr;
+}
+
+//===--- Service mode -------------------------------------------------------===//
+
+void ThreadedExecutor::recomputeFairShare() {
+  size_t N = OpenRequests.size();
+  FairShare.store(N <= 1 ? ~0u
+                         : std::max(1u, Processors / static_cast<unsigned>(N)),
+                  std::memory_order_release);
+}
+
+void ThreadedExecutor::admitDeferred(RequestState &RS) {
+  while (RS.DeferredCount.load(std::memory_order_acquire) > 0) {
+    // Take a slot first; a deferred task re-enters the ready queues
+    // already counted, so admission is self-limiting.
+    unsigned Cap = FairShare.load(std::memory_order_acquire);
+    unsigned S = RS.Slots.load(std::memory_order_relaxed);
+    bool Charged = false;
+    while (S < Cap)
+      if (RS.Slots.compare_exchange_weak(S, S + 1,
+                                         std::memory_order_acq_rel)) {
+        Charged = true;
+        break;
+      }
+    if (!Charged)
+      return;
+    TaskPtr T;
+    unsigned Shard = 0;
+    {
+      std::lock_guard<std::mutex> Lock(RS.DeferM);
+      if (!RS.Deferred.empty()) {
+        T = std::move(RS.Deferred.front());
+        RS.Deferred.pop_front();
+        Shard = RS.DeferredShards.front();
+        RS.DeferredShards.pop_front();
+      }
+    }
+    if (!T) { // Raced with another admitter; hand the slot back.
+      RS.Slots.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+    RS.DeferredCount.fetch_sub(1, std::memory_order_release);
+    T->markSlotHeld();
+    pushReady(std::move(T), Shard, /*BypassFairShare=*/true);
+  }
+}
+
+void ThreadedExecutor::releaseRequestSlot(Task &T) {
+  RequestState *RS = requestOf(T);
+  if (!RS || !T.holdsSlot() || !T.markSlotReleased())
+    return;
+  RS->Slots.fetch_sub(1, std::memory_order_acq_rel);
+  if (RS->DeferredCount.load(std::memory_order_acquire) > 0)
+    admitDeferred(*RS);
+}
+
+void ThreadedExecutor::finishRequestTask(const std::shared_ptr<void> &Tag) {
+  auto *RS = static_cast<RequestState *>(Tag.get());
+  if (RS->Incomplete.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> Lock(ReqDoneM);
+    ReqDoneCv.notify_all();
+  }
+}
+
+void ThreadedExecutor::startService() {
+  assert(!Started.load(std::memory_order_acquire) &&
+         "executor already running");
+  RunStart = std::chrono::steady_clock::now();
+  Serving.store(true, std::memory_order_release);
+  Started.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(WorkersM);
+  for (unsigned I = 0; I < Processors; ++I) {
+    unsigned Id = static_cast<unsigned>(Workers.size());
+    Workers.emplace_back([this, Id] { workerMain(Id); });
+  }
+}
+
+void ThreadedExecutor::stopService() {
+  if (!Serving.exchange(false, std::memory_order_acq_rel))
+    return;
+  ShuttingDown.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Idle(IdleM);
+    IdleCv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> Token(TokenM);
+    TokenCv.notify_all();
+  }
+  std::vector<std::thread> Done;
+  {
+    std::lock_guard<std::mutex> W(WorkersM);
+    Done.swap(Workers);
+  }
+  for (std::thread &W : Done)
+    if (W.joinable())
+      W.join();
+  ShuttingDown.store(false, std::memory_order_release);
+  Started.store(false, std::memory_order_release);
+  ElapsedNs = nowNs();
+  flushStats();
+}
+
+std::shared_ptr<void> ThreadedExecutor::openRequest() {
+  auto RS = std::make_shared<RequestState>();
+  {
+    std::lock_guard<std::mutex> Lock(ReqM);
+    OpenRequests.push_back(RS);
+    recomputeFairShare();
+  }
+  CtRequestsOpened.fetch_add(1, std::memory_order_relaxed);
+  return RS;
+}
+
+void ThreadedExecutor::awaitRequest(const std::shared_ptr<void> &Tag) {
+  auto *RS = static_cast<RequestState *>(Tag.get());
+  std::unique_lock<std::mutex> Lock(ReqDoneM);
+  // finishRequestTask() notifies under ReqDoneM after the decrement, and
+  // the predicate re-checks under the same lock, so wakeups cannot be
+  // lost; the timeout is a backstop.
+  while (RS->Incomplete.load(std::memory_order_acquire) != 0)
+    ReqDoneCv.wait_for(Lock, std::chrono::milliseconds(50));
+}
+
+void ThreadedExecutor::closeRequest(const std::shared_ptr<void> &Tag) {
+  std::vector<std::shared_ptr<RequestState>> Remaining;
+  {
+    std::lock_guard<std::mutex> Lock(ReqM);
+    for (auto It = OpenRequests.begin(); It != OpenRequests.end(); ++It)
+      if (It->get() == Tag.get()) {
+        OpenRequests.erase(It);
+        break;
+      }
+    recomputeFairShare();
+    Remaining = OpenRequests;
+  }
+  CtRequestsClosed.fetch_add(1, std::memory_order_relaxed);
+  // The share just rose for everyone still open; and drain any stragglers
+  // of the closed request itself (empty when the caller awaited first, as
+  // the contract requires).
+  admitDeferred(*static_cast<RequestState *>(Tag.get()));
+  for (const std::shared_ptr<RequestState> &RS : Remaining)
+    admitDeferred(*RS);
 }
 
 //===--- Tokens and worker lifecycle ----------------------------------------===//
@@ -325,9 +509,14 @@ void ThreadedExecutor::run() {
   ShuttingDown.store(false, std::memory_order_release);
   Started.store(false, std::memory_order_release);
   ElapsedNs = nowNs();
+  flushStats();
+}
 
+void ThreadedExecutor::flushStats() {
   // Flush the hot counters into the (mutex-guarded) StatisticSet once per
-  // run instead of locking it on every scheduling operation.
+  // run (or on demand while serving) instead of locking it on every
+  // scheduling operation.  Exchange-to-zero makes repeated flushes
+  // incremental: each call folds in only what accumulated since the last.
   Stats.add("sched.tasks.total",
             TotalSpawned.exchange(0, std::memory_order_acq_rel));
   Stats.add("sched.tasks.started",
@@ -346,6 +535,12 @@ void ThreadedExecutor::run() {
   Stats.add("sched.steals", CtSteals.exchange(0, std::memory_order_acq_rel));
   Stats.add("sched.workers.spawned",
             CtWorkersSpawned.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.requests.opened",
+            CtRequestsOpened.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.requests.closed",
+            CtRequestsClosed.exchange(0, std::memory_order_acq_rel));
+  Stats.add("sched.requests.deferred",
+            CtDeferred.exchange(0, std::memory_order_acq_rel));
 }
 
 void ThreadedExecutor::workerMain(unsigned WorkerId) {
@@ -359,8 +554,11 @@ void ThreadedExecutor::workerMain(unsigned WorkerId) {
         releaseToken(); // Raced with another popper; requeue ourselves.
     }
     if (T) {
+      std::shared_ptr<void> Tag = T->requestTag();
       runTask(std::move(T), WorkerId);
       releaseToken();
+      if (Tag)
+        finishRequestTask(Tag);
       if (Incomplete.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> Lock(DoneM);
         DoneCv.notify_all();
@@ -394,6 +592,7 @@ void ThreadedExecutor::runTask(TaskPtr T, unsigned WorkerId) {
     T->invoke();
   }
   flushInterval(Ctx);
+  releaseRequestSlot(*T);
   T->markDone();
 }
 
@@ -442,6 +641,11 @@ void ThreadedExecutor::WorkerContext::signal(Event &E) {
 void ThreadedExecutor::WorkerContext::wait(Event &E) {
   if (E.isSignaled())
     return;
+
+  // A blocked task no longer competes for processors, so its request's
+  // fair-share slot is released on its first wait (once per task) and
+  // not reacquired — a soft cap that keeps admission deadlock-free.
+  Exec.releaseRequestSlot(T);
 
   if (E.kind() == EventKind::Barrier) {
     // Barrier waits hold the processor: "the worker simply waits for the

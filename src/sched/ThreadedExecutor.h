@@ -25,6 +25,16 @@
 /// task.  Blocked tasks park on their event's own mutex/condvar, so
 /// signal/wait traffic on different events never contends.
 ///
+/// Besides the one-shot run() used by single compilations and build
+/// sessions, the executor supports a persistent *service mode*
+/// (startService/stopService): workers stay alive across many
+/// independently submitted task graphs, each graph is attributed to a
+/// *request* (openRequest/awaitRequest/closeRequest), and per-request
+/// fair-share admission caps how many of a request's tasks may run at
+/// once when several requests are in flight — one shared worker pool at
+/// any request rate instead of every client constructing its own
+/// oversubscribed executor (see DESIGN.md section 10).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef M2C_SCHED_THREADEDEXECUTOR_H
@@ -59,6 +69,45 @@ public:
 
   const CostModel &costModel() const { return Model; }
 
+  //===--- Service mode ---------------------------------------------------===//
+
+  /// Starts persistent operation: spawns the worker pool and keeps it
+  /// alive until stopService().  Do not mix with run(); a serving
+  /// executor drains every spawned task as it arrives and requests wait
+  /// on their own task subgraphs with awaitRequest().
+  void startService();
+
+  /// Stops persistent operation: joins every worker (spawned tasks are
+  /// still drained first only if callers awaited their requests) and
+  /// flushes scheduler statistics.  Idempotent.
+  void stopService();
+
+  /// True between startService() and stopService().
+  bool serving() const { return Serving.load(std::memory_order_acquire); }
+
+  /// Opens a request: returns the opaque tag to stamp on the request's
+  /// tasks (Task::setRequestTag).  Tasks spawned from inside a tagged
+  /// task inherit its tag.  While more than one request is open, each
+  /// request's concurrently *running* tasks are capped at its fair share
+  /// of the processors (producer-class and interface tasks, and boosted
+  /// resolvers, bypass the cap — they are what other tasks block on).
+  std::shared_ptr<void> openRequest();
+
+  /// Blocks until every task carrying \p Tag has completed.  Call only
+  /// after the request's initial tasks were spawned; tasks spawned from
+  /// running tasks are counted before their spawner completes, so the
+  /// count cannot dip to zero mid-graph.
+  void awaitRequest(const std::shared_ptr<void> &Tag);
+
+  /// Closes a request opened with openRequest() and recomputes the fair
+  /// share of the remaining ones.
+  void closeRequest(const std::shared_ptr<void> &Tag);
+
+  /// Folds the hot atomic counters into stats().  run() does this
+  /// automatically; a serving executor calls it on demand (stat queries,
+  /// stopService).
+  void flushStats();
+
 private:
   /// One ready-task shard: class-priority FIFO deques under a private
   /// lock.  Workers push spawned tasks to their home shard and steal from
@@ -81,9 +130,14 @@ private:
     void wait(Event &E) override;
     void signal(Event &E) override;
     void spawn(TaskPtr NewTask) override {
+      // Tasks spawned mid-task belong to the spawning task's request
+      // unless the spawner already attributed them.
+      if (!NewTask->requestTag() && T.requestTag())
+        NewTask->setRequestTag(T.requestTag());
       Exec.spawnFrom(std::move(NewTask), WorkerId % Exec.NumShards);
     }
     const CostModel &costModel() const override { return Exec.Model; }
+    bool isTaskContext() const override { return true; }
 
   private:
     friend class ThreadedExecutor;
@@ -111,7 +165,9 @@ private:
   void spawnFrom(TaskPtr T, unsigned HomeShard);
 
   /// Pushes an admission-ready task into its queue and wakes a worker.
-  void pushReady(TaskPtr T, unsigned HomeShard);
+  /// In service mode, a task of an over-fair-share request is parked in
+  /// its request's deferred queue instead (unless \p BypassFairShare).
+  void pushReady(TaskPtr T, unsigned HomeShard, bool BypassFairShare = false);
 
   /// Pops the best task visible from \p HomeShard: boosted tasks first
   /// (global scan, gated by the BoostedHint counter), then the producer
@@ -177,6 +233,67 @@ private:
   std::mutex WorkersM; ///< Guards Workers (dynamic thread spawning).
   std::vector<std::thread> Workers;
 
+  //===--- Service mode state --------------------------------------------===//
+
+  /// Per-request accounting.  Handed to clients as an opaque
+  /// shared_ptr<void> (openRequest) and stamped on the request's tasks.
+  struct RequestState {
+    /// Tasks carrying this tag that were spawned but have not finished.
+    std::atomic<uint64_t> Incomplete{0};
+    /// Concurrency slots currently charged to this request (running tasks
+    /// that have not yet blocked or completed).
+    std::atomic<unsigned> Slots{0};
+    /// Tasks parked because the request was at its fair share when they
+    /// became ready, plus the home shard each arrived with (so admission
+    /// pushes it back where it came from).  DeferM guards both deques;
+    /// DeferredCount lets the admit path skip the lock when nothing is
+    /// parked.
+    std::mutex DeferM;
+    std::deque<TaskPtr> Deferred;
+    std::deque<unsigned> DeferredShards;
+    std::atomic<size_t> DeferredCount{0};
+  };
+
+  /// Looks up the RequestState a task is attributed to (null for untagged
+  /// tasks or outside service mode).
+  static RequestState *requestOf(const Task &T) {
+    return static_cast<RequestState *>(T.requestTag().get());
+  }
+
+  /// Tasks every request may run regardless of its fair share: producer
+  /// classes and interface parses (what other tasks block on — throttling
+  /// them converts fairness into convoying) and boosted resolvers.
+  static bool bypassesFairShare(const Task &T) {
+    return isProducerClass(T.taskClass()) ||
+           T.taskClass() == TaskClass::DefModParserDecl || T.isBoosted();
+  }
+
+  /// Moves parked tasks of \p RS back into the ready queues while the
+  /// request is under its fair share.
+  void admitDeferred(RequestState &RS);
+
+  /// Releases the fair-share slot held by \p T (first wait or completion,
+  /// whichever comes first) and admits parked work it was excluding.
+  void releaseRequestSlot(Task &T);
+
+  /// Called when a tagged task finishes: drops the request's Incomplete
+  /// count and wakes awaitRequest() at zero.
+  void finishRequestTask(const std::shared_ptr<void> &Tag);
+
+  /// Recomputes FairShare from the open-request count.  Caller holds ReqM.
+  void recomputeFairShare();
+
+  std::atomic<bool> Serving{false};
+  /// Per-request running-task cap: max(1, Processors / open requests).
+  /// ~0u outside service mode / single-request operation (no throttling).
+  std::atomic<unsigned> FairShare{~0u};
+  std::mutex ReqM; ///< Guards OpenRequests and FairShare recomputation.
+  std::vector<std::shared_ptr<RequestState>> OpenRequests;
+  /// awaitRequest() parking lot (shared by all requests; completions are
+  /// rare relative to task throughput).
+  std::mutex ReqDoneM;
+  std::condition_variable ReqDoneCv;
+
   //===--- Hot statistic counters (flushed into Stats at run() end) ------===//
   std::atomic<uint64_t> CtStarted{0};
   std::atomic<uint64_t> CtSignaled{0};
@@ -187,6 +304,9 @@ private:
   std::atomic<uint64_t> CtBoosts{0};
   std::atomic<uint64_t> CtSteals{0};
   std::atomic<uint64_t> CtWorkersSpawned{0};
+  std::atomic<uint64_t> CtDeferred{0};
+  std::atomic<uint64_t> CtRequestsOpened{0};
+  std::atomic<uint64_t> CtRequestsClosed{0};
 
   std::chrono::steady_clock::time_point RunStart;
   uint64_t ElapsedNs = 0;

@@ -1,0 +1,154 @@
+//===--- BuildService.cpp - Long-lived multi-tenant build service ---------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/BuildService.h"
+
+#include "build/BuildGraph.h"
+#include "cache/CacheStore.h"
+#include "driver/CompilerOptions.h"
+#include "sched/ExecContext.h"
+
+#include <chrono>
+
+using namespace m2c;
+using namespace m2c::service;
+
+BuildService::BuildService(VirtualFileSystem &Files, StringInterner &Interner,
+                           ServiceConfig Config)
+    : Files(Files), Interner(Interner), Config(Config),
+      Exec(Config.Workers, Config.Cost),
+      Pool(Files, Interner, Exec,
+           sema::CompilationOptions{Config.Strategy, Config.Sharing,
+                                    Config.Optimize}),
+      Queue(Config.MaxActiveRequests) {
+  if (Config.UseCache) {
+    std::unique_ptr<cache::CacheStore> Disk;
+    if (!Config.CacheDir.empty())
+      Disk = std::make_unique<cache::DiskCacheStore>(Config.CacheDir);
+    auto TierPtr = std::make_unique<MemoryCacheTier>(std::move(Disk),
+                                                     Config.MemoryTierBytes);
+    Tier = TierPtr.get();
+    Cache = std::make_unique<cache::CompilationCache>(std::move(TierPtr));
+  }
+  Exec.startService();
+}
+
+BuildService::~BuildService() { stop(); }
+
+void BuildService::stop() {
+  if (Stopped)
+    return;
+  Stopped = true;
+  Exec.stopService();
+}
+
+void BuildService::lockModules(const std::vector<std::string> &Modules) {
+  std::unique_lock<std::mutex> Lock(InFlightM);
+  InFlightCv.wait(Lock, [this, &Modules] {
+    for (const std::string &M : Modules)
+      if (InFlightModules.count(M))
+        return false;
+    return true;
+  });
+  for (const std::string &M : Modules)
+    InFlightModules.insert(M);
+}
+
+void BuildService::unlockModules(const std::vector<std::string> &Modules) {
+  {
+    std::lock_guard<std::mutex> Lock(InFlightM);
+    for (const std::string &M : Modules)
+      InFlightModules.erase(M);
+  }
+  InFlightCv.notify_all();
+}
+
+build::BuildResult BuildService::submit(const std::vector<std::string> &Roots) {
+  using Clock = std::chrono::steady_clock;
+  RequestQueue::Scoped Admitted(Queue);
+  ServiceStats.add("service.requests.submitted");
+
+  // Per-request discovery: the graph tells us the request's compile set
+  // and .def closure before anything joins shared state.  Discovery needs
+  // a builtin scope only to parent scratch scopes; any generation's works
+  // and none is mutated.
+  auto DiscStart = Clock::now();
+  build::BuildGraph Graph;
+  {
+    sched::SequentialContext Ctx(Config.Cost);
+    sched::ScopedContext Installed(Ctx);
+    std::shared_ptr<InterfaceGeneration> Scratch = Pool.acquire({});
+    Graph = build::BuildGraph::discover(Files, Interner,
+                                        Scratch->Comp->Builtins, Roots);
+  }
+  uint64_t DiscoveryWallNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           DiscStart)
+          .count());
+
+  std::vector<std::string> DefFiles;
+  for (Symbol Def : Graph.sessionInterfaces())
+    DefFiles.push_back(
+        VirtualFileSystem::defFileName(Interner.spelling(Def)));
+  std::vector<std::string> CompileSet;
+  for (Symbol Mod : Graph.compileOrder())
+    CompileSet.push_back(std::string(Interner.spelling(Mod)));
+
+  // Interface generation: rotated if any .def this request depends on
+  // changed since the current generation parsed it.
+  std::shared_ptr<InterfaceGeneration> Gen = Pool.acquire(DefFiles);
+
+  // Concurrent requests may overlap arbitrarily in interfaces but not in
+  // the implementation modules they compile (the shared registry is
+  // once-only per generation); rebuilding the same module twice at once
+  // is also pure waste — the second request replays the first's cache
+  // entries instead.
+  lockModules(CompileSet);
+
+  driver::CompilerOptions Opts;
+  Opts.Strategy = Config.Strategy;
+  Opts.Sharing = Config.Sharing;
+  Opts.Optimize = Config.Optimize;
+  Opts.Executor = driver::ExecutorKind::Threaded;
+  Opts.Processors = Config.Workers;
+  Opts.Cost = Config.Cost;
+  Opts.Cache = Cache.get();
+
+  build::SessionExternals Ext;
+  Ext.Exec = &Exec;
+  Ext.Comp = Gen->Comp;
+  Ext.SharedDefs = Gen->Defs.get();
+  Ext.Graph = std::move(Graph);
+  Ext.DiscoveryWallNs = DiscoveryWallNs;
+  Ext.KeepAlive = Gen;
+
+  build::BuildSession Session(Files, Interner, Opts);
+  build::BuildResult Result = Session.build(Roots, std::move(Ext));
+
+  unlockModules(CompileSet);
+  ServiceStats.add(Result.Success ? "service.requests.succeeded"
+                                  : "service.requests.failed");
+  return Result;
+}
+
+std::map<std::string, uint64_t> BuildService::statsSnapshot() {
+  Exec.flushStats();
+  std::map<std::string, uint64_t> Merged = Exec.stats().snapshot();
+  auto Fold = [&Merged](const std::map<std::string, uint64_t> &From) {
+    for (const auto &[Name, Value] : From)
+      Merged[Name] += Value;
+  };
+  if (Cache)
+    Fold(Cache->stats().snapshot());
+  if (Tier)
+    Fold(Tier->stats().snapshot());
+  Fold(ServiceStats.snapshot());
+  Merged["service.generations"] = Pool.generationCount();
+  Merged["service.interface.parses"] = Pool.parseCount();
+  Merged["service.interface.streams"] = Pool.streamCount();
+  return Merged;
+}

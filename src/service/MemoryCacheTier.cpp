@@ -1,0 +1,90 @@
+//===--- MemoryCacheTier.cpp - Sharded in-memory artifact tier ------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/MemoryCacheTier.h"
+
+#include <functional>
+
+using namespace m2c;
+using namespace m2c::service;
+
+MemoryCacheTier::MemoryCacheTier(std::unique_ptr<cache::CacheStore> Backing,
+                                 size_t MaxBytes, unsigned ShardCount)
+    : Backing(std::move(Backing)),
+      MaxBytesPerShard(MaxBytes / (ShardCount ? ShardCount : 1)),
+      ShardCount(ShardCount ? ShardCount : 1),
+      Shards(std::make_unique<Shard[]>(this->ShardCount)) {}
+
+MemoryCacheTier::Shard &MemoryCacheTier::shardFor(const std::string &Key) {
+  return Shards[std::hash<std::string>{}(Key) % ShardCount];
+}
+
+void MemoryCacheTier::put(Shard &S, const std::string &Key,
+                          const std::string &Text) {
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
+    S.Bytes -= It->second->second.size();
+    S.Lru.erase(It->second);
+    S.Index.erase(It);
+  }
+  S.Lru.emplace_front(Key, Text);
+  S.Index.emplace(Key, S.Lru.begin());
+  S.Bytes += Text.size();
+  while (S.Bytes > MaxBytesPerShard && S.Lru.size() > 1) {
+    auto &Victim = S.Lru.back();
+    S.Bytes -= Victim.second.size();
+    S.Index.erase(Victim.first);
+    S.Lru.pop_back();
+    Stats.add("cache.mem.evict");
+  }
+}
+
+std::optional<std::string> MemoryCacheTier::load(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Index.find(Key);
+    if (It != S.Index.end()) {
+      // Refresh recency.
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      It->second = S.Lru.begin();
+      Stats.add("cache.mem.hit");
+      return It->second->second;
+    }
+  }
+  Stats.add("cache.mem.miss");
+  if (!Backing)
+    return std::nullopt;
+  std::optional<std::string> FromDisk = Backing->load(Key);
+  if (FromDisk) {
+    // Promote so the next request's probe never touches the disk.
+    std::lock_guard<std::mutex> Lock(S.M);
+    put(S, Key, *FromDisk);
+    Stats.add("cache.mem.fill");
+  }
+  return FromDisk;
+}
+
+void MemoryCacheTier::save(const std::string &Key, const std::string &Text) {
+  {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    put(S, Key, Text);
+  }
+  Stats.add("cache.mem.store");
+  if (Backing)
+    Backing->save(Key, Text);
+}
+
+size_t MemoryCacheTier::size() const {
+  size_t N = 0;
+  for (unsigned I = 0; I < ShardCount; ++I) {
+    std::lock_guard<std::mutex> Lock(Shards[I].M);
+    N += Shards[I].Index.size();
+  }
+  return N;
+}

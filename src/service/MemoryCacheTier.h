@@ -1,0 +1,81 @@
+//===--- MemoryCacheTier.h - Sharded in-memory artifact tier ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory tier of the build service's artifact cache: a CacheStore
+/// decorator that answers repeated loads from a sharded, LRU-bounded map
+/// of serialized entries and falls through to an optional backing store
+/// (typically the shared DiskCacheStore) on miss.  Lookups hit in memory
+/// for any artifact any concurrent request produced during the service's
+/// lifetime; the disk tier below it survives restarts.  Sharding keeps
+/// the tier off the scheduler's critical path — concurrent requests
+/// probing different keys take different locks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SERVICE_MEMORYCACHETIER_H
+#define M2C_SERVICE_MEMORYCACHETIER_H
+
+#include "cache/CacheStore.h"
+#include "support/Statistic.h"
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace m2c::service {
+
+/// LRU-bounded in-memory front for a (possibly absent) persistent store.
+class MemoryCacheTier final : public cache::CacheStore {
+public:
+  /// \p Backing may be null for a memory-only service cache.  \p MaxBytes
+  /// bounds the sum of cached entry text sizes across all shards; each
+  /// shard evicts least-recently-used entries past its slice of the
+  /// budget.
+  MemoryCacheTier(std::unique_ptr<cache::CacheStore> Backing,
+                  size_t MaxBytes, unsigned ShardCount = 8);
+
+  std::optional<std::string> load(const std::string &Key) override;
+  void save(const std::string &Key, const std::string &Text) override;
+  size_t size() const override;
+
+  /// Tier counters: cache.mem.hit / cache.mem.miss / cache.mem.fill (miss
+  /// answered by the backing store and promoted) / cache.mem.store /
+  /// cache.mem.evict.
+  StatisticSet &stats() { return Stats; }
+  const StatisticSet &stats() const { return Stats; }
+
+  cache::CacheStore *backing() { return Backing.get(); }
+
+private:
+  /// One shard: an LRU list of (key, text) with an index into it.
+  struct Shard {
+    std::mutex M;
+    std::list<std::pair<std::string, std::string>> Lru; ///< Front = newest.
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        Index;
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const std::string &Key);
+  /// Inserts/refreshes \p Key in \p S and evicts past the budget.
+  /// Caller holds S.M.
+  void put(Shard &S, const std::string &Key, const std::string &Text);
+
+  const std::unique_ptr<cache::CacheStore> Backing;
+  const size_t MaxBytesPerShard;
+  const unsigned ShardCount;
+  std::unique_ptr<Shard[]> Shards;
+  StatisticSet Stats;
+};
+
+} // namespace m2c::service
+
+#endif // M2C_SERVICE_MEMORYCACHETIER_H

@@ -1,0 +1,34 @@
+//===--- RequestQueue.cpp - FIFO request admission ------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RequestQueue.h"
+
+using namespace m2c::service;
+
+uint64_t RequestQueue::enter() {
+  std::unique_lock<std::mutex> Lock(M);
+  uint64_t Ticket = NextTicket++;
+  Cv.wait(Lock, [this, Ticket] {
+    return NowServing == Ticket && ActiveCount < MaxActive;
+  });
+  ++NowServing;
+  ++ActiveCount;
+  // The next ticket may also be admissible (slots free); wake the line.
+  Cv.notify_all();
+  return Ticket;
+}
+
+void RequestQueue::leave() {
+  std::lock_guard<std::mutex> Lock(M);
+  --ActiveCount;
+  Cv.notify_all();
+}
+
+unsigned RequestQueue::active() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return ActiveCount;
+}

@@ -1,0 +1,70 @@
+//===--- RequestQueue.h - FIFO request admission ----------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounds how many build requests are concurrently active inside the
+/// service.  Admission is strictly FIFO (a ticket turnstile), so a burst
+/// of small requests cannot indefinitely overtake a large one that
+/// arrived first; once admitted, the executor's per-request fair share
+/// keeps the admitted set from starving each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SERVICE_REQUESTQUEUE_H
+#define M2C_SERVICE_REQUESTQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace m2c::service {
+
+/// FIFO counting turnstile: at most MaxActive holders at once, admitted
+/// strictly in arrival order.
+class RequestQueue {
+public:
+  explicit RequestQueue(unsigned MaxActive)
+      : MaxActive(MaxActive ? MaxActive : 1) {}
+  RequestQueue(const RequestQueue &) = delete;
+  RequestQueue &operator=(const RequestQueue &) = delete;
+
+  /// Blocks until every earlier arrival has been admitted and a slot is
+  /// free.  Returns this request's arrival ticket (0-based).
+  uint64_t enter();
+
+  /// Releases the slot taken by enter().
+  void leave();
+
+  /// RAII admission for one request.
+  class Scoped {
+  public:
+    explicit Scoped(RequestQueue &Q) : Q(Q), Ticket(Q.enter()) {}
+    ~Scoped() { Q.leave(); }
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+    uint64_t ticket() const { return Ticket; }
+
+  private:
+    RequestQueue &Q;
+    uint64_t Ticket;
+  };
+
+  /// Requests currently admitted.
+  unsigned active() const;
+
+private:
+  const unsigned MaxActive;
+  mutable std::mutex M;
+  std::condition_variable Cv;
+  uint64_t NextTicket = 0;  ///< Next arrival's ticket.
+  uint64_t NowServing = 0;  ///< Lowest not-yet-admitted ticket.
+  unsigned ActiveCount = 0; ///< Admitted, not yet left.
+};
+
+} // namespace m2c::service
+
+#endif // M2C_SERVICE_REQUESTQUEUE_H

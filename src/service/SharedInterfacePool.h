@@ -1,0 +1,111 @@
+//===--- SharedInterfacePool.h - Interface reuse across requests -*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface AST/scope reuse tier of the build service.  Requests of
+/// one *generation* share a single sema::Compilation — one interner, type
+/// context, diagnostics engine, and once-only module registry — with a
+/// service-lifetime InterfaceSet installed as the registry's stream
+/// starter, so a definition module imported by many requests is lexed,
+/// parsed and analyzed exactly once per generation: the paper's
+/// interface-once guarantee lifted from a compilation (PR 0) and a
+/// session (PR 2) to the whole service fleet.
+///
+/// Correctness of sharing: every interface scope is built from the .def
+/// text alone, the module registry is once-only, and the Merger renumbers
+/// ProcIds and resolves callees by qualified name, so a module's .mco
+/// bytes do not depend on which other requests share the Compilation.
+///
+/// Staleness: at admission each request presents the content hashes of
+/// its .def closure.  If any hash differs from what the current
+/// generation already parsed, the pool *rotates* — a fresh Compilation
+/// and InterfaceSet serve subsequent requests — while in-flight requests
+/// keep their old generation alive through shared_ptr ownership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_SERVICE_SHAREDINTERFACEPOOL_H
+#define M2C_SERVICE_SHAREDINTERFACEPOOL_H
+
+#include "build/InterfaceSet.h"
+#include "build/TaskSpawner.h"
+#include "sema/Compilation.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace m2c::sched {
+class ThreadedExecutor;
+}
+
+namespace m2c::service {
+
+/// One sharing epoch: the Compilation all requests of the epoch join and
+/// the InterfaceSet that parses each interface once for all of them.
+struct InterfaceGeneration {
+  std::shared_ptr<sema::Compilation> Comp;
+  std::unique_ptr<build::TaskSpawner> Spawner;
+  std::unique_ptr<build::InterfaceSet> Defs;
+  /// .def file name -> content hash when first seen by this generation.
+  /// Guarded by the pool mutex.
+  std::unordered_map<std::string, std::string> DefHashes;
+};
+
+/// Hands out the generation serving each request and rotates on change.
+class SharedInterfacePool {
+public:
+  /// \p Exec is the service's persistent executor; generations' interface
+  /// tasks are submitted to it (tagged by whichever request triggers
+  /// them).  \p Options carries the DKY strategy/sharing/optimize
+  /// settings every generation compiles under.
+  SharedInterfacePool(VirtualFileSystem &Files, StringInterner &Interner,
+                      sched::ThreadedExecutor &Exec,
+                      sema::CompilationOptions Options);
+
+  /// Returns the generation that will serve a request whose interface
+  /// closure is \p DefFiles (file names).  Rotates first when any of
+  /// those files' current content differs from what the current
+  /// generation parsed.
+  std::shared_ptr<InterfaceGeneration>
+  acquire(const std::vector<std::string> &DefFiles);
+
+  /// Generations created so far (>= 1 once acquire ran).
+  uint64_t generationCount() const {
+    return Generations.load(std::memory_order_relaxed);
+  }
+
+  /// Definition-module parser executions summed over every generation —
+  /// the "parsed once per service" counter ServiceTest asserts on.
+  uint64_t parseCount() const;
+
+  /// Definition-module streams summed over every generation.
+  uint64_t streamCount() const;
+
+private:
+  void rotateLocked();
+
+  VirtualFileSystem &Files;
+  StringInterner &Interner;
+  sched::ThreadedExecutor &Exec;
+  const sema::CompilationOptions Options;
+
+  mutable std::mutex M;
+  std::shared_ptr<InterfaceGeneration> Current;
+  /// Parse/stream counts of retired generations (their InterfaceSets may
+  /// be gone by the time stats are read).
+  uint64_t RetiredParses = 0;
+  uint64_t RetiredStreams = 0;
+  std::atomic<uint64_t> Generations{0};
+};
+
+} // namespace m2c::service
+
+#endif // M2C_SERVICE_SHAREDINTERFACEPOOL_H

@@ -41,13 +41,20 @@ size_t DiagnosticsEngine::count() const {
   return Diags.size();
 }
 
+static void sortDiags(std::vector<Diagnostic> &Out);
+
 std::vector<Diagnostic> DiagnosticsEngine::sorted() const {
   std::vector<Diagnostic> Copy;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Copy = Diags;
   }
-  std::stable_sort(Copy.begin(), Copy.end(),
+  sortDiags(Copy);
+  return Copy;
+}
+
+static void sortDiags(std::vector<Diagnostic> &Out) {
+  std::stable_sort(Out.begin(), Out.end(),
                    [](const Diagnostic &A, const Diagnostic &B) {
                      if (A.Loc.File.index() != B.Loc.File.index())
                        return A.Loc.File.index() < B.Loc.File.index();
@@ -57,7 +64,42 @@ std::vector<Diagnostic> DiagnosticsEngine::sorted() const {
                        return A.Loc.Column < B.Loc.Column;
                      return A.Message < B.Message;
                    });
-  return Copy;
+}
+
+std::vector<Diagnostic> DiagnosticsEngine::sortedIn(
+    const std::unordered_set<uint32_t> &FileIdxs) const {
+  std::vector<Diagnostic> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const Diagnostic &D : Diags)
+      if (D.Loc.File.isValid() && FileIdxs.count(D.Loc.File.index()))
+        Out.push_back(D);
+  }
+  sortDiags(Out);
+  Out.erase(std::unique(Out.begin(), Out.end(),
+                        [](const Diagnostic &A, const Diagnostic &B) {
+                          return A.Severity == B.Severity &&
+                                 A.Loc.File.index() == B.Loc.File.index() &&
+                                 A.Loc.Line == B.Loc.Line &&
+                                 A.Loc.Column == B.Loc.Column &&
+                                 A.Message == B.Message;
+                        }),
+            Out.end());
+  return Out;
+}
+
+size_t DiagnosticsEngine::countIn(
+    const std::unordered_set<uint32_t> &FileIdxs) const {
+  return sortedIn(FileIdxs).size();
+}
+
+size_t DiagnosticsEngine::errorCountIn(
+    const std::unordered_set<uint32_t> &FileIdxs) const {
+  size_t N = 0;
+  for (const Diagnostic &D : sortedIn(FileIdxs))
+    if (D.Severity == DiagSeverity::Error)
+      ++N;
+  return N;
 }
 
 static const char *severityName(DiagSeverity Severity) {
@@ -72,9 +114,10 @@ static const char *severityName(DiagSeverity Severity) {
   return "unknown";
 }
 
-std::string DiagnosticsEngine::render(const VirtualFileSystem *Files) const {
+static std::string renderList(const std::vector<Diagnostic> &List,
+                              const VirtualFileSystem *Files) {
   std::ostringstream OS;
-  for (const Diagnostic &D : sorted()) {
+  for (const Diagnostic &D : List) {
     if (D.Loc.File.isValid() && Files)
       OS << Files->buffer(D.Loc.File).Name;
     else if (D.Loc.File.isValid())
@@ -85,4 +128,14 @@ std::string DiagnosticsEngine::render(const VirtualFileSystem *Files) const {
        << D.Message << "\n";
   }
   return OS.str();
+}
+
+std::string DiagnosticsEngine::render(const VirtualFileSystem *Files) const {
+  return renderList(sorted(), Files);
+}
+
+std::string
+DiagnosticsEngine::renderIn(const std::unordered_set<uint32_t> &FileIdxs,
+                            const VirtualFileSystem *Files) const {
+  return renderList(sortedIn(FileIdxs), Files);
 }

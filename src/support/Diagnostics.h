@@ -20,6 +20,7 @@
 
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace m2c {
@@ -68,6 +69,21 @@ public:
   /// "file:line:col: severity: message" format.  \p Files resolves file
   /// names; it may be null, in which case file ids are printed.
   std::string render(const VirtualFileSystem *Files = nullptr) const;
+
+  /// Per-request views (service mode): several concurrent requests share
+  /// one engine, and each sees only the diagnostics located in its own
+  /// file set (its .mod files plus its interface closure's .def files).
+  /// Identical (severity, location, message) entries are collapsed, so a
+  /// shared interface whose errors were reported under more than one
+  /// generation probe still renders once.  Invalid-location diagnostics
+  /// are excluded — request-scoped conditions without a source position
+  /// are reported through the request's own local engine.
+  std::vector<Diagnostic>
+  sortedIn(const std::unordered_set<uint32_t> &FileIdxs) const;
+  size_t countIn(const std::unordered_set<uint32_t> &FileIdxs) const;
+  size_t errorCountIn(const std::unordered_set<uint32_t> &FileIdxs) const;
+  std::string renderIn(const std::unordered_set<uint32_t> &FileIdxs,
+                       const VirtualFileSystem *Files = nullptr) const;
 
 private:
   mutable std::mutex Mutex;

@@ -330,6 +330,12 @@ GeneratedProject WorkloadGenerator::generateProject(const ProjectSpec &Spec) {
         Impl << (K ? ", " : "") << SharedName(K);
       Impl << ";\n";
     }
+    if (!Spec.ImportInterfaces.empty()) {
+      Impl << "IMPORT ";
+      for (size_t K = 0; K < Spec.ImportInterfaces.size(); ++K)
+        Impl << (K ? ", " : "") << Spec.ImportInterfaces[K];
+      Impl << ";\n";
+    }
     if (J > 0)
       Impl << "IMPORT " << ModName(J - 1) << ";\n";
     for (unsigned P = 0; P < Procs; ++P) {
@@ -366,6 +372,13 @@ GeneratedProject WorkloadGenerator::generateProject(const ProjectSpec &Spec) {
         unsigned K = R.range(0, Spec.SharedInterfaces - 1);
         Impl << "  acc := acc + " << SharedName(K) << ".F0(a);\n";
       }
+      if (!Spec.ImportInterfaces.empty()) {
+        // Qualified reference into an external interface so the import is
+        // load-bearing; C0 always exists (InterfaceDecls >= 2).
+        unsigned K = R.range(
+            0, static_cast<unsigned>(Spec.ImportInterfaces.size()) - 1);
+        Impl << "  acc := acc + " << Spec.ImportInterfaces[K] << ".C0;\n";
+      }
       Impl << "  RETURN acc + t\nEND H" << P << ";\n";
     }
     Impl << "PROCEDURE Work(n: INTEGER): INTEGER;\n"
@@ -393,6 +406,68 @@ GeneratedProject WorkloadGenerator::generateProject(const ProjectSpec &Spec) {
   Files.addFile(Info.Root + ".mod", Main.str());
   Info.Modules.push_back(Info.Root);
   Info.InterfaceCount = Spec.SharedInterfaces + Spec.NumModules;
+  return Info;
+}
+
+std::string GeneratedRequestSet::manifestText() const {
+  std::ostringstream OS;
+  OS << "# m2c build-request manifest: one request per line, roots "
+        "space-separated.\n";
+  for (const std::vector<std::string> &Roots : Requests) {
+    for (size_t I = 0; I < Roots.size(); ++I)
+      OS << (I ? " " : "") << Roots[I];
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+GeneratedRequestSet
+WorkloadGenerator::generateRequestSet(const RequestSetSpec &Spec) {
+  Rng R(Spec.Seed);
+  GeneratedRequestSet Info;
+  unsigned Decls = std::max(2u, Spec.InterfaceDecls);
+
+  //===--- The common interface pool (.def only) ---------------------------===//
+  // Definition-only interfaces: every project imports all of them, so
+  // they overlap in front-end work (lex/parse/analyze of the interface)
+  // without forcing the projects to share implementation modules — the
+  // service's compile sets stay disjoint and requests run concurrently.
+  for (unsigned K = 0; K < Spec.CommonInterfaces; ++K) {
+    std::string Name = Spec.Name + "Common" + std::to_string(K);
+    std::ostringstream Def;
+    Def << "DEFINITION MODULE " << Name << ";\n";
+    Def << "CONST\n";
+    for (unsigned D = 0; D < (Decls + 1) / 2; ++D)
+      Def << "  C" << D << " = " << R.range(1, 97) << ";\n";
+    for (unsigned D = 0; D < Decls / 2; ++D)
+      Def << "PROCEDURE F" << D << "(x: INTEGER): INTEGER;\n";
+    Def << "VAR v0: INTEGER;\n";
+    Def << "END " << Name << ".\n";
+    Files.addFile(Name + ".def", Def.str());
+    Info.CommonInterfaceNames.push_back(std::move(Name));
+  }
+  Info.InterfaceCount = Spec.CommonInterfaces;
+
+  //===--- The projects ----------------------------------------------------===//
+  for (unsigned P = 0; P < Spec.NumProjects; ++P) {
+    ProjectSpec Proj;
+    Proj.Name = Spec.Name + "P" + std::to_string(P);
+    Proj.NumModules = Spec.ModulesPerProject;
+    Proj.SharedInterfaces = Spec.ProjectInterfaces;
+    Proj.ProcsPerModule = Spec.ProcsPerModule;
+    Proj.MeanProcStmts = Spec.MeanProcStmts;
+    Proj.InterfaceDecls = Spec.InterfaceDecls;
+    Proj.Seed = Spec.Seed + 101 * (P + 1);
+    Proj.ImportInterfaces = Info.CommonInterfaceNames;
+    GeneratedProject Gen = generateProject(Proj);
+    Info.InterfaceCount += Gen.InterfaceCount;
+    Info.Projects.push_back(std::move(Gen));
+  }
+
+  //===--- The request list (round-robin arrival) --------------------------===//
+  for (unsigned Rep = 0; Rep < Spec.RequestsPerProject; ++Rep)
+    for (const GeneratedProject &Proj : Info.Projects)
+      Info.Requests.push_back({Proj.Root});
   return Info;
 }
 

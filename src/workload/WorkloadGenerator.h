@@ -87,6 +87,12 @@ struct ProjectSpec {
   unsigned MeanProcStmts = 10;
   unsigned InterfaceDecls = 16;
   uint32_t Seed = 11;
+  /// Externally provided interfaces (generated elsewhere, by name) that
+  /// every library module of this project additionally imports.  This is
+  /// how generateRequestSet() makes separate projects overlap: they all
+  /// import the same external interface set, so a build service parses
+  /// those interfaces once for the whole request fleet.
+  std::vector<std::string> ImportInterfaces;
 };
 
 /// What generateProject() produced.
@@ -96,6 +102,45 @@ struct GeneratedProject {
   /// module chain, then the root) — the per-module compile loop's order.
   std::vector<std::string> Modules;
   size_t InterfaceCount = 0; ///< Distinct .def files generated.
+};
+
+/// Parameters of a generated *request set*: several projects that all
+/// import one common pool of interfaces, plus a manifest of build
+/// requests over them.  This is the shared workload of the build-service
+/// bench, the service tests and `m2c_cli -serve`: requests overlap in
+/// interfaces (the service's interface pool pays off) and repeat
+/// (the artifact tiers pay off), deterministically in the seed.
+struct RequestSetSpec {
+  std::string Name = "Req";
+  unsigned NumProjects = 4;
+  /// Interfaces imported by every module of *every* project (.def only —
+  /// no implementations, so projects overlap in parsing, not codegen).
+  unsigned CommonInterfaces = 4;
+  /// Per-project chained modules (see ProjectSpec::NumModules).
+  unsigned ModulesPerProject = 4;
+  /// Per-project interfaces imported by that project's modules only.
+  unsigned ProjectInterfaces = 2;
+  unsigned ProcsPerModule = 6;
+  unsigned MeanProcStmts = 8;
+  unsigned InterfaceDecls = 12;
+  /// How many times each project appears in the request list.  Requests
+  /// are interleaved round-robin (P0 P1 .. P0 P1 ..) so repeats arrive
+  /// after every project ran once — the warm-tier case.
+  unsigned RequestsPerProject = 2;
+  uint32_t Seed = 17;
+};
+
+/// What generateRequestSet() produced.
+struct GeneratedRequestSet {
+  /// One entry per request: the root modules to build (arrival order).
+  std::vector<std::vector<std::string>> Requests;
+  std::vector<GeneratedProject> Projects;
+  /// Names of the interfaces every project imports.
+  std::vector<std::string> CommonInterfaceNames;
+  size_t InterfaceCount = 0; ///< Distinct .def files generated in total.
+  /// The manifest consumed by `m2c_cli -serve`: one request per line,
+  /// roots space-separated, '#' comments and blank lines ignored.
+  std::string manifestText() const;
 };
 
 /// Generates synthetic compiler input into a VirtualFileSystem.
@@ -111,6 +156,10 @@ public:
   /// ProjectSpec).  Deterministic in the seed; the root module writes a
   /// single integer, so linked output is comparable across build modes.
   GeneratedProject generateProject(const ProjectSpec &Spec);
+
+  /// Generates overlapping projects and a request manifest over them
+  /// (see RequestSetSpec).  Deterministic in the seed.
+  GeneratedRequestSet generateRequestSet(const RequestSetSpec &Spec);
 
   /// The canned 37-program suite whose attribute distributions match the
   /// paper's Table 1 (min / median / max anchors, geometric in between).

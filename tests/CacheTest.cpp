@@ -13,7 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <random>
+#include <thread>
 
 using namespace m2c;
 using namespace m2c::driver;
@@ -359,6 +362,62 @@ TEST(CacheTest, DiskStorePersistsAcrossCacheInstances) {
     EXPECT_EQ(It->second, 1u);
     EXPECT_EQ(codegen::writeObjectFile(R.Image, Interner), ColdText);
   }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTest, DiskStoreSurvivesConcurrentReadersAndWriters) {
+  // The disk store is shared by every session of a build service (and by
+  // concurrent m2c_cli processes over one -cache DIR): entries are
+  // written via a private temp file and atomically renamed into place,
+  // so a concurrent reader sees either a complete entry or none at all —
+  // never a torn prefix.
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-hammer";
+  std::filesystem::remove_all(Dir);
+  cache::DiskCacheStore Store(Dir.string());
+
+  constexpr unsigned Keys = 8;
+  auto CanonicalValue = [](unsigned K) {
+    // Large enough that a non-atomic write would be observably torn.
+    std::string Value;
+    std::string Piece = "entry-" + std::to_string(K) + ";";
+    while (Value.size() < 64 * 1024)
+      Value += Piece;
+    return Value;
+  };
+  std::vector<std::string> Values;
+  for (unsigned K = 0; K < Keys; ++K)
+    Values.push_back(CanonicalValue(K));
+
+  std::atomic<int> Torn{0};
+  auto Hammer = [&](unsigned Id) {
+    std::mt19937 R(Id * 7919 + 1);
+    for (unsigned I = 0; I < 200; ++I) {
+      unsigned K = R() % Keys;
+      if (R() % 2) {
+        Store.save("hammer" + std::to_string(K), Values[K]);
+      } else if (std::optional<std::string> Got =
+                     Store.load("hammer" + std::to_string(K))) {
+        if (*Got != Values[K])
+          Torn.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 8; ++T)
+    Threads.emplace_back(Hammer, T);
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Torn.load(), 0);
+
+  // After the dust settles every key reads back its canonical value and
+  // no temp files linger as store entries.
+  for (unsigned K = 0; K < Keys; ++K) {
+    std::optional<std::string> Got = Store.load("hammer" + std::to_string(K));
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_EQ(*Got, Values[K]);
+  }
+  EXPECT_EQ(Store.size(), Keys);
   std::filesystem::remove_all(Dir);
 }
 
