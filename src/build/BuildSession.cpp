@@ -187,9 +187,15 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
 
     TaskSpawner Spawner(*Exec);
     std::shared_ptr<void> Tag;
+    std::optional<TaskSpawner::RequestTagScope> TagScope;
     if (Service) {
       Tag = Service->openRequest();
       Spawner.setService(Tag);
+      // Setup below runs on this (non-task) thread and can first-touch
+      // shared interface streams through the pool's untagged spawner;
+      // the scope charges those spawns to this request so awaitRequest()
+      // waits for them too.
+      TagScope.emplace(Tag);
     }
     std::unique_ptr<InterfaceSet> OwnedDefs;
     InterfaceSet *Defs = Ext ? Ext->SharedDefs : nullptr;
@@ -207,7 +213,8 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
       auto Start = Clock::now();
       for (PendingModule &PM : Pending) {
         auto Pipe = std::make_unique<ModulePipeline>(
-            Options, *Comp, Interner.spelling(PM.Name), Spawner);
+            Options, *Comp, Interner.spelling(PM.Name), Spawner,
+            Ext ? &LocalDiags : nullptr);
         if (PM.Plan && PM.Plan->Valid)
           Pipe->setPlan(&*PM.Plan);
         Pipe->setup();
@@ -220,6 +227,11 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
       // Tasks have been arriving at the serving executor since setup;
       // wait for this request's subgraph, then let the fair share rise.
       Service->awaitRequest(Tag);
+      // A shared interface stream first touched by a peer request runs
+      // under the peer's tag, but its diagnostics land in .def files this
+      // request's slice reads below; settle the whole pool before judging
+      // cleanliness so a late interface error is never missed.
+      Defs->quiesce();
       Service->closeRequest(Tag);
     } else {
       Spawner.enterRun();

@@ -29,6 +29,26 @@ size_t InterfaceSet::streamCount() const {
   return Streams.size();
 }
 
+void InterfaceSet::beginTasks(size_t N) {
+  std::lock_guard<std::mutex> Lock(QuiesceMutex);
+  OutstandingTasks += N;
+}
+
+void InterfaceSet::taskDone() {
+  bool Quiet;
+  {
+    std::lock_guard<std::mutex> Lock(QuiesceMutex);
+    Quiet = --OutstandingTasks == 0;
+  }
+  if (Quiet)
+    QuiesceCv.notify_all();
+}
+
+void InterfaceSet::quiesce() const {
+  std::unique_lock<std::mutex> Lock(QuiesceMutex);
+  QuiesceCv.wait(Lock, [this] { return OutstandingTasks == 0; });
+}
+
 void InterfaceSet::startDefStream(Symbol Name, symtab::Scope &ModScope) {
   auto Owned = std::make_unique<DefStream>(
       "def." + std::string(Comp.Interner.spelling(Name)), Comp.TokenBlocks);
@@ -54,14 +74,17 @@ void InterfaceSet::startDefStream(Symbol Name, symtab::Scope &ModScope) {
                            [this, S] { defParserTask(*S); });
   ModScope.completionEvent()->setResolver(S->ParserTask.get());
 
+  beginTasks(3); // lex + import + parse, retired as each body finishes
   Spawner.spawn(makeTask("lex." + FileName, TaskClass::Lexor, [this, S, Buf] {
     Lexer Lex(*Buf, Comp.Interner, Comp.Diags);
     Lex.lexAll(S->Queue);
+    taskDone();
   }));
   Spawner.spawn(makeTask("import." + FileName, TaskClass::Importer, [this, S] {
     Importer Imp(TokenBlockQueue::Reader(S->Queue), Comp.Modules,
                  Comp.Interner);
     Imp.run();
+    taskDone();
   }));
   Spawner.spawn(S->ParserTask);
 }
@@ -81,4 +104,5 @@ void InterfaceSet::defParserTask(DefStream &S) {
   P.parseTopDecls(/*HeadingsOnly=*/true);
   P.parseDefModuleEnd();
   DA.finish();
+  taskDone();
 }

@@ -25,6 +25,7 @@
 #include "sema/Compilation.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -50,6 +51,14 @@ public:
     return Parses.load(std::memory_order_relaxed);
   }
 
+  /// Blocks until every interface-stream task this set has started is
+  /// finished.  A service request calls this after awaiting its own
+  /// tagged subgraph: a shared stream first touched by a *peer* request
+  /// carries the peer's tag, yet its diagnostics land in .def files this
+  /// request's diagnostic slice reads, so the slice must not be taken
+  /// while any stream is still in flight.
+  void quiesce() const;
+
 private:
   /// One definition-module stream.
   struct DefStream {
@@ -65,12 +74,22 @@ private:
 
   void startDefStream(Symbol Name, symtab::Scope &ModScope);
   void defParserTask(DefStream &S);
+  void beginTasks(size_t N);
+  void taskDone();
 
   sema::Compilation &Comp;
   TaskSpawner &Spawner;
   mutable std::mutex Mutex;
   std::vector<std::unique_ptr<DefStream>> Streams;
   std::atomic<uint64_t> Parses{0};
+
+  /// Interface tasks spawned but not yet finished.  Incremented inside
+  /// startDefStream — which always runs either on a request thread before
+  /// that request awaits, or inside a counted task — so the count can
+  /// never dip to zero while a stream tree is still growing.
+  mutable std::mutex QuiesceMutex;
+  mutable std::condition_variable QuiesceCv;
+  size_t OutstandingTasks = 0;
 };
 
 } // namespace m2c::build

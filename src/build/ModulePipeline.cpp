@@ -34,8 +34,10 @@ ModulePipeline::ProcStream::ProcStream(Symbol Name, std::string Qual,
 
 ModulePipeline::ModulePipeline(const driver::CompilerOptions &Options,
                                Compilation &Comp, std::string_view ModuleName,
-                               TaskSpawner &Spawner)
+                               TaskSpawner &Spawner,
+                               DiagnosticsEngine *RequestDiags)
     : Options(Options), Comp(Comp), Spawner(Spawner),
+      SessionDiags(RequestDiags ? *RequestDiags : Comp.Diags),
       ModName(Comp.Interner.intern(ModuleName)), Merge(ModName),
       RawQueue(std::string(ModuleName) + ".raw", &Comp.TokenBlocks),
       MainQueue(std::string(ModuleName) + ".main", &Comp.TokenBlocks) {}
@@ -51,11 +53,11 @@ void ModulePipeline::dropPlan(const std::string &QualifiedName) {
   // compile without the cache rather than misattribute plan entries; the
   // note also blocks the store phase's zero-diagnostic gate.
   if (!PlanDropped.exchange(true, std::memory_order_acq_rel))
-    Comp.Diags.report(DiagSeverity::Note, SourceLocation(),
-                      "compilation cache plan diverged from the source at "
-                      "stream '" +
-                          QualifiedName +
-                          "'; finishing this compile without the cache");
+    SessionDiags.report(DiagSeverity::Note, SourceLocation(),
+                        "compilation cache plan diverged from the source at "
+                        "stream '" +
+                            QualifiedName +
+                            "'; finishing this compile without the cache");
 }
 
 ModulePipeline::ProcStream *ModulePipeline::createProcStream(ProcStream *Parent,
@@ -126,10 +128,11 @@ ModulePipeline::ProcStream *ModulePipeline::createProcStream(ProcStream *Parent,
     // the heading event or populate the parent scope, so this stream can
     // be neither replayed nor compiled.  Report it instead of wiring a
     // task that would deadlock on an event nobody signals.
-    Comp.Diags.error(SourceLocation(),
-                     "cannot compile procedure '" + S->QualifiedName +
-                         "': the compilation cache diverged under a cached "
-                         "enclosing procedure; clear the cache and recompile");
+    SessionDiags.error(SourceLocation(),
+                       "cannot compile procedure '" + S->QualifiedName +
+                           "': the compilation cache diverged under a cached "
+                           "enclosing procedure; clear the cache and "
+                           "recompile");
     return S;
   }
 
@@ -297,8 +300,8 @@ bool ModulePipeline::setup() {
       VirtualFileSystem::modFileName(Comp.Interner.spelling(ModName));
   const SourceBuffer *ModBuf = Comp.Files.lookup(ModFile);
   if (!ModBuf) {
-    Comp.Diags.error(SourceLocation(),
-                     "cannot find module file '" + ModFile + "'");
+    SessionDiags.error(SourceLocation(),
+                       "cannot find module file '" + ModFile + "'");
     return false;
   }
 

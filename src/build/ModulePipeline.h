@@ -54,9 +54,15 @@ class ModulePipeline {
 public:
   /// \p Options and \p Comp must outlive the pipeline; tasks are routed
   /// through \p Spawner onto the run's (possibly shared) executor.
+  /// \p RequestDiags, when non-null, receives the pipeline's location-less
+  /// conditions (missing module file, cache-plan divergence) instead of
+  /// \p Comp's shared engine: a service request filters the shared engine
+  /// by file, and a per-file slice cannot see location-less entries, so
+  /// they must go straight to the request's own engine.
   ModulePipeline(const driver::CompilerOptions &Options,
                  sema::Compilation &Comp, std::string_view ModuleName,
-                 TaskSpawner &Spawner);
+                 TaskSpawner &Spawner,
+                 DiagnosticsEngine *RequestDiags = nullptr);
   ModulePipeline(const ModulePipeline &) = delete;
   ModulePipeline &operator=(const ModulePipeline &) = delete;
   ~ModulePipeline();
@@ -127,6 +133,9 @@ private:
   const driver::CompilerOptions &Options;
   sema::Compilation &Comp;
   TaskSpawner &Spawner;
+  /// Where location-less conditions are reported: the request's engine
+  /// under a service, \p Comp's shared engine otherwise.
+  DiagnosticsEngine &SessionDiags;
   Symbol ModName;
   codegen::Merger Merge;
 

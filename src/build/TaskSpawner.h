@@ -24,6 +24,7 @@
 #include "sched/Executor.h"
 
 #include <atomic>
+#include <memory>
 
 namespace m2c::build {
 
@@ -36,8 +37,6 @@ public:
   TaskSpawner &operator=(const TaskSpawner &) = delete;
 
   void spawn(sched::TaskPtr T) {
-    if (RequestTag && !T->requestTag())
-      T->setRequestTag(RequestTag);
     if (ServiceMode) {
       // Under a persistent (serving) executor there is no before/after
       // run() distinction; what matters is where the submission comes
@@ -45,12 +44,28 @@ public:
       // request-tag inheritance).  On a request thread, go to the
       // executor directly — the thread-local context there is a plain
       // SequentialContext that would queue the task and never run it.
-      if (sched::ctx().isTaskContext())
+      bool InTask = sched::ctx().isTaskContext();
+      if (!T->requestTag()) {
+        if (RequestTag) {
+          T->setRequestTag(RequestTag);
+        } else if (!InTask) {
+          // A spawner with no tag of its own (the shared interface
+          // pool's) submitting from a request thread has no spawning
+          // task to inherit a tag from either; charge the task to the
+          // request the thread is setting up (RequestTagScope) so
+          // awaitRequest() counts and waits for it.
+          if (const std::shared_ptr<void> &Tag = threadRequestTag())
+            T->setRequestTag(Tag);
+        }
+      }
+      if (InTask)
         sched::ctx().spawn(std::move(T));
       else
         Exec.spawn(std::move(T));
       return;
     }
+    if (RequestTag && !T->requestTag())
+      T->setRequestTag(RequestTag);
     if (InsideRun.load(std::memory_order_acquire))
       sched::ctx().spawn(std::move(T));
     else
@@ -60,6 +75,27 @@ public:
   /// Call immediately before Executor::run(): from here on, new tasks are
   /// submitted through the spawning task's execution context.
   void enterRun() { InsideRun.store(true, std::memory_order_release); }
+
+  /// RAII: marks the calling thread as wiring tasks for request \p Tag
+  /// while it runs setup code outside any task context.  A BuildSession
+  /// installs one between openRequest() and awaitRequest(); shared-pool
+  /// spawners that carry no request tag of their own stamp this tag on
+  /// tasks first-touched from this thread (e.g. an interface stream
+  /// started while the request's pipelines are being wired), so
+  /// awaitRequest() waits for them too.
+  class RequestTagScope {
+  public:
+    explicit RequestTagScope(std::shared_ptr<void> Tag)
+        : Prev(std::move(threadRequestTag())) {
+      threadRequestTag() = std::move(Tag);
+    }
+    ~RequestTagScope() { threadRequestTag() = std::move(Prev); }
+    RequestTagScope(const RequestTagScope &) = delete;
+    RequestTagScope &operator=(const RequestTagScope &) = delete;
+
+  private:
+    std::shared_ptr<void> Prev;
+  };
 
   /// Switches the spawner to service routing and stamps \p Tag (the
   /// executor request this spawner submits for; may be null for
@@ -73,6 +109,14 @@ public:
   sched::Executor &executor() { return Exec; }
 
 private:
+  /// The request the calling thread is currently setting up, null
+  /// otherwise.  Function-local so the header needs no out-of-line
+  /// thread_local definition.
+  static std::shared_ptr<void> &threadRequestTag() {
+    thread_local std::shared_ptr<void> Tag;
+    return Tag;
+  }
+
   sched::Executor &Exec;
   std::atomic<bool> InsideRun{false};
   bool ServiceMode = false;

@@ -107,7 +107,7 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots) {
   // once-only per generation); rebuilding the same module twice at once
   // is also pure waste — the second request replays the first's cache
   // entries instead.
-  lockModules(CompileSet);
+  ModuleLocks Locked(*this, std::move(CompileSet));
 
   driver::CompilerOptions Opts;
   Opts.Strategy = Config.Strategy;
@@ -129,7 +129,6 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots) {
   build::BuildSession Session(Files, Interner, Opts);
   build::BuildResult Result = Session.build(Roots, std::move(Ext));
 
-  unlockModules(CompileSet);
   ServiceStats.add(Result.Success ? "service.requests.succeeded"
                                   : "service.requests.failed");
   return Result;

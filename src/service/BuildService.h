@@ -98,6 +98,24 @@ private:
   void lockModules(const std::vector<std::string> &Modules);
   void unlockModules(const std::vector<std::string> &Modules);
 
+  /// RAII over lockModules/unlockModules: the in-flight marks are
+  /// released on unwind too, so a throwing build can never leave its
+  /// modules locked and deadlock every later overlapping request.
+  class ModuleLocks {
+  public:
+    ModuleLocks(BuildService &S, std::vector<std::string> Modules)
+        : S(S), Modules(std::move(Modules)) {
+      S.lockModules(this->Modules);
+    }
+    ~ModuleLocks() { S.unlockModules(Modules); }
+    ModuleLocks(const ModuleLocks &) = delete;
+    ModuleLocks &operator=(const ModuleLocks &) = delete;
+
+  private:
+    BuildService &S;
+    std::vector<std::string> Modules;
+  };
+
   VirtualFileSystem &Files;
   StringInterner &Interner;
   const ServiceConfig Config;

@@ -41,18 +41,6 @@ size_t DiagnosticsEngine::count() const {
   return Diags.size();
 }
 
-static void sortDiags(std::vector<Diagnostic> &Out);
-
-std::vector<Diagnostic> DiagnosticsEngine::sorted() const {
-  std::vector<Diagnostic> Copy;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Copy = Diags;
-  }
-  sortDiags(Copy);
-  return Copy;
-}
-
 static void sortDiags(std::vector<Diagnostic> &Out) {
   std::stable_sort(Out.begin(), Out.end(),
                    [](const Diagnostic &A, const Diagnostic &B) {
@@ -66,6 +54,35 @@ static void sortDiags(std::vector<Diagnostic> &Out) {
                    });
 }
 
+/// Collapses identical (severity, location, message) neighbours of a
+/// sorted list.  Applied to EVERY sorted view — the standalone render and
+/// a service request's per-file slice alike — so the two stay
+/// byte-identical: under a service, a module recompiled by a later
+/// request re-reports diagnostics a peer already placed in the shared
+/// engine, and the duplicate must collapse in both paths or neither.
+static void dedupDiags(std::vector<Diagnostic> &Out) {
+  Out.erase(std::unique(Out.begin(), Out.end(),
+                        [](const Diagnostic &A, const Diagnostic &B) {
+                          return A.Severity == B.Severity &&
+                                 A.Loc.File.index() == B.Loc.File.index() &&
+                                 A.Loc.Line == B.Loc.Line &&
+                                 A.Loc.Column == B.Loc.Column &&
+                                 A.Message == B.Message;
+                        }),
+            Out.end());
+}
+
+std::vector<Diagnostic> DiagnosticsEngine::sorted() const {
+  std::vector<Diagnostic> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Copy = Diags;
+  }
+  sortDiags(Copy);
+  dedupDiags(Copy);
+  return Copy;
+}
+
 std::vector<Diagnostic> DiagnosticsEngine::sortedIn(
     const std::unordered_set<uint32_t> &FileIdxs) const {
   std::vector<Diagnostic> Out;
@@ -76,15 +93,7 @@ std::vector<Diagnostic> DiagnosticsEngine::sortedIn(
         Out.push_back(D);
   }
   sortDiags(Out);
-  Out.erase(std::unique(Out.begin(), Out.end(),
-                        [](const Diagnostic &A, const Diagnostic &B) {
-                          return A.Severity == B.Severity &&
-                                 A.Loc.File.index() == B.Loc.File.index() &&
-                                 A.Loc.Line == B.Loc.Line &&
-                                 A.Loc.Column == B.Loc.Column &&
-                                 A.Message == B.Message;
-                        }),
-            Out.end());
+  dedupDiags(Out);
   return Out;
 }
 

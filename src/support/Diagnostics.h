@@ -62,7 +62,10 @@ public:
   size_t count() const;
 
   /// Returns all diagnostics sorted by (file, line, column, message) so the
-  /// output is independent of task interleaving.
+  /// output is independent of task interleaving.  Identical (severity,
+  /// location, message) entries are collapsed — the same policy as
+  /// sortedIn(), so a standalone render and a service request's slice of
+  /// a shared engine agree byte-for-byte.
   std::vector<Diagnostic> sorted() const;
 
   /// Renders the sorted diagnostics, one per line, in the conventional
@@ -73,11 +76,12 @@ public:
   /// Per-request views (service mode): several concurrent requests share
   /// one engine, and each sees only the diagnostics located in its own
   /// file set (its .mod files plus its interface closure's .def files).
-  /// Identical (severity, location, message) entries are collapsed, so a
-  /// shared interface whose errors were reported under more than one
-  /// generation probe still renders once.  Invalid-location diagnostics
-  /// are excluded — request-scoped conditions without a source position
-  /// are reported through the request's own local engine.
+  /// Identical (severity, location, message) entries are collapsed — as
+  /// in sorted() — so a module recompiled by a later request, which
+  /// re-reports diagnostics a peer already placed in the shared engine,
+  /// still renders them once.  Invalid-location diagnostics are excluded
+  /// — request-scoped conditions without a source position are reported
+  /// through the request's own local engine.
   std::vector<Diagnostic>
   sortedIn(const std::unordered_set<uint32_t> &FileIdxs) const;
   size_t countIn(const std::unordered_set<uint32_t> &FileIdxs) const;

@@ -205,6 +205,52 @@ TEST(ServiceTest, InterfaceEditRotatesGeneration) {
   F.expectMatches(R, F.standaloneImages(Set.Requests.front(), 4));
 }
 
+// Regression: a module's own .def stream is first touched on the request
+// thread (no task context) while its pipeline is wired, and with the
+// Skeptical strategy every consumer can resolve its imports before the
+// interface finishes lexing/parsing — so a diagnostic late in the .def
+// (here an unexpected character after the final END) lands only after all
+// the request's compile tasks are done.  The request must still wait for
+// the shared stream (tag stamping + pool quiesce), fail, and render the
+// same text a standalone session does — on the first and on a repeated
+// request, whose slice re-reads the diagnostic from the shared engine.
+TEST(ServiceTest, LateInterfaceErrorFailsRequestLikeStandalone) {
+  ServiceFixture F;
+  F.Files.addFile("Broken.def", "DEFINITION MODULE Broken;\n"
+                                "CONST Limit = 8;\n"
+                                "PROCEDURE Ok(x: INTEGER): INTEGER;\n"
+                                "END Broken.\n"
+                                "$\n");
+  F.Files.addFile("Broken.mod", "IMPLEMENTATION MODULE Broken;\n"
+                                "PROCEDURE Ok(x: INTEGER): INTEGER;\n"
+                                "BEGIN RETURN x + Limit END Ok;\n"
+                                "END Broken.\n");
+  F.Files.addFile("Use.mod", "MODULE Use;\n"
+                             "FROM Broken IMPORT Ok;\n"
+                             "BEGIN WriteInt(Ok(1), 0); WriteLn\n"
+                             "END Use.\n");
+
+  std::string Reference;
+  {
+    driver::CompilerOptions Options;
+    Options.Executor = driver::ExecutorKind::Threaded;
+    build::BuildSession Session(F.Files, F.Interner, std::move(Options));
+    build::BuildResult R = Session.build({"Use"});
+    EXPECT_FALSE(R.Success);
+    Reference = R.DiagnosticText;
+  }
+  ASSERT_NE(Reference.find("Broken.def"), std::string::npos) << Reference;
+  ASSERT_NE(Reference.find("unexpected character"), std::string::npos)
+      << Reference;
+
+  BuildService Service(F.Files, F.Interner, F.config());
+  for (int I = 0; I < 2; ++I) {
+    build::BuildResult R = Service.submit({"Use"});
+    EXPECT_FALSE(R.Success) << "request " << I;
+    EXPECT_EQ(R.DiagnosticText, Reference) << "request " << I;
+  }
+}
+
 //===--- (c) Memory-tier hits on repeated requests -------------------------===//
 
 TEST(ServiceTest, RepeatRequestsHitTheMemoryTier) {
