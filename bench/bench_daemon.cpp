@@ -1,0 +1,272 @@
+//===--- bench_daemon.cpp - Remote builds vs in-process service ------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// Measures what the docs/PROTOCOL.md wire costs over calling the build
+// service in-process: the same deterministic request set is drained by
+// the same number of clients twice — once through BuildService::submit
+// directly, once as BUILD frames over a unix-domain socket to an
+// in-process Daemon (one connection per client, reused across requests,
+// artifacts shipped back whole).  The delta is framing + syscalls +
+// object serialization; the service work is identical because the daemon
+// fronts the very same BuildService.
+//
+// Before any number is reported, byte-identity is asserted: every module
+// artifact that crosses the wire must equal a cold standalone
+// BuildSession's .mco bytes, and the diagnostics must match.
+//
+// Results go to stdout and to BENCH_daemon.json (committed per PR, see
+// EXPERIMENTS.md).
+//
+//   bench_daemon [--quick]   (--quick: smaller set, 1 repetition)
+//
+//===----------------------------------------------------------------------===//
+
+#include "build/BuildSession.h"
+#include "codegen/ObjectFile.h"
+#include "daemon/Daemon.h"
+#include "net/RemoteClient.h"
+#include "workload/WorkloadGenerator.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace m2c;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              Start)
+             .count() /
+         1e6;
+}
+
+using ImageMap = std::map<std::string, std::string>;
+
+ImageMap standaloneImages(VirtualFileSystem &Files, StringInterner &Interner,
+                          const std::vector<std::string> &Roots,
+                          unsigned Workers) {
+  driver::CompilerOptions Options;
+  Options.Executor = driver::ExecutorKind::Threaded;
+  Options.Processors = Workers;
+  build::BuildSession Session(Files, Interner, std::move(Options));
+  build::BuildResult R = Session.build(Roots);
+  if (!R.Success) {
+    std::fprintf(stderr, "FATAL: standalone build failed:\n%s",
+                 R.DiagnosticText.c_str());
+    std::exit(1);
+  }
+  ImageMap Images;
+  for (const build::ModuleBuild &M : R.Modules)
+    Images[M.Name] = codegen::writeObjectFile(M.Image, Interner);
+  return Images;
+}
+
+/// Drains \p Requests with \p Clients threads; Run(Client, Roots) must be
+/// thread-safe across clients.  Returns wall milliseconds.
+template <typename Fn>
+double drain(const std::vector<std::vector<std::string>> &Requests,
+             unsigned Clients, Fn Run) {
+  std::atomic<size_t> Next{0};
+  Clock::time_point Start = Clock::now();
+  auto Client = [&](unsigned Id) {
+    for (;;) {
+      size_t I = Next.fetch_add(1);
+      if (I >= Requests.size())
+        return;
+      Run(Id, Requests[I]);
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back(Client, C);
+  for (std::thread &T : Threads)
+    T.join();
+  return msSince(Start);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--quick";
+  const int Reps = Quick ? 1 : 3;
+  const unsigned Clients = 4;
+  const unsigned Workers = 4;
+
+  workload::RequestSetSpec Spec;
+  Spec.NumProjects = Quick ? 2 : 4;
+  Spec.RequestsPerProject = Quick ? 2 : 4;
+  Spec.CommonInterfaces = 4;
+  Spec.ModulesPerProject = Quick ? 3 : 5;
+  Spec.ProjectInterfaces = 2;
+
+  VirtualFileSystem Files;
+  StringInterner Interner;
+  workload::WorkloadGenerator Gen(Files);
+  workload::GeneratedRequestSet Set = Gen.generateRequestSet(Spec);
+  size_t N = Set.Requests.size();
+
+  std::printf("Remote daemon builds vs in-process service "
+              "(%u projects x%u requests, %u clients, %u workers, %d rep%s)\n",
+              Spec.NumProjects, Spec.RequestsPerProject, Clients, Workers,
+              Reps, Reps == 1 ? "" : "s");
+
+  std::map<std::string, ImageMap> References;
+  for (const workload::GeneratedProject &P : Set.Projects)
+    References[P.Root] = standaloneImages(Files, Interner, {P.Root}, Workers);
+
+  std::string SocketPath =
+      (std::filesystem::temp_directory_path() /
+       ("bench-daemon-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+
+  daemon::DaemonConfig Config;
+  Config.UnixSocketPath = SocketPath;
+  Config.Service.Workers = Workers;
+  Config.MaxPendingBuilds = static_cast<unsigned>(N) + Clients;
+  daemon::Daemon Server(Files, Interner, Config);
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "FATAL: daemon start: %s\n", Err.c_str());
+    return 1;
+  }
+
+  //===--- Byte-identity gate ----------------------------------------------===//
+  // Every artifact that crosses the wire equals the cold standalone bytes.
+  {
+    auto Client = net::RemoteClient::open(SocketPath, Err);
+    if (!Client) {
+      std::fprintf(stderr, "FATAL: connect: %s\n", Err.c_str());
+      return 1;
+    }
+    for (const workload::GeneratedProject &P : Set.Projects) {
+      net::BuildRequestMsg Req;
+      Req.RequestId = Client->nextRequestId();
+      Req.Roots = {P.Root};
+      net::BuildResultMsg Result;
+      if (!Client->build(Req, Result, Err) ||
+          Result.St != net::Status::Ok) {
+        std::fprintf(stderr, "FATAL: remote build of %s: %s\n%s",
+                     P.Root.c_str(), Err.c_str(),
+                     Result.Diagnostics.c_str());
+        return 1;
+      }
+      const ImageMap &Reference = References.at(P.Root);
+      if (Result.Modules.size() != Reference.size()) {
+        std::fprintf(stderr, "FATAL: %s: %zu modules != reference %zu\n",
+                     P.Root.c_str(), Result.Modules.size(), Reference.size());
+        return 1;
+      }
+      for (const net::ModuleArtifact &M : Result.Modules) {
+        auto It = Reference.find(M.Name);
+        if (It == Reference.end() || M.Object != It->second) {
+          std::fprintf(stderr,
+                       "FATAL: %s: wire bytes differ from cold standalone\n",
+                       M.Name.c_str());
+          return 1;
+        }
+      }
+    }
+  }
+  std::printf("identity: every wire artifact byte-identical to a cold "
+              "standalone session\n");
+
+  //===--- Throughput ------------------------------------------------------===//
+  double InprocMin = 1e100, RemoteMin = 1e100;
+  uint64_t ArtifactBytes = 0;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    // In-process floor: same shared BuildService, no wire.  The daemon is
+    // already warm from the identity gate, matching the steady state.
+    double InprocMs = drain(
+        Set.Requests, Clients,
+        [&](unsigned, const std::vector<std::string> &Roots) {
+          if (!Server.service().submit(Roots).Success)
+            std::exit((std::fprintf(stderr, "FATAL: in-process failed\n"), 1));
+        });
+    InprocMin = std::min(InprocMin, InprocMs);
+
+    // Remote: one connection per client thread, reused for all requests.
+    std::vector<std::unique_ptr<net::RemoteClient>> Conns(Clients);
+    for (unsigned C = 0; C < Clients; ++C) {
+      Conns[C] = net::RemoteClient::open(SocketPath, Err);
+      if (!Conns[C])
+        std::exit(
+            (std::fprintf(stderr, "FATAL: connect: %s\n", Err.c_str()), 1));
+    }
+    std::atomic<uint64_t> Bytes{0};
+    double RemoteMs = drain(
+        Set.Requests, Clients,
+        [&](unsigned Id, const std::vector<std::string> &Roots) {
+          net::BuildRequestMsg Req;
+          Req.RequestId = Conns[Id]->nextRequestId();
+          Req.Roots = Roots;
+          net::BuildResultMsg Result;
+          std::string E;
+          if (!Conns[Id]->build(Req, Result, E) ||
+              Result.St != net::Status::Ok)
+            std::exit((std::fprintf(stderr, "FATAL: remote failed: %s\n",
+                                    E.c_str()),
+                       1));
+          uint64_t B = 0;
+          for (const net::ModuleArtifact &M : Result.Modules)
+            B += M.Object.size();
+          Bytes.fetch_add(B);
+        });
+    RemoteMin = std::min(RemoteMin, RemoteMs);
+    ArtifactBytes = Bytes.load();
+  }
+  Server.stop();
+
+  double InprocRps = N / (InprocMin / 1e3);
+  double RemoteRps = N / (RemoteMin / 1e3);
+  double Overhead = RemoteMin / InprocMin;
+  std::printf("\n  %-26s %10.1f ms  %8.1f req/s\n", "in-process service",
+              InprocMin, InprocRps);
+  std::printf("  %-26s %10.1f ms  %8.1f req/s\n", "remote over unix socket",
+              RemoteMin, RemoteRps);
+  std::printf("  wire overhead %19.2fx   (%llu artifact bytes/drain)\n",
+              Overhead, static_cast<unsigned long long>(ArtifactBytes));
+
+  std::ofstream Json("BENCH_daemon.json");
+  Json << "{\n"
+       << "  \"name\": \"bench_daemon\",\n"
+       << "  \"quick\": " << (Quick ? "true" : "false") << ",\n"
+       << "  \"projects\": " << Spec.NumProjects << ",\n"
+       << "  \"requests\": " << N << ",\n"
+       << "  \"clients\": " << Clients << ",\n"
+       << "  \"workers\": " << Workers << ",\n"
+       << "  \"repetitions\": " << Reps << ",\n"
+       << "  \"byte_identity\": true,\n"
+       << "  \"inprocess_ms\": " << InprocMin << ",\n"
+       << "  \"remote_ms\": " << RemoteMin << ",\n"
+       << "  \"inprocess_requests_per_s\": " << InprocRps << ",\n"
+       << "  \"remote_requests_per_s\": " << RemoteRps << ",\n"
+       << "  \"wire_overhead\": " << Overhead << ",\n"
+       << "  \"artifact_bytes_per_drain\": " << ArtifactBytes << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_daemon.json\n");
+
+  // The wire may not cost an order of magnitude: warm requests are
+  // memory-tier hits, so framing + loopback dominates — if remote falls
+  // past 5x of in-process, something structural broke (per-request
+  // connections, artifact re-serialization, lock contention).
+  if (!Quick && Overhead > 5.0) {
+    std::fprintf(stderr, "FATAL: wire overhead %.2fx above the 5x bar\n",
+                 Overhead);
+    return 1;
+  }
+  return 0;
+}

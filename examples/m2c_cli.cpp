@@ -26,9 +26,21 @@
 //                    space-separated, '#' comments); N client threads
 //                    drain it through ONE BuildService sharing one
 //                    executor, one interface pool and tiered caches
+//     -remote ADDR   remote-build mode: compile the positional root
+//                    modules on a running m2cd instead of in-process.
+//                    ADDR is a unix socket path or tcp:HOST:PORT.  The
+//                    working directory's .def/.mod files are pushed to
+//                    the daemon first (see -no-push); output is byte-
+//                    identical to a local -project build.  Composes with
+//                    -c, -run, -dump, -stats, -deadline.  With -stats and
+//                    no modules, just prints the daemon's counters.
+//     -deadline MS   remote mode: per-request deadline in milliseconds;
+//                    an expired request returns DEADLINE_EXCEEDED
+//     -no-push       remote mode: trust the daemon's own workspace
+//                    instead of pushing local sources
 //     -stats         print per-session scheduler/cache/build counters
-//                    (project mode) or merged service counters (serve
-//                    mode)
+//                    (project mode), merged service counters (serve
+//                    mode), or the daemon's counters (remote mode)
 //
 // Module files are looked up as Module.mod / Module.def in the current
 // directory.  A positional argument ending in ".mco" is loaded as a
@@ -42,6 +54,7 @@
 #include "codegen/ObjectFile.h"
 #include "driver/ConcurrentCompiler.h"
 #include "driver/SequentialCompiler.h"
+#include "net/RemoteClient.h"
 #include "service/BuildService.h"
 #include "trace/ActivityRecorder.h"
 #include "vm/VM.h"
@@ -63,7 +76,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: m2c_cli [-j N] [-seq] [-sim] [-dky STRATEGY] "
                "[-trace] [-run] [-dump] [-c] [-cache DIR] [-cache-stats] "
-               "[-project] [-serve N] [-stats] Module...\n");
+               "[-project] [-serve N] [-remote ADDR] [-deadline MS] "
+               "[-no-push] [-stats] Module...\n");
   return 2;
 }
 
@@ -210,6 +224,121 @@ int runServe(VirtualFileSystem &Files, StringInterner &Names,
   return Failures.load() ? 1 : 0;
 }
 
+/// -remote: ship the build to a running m2cd (docs/PROTOCOL.md) and
+/// render the reply with the same surface as a local -project build —
+/// same diagnostics on stderr, same per-module lines, byte-identical
+/// .mco files under -c.
+int runRemote(StringInterner &Names, const std::string &Address,
+              const std::vector<std::string> &Roots, uint32_t DeadlineMs,
+              bool Push, bool Run, bool Dump, bool EmitObjects, bool Stats) {
+  std::string Err;
+  int Exit = 0;
+  std::unique_ptr<net::RemoteClient> Client = net::RemoteClient::open(Address, Err);
+  if (!Client) {
+    std::fprintf(stderr, "m2c_cli: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (!Roots.empty()) {
+    net::BuildRequestMsg Req;
+    Req.RequestId = Client->nextRequestId();
+    Req.DeadlineMs = DeadlineMs;
+    Req.Roots = Roots;
+    if (Push) {
+      // Mirror local semantics: the working directory's sources define
+      // the build, not whatever the daemon was started over.
+      for (const auto &Entry : std::filesystem::directory_iterator(".")) {
+        if (!Entry.is_regular_file())
+          continue;
+        std::string Ext = Entry.path().extension().string();
+        if (Ext != ".def" && Ext != ".mod")
+          continue;
+        std::ifstream In(Entry.path(), std::ios::binary);
+        if (!In)
+          continue;
+        std::ostringstream Text;
+        Text << In.rdbuf();
+        Req.Files.emplace_back(Entry.path().filename().string(), Text.str());
+      }
+    }
+
+    net::BuildResultMsg Result;
+    if (!Client->build(Req, Result, Err)) {
+      std::fprintf(stderr, "m2c_cli: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fputs(Result.Diagnostics.c_str(), stderr);
+    if (Result.St == net::Status::BuildFailed)
+      return 1;
+    if (Result.St != net::Status::Ok) {
+      // Shed, draining, deadline, cancelled: the daemon refused or
+      // abandoned the request; distinguish from a compile failure.
+      std::fprintf(stderr, "m2c_cli: remote build %s\n",
+                   net::statusName(Result.St));
+      return 3;
+    }
+
+    // Decode the shipped objects once; every consumer below reuses them.
+    std::vector<codegen::ModuleImage> Images;
+    for (const net::ModuleArtifact &M : Result.Modules) {
+      std::string DecodeErr;
+      auto Image = codegen::readObjectFile(M.Object, Names, DecodeErr);
+      if (!Image) {
+        std::fprintf(stderr, "m2c_cli: bad object for %s: %s\n",
+                     M.Name.c_str(), DecodeErr.c_str());
+        return 1;
+      }
+      std::printf("%-12s: %2u streams, %2zu units%s\n", M.Name.c_str(),
+                  M.StreamCount, Image->Units.size(),
+                  M.FromCache ? " (cached)" : "");
+      Images.push_back(std::move(*Image));
+    }
+    std::printf("remote      : %zu modules, %.1f ms\n", Result.Modules.size(),
+                static_cast<double>(Result.ElapsedNs) / 1e6);
+
+    if (Dump)
+      for (const codegen::ModuleImage &Image : Images)
+        for (const codegen::CodeUnit &U : Image.Units)
+          std::printf("%s\n", U.dump(Names).c_str());
+    if (EmitObjects)
+      for (const net::ModuleArtifact &M : Result.Modules) {
+        std::ofstream Out(M.Name + ".mco", std::ios::binary);
+        Out << M.Object;
+        std::printf("wrote %s.mco\n", M.Name.c_str());
+      }
+    if (Run) {
+      codegen::Linker Link(Names);
+      for (codegen::ModuleImage &Image : Images)
+        Link.addImage(std::move(Image));
+      codegen::LinkedProgram Program = Link.link();
+      if (!Program.ok()) {
+        for (const std::string &E : Program.errors())
+          std::fprintf(stderr, "link error: %s\n", E.c_str());
+        return 1;
+      }
+      vm::VM Machine(Program, Names);
+      vm::VM::RunResult RunResult = Machine.run(Names.intern(Roots.back()));
+      std::fputs(RunResult.Output.c_str(), stdout);
+      if (RunResult.Trapped) {
+        std::fprintf(stderr, "runtime trap: %s\n",
+                     RunResult.TrapMessage.c_str());
+        return 1;
+      }
+      Exit = static_cast<int>(RunResult.ExitCode);
+    }
+  }
+
+  if (Stats) {
+    std::map<std::string, uint64_t> Counters;
+    if (!Client->stats(Counters, Err)) {
+      std::fprintf(stderr, "m2c_cli: %s\n", Err.c_str());
+      return 1;
+    }
+    printCounters("daemon", Counters);
+  }
+  return Exit;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -218,9 +347,10 @@ int main(int Argc, char **Argv) {
   Options.Processors = 4;
   bool Sequential = false, Trace = false, Run = false, Dump = false;
   bool EmitObjects = false, CacheStats = false, Project = false;
-  bool Stats = false;
+  bool Stats = false, NoPush = false;
   unsigned ServeClients = 0;
-  std::string CacheDir;
+  unsigned DeadlineMs = 0;
+  std::string CacheDir, RemoteAddr;
   std::vector<std::string> Modules;
 
   for (int I = 1; I < Argc; ++I) {
@@ -265,11 +395,34 @@ int main(int Argc, char **Argv) {
         return usage();
     } else if (Arg == "-stats") {
       Stats = true;
+    } else if (Arg == "-remote" && I + 1 < Argc) {
+      RemoteAddr = Argv[++I];
+    } else if (Arg == "-deadline" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V <= 0)
+        return usage();
+      DeadlineMs = static_cast<unsigned>(V);
+    } else if (Arg == "-no-push") {
+      NoPush = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
       Modules.push_back(Arg);
     }
+  }
+  // Remote mode is self-contained: sources are read straight from the
+  // working directory (or trusted on the daemon with -no-push), so the
+  // local VFS/compiler setup below is skipped entirely.
+  if (!RemoteAddr.empty()) {
+    if (Modules.empty() && !Stats)
+      return usage();
+    StringInterner RemoteNames;
+    return runRemote(RemoteNames, RemoteAddr, Modules, DeadlineMs, !NoPush,
+                     Run, Dump, EmitObjects, Stats);
+  }
+  if (DeadlineMs || NoPush) {
+    std::fprintf(stderr, "-deadline/-no-push require -remote\n");
+    return 2;
   }
   if (Modules.empty())
     return usage();

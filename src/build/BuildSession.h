@@ -62,6 +62,9 @@ struct ModuleBuild {
 /// Everything a session produces.
 struct BuildResult {
   bool Success = false;
+  /// Service mode: the request was abandoned (deadline/cancel) at a
+  /// checkpoint before compiling; nothing below is meaningful.
+  bool Aborted = false;
   std::vector<ModuleBuild> Modules; ///< Imports-first order.
 
   /// Rendered session diagnostics (all modules, stable source order).

@@ -1,0 +1,335 @@
+//===--- Protocol.cpp - m2cd wire protocol (frames + messages) ------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+using namespace m2c;
+using namespace m2c::net;
+
+const char *net::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "OK";
+  case Status::RejectedOverload:
+    return "REJECTED_OVERLOAD";
+  case Status::DeadlineExceeded:
+    return "DEADLINE_EXCEEDED";
+  case Status::Cancelled:
+    return "CANCELLED";
+  case Status::BuildFailed:
+    return "BUILD_FAILED";
+  case Status::Draining:
+    return "DRAINING";
+  case Status::Malformed:
+    return "MALFORMED";
+  case Status::UnsupportedVersion:
+    return "UNSUPPORTED_VERSION";
+  case Status::UnknownType:
+    return "UNKNOWN_TYPE";
+  case Status::FrameTooLarge:
+    return "FRAME_TOO_LARGE";
+  case Status::UnknownRequest:
+    return "UNKNOWN_REQUEST";
+  case Status::Internal:
+    return "INTERNAL";
+  }
+  return "?";
+}
+
+namespace {
+
+//===--- Primitive writer/reader (PROTOCOL.md §3) --------------------------===//
+
+class Writer {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.append(S.data(), S.size());
+  }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+class Reader {
+public:
+  explicit Reader(const std::string &Payload) : Buf(Payload) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > Buf.size())
+      return fail();
+    V = static_cast<uint8_t>(Buf[Pos++]);
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > Buf.size())
+      return fail();
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos++])) << (8 * I);
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > Buf.size())
+      return fail();
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos++])) << (8 * I);
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || Buf.size() - Pos < N)
+      return fail();
+    S.assign(Buf, Pos, N);
+    Pos += N;
+    return true;
+  }
+  /// The payload must decode *exactly*: trailing bytes are malformed.
+  bool done() const { return Ok && Pos == Buf.size(); }
+
+private:
+  bool fail() {
+    Ok = false;
+    return false;
+  }
+  const std::string &Buf;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+Frame frame(MsgType T, Writer &W) { return Frame{T, W.take()}; }
+
+} // namespace
+
+//===--- Encoders ----------------------------------------------------------===//
+
+Frame net::encode(const HelloMsg &M) {
+  Writer W;
+  W.u32(M.MinVersion);
+  W.u32(M.MaxVersion);
+  return frame(MsgType::Hello, W);
+}
+
+Frame net::encode(const WelcomeMsg &M) {
+  Writer W;
+  W.u32(M.Version);
+  W.str(M.Server);
+  return frame(MsgType::Welcome, W);
+}
+
+Frame net::encode(const BuildRequestMsg &M) {
+  Writer W;
+  W.u64(M.RequestId);
+  W.u32(M.DeadlineMs);
+  W.u32(static_cast<uint32_t>(M.Roots.size()));
+  for (const std::string &R : M.Roots)
+    W.str(R);
+  W.u32(static_cast<uint32_t>(M.Files.size()));
+  for (const auto &[Name, Text] : M.Files) {
+    W.str(Name);
+    W.str(Text);
+  }
+  return frame(MsgType::Build, W);
+}
+
+Frame net::encode(const BuildResultMsg &M) {
+  Writer W;
+  W.u64(M.RequestId);
+  W.u8(static_cast<uint8_t>(M.St));
+  W.str(M.Diagnostics);
+  W.u64(M.ElapsedNs);
+  W.u32(static_cast<uint32_t>(M.Modules.size()));
+  for (const ModuleArtifact &A : M.Modules) {
+    W.str(A.Name);
+    W.u8(A.FromCache ? 1 : 0);
+    W.u32(A.StreamCount);
+    W.str(A.Object);
+  }
+  return frame(MsgType::BuildResult, W);
+}
+
+Frame net::encode(const CancelMsg &M) {
+  Writer W;
+  W.u64(M.RequestId);
+  return frame(MsgType::Cancel, W);
+}
+
+Frame net::encodeStatsRequest() { return Frame{MsgType::Stats, {}}; }
+
+Frame net::encode(const StatsResultMsg &M) {
+  Writer W;
+  W.u32(static_cast<uint32_t>(M.Counters.size()));
+  for (const auto &[Name, Value] : M.Counters) {
+    W.str(Name);
+    W.u64(Value);
+  }
+  return frame(MsgType::StatsResult, W);
+}
+
+Frame net::encodePing(uint64_t Token) {
+  Writer W;
+  W.u64(Token);
+  return frame(MsgType::Ping, W);
+}
+
+Frame net::encodePong(uint64_t Token) {
+  Writer W;
+  W.u64(Token);
+  return frame(MsgType::Pong, W);
+}
+
+Frame net::encode(const ErrorMsg &M) {
+  Writer W;
+  W.u8(static_cast<uint8_t>(M.St));
+  W.str(M.Detail);
+  return frame(MsgType::Error, W);
+}
+
+//===--- Decoders ----------------------------------------------------------===//
+
+bool net::decode(const Frame &F, HelloMsg &M) {
+  if (F.Type != MsgType::Hello)
+    return false;
+  Reader R(F.Payload);
+  R.u32(M.MinVersion);
+  R.u32(M.MaxVersion);
+  return R.done();
+}
+
+bool net::decode(const Frame &F, WelcomeMsg &M) {
+  if (F.Type != MsgType::Welcome)
+    return false;
+  Reader R(F.Payload);
+  R.u32(M.Version);
+  R.str(M.Server);
+  return R.done();
+}
+
+bool net::decode(const Frame &F, BuildRequestMsg &M) {
+  if (F.Type != MsgType::Build)
+    return false;
+  Reader R(F.Payload);
+  uint32_t N = 0;
+  R.u64(M.RequestId);
+  R.u32(M.DeadlineMs);
+  if (!R.u32(N))
+    return false;
+  M.Roots.clear();
+  for (uint32_t I = 0; I < N; ++I) {
+    std::string Root;
+    if (!R.str(Root))
+      return false;
+    M.Roots.push_back(std::move(Root));
+  }
+  if (!R.u32(N))
+    return false;
+  M.Files.clear();
+  for (uint32_t I = 0; I < N; ++I) {
+    std::string Name, Text;
+    if (!R.str(Name) || !R.str(Text))
+      return false;
+    M.Files.emplace_back(std::move(Name), std::move(Text));
+  }
+  return R.done();
+}
+
+bool net::decode(const Frame &F, BuildResultMsg &M) {
+  if (F.Type != MsgType::BuildResult)
+    return false;
+  Reader R(F.Payload);
+  uint8_t St = 0;
+  uint32_t N = 0;
+  R.u64(M.RequestId);
+  R.u8(St);
+  R.str(M.Diagnostics);
+  R.u64(M.ElapsedNs);
+  if (!R.u32(N) || St > static_cast<uint8_t>(Status::Internal))
+    return false;
+  M.St = static_cast<Status>(St);
+  M.Modules.clear();
+  for (uint32_t I = 0; I < N; ++I) {
+    ModuleArtifact A;
+    uint8_t FromCache = 0;
+    if (!R.str(A.Name) || !R.u8(FromCache) || !R.u32(A.StreamCount) ||
+        !R.str(A.Object))
+      return false;
+    A.FromCache = FromCache != 0;
+    M.Modules.push_back(std::move(A));
+  }
+  return R.done();
+}
+
+bool net::decode(const Frame &F, CancelMsg &M) {
+  if (F.Type != MsgType::Cancel)
+    return false;
+  Reader R(F.Payload);
+  R.u64(M.RequestId);
+  return R.done();
+}
+
+bool net::decode(const Frame &F, StatsResultMsg &M) {
+  if (F.Type != MsgType::StatsResult)
+    return false;
+  Reader R(F.Payload);
+  uint32_t N = 0;
+  if (!R.u32(N))
+    return false;
+  M.Counters.clear();
+  for (uint32_t I = 0; I < N; ++I) {
+    std::string Name;
+    uint64_t Value = 0;
+    if (!R.str(Name) || !R.u64(Value))
+      return false;
+    M.Counters.emplace_back(std::move(Name), Value);
+  }
+  return R.done();
+}
+
+bool net::decode(const Frame &F, PingMsg &M) {
+  if (F.Type != MsgType::Ping && F.Type != MsgType::Pong)
+    return false;
+  Reader R(F.Payload);
+  R.u64(M.Token);
+  return R.done();
+}
+
+bool net::decode(const Frame &F, ErrorMsg &M) {
+  if (F.Type != MsgType::Error)
+    return false;
+  Reader R(F.Payload);
+  uint8_t St = 0;
+  R.u8(St);
+  R.str(M.Detail);
+  if (!R.done() || St == 0 || St > static_cast<uint8_t>(Status::Internal))
+    return false;
+  M.St = static_cast<Status>(St);
+  return true;
+}
+
+std::string net::wireBytes(const Frame &F) {
+  if (F.Payload.size() + 1 > MaxFrameBytes)
+    return {};
+  uint32_t Length = static_cast<uint32_t>(F.Payload.size() + 1);
+  std::string Out;
+  Out.reserve(4 + Length);
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((Length >> (8 * I)) & 0xFF));
+  Out.push_back(static_cast<char>(F.Type));
+  Out += F.Payload;
+  return Out;
+}

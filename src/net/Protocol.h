@@ -1,0 +1,162 @@
+//===--- Protocol.h - m2cd wire protocol (frames + messages) ----*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client<->daemon wire protocol: length-prefixed binary frames with
+/// little-endian primitives.  docs/PROTOCOL.md is the *normative*
+/// specification of everything in this header (frame layout, message and
+/// status tables, deadline/cancel semantics, version rules); this file
+/// only implements it.  Encoding and decoding are pure byte-string
+/// transforms with no I/O, so they unit-test without a socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_NET_PROTOCOL_H
+#define M2C_NET_PROTOCOL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace m2c::net {
+
+/// The only protocol version at the time of writing (PROTOCOL.md §8).
+constexpr uint32_t ProtocolVersion = 1;
+
+/// Hard cap on one frame's counted bytes (PROTOCOL.md §2): 64 MiB.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Message types (PROTOCOL.md §4).  Client->server types are < 0x80.
+enum class MsgType : uint8_t {
+  Hello = 0x01,
+  Build = 0x02,
+  Cancel = 0x03,
+  Stats = 0x04,
+  Ping = 0x05,
+  Error = 0x7F,
+  Welcome = 0x81,
+  BuildResult = 0x82,
+  StatsResult = 0x84,
+  Pong = 0x85,
+};
+
+/// Status codes (PROTOCOL.md §10).
+enum class Status : uint8_t {
+  Ok = 0,
+  RejectedOverload = 1,
+  DeadlineExceeded = 2,
+  Cancelled = 3,
+  BuildFailed = 4,
+  Draining = 5,
+  Malformed = 6,
+  UnsupportedVersion = 7,
+  UnknownType = 8,
+  FrameTooLarge = 9,
+  UnknownRequest = 10,
+  Internal = 11,
+};
+
+/// The spec's name for \p S, e.g. "REJECTED_OVERLOAD".
+const char *statusName(Status S);
+
+/// One decoded frame: the type byte plus the raw payload bytes.
+struct Frame {
+  MsgType Type;
+  std::string Payload;
+};
+
+//===--- Typed messages ----------------------------------------------------===//
+
+struct HelloMsg {
+  uint32_t MinVersion = ProtocolVersion;
+  uint32_t MaxVersion = ProtocolVersion;
+};
+
+struct WelcomeMsg {
+  uint32_t Version = ProtocolVersion;
+  std::string Server;
+};
+
+struct BuildRequestMsg {
+  uint64_t RequestId = 0;
+  uint32_t DeadlineMs = 0; ///< 0 = no deadline.
+  std::vector<std::string> Roots;
+  /// Sources registered into the daemon's file system before the build
+  /// (PROTOCOL.md §9): (name, text) pairs, last writer wins per name.
+  std::vector<std::pair<std::string, std::string>> Files;
+};
+
+/// One module of a successful build's reply.
+struct ModuleArtifact {
+  std::string Name;
+  bool FromCache = false;
+  uint32_t StreamCount = 0;
+  std::string Object; ///< The .mco bytes, identical to a local build's.
+};
+
+struct BuildResultMsg {
+  uint64_t RequestId = 0;
+  Status St = Status::Internal;
+  std::string Diagnostics;
+  uint64_t ElapsedNs = 0;
+  std::vector<ModuleArtifact> Modules; ///< Imports-first; empty unless Ok.
+};
+
+struct CancelMsg {
+  uint64_t RequestId = 0;
+};
+
+struct StatsResultMsg {
+  std::vector<std::pair<std::string, uint64_t>> Counters; ///< Name-sorted.
+};
+
+struct PingMsg {
+  uint64_t Token = 0;
+};
+
+struct ErrorMsg {
+  Status St = Status::Internal;
+  std::string Detail;
+};
+
+//===--- Encoding ----------------------------------------------------------===//
+
+Frame encode(const HelloMsg &M);
+Frame encode(const WelcomeMsg &M);
+Frame encode(const BuildRequestMsg &M);
+Frame encode(const BuildResultMsg &M);
+Frame encode(const CancelMsg &M);
+Frame encodeStatsRequest();
+Frame encode(const StatsResultMsg &M);
+Frame encodePing(uint64_t Token);
+Frame encodePong(uint64_t Token);
+Frame encode(const ErrorMsg &M);
+
+//===--- Decoding ----------------------------------------------------------===//
+// Each decoder requires F.Type to match and the payload to decode exactly
+// (no trailing bytes); it returns false on any violation, leaving M in an
+// unspecified state — the caller answers MALFORMED.
+
+bool decode(const Frame &F, HelloMsg &M);
+bool decode(const Frame &F, WelcomeMsg &M);
+bool decode(const Frame &F, BuildRequestMsg &M);
+bool decode(const Frame &F, BuildResultMsg &M);
+bool decode(const Frame &F, CancelMsg &M);
+bool decode(const Frame &F, StatsResultMsg &M);
+bool decode(const Frame &F, PingMsg &M); ///< Accepts Ping and Pong frames.
+bool decode(const Frame &F, ErrorMsg &M);
+
+/// Serializes \p F as it travels on the wire: u32 length | u8 type |
+/// payload.  Returns the empty string if the payload exceeds the frame
+/// cap (callers never build such frames in practice).
+std::string wireBytes(const Frame &F);
+
+} // namespace m2c::net
+
+#endif // M2C_NET_PROTOCOL_H

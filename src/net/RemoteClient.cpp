@@ -1,0 +1,153 @@
+//===--- RemoteClient.cpp - client side of the m2cd protocol --------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/RemoteClient.h"
+
+using namespace m2c;
+using namespace m2c::net;
+
+std::unique_ptr<RemoteClient> RemoteClient::open(const std::string &Address,
+                                                 std::string &Err) {
+  Socket S;
+  if (Address.rfind("tcp:", 0) == 0) {
+    std::string HostPort = Address.substr(4);
+    size_t Colon = HostPort.rfind(':');
+    if (Colon == std::string::npos) {
+      Err = "expected tcp:HOST:PORT, got '" + Address + "'";
+      return nullptr;
+    }
+    int Port = std::atoi(HostPort.c_str() + Colon + 1);
+    if (Port <= 0 || Port > 65535) {
+      Err = "bad port in '" + Address + "'";
+      return nullptr;
+    }
+    S = Socket::connectTcp(HostPort.substr(0, Colon),
+                           static_cast<uint16_t>(Port), Err);
+  } else {
+    S = Socket::connectUnix(Address, Err);
+  }
+  if (!S.valid())
+    return nullptr;
+
+  std::unique_ptr<RemoteClient> C(new RemoteClient(std::move(S)));
+  if (!C->Sock.sendFrame(encode(HelloMsg{ProtocolVersion, ProtocolVersion}))) {
+    Err = "handshake send failed";
+    return nullptr;
+  }
+  Frame F;
+  if (C->Sock.recvFrame(F) != Socket::RecvStatus::Ok) {
+    Err = "handshake: connection closed";
+    return nullptr;
+  }
+  ErrorMsg E;
+  if (decode(F, E)) {
+    Err = std::string("server refused: ") + statusName(E.St) +
+          (E.Detail.empty() ? "" : " (" + E.Detail + ")");
+    return nullptr;
+  }
+  WelcomeMsg W;
+  if (!decode(F, W)) {
+    Err = "handshake: unexpected reply frame";
+    return nullptr;
+  }
+  C->Version = W.Version;
+  return C;
+}
+
+bool RemoteClient::build(const BuildRequestMsg &Req, BuildResultMsg &Out,
+                         std::string &Err) {
+  return startBuild(Req, Err) && awaitResult(Req.RequestId, Out, Err);
+}
+
+bool RemoteClient::startBuild(const BuildRequestMsg &Req, std::string &Err) {
+  if (!Sock.sendFrame(encode(Req))) {
+    Err = "send failed (request too large or connection lost)";
+    return false;
+  }
+  return true;
+}
+
+bool RemoteClient::awaitResult(uint64_t RequestId, BuildResultMsg &Out,
+                               std::string &Err) {
+  for (;;) {
+    auto It = Buffered.find(RequestId);
+    if (It != Buffered.end()) {
+      Out = std::move(It->second);
+      Buffered.erase(It);
+      return true;
+    }
+    Frame F;
+    switch (Sock.recvFrame(F)) {
+    case Socket::RecvStatus::Ok:
+      break;
+    case Socket::RecvStatus::Closed:
+    case Socket::RecvStatus::Truncated:
+      Err = "connection closed before the result arrived";
+      return false;
+    default:
+      Err = "transport error";
+      return false;
+    }
+    ErrorMsg E;
+    if (decode(F, E)) {
+      Err = std::string("server error: ") + statusName(E.St) +
+            (E.Detail.empty() ? "" : " (" + E.Detail + ")");
+      return false;
+    }
+    BuildResultMsg R;
+    if (!decode(F, R)) {
+      Err = "undecodable frame from server";
+      return false;
+    }
+    Buffered[R.RequestId] = std::move(R);
+  }
+}
+
+bool RemoteClient::cancel(uint64_t RequestId) {
+  return Sock.sendFrame(encode(CancelMsg{RequestId}));
+}
+
+bool RemoteClient::stats(std::map<std::string, uint64_t> &Out,
+                         std::string &Err) {
+  if (!Sock.sendFrame(encodeStatsRequest())) {
+    Err = "send failed";
+    return false;
+  }
+  Frame F;
+  if (Sock.recvFrame(F) != Socket::RecvStatus::Ok) {
+    Err = "connection closed";
+    return false;
+  }
+  StatsResultMsg M;
+  if (!decode(F, M)) {
+    Err = "undecodable STATS_RESULT";
+    return false;
+  }
+  Out.clear();
+  for (auto &[Name, Value] : M.Counters)
+    Out[Name] = Value;
+  return true;
+}
+
+bool RemoteClient::ping(std::string &Err) {
+  const uint64_t Token = 0x6d32636450494e47; // Arbitrary, echoed back.
+  if (!Sock.sendFrame(encodePing(Token))) {
+    Err = "send failed";
+    return false;
+  }
+  Frame F;
+  if (Sock.recvFrame(F) != Socket::RecvStatus::Ok) {
+    Err = "connection closed";
+    return false;
+  }
+  PingMsg M;
+  if (F.Type != MsgType::Pong || !decode(F, M) || M.Token != Token) {
+    Err = "bad PONG";
+    return false;
+  }
+  return true;
+}

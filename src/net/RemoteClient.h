@@ -1,0 +1,79 @@
+//===--- RemoteClient.h - client side of the m2cd protocol ------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of docs/PROTOCOL.md: connect + HELLO/WELCOME, then
+/// synchronous or pipelined builds, cancellation, stats and ping.  Used
+/// by `m2c_cli -remote`, DaemonTest and bench_daemon.  One RemoteClient
+/// is one connection and is NOT thread-safe; concurrency comes from
+/// opening several clients (the daemon multiplexes them server-side).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_NET_REMOTECLIENT_H
+#define M2C_NET_REMOTECLIENT_H
+
+#include "net/Protocol.h"
+#include "net/Socket.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace m2c::net {
+
+class RemoteClient {
+public:
+  /// Connects to \p Address and performs the HELLO/WELCOME handshake.
+  /// "tcp:HOST:PORT" selects TCP; anything else is a unix-socket path.
+  /// Returns nullptr with \p Err set on connect, transport or version
+  /// failure.
+  static std::unique_ptr<RemoteClient> open(const std::string &Address,
+                                            std::string &Err);
+
+  /// The version the server chose in WELCOME.
+  uint32_t version() const { return Version; }
+
+  /// Fresh request id, unique within this connection.
+  uint64_t nextRequestId() { return NextId++; }
+
+  /// Sends BUILD and blocks for its BUILD_RESULT.  False only on
+  /// transport/protocol failure (\p Err set); compile errors, shed,
+  /// deadline etc. are carried in Out.St.
+  bool build(const BuildRequestMsg &Req, BuildResultMsg &Out,
+             std::string &Err);
+
+  /// Pipelined form: sends the BUILD without waiting.
+  bool startBuild(const BuildRequestMsg &Req, std::string &Err);
+
+  /// Blocks until the result for \p RequestId arrives.  Results for
+  /// *other* in-flight ids that arrive first are buffered and returned
+  /// by their own awaitResult calls.
+  bool awaitResult(uint64_t RequestId, BuildResultMsg &Out, std::string &Err);
+
+  /// Sends CANCEL for \p RequestId (fire-and-forget; PROTOCOL.md §7 —
+  /// the only observable effect is the pending result's status).
+  bool cancel(uint64_t RequestId);
+
+  /// Fetches the daemon's merged counters.
+  bool stats(std::map<std::string, uint64_t> &Out, std::string &Err);
+
+  /// Round-trips a PING.
+  bool ping(std::string &Err);
+
+private:
+  explicit RemoteClient(Socket S) : Sock(std::move(S)) {}
+
+  Socket Sock;
+  uint32_t Version = 0;
+  uint64_t NextId = 1;
+  std::map<uint64_t, BuildResultMsg> Buffered; ///< Out-of-order results.
+};
+
+} // namespace m2c::net
+
+#endif // M2C_NET_REMOTECLIENT_H

@@ -67,10 +67,28 @@ void BuildService::unlockModules(const std::vector<std::string> &Modules) {
   InFlightCv.notify_all();
 }
 
-build::BuildResult BuildService::submit(const std::vector<std::string> &Roots) {
+build::BuildResult BuildService::submit(const std::vector<std::string> &Roots,
+                                        const RequestControl *Ctrl) {
   using Clock = std::chrono::steady_clock;
   RequestQueue::Scoped Admitted(Queue);
   ServiceStats.add("service.requests.submitted");
+
+  // Abandonment checkpoints: the daemon may have answered the client
+  // (deadline, cancel) while this request sat in the FIFO turnstile —
+  // compiling it now would only burn the admitted slot.
+  auto Abandoned = [this, Ctrl] {
+    if (!Ctrl || !Ctrl->abandoned())
+      return false;
+    ServiceStats.add("service.requests.aborted");
+    return true;
+  };
+  auto AbortedResult = [] {
+    build::BuildResult R;
+    R.Aborted = true;
+    return R;
+  };
+  if (Abandoned())
+    return AbortedResult();
 
   // Per-request discovery: the graph tells us the request's compile set
   // and .def closure before anything joins shared state.  Discovery needs
@@ -98,6 +116,9 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots) {
   for (Symbol Mod : Graph.compileOrder())
     CompileSet.push_back(std::string(Interner.spelling(Mod)));
 
+  if (Abandoned())
+    return AbortedResult();
+
   // Interface generation: rotated if any .def this request depends on
   // changed since the current generation parsed it.
   std::shared_ptr<InterfaceGeneration> Gen = Pool.acquire(DefFiles);
@@ -108,6 +129,11 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots) {
   // is also pure waste — the second request replays the first's cache
   // entries instead.
   ModuleLocks Locked(*this, std::move(CompileSet));
+
+  // Last checkpoint: module locks may have blocked on a peer compiling
+  // the same modules; past here the build runs to completion.
+  if (Abandoned())
+    return AbortedResult();
 
   driver::CompilerOptions Opts;
   Opts.Strategy = Config.Strategy;

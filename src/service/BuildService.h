@@ -36,6 +36,7 @@
 #include "service/SharedInterfacePool.h"
 #include "support/Statistic.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -60,6 +61,24 @@ struct ServiceConfig {
                         ///< memory-only.
 };
 
+/// Cooperative abandonment of one submitted request, for callers (the
+/// network daemon) that answer a client before the build machinery is
+/// done with the request.  Once abandon() is called, submit() returns an
+/// Aborted result at its next checkpoint — after queue admission, after
+/// discovery, after module locking — instead of compiling.  A build past
+/// its last checkpoint runs to completion (its result is simply
+/// discarded by the caller); mid-build preemption is deliberately not
+/// offered, because a half-run session would have to unwind shared
+/// interface state.  See DESIGN.md §11.
+class RequestControl {
+public:
+  void abandon() { Abandoned.store(true, std::memory_order_relaxed); }
+  bool abandoned() const { return Abandoned.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Abandoned{false};
+};
+
 /// The long-lived service.  Thread-safe: submit() may be called from any
 /// number of client threads concurrently.
 class BuildService {
@@ -72,8 +91,11 @@ public:
 
   /// Builds \p Roots as one request: FIFO admission, shared interface
   /// generation, session on the shared executor, tiered cache.  Blocks
-  /// the calling thread until the request completes.
-  build::BuildResult submit(const std::vector<std::string> &Roots);
+  /// the calling thread until the request completes.  A non-null \p Ctrl
+  /// lets the caller abandon the request between phases (the result then
+  /// has Aborted set and nothing was compiled or cached for it).
+  build::BuildResult submit(const std::vector<std::string> &Roots,
+                            const RequestControl *Ctrl = nullptr);
 
   /// Stops the executor and folds its counters into the stats.  Called by
   /// the destructor; idempotent.  No submit() may be in flight.
