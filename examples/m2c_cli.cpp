@@ -11,6 +11,10 @@
 //     -seq           use the sequential baseline compiler
 //     -sim           use the simulated executor (default: real threads)
 //     -dky S         avoidance | pessimistic | skeptical | optimistic
+//     -O0|-O1|-O2    middle-end optimization level (default -O0, or the
+//                    M2C_OPT_LEVEL environment variable); -O is -O2.
+//                    Applies in every mode, including -remote (the level
+//                    rides in the BUILD request)
 //     -trace         print a WatchTool activity view per compilation
 //     -run           link all modules and run the last one
 //     -dump          print the MCode listing of each compiled unit
@@ -75,9 +79,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: m2c_cli [-j N] [-seq] [-sim] [-dky STRATEGY] "
-               "[-trace] [-run] [-dump] [-c] [-cache DIR] [-cache-stats] "
-               "[-project] [-serve N] [-remote ADDR] [-deadline MS] "
-               "[-no-push] [-stats] Module...\n");
+               "[-O0|-O1|-O2] [-trace] [-run] [-dump] [-c] [-cache DIR] "
+               "[-cache-stats] [-project] [-serve N] [-remote ADDR] "
+               "[-deadline MS] [-no-push] [-stats] Module...\n");
   return 2;
 }
 
@@ -114,6 +118,7 @@ int runProject(VirtualFileSystem &Files, StringInterner &Names,
   if (Stats) {
     printCounters("build", R.BuildStats);
     printCounters("scheduler", R.SchedStats);
+    printCounters("opt", R.OptStats);
   }
   if (Stats || CacheStats)
     printCounters("cache", R.CacheStats);
@@ -187,7 +192,7 @@ int runServe(VirtualFileSystem &Files, StringInterner &Names,
   Config.Workers = Options.Processors;
   Config.Strategy = Options.Strategy;
   Config.Sharing = Options.Sharing;
-  Config.Optimize = Options.Optimize;
+  Config.Level = Options.Level;
   Config.CacheDir = CacheDir;
   service::BuildService Service(Files, Names, Config);
 
@@ -230,7 +235,8 @@ int runServe(VirtualFileSystem &Files, StringInterner &Names,
 /// .mco files under -c.
 int runRemote(StringInterner &Names, const std::string &Address,
               const std::vector<std::string> &Roots, uint32_t DeadlineMs,
-              bool Push, bool Run, bool Dump, bool EmitObjects, bool Stats) {
+              opt::OptLevel Level, bool Push, bool Run, bool Dump,
+              bool EmitObjects, bool Stats) {
   std::string Err;
   int Exit = 0;
   std::unique_ptr<net::RemoteClient> Client = net::RemoteClient::open(Address, Err);
@@ -243,6 +249,7 @@ int runRemote(StringInterner &Names, const std::string &Address,
     net::BuildRequestMsg Req;
     Req.RequestId = Client->nextRequestId();
     Req.DeadlineMs = DeadlineMs;
+    Req.OptLevel = static_cast<uint8_t>(Level);
     Req.Roots = Roots;
     if (Push) {
       // Mirror local semantics: the working directory's sources define
@@ -375,6 +382,12 @@ int main(int Argc, char **Argv) {
         Options.Strategy = symtab::DkyStrategy::Optimistic;
       else
         return usage();
+    } else if (Arg == "-O0") {
+      Options.Level = opt::OptLevel::O0;
+    } else if (Arg == "-O1") {
+      Options.Level = opt::OptLevel::O1;
+    } else if (Arg == "-O2" || Arg == "-O") {
+      Options.Level = opt::OptLevel::O2;
     } else if (Arg == "-trace") {
       Trace = true;
     } else if (Arg == "-run") {
@@ -417,8 +430,8 @@ int main(int Argc, char **Argv) {
     if (Modules.empty() && !Stats)
       return usage();
     StringInterner RemoteNames;
-    return runRemote(RemoteNames, RemoteAddr, Modules, DeadlineMs, !NoPush,
-                     Run, Dump, EmitObjects, Stats);
+    return runRemote(RemoteNames, RemoteAddr, Modules, DeadlineMs,
+                     Options.Level, !NoPush, Run, Dump, EmitObjects, Stats);
   }
   if (DeadlineMs || NoPush) {
     std::fprintf(stderr, "-deadline/-no-push require -remote\n");
@@ -527,6 +540,10 @@ int main(int Argc, char **Argv) {
       for (const auto &[Counter, Value] : R.CacheStats)
         std::printf("  %s = %llu\n", Counter.c_str(),
                     static_cast<unsigned long long>(Value));
+    if (Stats) {
+      printCounters("scheduler", R.SchedStats);
+      printCounters("opt", R.OptStats);
+    }
     if (Trace)
       std::printf("%s%s\n", Rec.renderAscii(100).c_str(),
                   trace::ActivityRecorder::legend().c_str());

@@ -13,6 +13,7 @@
 #include "build/TaskSpawner.h"
 #include "cache/CachePlanner.h"
 #include "cache/CompilationCache.h"
+#include "opt/PassManager.h"
 #include "sched/SimulatedExecutor.h"
 #include "sched/ThreadedExecutor.h"
 #include "sema/Compilation.h"
@@ -55,10 +56,21 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
   } else {
     Comp = std::make_shared<Compilation>(
         Files, Interner,
-        CompilationOptions{Options.Strategy, Options.Sharing,
-                           Options.Optimize});
+        CompilationOptions{Options.Strategy, Options.Sharing});
   }
   Result.Compilation = Comp;
+
+  // The build's pass pipeline: one manager shared by every codegen task
+  // of every pipeline; counters accumulate in a build-local set and are
+  // folded into the service-lifetime sink afterwards.
+  opt::PassManager OwnedPasses = opt::PassManager::forLevel(Options.Level);
+  const opt::PassManager *Passes =
+      Options.Passes ? Options.Passes : &OwnedPasses;
+  const std::string PassConfig = Passes->configString();
+  StatisticSet LocalOptStats;
+  driver::CompilerOptions RunOptions = Options;
+  RunOptions.Passes = Passes->empty() ? nullptr : Passes;
+  RunOptions.OptStats = &LocalOptStats;
 
   bool Threaded = Ext || Options.Executor == ExecutorKind::Threaded;
   uint64_t SideUnits = 0;  // discovery + cache work, virtual units
@@ -145,8 +157,8 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
     auto Start = Clock::now();
     cache::CachePlanner Planner(
         Files, Interner, *Options.Cache,
-        cache::CacheFingerprint{Options.Strategy, Options.Sharing,
-                                Options.Optimize, "conc"},
+        cache::CacheFingerprint{Options.Strategy, Options.Sharing, PassConfig,
+                                "conc"},
         Options.Cost);
     cache::CachePlan Plan = Planner.plan(Spelling);
     SideUnits += Plan.ProbeUnits;
@@ -213,7 +225,7 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
       auto Start = Clock::now();
       for (PendingModule &PM : Pending) {
         auto Pipe = std::make_unique<ModulePipeline>(
-            Options, *Comp, Interner.spelling(PM.Name), Spawner,
+            RunOptions, *Comp, Interner.spelling(PM.Name), Spawner,
             Ext ? &LocalDiags : nullptr);
         if (PM.Plan && PM.Plan->Valid)
           Pipe->setPlan(&*PM.Plan);
@@ -331,5 +343,10 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
   Result.BuildStats["build.interface.parses"] = InterfaceParses;
   Result.BuildStats["build.proc.streams"] = ProcStreams;
   Result.BuildStats["build.discovery.units"] = DiscoveryUnits;
+
+  Result.OptStats = LocalOptStats.snapshot();
+  if (Ext && Ext->OptStats)
+    for (const auto &[Name, Value] : Result.OptStats)
+      Ext->OptStats->add(Name, Value);
   return Result;
 }

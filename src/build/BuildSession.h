@@ -81,6 +81,9 @@ struct BuildResult {
   /// build.interface.streams, build.interface.parses,
   /// build.discovery.units, build.proc.streams.
   std::map<std::string, uint64_t> BuildStats;
+  /// Middle-end pass counters (opt.units, opt.<pass>.*) for this build;
+  /// empty at -O0.
+  std::map<std::string, uint64_t> OptStats;
 
   std::shared_ptr<sema::Compilation> Compilation;
 
@@ -107,6 +110,9 @@ struct SessionExternals {
   BuildGraph Graph;            ///< Pre-discovered by the service.
   uint64_t DiscoveryWallNs = 0; ///< Wall time the discovery took.
   std::shared_ptr<void> KeepAlive; ///< Generation handle (outlives result).
+  /// Service-lifetime sink the request's opt.* pass counters are folded
+  /// into (so the daemon's STATS reply aggregates them); optional.
+  StatisticSet *OptStats = nullptr;
 };
 
 /// Runs whole-project builds.  One session object may run one build.

@@ -274,7 +274,8 @@ void ModulePipeline::spawnCodeGen(ProcStream *Stream, StmtList Body,
       [this, Stream, BodyPtr, Weight] {
         const StmtList &Body = *BodyPtr;
         if (!Stream) {
-          codegen::CodeGenerator CG(Comp, *ModuleScopePtr, ModName);
+          codegen::CodeGenerator CG(Comp, *ModuleScopePtr, ModName,
+                                    Options.Passes, Options.OptStats);
           Merge.addUnit(CG.generateModuleBody(Body, Weight));
           return;
         }
@@ -282,7 +283,8 @@ void ModulePipeline::spawnCodeGen(ProcStream *Stream, StmtList Body,
             Stream->Entry.load(std::memory_order_acquire);
         if (!Entry)
           return; // Heading failed (redeclaration); error reported.
-        codegen::CodeGenerator CG(Comp, *Stream->ProcScope, ModName);
+        codegen::CodeGenerator CG(Comp, *Stream->ProcScope, ModName,
+                                  Options.Passes, Options.OptStats);
         Merge.addUnit(CG.generateProcedure(
             *Entry, Body,
             std::string(Comp.Interner.spelling(ModName)) + "." +

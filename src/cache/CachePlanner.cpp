@@ -78,7 +78,7 @@ void scanImports(TokenBlockQueue &Queue, std::vector<Symbol> &Out) {
 void CachePlanner::combineFingerprint(KeyHasher &H) const {
   H.combine(static_cast<uint64_t>(Fingerprint.Strategy));
   H.combine(static_cast<uint64_t>(Fingerprint.Sharing));
-  H.combine(static_cast<uint64_t>(Fingerprint.Optimize));
+  H.combine(std::string_view(Fingerprint.PassConfig));
   H.combine(std::string_view(Fingerprint.Driver));
 }
 

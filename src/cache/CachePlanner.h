@@ -56,7 +56,11 @@ namespace m2c::cache {
 struct CacheFingerprint {
   symtab::DkyStrategy Strategy = symtab::DkyStrategy::Skeptical;
   sema::HeadingSharing Sharing = sema::HeadingSharing::CopyEntries;
-  bool Optimize = false;
+  /// Canonical pass-pipeline spelling (opt::passConfigString), e.g. "O0"
+  /// or "O2:constfold,copyprop,peephole,dse,unreach".  Hashing the full
+  /// roster — not just the level digit — means entries also re-key if a
+  /// level's roster ever changes.
+  std::string PassConfig = "O0";
   std::string Driver = "conc";
 };
 

@@ -7,7 +7,6 @@
 
 #include "codegen/CodeGenerator.h"
 
-#include "codegen/Peephole.h"
 #include "codegen/TypeDescBuilder.h"
 
 #include "sched/ExecContext.h"
@@ -39,8 +38,11 @@ std::string m2c::codegen::moduleRelativeName(const SymbolEntry &Entry,
   return Result;
 }
 
-CodeGenerator::CodeGenerator(Compilation &Comp, Scope &Self, Symbol Module)
-    : Comp(Comp), Self(Self), Module(Module), ConstEval(Comp, Self) {
+CodeGenerator::CodeGenerator(Compilation &Comp, Scope &Self, Symbol Module,
+                             const opt::PassManager *Passes,
+                             StatisticSet *OptStats)
+    : Comp(Comp), Self(Self), Module(Module), Passes(Passes),
+      OptStats(OptStats), ConstEval(Comp, Self) {
   UnitLevel = procedureLevel(Self);
 }
 
@@ -125,8 +127,8 @@ void CodeGenerator::initAggregateLocals() {
 }
 
 CodeUnit CodeGenerator::takeUnit() {
-  if (Comp.Options.Optimize)
-    optimizeUnit(Unit);
+  if (Passes)
+    Passes->run(Unit, OptStats);
   return std::move(Unit);
 }
 

@@ -20,6 +20,7 @@
 
 #include "ast/Decl.h"
 #include "codegen/MCode.h"
+#include "opt/PassManager.h"
 #include "sema/Compilation.h"
 #include "sema/ConstEval.h"
 
@@ -32,8 +33,13 @@ namespace m2c::codegen {
 class CodeGenerator {
 public:
   /// \p Self is the unit's scope (procedure scope with parameters and
-  /// locals declared, or the module scope for the body unit).
-  CodeGenerator(sema::Compilation &Comp, symtab::Scope &Self, Symbol Module);
+  /// locals declared, or the module scope for the body unit).  When
+  /// \p Passes is non-null every finished unit is run through it before
+  /// being handed back (one shared manager serves all concurrent codegen
+  /// tasks; pass counters land in \p OptStats when non-null).
+  CodeGenerator(sema::Compilation &Comp, symtab::Scope &Self, Symbol Module,
+                const opt::PassManager *Passes = nullptr,
+                StatisticSet *OptStats = nullptr);
 
   /// Generates code for procedure \p Entry with body statements \p Body.
   /// \p QualifiedName is "Mod.Outer.Inner"; \p NestLevel is 1 for
@@ -126,6 +132,8 @@ private:
   sema::Compilation &Comp;
   symtab::Scope &Self;
   Symbol Module;
+  const opt::PassManager *Passes = nullptr;
+  StatisticSet *OptStats = nullptr;
   sema::ConstEvaluator ConstEval;
 
   CodeUnit Unit;

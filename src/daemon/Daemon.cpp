@@ -344,7 +344,9 @@ void Daemon::runBuild(std::shared_ptr<RequestState> State,
     NetStats.add("net.files.pushed", Msg.Files.size());
   }
 
-  build::BuildResult R = Service.submit(Msg.Roots, &State->Control);
+  build::BuildResult R =
+      Service.submit(Msg.Roots, &State->Control,
+                     static_cast<opt::OptLevel>(Msg.OptLevel));
 
   if (R.Aborted) {
     // A checkpoint early-out: the deadline monitor or a CANCEL already

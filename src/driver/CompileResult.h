@@ -44,6 +44,10 @@ struct CompileResult {
   /// after the run; empty when no cache was configured.
   std::map<std::string, uint64_t> CacheStats;
 
+  /// Middle-end pass counters (opt.units, opt.<pass>.*) snapshotted after
+  /// the run; empty at -O0.
+  std::map<std::string, uint64_t> OptStats;
+
   /// Keeps lookup statistics, scopes and types alive for inspection
   /// (Table 2 comes from Compilation->Stats).
   std::shared_ptr<sema::Compilation> Compilation;

@@ -8,13 +8,20 @@
 #ifndef M2C_DRIVER_COMPILEROPTIONS_H
 #define M2C_DRIVER_COMPILEROPTIONS_H
 
+#include "opt/OptLevel.h"
 #include "sched/ActivitySink.h"
 #include "sched/CostModel.h"
 #include "sema/Compilation.h"
 
-namespace m2c::cache {
+namespace m2c {
+class StatisticSet;
+namespace cache {
 class CompilationCache;
 }
+namespace opt {
+class PassManager;
+}
+} // namespace m2c
 
 namespace m2c::driver {
 
@@ -29,8 +36,16 @@ enum class ExecutorKind : uint8_t {
 struct CompilerOptions {
   symtab::DkyStrategy Strategy = symtab::DkyStrategy::Skeptical;
   sema::HeadingSharing Sharing = sema::HeadingSharing::CopyEntries;
-  /// Peephole-optimize generated code (each stream's unit independently).
-  bool Optimize = false;
+  /// Middle-end optimization level; names the pass roster run over each
+  /// stream's unit independently (see opt/PassManager.h).  The level is
+  /// folded into every cache fingerprint.
+  opt::OptLevel Level = opt::defaultOptLevel();
+  /// The pass pipeline for Level, set by the driver for the duration of
+  /// one run (codegen tasks share it; null = no optimization).  Callers
+  /// configuring a compile only set Level — drivers own the manager.
+  const opt::PassManager *Passes = nullptr;
+  /// Where per-pass opt.* counters land when non-null.
+  StatisticSet *OptStats = nullptr;
   ExecutorKind Executor = ExecutorKind::Simulated;
   unsigned Processors = 1;
   sched::CostModel Cost;

@@ -12,6 +12,7 @@
 #include "build/TaskSpawner.h"
 #include "cache/CachePlanner.h"
 #include "cache/CompilationCache.h"
+#include "opt/PassManager.h"
 #include "sched/SimulatedExecutor.h"
 #include "sched/ThreadedExecutor.h"
 
@@ -26,9 +27,25 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
   CompileResult Result;
   auto Comp = std::make_shared<Compilation>(
       Files, Interner,
-      CompilationOptions{Options.Strategy, Options.Sharing,
-                         Options.Optimize});
+      CompilationOptions{Options.Strategy, Options.Sharing});
   Result.Compilation = Comp;
+
+  // The run's pass pipeline: honor an externally supplied manager (a
+  // build session sharing one across requests), else build the standard
+  // roster for the requested level.  Codegen tasks read the pointers
+  // through the options the pipeline carries — a per-run copy, so the
+  // member never outlives this call holding them.
+  opt::PassManager OwnedPasses = opt::PassManager::forLevel(Options.Level);
+  StatisticSet LocalOptStats;
+  driver::CompilerOptions RunOptions = Options;
+  if (!RunOptions.Passes)
+    RunOptions.Passes = OwnedPasses.empty() ? nullptr : &OwnedPasses;
+  if (!RunOptions.OptStats)
+    RunOptions.OptStats = &LocalOptStats;
+  StatisticSet *OptStats = RunOptions.OptStats;
+  const std::string PassConfig = RunOptions.Passes
+                                     ? RunOptions.Passes->configString()
+                                     : opt::passConfigString(opt::OptLevel::O0);
 
   std::string ModFile = VirtualFileSystem::modFileName(ModuleName);
   if (!Files.exists(ModFile)) {
@@ -55,8 +72,8 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
     auto Start = Clock::now();
     cache::CachePlanner Planner(
         Files, Interner, *Options.Cache,
-        cache::CacheFingerprint{Options.Strategy, Options.Sharing,
-                                Options.Optimize, "conc"},
+        cache::CacheFingerprint{Options.Strategy, Options.Sharing, PassConfig,
+                                "conc"},
         Options.Cost);
     Plan = Planner.plan(ModuleName);
     CacheUnits += Plan.ProbeUnits;
@@ -93,7 +110,7 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
   // degenerate session.
   build::TaskSpawner Spawner(*Exec);
   build::InterfaceSet Defs(*Comp, Spawner);
-  build::ModulePipeline Pipe(Options, *Comp, ModuleName, Spawner);
+  build::ModulePipeline Pipe(RunOptions, *Comp, ModuleName, Spawner);
   if (Plan.Valid)
     Pipe.setPlan(&Plan);
 
@@ -141,5 +158,6 @@ CompileResult ConcurrentCompiler::compile(std::string_view ModuleName) {
   Result.SchedStats = Exec->stats().snapshot();
   if (Options.Cache)
     Result.CacheStats = Options.Cache->stats().snapshot();
+  Result.OptStats = OptStats->snapshot();
   return Result;
 }

@@ -12,6 +12,7 @@
 #include "codegen/CodeGenerator.h"
 #include "codegen/Merger.h"
 #include "lex/Lexer.h"
+#include "opt/PassManager.h"
 #include "parse/Parser.h"
 #include "sched/ExecContext.h"
 #include "sema/DeclAnalyzer.h"
@@ -28,6 +29,8 @@ namespace {
 struct SeqState {
   Compilation &Comp;
   codegen::Merger &Merger;
+  const opt::PassManager *Passes = nullptr;
+  StatisticSet *OptStats = nullptr;
   std::vector<std::unique_ptr<Scope>> OwnedScopes;
   std::vector<std::unique_ptr<TokenBlockQueue>> Queues;
   std::vector<std::unique_ptr<ast::ASTArena>> Arenas;
@@ -117,7 +120,8 @@ struct SeqState {
         ChildDA.analyzeHeadingInChild(Proc->heading());
       }
       processScope(*Child.ScopePtr, ModName, Proc->decls(), nullptr);
-      codegen::CodeGenerator CG(Comp, *Child.ScopePtr, ModName);
+      codegen::CodeGenerator CG(Comp, *Child.ScopePtr, ModName, Passes,
+                                OptStats);
       std::string Qual =
           std::string(Comp.Interner.spelling(ModName)) + "." +
           codegen::moduleRelativeName(*Child.Entry, Comp.Interner);
@@ -134,9 +138,18 @@ CompileResult SequentialCompiler::compile(std::string_view ModuleName) {
   CompileResult Result;
   auto Comp = std::make_shared<Compilation>(
       Files, Interner,
-      CompilationOptions{Options.Strategy, Options.Sharing,
-                         Options.Optimize});
+      CompilationOptions{Options.Strategy, Options.Sharing});
   Result.Compilation = Comp;
+
+  // The run's pass pipeline: honor an externally supplied manager (a
+  // build session sharing one across requests), else build the standard
+  // roster for the requested level.
+  opt::PassManager OwnedPasses = opt::PassManager::forLevel(Options.Level);
+  const opt::PassManager *Passes =
+      Options.Passes ? Options.Passes : &OwnedPasses;
+  StatisticSet LocalOptStats;
+  StatisticSet *OptStats =
+      Options.OptStats ? Options.OptStats : &LocalOptStats;
 
   // Cache prepass (module granularity: the one-pass compiler has no
   // streams to skip individually, but an unchanged module still replays
@@ -146,7 +159,7 @@ CompileResult SequentialCompiler::compile(std::string_view ModuleName) {
     cache::CachePlanner Planner(
         Files, Interner, *Options.Cache,
         cache::CacheFingerprint{Options.Strategy, Options.Sharing,
-                                Options.Optimize, "seq"},
+                                Passes->configString(), "seq"},
         Options.Cost);
     Plan = Planner.probeModule(ModuleName);
     if (Plan.ModuleHit) {
@@ -166,7 +179,9 @@ CompileResult SequentialCompiler::compile(std::string_view ModuleName) {
 
   Symbol ModSym = Interner.intern(ModuleName);
   codegen::Merger Merger(ModSym);
-  SeqState State{*Comp, Merger, {}, {}, {}};
+  SeqState State{*Comp, Merger, Passes->empty() ? nullptr : Passes,
+                 OptStats,      {},
+                 {},            {}};
 
   Comp->Modules.setStarter([&State](Symbol Name, Scope &ModScope) {
     State.compileDefModule(Name, ModScope);
@@ -209,7 +224,8 @@ CompileResult SequentialCompiler::compile(std::string_view ModuleName) {
   }
   Merger.setImports(std::move(Direct));
 
-  codegen::CodeGenerator CG(*Comp, ModuleScope, ModSym);
+  codegen::CodeGenerator CG(*Comp, ModuleScope, ModSym, State.Passes,
+                            State.OptStats);
   Merger.addUnit(CG.generateModuleBody(
       Mod.Body, static_cast<int64_t>(P.tokensConsumed())));
 
@@ -233,5 +249,6 @@ CompileResult SequentialCompiler::compile(std::string_view ModuleName) {
                       static_cast<double>(Options.Cost.UnitsPerSecond);
   if (Options.Cache)
     Result.CacheStats = Options.Cache->stats().snapshot();
+  Result.OptStats = OptStats->snapshot();
   return Result;
 }

@@ -136,6 +136,7 @@ Frame net::encode(const BuildRequestMsg &M) {
   Writer W;
   W.u64(M.RequestId);
   W.u32(M.DeadlineMs);
+  W.u8(M.OptLevel);
   W.u32(static_cast<uint32_t>(M.Roots.size()));
   for (const std::string &R : M.Roots)
     W.str(R);
@@ -227,6 +228,8 @@ bool net::decode(const Frame &F, BuildRequestMsg &M) {
   uint32_t N = 0;
   R.u64(M.RequestId);
   R.u32(M.DeadlineMs);
+  if (!R.u8(M.OptLevel) || M.OptLevel > 2)
+    return false;
   if (!R.u32(N))
     return false;
   M.Roots.clear();

@@ -26,8 +26,9 @@
 
 namespace m2c::net {
 
-/// The only protocol version at the time of writing (PROTOCOL.md §8).
-constexpr uint32_t ProtocolVersion = 1;
+/// The current protocol version (PROTOCOL.md §8).  v2 added the BUILD
+/// request's OptLevel byte.
+constexpr uint32_t ProtocolVersion = 2;
 
 /// Hard cap on one frame's counted bytes (PROTOCOL.md §2): 64 MiB.
 constexpr uint32_t MaxFrameBytes = 64u << 20;
@@ -86,6 +87,9 @@ struct WelcomeMsg {
 struct BuildRequestMsg {
   uint64_t RequestId = 0;
   uint32_t DeadlineMs = 0; ///< 0 = no deadline.
+  /// Optimization level for this request: 0, 1 or 2 (PROTOCOL.md §5.3).
+  /// Decoding rejects any other value as malformed.
+  uint8_t OptLevel = 0;
   std::vector<std::string> Roots;
   /// Sources registered into the daemon's file system before the build
   /// (PROTOCOL.md §9): (name, text) pairs, last writer wins per name.

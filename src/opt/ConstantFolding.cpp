@@ -1,0 +1,84 @@
+//===--- ConstantFolding.cpp - Block-local constant propagation ------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The "constfold" pass: tracks frame slots known to hold an integer
+/// constant (`PushInt c; StoreLocal x` with no jump landing on the
+/// store) and rewrites later `LoadLocal x` in the same block to
+/// `PushInt c`.  The rewrite is 1:1 in place, so no jump target moves;
+/// the store itself is left for dead-store elimination, and the fresh
+/// constants feed the peephole pass's window folds.
+///
+/// Safety (see Rewrite.h): address-taken slots are never tracked, any
+/// call clobbers every fact, and facts die at block leaders.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include "opt/Rewrite.h"
+
+#include <unordered_map>
+
+using namespace m2c;
+using namespace m2c::codegen;
+using namespace m2c::opt;
+
+namespace {
+
+class ConstantFoldingPass : public Pass {
+public:
+  std::string_view name() const override { return "constfold"; }
+
+  bool run(CodeUnit &Unit, StatisticSet &Stats) const override {
+    std::vector<Instr> &Code = Unit.Code;
+    if (Code.empty())
+      return false;
+    const std::vector<bool> Leader = detail::blockLeaders(Code);
+    const std::vector<bool> Taken = detail::addressTakenLocals(Unit);
+    auto IsTaken = [&Taken](int64_t Slot) {
+      return Slot < 0 || static_cast<size_t>(Slot) >= Taken.size() ||
+             Taken[static_cast<size_t>(Slot)];
+    };
+
+    std::unordered_map<int64_t, int64_t> Known; // slot -> constant
+    uint64_t Propagated = 0;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      if (Leader[I])
+        Known.clear();
+      Instr &In = Code[I];
+      if (In.Op == Opcode::LoadLocal) {
+        auto It = Known.find(In.A);
+        if (It != Known.end()) {
+          In = Instr{Opcode::PushInt, It->second, 0, 0.0};
+          ++Propagated;
+        }
+        continue;
+      }
+      if (detail::isCall(In.Op)) {
+        // A callee can reach this frame up-level through the static
+        // link; every tracked fact dies.
+        Known.clear();
+        continue;
+      }
+      if (In.Op == Opcode::StoreLocal) {
+        if (I > 0 && !Leader[I] && Code[I - 1].Op == Opcode::PushInt &&
+            !IsTaken(In.A))
+          Known[In.A] = Code[I - 1].A;
+        else
+          Known.erase(In.A);
+      }
+    }
+    if (Propagated)
+      Stats.add("opt.constfold.propagated", Propagated);
+    return Propagated != 0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createConstantFoldingPass() {
+  return std::make_unique<ConstantFoldingPass>();
+}

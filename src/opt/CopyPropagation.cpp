@@ -1,0 +1,108 @@
+//===--- CopyPropagation.cpp - Block-local copy propagation ----------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The "copyprop" pass: after `LoadLocal y; StoreLocal x` (no jump
+/// landing on the store), slot x holds the same value as slot y; later
+/// `LoadLocal x` in the block becomes `LoadLocal y`, often making the
+/// intermediate store dead for DSE.
+///
+/// Besides the usual kills (a store to either side, any call, block
+/// leaders, address-taken slots — see Rewrite.h), one VM subtlety gates
+/// each rewrite site: LoadLocal pushes an aggregate's AggRef *shared*,
+/// so a ref to y instead of x is distinguishable if a call mutates one
+/// of the slots up-level while the value is still on the operand stack.
+/// The guard: only rewrite a load with no call between it and the end
+/// of its basic block.  Aggregate values never cross block boundaries
+/// on the operand stack (only short-circuit booleans and CASE ordinals
+/// do), so a call-free remainder means the value is consumed — copied
+/// or compared by value — before any frame can be touched again.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include "opt/Rewrite.h"
+
+#include <unordered_map>
+
+using namespace m2c;
+using namespace m2c::codegen;
+using namespace m2c::opt;
+
+namespace {
+
+class CopyPropagationPass : public Pass {
+public:
+  std::string_view name() const override { return "copyprop"; }
+
+  bool run(CodeUnit &Unit, StatisticSet &Stats) const override {
+    std::vector<Instr> &Code = Unit.Code;
+    if (Code.empty())
+      return false;
+    const std::vector<bool> Leader = detail::blockLeaders(Code);
+    const std::vector<bool> Taken = detail::addressTakenLocals(Unit);
+    auto IsTaken = [&Taken](int64_t Slot) {
+      return Slot < 0 || static_cast<size_t>(Slot) >= Taken.size() ||
+             Taken[static_cast<size_t>(Slot)];
+    };
+
+    // CallAhead[I]: some call lies strictly after I, before I's block
+    // ends (next leader).
+    std::vector<bool> CallAhead(Code.size(), false);
+    for (size_t I = Code.size() - 1; I > 0; --I) {
+      size_t Prev = I - 1;
+      CallAhead[Prev] =
+          !Leader[I] && (detail::isCall(Code[I].Op) || CallAhead[I]);
+    }
+
+    std::unordered_map<int64_t, int64_t> CopyOf; // x -> y: local x == local y
+    auto Kill = [&CopyOf](int64_t Slot) {
+      CopyOf.erase(Slot);
+      for (auto It = CopyOf.begin(); It != CopyOf.end();)
+        It = It->second == Slot ? CopyOf.erase(It) : std::next(It);
+    };
+
+    uint64_t Propagated = 0;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      if (Leader[I])
+        CopyOf.clear();
+      Instr &In = Code[I];
+      if (In.Op == Opcode::LoadLocal) {
+        auto It = CopyOf.find(In.A);
+        if (It != CopyOf.end() && !CallAhead[I]) {
+          In.A = It->second;
+          ++Propagated;
+        }
+        continue;
+      }
+      if (detail::isCall(In.Op)) {
+        // A callee can reach this frame up-level through the static
+        // link; every tracked fact dies.
+        CopyOf.clear();
+        continue;
+      }
+      if (In.Op == Opcode::StoreLocal) {
+        Kill(In.A);
+        // Record x == y when the copied load immediately precedes (the
+        // load was already chain-rewritten above, so facts close
+        // transitively).
+        if (I > 0 && !Leader[I] && Code[I - 1].Op == Opcode::LoadLocal &&
+            Code[I - 1].A != In.A && !IsTaken(In.A) &&
+            !IsTaken(Code[I - 1].A))
+          CopyOf[In.A] = Code[I - 1].A;
+      }
+    }
+    if (Propagated)
+      Stats.add("opt.copyprop.propagated", Propagated);
+    return Propagated != 0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createCopyPropagationPass() {
+  return std::make_unique<CopyPropagationPass>();
+}

@@ -1,0 +1,196 @@
+//===--- DeadStoreElimination.cpp - Backward liveness DSE ------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The "dse" pass, in two steps:
+///
+///  1. Backward liveness over basic blocks.  A `StoreLocal x` with x
+///     dead after it is rewritten to `Pop` — a 1:1 rewrite, so the
+///     operand stack stays balanced and no jump target moves.  Calls
+///     conservatively use every slot (a nested procedure may read this
+///     frame up-level); address-taken slots are live everywhere; at a
+///     Return/Halt/Trap nothing local is live.
+///
+///  2. Cancellation: a side-effect-free single-value producer followed
+///     immediately by a `Pop` that is not a jump target is a net no-op;
+///     both are deleted and the code compacted (jumps into the deleted
+///     producer land after the pair — the same no-op).  Iterated, this
+///     unwinds whole dead `PushInt ...; Pop` chains the liveness step
+///     exposed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include "opt/Rewrite.h"
+
+#include <cstdint>
+
+using namespace m2c;
+using namespace m2c::codegen;
+using namespace m2c::opt;
+
+namespace {
+
+/// Basic block [Begin, End) with successor block indices.
+struct Block {
+  size_t Begin = 0;
+  size_t End = 0;
+  size_t Succ[2] = {SIZE_MAX, SIZE_MAX}; ///< SIZE_MAX = exit/none.
+};
+
+class DeadStoreEliminationPass : public Pass {
+public:
+  std::string_view name() const override { return "dse"; }
+
+  bool run(CodeUnit &Unit, StatisticSet &Stats) const override {
+    bool Changed = killDeadStores(Unit, Stats);
+    Changed |= cancelPops(Unit, Stats);
+    return Changed;
+  }
+
+private:
+  bool killDeadStores(CodeUnit &Unit, StatisticSet &Stats) const {
+    std::vector<Instr> &Code = Unit.Code;
+    if (Code.empty())
+      return false;
+    const size_t Slots = detail::localSlotCount(Unit);
+    if (Slots == 0)
+      return false;
+    const std::vector<bool> Taken = detail::addressTakenLocals(Unit);
+
+    // Partition into blocks: leaders are jump targets plus fall-throughs
+    // after jumps/terminators (finer than value-tracking needs, exact
+    // for dataflow).
+    std::vector<bool> Leader = detail::blockLeaders(Code);
+    for (size_t I = 0; I + 1 < Code.size(); ++I)
+      if (detail::isJump(Code[I].Op) || detail::isTerminator(Code[I].Op))
+        Leader[I + 1] = true;
+
+    std::vector<size_t> BlockOf(Code.size(), 0);
+    std::vector<Block> Blocks;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      if (Leader[I]) {
+        if (!Blocks.empty())
+          Blocks.back().End = I;
+        Blocks.push_back(Block{I, Code.size(), {SIZE_MAX, SIZE_MAX}});
+      }
+      BlockOf[I] = Blocks.size() - 1;
+    }
+    for (Block &B : Blocks) {
+      const Instr &Last = Code[B.End - 1];
+      size_t N = 0;
+      if (detail::isJump(Last.Op) &&
+          static_cast<size_t>(Last.A) < Code.size())
+        B.Succ[N++] = BlockOf[static_cast<size_t>(Last.A)];
+      if (!detail::isTerminator(Last.Op) && B.End < Code.size())
+        B.Succ[N++] = BlockOf[B.End];
+    }
+
+    // Per-block liveness to a fixed point.  Address-taken slots are
+    // simply never deleted below, so they need no bits here; falling
+    // off the end (or Return) leaves nothing live.
+    auto Scan = [&](const Block &B, std::vector<bool> Live,
+                    bool Rewrite) -> std::vector<bool> {
+      uint64_t Killed = 0;
+      for (size_t I = B.End; I-- > B.Begin;) {
+        Instr &In = Code[I];
+        switch (In.Op) {
+        case Opcode::StoreLocal:
+          if (!Live[static_cast<size_t>(In.A)] &&
+              !Taken[static_cast<size_t>(In.A)]) {
+            if (Rewrite) {
+              In = Instr{Opcode::Pop, 0, 0, 0.0};
+              ++Killed;
+            }
+          } else {
+            Live[static_cast<size_t>(In.A)] = false;
+          }
+          break;
+        case Opcode::LoadLocal:
+        case Opcode::LoadLocalRef:
+          Live[static_cast<size_t>(In.A)] = true;
+          break;
+        case Opcode::Call:
+        case Opcode::CallIndirect:
+        case Opcode::CallBuiltin:
+          Live.assign(Slots, true);
+          break;
+        default:
+          break;
+        }
+      }
+      if (Killed)
+        Stats.add("opt.dse.stores", Killed);
+      return Live;
+    };
+
+    std::vector<std::vector<bool>> LiveIn(
+        Blocks.size(), std::vector<bool>(Slots, false));
+    for (bool Dirty = true; Dirty;) {
+      Dirty = false;
+      for (size_t B = Blocks.size(); B-- > 0;) {
+        std::vector<bool> Out(Slots, false);
+        for (size_t S : Blocks[B].Succ)
+          if (S != SIZE_MAX)
+            for (size_t V = 0; V < Slots; ++V)
+              if (LiveIn[S][V])
+                Out[V] = true;
+        std::vector<bool> In = Scan(Blocks[B], std::move(Out),
+                                    /*Rewrite=*/false);
+        if (In != LiveIn[B]) {
+          LiveIn[B] = std::move(In);
+          Dirty = true;
+        }
+      }
+    }
+
+    bool Changed = false;
+    for (size_t B = 0; B < Blocks.size(); ++B) {
+      std::vector<bool> Out(Slots, false);
+      for (size_t S : Blocks[B].Succ)
+        if (S != SIZE_MAX)
+          for (size_t V = 0; V < Slots; ++V)
+            if (LiveIn[S][V])
+              Out[V] = true;
+      size_t Before = Stats.get("opt.dse.stores");
+      Scan(Blocks[B], std::move(Out), /*Rewrite=*/true);
+      Changed |= Stats.get("opt.dse.stores") != Before;
+    }
+    return Changed;
+  }
+
+  bool cancelPops(CodeUnit &Unit, StatisticSet &Stats) const {
+    std::vector<Instr> &Code = Unit.Code;
+    bool Changed = false;
+    for (;;) {
+      const std::vector<bool> Target = detail::jumpTargets(Code);
+      std::vector<bool> Dead(Code.size(), false);
+      uint64_t Pairs = 0;
+      for (size_t I = 0; I + 1 < Code.size(); ++I) {
+        if (Dead[I] || Dead[I + 1])
+          continue;
+        if (detail::isRemovableProducer(Code[I].Op) &&
+            Code[I + 1].Op == Opcode::Pop && !Target[I + 1]) {
+          Dead[I] = Dead[I + 1] = true;
+          ++Pairs;
+          ++I; // Skip past the consumed Pop.
+        }
+      }
+      if (!Pairs)
+        break;
+      detail::compactCode(Code, Dead);
+      Stats.add("opt.dse.removed", Pairs * 2);
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createDeadStoreEliminationPass() {
+  return std::make_unique<DeadStoreEliminationPass>();
+}

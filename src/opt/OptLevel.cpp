@@ -1,0 +1,51 @@
+//===--- OptLevel.cpp - Optimization levels --------------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/OptLevel.h"
+
+#include <cstdlib>
+
+using namespace m2c::opt;
+
+const char *m2c::opt::optLevelName(OptLevel L) {
+  switch (L) {
+  case OptLevel::O0:
+    return "O0";
+  case OptLevel::O1:
+    return "O1";
+  case OptLevel::O2:
+    return "O2";
+  }
+  return "O0";
+}
+
+OptLevel m2c::opt::defaultOptLevel() {
+  // Read once: the level is part of every cache key, so it must not
+  // change mid-process.
+  static const OptLevel Cached = [] {
+    if (const char *Env = std::getenv("M2C_OPT_LEVEL")) {
+      if (Env[0] == '1' && Env[1] == '\0')
+        return OptLevel::O1;
+      if (Env[0] == '2' && Env[1] == '\0')
+        return OptLevel::O2;
+    }
+    return OptLevel::O0;
+  }();
+  return Cached;
+}
+
+std::string m2c::opt::passConfigString(OptLevel L) {
+  switch (L) {
+  case OptLevel::O0:
+    return "O0";
+  case OptLevel::O1:
+    return "O1:peephole";
+  case OptLevel::O2:
+    return "O2:constfold,copyprop,peephole,dse,unreach";
+  }
+  return "O0";
+}

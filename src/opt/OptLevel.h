@@ -1,0 +1,46 @@
+//===--- OptLevel.h - Optimization levels -----------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver-visible optimization levels.  A level names a fixed roster
+/// of middle-end passes (see PassManager.h); the canonical spelling of
+/// that roster is folded into every cache key, so artifacts compiled at
+/// different levels can never collide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_OPT_OPTLEVEL_H
+#define M2C_OPT_OPTLEVEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace m2c::opt {
+
+/// -O0: no passes — output byte-identical to the raw code generator.
+/// -O1: the peephole pass only (the pre-pass-manager `Optimize` flag).
+/// -O2: the full roster — constant folding, copy propagation, peephole,
+///      dead-store elimination, unreachable-code elimination.
+enum class OptLevel : uint8_t { O0 = 0, O1 = 1, O2 = 2 };
+
+/// "O0" / "O1" / "O2".
+const char *optLevelName(OptLevel L);
+
+/// The level the driver defaults to: O0, overridable by the environment
+/// variable M2C_OPT_LEVEL (0/1/2) — the CI hook that runs whole test
+/// suites at -O2 without touching each call site.
+OptLevel defaultOptLevel();
+
+/// Canonical spelling of the pass roster for \p L, e.g.
+/// "O2:constfold,copyprop,peephole,dse,unreach".  This exact string is
+/// hashed into every cache fingerprint (CachePlanner) and matches
+/// PassManager::configString() for the standard rosters.
+std::string passConfigString(OptLevel L);
+
+} // namespace m2c::opt
+
+#endif // M2C_OPT_OPTLEVEL_H

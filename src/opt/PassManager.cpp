@@ -1,0 +1,74 @@
+//===--- PassManager.cpp - Per-stream pass pipeline ------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+
+using namespace m2c;
+using namespace m2c::opt;
+
+PassManager PassManager::forLevel(OptLevel Level) {
+  PassManager PM(Level);
+  switch (Level) {
+  case OptLevel::O0:
+    break;
+  case OptLevel::O1:
+    PM.add(createPeepholePass());
+    break;
+  case OptLevel::O2:
+    PM.add(createConstantFoldingPass());
+    PM.add(createCopyPropagationPass());
+    PM.add(createPeepholePass());
+    PM.add(createDeadStoreEliminationPass());
+    PM.add(createUnreachableCodePass());
+    break;
+  }
+  return PM;
+}
+
+void PassManager::add(std::unique_ptr<Pass> P) {
+  Passes.push_back(std::move(P));
+}
+
+std::string PassManager::configString() const {
+  std::string S = optLevelName(Level);
+  for (size_t I = 0; I < Passes.size(); ++I) {
+    S += I == 0 ? ':' : ',';
+    S += Passes[I]->name();
+  }
+  return S;
+}
+
+bool PassManager::run(codegen::CodeUnit &Unit, StatisticSet *Stats) const {
+  if (Passes.empty())
+    return false;
+  StatisticSet Local;
+  StatisticSet &S = Stats ? *Stats : Local;
+
+  const size_t Before = Unit.Code.size();
+  bool Any = false;
+  // A pass can expose work for an earlier one (constants folded by
+  // peephole feed constfold on the next round); iterate the roster to a
+  // bounded fixed point.  Each pass is internally idempotent, so one
+  // quiet round means the pipeline is done.
+  constexpr int MaxRounds = 4;
+  uint64_t Rounds = 0;
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    bool Changed = false;
+    for (const std::unique_ptr<Pass> &P : Passes)
+      Changed |= P->run(Unit, S);
+    ++Rounds;
+    Any |= Changed;
+    if (!Changed)
+      break;
+  }
+
+  S.add("opt.units", 1);
+  S.add("opt.rounds", Rounds);
+  if (Unit.Code.size() < Before)
+    S.add("opt.instrs.removed", Before - Unit.Code.size());
+  return Any;
+}

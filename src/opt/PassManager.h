@@ -1,0 +1,88 @@
+//===--- PassManager.h - Per-stream pass pipeline ---------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass pipeline between statement analysis and .mco emission.  A
+/// PassManager owns an ordered roster of passes and runs them over one
+/// CodeUnit to a bounded fixed point; it is immutable after construction
+/// and run() is const, so one manager serves every concurrent codegen
+/// task of a session.
+///
+/// The standard rosters (by OptLevel) are staged:
+///
+///   early    { constfold, copyprop }   value tracking inside blocks
+///   late     { peephole }              window fusion, jump threading
+///   dataflow { dse }                   backward liveness over blocks
+///   cleanup  { unreach }               CFG reachability sweep
+///
+/// configString() canonically spells the effective configuration; the
+/// cache layer hashes it into every stream key so entries produced at
+/// different levels (or custom rosters) can never collide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_OPT_PASSMANAGER_H
+#define M2C_OPT_PASSMANAGER_H
+
+#include "opt/OptLevel.h"
+#include "opt/Pass.h"
+
+#include <memory>
+#include <vector>
+
+namespace m2c::opt {
+
+class PassManager {
+public:
+  /// An empty manager (no passes; run() is a no-op) tagged O0.
+  PassManager() = default;
+
+  /// The standard roster for \p Level.
+  static PassManager forLevel(OptLevel Level);
+
+  /// Appends \p P to the roster (construction-time only; a manager is
+  /// immutable once shared with codegen tasks).
+  void add(std::unique_ptr<Pass> P);
+
+  OptLevel level() const { return Level; }
+  bool empty() const { return Passes.empty(); }
+  size_t size() const { return Passes.size(); }
+
+  /// "O0", "O1:peephole", "O2:constfold,copyprop,peephole,dse,unreach" —
+  /// equal to passConfigString(level()) for standard rosters.
+  std::string configString() const;
+
+  /// Runs the roster over \p Unit, repeating until no pass changes the
+  /// unit (bounded rounds).  Thread-safe.  Counters land in \p Stats
+  /// when non-null: opt.units, opt.rounds, opt.instrs.removed plus each
+  /// pass's opt.<name>.* counters.  Returns true if the unit changed.
+  bool run(codegen::CodeUnit &Unit, StatisticSet *Stats = nullptr) const;
+
+private:
+  explicit PassManager(OptLevel Level) : Level(Level) {}
+
+  OptLevel Level = OptLevel::O0;
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+//===--- Pass factories ----------------------------------------------------===//
+
+/// "constfold": block-local constant propagation through frame slots.
+std::unique_ptr<Pass> createConstantFoldingPass();
+/// "copyprop": block-local copy propagation between frame slots.
+std::unique_ptr<Pass> createCopyPropagationPass();
+/// "peephole": window folding/fusion and jump threading (the former
+/// codegen::Peephole, now just another registered pass).
+std::unique_ptr<Pass> createPeepholePass();
+/// "dse": dead-store elimination by backward liveness.
+std::unique_ptr<Pass> createDeadStoreEliminationPass();
+/// "unreach": unreachable-code elimination by CFG reachability.
+std::unique_ptr<Pass> createUnreachableCodePass();
+
+} // namespace m2c::opt
+
+#endif // M2C_OPT_PASSMANAGER_H

@@ -1,25 +1,32 @@
-//===--- Peephole.cpp - MCode peephole optimization ------------------------===//
+//===--- PeepholePass.cpp - Window folding, fusion, jump threading ---------===//
 //
 // Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
 // "A Concurrent Compiler for Modula-2+" (PLDI 1992).
 //
 //===----------------------------------------------------------------------===//
+///
+/// The former codegen::Peephole, registered as the "peephole" pass:
+/// constant folding of integer and boolean operations, algebraic
+/// identities, comparison/NOT fusion, jump threading and dead-jump
+/// elimination.  One run() sweeps to an internal fixed point, so the
+/// pass is idempotent and -O1 output stays byte-identical to what the
+/// pre-pass-manager `Optimize` flag produced.
+///
+//===----------------------------------------------------------------------===//
 
-#include "codegen/Peephole.h"
+#include "opt/PassManager.h"
+#include "opt/Rewrite.h"
 
-#include <cassert>
 #include <optional>
 #include <vector>
 
 using namespace m2c;
 using namespace m2c::codegen;
+using namespace m2c::opt;
 
 namespace {
 
-bool isJump(Opcode Op) {
-  return Op == Opcode::Jump || Op == Opcode::JumpIfFalse ||
-         Op == Opcode::JumpIfTrue;
-}
+using detail::isJump;
 
 /// Folds a binary integer/boolean operation; null if not foldable (or if
 /// folding would hide a runtime trap).
@@ -90,21 +97,26 @@ Opcode invertedCompare(Opcode Op) {
   }
 }
 
+/// Counters of one rewriter sweep, flushed to the StatisticSet once per
+/// run() so the atomic adds stay off the per-window path.
+struct SweepStats {
+  uint64_t Folded = 0;   ///< Constant operations evaluated at compile time.
+  uint64_t Fused = 0;    ///< Compare/NOT and identity rewrites.
+  uint64_t Threaded = 0; ///< Jump-to-jump chains shortened.
+  uint64_t Removed = 0;  ///< Instructions deleted.
+};
+
 /// One local rewrite sweep.  Deleted instructions become Pops of nothing:
 /// we mark them and compact afterwards so jump targets stay correct.
 struct Rewriter {
   std::vector<Instr> &Code;
   std::vector<bool> Dead;
   std::vector<bool> Target; ///< Instruction is a jump target.
-  PeepholeStats &Stats;
+  SweepStats &Stats;
 
-  Rewriter(std::vector<Instr> &Code, PeepholeStats &Stats)
-      : Code(Code), Dead(Code.size(), false), Target(Code.size(), false),
-        Stats(Stats) {
-    for (const Instr &I : Code)
-      if (isJump(I.Op) && static_cast<size_t>(I.A) < Code.size())
-        Target[static_cast<size_t>(I.A)] = true;
-  }
+  Rewriter(std::vector<Instr> &Code, SweepStats &Stats)
+      : Code(Code), Dead(Code.size(), false),
+        Target(detail::jumpTargets(Code)), Stats(Stats) {}
 
   /// A window position is usable if alive and not a jump target (a jump
   /// landing between fused instructions would see half a pattern).
@@ -219,43 +231,40 @@ struct Rewriter {
     return Code.size();
   }
 
-  /// Compacts the code, remapping jump targets.
-  void compact() {
-    std::vector<int64_t> NewIndex(Code.size() + 1, 0);
-    int64_t Next = 0;
-    for (size_t I = 0; I < Code.size(); ++I) {
-      NewIndex[I] = Next;
-      if (!Dead[I])
-        ++Next;
-    }
-    NewIndex[Code.size()] = Next;
+  void compact() { detail::compactCode(Code, Dead); }
+};
 
-    std::vector<Instr> Out;
-    Out.reserve(static_cast<size_t>(Next));
-    for (size_t I = 0; I < Code.size(); ++I) {
-      if (Dead[I])
-        continue;
-      Instr In = Code[I];
-      if (isJump(In.Op))
-        In.A = NewIndex[static_cast<size_t>(In.A)];
-      Out.push_back(In);
+class PeepholePass : public Pass {
+public:
+  std::string_view name() const override { return "peephole"; }
+
+  bool run(CodeUnit &Unit, StatisticSet &Stats) const override {
+    SweepStats S;
+    bool Any = false;
+    // Iterate local sweeps to a fixed point (folding exposes new folds),
+    // then compact once per sweep.
+    for (int Round = 0; Round < 8; ++Round) {
+      Rewriter R(Unit.Code, S);
+      bool Changed = R.sweep();
+      R.compact();
+      Any |= Changed;
+      if (!Changed)
+        break;
     }
-    Code = std::move(Out);
+    if (S.Folded)
+      Stats.add("opt.peephole.folded", S.Folded);
+    if (S.Fused)
+      Stats.add("opt.peephole.fused", S.Fused);
+    if (S.Threaded)
+      Stats.add("opt.peephole.threaded", S.Threaded);
+    if (S.Removed)
+      Stats.add("opt.peephole.removed", S.Removed);
+    return Any;
   }
 };
 
 } // namespace
 
-PeepholeStats codegen::optimizeUnit(CodeUnit &Unit) {
-  PeepholeStats Stats;
-  // Iterate local sweeps to a fixed point (folding exposes new folds),
-  // then compact once.
-  for (int Round = 0; Round < 8; ++Round) {
-    Rewriter R(Unit.Code, Stats);
-    bool Changed = R.sweep();
-    R.compact();
-    if (!Changed)
-      break;
-  }
-  return Stats;
+std::unique_ptr<Pass> opt::createPeepholePass() {
+  return std::make_unique<PeepholePass>();
 }

@@ -1,0 +1,81 @@
+//===--- Rewrite.cpp - Shared pass machinery -------------------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Rewrite.h"
+
+using namespace m2c;
+using namespace m2c::codegen;
+using namespace m2c::opt;
+
+std::vector<bool> detail::jumpTargets(const std::vector<Instr> &Code) {
+  std::vector<bool> Target(Code.size(), false);
+  for (const Instr &I : Code)
+    if (isJump(I.Op) && static_cast<size_t>(I.A) < Code.size())
+      Target[static_cast<size_t>(I.A)] = true;
+  return Target;
+}
+
+std::vector<bool> detail::blockLeaders(const std::vector<Instr> &Code) {
+  std::vector<bool> Leader = jumpTargets(Code);
+  if (!Leader.empty())
+    Leader[0] = true;
+  return Leader;
+}
+
+size_t detail::localSlotCount(const CodeUnit &Unit) {
+  size_t N = Unit.FrameSize;
+  for (const Instr &I : Unit.Code) {
+    switch (I.Op) {
+    case Opcode::LoadLocal:
+    case Opcode::StoreLocal:
+    case Opcode::LoadLocalRef:
+      if (I.A >= 0 && static_cast<size_t>(I.A) + 1 > N)
+        N = static_cast<size_t>(I.A) + 1;
+      break;
+    default:
+      break;
+    }
+  }
+  return N;
+}
+
+std::vector<bool> detail::addressTakenLocals(const CodeUnit &Unit) {
+  std::vector<bool> Taken(localSlotCount(Unit), false);
+  for (const Instr &I : Unit.Code)
+    if (I.Op == Opcode::LoadLocalRef && I.A >= 0 &&
+        static_cast<size_t>(I.A) < Taken.size())
+      Taken[static_cast<size_t>(I.A)] = true;
+  return Taken;
+}
+
+size_t detail::compactCode(std::vector<Instr> &Code,
+                           const std::vector<bool> &Dead) {
+  std::vector<int64_t> NewIndex(Code.size() + 1, 0);
+  int64_t Next = 0;
+  for (size_t I = 0; I < Code.size(); ++I) {
+    NewIndex[I] = Next;
+    if (!Dead[I])
+      ++Next;
+  }
+  NewIndex[Code.size()] = Next;
+
+  size_t Removed = Code.size() - static_cast<size_t>(Next);
+  if (Removed == 0)
+    return 0;
+  std::vector<Instr> Out;
+  Out.reserve(static_cast<size_t>(Next));
+  for (size_t I = 0; I < Code.size(); ++I) {
+    if (Dead[I])
+      continue;
+    Instr In = Code[I];
+    if (isJump(In.Op))
+      In.A = NewIndex[static_cast<size_t>(In.A)];
+    Out.push_back(In);
+  }
+  Code = std::move(Out);
+  return Removed;
+}

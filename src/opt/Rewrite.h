@@ -1,0 +1,107 @@
+//===--- Rewrite.h - Shared pass machinery ----------------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analysis and rewrite helpers shared by the opt passes: opcode
+/// classification, jump-target/leader bitmaps, the address-taken local
+/// set, and the dead-mask compaction that remaps jump targets.
+///
+/// The safety rules every pass builds on:
+///
+///  - A frame slot whose address is ever taken (LoadLocalRef) may be
+///    read or written through that address by *any* later instruction
+///    (StoreIndirect, IncAddr, SetIncl/SetExcl, VAR arguments...), so
+///    address-taken slots are excluded from value tracking entirely.
+///  - Any call (Call/CallIndirect/CallBuiltin) may reach this frame
+///    up-level through a nested procedure (LoadEnclosing/StoreEnclosing
+///    walk the static link), so calls conservatively use and clobber
+///    every local slot.
+///  - Jump targets are block leaders; facts never flow across them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_OPT_REWRITE_H
+#define M2C_OPT_REWRITE_H
+
+#include "codegen/MCode.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace m2c::opt::detail {
+
+inline bool isJump(codegen::Opcode Op) {
+  using codegen::Opcode;
+  return Op == Opcode::Jump || Op == Opcode::JumpIfFalse ||
+         Op == Opcode::JumpIfTrue;
+}
+
+inline bool isCall(codegen::Opcode Op) {
+  using codegen::Opcode;
+  return Op == Opcode::Call || Op == Opcode::CallIndirect ||
+         Op == Opcode::CallBuiltin;
+}
+
+/// Control never falls through these.
+inline bool isTerminator(codegen::Opcode Op) {
+  using codegen::Opcode;
+  return Op == Opcode::Jump || Op == Opcode::Return ||
+         Op == Opcode::ReturnValue || Op == Opcode::Halt ||
+         Op == Opcode::Trap;
+}
+
+/// Pushes exactly one value and has no side effect, no trap, and no
+/// dependence on mutable frame state beyond the named slot — the set of
+/// producers a following Pop may cancel.
+inline bool isRemovableProducer(codegen::Opcode Op) {
+  using codegen::Opcode;
+  switch (Op) {
+  case Opcode::PushInt:
+  case Opcode::PushReal:
+  case Opcode::PushSet:
+  case Opcode::PushNil:
+  case Opcode::PushStr:
+  case Opcode::PushProc:
+  case Opcode::LoadLocal:
+  case Opcode::LoadLocalRef:
+  case Opcode::Dup:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Bitmap of instructions some jump targets (a target inside a pattern
+/// window would see half a rewrite).  Targets at Code.size() — jumps to
+/// the implicit return — have no instruction to mark.
+std::vector<bool> jumpTargets(const std::vector<codegen::Instr> &Code);
+
+/// Bitmap of basic-block leaders: instruction 0 plus every jump target.
+/// Value-tracking passes clear their facts at leaders; fall-through
+/// after a conditional jump keeps them (the only other way in is a jump,
+/// and jump targets are leaders).
+std::vector<bool> blockLeaders(const std::vector<codegen::Instr> &Code);
+
+/// Bitmap (indexed by slot, size localSlotCount) of frame slots whose
+/// address is taken somewhere in the unit.
+std::vector<bool> addressTakenLocals(const codegen::CodeUnit &Unit);
+
+/// Number of frame slots the unit can name: FrameSize, widened by any
+/// higher slot an instruction references (temps allocated past the
+/// declared frame).
+size_t localSlotCount(const codegen::CodeUnit &Unit);
+
+/// Removes every instruction marked in \p Dead, remapping jump targets
+/// (a target that dies maps to the next surviving instruction; the
+/// implicit-return target Code.size() stays the end).  Returns how many
+/// instructions were removed.
+size_t compactCode(std::vector<codegen::Instr> &Code,
+                   const std::vector<bool> &Dead);
+
+} // namespace m2c::opt::detail
+
+#endif // M2C_OPT_REWRITE_H

@@ -1,0 +1,77 @@
+//===--- UnreachableCode.cpp - Reachability-based code removal -------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The "unreach" pass: depth-first reachability from instruction 0 over
+/// the control-flow successors, then deletion of everything never
+/// reached.  Peephole jump folding and threading routinely strand whole
+/// arms of IF/CASE chains; this pass reclaims them.  compactCode remaps
+/// every surviving jump, so targets stay exact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include "opt/Rewrite.h"
+
+using namespace m2c;
+using namespace m2c::codegen;
+using namespace m2c::opt;
+
+namespace {
+
+class UnreachableCodePass : public Pass {
+public:
+  std::string_view name() const override { return "unreach"; }
+
+  bool run(CodeUnit &Unit, StatisticSet &Stats) const override {
+    std::vector<Instr> &Code = Unit.Code;
+    if (Code.empty())
+      return false;
+
+    std::vector<bool> Reached(Code.size(), false);
+    std::vector<size_t> Work{0};
+    while (!Work.empty()) {
+      size_t I = Work.back();
+      Work.pop_back();
+      if (I >= Code.size() || Reached[I])
+        continue;
+      Reached[I] = true;
+      const Instr &In = Code[I];
+      switch (In.Op) {
+      case Opcode::Jump:
+        Work.push_back(static_cast<size_t>(In.A));
+        break;
+      case Opcode::JumpIfTrue:
+      case Opcode::JumpIfFalse:
+        Work.push_back(static_cast<size_t>(In.A));
+        Work.push_back(I + 1);
+        break;
+      case Opcode::Return:
+      case Opcode::ReturnValue:
+      case Opcode::Halt:
+      case Opcode::Trap:
+        break;
+      default:
+        Work.push_back(I + 1);
+        break;
+      }
+    }
+
+    std::vector<bool> Dead(Code.size(), false);
+    for (size_t I = 0; I < Code.size(); ++I)
+      Dead[I] = !Reached[I];
+    size_t Removed = detail::compactCode(Code, Dead);
+    if (Removed)
+      Stats.add("opt.unreach.removed", Removed);
+    return Removed != 0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createUnreachableCodePass() {
+  return std::make_unique<UnreachableCodePass>();
+}

@@ -39,12 +39,11 @@ enum class HeadingSharing : uint8_t {
                ///< heading (~3% slower from the duplicated work).
 };
 
-/// Per-compilation knobs.
+/// Per-compilation knobs.  (Optimization is configured on the driver's
+/// CompilerOptions — codegen tasks receive the pass pipeline directly.)
 struct CompilationOptions {
   symtab::DkyStrategy Strategy = symtab::DkyStrategy::Skeptical;
   HeadingSharing Sharing = HeadingSharing::CopyEntries;
-  /// Run the peephole pass over every generated code unit.
-  bool Optimize = false;
 };
 
 /// The "once-only table" of paper section 3: guarantees each definition

@@ -22,8 +22,7 @@ BuildService::BuildService(VirtualFileSystem &Files, StringInterner &Interner,
     : Files(Files), Interner(Interner), Config(Config),
       Exec(Config.Workers, Config.Cost),
       Pool(Files, Interner, Exec,
-           sema::CompilationOptions{Config.Strategy, Config.Sharing,
-                                    Config.Optimize}),
+           sema::CompilationOptions{Config.Strategy, Config.Sharing}),
       Queue(Config.MaxActiveRequests) {
   if (Config.UseCache) {
     std::unique_ptr<cache::CacheStore> Disk;
@@ -68,7 +67,8 @@ void BuildService::unlockModules(const std::vector<std::string> &Modules) {
 }
 
 build::BuildResult BuildService::submit(const std::vector<std::string> &Roots,
-                                        const RequestControl *Ctrl) {
+                                        const RequestControl *Ctrl,
+                                        std::optional<opt::OptLevel> Level) {
   using Clock = std::chrono::steady_clock;
   RequestQueue::Scoped Admitted(Queue);
   ServiceStats.add("service.requests.submitted");
@@ -138,7 +138,7 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots,
   driver::CompilerOptions Opts;
   Opts.Strategy = Config.Strategy;
   Opts.Sharing = Config.Sharing;
-  Opts.Optimize = Config.Optimize;
+  Opts.Level = Level.value_or(Config.Level);
   Opts.Executor = driver::ExecutorKind::Threaded;
   Opts.Processors = Config.Workers;
   Opts.Cost = Config.Cost;
@@ -151,6 +151,7 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots,
   Ext.Graph = std::move(Graph);
   Ext.DiscoveryWallNs = DiscoveryWallNs;
   Ext.KeepAlive = Gen;
+  Ext.OptStats = &ServiceStats; // opt.* folds into the STATS reply.
 
   build::BuildSession Session(Files, Interner, Opts);
   build::BuildResult Result = Session.build(Roots, std::move(Ext));

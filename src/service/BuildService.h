@@ -41,6 +41,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -52,7 +53,9 @@ struct ServiceConfig {
   unsigned Workers = 4; ///< Processors of the one shared executor.
   symtab::DkyStrategy Strategy = symtab::DkyStrategy::Skeptical;
   sema::HeadingSharing Sharing = sema::HeadingSharing::CopyEntries;
-  bool Optimize = false;
+  /// Default optimization level for requests that don't name their own
+  /// (a BUILD request may carry a per-request level).
+  opt::OptLevel Level = opt::defaultOptLevel();
   sched::CostModel Cost;
   unsigned MaxActiveRequests = 8; ///< FIFO admission bound.
   bool UseCache = true;           ///< Artifact tiers on/off.
@@ -94,8 +97,12 @@ public:
   /// the calling thread until the request completes.  A non-null \p Ctrl
   /// lets the caller abandon the request between phases (the result then
   /// has Aborted set and nothing was compiled or cached for it).
+  /// \p Level overrides the service's default optimization level for this
+  /// request only; cache keys embed the level, so requests at different
+  /// levels never share entries.
   build::BuildResult submit(const std::vector<std::string> &Roots,
-                            const RequestControl *Ctrl = nullptr);
+                            const RequestControl *Ctrl = nullptr,
+                            std::optional<opt::OptLevel> Level = std::nullopt);
 
   /// Stops the executor and folds its counters into the stats.  Called by
   /// the destructor; idempotent.  No submit() may be in flight.

@@ -409,6 +409,10 @@ TEST(BuildTest, DivergentCachePlanIsDroppedGracefully) {
                               "END Calc.\n");
 
   CompilerOptions Options = T.options();
+  // The hand-rolled pipeline below bypasses the driver (no pass manager
+  // is wired in), so pin -O0 to keep the reference comparable even when
+  // M2C_OPT_LEVEL raises the ambient default.
+  Options.Level = opt::OptLevel::O0;
   ConcurrentCompiler Ref(T.Files, T.Interner, Options);
   CompileResult Reference = Ref.compile("Calc");
   ASSERT_TRUE(Reference.Success) << Reference.DiagnosticText;
@@ -416,8 +420,7 @@ TEST(BuildTest, DivergentCachePlanIsDroppedGracefully) {
   auto RunWithPlan = [&](const cache::CachePlan &Plan) {
     auto Comp = std::make_shared<sema::Compilation>(
         T.Files, T.Interner,
-        sema::CompilationOptions{Options.Strategy, Options.Sharing,
-                                 Options.Optimize});
+        sema::CompilationOptions{Options.Strategy, Options.Sharing});
     sched::SimulatedExecutor Exec(Options.Processors, Options.Cost);
     build::TaskSpawner Spawner(Exec);
     build::InterfaceSet Defs(*Comp, Spawner);

@@ -217,15 +217,19 @@ TEST(CacheTest, EditingImportedInterfaceInvalidatesEveryStream) {
   EXPECT_EQ(T.render(Warm), T.render(Fresh));
 }
 
-TEST(CacheTest, SeparateEntriesPerStrategyAndOptimize) {
+TEST(CacheTest, SeparateEntriesPerStrategyAndOptLevel) {
   CacheFixture T;
   T.addCalc();
 
+  // Pin every config's level explicitly: the ambient default follows
+  // M2C_OPT_LEVEL, and this test needs three provably-disjoint keys.
   CompilerOptions Skeptical = T.options();
+  Skeptical.Level = opt::OptLevel::O0;
   CompilerOptions Optimistic = T.options();
   Optimistic.Strategy = symtab::DkyStrategy::Optimistic;
+  Optimistic.Level = opt::OptLevel::O0;
   CompilerOptions Optimized = T.options();
-  Optimized.Optimize = true;
+  Optimized.Level = opt::OptLevel::O2;
 
   ASSERT_TRUE(T.compile(Skeptical).Success);
   ASSERT_TRUE(T.compile(Optimistic).Success);

@@ -98,11 +98,15 @@ struct DaemonFixture {
   }
 
   /// Cold standalone reference over the SAME sources: what the wire's
-  /// artifacts must equal, byte for byte.
-  build::BuildResult standalone(const std::vector<std::string> &Roots) {
+  /// artifacts must equal, byte for byte.  BUILD requests carry their own
+  /// OptLevel (default 0), so the reference pins the matching level rather
+  /// than inheriting the ambient M2C_OPT_LEVEL default.
+  build::BuildResult standalone(const std::vector<std::string> &Roots,
+                                opt::OptLevel Level = opt::OptLevel::O0) {
     driver::CompilerOptions Options;
     Options.Executor = driver::ExecutorKind::Threaded;
     Options.Processors = 4;
+    Options.Level = Level;
     build::BuildSession Session(Files, Interner, std::move(Options));
     return Session.build(Roots);
   }
@@ -147,6 +151,7 @@ TEST(DaemonTest, ProtocolMessagesRoundTrip) {
   net::BuildRequestMsg Build;
   Build.RequestId = 0x1122334455667788ull;
   Build.DeadlineMs = 1500;
+  Build.OptLevel = 2;
   Build.Roots = {"Report", "Stats"};
   Build.Files = {{"Report.mod", "MODULE Report; END Report."},
                  {"Empty.def", ""}};
@@ -154,8 +159,13 @@ TEST(DaemonTest, ProtocolMessagesRoundTrip) {
   ASSERT_TRUE(net::decode(net::encode(Build), Build2));
   EXPECT_EQ(Build2.RequestId, Build.RequestId);
   EXPECT_EQ(Build2.DeadlineMs, Build.DeadlineMs);
+  EXPECT_EQ(Build2.OptLevel, Build.OptLevel);
   EXPECT_EQ(Build2.Roots, Build.Roots);
   EXPECT_EQ(Build2.Files, Build.Files);
+
+  // An out-of-range level is malformed, not clamped.
+  Build.OptLevel = 3;
+  EXPECT_FALSE(net::decode(net::encode(Build), Build2));
 
   net::BuildResultMsg Result;
   Result.RequestId = 7;
@@ -216,28 +226,35 @@ TEST(DaemonTest, RemoteBuildMatchesStandaloneByteForByte) {
   auto Client = net::RemoteClient::open(F.SocketPath, Err);
   ASSERT_NE(Client, nullptr) << Err;
 
-  for (const workload::GeneratedProject &P : Set.Projects) {
-    build::BuildResult Reference = F.standalone({P.Root});
-    ASSERT_TRUE(Reference.Success) << Reference.DiagnosticText;
+  // Byte-identity is asserted per optimization level: the request's
+  // OptLevel byte must select the same pipeline a standalone session
+  // runs at that level.
+  for (opt::OptLevel Level : {opt::OptLevel::O0, opt::OptLevel::O2}) {
+    for (const workload::GeneratedProject &P : Set.Projects) {
+      build::BuildResult Reference = F.standalone({P.Root}, Level);
+      ASSERT_TRUE(Reference.Success) << Reference.DiagnosticText;
 
-    net::BuildRequestMsg Req;
-    Req.RequestId = Client->nextRequestId();
-    Req.Roots = {P.Root};
-    net::BuildResultMsg Result;
-    ASSERT_TRUE(Client->build(Req, Result, Err)) << Err;
-    ASSERT_EQ(Result.St, net::Status::Ok) << Result.Diagnostics;
+      net::BuildRequestMsg Req;
+      Req.RequestId = Client->nextRequestId();
+      Req.OptLevel = static_cast<uint8_t>(Level);
+      Req.Roots = {P.Root};
+      net::BuildResultMsg Result;
+      ASSERT_TRUE(Client->build(Req, Result, Err)) << Err;
+      ASSERT_EQ(Result.St, net::Status::Ok) << Result.Diagnostics;
 
-    // Same diagnostics, same modules, same .mco bytes.
-    EXPECT_EQ(Result.Diagnostics, Reference.DiagnosticText);
-    ASSERT_EQ(Result.Modules.size(), Reference.Modules.size());
-    std::map<std::string, std::string> ReferenceBytes;
-    for (const build::ModuleBuild &M : Reference.Modules)
-      ReferenceBytes[M.Name] = codegen::writeObjectFile(M.Image, F.Interner);
-    for (const net::ModuleArtifact &M : Result.Modules) {
-      auto It = ReferenceBytes.find(M.Name);
-      ASSERT_NE(It, ReferenceBytes.end()) << M.Name;
-      EXPECT_EQ(M.Object, It->second)
-          << M.Name << ": remote image differs from cold standalone build";
+      // Same diagnostics, same modules, same .mco bytes.
+      EXPECT_EQ(Result.Diagnostics, Reference.DiagnosticText);
+      ASSERT_EQ(Result.Modules.size(), Reference.Modules.size());
+      std::map<std::string, std::string> ReferenceBytes;
+      for (const build::ModuleBuild &M : Reference.Modules)
+        ReferenceBytes[M.Name] = codegen::writeObjectFile(M.Image, F.Interner);
+      for (const net::ModuleArtifact &M : Result.Modules) {
+        auto It = ReferenceBytes.find(M.Name);
+        ASSERT_NE(It, ReferenceBytes.end()) << M.Name;
+        EXPECT_EQ(M.Object, It->second)
+            << M.Name << ": remote image differs from cold standalone build"
+            << " at " << opt::optLevelName(Level);
+      }
     }
   }
   Server.stop();

@@ -52,11 +52,14 @@ struct ServiceFixture {
 
   /// Cold standalone reference: a fresh BuildSession with no cache and its
   /// own executor — the byte-identity baseline the service must match.
+  /// Parameterized by optimization level so identity is asserted per-level.
   std::map<std::string, std::string>
-  standaloneImages(const std::vector<std::string> &Roots, unsigned Workers) {
+  standaloneImages(const std::vector<std::string> &Roots, unsigned Workers,
+                   opt::OptLevel Level = opt::defaultOptLevel()) {
     driver::CompilerOptions Options;
     Options.Executor = driver::ExecutorKind::Threaded;
     Options.Processors = Workers;
+    Options.Level = Level;
     build::BuildSession Session(Files, Interner, std::move(Options));
     build::BuildResult R = Session.build(Roots);
     EXPECT_TRUE(R.Success) << R.DiagnosticText;
@@ -154,6 +157,31 @@ TEST(ServiceTest, ImagesMatchStandaloneUnderConcurrentArrival) {
             Order.size());
   EXPECT_EQ(ServiceFixture::stat(Stats, "sched.requests.opened"),
             ServiceFixture::stat(Stats, "sched.requests.closed"));
+}
+
+TEST(ServiceTest, PerRequestOptLevelMatchesStandalonePerLevel) {
+  ServiceFixture F;
+  workload::GeneratedRequestSet Set = F.makeRequestSet(1, 1);
+  ServiceConfig Config = F.config();
+  Config.Level = opt::OptLevel::O0;
+  BuildService Service(F.Files, F.Interner, Config);
+  const std::vector<std::string> &Roots = Set.Requests.front();
+  auto RefO0 = F.standaloneImages(Roots, 4, opt::OptLevel::O0);
+  auto RefO2 = F.standaloneImages(Roots, 4, opt::OptLevel::O2);
+
+  // The config default applies when a request names no level; an explicit
+  // per-request level overrides it.  Each must match the standalone build
+  // at the *same* level, byte for byte.
+  F.expectMatches(Service.submit(Roots), RefO0);
+  F.expectMatches(Service.submit(Roots, nullptr, opt::OptLevel::O2), RefO2);
+  // Levels key disjoint artifact spaces: replays from the memory tier
+  // return each level's own bytes, never the other's.
+  F.expectMatches(Service.submit(Roots), RefO0);
+  F.expectMatches(Service.submit(Roots, nullptr, opt::OptLevel::O2), RefO2);
+
+  // The O2 request ran real passes, and their counters reached the
+  // service's merged snapshot.
+  EXPECT_GT(ServiceFixture::stat(Service.statsSnapshot(), "opt.units"), 0u);
 }
 
 //===--- (b) Interfaces parsed once per service ----------------------------===//
