@@ -1,0 +1,139 @@
+//===--- bench_summary.cpp - Aggregate the BENCH_*.json sidecars -----------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+// The google-benchmark binaries each leave a BENCH_<name>.json sidecar
+// in the working directory (see BenchJson.h).  This tool collects every
+// sidecar found there into one table — the per-PR perf snapshot CI
+// prints and EXPERIMENTS.md quotes — so nobody has to open N JSON files
+// to see whether a change moved a number.
+//
+//   bench_summary [DIR]     scan DIR (default ".") for BENCH_*.json
+//
+// The parser reads only what the sidecars are known to contain: the
+// "benchmarks" array's "name", "real_time" and "time_unit" fields.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string File;
+  std::string Name;
+  double RealTime = 0;
+  std::string Unit;
+};
+
+/// Extracts the string value of "Key" : "..." starting at or after \p From
+/// within \p Text; returns npos-marked empty string when absent.
+std::string stringField(const std::string &Text, const std::string &Key,
+                        size_t From, size_t To) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t P = Text.find(Needle, From);
+  if (P == std::string::npos || P >= To)
+    return "";
+  P = Text.find('"', P + Needle.size());
+  if (P == std::string::npos || P >= To)
+    return "";
+  size_t E = Text.find('"', P + 1);
+  if (E == std::string::npos)
+    return "";
+  return Text.substr(P + 1, E - P - 1);
+}
+
+double numberField(const std::string &Text, const std::string &Key,
+                   size_t From, size_t To) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t P = Text.find(Needle, From);
+  if (P == std::string::npos || P >= To)
+    return -1;
+  return std::strtod(Text.c_str() + P + Needle.size(), nullptr);
+}
+
+/// Parses one google-benchmark JSON sidecar into rows.  The format is
+/// machine-written and stable: each element of the "benchmarks" array is
+/// a flat object on consecutive lines.
+void parseSidecar(const std::filesystem::path &Path, std::vector<Row> &Rows) {
+  std::ifstream In(Path);
+  if (!In)
+    return;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+  // google-benchmark emits spaces after colons; normalize them away so
+  // the field scanners need only one spelling.
+  std::string Compact;
+  Compact.reserve(Text.size());
+  for (size_t I = 0; I < Text.size(); ++I) {
+    if (Text[I] == ':' ) {
+      Compact.push_back(':');
+      while (I + 1 < Text.size() && Text[I + 1] == ' ')
+        ++I;
+      continue;
+    }
+    Compact.push_back(Text[I]);
+  }
+  size_t Arr = Compact.find("\"benchmarks\":");
+  if (Arr == std::string::npos)
+    return;
+  size_t P = Compact.find('{', Arr);
+  while (P != std::string::npos) {
+    size_t End = Compact.find('}', P);
+    if (End == std::string::npos)
+      break;
+    Row R;
+    R.File = Path.filename().string();
+    R.Name = stringField(Compact, "name", P, End);
+    R.RealTime = numberField(Compact, "real_time", P, End);
+    R.Unit = stringField(Compact, "time_unit", P, End);
+    // Skip aggregate/error rows without a usable time.
+    if (!R.Name.empty() && R.RealTime >= 0)
+      Rows.push_back(std::move(R));
+    P = Compact.find('{', End);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::filesystem::path Dir = Argc > 1 ? Argv[1] : ".";
+  std::vector<std::filesystem::path> Sidecars;
+  std::error_code Ec;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec)) {
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind("BENCH_", 0) == 0 && Entry.path().extension() == ".json")
+      Sidecars.push_back(Entry.path());
+  }
+  if (Sidecars.empty()) {
+    std::fprintf(stderr, "bench_summary: no BENCH_*.json under %s\n",
+                 Dir.string().c_str());
+    return 1;
+  }
+  std::sort(Sidecars.begin(), Sidecars.end());
+
+  std::vector<Row> Rows;
+  for (const auto &Path : Sidecars)
+    parseSidecar(Path, Rows);
+
+  std::printf("%-28s %-44s %12s %s\n", "sidecar", "benchmark", "real_time",
+              "unit");
+  std::string LastFile;
+  for (const Row &R : Rows) {
+    std::printf("%-28s %-44s %12.3f %s\n",
+                R.File == LastFile ? "" : R.File.c_str(), R.Name.c_str(),
+                R.RealTime, R.Unit.c_str());
+    LastFile = R.File;
+  }
+  std::printf("\n%zu benchmarks from %zu sidecars\n", Rows.size(),
+              Sidecars.size());
+  return 0;
+}

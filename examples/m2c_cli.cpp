@@ -17,6 +17,13 @@
 //                    rides in the BUILD request)
 //     -trace         print a WatchTool activity view per compilation
 //     -run           link all modules and run the last one
+//     -tier0         run the VM as a pure interpreter (tiering off)
+//     -tier1         promote every unit to threaded code before running
+//     -tier-threshold N
+//                    mixed tiering: promote a unit after N invocations
+//                    (hot loops after 4*N backedges).  The three flags
+//                    override the M2C_VM_TIER / M2C_TIER_THRESHOLD
+//                    environment policy; output is identical either way
 //     -dump          print the MCode listing of each compiled unit
 //     -c             write each compiled module to Module.mco
 //     -cache DIR     keep a persistent compilation cache in DIR
@@ -44,7 +51,8 @@
 //                    instead of pushing local sources
 //     -stats         print per-session scheduler/cache/build counters
 //                    (project mode), merged service counters (serve
-//                    mode), or the daemon's counters (remote mode)
+//                    mode), or the daemon's counters (remote mode);
+//                    with -run, also the vm.* execution-tier counters
 //
 // Module files are looked up as Module.mod / Module.def in the current
 // directory.  A positional argument ending in ".mco" is loaded as a
@@ -62,6 +70,8 @@
 #include "service/BuildService.h"
 #include "trace/ActivityRecorder.h"
 #include "vm/VM.h"
+#include "vm/VmStats.h"
+#include "vm/tier/TierManager.h"
 
 #include <atomic>
 #include <cstdio>
@@ -79,7 +89,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: m2c_cli [-j N] [-seq] [-sim] [-dky STRATEGY] "
-               "[-O0|-O1|-O2] [-trace] [-run] [-dump] [-c] [-cache DIR] "
+               "[-O0|-O1|-O2] [-trace] [-run] [-tier0] [-tier1] "
+               "[-tier-threshold N] [-dump] [-c] [-cache DIR] "
                "[-cache-stats] [-project] [-serve N] [-remote ADDR] "
                "[-deadline MS] [-no-push] [-stats] Module...\n");
   return 2;
@@ -95,12 +106,26 @@ void printCounters(const char *Heading,
                 static_cast<unsigned long long>(Value));
 }
 
+/// -tier0/-tier1/-tier-threshold: an explicit execution-tier policy for
+/// every VM this invocation creates.  When no tier flag was given the
+/// environment policy (M2C_VM_TIER, M2C_TIER_THRESHOLD) stays in effect.
+struct TierFlags {
+  bool Override = false;
+  vm::tier::TierPolicy Policy;
+
+  void apply(vm::VM &Machine) const {
+    if (Override)
+      Machine.setTierPolicy(Policy);
+  }
+};
+
 /// -project: one build session over all roots, then link/run/dump from
 /// the session's images.
 int runProject(VirtualFileSystem &Files, StringInterner &Names,
                driver::CompilerOptions Options,
                const std::vector<std::string> &Roots, bool Run, bool Dump,
-               bool EmitObjects, bool Stats, bool CacheStats) {
+               bool EmitObjects, bool Stats, bool CacheStats,
+               const TierFlags &Tiering) {
   build::BuildSession Session(Files, Names, std::move(Options));
   build::BuildResult R = Session.build(Roots);
   std::fputs(R.DiagnosticText.c_str(), stderr);
@@ -148,8 +173,11 @@ int runProject(VirtualFileSystem &Files, StringInterner &Names,
     return 1;
   }
   vm::VM Machine(Program, Names);
+  Tiering.apply(Machine);
   vm::VM::RunResult Result = Machine.run(Names.intern(Roots.back()));
   std::fputs(Result.Output.c_str(), stdout);
+  if (Stats)
+    printCounters("vm", vm::globalVmStats().snapshot());
   if (Result.Trapped) {
     std::fprintf(stderr, "runtime trap: %s\n", Result.TrapMessage.c_str());
     return 1;
@@ -236,7 +264,7 @@ int runServe(VirtualFileSystem &Files, StringInterner &Names,
 int runRemote(StringInterner &Names, const std::string &Address,
               const std::vector<std::string> &Roots, uint32_t DeadlineMs,
               opt::OptLevel Level, bool Push, bool Run, bool Dump,
-              bool EmitObjects, bool Stats) {
+              bool EmitObjects, bool Stats, const TierFlags &Tiering) {
   std::string Err;
   int Exit = 0;
   std::unique_ptr<net::RemoteClient> Client = net::RemoteClient::open(Address, Err);
@@ -324,8 +352,11 @@ int runRemote(StringInterner &Names, const std::string &Address,
         return 1;
       }
       vm::VM Machine(Program, Names);
+      Tiering.apply(Machine);
       vm::VM::RunResult RunResult = Machine.run(Names.intern(Roots.back()));
       std::fputs(RunResult.Output.c_str(), stdout);
+      if (Stats)
+        printCounters("vm", vm::globalVmStats().snapshot());
       if (RunResult.Trapped) {
         std::fprintf(stderr, "runtime trap: %s\n",
                      RunResult.TrapMessage.c_str());
@@ -357,6 +388,7 @@ int main(int Argc, char **Argv) {
   bool Stats = false, NoPush = false;
   unsigned ServeClients = 0;
   unsigned DeadlineMs = 0;
+  TierFlags Tiering;
   std::string CacheDir, RemoteAddr;
   std::vector<std::string> Modules;
 
@@ -392,6 +424,19 @@ int main(int Argc, char **Argv) {
       Trace = true;
     } else if (Arg == "-run") {
       Run = true;
+    } else if (Arg == "-tier0") {
+      Tiering.Override = true;
+      Tiering.Policy.Mode = vm::tier::TierMode::Tier0Only;
+    } else if (Arg == "-tier1") {
+      Tiering.Override = true;
+      Tiering.Policy.Mode = vm::tier::TierMode::ForceTier1;
+    } else if (Arg == "-tier-threshold" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V <= 0)
+        return usage();
+      Tiering.Override = true;
+      Tiering.Policy.InvocationThreshold = static_cast<uint32_t>(V);
+      Tiering.Policy.BackedgeThreshold = 4u * static_cast<uint32_t>(V);
     } else if (Arg == "-dump") {
       Dump = true;
     } else if (Arg == "-c") {
@@ -431,7 +476,8 @@ int main(int Argc, char **Argv) {
       return usage();
     StringInterner RemoteNames;
     return runRemote(RemoteNames, RemoteAddr, Modules, DeadlineMs,
-                     Options.Level, !NoPush, Run, Dump, EmitObjects, Stats);
+                     Options.Level, !NoPush, Run, Dump, EmitObjects, Stats,
+                     Tiering);
   }
   if (DeadlineMs || NoPush) {
     std::fprintf(stderr, "-deadline/-no-push require -remote\n");
@@ -479,7 +525,7 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     return runProject(Files, Names, std::move(Options), Modules, Run, Dump,
-                      EmitObjects, Stats, CacheStats);
+                      EmitObjects, Stats, CacheStats, Tiering);
   }
 
   vm::Program Program(Names);
@@ -566,8 +612,11 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   vm::VM Machine(Program);
+  Tiering.apply(Machine);
   vm::VM::RunResult Result = Machine.run(Names.intern(RunModule));
   std::fputs(Result.Output.c_str(), stdout);
+  if (Stats)
+    printCounters("vm", vm::globalVmStats().snapshot());
   if (Result.Trapped) {
     std::fprintf(stderr, "runtime trap: %s\n", Result.TrapMessage.c_str());
     return 1;

@@ -41,6 +41,7 @@ LinkedProgram Linker::link() {
       LinkedUnit LU;
       LU.Unit = &U;
       LU.ModuleIndex = static_cast<int32_t>(M);
+      LU.SelfIndex = static_cast<int32_t>(P.Units.size());
       P.Units.push_back(std::move(LU));
       if (!P.UnitByName
                .emplace(Key, static_cast<int32_t>(P.Units.size() - 1))
@@ -52,7 +53,8 @@ LinkedProgram Linker::link() {
   // Validate units before resolving: images may come from .mco files on
   // disk, so every operand that indexes a per-unit table or the frame
   // must be checked once here instead of trusted at execution time.
-  for (const LinkedUnit &LU : P.Units) {
+  // The same walk counts backward jumps (LinkedUnit::BackedgeCount).
+  for (LinkedUnit &LU : P.Units) {
     const CodeUnit &U = *LU.Unit;
     if (U.Params.size() > U.FrameSize)
       P.Errors.push_back("unit '" + U.QualifiedName +
@@ -98,6 +100,8 @@ LinkedProgram Linker::link() {
       case Opcode::JumpIfTrue:
         if (In.A < 0 || In.A > static_cast<int64_t>(U.Code.size()))
           Bad(Pc, "jump target out of range");
+        else if (In.A <= static_cast<int64_t>(Pc))
+          ++LU.BackedgeCount;
         break;
       default:
         break;

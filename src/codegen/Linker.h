@@ -34,6 +34,15 @@ namespace m2c::codegen {
 struct LinkedUnit {
   const CodeUnit *Unit = nullptr;
   int32_t ModuleIndex = -1;
+  /// This unit's own index in LinkedProgram::units(); execution tiers
+  /// stamp it on derived per-unit artifacts (vm tier-1 code) without an
+  /// O(units) search.
+  int32_t SelfIndex = -1;
+  /// Backward jumps in the unit's code, counted during link-time operand
+  /// validation.  Zero means the unit is loop-free: the VM's tier
+  /// manager promotes such units on a lower invocation threshold since
+  /// no on-stack replacement point can ever rescue a running activation.
+  uint32_t BackedgeCount = 0;
   std::vector<int32_t> Callees; ///< Linked unit index per CalleeRef.
   struct GlobalSlot {
     int32_t ModuleIndex;

@@ -8,6 +8,7 @@
 #include "daemon/Daemon.h"
 
 #include "codegen/ObjectFile.h"
+#include "vm/VmStats.h"
 
 using namespace m2c;
 using namespace m2c::daemon;
@@ -101,6 +102,10 @@ void Daemon::stop() {
 std::map<std::string, uint64_t> Daemon::statsSnapshot() {
   std::map<std::string, uint64_t> Merged = Service.statsSnapshot();
   for (const auto &[Name, Value] : NetStats.snapshot())
+    Merged[Name] += Value;
+  // The execution-tier counters (vm.*): present even when the daemon
+  // never ran a program, so clients always see the full key set.
+  for (const auto &[Name, Value] : vm::globalVmStats().snapshot())
     Merged[Name] += Value;
   return Merged;
 }

@@ -1,4 +1,4 @@
-//===--- VM.cpp - MCode linker and interpreter -----------------------------===//
+//===--- VM.cpp - MCode interpreter: tier 0 and the tier trampoline --------===//
 //
 // Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
 // "A Concurrent Compiler for Modula-2+" (PLDI 1992).
@@ -8,16 +8,19 @@
 #include "vm/VM.h"
 
 #include "sema/Builtins.h"
+#include "vm/ExecInternal.h"
+#include "vm/VmStats.h"
+#include "vm/tier/TierManager.h"
 
 #include <cassert>
 #include <cinttypes>
 #include <cstdio>
-#include <deque>
 #include <functional>
 
 using namespace m2c;
 using namespace m2c::codegen;
 using namespace m2c::vm;
+using namespace m2c::vm::detail;
 
 //===----------------------------------------------------------------------===//
 // VM
@@ -32,11 +35,26 @@ VM::VM(const codegen::LinkedProgram &Prog, const StringInterner &Names)
       (*Frame)[I] = defaultValue(Image.Descs, Image.GlobalDescs[I]);
     Globals.push_back(std::move(Frame));
   }
+  setTierPolicy(tier::TierPolicy::fromEnv());
 }
+
+VM::~VM() = default;
 
 void VM::setInput(std::vector<int64_t> In) {
   Input = std::move(In);
   InputPos = 0;
+}
+
+void VM::setTierPolicy(const tier::TierPolicy &Policy) {
+  if (Policy.Mode == tier::TierMode::Tier0Only)
+    Tier.reset();
+  else
+    Tier = std::make_shared<tier::TierManager>(Prog, Policy);
+}
+
+void VM::setTierManager(std::shared_ptr<tier::TierManager> Manager) {
+  assert(!Manager || &Manager->program() == &Prog);
+  Tier = std::move(Manager);
 }
 
 Value VM::defaultValue(const std::vector<TypeDesc> &Descs,
@@ -122,9 +140,32 @@ void VM::trap(RunResult &Result, const std::string &Message) {
   Result.ExitCode = 255;
 }
 
+void VM::failAt(RunResult &Result, const Frame &F, size_t Pc,
+                const std::string &Message) {
+  trap(Result, F.Unit->Unit->QualifiedName + " +" + std::to_string(Pc) + ": " +
+                   Message);
+}
+
 VM::RunResult VM::run(Symbol MainModule, uint64_t MaxSteps) {
   RunResult Result;
   uint64_t Steps = 0;
+  // Flush the per-run tier counters into the process-global vm.* set on
+  // every exit path (local structs in member functions share the member
+  // access of the enclosing function).
+  struct StatsFlush {
+    VM &V;
+    ~StatsFlush() {
+      StatisticSet &S = globalVmStats();
+      S.add("vm.runs");
+      S.add("vm.steps.tier0", V.Tier0Steps);
+      S.add("vm.steps.tier1", V.Tier1Steps);
+      S.add("vm.dispatch.tier1", V.Tier1Dispatches);
+      S.add("vm.tier.osr.entries", V.OsrEntries);
+      S.add("vm.tier.deopts", V.Deopts);
+      V.Tier0Steps = V.Tier1Steps = V.Tier1Dispatches = 0;
+      V.Deopts = V.OsrEntries = 0;
+    }
+  } Flusher{*this};
   // Initialize imported modules first, then the main module's body last.
   int32_t MainIndex = -1;
   for (int32_t M : Prog.initOrder())
@@ -160,96 +201,196 @@ VM::RunResult VM::run(Symbol MainModule, uint64_t MaxSteps) {
 }
 
 //===----------------------------------------------------------------------===//
-// Interpreter
+// Tier trampoline
+//===----------------------------------------------------------------------===//
+
+VM::Frame &VM::pushFrame(Exec &E, int32_t UnitIndex, Frame *StaticLink,
+                         size_t ReturnPc, int32_t ReturnUnit) {
+  const Program::LinkedUnit &LU = Prog.units()[static_cast<size_t>(UnitIndex)];
+  E.Frames.emplace_back();
+  Frame &F = E.Frames.back();
+  F.Unit = &LU;
+  F.Slots.resize(LU.Unit->FrameSize);
+  F.StaticLink = StaticLink;
+  F.ReturnPc = ReturnPc;
+  F.ReturnUnit = ReturnUnit;
+  F.StackBase = E.Stack.size();
+  return F;
+}
+
+void VM::bindArgs(Exec &E, Frame &Callee, size_t ArgBase) {
+  const CodeUnit &U = *Callee.Unit->Unit;
+  for (size_t I = 0; I < U.Params.size(); ++I) {
+    Value &Arg = E.Stack[ArgBase + I];
+    const ParamDesc &P = U.Params[I];
+    if (P.IsVar) {
+      Callee.Slots[I] = std::move(Arg); // an Address
+    } else if (P.IsAggregate) {
+      if (const auto *Str = std::get_if<StrRef>(&Arg))
+        Callee.Slots[I] = stringToArray(Str->Str, -1);
+      else
+        Callee.Slots[I] = deepCopy(Arg);
+    } else {
+      Callee.Slots[I] = std::move(Arg);
+    }
+  }
+  E.Stack.resize(ArgBase);
+  Callee.StackBase = E.Stack.size();
+}
+
+bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
+                     uint64_t MaxSteps) {
+  Exec E;
+  E.CurUnit = EntryUnit;
+  E.Pc = 0;
+  pushFrame(E, EntryUnit, nullptr, 0, -1);
+  if (Tier)
+    Tier->noteInvocation(EntryUnit);
+
+  // Trampoline: each tier runs until it finishes, traps, or reaches a
+  // boundary the other tier should take over.
+  bool SkipTier1 = false;
+  while (true) {
+    const tier::TierUnit *TU = nullptr;
+    if (Tier && !SkipTier1) {
+      TU = Tier->installed(E.CurUnit);
+      if (TU && !(E.Pc < TU->PcMapSize && TU->PcMap[E.Pc] >= 0))
+        TU = nullptr; // Pc interior to a fused group: only tier 0 can run.
+    }
+    SkipTier1 = false;
+    Flow F = TU ? runTier1(E, TU, Result, Steps, MaxSteps)
+                : runTier0(E, Result, Steps, MaxSteps);
+    switch (F) {
+    case Flow::Done:
+      return true;
+    case Flow::Trapped:
+      return false;
+    case Flow::Switch:
+      break;
+    case Flow::Deopt:
+      // Tier 1 stopped in front of a fused group that would cross the
+      // step budget.  Tier 0 replays from the group head; skipping tier 1
+      // once guarantees forward progress (tier 0 consumes at least one
+      // step before any switch back).
+      SkipTier1 = true;
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins (shared by both tiers)
+//===----------------------------------------------------------------------===//
+
+bool VM::callBuiltin(Exec &E, RunResult &Result, int64_t Builtin,
+                     size_t TrapPc) {
+  auto &Stack = E.Stack;
+  auto Pop = [&]() {
+    Value V = std::move(Stack.back());
+    Stack.pop_back();
+    return V;
+  };
+  auto Fail = [&](const std::string &Message) {
+    failAt(Result, E.Frames.back(), TrapPc, Message);
+    return false;
+  };
+  switch (static_cast<sema::BuiltinProc>(Builtin)) {
+  case sema::BuiltinProc::WriteInt:
+  case sema::BuiltinProc::WriteCard: {
+    int64_t Width = asOrdinal(Pop());
+    int64_t V = asOrdinal(Pop());
+    appendPadded(Result.Output, std::to_string(V), Width);
+    break;
+  }
+  case sema::BuiltinProc::WriteReal: {
+    int64_t Width = asOrdinal(Pop());
+    double V = asReal(Pop());
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%g", V);
+    appendPadded(Result.Output, Buf, Width);
+    break;
+  }
+  case sema::BuiltinProc::WriteChar:
+    Result.Output.push_back(static_cast<char>(asOrdinal(Pop())));
+    break;
+  case sema::BuiltinProc::WriteLn:
+    Result.Output.push_back('\n');
+    break;
+  case sema::BuiltinProc::WriteString: {
+    Value V = Pop();
+    if (const auto *Str = std::get_if<StrRef>(&V)) {
+      Result.Output += Names.spelling(Str->Str);
+    } else if (const auto *Agg = std::get_if<AggRef>(&V)) {
+      for (const Value &Ch : Agg->Obj->Slots) {
+        int64_t C = asOrdinal(Ch);
+        if (C == 0)
+          break;
+        Result.Output.push_back(static_cast<char>(C));
+      }
+    } else {
+      Result.Output.push_back(static_cast<char>(asOrdinal(V)));
+    }
+    break;
+  }
+  case sema::BuiltinProc::ReadInt: {
+    Value AddrV = Pop();
+    const auto *Addr = std::get_if<Address>(&AddrV);
+    if (!Addr)
+      return Fail("ReadInt of a non-address");
+    int64_t V = InputPos < Input.size() ? Input[InputPos++] : 0;
+    Addr->slot() = Value(V);
+    break;
+  }
+  default:
+    return Fail("unexpected builtin call");
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Tier 0: the switch interpreter (with profiling hooks)
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-/// Ordinal-ish view of a value (ints, bools, chars, enum ordinals, sets
-/// compare as their bit patterns; uninitialized slots read as zero).
-int64_t asOrdinal(const Value &V) {
-  if (const auto *I = std::get_if<int64_t>(&V))
-    return *I;
-  if (const auto *S = std::get_if<SetVal>(&V))
-    return static_cast<int64_t>(S->Bits);
-  return 0;
-}
-
-double asReal(const Value &V) {
-  if (const auto *R = std::get_if<double>(&V))
-    return *R;
-  return static_cast<double>(asOrdinal(V));
-}
-
-uint64_t asSet(const Value &V) {
-  if (const auto *S = std::get_if<SetVal>(&V))
-    return S->Bits;
-  return static_cast<uint64_t>(asOrdinal(V));
-}
-
-void appendPadded(std::string &Out, const std::string &Text, int64_t Width) {
-  for (int64_t I = static_cast<int64_t>(Text.size()); I < Width; ++I)
-    Out.push_back(' ');
-  Out += Text;
-}
+/// Accumulates the steps a tier loop executed into a per-tier counter on
+/// every exit path.
+struct StepAccount {
+  uint64_t &Dst;
+  const uint64_t &Steps;
+  uint64_t Entry;
+  StepAccount(uint64_t &Dst, const uint64_t &Steps)
+      : Dst(Dst), Steps(Steps), Entry(Steps) {}
+  ~StepAccount() { Dst += Steps - Entry; }
+};
 
 } // namespace
 
-bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
-                     uint64_t MaxSteps) {
-  std::vector<Value> Stack;
-  std::deque<Frame> Frames;
-
-  auto PushFrame = [&](int32_t UnitIndex, Frame *StaticLink, size_t ReturnPc,
-                       int32_t ReturnUnit) -> Frame & {
-    const Program::LinkedUnit &LU =
-        Prog.units()[static_cast<size_t>(UnitIndex)];
-    Frames.emplace_back();
-    Frame &F = Frames.back();
-    F.Unit = &LU;
-    F.Slots.resize(LU.Unit->FrameSize);
-    F.StaticLink = StaticLink;
-    F.ReturnPc = ReturnPc;
-    F.ReturnUnit = ReturnUnit;
-    F.StackBase = Stack.size();
-    return F;
-  };
-
-  int32_t CurUnit = EntryUnit;
-  size_t Pc = 0;
-  PushFrame(EntryUnit, nullptr, 0, -1);
+VM::Flow VM::runTier0(Exec &E, RunResult &Result, uint64_t &Steps,
+                      uint64_t MaxSteps) {
+  auto &Stack = E.Stack;
+  auto &Frames = E.Frames;
+  int32_t &CurUnit = E.CurUnit;
+  size_t &Pc = E.Pc;
+  StepAccount Account(Tier0Steps, Steps);
 
   auto Fail = [&](const std::string &Message) {
-    trap(Result, Frames.back().Unit->Unit->QualifiedName + " +" +
-                     std::to_string(Pc) + ": " + Message);
-    return false;
+    failAt(Result, Frames.back(), Pc, Message);
+    return Flow::Trapped;
   };
   auto Pop = [&]() {
     Value V = std::move(Stack.back());
     Stack.pop_back();
     return V;
   };
-
-  /// Binds arguments into a fresh callee frame; ArgBase is the stack
-  /// offset of the first argument.
-  auto BindArgs = [&](Frame &Callee, size_t ArgBase) {
-    const CodeUnit &U = *Callee.Unit->Unit;
-    for (size_t I = 0; I < U.Params.size(); ++I) {
-      Value &Arg = Stack[ArgBase + I];
-      const ParamDesc &P = U.Params[I];
-      if (P.IsVar) {
-        Callee.Slots[I] = std::move(Arg); // an Address
-      } else if (P.IsAggregate) {
-        if (const auto *Str = std::get_if<StrRef>(&Arg))
-          Callee.Slots[I] = stringToArray(Str->Str, -1);
-        else
-          Callee.Slots[I] = deepCopy(Arg);
-      } else {
-        Callee.Slots[I] = std::move(Arg);
-      }
-    }
-    Stack.resize(ArgBase);
-    Callee.StackBase = Stack.size();
+  // True when tier-1 code is installed for \p Unit and maps \p At as an
+  // entry point; every such boundary hands control back to the
+  // trampoline.
+  auto WantTier1 = [&](int32_t Unit, size_t At) {
+    if (!Tier)
+      return false;
+    const tier::TierUnit *TU = Tier->installed(Unit);
+    return TU && At < TU->PcMapSize && TU->PcMap[At] >= 0;
   };
 
   while (true) {
@@ -634,16 +775,27 @@ bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
       break;
 
     case Opcode::Jump:
-      Pc = static_cast<size_t>(In.A);
-      break;
     case Opcode::JumpIfFalse:
-      if (asOrdinal(Pop()) == 0)
-        Pc = static_cast<size_t>(In.A);
+    case Opcode::JumpIfTrue: {
+      if (In.Op == Opcode::JumpIfFalse && asOrdinal(Pop()) != 0)
+        break;
+      if (In.Op == Opcode::JumpIfTrue && asOrdinal(Pop()) == 0)
+        break;
+      // Pc is already past the jump, so a backward target compares below
+      // it (same condition the linker uses for BackedgeCount).
+      bool Backward = In.A < static_cast<int64_t>(Pc);
+      Pc = static_cast<size_t>(In.A);
+      if (Backward && Tier) {
+        Tier->noteBackedge(CurUnit);
+        // On-stack replacement: enter installed tier-1 code at the loop
+        // head of an already-running activation.
+        if (WantTier1(CurUnit, Pc)) {
+          ++OsrEntries;
+          return Flow::Switch;
+        }
+      }
       break;
-    case Opcode::JumpIfTrue:
-      if (asOrdinal(Pop()) != 0)
-        Pc = static_cast<size_t>(In.A);
-      break;
+    }
 
     case Opcode::Call: {
       int32_t Target = F.Unit->Callees[static_cast<size_t>(In.A)];
@@ -664,10 +816,15 @@ bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
         return Fail("call to '" + Callee.QualifiedName +
                     "' with too few arguments on the stack");
       size_t ArgBase = Stack.size() - Callee.Params.size();
-      Frame &NF = PushFrame(Target, StaticLink, Pc, CurUnit);
-      BindArgs(NF, ArgBase);
+      Frame &NF = pushFrame(E, Target, StaticLink, Pc, CurUnit);
+      bindArgs(E, NF, ArgBase);
       CurUnit = Target;
       Pc = 0;
+      if (Tier) {
+        Tier->noteInvocation(Target);
+        if (Tier->installed(Target))
+          return Flow::Switch; // Pc 0 always heads a group.
+      }
       break;
     }
     case Opcode::CallIndirect: {
@@ -682,10 +839,15 @@ bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
       // Remove the procedure value from under the arguments.
       Stack.erase(Stack.begin() + static_cast<ptrdiff_t>(ProcPos));
       size_t ArgBase = Stack.size() - Argc;
-      Frame &NF = PushFrame(Target, nullptr, Pc, CurUnit);
-      BindArgs(NF, ArgBase);
+      Frame &NF = pushFrame(E, Target, nullptr, Pc, CurUnit);
+      bindArgs(E, NF, ArgBase);
       CurUnit = Target;
       Pc = 0;
+      if (Tier) {
+        Tier->noteInvocation(Target);
+        if (Tier->installed(Target))
+          return Flow::Switch;
+      }
       break;
     }
 
@@ -699,68 +861,20 @@ bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
       int32_t ReturnUnit = F.ReturnUnit;
       Frames.pop_back();
       if (Frames.empty())
-        return true; // Entry unit finished.
+        return Flow::Done; // Entry unit finished.
       if (In.Op == Opcode::ReturnValue)
         Stack.push_back(std::move(Ret));
       CurUnit = ReturnUnit;
       Pc = ReturnPc;
+      if (WantTier1(CurUnit, Pc))
+        return Flow::Switch; // Resume the caller in tier 1.
       break;
     }
 
-    case Opcode::CallBuiltin: {
-      auto Builtin = static_cast<sema::BuiltinProc>(In.A);
-      switch (Builtin) {
-      case sema::BuiltinProc::WriteInt:
-      case sema::BuiltinProc::WriteCard: {
-        int64_t Width = asOrdinal(Pop());
-        int64_t V = asOrdinal(Pop());
-        appendPadded(Result.Output, std::to_string(V), Width);
-        break;
-      }
-      case sema::BuiltinProc::WriteReal: {
-        int64_t Width = asOrdinal(Pop());
-        double V = asReal(Pop());
-        char Buf[64];
-        std::snprintf(Buf, sizeof(Buf), "%g", V);
-        appendPadded(Result.Output, Buf, Width);
-        break;
-      }
-      case sema::BuiltinProc::WriteChar:
-        Result.Output.push_back(static_cast<char>(asOrdinal(Pop())));
-        break;
-      case sema::BuiltinProc::WriteLn:
-        Result.Output.push_back('\n');
-        break;
-      case sema::BuiltinProc::WriteString: {
-        Value V = Pop();
-        if (const auto *Str = std::get_if<StrRef>(&V)) {
-          Result.Output += Names.spelling(Str->Str);
-        } else if (const auto *Agg = std::get_if<AggRef>(&V)) {
-          for (const Value &Ch : Agg->Obj->Slots) {
-            int64_t C = asOrdinal(Ch);
-            if (C == 0)
-              break;
-            Result.Output.push_back(static_cast<char>(C));
-          }
-        } else {
-          Result.Output.push_back(static_cast<char>(asOrdinal(V)));
-        }
-        break;
-      }
-      case sema::BuiltinProc::ReadInt: {
-        Value AddrV = Pop();
-        const auto *Addr = std::get_if<Address>(&AddrV);
-        if (!Addr)
-          return Fail("ReadInt of a non-address");
-        int64_t V = InputPos < Input.size() ? Input[InputPos++] : 0;
-        Addr->slot() = Value(V);
-        break;
-      }
-      default:
-        return Fail("unexpected builtin call");
-      }
+    case Opcode::CallBuiltin:
+      if (!callBuiltin(E, Result, In.A, Pc))
+        return Flow::Trapped;
       break;
-    }
 
     case Opcode::CheckRange: {
       int64_t V = asOrdinal(Stack.back());
@@ -791,7 +905,7 @@ bool VM::executeUnit(int32_t EntryUnit, RunResult &Result, uint64_t &Steps,
       break;
     case Opcode::Halt:
       Result.ExitCode = In.A;
-      return true;
+      return Flow::Done;
     case Opcode::Trap:
       switch (In.A) {
       case 1:

@@ -22,10 +22,17 @@
 #include "vm/Value.h"
 
 #include <cassert>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace m2c::vm {
+
+namespace tier {
+class TierManager;
+struct TierPolicy;
+struct TierUnit;
+} // namespace tier
 
 /// A set of module images linked into a runnable program.  Thin wrapper
 /// over codegen::Linker kept for the add-then-link call style the
@@ -73,13 +80,22 @@ private:
 };
 
 /// Interprets a linked Program.
+///
+/// Execution is tiered (see vm/tier/): tier 0 is the switch interpreter
+/// below, which also counts invocations and loop backedges per unit; hot
+/// units are translated concurrently into pre-decoded threaded code (tier
+/// 1) and entered at calls, returns and loop backedges once installed.
+/// Observable behavior — output, exit code, trap points and messages, and
+/// MaxSteps accounting — is identical across tiers.
 class VM {
 public:
   explicit VM(const Program &Prog) : VM(Prog.linked(), Prog.names()) {}
 
   /// Interprets a LinkedProgram produced directly by codegen::Linker
-  /// (e.g. from a build session's images).
+  /// (e.g. from a build session's images).  Tiering policy comes from the
+  /// environment (M2C_VM_TIER, M2C_TIER_THRESHOLD) unless overridden.
   VM(const codegen::LinkedProgram &Prog, const StringInterner &Names);
+  ~VM();
 
   struct RunResult {
     std::string Output;
@@ -91,6 +107,16 @@ public:
   /// Supplies values for ReadInt calls (consumed in order; exhausted
   /// reads yield 0).
   void setInput(std::vector<int64_t> Input);
+
+  /// Replaces the tiering policy (and the TierManager implementing it).
+  /// Tier0Only drops the manager entirely.  Call before run().
+  void setTierPolicy(const tier::TierPolicy &Policy);
+
+  /// Adopts an existing (possibly shared, already warm) TierManager for
+  /// the same LinkedProgram.  Benchmarks use this to measure steady-state
+  /// tier-1 execution across fresh VM instances.
+  void setTierManager(std::shared_ptr<tier::TierManager> Manager);
+  tier::TierManager *tierManager() const { return Tier.get(); }
 
   /// Initializes every module (imports first) and runs \p MainModule's
   /// body.  \p MaxSteps bounds execution for tests.
@@ -106,6 +132,18 @@ private:
     size_t StackBase = 0;
   };
 
+  /// Execution state of one executeUnit() activation; defined in
+  /// ExecInternal.h, shared by both tier loops.
+  struct Exec;
+
+  /// How a tier loop handed control back to the trampoline.
+  enum class Flow : uint8_t {
+    Done,    ///< Entry unit finished (or Halt).
+    Trapped, ///< RunResult carries the trap.
+    Switch,  ///< Tier boundary: resume the other tier at (CurUnit, Pc).
+    Deopt,   ///< Tier 1 stopped before a fused group; tier 0 must replay.
+  };
+
   Value defaultValue(const std::vector<codegen::TypeDesc> &Descs,
                      int32_t Index) const;
   Value deepCopy(const Value &V) const;
@@ -115,8 +153,30 @@ private:
   /// \p Length (padded with 0C); Length < 0 uses the string length.
   Value stringToArray(Symbol S, int64_t Length) const;
 
+  /// Pushes a fresh frame for \p UnitIndex onto E.Frames.
+  Frame &pushFrame(Exec &E, int32_t UnitIndex, Frame *StaticLink,
+                   size_t ReturnPc, int32_t ReturnUnit);
+  /// Binds call arguments into a fresh callee frame; ArgBase is the stack
+  /// offset of the first argument.
+  void bindArgs(Exec &E, Frame &Callee, size_t ArgBase);
+  /// Executes one CallBuiltin.  On trap, records it against \p TrapPc and
+  /// returns false.  Shared by both tiers.
+  bool callBuiltin(Exec &E, RunResult &Result, int64_t Builtin, size_t TrapPc);
+  /// Records a trap at tier-0 pc \p Pc of \p F's unit.
+  void failAt(RunResult &Result, const Frame &F, size_t Pc,
+              const std::string &Message);
+
   bool executeUnit(int32_t UnitIndex, RunResult &Result, uint64_t &Steps,
                    uint64_t MaxSteps);
+  /// The tier-0 switch interpreter; runs until done/trap or a tier-switch
+  /// boundary (call, return, taken backward jump) with tier-1 installed.
+  Flow runTier0(Exec &E, RunResult &Result, uint64_t &Steps,
+                uint64_t MaxSteps);
+  /// The tier-1 threaded-code dispatcher (Tier1Exec.cpp); entered at a pc
+  /// mapped by \p Entry, runs until done/trap, an unpromoted boundary, or
+  /// a step-budget deopt.
+  Flow runTier1(Exec &E, const tier::TierUnit *Entry, RunResult &Result,
+                uint64_t &Steps, uint64_t MaxSteps);
   void trap(RunResult &Result, const std::string &Message);
 
   const codegen::LinkedProgram &Prog;
@@ -124,6 +184,14 @@ private:
   std::vector<std::unique_ptr<std::vector<Value>>> Globals; ///< Per module.
   std::vector<int64_t> Input;
   size_t InputPos = 0;
+
+  std::shared_ptr<tier::TierManager> Tier; ///< Null in Tier0Only mode.
+  /// Per-run counters, flushed into globalVmStats() at the end of run().
+  uint64_t Tier0Steps = 0;
+  uint64_t Tier1Steps = 0;
+  uint64_t Tier1Dispatches = 0;
+  uint64_t Deopts = 0;
+  uint64_t OsrEntries = 0;
 };
 
 } // namespace m2c::vm

@@ -1,0 +1,37 @@
+//===--- Translator.h - MCode to tier-1 translation -------------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates one linked code unit into a tier-1 TierUnit: operands are
+/// pre-resolved (strings, callees, globals, jump targets), and hot
+/// trap-free instruction groups are fused into superinstructions.  The
+/// translator reads only immutable LinkedProgram data and allocates only
+/// from the (thread-safe) CodeArena, so promotions may run concurrently
+/// with each other and with the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_VM_TIER_TRANSLATOR_H
+#define M2C_VM_TIER_TRANSLATOR_H
+
+#include "vm/tier/TierUnit.h"
+
+namespace m2c::vm::tier {
+
+class CodeArena;
+
+/// Translates unit \p UnitIndex of \p Prog.  Returns an arena-allocated
+/// TierUnit, or null when the unit's shape defeats translation (out of
+/// range jump targets, oversized code — cannot happen for
+/// linker-validated programs); a null result simply leaves the unit
+/// interpreting forever.
+const TierUnit *translateUnit(const codegen::LinkedProgram &Prog,
+                              int32_t UnitIndex, CodeArena &Arena);
+
+} // namespace m2c::vm::tier
+
+#endif // M2C_VM_TIER_TRANSLATOR_H

@@ -471,6 +471,88 @@ WorkloadGenerator::generateRequestSet(const RequestSetSpec &Spec) {
   return Info;
 }
 
+GeneratedModule WorkloadGenerator::generateCompute(const ComputeSpec &Spec) {
+  Rng R(Spec.Seed);
+  GeneratedModule Info;
+  Info.Name = Spec.Name;
+  const unsigned Leaves = std::max(1u, Spec.LeafProcs);
+  const unsigned Fan = std::max(1u, Spec.Fan);
+
+  std::ostringstream OS;
+  OS << "MODULE " << Spec.Name << ";\n"
+     << "VAR total, k: INTEGER;\n";
+
+  //===--- Leaf procedures (the hot ones) ----------------------------------===//
+  // The inner-loop bodies are all local-variable integer arithmetic —
+  // LoadLocal/LoadLocal/binop/StoreLocal sequences — so tier 1 fuses
+  // them, and the loop itself supplies the backedges that drive
+  // promotion.  Everything stays in INTEGER with MOD bounds, so the
+  // result (and therefore the program output) is tier-independent.
+  for (unsigned L = 0; L < Leaves; ++L) {
+    OS << "PROCEDURE L" << L << "(a, b: INTEGER): INTEGER;\n"
+       << "VAR i, t, acc: INTEGER;\nBEGIN\n"
+       << "  acc := a MOD " << R.range(7, 31) << "; t := b;\n"
+       << "  FOR i := 0 TO " << Spec.InnerIters << " DO\n";
+    switch (R.range(0, 2)) {
+    case 0:
+      OS << "    acc := acc + i; t := t + acc\n";
+      break;
+    case 1:
+      OS << "    acc := acc + i + t; t := t + " << R.range(1, 5) << "\n";
+      break;
+    case 2:
+      OS << "    t := t + i; acc := acc + t; acc := acc - i\n";
+      break;
+    }
+    OS << "  END;\n"
+       << "  WHILE t > " << R.range(1, 9)
+       << " DO t := t DIV 2; INC(acc) END;\n"
+       << "  RETURN acc + t\nEND L" << L << ";\n";
+  }
+
+  //===--- Chain levels, bottom-up -----------------------------------------===//
+  // Level Depth-1 calls leaves; level d calls level d+1; the module body
+  // calls level 0.  Bottom-up emission keeps declare-before-use.  MOD
+  // lives only here (it is not fusable and bounds the values), leaving
+  // the leaves' loops maximally fusable.
+  auto Proc = [](unsigned Level, unsigned K) {
+    return "P" + std::to_string(Level) + "_" + std::to_string(K);
+  };
+  for (unsigned D = Spec.Depth; D-- > 0;) {
+    for (unsigned K = 0; K < Fan; ++K) {
+      OS << "PROCEDURE " << Proc(D, K) << "(a, b: INTEGER): INTEGER;\n"
+         << "VAR j, r: INTEGER;\nBEGIN\n"
+         << "  r := a MOD 1009;\n"
+         << "  FOR j := 0 TO " << Fan - 1 << " DO\n";
+      if (D + 1 < Spec.Depth)
+        OS << "    r := r + " << Proc(D + 1, R.range(0, Fan - 1))
+           << "(r + j, b)\n";
+      else
+        OS << "    r := r + L" << R.range(0, Leaves - 1) << "(r + j, b)\n";
+      OS << "  END;\n"
+         << "  RETURN r MOD 100003\nEND " << Proc(D, K) << ";\n";
+    }
+  }
+
+  //===--- The driver loop --------------------------------------------------===//
+  OS << "BEGIN\n  total := 0;\n"
+     << "  FOR k := 1 TO " << Spec.OuterIters << " DO\n";
+  if (Spec.Depth)
+    OS << "    total := (total + " << Proc(0, R.range(0, Fan - 1))
+       << "(k, k + 1)) MOD 100003\n";
+  else
+    OS << "    total := (total + L" << R.range(0, Leaves - 1)
+       << "(k, k + 1)) MOD 100003\n";
+  OS << "  END;\n"
+     << "  WriteInt(total, 0); WriteLn\nEND " << Spec.Name << ".\n";
+
+  std::string Text = OS.str();
+  Info.ModuleBytes = Text.size();
+  Info.ProcedureCount = Leaves + Spec.Depth * Fan;
+  Files.addFile(Spec.Name + ".mod", Text);
+  return Info;
+}
+
 std::vector<ModuleSpec> WorkloadGenerator::paperSuite() {
   // Table 1 anchors: min / median / max of each attribute over the 37
   // programs.  Values between anchors interpolate geometrically, with

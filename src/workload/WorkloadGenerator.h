@@ -130,6 +130,29 @@ struct RequestSetSpec {
   uint32_t Seed = 17;
 };
 
+/// Parameters of one generated *compute-heavy* program: a single runnable
+/// module whose execution time dwarfs its compile time — deep call chain,
+/// hot integer inner loops, deterministic WriteInt output.  This is the
+/// VM-tiering workload: the inner loops lower to the
+/// load/load/binop/store shapes the tier-1 translator fuses, the leaf
+/// procedures cross the promotion thresholds within the first outer
+/// iterations, and the output depends only on the arithmetic, so it is
+/// byte-identical across execution tiers.
+struct ComputeSpec {
+  std::string Name = "Compute";
+  /// Call-chain depth between the module body and the leaf procedures.
+  unsigned Depth = 3;
+  /// Calls each chain level makes into the level below.
+  unsigned Fan = 2;
+  /// Leaf procedures (the hot ones).
+  unsigned LeafProcs = 6;
+  /// Iterations of each leaf's inner loop.
+  unsigned InnerIters = 64;
+  /// Iterations of the module body's driver loop.
+  unsigned OuterIters = 50;
+  uint32_t Seed = 7;
+};
+
 /// What generateRequestSet() produced.
 struct GeneratedRequestSet {
   /// One entry per request: the root modules to build (arrival order).
@@ -160,6 +183,11 @@ public:
   /// Generates overlapping projects and a request manifest over them
   /// (see RequestSetSpec).  Deterministic in the seed.
   GeneratedRequestSet generateRequestSet(const RequestSetSpec &Spec);
+
+  /// Generates Spec.Name.mod, a self-contained compute-heavy program
+  /// (see ComputeSpec).  Deterministic in the seed, output deterministic
+  /// in the spec — the VM-tiering benchmark and test workload.
+  GeneratedModule generateCompute(const ComputeSpec &Spec);
 
   /// The canned 37-program suite whose attribute distributions match the
   /// paper's Table 1 (min / median / max anchors, geometric in between).

@@ -7,6 +7,7 @@
 
 #include "driver/SequentialCompiler.h"
 #include "vm/VM.h"
+#include "vm/tier/TierManager.h"
 
 #include <gtest/gtest.h>
 
@@ -167,6 +168,40 @@ TEST(Vm, InfiniteLoopHitsStepLimit) {
   auto Run = Machine.run(F.Interner.intern("T"), /*MaxSteps=*/10'000);
   EXPECT_TRUE(Run.Trapped);
   EXPECT_NE(Run.TrapMessage.find("step limit"), std::string::npos);
+}
+
+// MaxSteps is part of the VM's observable surface, so it must not
+// depend on the execution tier: the same budget traps at the same point
+// with the same message whether the program interprets or runs
+// promoted.  (TieringTest sweeps every budget; this pins the contract
+// where the rest of the VM behavior is specified.)
+TEST(Vm, StepLimitIdenticalAcrossTiers) {
+  VmFixture F;
+  F.Files.addFile("T.mod",
+                  "MODULE T;\nVAR i, acc: INTEGER;\nBEGIN\n"
+                  "  acc := 0;\n"
+                  "  FOR i := 0 TO 50 DO acc := acc + i END;\n"
+                  "  WriteInt(acc, 0); WriteLn\nEND T.\n");
+  driver::SequentialCompiler C(F.Files, F.Interner);
+  auto R = C.compile("T");
+  ASSERT_TRUE(R.Success);
+  vm::Program Prog(F.Interner);
+  Prog.addImage(std::move(R.Image));
+  ASSERT_TRUE(Prog.link());
+  auto RunWith = [&](vm::tier::TierMode Mode, uint64_t MaxSteps) {
+    vm::tier::TierPolicy Policy;
+    Policy.Mode = Mode;
+    vm::VM Machine(Prog);
+    Machine.setTierPolicy(Policy);
+    return Machine.run(F.Interner.intern("T"), MaxSteps);
+  };
+  for (uint64_t Budget : {1u, 7u, 50u, 113u, 200u, 100'000u}) {
+    auto T0 = RunWith(vm::tier::TierMode::Tier0Only, Budget);
+    auto T1 = RunWith(vm::tier::TierMode::ForceTier1, Budget);
+    EXPECT_EQ(T0.Trapped, T1.Trapped) << "budget " << Budget;
+    EXPECT_EQ(T0.TrapMessage, T1.TrapMessage) << "budget " << Budget;
+    EXPECT_EQ(T0.Output, T1.Output) << "budget " << Budget;
+  }
 }
 
 TEST(Vm, VarParametersAliasCaller) {
