@@ -47,6 +47,14 @@
 //                    no modules, just prints the daemon's counters.
 //     -deadline MS   remote mode: per-request deadline in milliseconds;
 //                    an expired request returns DEADLINE_EXCEEDED
+//     -retry N       remote mode: on transient failure (daemon absent,
+//                    connection lost, overload shed, drain, internal
+//                    error) reconnect and resend up to N times with
+//                    bounded exponential backoff.  Safe because BUILD
+//                    is idempotent (see net/RemoteClient.h).
+//     -retry-backoff MS
+//                    remote mode: initial backoff before the first
+//                    retry, doubled per attempt (default 100)
 //     -no-push       remote mode: trust the daemon's own workspace
 //                    instead of pushing local sources
 //     -stats         print per-session scheduler/cache/build counters
@@ -57,6 +65,15 @@
 // Module files are looked up as Module.mod / Module.def in the current
 // directory.  A positional argument ending in ".mco" is loaded as a
 // precompiled object instead of being compiled.
+//
+// Remote-mode exit codes distinguish failure classes for scripting:
+//   0  success (or the program's own exit code under -run)
+//   1  compile failed, or a local post-build step failed
+//   2  usage error
+//   3  daemon refused or aborted the request (overload, drain, internal)
+//   4  deadline expired or request cancelled
+//   5  nothing listening at ADDR (connect refused)
+//   6  transport or protocol failure (connection lost, bad frames)
 //
 //===----------------------------------------------------------------------===//
 
@@ -74,6 +91,7 @@
 #include "vm/tier/TierManager.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -92,7 +110,8 @@ int usage() {
                "[-O0|-O1|-O2] [-trace] [-run] [-tier0] [-tier1] "
                "[-tier-threshold N] [-dump] [-c] [-cache DIR] "
                "[-cache-stats] [-project] [-serve N] [-remote ADDR] "
-               "[-deadline MS] [-no-push] [-stats] Module...\n");
+               "[-deadline MS] [-retry N] [-retry-backoff MS] [-no-push] "
+               "[-stats] Module...\n");
   return 2;
 }
 
@@ -257,6 +276,25 @@ int runServe(VirtualFileSystem &Files, StringInterner &Names,
   return Failures.load() ? 1 : 0;
 }
 
+/// Maps a remote failure to the scriptable exit codes documented in the
+/// file header: 3 daemon refused/aborted, 4 deadline/cancelled, 5 nothing
+/// listening, 6 transport/protocol.
+int remoteExitCode(net::ErrorCategory Category) {
+  switch (Category) {
+  case net::ErrorCategory::Overload:
+  case net::ErrorCategory::Draining:
+  case net::ErrorCategory::Internal:
+    return 3;
+  case net::ErrorCategory::Deadline:
+  case net::ErrorCategory::Cancelled:
+    return 4;
+  case net::ErrorCategory::ConnectRefused:
+    return 5;
+  default:
+    return 6;
+  }
+}
+
 /// -remote: ship the build to a running m2cd (docs/PROTOCOL.md) and
 /// render the reply with the same surface as a local -project build —
 /// same diagnostics on stderr, same per-module lines, byte-identical
@@ -264,18 +302,14 @@ int runServe(VirtualFileSystem &Files, StringInterner &Names,
 int runRemote(StringInterner &Names, const std::string &Address,
               const std::vector<std::string> &Roots, uint32_t DeadlineMs,
               opt::OptLevel Level, bool Push, bool Run, bool Dump,
-              bool EmitObjects, bool Stats, const TierFlags &Tiering) {
+              bool EmitObjects, bool Stats, const TierFlags &Tiering,
+              unsigned Retries, unsigned BackoffMs) {
   std::string Err;
   int Exit = 0;
-  std::unique_ptr<net::RemoteClient> Client = net::RemoteClient::open(Address, Err);
-  if (!Client) {
-    std::fprintf(stderr, "m2c_cli: %s\n", Err.c_str());
-    return 1;
-  }
 
   if (!Roots.empty()) {
     net::BuildRequestMsg Req;
-    Req.RequestId = Client->nextRequestId();
+    Req.RequestId = 1; // Ids are per-connection; each attempt is fresh.
     Req.DeadlineMs = DeadlineMs;
     Req.OptLevel = static_cast<uint8_t>(Level);
     Req.Roots = Roots;
@@ -297,20 +331,36 @@ int runRemote(StringInterner &Names, const std::string &Address,
       }
     }
 
+    net::RetryPolicy Policy;
+    Policy.MaxRetries = Retries;
+    Policy.InitialBackoffMs = BackoffMs;
+    Policy.OnBackoff = [](unsigned Attempt, unsigned SleepMs) {
+      std::fprintf(stderr, "m2c_cli: remote build attempt %u failed; "
+                           "retrying in %u ms\n",
+                   Attempt, SleepMs);
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+    };
+
     net::BuildResultMsg Result;
-    if (!Client->build(Req, Result, Err)) {
-      std::fprintf(stderr, "m2c_cli: %s\n", Err.c_str());
-      return 1;
+    net::RemoteBuildOutcome Outcome =
+        net::buildWithRetry(Address, Req, Policy, Result);
+    if (!Outcome.Delivered) {
+      std::fprintf(stderr, "m2c_cli: %s (%s after %u attempt%s)\n",
+                   Outcome.Err.empty() ? "remote build failed"
+                                       : Outcome.Err.c_str(),
+                   net::errorCategoryName(Outcome.Category), Outcome.Attempts,
+                   Outcome.Attempts == 1 ? "" : "s");
+      return remoteExitCode(Outcome.Category);
     }
     std::fputs(Result.Diagnostics.c_str(), stderr);
     if (Result.St == net::Status::BuildFailed)
       return 1;
     if (Result.St != net::Status::Ok) {
-      // Shed, draining, deadline, cancelled: the daemon refused or
-      // abandoned the request; distinguish from a compile failure.
+      // Shed, draining, deadline, cancelled, internal: the daemon refused
+      // or abandoned the request; distinguish from a compile failure.
       std::fprintf(stderr, "m2c_cli: remote build %s\n",
                    net::statusName(Result.St));
-      return 3;
+      return remoteExitCode(Outcome.Category);
     }
 
     // Decode the shipped objects once; every consumer below reuses them.
@@ -367,10 +417,18 @@ int runRemote(StringInterner &Names, const std::string &Address,
   }
 
   if (Stats) {
+    // buildWithRetry owns its connections, so stats get their own.
+    net::ErrorCategory Category = net::ErrorCategory::None;
+    std::unique_ptr<net::RemoteClient> Client =
+        net::RemoteClient::open(Address, Err, &Category);
+    if (!Client) {
+      std::fprintf(stderr, "m2c_cli: %s\n", Err.c_str());
+      return remoteExitCode(Category);
+    }
     std::map<std::string, uint64_t> Counters;
     if (!Client->stats(Counters, Err)) {
       std::fprintf(stderr, "m2c_cli: %s\n", Err.c_str());
-      return 1;
+      return remoteExitCode(Client->lastErrorCategory());
     }
     printCounters("daemon", Counters);
   }
@@ -388,6 +446,8 @@ int main(int Argc, char **Argv) {
   bool Stats = false, NoPush = false;
   unsigned ServeClients = 0;
   unsigned DeadlineMs = 0;
+  unsigned Retries = 0, RetryBackoffMs = 100;
+  bool RetryFlagsSeen = false;
   TierFlags Tiering;
   std::string CacheDir, RemoteAddr;
   std::vector<std::string> Modules;
@@ -460,6 +520,18 @@ int main(int Argc, char **Argv) {
       if (V <= 0)
         return usage();
       DeadlineMs = static_cast<unsigned>(V);
+    } else if (Arg == "-retry" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V < 0)
+        return usage();
+      Retries = static_cast<unsigned>(V);
+      RetryFlagsSeen = true;
+    } else if (Arg == "-retry-backoff" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V <= 0)
+        return usage();
+      RetryBackoffMs = static_cast<unsigned>(V);
+      RetryFlagsSeen = true;
     } else if (Arg == "-no-push") {
       NoPush = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -477,10 +549,11 @@ int main(int Argc, char **Argv) {
     StringInterner RemoteNames;
     return runRemote(RemoteNames, RemoteAddr, Modules, DeadlineMs,
                      Options.Level, !NoPush, Run, Dump, EmitObjects, Stats,
-                     Tiering);
+                     Tiering, Retries, RetryBackoffMs);
   }
-  if (DeadlineMs || NoPush) {
-    std::fprintf(stderr, "-deadline/-no-push require -remote\n");
+  if (DeadlineMs || NoPush || RetryFlagsSeen) {
+    std::fprintf(stderr,
+                 "-deadline/-retry/-retry-backoff/-no-push require -remote\n");
     return 2;
   }
   if (Modules.empty())

@@ -96,6 +96,41 @@ BuildGraph BuildGraph::discover(VirtualFileSystem &Files,
   };
   for (Symbol Name : Discovery)
     Visit(Name);
+
+  // Detect interface cycles (.def -> .def edges only): tri-color DFS that
+  // records one representative cycle from the stack.  Runs on the already
+  // discovered graph, so the cost is linear in edges.
+  enum class Color : uint8_t { White, Grey, Black };
+  std::unordered_map<uint32_t, Color> Colors;
+  std::vector<Symbol> Stack;
+  std::function<bool(Symbol)> FindCycle = [&](Symbol Name) -> bool {
+    Color &C = Colors[Name.id()];
+    if (C == Color::Grey) {
+      // Found: slice the DFS stack from the first occurrence of Name.
+      size_t First = 0;
+      while (First < Stack.size() && !(Stack[First] == Name))
+        ++First;
+      G.DefCycle.assign(Stack.begin() + static_cast<ptrdiff_t>(First),
+                        Stack.end());
+      G.DefCycle.push_back(Name);
+      return true;
+    }
+    if (C == Color::Black)
+      return false;
+    C = Color::Grey;
+    Stack.push_back(Name);
+    auto It = G.Nodes.find(Name);
+    if (It != G.Nodes.end() && It->second.HasDef)
+      for (Symbol I : It->second.DefImports)
+        if (FindCycle(I))
+          return true;
+    Stack.pop_back();
+    Colors[Name.id()] = Color::Black;
+    return false;
+  };
+  for (Symbol Name : Discovery)
+    if (G.DefCycle.empty())
+      FindCycle(Name);
   return G;
 }
 

@@ -74,12 +74,22 @@ public:
   /// diagnostics to the files the request actually depends on.
   std::vector<Symbol> sessionInterfaces() const;
 
+  /// Non-empty when the *interface* graph (.def import edges) contains a
+  /// cycle: one representative cycle, first module repeated at the end
+  /// (A, B, A).  Interface analysis resolves imports by waiting on the
+  /// imported interface's completion, so a .def cycle can never make
+  /// progress — sessions refuse such graphs up front with a clean
+  /// diagnostic instead of deadlocking.  Cycles through .mod imports are
+  /// fine (implementations only need interfaces, which stay acyclic).
+  const std::vector<Symbol> &interfaceCycle() const { return DefCycle; }
+
 private:
   std::vector<Symbol>
   closureFrom(const std::vector<Symbol> &Seeds) const;
 
   std::unordered_map<Symbol, BuildNode, SymbolHash> Nodes;
   std::vector<Symbol> Order;
+  std::vector<Symbol> DefCycle;
 };
 
 } // namespace m2c::build

@@ -119,6 +119,26 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
     }
   }
 
+  // Interface cycles can never complete: analysis of each .def waits on
+  // the interfaces it imports, so a cycle would deadlock the session.
+  // Refuse the whole build with a deterministic diagnostic instead.
+  if (!Graph.interfaceCycle().empty()) {
+    std::string Message = "import cycle among interfaces:";
+    for (size_t I = 0; I < Graph.interfaceCycle().size(); ++I) {
+      Message += I == 0 ? " " : " -> ";
+      Message += Interner.spelling(Graph.interfaceCycle()[I]);
+    }
+    if (Ext)
+      LocalDiags.error(SourceLocation(), std::move(Message));
+    else
+      Comp->Diags.error(SourceLocation(), std::move(Message));
+    Result.Success = false;
+    Result.DiagnosticText =
+        Ext ? LocalDiags.render(&Files) : Comp->Diags.render(&Files);
+    Result.ElapsedUnits = Threaded ? SideWallNs : SideUnits;
+    return Result;
+  }
+
   // Service mode: the request's file set — its own .mod files plus its
   // interface closure's .def files — scopes every later read of the
   // shared diagnostics engine.  Missing interfaces are synthesized here

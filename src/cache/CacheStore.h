@@ -18,6 +18,8 @@
 #ifndef M2C_CACHE_CACHESTORE_H
 #define M2C_CACHE_CACHESTORE_H
 
+#include "support/Statistic.h"
+
 #include <atomic>
 #include <mutex>
 #include <optional>
@@ -61,6 +63,18 @@ private:
 /// names embed the process id and a per-process counter, so any number of
 /// sessions, service requests, or whole processes can share one cache
 /// directory without colliding mid-write.
+///
+/// Every entry written by this store carries a `#mcc1 <32hex>\n` header:
+/// the content hash of the payload that follows.  load() verifies the hash
+/// and self-heals on mismatch — the corrupt file is deleted and the load
+/// reports a miss, so the caller simply recompiles and overwrites it
+/// (`cache.disk.corrupt` counts these).  Headerless entries from older
+/// stores are accepted unverified.
+///
+/// Construction runs a recovery sweep: `.tmp<pid>.*` files whose writing
+/// process is dead are orphans from a crash mid-write and are deleted
+/// (`cache.disk.orphans`); temps belonging to live processes are in-flight
+/// writes and are left alone.
 class DiskCacheStore final : public CacheStore {
 public:
   explicit DiskCacheStore(std::string Directory);
@@ -71,11 +85,35 @@ public:
 
   const std::string &directory() const { return Directory; }
 
+  /// Result of an offline integrity pass over the whole directory.
+  struct VerifyReport {
+    size_t Checked = 0; ///< Entries examined.
+    size_t Corrupt = 0; ///< Entries whose payload hash mismatched.
+    size_t Healed = 0;  ///< Corrupt entries deleted (when Heal was set).
+    size_t Orphans = 0; ///< Dead-process temp files found (and deleted).
+  };
+
+  /// Re-hashes every entry in the directory.  With \p Heal set, corrupt
+  /// entries are deleted so the next build recompiles them; dead-process
+  /// temps are always swept.  Safe to run concurrently with writers: an
+  /// in-flight rename either lands a fully-written file or nothing.
+  VerifyReport verifyAll(bool Heal);
+
+  /// Store-level counters: cache.disk.corrupt, cache.disk.orphans,
+  /// cache.disk.verified.
+  const StatisticSet &stats() const { return Stats; }
+
 private:
   std::string pathFor(const std::string &Key) const;
+  /// Deletes dead-process temp files; returns how many were removed.
+  size_t sweepOrphans();
+  /// Checks the `#mcc1 <hash>` header of \p Raw.  Returns the payload on
+  /// success, nullopt on a hash mismatch.  Headerless text passes through.
+  static std::optional<std::string> checkEntry(const std::string &Raw);
 
   const std::string Directory;
   std::atomic<unsigned> NextTemp{0}; ///< Distinguishes in-flight writes.
+  StatisticSet Stats;
 };
 
 } // namespace m2c::cache

@@ -8,6 +8,7 @@
 #include "daemon/Daemon.h"
 
 #include "codegen/ObjectFile.h"
+#include "fault/FaultPlan.h"
 #include "vm/VmStats.h"
 
 using namespace m2c;
@@ -107,14 +108,21 @@ std::map<std::string, uint64_t> Daemon::statsSnapshot() {
   // never ran a program, so clients always see the full key set.
   for (const auto &[Name, Value] : vm::globalVmStats().snapshot())
     Merged[Name] += Value;
+  // Injection counters (fault.*): only present while a FaultPlan is
+  // installed, so production stats stay clean.
+  for (const auto &[Name, Value] : fault::statsSnapshot())
+    Merged[Name] += Value;
   return Merged;
 }
 
 void Daemon::sendFrame(Connection &Conn, const Frame &F) {
   std::lock_guard<std::mutex> Lock(Conn.WriteM);
-  // A failed send means the client vanished; its reader will see EOF and
-  // wind the connection down, so there is nothing to do here.
-  Conn.Sock.sendFrame(F);
+  // A failed send means the client vanished (EPIPE is suppressed by
+  // MSG_NOSIGNAL, so a dead peer can never SIGPIPE the daemon); its reader
+  // will see EOF and wind the connection down, so the write is simply
+  // counted and dropped.
+  if (!Conn.Sock.sendFrame(F))
+    NetStats.add("net.replies.sendfailed");
 }
 
 //===--- Accepting ---------------------------------------------------------===//
@@ -349,11 +357,32 @@ void Daemon::runBuild(std::shared_ptr<RequestState> State,
     NetStats.add("net.files.pushed", Msg.Files.size());
   }
 
-  build::BuildResult R =
-      Service.submit(Msg.Roots, &State->Control,
-                     static_cast<opt::OptLevel>(Msg.OptLevel));
+  // A failing build thread must never take the daemon (or the connection)
+  // down with it: injected faults and any exception escaping the service
+  // become a clean BUILD_RESULT carrying Status::Internal, preserving the
+  // exactly-one-reply invariant.  Internal is retryable client-side.
+  build::BuildResult R;
+  std::string FaultDetail;
+  if (M2C_FAULT_HIT("daemon.build").fail()) {
+    FaultDetail = "injected fault at daemon.build";
+  } else {
+    try {
+      R = Service.submit(Msg.Roots, &State->Control,
+                         static_cast<opt::OptLevel>(Msg.OptLevel));
+    } catch (const std::exception &E) {
+      FaultDetail = E.what();
+    }
+  }
 
-  if (R.Aborted) {
+  if (!FaultDetail.empty()) {
+    NetStats.add("net.requests.faulted");
+    BuildResultMsg Out;
+    Out.RequestId = State->Id;
+    Out.St = Status::Internal;
+    Out.Diagnostics = "daemon: build aborted: " + FaultDetail + "\n";
+    if (!tryReply(*State, Out, "net.requests.failed"))
+      NetStats.add("net.requests.abandoned");
+  } else if (R.Aborted) {
     // A checkpoint early-out: the deadline monitor or a CANCEL already
     // sent this request's reply; nothing was compiled.
   } else {

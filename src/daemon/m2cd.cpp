@@ -160,6 +160,10 @@ int main(int Argc, char **Argv) {
 
   std::signal(SIGTERM, onTerm);
   std::signal(SIGINT, onTerm);
+  // Belt and braces against peer resets: every daemon send already uses
+  // MSG_NOSIGNAL, but any other write to a dead client fd (stdio over a
+  // pipe, future code paths) must degrade to EPIPE, never kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
   while (!TermRequested)
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 

@@ -1,0 +1,252 @@
+//===--- FaultPlan.cpp - Deterministic fault injection --------------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace m2c {
+namespace fault {
+
+namespace detail {
+std::atomic<FaultPlan *> ActivePlan{nullptr};
+} // namespace detail
+
+namespace {
+
+// Retired plans are kept alive for the process lifetime so a hit() racing an
+// installPlan() never touches freed memory.  Plans are a few hundred bytes
+// and tests install at most a handful, so this never matters in practice.
+std::mutex RetiredMutex;
+std::vector<std::unique_ptr<FaultPlan>> &retiredPlans() {
+  static std::vector<std::unique_ptr<FaultPlan>> Plans;
+  return Plans;
+}
+
+// splitmix64: cheap, high-quality mixing for the probabilistic mode.  Using
+// a stateless mix of (seed, point, hit-index) makes every decision a pure
+// function of the plan — two runs with the same seed and the same per-point
+// hit ordering inject identical faults.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + (uint64_t)(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+bool parseProbability(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (!End || *End != '\0' || V < 0.0 || V > 1.0)
+    return false;
+  Out = V;
+  return true;
+}
+
+// Installs a plan from the M2C_FAULTS environment variable before main()
+// runs, so any binary in the tree can be driven externally.
+struct EnvInit {
+  EnvInit() {
+    const char *Spec = std::getenv("M2C_FAULTS");
+    if (!Spec || !*Spec)
+      return;
+    std::string Err;
+    if (!installPlanFromSpec(Spec, Err))
+      std::fprintf(stderr, "m2c: ignoring malformed M2C_FAULTS: %s\n",
+                   Err.c_str());
+  }
+};
+EnvInit TheEnvInit;
+
+} // namespace
+
+std::unique_ptr<FaultPlan> FaultPlan::parse(const std::string &Spec,
+                                            std::string &Err) {
+  std::unique_ptr<FaultPlan> Plan(new FaultPlan());
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Semi = Spec.find(';', Pos);
+    std::string Entry = Spec.substr(
+        Pos, Semi == std::string::npos ? std::string::npos : Semi - Pos);
+    Pos = Semi == std::string::npos ? Spec.size() + 1 : Semi + 1;
+    if (Entry.empty())
+      continue;
+
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      Err = "entry '" + Entry + "' is not <point>=<action>";
+      return nullptr;
+    }
+    std::string Point = Entry.substr(0, Eq);
+    std::string Action = Entry.substr(Eq + 1);
+
+    if (Point == "seed") {
+      if (!parseU64(Action, Plan->Seed)) {
+        Err = "bad seed '" + Action + "'";
+        return nullptr;
+      }
+      continue;
+    }
+
+    auto Rule = std::make_unique<FaultPlan::Rule>();
+
+    // Strip modifiers from the back: '@N' and '~P' may appear in any order.
+    for (;;) {
+      size_t At = Action.find_last_of("@~");
+      if (At == std::string::npos)
+        break;
+      std::string Mod = Action.substr(At + 1);
+      if (Action[At] == '@') {
+        uint64_t N = 0;
+        if (!parseU64(Mod, N) || N == 0) {
+          Err = "bad '@' modifier in '" + Entry + "' (want @N, N >= 1)";
+          return nullptr;
+        }
+        Rule->OnlyHit = (uint32_t)N;
+      } else {
+        if (!parseProbability(Mod, Rule->Probability)) {
+          Err = "bad '~' modifier in '" + Entry + "' (want ~P, 0 <= P <= 1)";
+          return nullptr;
+        }
+      }
+      Action.resize(At);
+    }
+
+    if (Action == "fail") {
+      Rule->Kind = FaultKind::Fail;
+    } else if (Action == "close") {
+      Rule->Kind = FaultKind::Close;
+    } else if (Action == "corrupt") {
+      Rule->Kind = FaultKind::Corrupt;
+    } else if (Action.rfind("delay:", 0) == 0) {
+      std::string Ms = Action.substr(6);
+      if (Ms.size() < 3 || Ms.substr(Ms.size() - 2) != "ms") {
+        Err = "bad delay in '" + Entry + "' (want delay:<N>ms)";
+        return nullptr;
+      }
+      uint64_t N = 0;
+      if (!parseU64(Ms.substr(0, Ms.size() - 2), N)) {
+        Err = "bad delay in '" + Entry + "' (want delay:<N>ms)";
+        return nullptr;
+      }
+      Rule->Kind = FaultKind::Delay;
+      Rule->DelayMs = (uint32_t)N;
+    } else {
+      Err = "unknown action '" + Action + "' in '" + Entry + "'";
+      return nullptr;
+    }
+
+    Plan->Rules[Point] = std::move(Rule);
+  }
+  return Plan;
+}
+
+FaultOutcome FaultPlan::hit(const char *Point) {
+  auto It = Rules.find(std::string_view(Point));
+  if (It == Rules.end())
+    return {};
+  Rule &R = *It->second;
+  // 1-based hit index; the fetch_add also serves as the per-point counter.
+  uint64_t Index = R.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (R.OnlyHit != 0 && Index != R.OnlyHit)
+    return {};
+  if (R.Probability >= 0.0) {
+    uint64_t Roll = mix64(Seed ^ fnv1a(It->first) ^ (Index * 0x9e3779b97f4a7c15ULL));
+    double U = (double)(Roll >> 11) * (1.0 / 9007199254740992.0); // [0,1)
+    if (U >= R.Probability)
+      return {};
+  }
+
+  R.Injected.fetch_add(1, std::memory_order_relaxed);
+  if (R.Kind == FaultKind::Delay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(R.DelayMs));
+    return {FaultKind::Delay};
+  }
+  return {R.Kind};
+}
+
+std::map<std::string, uint64_t> FaultPlan::snapshot() const {
+  std::map<std::string, uint64_t> Out;
+  for (const auto &KV : Rules) {
+    Out["fault.hits." + KV.first] =
+        KV.second->Hits.load(std::memory_order_relaxed);
+    Out["fault.injected." + KV.first] =
+        KV.second->Injected.load(std::memory_order_relaxed);
+  }
+  return Out;
+}
+
+FaultPlan *installPlan(std::unique_ptr<FaultPlan> Plan) {
+  FaultPlan *Raw = Plan.get();
+  {
+    std::lock_guard<std::mutex> Lock(RetiredMutex);
+    if (Plan)
+      retiredPlans().push_back(std::move(Plan));
+  }
+  detail::ActivePlan.store(Raw, std::memory_order_release);
+  return Raw;
+}
+
+bool installPlanFromSpec(const std::string &Spec, std::string &Err) {
+  auto Plan = FaultPlan::parse(Spec, Err);
+  if (!Plan)
+    return false;
+  installPlan(std::move(Plan));
+  return true;
+}
+
+FaultPlan *activePlan() {
+  return detail::ActivePlan.load(std::memory_order_acquire);
+}
+
+std::map<std::string, uint64_t> statsSnapshot() {
+  if (FaultPlan *Plan = activePlan())
+    return Plan->snapshot();
+  return {};
+}
+
+namespace detail {
+FaultOutcome hitSlow(const char *Point) {
+  if (FaultPlan *Plan = ActivePlan.load(std::memory_order_acquire))
+    return Plan->hit(Point);
+  return {};
+}
+} // namespace detail
+
+} // namespace fault
+} // namespace m2c

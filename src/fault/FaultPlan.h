@@ -1,0 +1,152 @@
+//===--- FaultPlan.h - Deterministic fault injection -----------*- C++ -*-===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide fault injection for robustness testing.  A FaultPlan maps
+/// named failpoints (e.g. "cache.disk.write", "net.send") to actions that
+/// fire deterministically (on the Nth hit) or probabilistically (seeded, so
+/// a given seed always injects the same faults at the same hit indices).
+///
+/// Spec grammar (the M2C_FAULTS environment variable uses the same syntax):
+///
+///   spec    := entry (';' entry)*
+///   entry   := "seed" '=' <u64>
+///            | <point> '=' action modifier*
+///   action  := "fail" | "close" | "corrupt" | "delay" ':' <u32> "ms"
+///   modifier:= '@' <u32>     -- fire only on the Nth hit of the point (1-based)
+///            | '~' <float>   -- fire with probability P in [0,1] per hit
+///
+/// Examples:
+///   M2C_FAULTS="cache.disk.write=fail@3;net.send=close@1"
+///   M2C_FAULTS="seed=42;cache.disk.write=corrupt~0.05;daemon.build=fail~0.02"
+///
+/// Hooks compile to a single relaxed atomic load when no plan is installed,
+/// so production builds pay nothing for carrying the failpoints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef M2C_FAULT_FAULTPLAN_H
+#define M2C_FAULT_FAULTPLAN_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace m2c {
+namespace fault {
+
+/// What an armed failpoint does when it fires.
+enum class FaultKind : uint8_t {
+  None,    ///< Nothing injected this hit.
+  Fail,    ///< The operation reports failure without being attempted.
+  Close,   ///< A connection-oriented operation tears the connection down.
+  Corrupt, ///< The operation completes but its payload is damaged.
+  Delay,   ///< The operation is delayed (sleep already applied by hit()).
+};
+
+/// Result of consulting a failpoint.  Delay faults are applied inside
+/// FaultPlan::hit() itself; callers only need to branch on fail/close/corrupt.
+struct FaultOutcome {
+  FaultKind Kind = FaultKind::None;
+
+  bool fired() const { return Kind != FaultKind::None; }
+  bool fail() const { return Kind == FaultKind::Fail; }
+  bool close() const { return Kind == FaultKind::Close; }
+  bool corrupt() const { return Kind == FaultKind::Corrupt; }
+};
+
+/// Thrown by layers (e.g. service admission) that surface injected faults as
+/// exceptions.  Carries the failpoint name for diagnostics.
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(const std::string &Point)
+      : std::runtime_error("injected fault at " + Point), Point(Point) {}
+
+  const std::string Point;
+};
+
+/// A parsed fault plan: one rule per failpoint plus a seed for the
+/// probabilistic mode.  Thread-safe; hit() may be called concurrently.
+class FaultPlan {
+public:
+  /// Parses \p Spec (grammar above).  Returns nullptr and sets \p Err on a
+  /// malformed spec.
+  static std::unique_ptr<FaultPlan> parse(const std::string &Spec,
+                                          std::string &Err);
+
+  /// Consults the failpoint named \p Point.  Bumps per-point counters,
+  /// applies any delay in-line, and returns the injected outcome (or an
+  /// empty outcome when the point is unarmed / does not fire this hit).
+  FaultOutcome hit(const char *Point);
+
+  /// Per-point counters: "fault.hits.<point>" (times consulted) and
+  /// "fault.injected.<point>" (times a fault actually fired).
+  std::map<std::string, uint64_t> snapshot() const;
+
+  uint64_t seed() const { return Seed; }
+
+private:
+  struct Rule {
+    FaultKind Kind = FaultKind::None;
+    uint32_t DelayMs = 0;     ///< For Delay actions.
+    uint32_t OnlyHit = 0;     ///< '@N': fire only on hit N (0 = every hit).
+    double Probability = -1;  ///< '~P': fire with probability P (<0 = always).
+    std::atomic<uint64_t> Hits{0};
+    std::atomic<uint64_t> Injected{0};
+  };
+
+  FaultPlan() = default;
+
+  uint64_t Seed = 1;
+  // Built once by parse(), immutable afterwards, so hit() can read the map
+  // without a lock; only the per-rule atomics mutate.
+  std::map<std::string, std::unique_ptr<Rule>, std::less<>> Rules;
+};
+
+/// Installs \p Plan as the process-wide active plan (replacing any previous
+/// one) and returns a borrowed pointer to it.  Pass nullptr to disable
+/// injection.  The previous plan is retired, not freed immediately, so
+/// in-flight hit() calls on other threads stay valid for the process
+/// lifetime (plans are tiny; tests install a handful per run).
+FaultPlan *installPlan(std::unique_ptr<FaultPlan> Plan);
+
+/// Parses \p Spec and installs the result.  Returns false and sets \p Err on
+/// a malformed spec (leaving the previous plan active).
+bool installPlanFromSpec(const std::string &Spec, std::string &Err);
+
+/// The active plan, or nullptr when injection is disabled.
+FaultPlan *activePlan();
+
+/// True when a plan is installed.  This is the zero-cost fast-path check:
+/// one relaxed atomic load.
+bool active();
+
+/// Counter snapshot of the active plan (empty when disabled).
+std::map<std::string, uint64_t> statsSnapshot();
+
+namespace detail {
+extern std::atomic<FaultPlan *> ActivePlan;
+FaultOutcome hitSlow(const char *Point);
+} // namespace detail
+
+inline bool active() {
+  return detail::ActivePlan.load(std::memory_order_acquire) != nullptr;
+}
+
+} // namespace fault
+} // namespace m2c
+
+/// Consults a failpoint.  Expands to an empty outcome via a single relaxed
+/// load when no plan is installed.
+#define M2C_FAULT_HIT(Point)                                                   \
+  (::m2c::fault::active() ? ::m2c::fault::detail::hitSlow(Point)               \
+                          : ::m2c::fault::FaultOutcome{})
+
+#endif // M2C_FAULT_FAULTPLAN_H

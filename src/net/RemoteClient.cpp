@@ -7,23 +7,97 @@
 
 #include "net/RemoteClient.h"
 
+#include <chrono>
+#include <thread>
+
 using namespace m2c;
 using namespace m2c::net;
 
+const char *m2c::net::errorCategoryName(ErrorCategory C) {
+  switch (C) {
+  case ErrorCategory::None:
+    return "none";
+  case ErrorCategory::ConnectRefused:
+    return "connect-refused";
+  case ErrorCategory::Transport:
+    return "transport";
+  case ErrorCategory::Protocol:
+    return "protocol";
+  case ErrorCategory::Overload:
+    return "overload";
+  case ErrorCategory::Draining:
+    return "draining";
+  case ErrorCategory::Deadline:
+    return "deadline";
+  case ErrorCategory::Cancelled:
+    return "cancelled";
+  case ErrorCategory::BuildFailed:
+    return "build-failed";
+  case ErrorCategory::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+ErrorCategory m2c::net::categorize(Status St) {
+  switch (St) {
+  case Status::Ok:
+    return ErrorCategory::None;
+  case Status::RejectedOverload:
+    return ErrorCategory::Overload;
+  case Status::DeadlineExceeded:
+    return ErrorCategory::Deadline;
+  case Status::Cancelled:
+    return ErrorCategory::Cancelled;
+  case Status::BuildFailed:
+    return ErrorCategory::BuildFailed;
+  case Status::Draining:
+    return ErrorCategory::Draining;
+  case Status::Internal:
+    return ErrorCategory::Internal;
+  case Status::Malformed:
+  case Status::UnsupportedVersion:
+  case Status::UnknownType:
+  case Status::FrameTooLarge:
+  case Status::UnknownRequest:
+    return ErrorCategory::Protocol;
+  }
+  return ErrorCategory::Protocol;
+}
+
+bool m2c::net::isRetryable(ErrorCategory C) {
+  switch (C) {
+  case ErrorCategory::ConnectRefused:
+  case ErrorCategory::Transport:
+  case ErrorCategory::Overload:
+  case ErrorCategory::Draining:
+  case ErrorCategory::Internal:
+    return true;
+  default:
+    return false;
+  }
+}
+
 std::unique_ptr<RemoteClient> RemoteClient::open(const std::string &Address,
-                                                 std::string &Err) {
+                                                 std::string &Err,
+                                                 ErrorCategory *Category) {
+  auto Fail = [&](ErrorCategory C) -> std::unique_ptr<RemoteClient> {
+    if (Category)
+      *Category = C;
+    return nullptr;
+  };
   Socket S;
   if (Address.rfind("tcp:", 0) == 0) {
     std::string HostPort = Address.substr(4);
     size_t Colon = HostPort.rfind(':');
     if (Colon == std::string::npos) {
       Err = "expected tcp:HOST:PORT, got '" + Address + "'";
-      return nullptr;
+      return Fail(ErrorCategory::Protocol);
     }
     int Port = std::atoi(HostPort.c_str() + Colon + 1);
     if (Port <= 0 || Port > 65535) {
       Err = "bad port in '" + Address + "'";
-      return nullptr;
+      return Fail(ErrorCategory::Protocol);
     }
     S = Socket::connectTcp(HostPort.substr(0, Colon),
                            static_cast<uint16_t>(Port), Err);
@@ -31,30 +105,32 @@ std::unique_ptr<RemoteClient> RemoteClient::open(const std::string &Address,
     S = Socket::connectUnix(Address, Err);
   }
   if (!S.valid())
-    return nullptr;
+    return Fail(ErrorCategory::ConnectRefused);
 
   std::unique_ptr<RemoteClient> C(new RemoteClient(std::move(S)));
   if (!C->Sock.sendFrame(encode(HelloMsg{ProtocolVersion, ProtocolVersion}))) {
     Err = "handshake send failed";
-    return nullptr;
+    return Fail(ErrorCategory::Transport);
   }
   Frame F;
   if (C->Sock.recvFrame(F) != Socket::RecvStatus::Ok) {
     Err = "handshake: connection closed";
-    return nullptr;
+    return Fail(ErrorCategory::Transport);
   }
   ErrorMsg E;
   if (decode(F, E)) {
     Err = std::string("server refused: ") + statusName(E.St) +
           (E.Detail.empty() ? "" : " (" + E.Detail + ")");
-    return nullptr;
+    return Fail(categorize(E.St));
   }
   WelcomeMsg W;
   if (!decode(F, W)) {
     Err = "handshake: unexpected reply frame";
-    return nullptr;
+    return Fail(ErrorCategory::Protocol);
   }
   C->Version = W.Version;
+  if (Category)
+    *Category = ErrorCategory::None;
   return C;
 }
 
@@ -64,10 +140,10 @@ bool RemoteClient::build(const BuildRequestMsg &Req, BuildResultMsg &Out,
 }
 
 bool RemoteClient::startBuild(const BuildRequestMsg &Req, std::string &Err) {
-  if (!Sock.sendFrame(encode(Req))) {
-    Err = "send failed (request too large or connection lost)";
-    return false;
-  }
+  if (!Sock.sendFrame(encode(Req)))
+    return failWith(ErrorCategory::Transport,
+                    "send failed (request too large or connection lost)", Err);
+  LastCategory = ErrorCategory::None;
   return true;
 }
 
@@ -78,6 +154,7 @@ bool RemoteClient::awaitResult(uint64_t RequestId, BuildResultMsg &Out,
     if (It != Buffered.end()) {
       Out = std::move(It->second);
       Buffered.erase(It);
+      LastCategory = ErrorCategory::None;
       return true;
     }
     Frame F;
@@ -86,23 +163,21 @@ bool RemoteClient::awaitResult(uint64_t RequestId, BuildResultMsg &Out,
       break;
     case Socket::RecvStatus::Closed:
     case Socket::RecvStatus::Truncated:
-      Err = "connection closed before the result arrived";
-      return false;
+      return failWith(ErrorCategory::Transport,
+                      "connection closed before the result arrived", Err);
     default:
-      Err = "transport error";
-      return false;
+      return failWith(ErrorCategory::Transport, "transport error", Err);
     }
     ErrorMsg E;
-    if (decode(F, E)) {
-      Err = std::string("server error: ") + statusName(E.St) +
-            (E.Detail.empty() ? "" : " (" + E.Detail + ")");
-      return false;
-    }
+    if (decode(F, E))
+      return failWith(categorize(E.St),
+                      std::string("server error: ") + statusName(E.St) +
+                          (E.Detail.empty() ? "" : " (" + E.Detail + ")"),
+                      Err);
     BuildResultMsg R;
-    if (!decode(F, R)) {
-      Err = "undecodable frame from server";
-      return false;
-    }
+    if (!decode(F, R))
+      return failWith(ErrorCategory::Protocol, "undecodable frame from server",
+                      Err);
     Buffered[R.RequestId] = std::move(R);
   }
 }
@@ -113,41 +188,72 @@ bool RemoteClient::cancel(uint64_t RequestId) {
 
 bool RemoteClient::stats(std::map<std::string, uint64_t> &Out,
                          std::string &Err) {
-  if (!Sock.sendFrame(encodeStatsRequest())) {
-    Err = "send failed";
-    return false;
-  }
+  if (!Sock.sendFrame(encodeStatsRequest()))
+    return failWith(ErrorCategory::Transport, "send failed", Err);
   Frame F;
-  if (Sock.recvFrame(F) != Socket::RecvStatus::Ok) {
-    Err = "connection closed";
-    return false;
-  }
+  if (Sock.recvFrame(F) != Socket::RecvStatus::Ok)
+    return failWith(ErrorCategory::Transport, "connection closed", Err);
   StatsResultMsg M;
-  if (!decode(F, M)) {
-    Err = "undecodable STATS_RESULT";
-    return false;
-  }
+  if (!decode(F, M))
+    return failWith(ErrorCategory::Protocol, "undecodable STATS_RESULT", Err);
   Out.clear();
   for (auto &[Name, Value] : M.Counters)
     Out[Name] = Value;
+  LastCategory = ErrorCategory::None;
   return true;
 }
 
 bool RemoteClient::ping(std::string &Err) {
   const uint64_t Token = 0x6d32636450494e47; // Arbitrary, echoed back.
-  if (!Sock.sendFrame(encodePing(Token))) {
-    Err = "send failed";
-    return false;
-  }
+  if (!Sock.sendFrame(encodePing(Token)))
+    return failWith(ErrorCategory::Transport, "send failed", Err);
   Frame F;
-  if (Sock.recvFrame(F) != Socket::RecvStatus::Ok) {
-    Err = "connection closed";
-    return false;
-  }
+  if (Sock.recvFrame(F) != Socket::RecvStatus::Ok)
+    return failWith(ErrorCategory::Transport, "connection closed", Err);
   PingMsg M;
-  if (F.Type != MsgType::Pong || !decode(F, M) || M.Token != Token) {
-    Err = "bad PONG";
-    return false;
-  }
+  if (F.Type != MsgType::Pong || !decode(F, M) || M.Token != Token)
+    return failWith(ErrorCategory::Protocol, "bad PONG", Err);
+  LastCategory = ErrorCategory::None;
   return true;
+}
+
+RemoteBuildOutcome m2c::net::buildWithRetry(const std::string &Address,
+                                            const BuildRequestMsg &Req,
+                                            const RetryPolicy &Policy,
+                                            BuildResultMsg &Out) {
+  RemoteBuildOutcome Outcome;
+  unsigned BackoffMs = Policy.InitialBackoffMs ? Policy.InitialBackoffMs : 1;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    ++Outcome.Attempts;
+    ErrorCategory Cat = ErrorCategory::None;
+    std::string Err;
+    auto Client = RemoteClient::open(Address, Err, &Cat);
+    if (Client) {
+      BuildResultMsg Result;
+      if (Client->build(Req, Result, Err)) {
+        Cat = categorize(Result.St);
+        if (!isRetryable(Cat) || Attempt >= Policy.MaxRetries) {
+          Out = std::move(Result);
+          Outcome.Delivered = true;
+          Outcome.Category = Cat;
+          return Outcome;
+        }
+        // Retryable reply status (overload / drain / internal): fall
+        // through to back off and reconnect.
+      } else {
+        Cat = Client->lastErrorCategory();
+      }
+    }
+    if (!isRetryable(Cat) || Attempt >= Policy.MaxRetries) {
+      Outcome.Category = Cat;
+      Outcome.Err = std::move(Err);
+      return Outcome;
+    }
+    if (Policy.OnBackoff)
+      Policy.OnBackoff(Attempt + 1, BackoffMs);
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+    BackoffMs = std::min(BackoffMs * 2, Policy.MaxBackoffMs ? Policy.MaxBackoffMs
+                                                            : BackoffMs * 2);
+  }
 }

@@ -20,20 +20,48 @@
 #include "net/Protocol.h"
 #include "net/Socket.h"
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 namespace m2c::net {
 
+/// What went wrong, coarsely — drives retry policy and CLI exit codes.
+/// Errors before a BUILD_RESULT arrives (connect, transport, protocol) are
+/// set by the client methods; reply statuses map through categorize().
+enum class ErrorCategory : uint8_t {
+  None,           ///< No failure.
+  ConnectRefused, ///< connect(2)/resolve failed — daemon absent or down.
+  Transport,      ///< Connection lost mid-exchange (send/recv failure).
+  Protocol,       ///< Undecodable or unexpected frame; version refusal.
+  Overload,       ///< Daemon shed the request (RejectedOverload).
+  Draining,       ///< Daemon is shutting down.
+  Deadline,       ///< Request deadline expired server-side.
+  Cancelled,      ///< Request was cancelled.
+  BuildFailed,    ///< Compile errors — a *successful* protocol exchange.
+  Internal,       ///< Daemon-side internal error (includes injected faults).
+};
+
+const char *errorCategoryName(ErrorCategory C);
+
+/// Maps a BUILD_RESULT / ERROR status to its client-facing category.
+ErrorCategory categorize(Status St);
+
+/// True for categories worth a reconnect-and-retry: transient availability
+/// failures.  Protocol errors (a bug), deadline expiry (the time budget is
+/// spent), cancellation and genuine compile failures are not retried.
+bool isRetryable(ErrorCategory C);
+
 class RemoteClient {
 public:
   /// Connects to \p Address and performs the HELLO/WELCOME handshake.
   /// "tcp:HOST:PORT" selects TCP; anything else is a unix-socket path.
   /// Returns nullptr with \p Err set on connect, transport or version
-  /// failure.
+  /// failure; \p Category (optional) receives the failure class.
   static std::unique_ptr<RemoteClient> open(const std::string &Address,
-                                            std::string &Err);
+                                            std::string &Err,
+                                            ErrorCategory *Category = nullptr);
 
   /// The version the server chose in WELCOME.
   uint32_t version() const { return Version; }
@@ -65,14 +93,62 @@ public:
   /// Round-trips a PING.
   bool ping(std::string &Err);
 
+  /// Category of the most recent failure (None after a success).  Only
+  /// covers pre-result failures — a delivered BUILD_RESULT's status is
+  /// classified by categorize().
+  ErrorCategory lastErrorCategory() const { return LastCategory; }
+
 private:
   explicit RemoteClient(Socket S) : Sock(std::move(S)) {}
+
+  bool failWith(ErrorCategory C, std::string Message, std::string &Err) {
+    LastCategory = C;
+    Err = std::move(Message);
+    return false;
+  }
 
   Socket Sock;
   uint32_t Version = 0;
   uint64_t NextId = 1;
+  ErrorCategory LastCategory = ErrorCategory::None;
   std::map<uint64_t, BuildResultMsg> Buffered; ///< Out-of-order results.
 };
+
+/// Bounded exponential backoff for buildWithRetry.
+struct RetryPolicy {
+  unsigned MaxRetries = 0;         ///< Retries *after* the first attempt.
+  unsigned InitialBackoffMs = 100; ///< Doubled per retry...
+  unsigned MaxBackoffMs = 2000;    ///< ...up to this cap.
+  /// Test/logging hook: called instead of sleeping when set.
+  std::function<void(unsigned Attempt, unsigned SleepMs)> OnBackoff;
+};
+
+/// Outcome of buildWithRetry.
+struct RemoteBuildOutcome {
+  bool Delivered = false;  ///< A BUILD_RESULT arrived (any status).
+  unsigned Attempts = 0;   ///< Connections tried.
+  ErrorCategory Category = ErrorCategory::None; ///< Final classification.
+  std::string Err;         ///< Transport/protocol detail when !Delivered.
+};
+
+/// Sends \p Req with reconnect-and-retry: each attempt opens a fresh
+/// connection, and transient failures (connect refused, transport loss,
+/// overload shed, drain, daemon-internal errors) are retried with bounded
+/// exponential backoff.  Protocol errors, deadline expiry, cancellation and
+/// compile failures are returned immediately.
+///
+/// Retrying a BUILD is safe because BUILD is idempotent: the request names
+/// its inputs completely (roots + pushed file contents), compilation output
+/// is a pure function of those inputs (byte-identical across runs by the
+/// service's own identity tests), and cache writes are content-addressed
+/// temp+rename upserts — a replay can only overwrite an entry with the same
+/// bytes or recompute the same artifacts.  The only side effect of a
+/// duplicate BUILD is wasted work, never divergent state.  FaultTest
+/// RetriedBuildIsIdempotent locks this in.
+RemoteBuildOutcome buildWithRetry(const std::string &Address,
+                                  const BuildRequestMsg &Req,
+                                  const RetryPolicy &Policy,
+                                  BuildResultMsg &Out);
 
 } // namespace m2c::net
 

@@ -7,6 +7,8 @@
 
 #include "net/Socket.h"
 
+#include "fault/FaultPlan.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -91,6 +93,13 @@ Socket Socket::connectTcp(const std::string &Host, uint16_t Port,
 }
 
 bool Socket::sendAll(const void *Bytes, size_t Size) {
+  fault::FaultOutcome F = M2C_FAULT_HIT("net.send");
+  if (F.fail())
+    return false; // Injected transient send error.
+  if (F.close()) {
+    shutdownBoth(); // Injected peer reset: both sides see the teardown.
+    return false;
+  }
   const char *P = static_cast<const char *>(Bytes);
   while (Size > 0) {
     ssize_t N = ::send(Fd, P, Size, MSG_NOSIGNAL);
@@ -138,6 +147,13 @@ int recvExact(int Fd, void *Bytes, size_t Size, bool &WasError) {
 } // namespace
 
 Socket::RecvStatus Socket::recvFrame(Frame &F, uint32_t MaxBytes) {
+  fault::FaultOutcome FO = M2C_FAULT_HIT("net.recv");
+  if (FO.fail())
+    return RecvStatus::Error; // Injected recv(2) failure.
+  if (FO.close()) {
+    shutdownBoth(); // Injected connection loss before the next frame.
+    return RecvStatus::Closed;
+  }
   uint8_t Prefix[4];
   bool WasError = false;
   int Rc = recvExact(Fd, Prefix, sizeof(Prefix), WasError);
@@ -264,6 +280,10 @@ Listener::AcceptStatus Listener::acceptFor(int TimeoutMs, Socket &Out) {
   if (Client < 0)
     return errno == EINTR || errno == ECONNABORTED ? AcceptStatus::TimedOut
                                                    : AcceptStatus::Error;
+  if (M2C_FAULT_HIT("net.accept").fired()) {
+    ::close(Client); // Injected accept failure: the client sees a reset.
+    return AcceptStatus::TimedOut;
+  }
   Out = Socket(Client);
   return AcceptStatus::Accepted;
 }

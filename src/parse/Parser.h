@@ -25,6 +25,7 @@
 #include "support/Diagnostics.h"
 
 #include <functional>
+#include <set>
 
 namespace m2c {
 
@@ -125,10 +126,21 @@ public:
 
 private:
   //===--- Token plumbing -------------------------------------------------===//
-  /// Reports \p Message unless the parser is in quiet mode.
+  /// Reports \p Message unless the parser is in quiet mode.  Once the
+  /// stream hit end-of-input, each distinct message is reported at most
+  /// once: on truncated input (a half-typed edit, a torn file) every
+  /// enclosing construct unwinds reporting its own missing END/terminator
+  /// at the same EOF location, a cascade proportional to nesting depth
+  /// with no new information in it.  The engine's render already
+  /// collapses identical diagnostics, so this changes no rendered output
+  /// — it bounds the raw diagnostic count (and allocation) the cascade
+  /// produces.
   void error(SourceLocation Loc, const std::string &Message) {
-    if (!Quiet)
-      Diags.error(Loc, Message);
+    if (Quiet)
+      return;
+    if (peek().isEof() && !EofErrors.insert(Message).second)
+      return;
+    Diags.error(Loc, Message);
   }
   const Token &peek(unsigned Ahead = 0) { return Reader.peek(Ahead); }
   const Token &advance();
@@ -188,6 +200,7 @@ private:
   DeclSink Sink;
   unsigned DeclBlockDepth = 0;
   bool Quiet = false;
+  std::set<std::string> EofErrors; ///< Caps the truncated-input cascade.
 };
 
 } // namespace m2c

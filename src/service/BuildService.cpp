@@ -10,6 +10,7 @@
 #include "build/BuildGraph.h"
 #include "cache/CacheStore.h"
 #include "driver/CompilerOptions.h"
+#include "fault/FaultPlan.h"
 #include "sched/ExecContext.h"
 
 #include <chrono>
@@ -72,6 +73,16 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots,
   using Clock = std::chrono::steady_clock;
   RequestQueue::Scoped Admitted(Queue);
   ServiceStats.add("service.requests.submitted");
+
+  // Admission failpoint: models a request thread dying between admission
+  // and compilation (resource exhaustion, a bug in setup code).  All
+  // request-scoped state above is RAII, so the unwind releases the
+  // admitted slot; the daemon maps the exception to a clean Internal
+  // reply.
+  if (M2C_FAULT_HIT("service.admit").fail()) {
+    ServiceStats.add("service.requests.faulted");
+    throw fault::InjectedFault("service.admit");
+  }
 
   // Abandonment checkpoints: the daemon may have answered the client
   // (deadline, cancel) while this request sat in the FIFO turnstile —
@@ -170,8 +181,13 @@ std::map<std::string, uint64_t> BuildService::statsSnapshot() {
   };
   if (Cache)
     Fold(Cache->stats().snapshot());
-  if (Tier)
+  if (Tier) {
     Fold(Tier->stats().snapshot());
+    // Disk-store integrity counters (cache.disk.*): corrupt entries healed
+    // on read, orphaned temps swept at startup.
+    if (auto *Disk = dynamic_cast<cache::DiskCacheStore *>(Tier->backing()))
+      Fold(Disk->stats().snapshot());
+  }
   Fold(ServiceStats.snapshot());
   Merged["service.generations"] = Pool.generationCount();
   Merged["service.interface.parses"] = Pool.parseCount();

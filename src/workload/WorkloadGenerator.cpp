@@ -553,6 +553,137 @@ GeneratedModule WorkloadGenerator::generateCompute(const ComputeSpec &Spec) {
   return Info;
 }
 
+GeneratedAdversarial
+WorkloadGenerator::generateAdversarial(const AdversarialSpec &Spec) {
+  Rng R(Spec.Seed);
+  GeneratedAdversarial Out;
+  Out.Root = Spec.Name;
+  unsigned Scale = std::max(1u, Spec.Scale);
+
+  // Text-mutating kinds start from a real generated module so the damage
+  // profile matches partial writes of real sources.
+  auto BaseModule = [&] {
+    ModuleSpec Base;
+    Base.Name = Spec.Name;
+    Base.NumProcedures = 2 + Scale;
+    Base.MeanProcStmts = 6 + Scale;
+    Base.ImportedInterfaces = 2;
+    Base.ImportDepth = 1;
+    Base.InterfaceDecls = 8;
+    Base.Seed = Spec.Seed;
+    generate(Base);
+    return std::string(Files.lookup(Spec.Name + ".mod")->Text);
+  };
+
+  switch (Spec.Kind) {
+  case AdversarialKind::TruncatedEof: {
+    // Cut mid-token-stream: everything from 40–85% in is gone, so the
+    // parser meets EOF inside nested blocks; the trailing "END <name>."
+    // is always lost.
+    std::string Text = BaseModule();
+    size_t Cut = Text.size() * R.range(40, 85) / 100;
+    Files.addFile(Spec.Name + ".mod", Text.substr(0, Cut));
+    Out.Expect = AdversarialExpectation::MustFail;
+    break;
+  }
+  case AdversarialKind::MidEditDrop: {
+    // A half-applied edit: an interior span vanished but the file still
+    // has its head and tail.  Almost always malformed, but a lucky span
+    // can be a whole procedure — only clean termination is promised.
+    std::string Text = BaseModule();
+    size_t From = Text.size() * R.range(25, 55) / 100;
+    size_t Len = Text.size() * R.range(10, 30) / 100;
+    Files.addFile(Spec.Name + ".mod",
+                  Text.substr(0, From) + Text.substr(From + Len));
+    Out.Expect = AdversarialExpectation::Either;
+    break;
+  }
+  case AdversarialKind::UnbalancedBlocks: {
+    // Blank every block terminator past the midpoint (spaces, so token
+    // positions elsewhere survive): nesting never closes, and unlike
+    // TruncatedEof the parser keeps finding tokens after the damage.
+    std::string Text = BaseModule();
+    for (size_t Pos = Text.size() / 2;
+         (Pos = Text.find("END", Pos)) != std::string::npos;)
+      Text.replace(Pos, 3, "   ");
+    Files.addFile(Spec.Name + ".mod", Text);
+    Out.Expect = AdversarialExpectation::MustFail;
+    break;
+  }
+  case AdversarialKind::DuplicateImports: {
+    // The same interface imported over and over, in both clauses.
+    std::string If = Spec.Name + "Dup";
+    Files.addFile(If + ".def", "DEFINITION MODULE " + If +
+                                   ";\nCONST C0 = 7;\nEND " + If + ".\n");
+    std::ostringstream OS;
+    OS << "MODULE " << Spec.Name << ";\n";
+    for (unsigned I = 0; I < Scale; ++I)
+      OS << "IMPORT " << If << ", " << If << ";\n";
+    OS << "FROM " << If << " IMPORT C0;\n";
+    OS << "VAR x: INTEGER;\nBEGIN x := " << If << ".C0 + C0\nEND "
+       << Spec.Name << ".\n";
+    Files.addFile(Spec.Name + ".mod", OS.str());
+    Out.Expect = AdversarialExpectation::Either;
+    break;
+  }
+  case AdversarialKind::CyclicImports: {
+    // Interfaces importing in a ring.  Interface analysis would deadlock
+    // on this; BuildGraph::interfaceCycle() must refuse it cleanly.
+    unsigned Len = std::max(2u, Scale);
+    auto Iface = [&](unsigned I) {
+      return Spec.Name + "Cyc" + std::to_string(I % Len);
+    };
+    for (unsigned I = 0; I < Len; ++I)
+      Files.addFile(Iface(I) + ".def",
+                    "DEFINITION MODULE " + Iface(I) + ";\nIMPORT " +
+                        Iface(I + 1) + ";\nCONST C0 = " +
+                        std::to_string(I + 1) + ";\nEND " + Iface(I) + ".\n");
+    Files.addFile(Spec.Name + ".mod",
+                  "MODULE " + Spec.Name + ";\nIMPORT " + Iface(0) +
+                      ";\nVAR x: INTEGER;\nBEGIN x := 1\nEND " + Spec.Name +
+                      ".\n");
+    Out.Expect = AdversarialExpectation::MustFail;
+    break;
+  }
+  case AdversarialKind::PathologicalDag: {
+    // Scale layers of Scale interfaces; every node imports the *whole*
+    // next layer, so closure sizes explode combinatorially while the
+    // graph stays well-formed.
+    auto Iface = [&](unsigned L, unsigned I) {
+      return Spec.Name + "L" + std::to_string(L) + "I" + std::to_string(I);
+    };
+    for (unsigned L = 0; L < Scale; ++L)
+      for (unsigned I = 0; I < Scale; ++I) {
+        std::ostringstream OS;
+        OS << "DEFINITION MODULE " << Iface(L, I) << ";\n";
+        if (L + 1 < Scale) {
+          OS << "IMPORT ";
+          for (unsigned J = 0; J < Scale; ++J)
+            OS << (J ? ", " : "") << Iface(L + 1, J);
+          OS << ";\n";
+        }
+        OS << "CONST C0 = " << L * Scale + I + 1 << ";\n";
+        if (L + 1 < Scale)
+          OS << "CONST CX = " << Iface(L + 1, 0) << ".C0 + 1;\n";
+        OS << "END " << Iface(L, I) << ".\n";
+        Files.addFile(Iface(L, I) + ".def", OS.str());
+      }
+    std::ostringstream OS;
+    OS << "MODULE " << Spec.Name << ";\nIMPORT ";
+    for (unsigned I = 0; I < Scale; ++I)
+      OS << (I ? ", " : "") << Iface(0, I);
+    OS << ";\nVAR x: INTEGER;\nBEGIN\n  x := 0";
+    for (unsigned I = 0; I < Scale; ++I)
+      OS << " + " << Iface(0, I) << ".C0";
+    OS << "\nEND " << Spec.Name << ".\n";
+    Files.addFile(Spec.Name + ".mod", OS.str());
+    Out.Expect = AdversarialExpectation::MustSucceed;
+    break;
+  }
+  }
+  return Out;
+}
+
 std::vector<ModuleSpec> WorkloadGenerator::paperSuite() {
   // Table 1 anchors: min / median / max of each attribute over the 37
   // programs.  Values between anchors interpolate geometrically, with

@@ -166,6 +166,42 @@ struct GeneratedRequestSet {
   std::string manifestText() const;
 };
 
+/// The shapes of hostile input real traffic contains at its worst
+/// moments: torn reads, half-applied edits, pathological graphs.  The
+/// contract under all of them is the same — the compiler terminates with
+/// clean diagnostics (or a clean success), never hangs, crashes or
+/// corrupts shared state.
+enum class AdversarialKind {
+  TruncatedEof,     ///< Well-formed module cut mid-token-stream.
+  MidEditDrop,      ///< An interior span deleted, as in a half-applied edit.
+  UnbalancedBlocks, ///< Block terminators blanked past the midpoint.
+  DuplicateImports, ///< The same interface imported repeatedly.
+  CyclicImports,    ///< Interfaces whose .def files import in a cycle.
+  PathologicalDag,  ///< Dense layered DAG: each node imports a whole layer.
+};
+
+struct AdversarialSpec {
+  std::string Name = "Adv";
+  AdversarialKind Kind = AdversarialKind::TruncatedEof;
+  uint32_t Seed = 23;
+  /// Size knob: nesting depth, DAG layer width, cycle length.
+  unsigned Scale = 3;
+};
+
+/// What a build of an adversarial root is allowed to do.  Byte-identity
+/// and exactly-one-reply hold regardless; this only classifies the
+/// expected Success bit.
+enum class AdversarialExpectation {
+  MustFail,    ///< The input is definitely broken.
+  MustSucceed, ///< Hostile in shape but well-formed.
+  Either,      ///< Outcome unspecified; only clean termination is required.
+};
+
+struct GeneratedAdversarial {
+  std::string Root; ///< Root module name to build.
+  AdversarialExpectation Expect = AdversarialExpectation::Either;
+};
+
 /// Generates synthetic compiler input into a VirtualFileSystem.
 class WorkloadGenerator {
 public:
@@ -188,6 +224,12 @@ public:
   /// (see ComputeSpec).  Deterministic in the seed, output deterministic
   /// in the spec — the VM-tiering benchmark and test workload.
   GeneratedModule generateCompute(const ComputeSpec &Spec);
+
+  /// Generates one adversarial root (see AdversarialKind), deterministic
+  /// in the seed.  Text-mutating kinds generate a well-formed module
+  /// first and then damage its bytes, so the damage is representative of
+  /// real partial writes rather than synthetic garbage.
+  GeneratedAdversarial generateAdversarial(const AdversarialSpec &Spec);
 
   /// The canned 37-program suite whose attribute distributions match the
   /// paper's Table 1 (min / median / max anchors, geometric in between).

@@ -15,8 +15,12 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace m2c;
 using namespace m2c::driver;
@@ -422,6 +426,169 @@ TEST(CacheTest, DiskStoreSurvivesConcurrentReadersAndWriters) {
     EXPECT_EQ(*Got, Values[K]);
   }
   EXPECT_EQ(Store.size(), Keys);
+  std::filesystem::remove_all(Dir);
+}
+
+//===--- Recovery sweep and entry verification -----------------------------===//
+
+TEST(CacheTest, RecoverySweepDeletesOnlyDeadWritersTemps) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-sweep";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  auto Put = [&](const std::string &Name) {
+    std::ofstream Out(Dir / Name, std::ios::binary);
+    Out << "half-written";
+  };
+  // A temp whose writer pid can't exist (kernel pid_max is at most 2^22):
+  // debris from a crash mid-write.
+  Put(".tmp4194303.0.deadkey");
+  // A temp of THIS live process: an in-flight write, must be left alone.
+  Put(".tmp" + std::to_string(::getpid()) + ".7.livekey");
+  // Not the temp pattern at all: never touched.
+  Put(".tmpnotapid");
+  Put("unrelated.txt");
+
+  cache::DiskCacheStore Store(Dir.string());
+  EXPECT_FALSE(std::filesystem::exists(Dir / ".tmp4194303.0.deadkey"));
+  EXPECT_TRUE(std::filesystem::exists(
+      Dir / (".tmp" + std::to_string(::getpid()) + ".7.livekey")));
+  EXPECT_TRUE(std::filesystem::exists(Dir / ".tmpnotapid"));
+  EXPECT_TRUE(std::filesystem::exists(Dir / "unrelated.txt"));
+  EXPECT_EQ(Store.stats().snapshot().at("cache.disk.orphans"), 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTest, BitFlippedEntryIsDetectedAndHealedOnLoad) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-bitflip";
+  std::filesystem::remove_all(Dir);
+  cache::DiskCacheStore Store(Dir.string());
+  Store.save("key", "a perfectly good payload");
+  ASSERT_TRUE(Store.load("key").has_value());
+
+  // Flip one payload bit on disk, as a failing sector would.
+  std::filesystem::path Path = Dir / "key.mcc";
+  std::string Raw;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Raw = SS.str();
+  }
+  Raw.back() ^= 0x01;
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << Raw;
+  }
+
+  // The verified read refuses the entry, deletes it and misses — the
+  // caller recompiles and the store self-heals.
+  EXPECT_FALSE(Store.load("key").has_value());
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  EXPECT_EQ(Store.stats().snapshot().at("cache.disk.corrupt"), 1u);
+  Store.save("key", "a perfectly good payload");
+  ASSERT_TRUE(Store.load("key").has_value());
+  EXPECT_EQ(*Store.load("key"), "a perfectly good payload");
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTest, HeaderlessLegacyEntriesAreAcceptedUnverified) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-legacy";
+  std::filesystem::remove_all(Dir);
+  cache::DiskCacheStore Store(Dir.string());
+  {
+    std::ofstream Out(Dir / "old.mcc", std::ios::binary);
+    Out << "legacy payload with no header";
+  }
+  std::optional<std::string> Got = Store.load("old");
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, "legacy payload with no header");
+  // verifyAll treats it the same way: checked, not corrupt.
+  cache::DiskCacheStore::VerifyReport Report = Store.verifyAll(true);
+  EXPECT_EQ(Report.Checked, 1u);
+  EXPECT_EQ(Report.Corrupt, 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTest, VerifyAllReportsThenHeals) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-verify";
+  std::filesystem::remove_all(Dir);
+  cache::DiskCacheStore Store(Dir.string());
+  Store.save("good0", "payload zero");
+  Store.save("victim", "payload one");
+  Store.save("good2", "payload two");
+  {
+    std::fstream F(Dir / "victim.mcc",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(-1, std::ios::end);
+    F.put('!');
+  }
+
+  // Report-only: the corrupt entry is found but kept.
+  cache::DiskCacheStore::VerifyReport Dry = Store.verifyAll(false);
+  EXPECT_EQ(Dry.Checked, 3u);
+  EXPECT_EQ(Dry.Corrupt, 1u);
+  EXPECT_EQ(Dry.Healed, 0u);
+  EXPECT_TRUE(std::filesystem::exists(Dir / "victim.mcc"));
+
+  // Healing pass deletes it; a second pass comes back clean.
+  cache::DiskCacheStore::VerifyReport Heal = Store.verifyAll(true);
+  EXPECT_EQ(Heal.Corrupt, 1u);
+  EXPECT_EQ(Heal.Healed, 1u);
+  EXPECT_FALSE(std::filesystem::exists(Dir / "victim.mcc"));
+  cache::DiskCacheStore::VerifyReport Clean = Store.verifyAll(true);
+  EXPECT_EQ(Clean.Checked, 2u);
+  EXPECT_EQ(Clean.Corrupt, 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTest, VerifySweepConcurrentWithWritersStaysConsistent) {
+  // verifyAll is advertised as safe against live writers: temp+rename means
+  // it only ever sees complete entries, so a healing sweep racing a writer
+  // can never eat a good entry or report a torn one.
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-sweeprace";
+  std::filesystem::remove_all(Dir);
+  cache::DiskCacheStore Store(Dir.string());
+
+  constexpr unsigned Keys = 4;
+  auto Value = [](unsigned K) {
+    return std::string(4096, static_cast<char>('a' + K));
+  };
+  std::atomic<int> Torn{0};
+  std::atomic<bool> Done{false};
+  auto Writer = [&](unsigned Id) {
+    std::mt19937 R(Id * 131 + 7);
+    for (unsigned I = 0; I < 200; ++I) {
+      unsigned K = R() % Keys;
+      if (R() % 2)
+        Store.save("race" + std::to_string(K), Value(K));
+      else if (auto Got = Store.load("race" + std::to_string(K)))
+        if (*Got != Value(K))
+          Torn.fetch_add(1);
+    }
+  };
+  std::thread Sweeper([&] {
+    size_t CorruptSeen = 0;
+    while (!Done.load())
+      CorruptSeen += Store.verifyAll(true).Corrupt;
+    EXPECT_EQ(CorruptSeen, 0u);
+  });
+  std::vector<std::thread> Writers;
+  for (unsigned T = 0; T < 4; ++T)
+    Writers.emplace_back(Writer, T);
+  for (std::thread &T : Writers)
+    T.join();
+  Done.store(true);
+  Sweeper.join();
+
+  EXPECT_EQ(Torn.load(), 0);
+  cache::DiskCacheStore::VerifyReport Final = Store.verifyAll(true);
+  EXPECT_EQ(Final.Corrupt, 0u);
+  EXPECT_EQ(Final.Checked, Keys);
   std::filesystem::remove_all(Dir);
 }
 

@@ -672,6 +672,54 @@ TEST(DaemonTest, DrainFinishesInFlightRefusesNewAndLeavesNoTempFiles) {
   std::filesystem::remove_all(CacheDir);
 }
 
+TEST(DaemonTest, ClientKilledMidBuildIsSurvivedAndCounted) {
+  // The peer-reset case -retry exists for: the client vanishes while its
+  // build runs.  The reply write must fail quietly (MSG_NOSIGNAL — no
+  // SIGPIPE, m2cd also ignores it belt-and-braces), be counted, and leave
+  // the daemon fully serving.
+  DaemonFixture F;
+  F.Files.addFile("Tiny.mod", "MODULE Tiny; BEGIN END Tiny.\n");
+  Gate Hold;
+  daemon::DaemonConfig Config = F.config();
+  std::atomic<int> Started{0};
+  Config.OnBuildStart = [&](uint64_t) {
+    if (Started.fetch_add(1) == 0)
+      Hold.wait();
+  };
+  daemon::Daemon Server(F.Files, F.Interner, Config);
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  {
+    net::Socket S = F.rawHandshake();
+    net::BuildRequestMsg Req;
+    Req.RequestId = 1;
+    Req.Roots = {"Tiny"};
+    ASSERT_TRUE(S.sendFrame(net::encode(Req)));
+    while (Started.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Die without reading the reply — a kill -9'd client, in effect.
+    S.close();
+  }
+  Hold.open();
+  EXPECT_TRUE(F.waitForCounter(Server, "net.replies.sendfailed", 1));
+
+  // The daemon is unharmed: a fresh client's build completes normally.
+  auto Client = net::RemoteClient::open(F.SocketPath, Err);
+  ASSERT_NE(Client, nullptr) << Err;
+  net::BuildRequestMsg Req2;
+  Req2.RequestId = Client->nextRequestId();
+  Req2.Roots = {"Tiny"};
+  net::BuildResultMsg Result2;
+  ASSERT_TRUE(Client->build(Req2, Result2, Err)) << Err;
+  EXPECT_EQ(Result2.St, net::Status::Ok) << Result2.Diagnostics;
+  auto Stats = Server.statsSnapshot();
+  // The abandoned request still completed and was counted as a build.
+  EXPECT_EQ(DaemonFixture::stat(Stats, "net.requests.ok"), 2u);
+  EXPECT_EQ(DaemonFixture::stat(Stats, "net.replies.sendfailed"), 1u);
+  Server.stop();
+}
+
 TEST(DaemonTest, StatsExportsServiceSchedulerAndCacheCounters) {
   DaemonFixture F;
   F.Files.addFile("Tiny.mod", "MODULE Tiny; BEGIN END Tiny.\n");
