@@ -13,6 +13,10 @@
 //
 // The parser reads only what the sidecars are known to contain: the
 // "benchmarks" array's "name", "real_time" and "time_unit" fields.
+// Sidecars without a "benchmarks" array (bench_farm, soak_service,
+// bench_daemon — flat single-object reports) fold in as one row per
+// top-level numeric or boolean field, so the farm scaling numbers land
+// in the same table as everything else.
 //
 //===----------------------------------------------------------------------===//
 
@@ -83,8 +87,38 @@ void parseSidecar(const std::filesystem::path &Path, std::vector<Row> &Rows) {
     Compact.push_back(Text[I]);
   }
   size_t Arr = Compact.find("\"benchmarks\":");
-  if (Arr == std::string::npos)
+  if (Arr == std::string::npos) {
+    // Flat single-object sidecar: one row per top-level numeric or
+    // boolean field.  Strings (the "name" label etc.) are skipped.
+    size_t P = 0;
+    while ((P = Compact.find('"', P)) != std::string::npos) {
+      size_t E = Compact.find('"', P + 1);
+      if (E == std::string::npos)
+        break;
+      std::string Key = Compact.substr(P + 1, E - P - 1);
+      size_t V = E + 1;
+      if (V >= Compact.size() || Compact[V] != ':') {
+        P = E + 1;
+        continue;
+      }
+      ++V;
+      Row R;
+      R.File = Path.filename().string();
+      R.Name = Key;
+      if (Compact.compare(V, 4, "true") == 0) {
+        R.RealTime = 1;
+        Rows.push_back(std::move(R));
+      } else if (Compact.compare(V, 5, "false") == 0) {
+        R.RealTime = 0;
+        Rows.push_back(std::move(R));
+      } else if (Compact[V] == '-' || (Compact[V] >= '0' && Compact[V] <= '9')) {
+        R.RealTime = std::strtod(Compact.c_str() + V, nullptr);
+        Rows.push_back(std::move(R));
+      } // else: a string value; skip it and scan on from its key.
+      P = E + 1;
+    }
     return;
+  }
   size_t P = Compact.find('{', Arr);
   while (P != std::string::npos) {
     size_t End = Compact.find('}', P);

@@ -20,7 +20,15 @@
 //   4. The shared disk cache verifies clean afterwards: no corrupt
 //      entries survive healing, no temp debris remains.
 //
-//   soak_service [--quick]     (--quick: smaller mix, CI-sized)
+//   soak_service [--quick] [--farm]   (--quick: smaller mix, CI-sized)
+//
+// --farm points the same traffic at a 2-worker farm coordinator instead
+// of an in-process daemon: the workspace is materialized to disk, the
+// fault plan is handed to each exec'd m2cd worker through M2C_FAULTS
+// (the env-armed installer in m2c_fault), and the coordinator-side plan
+// keeps tearing relay and client connections — so worker crashes,
+// failover and respawn are all on the table while the same four pass
+// bars hold.
 //
 // The plan is env-overridable: M2C_SOAK_FAULTS="<spec>" (or, failing
 // that, M2C_FAULTS) replaces the default mix — same grammar, see
@@ -33,6 +41,7 @@
 #include "cache/CacheStore.h"
 #include "codegen/ObjectFile.h"
 #include "daemon/Daemon.h"
+#include "farm/Farm.h"
 #include "fault/FaultPlan.h"
 #include "net/RemoteClient.h"
 #include "workload/WorkloadGenerator.h"
@@ -44,6 +53,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -88,12 +98,14 @@ struct Tally {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool Quick = false;
+  bool Quick = false, FarmMode = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::string(Argv[I]) == "--quick")
       Quick = true;
+    else if (std::string(Argv[I]) == "--farm")
+      FarmMode = true;
     else {
-      std::fprintf(stderr, "usage: soak_service [--quick]\n");
+      std::fprintf(stderr, "usage: soak_service [--quick] [--farm]\n");
       return 2;
     }
   }
@@ -166,31 +178,65 @@ int main(int Argc, char **Argv) {
        ("soak-service-" + std::to_string(::getpid()) + ".sock"))
           .string();
 
-  daemon::DaemonConfig Config;
-  Config.UnixSocketPath = SocketPath;
-  Config.Service.Workers = Workers;
-  Config.Service.CacheDir = CacheDir.string();
-  Config.MaxPendingBuilds = Clients * 4;
-  daemon::Daemon Server(Files, Interner, Config);
-  std::string Err;
-  if (!Server.start(Err)) {
-    std::fprintf(stderr, "FATAL: daemon start: %s\n", Err.c_str());
-    return 1;
-  }
-
   const char *PlanSpec = std::getenv("M2C_SOAK_FAULTS");
   if (!PlanSpec || !*PlanSpec)
     PlanSpec = std::getenv("M2C_FAULTS"); // CI sets a fixed-seed plan here.
   if (!PlanSpec || !*PlanSpec)
     PlanSpec = DefaultPlan;
+
+  std::string Err;
+  std::unique_ptr<daemon::Daemon> Server;
+  std::unique_ptr<farm::Farm> Coordinator;
+  fs::path WorkspaceDir;
+  const unsigned FarmWorkers = 2;
+  if (FarmMode) {
+    // Workers are separate processes reading the real filesystem:
+    // materialize the generated sources (including the adversarial
+    // bytes) as an on-disk workspace.
+    WorkspaceDir = fs::temp_directory_path() /
+                   ("soak-farm-ws-" + std::to_string(::getpid()));
+    fs::remove_all(WorkspaceDir);
+    fs::create_directories(WorkspaceDir);
+    for (const std::string &Name : Files.names()) {
+      std::ofstream Out(WorkspaceDir / Name, std::ios::binary);
+      Out << Files.lookup(Name)->Text;
+    }
+    farm::FarmConfig Config;
+    Config.UnixSocketPath = SocketPath;
+    Config.Workers = FarmWorkers;
+    Config.Worker.Workspace = WorkspaceDir.string();
+    Config.Worker.CacheDir = CacheDir.string();
+    Config.Worker.Jobs = Workers / FarmWorkers;
+    Config.MaxPendingRelays = Clients * 4;
+    // The plan crosses the exec boundary by environment: every worker
+    // (and every respawned incarnation) arms the same spec.
+    Config.Worker.Env.emplace_back("M2C_FAULTS", PlanSpec);
+    Coordinator = std::make_unique<farm::Farm>(Config);
+    if (!Coordinator->start(Err)) {
+      std::fprintf(stderr, "FATAL: farm start: %s\n", Err.c_str());
+      return 1;
+    }
+  } else {
+    daemon::DaemonConfig Config;
+    Config.UnixSocketPath = SocketPath;
+    Config.Service.Workers = Workers;
+    Config.Service.CacheDir = CacheDir.string();
+    Config.MaxPendingBuilds = Clients * 4;
+    Server = std::make_unique<daemon::Daemon>(Files, Interner, Config);
+    if (!Server->start(Err)) {
+      std::fprintf(stderr, "FATAL: daemon start: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
   if (!fault::installPlanFromSpec(PlanSpec, Err)) {
     std::fprintf(stderr, "FATAL: bad fault plan: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("soak: %u clients x %u requests over %zu roots (%zu "
+  std::printf("soak%s: %u clients x %u requests over %zu roots (%zu "
               "adversarial), plan:\n  %s\n",
-              Clients, RequestsPerClient, Roots.size(), Kinds.size(),
-              PlanSpec);
+              FarmMode ? " [farm x2]" : "", Clients, RequestsPerClient,
+              Roots.size(), Kinds.size(), PlanSpec);
 
   // Watchdog: a hung request must fail the run loudly, not park it forever.
   std::atomic<bool> Done{false};
@@ -276,14 +322,32 @@ int main(int Argc, char **Argv) {
   Done.store(true);
   Watchdog.join();
 
-  std::map<std::string, uint64_t> Stats = Server.statsSnapshot();
-  Server.stop();
+  // In farm mode the aggregated view reaches into the (still-running)
+  // worker processes, whose fault counters live in *their* address
+  // spaces; the coordinator side's own injections (torn relay/client
+  // connections) are folded in from the local plan.
+  std::map<std::string, uint64_t> Stats;
+  if (FarmMode) {
+    Stats = Coordinator->aggregatedStats();
+    for (const auto &[Name, Value] : fault::statsSnapshot())
+      Stats[Name] += Value; // Keys are already fault.{hits,injected}.*.
+    Coordinator->stop();
+  } else {
+    Stats = Server->statsSnapshot();
+    Server->stop();
+  }
   fault::installPlan(nullptr);
 
   uint64_t Injected = 0;
   for (const auto &[Name, Value] : Stats)
     if (Name.rfind("fault.injected.", 0) == 0)
       Injected += Value;
+  uint64_t Failovers = Stats.count("farm.requests.failover")
+                           ? Stats["farm.requests.failover"]
+                           : 0;
+  uint64_t Respawns = Stats.count("farm.workers.respawned")
+                          ? Stats["farm.workers.respawned"]
+                          : 0;
 
   // Post-mortem cache audit: heal anything the read path hadn't touched
   // yet, then demand a clean second pass and zero temp debris.
@@ -308,6 +372,12 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(T.Retries.load()));
   std::printf("  %-28s %8llu\n", "faults injected",
               static_cast<unsigned long long>(Injected));
+  if (FarmMode) {
+    std::printf("  %-28s %8llu\n", "relay failovers",
+                static_cast<unsigned long long>(Failovers));
+    std::printf("  %-28s %8llu\n", "workers respawned",
+                static_cast<unsigned long long>(Respawns));
+  }
   std::printf("  %-28s %8zu healed, %zu orphans\n", "cache audit",
               First.Healed, First.Orphans);
   std::printf("  %-28s %8.1f ms\n", "wall time", Ms);
@@ -332,6 +402,10 @@ int main(int Argc, char **Argv) {
   Json << "{\n"
        << "  \"name\": \"soak_service\",\n"
        << "  \"quick\": " << (Quick ? "true" : "false") << ",\n"
+       << "  \"farm\": " << (FarmMode ? "true" : "false") << ",\n"
+       << "  \"farm_workers\": " << (FarmMode ? FarmWorkers : 0) << ",\n"
+       << "  \"farm_failovers\": " << Failovers << ",\n"
+       << "  \"farm_respawns\": " << Respawns << ",\n"
        << "  \"requests\": " << T.Issued.load() << ",\n"
        << "  \"ok\": " << T.Ok.load() << ",\n"
        << "  \"compile_failed\": " << T.CompileFailed.load() << ",\n"
@@ -348,6 +422,8 @@ int main(int Argc, char **Argv) {
 
   fs::remove_all(CacheDir);
   std::error_code EC;
+  if (!WorkspaceDir.empty())
+    fs::remove_all(WorkspaceDir, EC);
   fs::remove(SocketPath, EC);
   return Pass ? 0 : 1;
 }

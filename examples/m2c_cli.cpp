@@ -45,6 +45,14 @@
 //                    identical to a local -project build.  Composes with
 //                    -c, -run, -dump, -stats, -deadline.  With -stats and
 //                    no modules, just prints the daemon's counters.
+//                    ADDR may equally be an m2cfarm coordinator — the
+//                    farm speaks the identical protocol.
+//     -farm N        one-shot farm mode: spawn an in-process coordinator
+//                    over N m2cd workers sharing the working directory
+//                    (and -cache DIR when given), build the positional
+//                    roots through it, then drain and reap the workers.
+//                    Same surface as -remote; -stats prints the farm's
+//                    aggregated worker counters
 //     -deadline MS   remote mode: per-request deadline in milliseconds;
 //                    an expired request returns DEADLINE_EXCEEDED
 //     -retry N       remote mode: on transient failure (daemon absent,
@@ -83,6 +91,7 @@
 #include "codegen/ObjectFile.h"
 #include "driver/ConcurrentCompiler.h"
 #include "driver/SequentialCompiler.h"
+#include "farm/Farm.h"
 #include "net/RemoteClient.h"
 #include "service/BuildService.h"
 #include "trace/ActivityRecorder.h"
@@ -100,6 +109,8 @@
 #include <sstream>
 #include <thread>
 
+#include <unistd.h>
+
 using namespace m2c;
 
 namespace {
@@ -110,8 +121,8 @@ int usage() {
                "[-O0|-O1|-O2] [-trace] [-run] [-tier0] [-tier1] "
                "[-tier-threshold N] [-dump] [-c] [-cache DIR] "
                "[-cache-stats] [-project] [-serve N] [-remote ADDR] "
-               "[-deadline MS] [-retry N] [-retry-backoff MS] [-no-push] "
-               "[-stats] Module...\n");
+               "[-farm N] [-deadline MS] [-retry N] [-retry-backoff MS] "
+               "[-no-push] [-stats] Module...\n");
   return 2;
 }
 
@@ -344,6 +355,16 @@ int runRemote(StringInterner &Names, const std::string &Address,
     net::BuildResultMsg Result;
     net::RemoteBuildOutcome Outcome =
         net::buildWithRetry(Address, Req, Policy, Result);
+    // Which failure class cost the retries: "slow because overloaded"
+    // reads differently from "slow because the connection kept dropping".
+    if (!Outcome.Retries.empty()) {
+      std::string Breakdown;
+      for (const auto &[Category, Count] : Outcome.Retries)
+        Breakdown += std::string(" ") + net::errorCategoryName(Category) +
+                     "=" + std::to_string(Count);
+      std::fprintf(stderr, "m2c_cli: retries by category:%s\n",
+                   Breakdown.c_str());
+    }
     if (!Outcome.Delivered) {
       std::fprintf(stderr, "m2c_cli: %s (%s after %u attempt%s)\n",
                    Outcome.Err.empty() ? "remote build failed"
@@ -445,6 +466,7 @@ int main(int Argc, char **Argv) {
   bool EmitObjects = false, CacheStats = false, Project = false;
   bool Stats = false, NoPush = false;
   unsigned ServeClients = 0;
+  unsigned FarmWorkers = 0;
   unsigned DeadlineMs = 0;
   unsigned Retries = 0, RetryBackoffMs = 100;
   bool RetryFlagsSeen = false;
@@ -515,6 +537,11 @@ int main(int Argc, char **Argv) {
       Stats = true;
     } else if (Arg == "-remote" && I + 1 < Argc) {
       RemoteAddr = Argv[++I];
+    } else if (Arg == "-farm" && I + 1 < Argc) {
+      int V = std::atoi(Argv[++I]);
+      if (V <= 0)
+        return usage();
+      FarmWorkers = static_cast<unsigned>(V);
     } else if (Arg == "-deadline" && I + 1 < Argc) {
       int V = std::atoi(Argv[++I]);
       if (V <= 0)
@@ -539,6 +566,46 @@ int main(int Argc, char **Argv) {
     } else {
       Modules.push_back(Arg);
     }
+  }
+  if (FarmWorkers && !RemoteAddr.empty()) {
+    std::fprintf(stderr, "-farm spawns its own coordinator; "
+                         "it does not compose with -remote\n");
+    return 2;
+  }
+  // One-shot farm mode: stand up a real coordinator + N worker processes
+  // over the working directory, then drive it exactly like -remote (the
+  // farm speaks the same protocol, so runRemote needs no farm awareness).
+  if (FarmWorkers) {
+    if (Modules.empty() && !Stats)
+      return usage();
+    std::string SockDir =
+        "/tmp/m2cfarm." + std::to_string(static_cast<long>(::getpid()));
+    std::error_code EC;
+    std::filesystem::create_directories(SockDir, EC);
+    if (EC) {
+      std::fprintf(stderr, "m2c_cli: cannot create '%s': %s\n",
+                   SockDir.c_str(), EC.message().c_str());
+      return 1;
+    }
+    farm::FarmConfig FConfig;
+    FConfig.UnixSocketPath = SockDir + "/farm.sock";
+    FConfig.Workers = FarmWorkers;
+    FConfig.Worker.Workspace = ".";
+    FConfig.Worker.CacheDir = CacheDir;
+    farm::Farm Coordinator(FConfig);
+    std::string FarmErr;
+    if (!Coordinator.start(FarmErr)) {
+      std::fprintf(stderr, "m2c_cli: %s\n", FarmErr.c_str());
+      return 1;
+    }
+    StringInterner RemoteNames;
+    int Exit = runRemote(RemoteNames, FConfig.UnixSocketPath, Modules,
+                         DeadlineMs, Options.Level, !NoPush, Run, Dump,
+                         EmitObjects, Stats, Tiering, Retries,
+                         RetryBackoffMs);
+    Coordinator.stop();
+    std::filesystem::remove_all(SockDir, EC);
+    return Exit;
   }
   // Remote mode is self-contained: sources are read straight from the
   // working directory (or trusted on the daemon with -no-push), so the

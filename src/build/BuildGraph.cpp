@@ -27,17 +27,22 @@ namespace {
 std::vector<Symbol> scanImports(VirtualFileSystem &Files,
                                 StringInterner &Interner,
                                 symtab::Scope &Builtins,
-                                const std::string &FileName) {
+                                const std::string &FileName, bool UseMemo) {
   const SourceBuffer *Buf = Files.lookup(FileName);
   if (!Buf)
     return {};
-  DiagnosticsEngine ScratchDiags;
-  TokenBlockQueue Queue(FileName + ".scan");
-  Lexer Lex(*Buf, Interner, ScratchDiags);
-  Lex.lexAll(Queue);
-  sema::ModuleRegistry Scratch(Builtins);
-  Importer Imp(TokenBlockQueue::Reader(Queue), Scratch, Interner);
-  return Imp.run();
+  auto Scan = [&] {
+    DiagnosticsEngine ScratchDiags;
+    TokenBlockQueue Queue(FileName + ".scan");
+    Lexer Lex(*Buf, Interner, ScratchDiags);
+    Lex.lexAll(Queue);
+    sema::ModuleRegistry Scratch(Builtins);
+    Importer Imp(TokenBlockQueue::Reader(Queue), Scratch, Interner);
+    return Imp.run();
+  };
+  if (UseMemo)
+    return Buf->imports(&Interner, Scan);
+  return Scan();
 }
 
 } // namespace
@@ -45,7 +50,8 @@ std::vector<Symbol> scanImports(VirtualFileSystem &Files,
 BuildGraph BuildGraph::discover(VirtualFileSystem &Files,
                                 StringInterner &Interner,
                                 symtab::Scope &Builtins,
-                                const std::vector<std::string> &Roots) {
+                                const std::vector<std::string> &Roots,
+                                bool UseMemo) {
   BuildGraph G;
   std::deque<Symbol> Work;
   std::vector<Symbol> Discovery; // first-appearance order
@@ -71,9 +77,9 @@ BuildGraph BuildGraph::discover(VirtualFileSystem &Files,
     N.HasDef = Files.exists(DefFile);
     N.HasImpl = Files.exists(ModFile);
     if (N.HasDef)
-      N.DefImports = scanImports(Files, Interner, Builtins, DefFile);
+      N.DefImports = scanImports(Files, Interner, Builtins, DefFile, UseMemo);
     if (N.HasImpl)
-      N.ModImports = scanImports(Files, Interner, Builtins, ModFile);
+      N.ModImports = scanImports(Files, Interner, Builtins, ModFile, UseMemo);
     for (Symbol I : N.DefImports)
       Reach(I);
     for (Symbol I : N.ModImports)
@@ -169,15 +175,19 @@ BuildGraph::closureFrom(const std::vector<Symbol> &Seeds) const {
 }
 
 size_t BuildGraph::interfaceClosure(Symbol Module) const {
+  return interfaceClosureSet(Module).size();
+}
+
+std::vector<Symbol> BuildGraph::interfaceClosureSet(Symbol Module) const {
   auto It = Nodes.find(Module);
   if (It == Nodes.end())
-    return 0;
+    return {};
   std::vector<Symbol> Seeds;
   if (It->second.HasDef)
     Seeds.push_back(Module); // the module's own anticipated interface
   for (Symbol I : It->second.ModImports)
     Seeds.push_back(I);
-  return closureFrom(Seeds).size();
+  return closureFrom(Seeds);
 }
 
 size_t BuildGraph::sessionInterfaceCount() const {

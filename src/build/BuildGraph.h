@@ -48,9 +48,17 @@ public:
   /// to the active execution context (run it under a SequentialContext to
   /// account discovery in a session's time).  \p Builtins only parents
   /// the scratch scopes of discovery and is never mutated.
+  ///
+  /// \p UseMemo reuses each buffer's memoized import list (SourceBuffer
+  /// facts) instead of re-lexing it — the big per-request win for a
+  /// long-lived service, whose requests re-discover the same unchanged
+  /// buffers over and over.  Off by default because a memo hit skips the
+  /// lexing the execution context would otherwise charge, and simulated
+  /// sessions want those units deterministic; wall-clock services opt in.
   static BuildGraph discover(VirtualFileSystem &Files,
                              StringInterner &Interner, symtab::Scope &Builtins,
-                             const std::vector<std::string> &Roots);
+                             const std::vector<std::string> &Roots,
+                             bool UseMemo = false);
 
   const BuildNode *node(Symbol Name) const;
 
@@ -63,6 +71,11 @@ public:
   /// \p Module would register: its own interface (when present), its
   /// .mod's direct imports, and the closure over interface imports.
   size_t interfaceClosure(Symbol Module) const;
+
+  /// The names behind interfaceClosure(\p Module).  The service hands
+  /// these to the cache planner as the module's dependency set so the
+  /// prepass need not re-derive the closure by lexing every interface.
+  std::vector<Symbol> interfaceClosureSet(Symbol Module) const;
 
   /// Distinct interface names the whole session registers — every
   /// compiled module's closure, deduplicated.

@@ -180,7 +180,18 @@ BuildResult BuildSession::buildImpl(const std::vector<std::string> &Roots,
         cache::CacheFingerprint{Options.Strategy, Options.Sharing, PassConfig,
                                 "conc"},
         Options.Cost);
-    cache::CachePlan Plan = Planner.plan(Spelling);
+    // Service mode hands the planner the module's already-discovered
+    // interface closure, replacing the probe's per-interface lex walk
+    // with (memoized) hash lookups.  Standalone sessions keep the
+    // unassisted probe so their simulated probe units stay as charged.
+    std::vector<std::string> ClosureFiles;
+    if (Ext) {
+      for (Symbol Def : Graph.interfaceClosureSet(Mod))
+        ClosureFiles.push_back(
+            VirtualFileSystem::defFileName(Interner.spelling(Def)));
+    }
+    cache::CachePlan Plan =
+        Planner.plan(Spelling, Ext ? &ClosureFiles : nullptr);
     SideUnits += Plan.ProbeUnits;
     SideWallNs += WallSince(Start);
     if (Plan.ModuleHit) {

@@ -82,6 +82,19 @@ void CachePlanner::combineFingerprint(KeyHasher &H) const {
   H.combine(std::string_view(Fingerprint.Driver));
 }
 
+namespace {
+
+/// The buffer's content hash, computed once per buffer ever (the memo
+/// lives on the immutable SourceBuffer).  The probe cost is still charged
+/// per call — memoization is a wall-time optimization and must not make
+/// virtual time nondeterministic.
+std::string memoizedHash(const SourceBuffer &Buf) {
+  sched::ctx().charge(sched::CostKind::CacheProbe, Buf.Text.size());
+  return Buf.contentHash([&Buf] { return hashBytes(Buf.Text).hex(); });
+}
+
+} // namespace
+
 bool CachePlanner::depsMatch(const std::vector<FileDep> &Deps) {
   for (const FileDep &Dep : Deps) {
     const SourceBuffer *Buf = Files.lookup(Dep.Name);
@@ -90,23 +103,22 @@ bool CachePlanner::depsMatch(const std::vector<FileDep> &Deps) {
         return false;
       continue;
     }
-    sched::ctx().charge(sched::CostKind::CacheProbe, Buf->Text.size());
-    if (hashBytes(Buf->Text).hex() != Dep.Hash)
+    if (memoizedHash(*Buf) != Dep.Hash)
       return false;
   }
   return true;
 }
 
 void CachePlanner::probeInner(std::string_view ModuleName, CachePlan &Plan,
-                              TokenBlockQueue *RawQueue) {
+                              TokenBlockQueue *RawQueue,
+                              const std::vector<std::string> *KnownClosure) {
   const SourceBuffer *ModBuf =
       Files.lookup(VirtualFileSystem::modFileName(ModuleName));
   if (!ModBuf)
     return; // Plan stays invalid; the driver reports the missing file.
   Plan.Valid = true;
 
-  sched::ctx().charge(sched::CostKind::CacheProbe, ModBuf->Text.size());
-  Plan.ModTextHash = hashBytes(ModBuf->Text).hex();
+  Plan.ModTextHash = memoizedHash(*ModBuf);
 
   KeyHasher MH;
   MH.combine(std::string_view("module"));
@@ -130,54 +142,73 @@ void CachePlanner::probeInner(std::string_view ModuleName, CachePlan &Plan,
     Cache.stats().add("cache.module.miss");
   }
 
-  // Miss: discover the interface closure by transitively scanning IMPORT
-  // clauses, exactly the recognition the Importer tasks will repeat.  The
-  // probe lexes with a private diagnostics engine — the real compilation
-  // re-lexes and reports.
+  // Miss: the plan needs the module's interface closure as FileDeps.  The
+  // module itself is lexed either way (planStreams consumes the queue);
+  // the closure comes from either the caller's pre-discovered list or a
+  // transitive IMPORT scan over every interface, exactly the recognition
+  // the Importer tasks will repeat.  The probe lexes with a private
+  // diagnostics engine — the real compilation re-lexes and reports.
   DiagnosticsEngine ProbeDiags;
   if (RawQueue) {
     Lexer Lex(*ModBuf, Interner, ProbeDiags);
     Lex.lexAll(*RawQueue);
   }
 
-  std::vector<Symbol> Worklist;
-  if (RawQueue) {
-    scanImports(*RawQueue, Worklist);
-  } else {
-    // Module-only probe (sequential driver): lex into a local queue.
-    TokenBlockQueue Q("probe.raw." + std::string(ModuleName));
-    Lexer Lex(*ModBuf, Interner, ProbeDiags);
-    Lex.lexAll(Q);
-    scanImports(Q, Worklist);
-  }
-  // The module's own interface participates in every scope chain; track
-  // it even when absent so that adding M.def later invalidates.
-  Symbol Self = Interner.intern(ModuleName);
-  if (std::find(Worklist.begin(), Worklist.end(), Self) == Worklist.end())
-    Worklist.push_back(Self);
-
-  std::vector<Symbol> Seen;
-  for (size_t I = 0; I < Worklist.size(); ++I) {
-    Symbol Name = Worklist[I];
-    if (std::find(Seen.begin(), Seen.end(), Name) != Seen.end())
-      continue;
-    Seen.push_back(Name);
-    std::string FileName =
-        VirtualFileSystem::defFileName(Interner.spelling(Name));
+  auto AddDep = [this, &Plan](const std::string &FileName) {
     const SourceBuffer *Buf = Files.lookup(FileName);
     if (!Buf) {
       Plan.Deps.push_back(FileDep{FileName, "missing"});
-      continue;
+      return Buf;
     }
-    sched::ctx().charge(sched::CostKind::CacheProbe, Buf->Text.size());
-    Plan.Deps.push_back(FileDep{FileName, hashBytes(Buf->Text).hex()});
-    TokenBlockQueue Q("probe." + FileName);
-    Lexer Lex(*Buf, Interner, ProbeDiags);
-    Lex.lexAll(Q);
-    std::vector<Symbol> Imports;
-    scanImports(Q, Imports);
-    for (Symbol Imported : Imports)
-      Worklist.push_back(Imported);
+    Plan.Deps.push_back(FileDep{FileName, memoizedHash(*Buf)});
+    return Buf;
+  };
+
+  if (KnownClosure) {
+    // Session-assisted path: dependency names were already discovered;
+    // only the (memoized) content hashes are taken here.  The module's
+    // own interface participates in every scope chain, so it is tracked
+    // even when the caller's list omits it or the file is absent —
+    // adding M.def later must invalidate.
+    std::string SelfDef = VirtualFileSystem::defFileName(ModuleName);
+    AddDep(SelfDef);
+    for (const std::string &FileName : *KnownClosure)
+      if (FileName != SelfDef)
+        AddDep(FileName);
+  } else {
+    std::vector<Symbol> Worklist;
+    if (RawQueue) {
+      scanImports(*RawQueue, Worklist);
+    } else {
+      // Module-only probe (sequential driver): lex into a local queue.
+      TokenBlockQueue Q("probe.raw." + std::string(ModuleName));
+      Lexer Lex(*ModBuf, Interner, ProbeDiags);
+      Lex.lexAll(Q);
+      scanImports(Q, Worklist);
+    }
+    // Self-tracking, as above.
+    Symbol Self = Interner.intern(ModuleName);
+    if (std::find(Worklist.begin(), Worklist.end(), Self) == Worklist.end())
+      Worklist.push_back(Self);
+
+    std::vector<Symbol> Seen;
+    for (size_t I = 0; I < Worklist.size(); ++I) {
+      Symbol Name = Worklist[I];
+      if (std::find(Seen.begin(), Seen.end(), Name) != Seen.end())
+        continue;
+      Seen.push_back(Name);
+      const SourceBuffer *Buf =
+          AddDep(VirtualFileSystem::defFileName(Interner.spelling(Name)));
+      if (!Buf)
+        continue;
+      TokenBlockQueue Q("probe." + Buf->Name);
+      Lexer Lex(*Buf, Interner, ProbeDiags);
+      Lex.lexAll(Q);
+      std::vector<Symbol> Imports;
+      scanImports(Q, Imports);
+      for (Symbol Imported : Imports)
+        Worklist.push_back(Imported);
+    }
   }
   std::sort(Plan.Deps.begin(), Plan.Deps.end(),
             [](const FileDep &A, const FileDep &B) { return A.Name < B.Name; });
@@ -300,17 +331,18 @@ CachePlan CachePlanner::probeModule(std::string_view ModuleName) {
   CachePlan Plan;
   sched::SequentialContext Ctx(Cost);
   sched::ScopedContext Installed(Ctx);
-  probeInner(ModuleName, Plan, nullptr);
+  probeInner(ModuleName, Plan, nullptr, nullptr);
   Plan.ProbeUnits = Ctx.elapsedUnits();
   return Plan;
 }
 
-CachePlan CachePlanner::plan(std::string_view ModuleName) {
+CachePlan CachePlanner::plan(std::string_view ModuleName,
+                             const std::vector<std::string> *KnownClosure) {
   CachePlan Plan;
   sched::SequentialContext Ctx(Cost);
   sched::ScopedContext Installed(Ctx);
   TokenBlockQueue RawQueue("probe.raw");
-  probeInner(ModuleName, Plan, &RawQueue);
+  probeInner(ModuleName, Plan, &RawQueue, KnownClosure);
   if (Plan.Valid && !Plan.ModuleHit)
     planStreams(ModuleName, Plan, RawQueue);
   Plan.ProbeUnits = Ctx.elapsedUnits();

@@ -113,11 +113,22 @@ public:
   CachePlan probeModule(std::string_view ModuleName);
 
   /// Full probe: module fast path, then (on miss) the per-stream plan.
-  CachePlan plan(std::string_view ModuleName);
+  ///
+  /// \p KnownClosure, when provided, is the module's interface-name
+  /// closure as some earlier pass (session discovery) already derived it;
+  /// the probe builds its dependency set from that list instead of
+  /// re-deriving the closure by lexing every interface file.  The
+  /// module's own interface is implied and need not be listed.  Content
+  /// hashes are still taken per file (memoized on the buffers), so the
+  /// resulting plan is identical to an unassisted probe of the same
+  /// sources.
+  CachePlan plan(std::string_view ModuleName,
+                 const std::vector<std::string> *KnownClosure = nullptr);
 
 private:
   void probeInner(std::string_view ModuleName, CachePlan &Plan,
-                  TokenBlockQueue *RawQueue);
+                  TokenBlockQueue *RawQueue,
+                  const std::vector<std::string> *KnownClosure);
   void planStreams(std::string_view ModuleName, CachePlan &Plan,
                    TokenBlockQueue &RawQueue);
   bool depsMatch(const std::vector<FileDep> &Deps);

@@ -188,7 +188,9 @@ bool Daemon::handshake(Connection &Conn) {
                                         std::to_string(ProtocolVersion)}));
     return false;
   }
-  sendFrame(Conn, encode(WelcomeMsg{ProtocolVersion, "m2cd/1"}));
+  sendFrame(Conn, encode(WelcomeMsg{ProtocolVersion, Config.WorkerMode
+                                                         ? "m2cd/1 worker"
+                                                         : "m2cd/1"}));
   NetStats.add("net.connections.accepted");
   return true;
 }

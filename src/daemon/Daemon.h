@@ -68,6 +68,13 @@ struct DaemonConfig {
   /// keeps the service's FIFO turnstile from growing an unbounded line.
   unsigned MaxPendingBuilds = 16;
 
+  /// Farm worker mode (PROTOCOL.md §14): the WELCOME server string
+  /// becomes "m2cd/1 worker", which is how a coordinator's readiness
+  /// probe distinguishes the worker it spawned from some unrelated
+  /// daemon squatting on the same socket path.  Protocol semantics are
+  /// otherwise identical — a worker is a complete daemon.
+  bool WorkerMode = false;
+
   /// Test instrumentation: called on the build thread after the pending
   /// slot is claimed, before the service submit.  Lets DaemonTest hold
   /// builds on a latch to make shed/cancel/drain races deterministic.

@@ -21,6 +21,15 @@
 //                    with REJECTED_OVERLOAD (default 16)
 //     -max-conns N   concurrent connections; beyond it accepts are shed
 //                    (default 32)
+//     -mem-tier BYTES in-memory cache tier budget (default 64 MiB) — farm
+//                    workers run with a fixed budget so a worker is a
+//                    provisionable unit
+//     -pool-cap N    bound on distinct .def files one shared-interface
+//                    generation may pool (default unbounded); exceeding it
+//                    rotates the generation
+//     -worker        farm worker mode: WELCOME advertises "m2cd/1 worker"
+//                    so the spawning coordinator's readiness probe can
+//                    tell its worker from an unrelated daemon
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,7 +56,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: m2cd -socket PATH [-tcp PORT] [-C DIR] [-j N] "
                "[-dky STRATEGY] [-cache DIR] [-max-active N] "
-               "[-max-pending N] [-max-conns N]\n");
+               "[-max-pending N] [-max-conns N] [-mem-tier BYTES] "
+               "[-pool-cap N] [-worker]\n");
   return 2;
 }
 
@@ -107,6 +117,16 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "-max-conns") {
       if (!IntArg(Config.MaxConnections))
         return usage();
+    } else if (Arg == "-mem-tier" && I + 1 < Argc) {
+      long long Bytes = std::atoll(Argv[++I]);
+      if (Bytes < 0)
+        return usage();
+      Config.Service.MemoryTierBytes = static_cast<size_t>(Bytes);
+    } else if (Arg == "-pool-cap") {
+      if (!IntArg(Config.Service.MaxPooledInterfaces))
+        return usage();
+    } else if (Arg == "-worker") {
+      Config.WorkerMode = true;
     } else {
       return usage();
     }

@@ -1,0 +1,668 @@
+//===--- Farm.cpp - affinity-sharded multi-process build farm -------------===//
+//
+// Part of m2c, a concurrent Modula-2+ compiler reproducing Wortman & Junkin,
+// "A Concurrent Compiler for Modula-2+" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "farm/Farm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include <unistd.h>
+
+using namespace m2c;
+using namespace m2c::farm;
+using namespace m2c::net;
+
+Farm::Farm(FarmConfig Config) : Config(std::move(Config)) {}
+
+Farm::~Farm() { stop(); }
+
+unsigned Farm::affinityShard(const std::vector<std::string> &Roots,
+                             unsigned N) {
+  if (N == 0)
+    return 0;
+  std::vector<std::string> Sorted = Roots;
+  std::sort(Sorted.begin(), Sorted.end());
+  uint64_t H = 1469598103934665603ULL; // FNV-1a offset basis.
+  for (const std::string &Root : Sorted) {
+    for (char C : Root) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ULL;
+    }
+    // Separator so {"AB"} and {"A","B"} hash apart.
+    H ^= 0xff;
+    H *= 1099511628211ULL;
+  }
+  return static_cast<unsigned>(H % N);
+}
+
+//===--- Worker lifecycle --------------------------------------------------===//
+
+bool Farm::spawnWorker(WorkerSlot &Slot, std::string &Err) {
+  WorkerSpec Spec = Config.Worker;
+  Spec.SocketPath = Slot.SocketPath;
+  Slot.Proc = WorkerProcess::spawn(Spec, Err);
+  if (!Slot.Proc)
+    return false;
+  // Interruptible readiness wait: probe in short slices so stop() never
+  // waits a full ReadyTimeoutMs behind a worker that will never come up.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Config.ReadyTimeoutMs);
+  for (;;) {
+    if (waitWorkerReady(Slot.SocketPath, /*TimeoutMs=*/200, Err))
+      break;
+    // Wrong-server is definitive, timeout is not.
+    if (Err.find("not in worker mode") != std::string::npos ||
+        StopHealth.load(std::memory_order_relaxed) ||
+        std::chrono::steady_clock::now() >= Deadline) {
+      Slot.Proc->kill();
+      Slot.Proc->waitExit(1000);
+      Slot.Proc.reset();
+      return false;
+    }
+  }
+  FarmStats.add("farm.workers.spawned");
+  return true;
+}
+
+void Farm::healthLoop() {
+  while (!StopHealth.load(std::memory_order_relaxed)) {
+    {
+      // Interruptible sleep: stop() must not wait out a long health
+      // interval before it can tear the farm down.
+      std::unique_lock<std::mutex> Lock(HealthM);
+      HealthCv.wait_for(Lock,
+                        std::chrono::milliseconds(Config.HealthIntervalMs),
+                        [this] {
+                          return StopHealth.load(std::memory_order_relaxed);
+                        });
+    }
+    if (StopHealth.load(std::memory_order_relaxed))
+      break;
+    for (auto &SlotPtr : Slots) {
+      WorkerSlot &Slot = *SlotPtr;
+      std::lock_guard<std::mutex> Lock(Slot.ProcM);
+      if (!Slot.Proc || Slot.Proc->alive())
+        continue;
+      FarmStats.add("farm.workers.died");
+      if (!Config.AutoRespawn)
+        continue;
+      // The dead incarnation's parked connections point at a corpse;
+      // clear them before anyone can check one out.
+      Slot.Pool->clear();
+      std::string Err;
+      if (spawnWorker(Slot, Err)) {
+        FarmStats.add("farm.workers.respawned");
+      } else {
+        // Retried on the next tick; relays meanwhile fail over to the
+        // remaining workers.
+        FarmStats.add("farm.workers.respawnfailed");
+      }
+    }
+  }
+}
+
+std::string Farm::workerAddress(unsigned I) const {
+  return I < Slots.size() ? Slots[I]->SocketPath : std::string();
+}
+
+pid_t Farm::workerPid(unsigned I) {
+  if (I >= Slots.size())
+    return -1;
+  std::lock_guard<std::mutex> Lock(Slots[I]->ProcM);
+  return Slots[I]->Proc ? Slots[I]->Proc->pid() : -1;
+}
+
+bool Farm::killWorker(unsigned I) {
+  if (I >= Slots.size())
+    return false;
+  std::lock_guard<std::mutex> Lock(Slots[I]->ProcM);
+  if (!Slots[I]->Proc)
+    return false;
+  FarmStats.add("farm.workers.killed");
+  Slots[I]->Proc->kill();
+  return true;
+}
+
+//===--- Startup / shutdown ------------------------------------------------===//
+
+bool Farm::start(std::string &Err) {
+  if (Started) {
+    Err = "farm already started";
+    return false;
+  }
+  if (Config.UnixSocketPath.empty() && !Config.EnableTcp) {
+    Err = "no listener configured (need a unix socket path and/or TCP)";
+    return false;
+  }
+  if (Config.Workers == 0) {
+    Err = "a farm needs at least one worker";
+    return false;
+  }
+
+  std::string Dir = Config.WorkerDir;
+  if (Dir.empty())
+    Dir = !Config.UnixSocketPath.empty()
+              ? Config.UnixSocketPath + ".d"
+              : "/tmp/m2cfarm." + std::to_string(::getpid());
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    Err = "cannot create worker socket dir '" + Dir + "': " + EC.message();
+    return false;
+  }
+
+  for (unsigned I = 0; I < Config.Workers; ++I) {
+    auto Slot = std::make_unique<WorkerSlot>();
+    Slot->SocketPath = Dir + "/w" + std::to_string(I) + ".sock";
+    Slot->Pool = std::make_unique<ClientPool>(Slot->SocketPath);
+    Slots.push_back(std::move(Slot));
+  }
+  for (auto &Slot : Slots) {
+    if (!spawnWorker(*Slot, Err)) {
+      for (auto &S : Slots)
+        if (S->Proc) {
+          S->Proc->kill();
+          S->Proc->waitExit(1000);
+        }
+      Slots.clear();
+      return false;
+    }
+  }
+
+  if (!Config.UnixSocketPath.empty()) {
+    UnixListener = Listener::unixDomain(Config.UnixSocketPath, Err);
+    if (!UnixListener.valid())
+      return false;
+  }
+  if (Config.EnableTcp) {
+    TcpListener = Listener::tcp(Config.TcpPort, Err);
+    if (!TcpListener.valid())
+      return false;
+    TcpPortBound = TcpListener.port();
+  }
+
+  Started = true;
+  HealthThread = std::thread([this] { healthLoop(); });
+  if (UnixListener.valid())
+    AcceptThreads.emplace_back([this] { acceptLoop(UnixListener); });
+  if (TcpListener.valid())
+    AcceptThreads.emplace_back([this] { acceptLoop(TcpListener); });
+  return true;
+}
+
+void Farm::requestDrain() {
+  Draining.store(true, std::memory_order_relaxed);
+}
+
+void Farm::stop() {
+  if (!Started || Stopped) {
+    // Even a farm that never start()ed fully may hold spawned workers.
+    for (auto &S : Slots)
+      if (S->Proc) {
+        S->Proc->kill();
+        S->Proc->waitExit(1000);
+      }
+    return;
+  }
+  Stopped = true;
+  requestDrain();
+
+  // Every accepted BUILD's one reply must be delivered before any
+  // socket (or worker) is torn down — same contract as the daemon.
+  {
+    std::unique_lock<std::mutex> Lock(RelaysM);
+    RelaysCv.wait(Lock, [this] {
+      return PendingRelays.load(std::memory_order_relaxed) == 0;
+    });
+    reapRelayThreads(/*All=*/true);
+  }
+
+  Stopping.store(true, std::memory_order_relaxed);
+  for (std::thread &T : AcceptThreads)
+    T.join();
+  AcceptThreads.clear();
+  UnixListener.close();
+  TcpListener.close();
+
+  {
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    for (auto &[Conn, Thread] : Conns) {
+      Conn->Sock.shutdownBoth();
+      Thread.join();
+    }
+    Conns.clear();
+  }
+
+  // Health thread off before touching worker processes.
+  {
+    std::lock_guard<std::mutex> Lock(HealthM);
+    StopHealth.store(true, std::memory_order_relaxed);
+  }
+  HealthCv.notify_all();
+  if (HealthThread.joinable())
+    HealthThread.join();
+
+  // Cascade the drain: SIGTERM everyone first (they drain in parallel),
+  // then reap with a grace period, escalating to SIGKILL.
+  for (auto &Slot : Slots) {
+    std::lock_guard<std::mutex> Lock(Slot->ProcM);
+    if (Slot->Proc)
+      Slot->Proc->terminate();
+  }
+  for (auto &Slot : Slots) {
+    std::lock_guard<std::mutex> Lock(Slot->ProcM);
+    if (!Slot->Proc)
+      continue;
+    if (!Slot->Proc->waitExit(5000)) {
+      Slot->Proc->kill();
+      Slot->Proc->waitExit(1000);
+    }
+    Slot->Pool->clear();
+  }
+}
+
+//===--- Stats -------------------------------------------------------------===//
+
+std::map<std::string, uint64_t> Farm::statsSnapshot() {
+  std::map<std::string, uint64_t> Merged = FarmStats.snapshot();
+  Merged["farm.workers"] = Slots.size();
+  uint64_t Opened = 0, Reused = 0;
+  for (auto &Slot : Slots) {
+    Opened += Slot->Pool->opened();
+    Reused += Slot->Pool->reused();
+  }
+  Merged["farm.pool.opened"] = Opened;
+  Merged["farm.pool.reused"] = Reused;
+  return Merged;
+}
+
+std::map<std::string, uint64_t> Farm::aggregatedStats() {
+  std::map<std::string, uint64_t> Merged = statsSnapshot();
+  for (auto &Slot : Slots) {
+    std::string Err;
+    auto Client = Slot->Pool->acquire(Err);
+    std::map<std::string, uint64_t> Stats;
+    if (Client && Client->stats(Stats, Err)) {
+      Slot->Pool->release(std::move(Client));
+      for (const auto &[Name, Value] : Stats)
+        Merged[Name] += Value;
+    } else {
+      // Worker mid-respawn: its counters are simply absent this round.
+      FarmStats.add("farm.stats.unreachable");
+      Merged["farm.stats.unreachable"] += 1;
+    }
+  }
+  return Merged;
+}
+
+//===--- Accepting (mirrors Daemon::acceptLoop) ----------------------------===//
+
+void Farm::acceptLoop(net::Listener &L) {
+  while (!Stopping.load(std::memory_order_relaxed)) {
+    Socket S;
+    switch (L.acceptFor(/*TimeoutMs=*/100, S)) {
+    case Listener::AcceptStatus::TimedOut:
+      continue;
+    case Listener::AcceptStatus::Error:
+      return;
+    case Listener::AcceptStatus::Accepted:
+      break;
+    }
+    if (Draining.load(std::memory_order_relaxed)) {
+      FarmStats.add("farm.connections.draining");
+      S.sendFrame(encode(ErrorMsg{Status::Draining, "farm is draining"}));
+      continue;
+    }
+    if (ActiveConns.load(std::memory_order_relaxed) >= Config.MaxConnections) {
+      FarmStats.add("farm.connections.shed");
+      S.sendFrame(encode(
+          ErrorMsg{Status::RejectedOverload, "connection limit reached"}));
+      continue;
+    }
+    auto Conn = std::make_shared<Connection>();
+    Conn->Sock = std::move(S);
+    ActiveConns.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    for (size_t I = 0; I < Conns.size();) {
+      if (Conns[I].first->ReaderDone.load(std::memory_order_acquire)) {
+        Conns[I].second.join();
+        Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I));
+      } else {
+        ++I;
+      }
+    }
+    Conns.emplace_back(Conn,
+                       std::thread([this, Conn] { serveConnection(Conn); }));
+  }
+}
+
+//===--- Per-connection protocol -------------------------------------------===//
+
+void Farm::sendFrame(Connection &Conn, const Frame &F) {
+  std::lock_guard<std::mutex> Lock(Conn.WriteM);
+  if (!Conn.Sock.sendFrame(F))
+    FarmStats.add("farm.replies.sendfailed");
+}
+
+bool Farm::handshake(Connection &Conn) {
+  Frame F;
+  if (Conn.Sock.recvFrame(F) != Socket::RecvStatus::Ok)
+    return false;
+  HelloMsg Hello;
+  if (!decode(F, Hello)) {
+    FarmStats.add("farm.frames.malformed");
+    sendFrame(Conn, encode(ErrorMsg{Status::Malformed,
+                                    "expected HELLO as the first frame"}));
+    return false;
+  }
+  if (Hello.MinVersion > ProtocolVersion ||
+      Hello.MaxVersion < ProtocolVersion) {
+    sendFrame(Conn, encode(ErrorMsg{Status::UnsupportedVersion,
+                                    "server implements only version " +
+                                        std::to_string(ProtocolVersion)}));
+    return false;
+  }
+  sendFrame(Conn, encode(WelcomeMsg{ProtocolVersion, "m2cfarm/1"}));
+  FarmStats.add("farm.connections.accepted");
+  return true;
+}
+
+void Farm::serveConnection(std::shared_ptr<Connection> Conn) {
+  if (handshake(*Conn)) {
+    bool Fatal = false;
+    while (!Fatal) {
+      Frame F;
+      Socket::RecvStatus RS = Conn->Sock.recvFrame(F);
+      if (RS == Socket::RecvStatus::Closed)
+        break;
+      if (RS == Socket::RecvStatus::Truncated) {
+        FarmStats.add("farm.frames.truncated");
+        break;
+      }
+      if (RS == Socket::RecvStatus::TooLarge) {
+        FarmStats.add("farm.frames.toolarge");
+        sendFrame(*Conn, encode(ErrorMsg{Status::FrameTooLarge,
+                                         "frame exceeds 64 MiB"}));
+        break;
+      }
+      if (RS == Socket::RecvStatus::Malformed) {
+        FarmStats.add("farm.frames.malformed");
+        sendFrame(*Conn,
+                  encode(ErrorMsg{Status::Malformed, "zero-length frame"}));
+        break;
+      }
+      if (RS != Socket::RecvStatus::Ok)
+        break;
+
+      switch (F.Type) {
+      case MsgType::Build: {
+        BuildRequestMsg Msg;
+        if (!decode(F, Msg)) {
+          FarmStats.add("farm.frames.malformed");
+          sendFrame(*Conn, encode(ErrorMsg{Status::Malformed,
+                                           "undecodable BUILD payload"}));
+          Fatal = true;
+          break;
+        }
+        handleBuild(Conn, std::move(Msg));
+        break;
+      }
+      case MsgType::Cancel: {
+        CancelMsg Msg;
+        if (!decode(F, Msg)) {
+          FarmStats.add("farm.frames.malformed");
+          sendFrame(*Conn, encode(ErrorMsg{Status::Malformed,
+                                           "undecodable CANCEL payload"}));
+          Fatal = true;
+          break;
+        }
+        handleCancel(Conn, Msg);
+        break;
+      }
+      case MsgType::Stats: {
+        StatsResultMsg Msg;
+        for (const auto &[Name, Value] : aggregatedStats())
+          Msg.Counters.emplace_back(Name, Value);
+        sendFrame(*Conn, encode(Msg));
+        break;
+      }
+      case MsgType::Ping: {
+        PingMsg Msg;
+        if (decode(F, Msg))
+          sendFrame(*Conn, encodePong(Msg.Token));
+        break;
+      }
+      default:
+        FarmStats.add("farm.frames.unknown");
+        sendFrame(*Conn, encode(ErrorMsg{Status::UnknownType,
+                                         "unknown message type"}));
+        break;
+      }
+    }
+  }
+  Conn->Sock.shutdownBoth();
+  ActiveConns.fetch_sub(1, std::memory_order_relaxed);
+  Conn->ReaderDone.store(true, std::memory_order_release);
+}
+
+//===--- Relaying ----------------------------------------------------------===//
+
+void Farm::handleBuild(const std::shared_ptr<Connection> &Conn,
+                       BuildRequestMsg Msg) {
+  auto Refuse = [&](Status St, const char *Counter) {
+    FarmStats.add(Counter);
+    BuildResultMsg Out;
+    Out.RequestId = Msg.RequestId;
+    Out.St = St;
+    sendFrame(*Conn, encode(Out));
+  };
+
+  {
+    std::lock_guard<std::mutex> Lock(RelaysM);
+    if (Draining.load(std::memory_order_relaxed)) {
+      Refuse(Status::Draining, "farm.requests.draining");
+      return;
+    }
+    if (PendingRelays.load(std::memory_order_relaxed) >=
+        Config.MaxPendingRelays) {
+      Refuse(Status::RejectedOverload, "farm.requests.shed");
+      return;
+    }
+    PendingRelays.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto State = std::make_shared<RelayState>();
+  State->Id = Msg.RequestId;
+  State->Conn = Conn;
+  {
+    std::lock_guard<std::mutex> Lock(Conn->ReqM);
+    if (!Conn->InFlight.emplace(Msg.RequestId, State).second) {
+      PendingRelays.fetch_sub(1, std::memory_order_relaxed);
+      RelaysCv.notify_all();
+      FarmStats.add("farm.frames.malformed");
+      sendFrame(*Conn, encode(ErrorMsg{Status::Malformed,
+                                       "request id already in flight"}));
+      Conn->Sock.shutdownBoth();
+      return;
+    }
+  }
+  FarmStats.add("farm.requests.received");
+
+  std::lock_guard<std::mutex> Lock(RelaysM);
+  reapRelayThreads(/*All=*/false);
+  auto Done = std::make_shared<std::atomic<bool>>(false);
+  RelayThreads.emplace_back(
+      Done, std::thread([this, State, Msg = std::move(Msg), Done]() mutable {
+        relay(std::move(State), std::move(Msg));
+        Done->store(true, std::memory_order_release);
+      }));
+}
+
+unsigned Farm::routeWorker(unsigned Shard, bool &Spilled) {
+  Spilled = false;
+  unsigned Load = Slots[Shard]->InFlight.load(std::memory_order_relaxed);
+  if (Load < Config.SpillThreshold)
+    return Shard;
+  unsigned Best = Shard, BestLoad = Load;
+  for (unsigned I = 0; I < Slots.size(); ++I) {
+    unsigned L = Slots[I]->InFlight.load(std::memory_order_relaxed);
+    if (L < BestLoad) {
+      Best = I;
+      BestLoad = L;
+    }
+  }
+  Spilled = Best != Shard;
+  return Best;
+}
+
+void Farm::relay(std::shared_ptr<RelayState> State, BuildRequestMsg Msg) {
+  const unsigned N = static_cast<unsigned>(Slots.size());
+  const uint64_t ClientId = State->Id;
+  const unsigned Shard = affinityShard(Msg.Roots, N);
+  bool Spilled = false;
+  const unsigned W = routeWorker(Shard, Spilled);
+  FarmStats.add(Spilled ? "farm.requests.spilled" : "farm.requests.affinity");
+  FarmStats.add("farm.worker." + std::to_string(W) + ".routed");
+
+  auto Finish = [&](BuildResultMsg Result) {
+    Result.RequestId = ClientId;
+    const char *Counter = Result.St == Status::Ok ? "farm.requests.ok"
+                          : Result.St == Status::BuildFailed
+                              ? "farm.requests.failed"
+                              : "farm.requests.othered";
+    if (!tryReply(*State, Result, Counter))
+      FarmStats.add("farm.requests.abandoned");
+    std::lock_guard<std::mutex> Lock(RelaysM);
+    PendingRelays.fetch_sub(1, std::memory_order_relaxed);
+    RelaysCv.notify_all();
+  };
+
+  // Fast path: a pooled persistent connection to the routed worker.
+  ErrorCategory Cat = ErrorCategory::None;
+  {
+    WorkerSlot &Slot = *Slots[W];
+    Slot.InFlight.fetch_add(1, std::memory_order_relaxed);
+    std::string Err;
+    auto Client = Slot.Pool->acquire(Err, &Cat);
+    bool Ok = false;
+    BuildResultMsg Result;
+    if (Client) {
+      // The relay owns its upstream conversation, so the upstream id
+      // only needs uniqueness within that connection.
+      Msg.RequestId = Client->nextRequestId();
+      Ok = Client->build(Msg, Result, Err);
+      if (Ok)
+        Slot.Pool->release(std::move(Client));
+      else
+        Cat = Client->lastErrorCategory(); // Client dropped: conversation
+                                           // is poisoned.
+    }
+    Slot.InFlight.fetch_sub(1, std::memory_order_relaxed);
+    if (Ok) {
+      Cat = categorize(Result.St);
+      if (!isRetryable(Cat)) {
+        Finish(std::move(Result));
+        return;
+      }
+      // Retryable worker verdict (overload shed, drain, internal): fall
+      // through to land it on a sibling.
+    }
+  }
+
+  // The client may have cancelled while the fast path was failing; a
+  // failover for an already-answered request is pure waste.
+  if (State->Replied.load(std::memory_order_acquire)) {
+    FarmStats.add("farm.requests.abandoned");
+    std::lock_guard<std::mutex> Lock(RelaysM);
+    PendingRelays.fetch_sub(1, std::memory_order_relaxed);
+    RelaysCv.notify_all();
+    return;
+  }
+
+  // Failover: rotate the remaining workers under the jittered backoff
+  // policy.  Fresh connection per attempt (buildWithRetry's contract) —
+  // pooled sockets into a dead incarnation are exactly what we are
+  // escaping.  Safe to replay because BUILD is idempotent.
+  FarmStats.add("farm.requests.retried");
+  auto Provider = [this, W, N](unsigned Attempt) {
+    return Slots[(W + 1 + Attempt) % N]->SocketPath;
+  };
+  BuildResultMsg Result;
+  RemoteBuildOutcome Outcome =
+      buildWithRetry(Provider, Msg, Config.Retry, Result);
+  for (const auto &[RetryCat, Count] : Outcome.Retries)
+    FarmStats.add(std::string("farm.retries.") + errorCategoryName(RetryCat),
+                  Count);
+  if (Outcome.Delivered) {
+    FarmStats.add("farm.requests.failover");
+    Finish(std::move(Result));
+    return;
+  }
+
+  // Gave up: map the last failure category onto the protocol status the
+  // client would have seen talking to a lone overloaded/draining/broken
+  // daemon.  Transport-ish failures become INTERNAL, which is retryable
+  // client-side.
+  FarmStats.add("farm.requests.gaveup");
+  BuildResultMsg Out;
+  Out.St = Outcome.Category == ErrorCategory::Overload
+               ? Status::RejectedOverload
+           : Outcome.Category == ErrorCategory::Draining ? Status::Draining
+                                                         : Status::Internal;
+  if (Out.St == Status::Internal)
+    Out.Diagnostics = "farm: relay failed after " +
+                      std::to_string(Outcome.Attempts + 1) + " attempts (" +
+                      errorCategoryName(Outcome.Category) +
+                      (Outcome.Err.empty() ? "" : ": " + Outcome.Err) + ")\n";
+  Finish(std::move(Out));
+}
+
+void Farm::handleCancel(const std::shared_ptr<Connection> &Conn,
+                        const CancelMsg &Msg) {
+  std::shared_ptr<RelayState> State;
+  {
+    std::lock_guard<std::mutex> Lock(Conn->ReqM);
+    auto It = Conn->InFlight.find(Msg.RequestId);
+    if (It != Conn->InFlight.end())
+      State = It->second;
+  }
+  if (!State) {
+    FarmStats.add("farm.cancels.unknown");
+    return;
+  }
+  // Client-side semantics only (PROTOCOL.md §7): the upstream build may
+  // run to completion on its worker — its artifacts warm the shared
+  // cache — but this client's one reply is CANCELLED if we win the race.
+  State->Abandoned.store(true, std::memory_order_release);
+  BuildResultMsg Out;
+  Out.RequestId = Msg.RequestId;
+  Out.St = Status::Cancelled;
+  tryReply(*State, Out, "farm.requests.cancelled");
+}
+
+bool Farm::tryReply(RelayState &S, const BuildResultMsg &M,
+                    const char *Counter) {
+  if (S.Replied.exchange(true, std::memory_order_acq_rel))
+    return false;
+  FarmStats.add(Counter);
+  sendFrame(*S.Conn, encode(M));
+  std::lock_guard<std::mutex> Lock(S.Conn->ReqM);
+  S.Conn->InFlight.erase(S.Id);
+  return true;
+}
+
+void Farm::reapRelayThreads(bool All) {
+  for (size_t I = 0; I < RelayThreads.size();) {
+    if (All || RelayThreads[I].first->load(std::memory_order_acquire)) {
+      RelayThreads[I].second.join();
+      RelayThreads.erase(RelayThreads.begin() + static_cast<ptrdiff_t>(I));
+    } else {
+      ++I;
+    }
+  }
+}

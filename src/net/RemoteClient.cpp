@@ -7,8 +7,12 @@
 
 #include "net/RemoteClient.h"
 
+#include <algorithm>
 #include <chrono>
+#include <random>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace m2c;
 using namespace m2c::net;
@@ -129,6 +133,7 @@ std::unique_ptr<RemoteClient> RemoteClient::open(const std::string &Address,
     return Fail(ErrorCategory::Protocol);
   }
   C->Version = W.Version;
+  C->Server = W.Server;
   if (Category)
     *Category = ErrorCategory::None;
   return C;
@@ -217,17 +222,59 @@ bool RemoteClient::ping(std::string &Err) {
   return true;
 }
 
-RemoteBuildOutcome m2c::net::buildWithRetry(const std::string &Address,
-                                            const BuildRequestMsg &Req,
-                                            const RetryPolicy &Policy,
-                                            BuildResultMsg &Out) {
+/// splitmix64 finalizer — a cheap, well-mixed pure hash so jitter is a
+/// function of (seed, attempt) only and plans replay exactly.
+static uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Distinct per process (and stable within one): independent clients must
+/// disagree with each other, which is the whole point of jitter.
+static uint64_t processJitterSeed() {
+  static const uint64_t Seed = [] {
+    std::random_device Rd;
+    uint64_t S = (static_cast<uint64_t>(Rd()) << 32) ^ Rd();
+    return S ^ mix64(static_cast<uint64_t>(::getpid()));
+  }();
+  return Seed;
+}
+
+unsigned m2c::net::backoffSleepMs(const RetryPolicy &Policy,
+                                  unsigned Attempt) {
+  if (Attempt == 0)
+    Attempt = 1;
+  uint64_t Base = Policy.InitialBackoffMs ? Policy.InitialBackoffMs : 1;
+  for (unsigned I = 1; I < Attempt && Base < (uint64_t(1) << 32); ++I)
+    Base *= 2;
+  if (Policy.MaxBackoffMs)
+    Base = std::min<uint64_t>(Base, Policy.MaxBackoffMs);
+  double J = Policy.Jitter;
+  if (J <= 0.0)
+    return static_cast<unsigned>(Base);
+  if (J > 1.0)
+    J = 1.0;
+  uint64_t Span = static_cast<uint64_t>(static_cast<double>(Base) * J);
+  if (Span == 0)
+    return static_cast<unsigned>(Base);
+  uint64_t Seed =
+      Policy.JitterSeed ? Policy.JitterSeed : processJitterSeed();
+  uint64_t R = mix64(Seed ^ (uint64_t(Attempt) * 0x632be59bd9b4e019ULL));
+  return static_cast<unsigned>(Base - Span + (R % (Span + 1)));
+}
+
+RemoteBuildOutcome m2c::net::buildWithRetry(
+    const std::function<std::string(unsigned Attempt)> &Address,
+    const BuildRequestMsg &Req, const RetryPolicy &Policy,
+    BuildResultMsg &Out) {
   RemoteBuildOutcome Outcome;
-  unsigned BackoffMs = Policy.InitialBackoffMs ? Policy.InitialBackoffMs : 1;
   for (unsigned Attempt = 0;; ++Attempt) {
     ++Outcome.Attempts;
     ErrorCategory Cat = ErrorCategory::None;
     std::string Err;
-    auto Client = RemoteClient::open(Address, Err, &Cat);
+    auto Client = RemoteClient::open(Address(Attempt), Err, &Cat);
     if (Client) {
       BuildResultMsg Result;
       if (Client->build(Req, Result, Err)) {
@@ -249,11 +296,19 @@ RemoteBuildOutcome m2c::net::buildWithRetry(const std::string &Address,
       Outcome.Err = std::move(Err);
       return Outcome;
     }
+    ++Outcome.Retries[Cat];
+    unsigned SleepMs = backoffSleepMs(Policy, Attempt + 1);
     if (Policy.OnBackoff)
-      Policy.OnBackoff(Attempt + 1, BackoffMs);
+      Policy.OnBackoff(Attempt + 1, SleepMs);
     else
-      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
-    BackoffMs = std::min(BackoffMs * 2, Policy.MaxBackoffMs ? Policy.MaxBackoffMs
-                                                            : BackoffMs * 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
   }
+}
+
+RemoteBuildOutcome m2c::net::buildWithRetry(const std::string &Address,
+                                            const BuildRequestMsg &Req,
+                                            const RetryPolicy &Policy,
+                                            BuildResultMsg &Out) {
+  return buildWithRetry([&Address](unsigned) { return Address; }, Req, Policy,
+                        Out);
 }

@@ -66,6 +66,10 @@ public:
   /// The version the server chose in WELCOME.
   uint32_t version() const { return Version; }
 
+  /// The server identification string from WELCOME ("m2cd/1", or
+  /// "m2cd/1 worker" for a farm worker — PROTOCOL.md §14).
+  const std::string &serverName() const { return Server; }
+
   /// Fresh request id, unique within this connection.
   uint64_t nextRequestId() { return NextId++; }
 
@@ -109,19 +113,38 @@ private:
 
   Socket Sock;
   uint32_t Version = 0;
+  std::string Server;
   uint64_t NextId = 1;
   ErrorCategory LastCategory = ErrorCategory::None;
   std::map<uint64_t, BuildResultMsg> Buffered; ///< Out-of-order results.
 };
 
-/// Bounded exponential backoff for buildWithRetry.
+/// Bounded exponential backoff for buildWithRetry, with equal-jitter
+/// de-synchronization: when many clients back off from the same event (a
+/// worker died; the farm respawns it), exact doubling would land every
+/// retry on the daemon in the same instant.  Each sleep is therefore
+/// drawn uniformly from [Backoff*(1-Jitter), Backoff].
 struct RetryPolicy {
   unsigned MaxRetries = 0;         ///< Retries *after* the first attempt.
   unsigned InitialBackoffMs = 100; ///< Doubled per retry...
   unsigned MaxBackoffMs = 2000;    ///< ...up to this cap.
+  /// Fraction of each backoff that is randomized.  0 restores the exact
+  /// doubling schedule; 1 draws from [0, Backoff].
+  double Jitter = 0.5;
+  /// Seed of the jitter stream.  0 (the default) uses a distinct
+  /// per-process random seed — what production wants, since the point is
+  /// that independent clients disagree.  Tests pin a nonzero seed and
+  /// get a fully deterministic schedule.
+  uint64_t JitterSeed = 0;
   /// Test/logging hook: called instead of sleeping when set.
   std::function<void(unsigned Attempt, unsigned SleepMs)> OnBackoff;
 };
+
+/// The sleep before retry number \p Attempt (1-based) under \p Policy:
+/// doubling from InitialBackoffMs, capped at MaxBackoffMs, jittered per
+/// the policy.  Pure — a nonzero JitterSeed yields the same schedule on
+/// every call, which is what FaultTest pins down.
+unsigned backoffSleepMs(const RetryPolicy &Policy, unsigned Attempt);
 
 /// Outcome of buildWithRetry.
 struct RemoteBuildOutcome {
@@ -129,6 +152,10 @@ struct RemoteBuildOutcome {
   unsigned Attempts = 0;   ///< Connections tried.
   ErrorCategory Category = ErrorCategory::None; ///< Final classification.
   std::string Err;         ///< Transport/protocol detail when !Delivered.
+  /// Retries broken down by the category that caused each backoff
+  /// (Attempts == 1 + sum of these).  The CLI prints them so operators
+  /// can tell "slow because overloaded" from "slow because flaky".
+  std::map<ErrorCategory, unsigned> Retries;
 };
 
 /// Sends \p Req with reconnect-and-retry: each attempt opens a fresh
@@ -149,6 +176,15 @@ RemoteBuildOutcome buildWithRetry(const std::string &Address,
                                   const BuildRequestMsg &Req,
                                   const RetryPolicy &Policy,
                                   BuildResultMsg &Out);
+
+/// As above, but the target address is chosen per attempt (0-based): the
+/// farm coordinator retries a killed worker's in-flight BUILDs on a
+/// sibling by rotating the provider over its healthy upstreams.  BUILD
+/// idempotence (above) is what makes cross-worker replay safe.
+RemoteBuildOutcome
+buildWithRetry(const std::function<std::string(unsigned Attempt)> &Address,
+               const BuildRequestMsg &Req, const RetryPolicy &Policy,
+               BuildResultMsg &Out);
 
 } // namespace m2c::net
 

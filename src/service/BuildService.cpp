@@ -23,7 +23,8 @@ BuildService::BuildService(VirtualFileSystem &Files, StringInterner &Interner,
     : Files(Files), Interner(Interner), Config(Config),
       Exec(Config.Workers, Config.Cost),
       Pool(Files, Interner, Exec,
-           sema::CompilationOptions{Config.Strategy, Config.Sharing}),
+           sema::CompilationOptions{Config.Strategy, Config.Sharing},
+           Config.MaxPooledInterfaces),
       Queue(Config.MaxActiveRequests) {
   if (Config.UseCache) {
     std::unique_ptr<cache::CacheStore> Disk;
@@ -112,7 +113,8 @@ build::BuildResult BuildService::submit(const std::vector<std::string> &Roots,
     sched::ScopedContext Installed(Ctx);
     std::shared_ptr<InterfaceGeneration> Scratch = Pool.acquire({});
     Graph = build::BuildGraph::discover(Files, Interner,
-                                        Scratch->Comp->Builtins, Roots);
+                                        Scratch->Comp->Builtins, Roots,
+                                        /*UseMemo=*/true);
   }
   uint64_t DiscoveryWallNs = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -190,6 +192,7 @@ std::map<std::string, uint64_t> BuildService::statsSnapshot() {
   }
   Fold(ServiceStats.snapshot());
   Merged["service.generations"] = Pool.generationCount();
+  Merged["service.pool.caprotations"] = Pool.capRotationCount();
   Merged["service.interface.parses"] = Pool.parseCount();
   Merged["service.interface.streams"] = Pool.streamCount();
   return Merged;

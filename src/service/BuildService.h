@@ -60,6 +60,11 @@ struct ServiceConfig {
   unsigned MaxActiveRequests = 8; ///< FIFO admission bound.
   bool UseCache = true;           ///< Artifact tiers on/off.
   size_t MemoryTierBytes = static_cast<size_t>(64) << 20;
+  /// Bound on distinct .def files one SharedInterfacePool generation may
+  /// accumulate (0 = unbounded).  Farm workers run bounded so a worker
+  /// is a fixed-size unit; affinity sharding keeps each worker's
+  /// interface working set under its bound.
+  unsigned MaxPooledInterfaces = 0;
   std::string CacheDir; ///< Disk tier below the memory tier; empty:
                         ///< memory-only.
 };

@@ -16,8 +16,10 @@ using namespace m2c::service;
 SharedInterfacePool::SharedInterfacePool(VirtualFileSystem &Files,
                                          StringInterner &Interner,
                                          sched::ThreadedExecutor &Exec,
-                                         sema::CompilationOptions Options)
-    : Files(Files), Interner(Interner), Exec(Exec), Options(Options) {}
+                                         sema::CompilationOptions Options,
+                                         unsigned MaxInterfaces)
+    : Files(Files), Interner(Interner), Exec(Exec), Options(Options),
+      MaxInterfaces(MaxInterfaces) {}
 
 void SharedInterfacePool::rotateLocked() {
   if (Current) {
@@ -49,14 +51,34 @@ SharedInterfacePool::acquire(const std::vector<std::string> &DefFiles) {
   Hashes.reserve(DefFiles.size());
   for (const std::string &Name : DefFiles) {
     const SourceBuffer *Buf = Files.lookup(Name);
-    Hashes.emplace_back(&Name,
-                        Buf ? cache::hashBytes(Buf->Text).hex() : "missing");
+    // Memoized on the buffer: requests re-check the same unchanged
+    // interfaces on every acquire, and the hash of an immutable buffer
+    // never changes.
+    Hashes.emplace_back(&Name, Buf ? Buf->contentHash([Buf] {
+      return cache::hashBytes(Buf->Text).hex();
+    })
+                                   : "missing");
   }
   for (const auto &[Name, Hash] : Hashes) {
     auto It = Current->DefHashes.find(*Name);
     if (It != Current->DefHashes.end() && It->second != Hash) {
       rotateLocked();
       break;
+    }
+  }
+  // Capacity bound: admitting this closure's new interfaces must not
+  // push the generation past MaxInterfaces.  Rotating resets the pooled
+  // set to exactly this request's closure — even a closure larger than
+  // the bound is served whole (it just monopolizes the generation).  A
+  // fresh generation (empty set) never re-rotates.
+  if (MaxInterfaces && !Current->DefHashes.empty()) {
+    size_t NewFiles = 0;
+    for (const auto &[Name, Hash] : Hashes)
+      if (!Current->DefHashes.count(*Name))
+        ++NewFiles;
+    if (NewFiles && Current->DefHashes.size() + NewFiles > MaxInterfaces) {
+      rotateLocked();
+      CapRotations.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Record every hash the generation now depends on (first-seen wins; an

@@ -66,9 +66,19 @@ public:
   /// tasks are submitted to it (tagged by whichever request triggers
   /// them).  \p Options carries the DKY strategy/sharing/optimize
   /// settings every generation compiles under.
+  /// \p MaxInterfaces bounds how many distinct .def files one generation
+  /// may accumulate (0 = unbounded).  A long-lived worker serving every
+  /// project in a fleet would otherwise pool interface scopes without
+  /// limit; the farm instead provisions each worker as a fixed-size unit
+  /// and shards requests by affinity so the unit's bound is enough for
+  /// the projects it actually serves.  When admitting a request's
+  /// closure would push the pooled set past the bound, the pool rotates
+  /// exactly as it does for a content change — correctness is untouched,
+  /// the evicted interfaces are simply re-analyzed on next use.
   SharedInterfacePool(VirtualFileSystem &Files, StringInterner &Interner,
                       sched::ThreadedExecutor &Exec,
-                      sema::CompilationOptions Options);
+                      sema::CompilationOptions Options,
+                      unsigned MaxInterfaces = 0);
 
   /// Returns the generation that will serve a request whose interface
   /// closure is \p DefFiles (file names).  Rotates first when any of
@@ -89,6 +99,14 @@ public:
   /// Definition-module streams summed over every generation.
   uint64_t streamCount() const;
 
+  /// Rotations forced by the MaxInterfaces bound (as opposed to content
+  /// changes) — the farm bench's locality signal: an affinity-sharded
+  /// worker's count stays at zero, a worker serving every project
+  /// rotates constantly.
+  uint64_t capRotationCount() const {
+    return CapRotations.load(std::memory_order_relaxed);
+  }
+
 private:
   void rotateLocked();
 
@@ -96,6 +114,7 @@ private:
   StringInterner &Interner;
   sched::ThreadedExecutor &Exec;
   const sema::CompilationOptions Options;
+  const unsigned MaxInterfaces;
 
   mutable std::mutex M;
   std::shared_ptr<InterfaceGeneration> Current;
@@ -104,6 +123,7 @@ private:
   uint64_t RetiredParses = 0;
   uint64_t RetiredStreams = 0;
   std::atomic<uint64_t> Generations{0};
+  std::atomic<uint64_t> CapRotations{0};
 };
 
 } // namespace m2c::service

@@ -7,11 +7,34 @@
 
 #include "support/VirtualFileSystem.h"
 
+#include <algorithm>
 #include <cassert>
 #include <fstream>
 #include <sstream>
 
 using namespace m2c;
+
+std::string SourceBuffer::contentHash(
+    const std::function<std::string()> &Compute) const {
+  // Compute runs under the lock: a concurrent second caller waits instead
+  // of duplicating the hash, and the memo is written exactly once.
+  std::lock_guard<std::mutex> Lock(FactsM);
+  if (HashHex.empty())
+    HashHex = Compute();
+  return HashHex;
+}
+
+std::vector<Symbol> SourceBuffer::imports(
+    const void *Owner,
+    const std::function<std::vector<Symbol>()> &Compute) const {
+  std::lock_guard<std::mutex> Lock(FactsM);
+  if (!HasImports || ImportsOwner != Owner) {
+    Imports = Compute();
+    ImportsOwner = Owner;
+    HasImports = true;
+  }
+  return Imports;
+}
 
 FileId VirtualFileSystem::addFile(std::string Name, std::string Text) {
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -49,6 +72,18 @@ std::optional<FileId> VirtualFileSystem::addFromDisk(const std::string &Path) {
 size_t VirtualFileSystem::size() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Buffers.size();
+}
+
+std::vector<std::string> VirtualFileSystem::names() const {
+  std::vector<std::string> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out.reserve(ByName.size());
+    for (const auto &[Name, Buf] : ByName)
+      Out.emplace_back(Name);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
 }
 
 std::string VirtualFileSystem::defFileName(std::string_view ModuleName) {

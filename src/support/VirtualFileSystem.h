@@ -17,7 +17,9 @@
 #define M2C_SUPPORT_VIRTUALFILESYSTEM_H
 
 #include "support/SourceLocation.h"
+#include "support/StringInterner.h"
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,10 +31,38 @@
 namespace m2c {
 
 /// One registered source file: a name (e.g. "Lists.def") plus its text.
+///
+/// Buffers are immutable once registered, which makes facts derived from
+/// the text — its content hash, its import list — pure functions of the
+/// buffer.  A long-lived service pays those derivations on every request
+/// (discovery re-scans imports, the cache prepass re-hashes the whole
+/// interface closure per module), so the buffer memoizes them: the first
+/// caller computes, everyone after reads.  The compute callback keeps the
+/// layering clean — support/ stores the fact without knowing how the
+/// cache hashes or the front end lexes.
 struct SourceBuffer {
   FileId Id;
   std::string Name;
   std::string Text;
+
+  /// The memoized result of \p Compute (conventionally the cache layer's
+  /// content hash of Text, in hex).  \p Compute runs at most once.
+  std::string contentHash(const std::function<std::string()> &Compute) const;
+
+  /// The memoized direct-import list of this buffer.  Symbols are only
+  /// meaningful to the \p Owner interner that produced them, so the memo
+  /// is tagged: a caller with a different interner recomputes (and takes
+  /// over the slot — in practice a buffer serves one interner for life).
+  std::vector<Symbol>
+  imports(const void *Owner,
+          const std::function<std::vector<Symbol>()> &Compute) const;
+
+private:
+  mutable std::mutex FactsM;
+  mutable std::string HashHex;            ///< Empty until computed.
+  mutable const void *ImportsOwner = nullptr;
+  mutable bool HasImports = false;
+  mutable std::vector<Symbol> Imports;
 };
 
 /// Thread-safe in-memory file system for compiler input.
@@ -65,6 +95,12 @@ public:
 
   /// Number of registered files.
   size_t size() const;
+
+  /// Names of every *live* file, i.e. excluding buffers shadowed by a
+  /// later addFile of the same name.  Sorted, so callers that mirror the
+  /// VFS to a real directory (the farm bench materializing a workspace
+  /// for worker processes) enumerate deterministically.
+  std::vector<std::string> names() const;
 
   /// Names of the conventional pair of files for module \p ModuleName.
   static std::string defFileName(std::string_view ModuleName);

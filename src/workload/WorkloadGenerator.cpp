@@ -317,8 +317,16 @@ GeneratedProject WorkloadGenerator::generateProject(const ProjectSpec &Spec) {
   //===--- The module chain ------------------------------------------------===//
   for (unsigned J = 0; J < Spec.NumModules; ++J) {
     std::ostringstream Def;
-    Def << "DEFINITION MODULE " << ModName(J) << ";\n"
-        << "PROCEDURE Work(n: INTEGER): INTEGER;\n"
+    Def << "DEFINITION MODULE " << ModName(J) << ";\n";
+    if (!Spec.DefImportInterfaces.empty()) {
+      // Def-to-def edges: importers of this interface pull the whole set
+      // into their closure without binding it themselves.
+      Def << "IMPORT ";
+      for (size_t K = 0; K < Spec.DefImportInterfaces.size(); ++K)
+        Def << (K ? ", " : "") << Spec.DefImportInterfaces[K];
+      Def << ";\n";
+    }
+    Def << "PROCEDURE Work(n: INTEGER): INTEGER;\n"
         << "END " << ModName(J) << ".\n";
     Files.addFile(ModName(J) + ".def", Def.str());
 
@@ -458,7 +466,10 @@ WorkloadGenerator::generateRequestSet(const RequestSetSpec &Spec) {
     Proj.MeanProcStmts = Spec.MeanProcStmts;
     Proj.InterfaceDecls = Spec.InterfaceDecls;
     Proj.Seed = Spec.Seed + 101 * (P + 1);
-    Proj.ImportInterfaces = Info.CommonInterfaceNames;
+    if (Spec.CommonImportsViaDefs)
+      Proj.DefImportInterfaces = Info.CommonInterfaceNames;
+    else
+      Proj.ImportInterfaces = Info.CommonInterfaceNames;
     GeneratedProject Gen = generateProject(Proj);
     Info.InterfaceCount += Gen.InterfaceCount;
     Info.Projects.push_back(std::move(Gen));

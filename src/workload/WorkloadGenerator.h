@@ -93,6 +93,15 @@ struct ProjectSpec {
   /// import the same external interface set, so a build service parses
   /// those interfaces once for the whole request fleet.
   std::vector<std::string> ImportInterfaces;
+  /// Externally provided interfaces imported by every chain module's
+  /// *interface* (.def) instead of its implementation.  The interfaces
+  /// end up in exactly the same request closure, but reach it through
+  /// def-to-def edges: an implementation binds only its few direct
+  /// imports while the transitive interface analysis still covers the
+  /// full set.  This separates "how much a compile binds" from "how much
+  /// an interface pool (re)analyzes" — the knob the farm bench uses to
+  /// size rotation cost independently of per-request compile cost.
+  std::vector<std::string> DefImportInterfaces;
 };
 
 /// What generateProject() produced.
@@ -116,6 +125,11 @@ struct RequestSetSpec {
   /// Interfaces imported by every module of *every* project (.def only —
   /// no implementations, so projects overlap in parsing, not codegen).
   unsigned CommonInterfaces = 4;
+  /// Route the common imports through each project's chain-module .defs
+  /// (see ProjectSpec::DefImportInterfaces) instead of every chain .mod.
+  /// Same interface closure per request, far fewer direct binds per
+  /// compiled module.
+  bool CommonImportsViaDefs = false;
   /// Per-project chained modules (see ProjectSpec::NumModules).
   unsigned ModulesPerProject = 4;
   /// Per-project interfaces imported by that project's modules only.

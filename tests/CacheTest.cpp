@@ -20,6 +20,7 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace m2c;
@@ -426,6 +427,89 @@ TEST(CacheTest, DiskStoreSurvivesConcurrentReadersAndWriters) {
     EXPECT_EQ(*Got, Values[K]);
   }
   EXPECT_EQ(Store.size(), Keys);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTest, DiskStoreSurvivesCrossProcessContention) {
+  // The farm's workers are separate *processes* sharing one -cache DIR,
+  // so the temp+rename discipline must hold across address spaces, not
+  // just across threads: two processes racing a save() of the same key
+  // must leave a complete entry from one of them, never a torn hybrid.
+  // Forked children (no threads, _exit on the way out) keep this
+  // TSan-compatible.
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "m2c-cache-xproc";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+
+  constexpr unsigned Keys = 4;
+  auto CanonicalValue = [](unsigned K) {
+    std::string Value;
+    std::string Piece = "xproc-" + std::to_string(K) + ";";
+    while (Value.size() < 64 * 1024)
+      Value += Piece;
+    return Value;
+  };
+
+  auto ChildMain = [&](unsigned Id) {
+    // Own store instance over the shared directory — exactly what a
+    // second m2cd worker process has.  No gtest in the child: report
+    // through the exit code (0 = clean, 1 = torn read observed).
+    cache::DiskCacheStore ChildStore(Dir.string());
+    std::mt19937 R(Id * 6151 + 3);
+    for (unsigned I = 0; I < 120; ++I) {
+      unsigned K = R() % Keys;
+      std::string Key = "xproc" + std::to_string(K);
+      if (R() % 2) {
+        ChildStore.save(Key, CanonicalValue(K));
+      } else if (std::optional<std::string> Got = ChildStore.load(Key)) {
+        if (*Got != CanonicalValue(K))
+          ::_exit(1);
+      }
+    }
+    ::_exit(0);
+  };
+
+  std::vector<pid_t> Children;
+  for (unsigned C = 0; C < 2; ++C) {
+    pid_t Pid = ::fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0)
+      ChildMain(C);
+    Children.push_back(Pid);
+  }
+
+  // The parent is a third contender over the same directory.
+  cache::DiskCacheStore Store(Dir.string());
+  std::mt19937 R(991);
+  for (unsigned I = 0; I < 120; ++I) {
+    unsigned K = R() % Keys;
+    std::string Key = "xproc" + std::to_string(K);
+    if (R() % 2) {
+      Store.save(Key, CanonicalValue(K));
+    } else if (std::optional<std::string> Got = Store.load(Key)) {
+      EXPECT_EQ(*Got, CanonicalValue(K)) << "torn cross-process read";
+    }
+  }
+
+  for (pid_t Pid : Children) {
+    int WStatus = 0;
+    ASSERT_EQ(::waitpid(Pid, &WStatus, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(WStatus));
+    EXPECT_EQ(WEXITSTATUS(WStatus), 0) << "child observed a torn read";
+  }
+
+  // Post-mortem: every key reads back canonical, and a healing sweep
+  // finds nothing to heal — the race left no corrupt entry behind.
+  for (unsigned K = 0; K < Keys; ++K) {
+    std::optional<std::string> Got = Store.load("xproc" + std::to_string(K));
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_EQ(*Got, CanonicalValue(K));
+  }
+  cache::DiskCacheStore::VerifyReport Report = Store.verifyAll(true);
+  EXPECT_EQ(Report.Corrupt, 0u);
+  EXPECT_EQ(Report.Healed, 0u);
+  EXPECT_EQ(Report.Checked, Keys);
   std::filesystem::remove_all(Dir);
 }
 

@@ -757,4 +757,31 @@ TEST(DaemonTest, StatsExportsServiceSchedulerAndCacheCounters) {
   Server.stop();
 }
 
+TEST(DaemonTest, WorkerModeAdvertisesItselfInWelcome) {
+  // PROTOCOL.md §14: a farm coordinator's readiness probe tells the
+  // worker it spawned apart from an unrelated daemon that happens to own
+  // the socket path by the WELCOME server string alone.  Everything else
+  // about a worker is an ordinary daemon.
+  DaemonFixture F;
+  F.Files.addFile("Tiny.mod", "MODULE Tiny; BEGIN END Tiny.\n");
+  daemon::DaemonConfig Config = F.config();
+  Config.WorkerMode = true;
+  daemon::Daemon Server(F.Files, F.Interner, Config);
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  auto Client = net::RemoteClient::open(F.SocketPath, Err);
+  ASSERT_NE(Client, nullptr) << Err;
+  EXPECT_EQ(Client->serverName(), "m2cd/1 worker");
+
+  // Worker mode changes the banner, not the service: builds still work.
+  net::BuildRequestMsg Req;
+  Req.RequestId = Client->nextRequestId();
+  Req.Roots = {"Tiny"};
+  net::BuildResultMsg Result;
+  ASSERT_TRUE(Client->build(Req, Result, Err)) << Err;
+  EXPECT_EQ(Result.St, net::Status::Ok) << Result.Diagnostics;
+  Server.stop();
+}
+
 } // namespace

@@ -397,6 +397,7 @@ TEST(FaultTest, ConnectRefusedIsRetriedThenReported) {
   Req.Roots = {"Nothing"};
   net::RetryPolicy Policy;
   Policy.MaxRetries = 2;
+  Policy.Jitter = 0; // Exact exponential schedule for the assertions below.
   std::vector<unsigned> Sleeps;
   Policy.OnBackoff = [&](unsigned, unsigned SleepMs) {
     Sleeps.push_back(SleepMs); // Don't actually sleep in tests.
@@ -407,9 +408,45 @@ TEST(FaultTest, ConnectRefusedIsRetriedThenReported) {
   EXPECT_FALSE(Outcome.Delivered);
   EXPECT_EQ(Outcome.Category, net::ErrorCategory::ConnectRefused);
   EXPECT_EQ(Outcome.Attempts, 3u);
+  // Both failed attempts were retried, and the outcome says why.
+  EXPECT_EQ(Outcome.Retries[net::ErrorCategory::ConnectRefused], 2u);
   // Exponential backoff: each wait doubles (bounded by MaxBackoffMs).
   ASSERT_EQ(Sleeps.size(), 2u);
   EXPECT_EQ(Sleeps[1], Sleeps[0] * 2);
+}
+
+TEST(FaultTest, JitteredBackoffIsSeededDeterministicAndBounded) {
+  net::RetryPolicy Policy;
+  Policy.InitialBackoffMs = 100;
+  Policy.MaxBackoffMs = 10000;
+  Policy.Jitter = 0.5;
+  Policy.JitterSeed = 42;
+  for (unsigned Attempt = 1; Attempt <= 6; ++Attempt) {
+    unsigned Base = 100u << (Attempt - 1);
+    unsigned Sleep = net::backoffSleepMs(Policy, Attempt);
+    // Jitter subtracts up to Jitter*Base from the exponential base, so
+    // herds spread out without any client waiting longer than the plain
+    // schedule.
+    EXPECT_GE(Sleep, Base / 2) << "attempt " << Attempt;
+    EXPECT_LE(Sleep, Base) << "attempt " << Attempt;
+    // Pure function of (policy, attempt): replays exactly.
+    EXPECT_EQ(Sleep, net::backoffSleepMs(Policy, Attempt));
+  }
+  // Different seeds must disagree somewhere (that is the point of
+  // jitter); six attempts make a coincidence across all of them
+  // astronomically unlikely.
+  net::RetryPolicy Other = Policy;
+  Other.JitterSeed = 43;
+  bool Differs = false;
+  for (unsigned Attempt = 1; Attempt <= 6; ++Attempt)
+    Differs |= net::backoffSleepMs(Other, Attempt) !=
+               net::backoffSleepMs(Policy, Attempt);
+  EXPECT_TRUE(Differs);
+  // Jitter off reproduces the plain exponential schedule exactly.
+  Policy.Jitter = 0;
+  EXPECT_EQ(net::backoffSleepMs(Policy, 1), 100u);
+  EXPECT_EQ(net::backoffSleepMs(Policy, 2), 200u);
+  EXPECT_EQ(net::backoffSleepMs(Policy, 8), 10000u); // MaxBackoffMs cap
 }
 
 TEST(FaultTest, RetriedBuildIsIdempotent) {
